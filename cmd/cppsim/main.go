@@ -1,0 +1,88 @@
+// Command cppsim compiles one of the corpus subjects under the simulated
+// compiler and prints the phase timers — the instrument behind Figure 7.
+//
+// Usage:
+//
+//	cppsim [-mode default|pch|yalla] [-O n] [-subject NAME | -list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/internal/devcycle"
+)
+
+func main() {
+	var (
+		subject = flag.String("subject", "02", "corpus subject to compile")
+		mode    = flag.String("mode", "default", "configuration: default, pch, yalla, yalla+pch, or yalla+lto")
+		list    = flag.Bool("list", false, "list subjects and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range corpus.All() {
+			fmt.Printf("%-24s %-11s header=%s main=%s\n", s.Name, s.Library, s.Header, s.MainFile)
+		}
+		return
+	}
+
+	s := corpus.ByName(*subject)
+	if s == nil {
+		fmt.Fprintf(os.Stderr, "cppsim: unknown subject %q (use -list)\n", *subject)
+		os.Exit(1)
+	}
+	var m devcycle.Mode
+	switch *mode {
+	case "default":
+		m = devcycle.Default
+	case "pch":
+		m = devcycle.PCH
+	case "yalla":
+		m = devcycle.Yalla
+	case "yalla+pch":
+		m = devcycle.YallaPCH
+	case "yalla+lto":
+		m = devcycle.YallaLTO
+	default:
+		fmt.Fprintf(os.Stderr, "cppsim: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+
+	st, err := devcycle.Prepare(s, m)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cppsim: %v\n", err)
+		os.Exit(1)
+	}
+	cycle, err := st.Cycle()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cppsim: %v\n", err)
+		os.Exit(1)
+	}
+	ph := st.Phases()
+	stats := st.Stats()
+
+	fmt.Printf("%s (%s), %s configuration\n", s.Name, s.Library, m)
+	fmt.Printf("  translation unit: %d LOC, %d headers, %d tokens\n",
+		stats.LOC, stats.Headers, stats.Tokens)
+	fmt.Printf("  phases [ms]: startup %.1f  preprocess %.1f  lex/parse %.1f  sema %.1f  pch-load %.1f  instantiate %.1f  backend %.1f\n",
+		msf(ph.Startup), msf(ph.Preprocess), msf(ph.LexParse), msf(ph.Sema),
+		msf(ph.PCHLoad), msf(ph.Instantiate), msf(ph.Backend))
+	fmt.Printf("  frontend %.1f ms, backend %.1f ms, compile total %.1f ms\n",
+		msf(ph.Frontend()), msf(ph.Backend), msf(ph.Total()))
+	fmt.Printf("  dev cycle: compile %.1f + link %.1f + run %.1f = %.1f ms\n",
+		float64(cycle.Compile)/1e6, float64(cycle.Link)/1e6,
+		float64(cycle.Run)/1e6, float64(cycle.Total())/1e6)
+	if m == devcycle.Yalla {
+		fmt.Printf("  one-time setup: tool %.0f ms, wrappers compile %.0f ms\n",
+			float64(st.Setup.Tool)/1e6, float64(st.Setup.WrapperCompile)/1e6)
+	}
+	if m == devcycle.PCH {
+		fmt.Printf("  one-time setup: PCH build %.0f ms\n", float64(st.Setup.PCHBuild)/1e6)
+	}
+}
+
+func msf(d interface{ Seconds() float64 }) float64 { return d.Seconds() * 1000 }

@@ -1,0 +1,133 @@
+// Command experiments regenerates the paper's evaluation: Table 2
+// (compilation speedups), Table 3 (code statistics), Figure 7 (phase
+// timers), Figure 8 (development-cycle speedups), Figure 9 (generated
+// code), and Figure 10 (first-time build). Results are also written as
+// artifact-style CSV and Chrome-trace files under -results.
+//
+// Usage:
+//
+//	experiments [-table2] [-table3] [-fig7] [-fig8] [-fig9] [-fig10]
+//	            [-subject NAME] [-results DIR]
+//
+// With no selection flags, everything runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		table2  = flag.Bool("table2", false, "regenerate Table 2 (compilation time)")
+		table3  = flag.Bool("table3", false, "regenerate Table 3 (LOC and headers)")
+		fig7    = flag.Bool("fig7", false, "regenerate Figure 7 (phase breakdown)")
+		fig8    = flag.Bool("fig8", false, "regenerate Figure 8 (dev-cycle speedup)")
+		fig9    = flag.Bool("fig9", false, "regenerate Figure 9 (generated code)")
+		fig10   = flag.Bool("fig10", false, "regenerate Figure 10 (first-time build)")
+		ext     = flag.Bool("extensions", false, "run the §5.4/§6 extension ablation (Yalla+PCH, Yalla+LTO)")
+		gcc     = flag.Bool("gcc", false, "reproduce the summarized GCC results (§5.3)")
+		subject = flag.String("subject", "", "restrict to one subject")
+		results = flag.String("results", "", "directory to write CSV/trace results into")
+	)
+	flag.Parse()
+
+	all := !*table2 && !*table3 && !*fig7 && !*fig8 && !*fig9 && !*fig10 && !*ext && !*gcc
+
+	if *gcc {
+		out, err := experiments.GCCSummary()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if *ext {
+		out, err := experiments.Extensions("02", "drawing")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	// Figure 9 needs no simulation runs.
+	if *fig9 || all {
+		fmt.Println(experiments.Fig9())
+	}
+	needRuns := all || *table2 || *table3 || *fig7 || *fig8 || *fig10 || *results != ""
+	if !needRuns {
+		return
+	}
+
+	subjects := corpus.All()
+	if *subject != "" {
+		s := corpus.ByName(*subject)
+		if s == nil {
+			fmt.Fprintf(os.Stderr, "experiments: unknown subject %q\n", *subject)
+			os.Exit(1)
+		}
+		subjects = []*corpus.Subject{s}
+	}
+
+	var res []*experiments.SubjectResult
+	for _, s := range subjects {
+		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", s.Name, s.Library)
+		r, err := experiments.RunSubjectCached(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		res = append(res, r)
+	}
+	experiments.SortByTableOrder(res)
+
+	if all || *table2 {
+		fmt.Println("Table 2 — compilation time and speedups")
+		fmt.Println(experiments.Table2(res))
+	}
+	if all || *table3 {
+		fmt.Println("Table 3 — code statistics before/after Header Substitution")
+		fmt.Println(experiments.Table3(res))
+	}
+	if all || *fig7 {
+		fmt.Println(experiments.Fig7(res, "02", "drawing"))
+	}
+	if all || *fig8 {
+		fmt.Println(experiments.Fig8(res))
+		fmt.Println()
+	}
+	if all || *fig10 {
+		fmt.Println(experiments.Fig10(res, "02"))
+		fmt.Println()
+	}
+	if *results != "" {
+		if err := writeResults(*results, res); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "results written to %s\n", *results)
+	}
+}
+
+func writeResults(dir string, res []*experiments.SubjectResult) error {
+	if err := os.MkdirAll(filepath.Join(dir, "traces"), 0o755); err != nil {
+		return err
+	}
+	for name, content := range experiments.CSVs(res) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return err
+		}
+	}
+	for name, content := range experiments.Traces(res) {
+		if err := os.WriteFile(filepath.Join(dir, "traces", name), []byte(content), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+// Command iwyu runs the Include-What-You-Use-style baseline (related
+// work, paper §7) over a corpus subject or a file on disk: it reports
+// which direct includes contribute referenced symbols and removes the
+// unused ones. Its contrast with `yalla` is the paper's motivation — a
+// *used* expensive header cannot be removed, only substituted.
+//
+// Usage:
+//
+//	iwyu -subject drawing            # audit a corpus subject
+//	iwyu [-I dir]... source.cpp      # audit a file from disk
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/iwyu"
+	"repro/internal/vfs"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	var includes multiFlag
+	subject := flag.String("subject", "", "audit a corpus subject instead of a file")
+	flag.Var(&includes, "I", "include search directory (repeatable)")
+	flag.Parse()
+
+	var opts iwyu.Options
+	switch {
+	case *subject != "":
+		s := corpus.ByName(*subject)
+		if s == nil {
+			fail("iwyu: unknown subject %q", *subject)
+		}
+		opts = iwyu.Options{FS: s.FS.Clone(), SearchPaths: s.SearchPaths, Source: s.MainFile}
+	case flag.NArg() == 1:
+		fs := vfs.New()
+		if err := loadFile(fs, flag.Arg(0)); err != nil {
+			fail("iwyu: %v", err)
+		}
+		for _, dir := range includes {
+			if err := loadTree(fs, dir); err != nil {
+				fail("iwyu: %v", err)
+			}
+		}
+		opts = iwyu.Options{FS: fs, SearchPaths: append([]string{"."}, includes...), Source: flag.Arg(0)}
+	default:
+		fail("usage: iwyu [-subject NAME | [-I dir]... source.cpp]")
+	}
+
+	res, err := iwyu.Analyze(opts)
+	if err != nil {
+		fail("iwyu: %v", err)
+	}
+	for _, inc := range res.Includes {
+		status := "UNUSED"
+		if inc.Used {
+			status = "used  "
+		}
+		fmt.Printf("%s  %-32s", status, inc.Target)
+		if len(inc.Symbols) > 0 {
+			fmt.Printf("  (%s)", strings.Join(inc.Symbols, ", "))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%d include(s) removable\n", res.Removed)
+	if res.Removed == 0 {
+		fmt.Println("note: a used header cannot be removed — that is the case Header Substitution (yalla) targets")
+	}
+}
+
+func loadFile(fs *vfs.FS, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fs.Write(filepath.ToSlash(path), string(data))
+	return nil
+}
+
+func loadTree(fs *vfs.FS, dir string) error {
+	return filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		return loadFile(fs, path)
+	})
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

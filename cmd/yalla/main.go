@@ -1,0 +1,165 @@
+// Command yalla applies Header Substitution to C++ sources on the real
+// filesystem: it loads the sources and every reachable header, replaces
+// the include of the named expensive header with a generated lightweight
+// header (forward declarations + wrappers + functors), rewrites the
+// sources, and emits a wrappers.cpp to compile once and link thereafter
+// (the workflow of Figure 6).
+//
+// Usage:
+//
+//	yalla -header Kokkos_Core.hpp [-I dir]... [-D NAME[=VAL]]...
+//	      [-o outdir] source.cpp [more sources...]
+//
+// Sources and include directories are read from disk; generated files are
+// written under -o (default yalla_out).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/vfs"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	var (
+		includes multiFlag
+		defines  multiFlag
+		headers  multiFlag
+		outDir   = flag.String("o", "yalla_out", "output directory for generated files")
+		verbose  = flag.Bool("v", false, "print the substitution report")
+	)
+	var preDeclare multiFlag
+	flag.Var(&includes, "I", "include search directory (repeatable)")
+	flag.Var(&defines, "D", "predefined macro NAME[=VALUE] (repeatable)")
+	flag.Var(&headers, "header", "header to substitute, as spelled in the #include (repeatable; at least one required)")
+	flag.Var(&preDeclare, "predeclare", "qualified symbol to pre-declare even if unused, e.g. Kokkos::fence (repeatable; avoids reruns when usage grows)")
+	flag.Parse()
+
+	if len(headers) == 0 || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: yalla -header <name.hpp> [-header more.hpp]... [-I dir]... [-D NAME[=V]]... [-o outdir] sources...")
+		os.Exit(2)
+	}
+	header := &headers[0]
+	extraHeaders := []string(headers[1:])
+
+	fs := vfs.New()
+	var sources []string
+	for _, src := range flag.Args() {
+		if err := loadFile(fs, src); err != nil {
+			fail("%v", err)
+		}
+		sources = append(sources, src)
+	}
+	searchPaths := append([]string{"."}, includes...)
+	for _, dir := range includes {
+		if err := loadTree(fs, dir); err != nil {
+			fail("%v", err)
+		}
+	}
+	defs := map[string]string{}
+	for _, d := range defines {
+		name, val, _ := strings.Cut(d, "=")
+		defs[name] = val
+	}
+
+	res, err := core.Substitute(core.Options{
+		FS:           fs,
+		SearchPaths:  searchPaths,
+		Sources:      sources,
+		Header:       *header,
+		ExtraHeaders: extraHeaders,
+		OutDir:       *outDir,
+		Defines:      defs,
+		PreDeclare:   preDeclare,
+	})
+	if err != nil {
+		fail("yalla: %v", err)
+	}
+
+	// Write the generated files back to disk.
+	emit := func(p string) {
+		content, err := fs.Read(p)
+		if err != nil {
+			fail("yalla: %v", err)
+		}
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			fail("yalla: %v", err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			fail("yalla: %v", err)
+		}
+		fmt.Println("wrote", p)
+	}
+	emit(res.LightweightPath)
+	emit(res.WrappersPath)
+	for _, out := range sortedValues(res.ModifiedSources) {
+		emit(out)
+	}
+
+	if *verbose {
+		r := res.Report
+		fmt.Printf("substituted %s (%d files owned by the header)\n", res.HeaderFile, len(res.HeaderOwned))
+		fmt.Printf("  forward-declared classes: %d\n", r.ForwardDeclaredClasses)
+		fmt.Printf("  function wrappers:        %d\n", r.FunctionWrappers)
+		fmt.Printf("  method wrappers:          %d\n", r.MethodWrappers)
+		fmt.Printf("  lambdas converted:        %d\n", r.LambdasConverted)
+		fmt.Printf("  pointerized usages:       %d\n", r.PointerizedUsages)
+		fmt.Printf("  call sites rewritten:     %d\n", r.CallSitesRewritten)
+		for _, d := range r.Diagnostics {
+			fmt.Printf("  note: %s\n", d)
+		}
+	}
+}
+
+func loadFile(fs *vfs.FS, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fs.Write(filepath.ToSlash(path), string(data))
+	return nil
+}
+
+func loadTree(fs *vfs.FS, dir string) error {
+	return filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		switch filepath.Ext(path) {
+		case ".h", ".hpp", ".hh", ".hxx", ".inl", "":
+			return loadFile(fs, path)
+		}
+		return nil
+	})
+}
+
+func sortedValues(m map[string]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	// deterministic order
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

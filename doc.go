@@ -1,0 +1,7 @@
+// Package repro is a from-scratch Go reproduction of "Speeding up the
+// Local C++ Development Cycle with Header Substitution" (CGO 2025): the
+// YALLA tool (internal/core) on top of a complete C++ frontend substrate
+// (internal/cpp/...), plus the simulated compilation pipeline, corpora,
+// and experiment harness that regenerate the paper's evaluation. See
+// README.md for the guided tour and DESIGN.md for the system inventory.
+package repro

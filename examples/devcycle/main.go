@@ -1,0 +1,66 @@
+// Devcycle example: simulates a developer's edit–compile–run loop on the
+// 02 subject under the three configurations of the paper (§5.4). It
+// prints the one-time setup (Figure 10), then several cycle iterations
+// (Figure 8's measurement), showing where YALLA wins (compilation) and
+// what it costs (extra link, slower kernel).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/corpus"
+	"repro/internal/devcycle"
+)
+
+func main() {
+	s := corpus.ByName("02")
+	if s == nil {
+		log.Fatal("subject 02 missing")
+	}
+	fmt.Printf("subject %s (%s): %s substituted\n\n", s.Name, s.Library, s.Header)
+
+	type prepared struct {
+		mode devcycle.Mode
+		st   *devcycle.Setup
+	}
+	var setups []prepared
+	for _, mode := range []devcycle.Mode{devcycle.Default, devcycle.PCH, devcycle.Yalla} {
+		st, err := devcycle.Prepare(s, mode)
+		if err != nil {
+			log.Fatalf("%v: %v", mode, err)
+		}
+		setups = append(setups, prepared{mode, st})
+	}
+
+	fmt.Println("one-time setup (Figure 10):")
+	for _, p := range setups {
+		su := p.st.Setup
+		fmt.Printf("  %-8s tool %6.0f ms, wrappers %6.0f ms, pch build %6.0f ms, first compile %6.0f ms  => %6.0f ms\n",
+			p.mode, ms(su.Tool), ms(su.WrapperCompile), ms(su.PCHBuild), ms(su.FirstCompile), ms(su.Total()))
+	}
+
+	fmt.Println("\ndevelopment cycle, 3 iterations each (edit → compile → link → run):")
+	var baseline float64
+	for _, p := range setups {
+		var total float64
+		for i := 0; i < 3; i++ {
+			c, err := p.st.Cycle()
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += ms(c.Total())
+			if i == 0 {
+				fmt.Printf("  %-8s compile %7.1f ms + link %5.1f ms + run %6.1f ms = %7.1f ms/cycle\n",
+					p.mode, ms(c.Compile), ms(c.Link), ms(c.Run), ms(c.Total()))
+			}
+		}
+		if p.mode == devcycle.Default {
+			baseline = total
+		} else {
+			fmt.Printf("  %-8s speedup over Default: %.2fx\n", p.mode, baseline/total)
+		}
+	}
+}
+
+func ms(d interface{ Seconds() float64 }) float64 { return d.Seconds() * 1000 }

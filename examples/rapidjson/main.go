@@ -1,0 +1,57 @@
+// RapidJSON example: substitutes the jsonsim umbrella header out of the
+// `capitalize` subject, demonstrating Header Substitution on DOM-style
+// code: default-constructed library objects become pointer + constructor
+// wrapper, chained method calls (d.Root().MemberAt(i)) compose through
+// method wrappers, and non-library includes (<iostream>) are preserved.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/compilesim"
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func main() {
+	s := corpus.ByName("capitalize")
+	if s == nil {
+		log.Fatal("capitalize subject missing")
+	}
+	fs := s.FS.Clone()
+
+	before, err := compilesim.New(fs, s.SearchPaths...).Compile(s.MainFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := core.Substitute(core.Options{
+		FS:          fs,
+		SearchPaths: s.SearchPaths,
+		Sources:     s.Sources,
+		Header:      s.Header,
+		OutDir:      "out",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	src, _ := fs.Read(res.ModifiedSources[s.MainFile])
+	fmt.Printf("==== rewritten %s ====\n%s\n", s.MainFile, src)
+	lh, _ := fs.Read(res.LightweightPath)
+	fmt.Printf("==== %s ====\n%s\n", res.LightweightPath, lh)
+
+	paths := append([]string{"out"}, s.SearchPaths...)
+	after, err := compilesim.New(fs, paths...).Compile(res.ModifiedSources[s.MainFile])
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("compilation before: %6.0f ms  (%6d LOC, %3d headers)\n",
+		before.Phases.Total().Seconds()*1000, before.Stats.LOC, before.Stats.Headers)
+	fmt.Printf("compilation after:  %6.0f ms  (%6d LOC, %3d headers)  speedup %.1fx\n",
+		after.Phases.Total().Seconds()*1000, after.Stats.LOC, after.Stats.Headers,
+		float64(before.Phases.Total())/float64(after.Phases.Total()))
+	fmt.Printf("note: <iostream> and <cstring> remain — only %s was substituted\n", s.Header)
+}

@@ -1,0 +1,178 @@
+package astmatch
+
+import (
+	"testing"
+
+	"repro/internal/cpp/ast"
+	"repro/internal/cpp/lexer"
+	"repro/internal/cpp/parser"
+)
+
+func parse(t *testing.T, file, src string) *ast.TranslationUnit {
+	t.Helper()
+	toks, err := lexer.Tokenize(file, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := parser.New(toks).Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tu
+}
+
+const sample = `
+namespace Kokkos {
+  template<class T, class L> class View { public: T& operator()(int, int); };
+  template<class P, class F> void parallel_for(P p, F f);
+}
+struct add_y {
+  int y;
+  Kokkos::View<int**, LayoutRight> x;
+  void operator()(int &m);
+};
+void add_y::operator()(int &m) {
+  int j = m;
+  Kokkos::parallel_for(Kokkos::TeamThreadRange(m, 5), [&](int i) { x(j, i) += y; });
+}`
+
+func TestCXXRecordDeclHasName(t *testing.T) {
+	tu := parse(t, "s.cpp", sample)
+	ms := Find(tu, CXXRecordDecl(HasName("add_y")))
+	if len(ms) != 1 {
+		t.Fatalf("matches = %d", len(ms))
+	}
+	if ms[0].Node.(*ast.ClassDecl).Name != "add_y" {
+		t.Fatal("wrong node")
+	}
+}
+
+func TestIsDefinitionAndTemplate(t *testing.T) {
+	tu := parse(t, "s.cpp", sample)
+	defs := Find(tu, CXXRecordDecl(IsDefinition()))
+	if len(defs) != 2 { // View and add_y
+		t.Fatalf("defs = %d", len(defs))
+	}
+	tmpls := Find(tu, CXXRecordDecl(IsTemplate()))
+	if len(tmpls) != 1 || tmpls[0].Node.(*ast.ClassDecl).Name != "View" {
+		t.Fatalf("templates = %d", len(tmpls))
+	}
+}
+
+func TestCallExprCallee(t *testing.T) {
+	tu := parse(t, "s.cpp", sample)
+	ms := Find(tu, CallExpr(Callee(DeclRefExpr(HasName("Kokkos::parallel_for")))))
+	if len(ms) != 1 {
+		t.Fatalf("parallel_for calls = %d", len(ms))
+	}
+}
+
+func TestHasAnyArgumentLambda(t *testing.T) {
+	tu := parse(t, "s.cpp", sample)
+	ms := Find(tu, CallExpr(HasAnyArgument(LambdaExpr())))
+	if len(ms) != 1 {
+		t.Fatalf("calls with lambda arg = %d", len(ms))
+	}
+}
+
+func TestBind(t *testing.T) {
+	tu := parse(t, "s.cpp", sample)
+	ms := Find(tu, CallExpr(HasAnyArgument(Bind("lam", LambdaExpr()))))
+	if len(ms) != 1 {
+		t.Fatal("no match")
+	}
+	if _, ok := ms[0].Bindings["lam"].(*ast.LambdaExpr); !ok {
+		t.Fatalf("binding = %T", ms[0].Bindings["lam"])
+	}
+}
+
+func TestHasDescendant(t *testing.T) {
+	tu := parse(t, "s.cpp", sample)
+	// Functions containing a lambda somewhere.
+	ms := Find(tu, FunctionDecl(HasDescendant(LambdaExpr())))
+	if len(ms) != 1 {
+		t.Fatalf("functions with lambdas = %d", len(ms))
+	}
+	f := ms[0].Node.(*ast.FunctionDecl)
+	if f.QualifierName.String() != "add_y" {
+		t.Fatalf("wrong function: %s", f.Name)
+	}
+}
+
+func TestAnyOfNotAllOf(t *testing.T) {
+	tu := parse(t, "s.cpp", sample)
+	ms := Find(tu, CXXRecordDecl(AnyOf(HasName("View"), HasName("add_y"))))
+	if len(ms) != 2 {
+		t.Fatalf("AnyOf = %d", len(ms))
+	}
+	ms = Find(tu, CXXRecordDecl(AllOf(HasName("View"), IsTemplate())))
+	if len(ms) != 1 {
+		t.Fatalf("AllOf = %d", len(ms))
+	}
+	ms = Find(tu, CXXRecordDecl(Not(HasName("View"))))
+	if len(ms) != 1 || ms[0].Node.(*ast.ClassDecl).Name != "add_y" {
+		t.Fatalf("Not = %d", len(ms))
+	}
+}
+
+func TestIsExpansionInFile(t *testing.T) {
+	header := parse(t, "lib.hpp", "namespace K { class A {}; }")
+	source := parse(t, "main.cpp", "K::A a;")
+	all := &ast.TranslationUnit{Decls: append(header.Decls, source.Decls...)}
+	ms := Find(all, CXXRecordDecl(IsExpansionInFile("lib.hpp")))
+	if len(ms) != 1 {
+		t.Fatalf("in lib.hpp = %d", len(ms))
+	}
+	ms = Find(all, VarDecl(IsExpansionInFile("main.cpp")))
+	if len(ms) != 1 {
+		t.Fatalf("vars in main.cpp = %d", len(ms))
+	}
+}
+
+func TestMemberExprOnBase(t *testing.T) {
+	tu := parse(t, "s.cpp", "void f(W& w) { int r = w.rank(); }")
+	ms := Find(tu, MemberExpr(HasName("rank"), OnBase(DeclRefExpr(HasName("w")))))
+	if len(ms) != 1 {
+		t.Fatalf("member exprs = %d", len(ms))
+	}
+}
+
+func TestFieldAndAliasAndEnum(t *testing.T) {
+	tu := parse(t, "s.cpp", `
+using sp_t = Kokkos::OpenMP;
+enum class E { A };
+struct S { int field1; double field2; };`)
+	if ms := Find(tu, TypeAliasDecl(HasName("sp_t"))); len(ms) != 1 {
+		t.Fatalf("aliases = %d", len(ms))
+	}
+	if ms := Find(tu, EnumDecl(HasName("E"))); len(ms) != 1 {
+		t.Fatalf("enums = %d", len(ms))
+	}
+	if ms := Find(tu, FieldDecl()); len(ms) != 2 {
+		t.Fatalf("fields = %d", len(ms))
+	}
+	if ms := Find(tu, FieldDecl(HasType(func(ty *ast.Type) bool { return ty.String() == "double" }))); len(ms) != 1 {
+		t.Fatalf("double fields = %d", len(ms))
+	}
+}
+
+func TestCXXMethodDecl(t *testing.T) {
+	tu := parse(t, "s.cpp", sample)
+	ms := Find(tu, CXXMethodDecl(HasName("operator()")))
+	// in-class declaration in View, in add_y, and out-of-line definition
+	if len(ms) != 3 {
+		t.Fatalf("methods = %d", len(ms))
+	}
+}
+
+func TestHasArgumentIndex(t *testing.T) {
+	tu := parse(t, "s.cpp", "void f() { g(1, h(2)); }")
+	ms := Find(tu, CallExpr(Callee(DeclRefExpr(HasName("g"))), HasArgument(1, CallExpr())))
+	if len(ms) != 1 {
+		t.Fatalf("matches = %d", len(ms))
+	}
+	ms = Find(tu, CallExpr(HasArgument(5, CallExpr())))
+	if len(ms) != 0 {
+		t.Fatalf("out-of-range arg matched: %d", len(ms))
+	}
+}

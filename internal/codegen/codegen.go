@@ -1,0 +1,237 @@
+// Package codegen implements a miniature kernel IR and pseudo-x86 code
+// generator used to reproduce Figure 9: the same kernel compiled in the
+// Default configuration (operator() defined in the same translation unit,
+// so calls inline into direct memory accesses) versus the YALLA
+// configuration (method wrappers defined in wrappers.cpp, a different
+// translation unit, so `callq paren_operator` remains). An LTO mode
+// inlines across translation units, reproducing the paper's §5.4
+// observation that LTO recovers the lost inlining.
+package codegen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind is an IR operation.
+type OpKind int
+
+// IR operations.
+const (
+	OpLoad  OpKind = iota // Dst ← memory[A]
+	OpStore               // memory[Dst] ← A
+	OpAdd                 // Dst ← A + B
+	OpMul                 // Dst ← A * B
+	OpMov                 // Dst ← A
+	OpCall                // Dst ← Callee(Args...)
+	OpLoop                // repeat Body Count times
+	OpRet                 // return A
+)
+
+// Instr is one IR instruction. Loop instructions carry a nested body.
+type Instr struct {
+	Op     OpKind
+	Dst    string
+	A, B   string
+	Callee string
+	Args   []string
+	Count  string  // loop trip-count symbol
+	Trips  int     // concrete trip count for emission/execution
+	Body   []Instr // loop body
+}
+
+// Function is an IR function, tagged with its translation unit — the
+// fact the inliner keys on.
+type Function struct {
+	Name   string
+	TU     string
+	Params []string
+	Body   []Instr
+}
+
+// Program is a set of functions.
+type Program struct {
+	Funcs map[string]*Function
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program { return &Program{Funcs: map[string]*Function{}} }
+
+// Add registers a function.
+func (p *Program) Add(f *Function) { p.Funcs[f.Name] = f }
+
+// Options controls emission.
+type Options struct {
+	// LTO inlines across translation units during "linking" (§5.4).
+	LTO bool
+	// MaxInlineInstrs bounds the size of inlined callees.
+	MaxInlineInstrs int
+}
+
+// DefaultOptions mirrors -O3 without LTO.
+func DefaultOptions() Options { return Options{MaxInlineInstrs: 64} }
+
+// Emit generates pseudo-x86 for entry, inlining calls whose definition is
+// visible (same TU, or any TU under LTO).
+func (p *Program) Emit(entry string, opts Options) ([]string, error) {
+	f := p.Funcs[entry]
+	if f == nil {
+		return nil, fmt.Errorf("codegen: no function %q", entry)
+	}
+	if opts.MaxInlineInstrs == 0 {
+		opts.MaxInlineInstrs = 64
+	}
+	e := &emitter{prog: p, opts: opts}
+	e.emitf("%s:", f.Name)
+	if err := e.emitBody(f, f.Body, 0); err != nil {
+		return nil, err
+	}
+	e.emitf("  retq")
+	return e.lines, nil
+}
+
+type emitter struct {
+	prog  *Program
+	opts  Options
+	lines []string
+	reg   int
+	label int
+}
+
+func (e *emitter) emitf(format string, args ...any) {
+	e.lines = append(e.lines, fmt.Sprintf(format, args...))
+}
+
+func (e *emitter) nextReg() string {
+	r := fmt.Sprintf("%%r%d", e.reg%12)
+	e.reg++
+	return r
+}
+
+const maxInlineDepth = 16
+
+func (e *emitter) emitBody(caller *Function, body []Instr, depth int) error {
+	if depth > maxInlineDepth {
+		return fmt.Errorf("codegen: inline depth exceeded in %s", caller.Name)
+	}
+	for _, in := range body {
+		switch in.Op {
+		case OpLoad:
+			e.emitf("  mov %s, %s", memRef(in.A), e.nextReg())
+		case OpStore:
+			e.emitf("  mov %s, %s", e.lastReg(), memRef(in.Dst))
+		case OpAdd:
+			e.emitf("  add %s, %s", operand(in.A), operand(in.B))
+		case OpMul:
+			e.emitf("  mul %s, %s", operand(in.A), operand(in.B))
+		case OpMov:
+			e.emitf("  mov %s, %s", operand(in.A), operand(in.Dst))
+		case OpRet:
+			// handled by the caller's ret
+		case OpLoop:
+			l := e.label
+			e.label++
+			e.emitf(".L%d:  # loop %s (%d trips)", l, in.Count, in.Trips)
+			if err := e.emitBody(caller, in.Body, depth); err != nil {
+				return err
+			}
+			e.emitf("  cmp %s, %s", operand(in.Count), e.lastReg())
+			e.emitf("  jl .L%d", l)
+		case OpCall:
+			callee := e.prog.Funcs[in.Callee]
+			if callee != nil && e.inlinable(caller, callee) {
+				// Inline: splice the callee body (the Default build's
+				// behaviour for same-TU definitions).
+				if err := e.emitBody(callee, callee.Body, depth+1); err != nil {
+					return err
+				}
+				continue
+			}
+			// Out-of-TU call survives to the final code — Figure 9c.
+			for i, a := range in.Args {
+				e.emitf("  mov %s, %s", operand(a), argReg(i))
+			}
+			e.emitf("  callq %s", mangled(in.Callee))
+		}
+	}
+	return nil
+}
+
+// inlinable applies the TU-visibility rule: a definition is only
+// available for inlining when it lives in the caller's translation unit,
+// unless LTO is on.
+func (e *emitter) inlinable(caller, callee *Function) bool {
+	if len(flatten(callee.Body)) > e.opts.MaxInlineInstrs {
+		return false
+	}
+	return e.opts.LTO || callee.TU == caller.TU
+}
+
+func (e *emitter) lastReg() string {
+	if e.reg == 0 {
+		return "%r0"
+	}
+	return fmt.Sprintf("%%r%d", (e.reg-1)%12)
+}
+
+func flatten(body []Instr) []Instr {
+	var out []Instr
+	for _, in := range body {
+		out = append(out, in)
+		if in.Op == OpLoop {
+			out = append(out, flatten(in.Body)...)
+		}
+	}
+	return out
+}
+
+func memRef(sym string) string {
+	return fmt.Sprintf("%s(%%rbx,%%rsi,8)", offsetOf(sym))
+}
+
+func offsetOf(sym string) string {
+	h := 0
+	for _, c := range sym {
+		h = (h*31 + int(c)) % 96
+	}
+	return fmt.Sprintf("%d", h/8*8)
+}
+
+func operand(s string) string {
+	if s == "" {
+		return "%r0"
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		return "$" + s
+	}
+	if strings.HasPrefix(s, "%") {
+		return s
+	}
+	return "%" + s
+}
+
+func argReg(i int) string {
+	regs := []string{"%rdi", "%rsi", "%rdx", "%rcx", "%r8", "%r9"}
+	if i < len(regs) {
+		return regs[i]
+	}
+	return fmt.Sprintf("%d(%%rsp)", (i-len(regs))*8)
+}
+
+// mangled renders an Itanium-flavored symbol like the paper's
+// _Z14paren_operator.
+func mangled(name string) string {
+	return fmt.Sprintf("_Z%d%s", len(name), name)
+}
+
+// CountCalls returns the number of callq instructions in emitted lines —
+// the Figure 9 observable.
+func CountCalls(lines []string) int {
+	n := 0
+	for _, l := range lines {
+		if strings.Contains(l, "callq") {
+			n++
+		}
+	}
+	return n
+}

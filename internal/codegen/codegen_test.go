@@ -1,0 +1,124 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKernel02DefaultInlines(t *testing.T) {
+	p := Kernel02(false, 8)
+	lines, err := p.Emit("kernel02", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := CountCalls(lines); n != 0 {
+		t.Fatalf("default build has %d calls, want 0 (Fig. 9b is fully inlined):\n%s",
+			n, strings.Join(lines, "\n"))
+	}
+	// Inlined accesses appear as direct memory movs.
+	movs := 0
+	for _, l := range lines {
+		if strings.Contains(l, "mov") && strings.Contains(l, "(%rbx,%rsi,8)") {
+			movs++
+		}
+	}
+	if movs == 0 {
+		t.Fatalf("no direct memory accesses in default build:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestKernel02YallaKeepsCalls(t *testing.T) {
+	p := Kernel02(true, 8)
+	lines, err := p.Emit("kernel02", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := CountCalls(lines); n != 3 {
+		t.Fatalf("yalla build has %d callq, want 3 (A(j,i), x(i), y(j)):\n%s",
+			n, strings.Join(lines, "\n"))
+	}
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "callq _Z14paren_operator") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing mangled paren_operator call (Fig. 9c):\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestLTORecoversInlining(t *testing.T) {
+	p := Kernel02(true, 8)
+	opts := DefaultOptions()
+	opts.LTO = true
+	lines, err := p.Emit("kernel02", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := CountCalls(lines); n != 0 {
+		t.Fatalf("LTO build has %d calls, want 0 (§5.4: LTO inlines across TUs)", n)
+	}
+}
+
+func TestInlineSizeLimit(t *testing.T) {
+	p := NewProgram()
+	big := make([]Instr, 100)
+	for i := range big {
+		big[i] = Instr{Op: OpAdd, A: "a", B: "b"}
+	}
+	p.Add(&Function{Name: "huge", TU: "main.cpp", Body: big})
+	p.Add(&Function{Name: "main", TU: "main.cpp", Body: []Instr{
+		{Op: OpCall, Callee: "huge"},
+	}})
+	lines, err := p.Emit("main", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CountCalls(lines) != 1 {
+		t.Fatal("oversized callee should not inline")
+	}
+}
+
+func TestEmitUnknownEntry(t *testing.T) {
+	if _, err := NewProgram().Emit("nope", DefaultOptions()); err == nil {
+		t.Fatal("want error for unknown entry")
+	}
+}
+
+func TestRecursionGuard(t *testing.T) {
+	p := NewProgram()
+	p.Add(&Function{Name: "a", TU: "m", Body: []Instr{{Op: OpCall, Callee: "a"}}})
+	if _, err := p.Emit("a", DefaultOptions()); err == nil {
+		t.Fatal("want inline-depth error for self-recursive inlining")
+	}
+}
+
+func TestMangling(t *testing.T) {
+	if got := mangled("paren_operator"); got != "_Z14paren_operator" {
+		t.Fatalf("mangled = %q", got)
+	}
+}
+
+func TestLoopEmission(t *testing.T) {
+	p := NewProgram()
+	p.Add(&Function{Name: "l", TU: "m", Body: []Instr{
+		{Op: OpLoop, Count: "N", Trips: 4, Body: []Instr{{Op: OpAdd, A: "x", B: "y"}}},
+	}})
+	lines, err := p.Emit("l", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasLabel, hasJump := false, false
+	for _, l := range lines {
+		if strings.HasPrefix(l, ".L0:") {
+			hasLabel = true
+		}
+		if strings.Contains(l, "jl .L0") {
+			hasJump = true
+		}
+	}
+	if !hasLabel || !hasJump {
+		t.Fatalf("loop structure missing:\n%s", strings.Join(lines, "\n"))
+	}
+}

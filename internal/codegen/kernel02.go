@@ -1,0 +1,56 @@
+package codegen
+
+// Kernel02 builds the paper's Figure 9 subject — the 02 PyKokkos matrix
+// weighted inner product — in two configurations. In the Default build
+// the View operator() bodies live in the kernel's own translation unit
+// (the Kokkos header is textually included), so they inline away; in the
+// YALLA build the accesses go through paren_operator defined in
+// wrappers.cpp.
+//
+//	void operator()(int j, int &acc) const {
+//	  int temp = 0;
+//	  for (int i = 0; i < M; i++) { temp += A(j, i) * x(i); }
+//	  acc += y(j) * temp;
+//	}
+func Kernel02(yalla bool, m int) *Program {
+	p := NewProgram()
+
+	accessTU := "kernel.cpp" // Default: inlined from the included header
+	accessName := "View_paren"
+	if yalla {
+		accessTU = "wrappers.cpp" // YALLA: defined out of TU
+		accessName = "paren_operator"
+	}
+
+	// The element access: one address computation + load.
+	p.Add(&Function{
+		Name:   accessName,
+		TU:     accessTU,
+		Params: []string{"obj", "i", "j"},
+		Body: []Instr{
+			{Op: OpLoad, Dst: "t", A: "obj_data"},
+			{Op: OpRet, A: "t"},
+		},
+	})
+
+	loopBody := []Instr{
+		{Op: OpCall, Dst: "a", Callee: accessName, Args: []string{"A", "j", "i"}},
+		{Op: OpCall, Dst: "b", Callee: accessName, Args: []string{"x", "i"}},
+		{Op: OpMul, A: "a", B: "b"},
+		{Op: OpAdd, A: "temp", B: "a"},
+	}
+
+	p.Add(&Function{
+		Name:   "kernel02",
+		TU:     "kernel.cpp",
+		Params: []string{"j", "acc"},
+		Body: []Instr{
+			{Op: OpMov, Dst: "temp", A: "0"},
+			{Op: OpLoop, Count: "M", Trips: m, Body: loopBody},
+			{Op: OpCall, Dst: "c", Callee: accessName, Args: []string{"y", "j"}},
+			{Op: OpMul, A: "c", B: "temp"},
+			{Op: OpAdd, A: "acc", B: "c"},
+		},
+	})
+	return p
+}

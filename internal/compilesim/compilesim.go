@@ -1,0 +1,319 @@
+// Package compilesim simulates the C++ compilation pipeline the paper
+// instruments (§5.3, Fig. 7). It genuinely runs this repository's
+// preprocessor and parser over the subject tree — so lines-of-code,
+// header counts, token counts, declaration counts, and template-usage
+// counts are real — and charges calibrated per-unit costs to produce
+// deterministic frontend/backend phase times. The three configurations of
+// the paper map onto it directly:
+//
+//   - Default: every token of the translation unit is lexed/parsed/
+//     instantiated and the whole unit is optimized and code-generated.
+//   - PCH: tokens originating in files covered by a pre-compiled header
+//     are not re-lexed/re-parsed; instead a deserialization cost
+//     proportional to the PCH blob size is charged. Template
+//     instantiation and the backend are unchanged (Fig. 7a's finding).
+//   - YALLA: simply the Default pipeline over the transformed sources,
+//     which are orders of magnitude smaller.
+//
+// Times are virtual (model outputs), not wall-clock: the reproduction
+// targets the paper's speedup shape, not its absolute milliseconds.
+package compilesim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cpp/ast"
+	"repro/internal/cpp/parser"
+	"repro/internal/cpp/preprocessor"
+	"repro/internal/cpp/token"
+	"repro/internal/pch"
+	"repro/internal/vfs"
+)
+
+// CostModel holds the calibrated per-unit costs, in nanoseconds of
+// virtual time. DefaultCostModel is calibrated so the kokkossim `02`
+// subject compiles in ≈650 virtual ms in the Default configuration,
+// matching Table 2's first row.
+type CostModel struct {
+	StartupNs            float64 // per-invocation process startup
+	PreprocessNsPerToken float64 // directive handling, macro expansion
+	LexParseNsPerToken   float64 // lexing + parsing + AST construction
+	SemaNsPerDecl        float64 // scope/name analysis per declaration
+	InstantiateNsPerUse  float64 // per template usage in the unit
+	BackendNsPerUse      float64 // optimization + codegen per instantiation
+	BackendNsPerMainFunc float64 // per function body in the main file
+	PCHLoadNsPerByte     float64 // AST deserialization from the PCH blob
+	LinkBaseNs           float64
+	LinkPerObjectNs      float64
+	LinkPerFuncNs        float64
+	OptLevelFactor       [4]float64 // backend multiplier per -O level
+}
+
+// DefaultCostModel returns the calibrated model.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		StartupNs:            15e6, // compiler process startup
+		PreprocessNsPerToken: 90,
+		LexParseNsPerToken:   380,
+		SemaNsPerDecl:        2500,
+		InstantiateNsPerUse:  9000,
+		// Only instantiated templates and the user's own function bodies
+		// reach the optimizer/code generator; unused inline definitions in
+		// headers cost frontend time only.
+		BackendNsPerUse:      40000,
+		BackendNsPerMainFunc: 150000,
+		PCHLoadNsPerByte:     4.0,
+		LinkBaseNs:           8e6,
+		LinkPerObjectNs:      3e6,
+		LinkPerFuncNs:        300,
+		OptLevelFactor:       [4]float64{0.35, 0.6, 0.85, 1.0},
+	}
+}
+
+// GCCCostModel approximates g++ 9.4: a slower frontend (no
+// clang-style lexer fast paths) and a slightly costlier default backend,
+// matching the paper's summarized GCC results (§5.3: average speedups of
+// 31.4× for YALLA and 2.7× for PCH — YALLA gains more because the
+// eliminated frontend work is bigger).
+func GCCCostModel() CostModel {
+	m := DefaultCostModel()
+	m.StartupNs = 22e6
+	m.LexParseNsPerToken = 540
+	m.SemaNsPerDecl = 3100
+	m.BackendNsPerUse = 46000
+	m.PCHLoadNsPerByte = 5.5
+	return m
+}
+
+// Phases is the per-phase timing breakdown (Fig. 7's bars).
+type Phases struct {
+	Startup     time.Duration
+	Preprocess  time.Duration
+	LexParse    time.Duration
+	Sema        time.Duration
+	PCHLoad     time.Duration
+	Instantiate time.Duration
+	Backend     time.Duration
+}
+
+// Frontend is the total frontend time (clang's lexing, parsing, semantic
+// analysis, and template instantiation — plus PCH loading when used).
+func (p Phases) Frontend() time.Duration {
+	return p.Preprocess + p.LexParse + p.Sema + p.PCHLoad + p.Instantiate
+}
+
+// Total is startup plus frontend plus backend.
+func (p Phases) Total() time.Duration { return p.Startup + p.Frontend() + p.Backend }
+
+// Stats are the measured (not modeled) facts about the translation unit.
+type Stats struct {
+	LOC          int // non-blank lines compiled (Table 3 "LOCs")
+	Headers      int // files included directly+transitively (Table 3)
+	Tokens       int // total tokens in the translation unit
+	UserTokens   int // tokens not covered by the PCH
+	Decls        int
+	FuncDefs     int // function bodies in the unit
+	MainFuncDefs int // function bodies defined in the main file itself
+	BodyTokens   int // tokens inside those bodies (approximated via AST)
+	TemplateUses int // template usages requiring instantiation
+	MissingIncl  int
+	PCHBlobBytes int
+}
+
+// Object is the result of compiling one translation unit.
+type Object struct {
+	Name   string
+	Phases Phases
+	Stats  Stats
+	TU     *ast.TranslationUnit
+}
+
+// Compiler is a simulated C++ compiler instance.
+type Compiler struct {
+	FS          *vfs.FS
+	SearchPaths []string
+	Defines     map[string]string
+	Model       CostModel
+	// PCH, when set, is consulted for file coverage (the -include-pch
+	// flag).
+	PCH *pch.PCH
+	// OptLevel is 0–3; the paper's experiments use -O3.
+	OptLevel int
+}
+
+// New returns a compiler over fs with the default cost model and -O3.
+func New(fs *vfs.FS, searchPaths ...string) *Compiler {
+	return &Compiler{FS: fs, SearchPaths: searchPaths, Model: DefaultCostModel(), OptLevel: 3}
+}
+
+// Compile runs the simulated pipeline on main.
+func (c *Compiler) Compile(main string) (*Object, error) {
+	m := c.Model
+	obj := &Object{Name: main}
+
+	ppr := preprocessor.New(c.FS, c.SearchPaths...)
+	for k, v := range c.Defines {
+		ppr.Define(k, v)
+	}
+	res, err := ppr.Preprocess(main)
+	if err != nil {
+		return nil, fmt.Errorf("compilesim: %s: %v", main, err)
+	}
+	obj.Stats.LOC = res.LOC
+	obj.Stats.Headers = len(res.Includes)
+	obj.Stats.MissingIncl = len(res.MissingIncludes)
+	obj.Stats.Tokens = len(res.Tokens)
+
+	// Attribute tokens to PCH-covered files vs user files.
+	user := 0
+	for _, t := range res.Tokens {
+		if c.PCH == nil || !c.PCH.Covers(t.Pos.File) {
+			user++
+		}
+	}
+	obj.Stats.UserTokens = user
+	if c.PCH != nil {
+		obj.Stats.PCHBlobBytes = c.PCH.SizeBytes()
+	}
+
+	tu, err := parser.New(res.Tokens).Parse()
+	if err != nil {
+		return nil, fmt.Errorf("compilesim: %s: parse: %v", main, err)
+	}
+	obj.TU = tu
+	countUnit(tu, vfs.Clean(main), &obj.Stats)
+
+	// ----- cost assignment -----
+	obj.Phases.Startup = dur(m.StartupNs)
+	lexed := float64(obj.Stats.Tokens)
+	if c.PCH != nil {
+		lexed = float64(user)
+		obj.Phases.PCHLoad = dur(m.PCHLoadNsPerByte * float64(c.PCH.SizeBytes()))
+	}
+	obj.Phases.Preprocess = dur(m.PreprocessNsPerToken * lexed)
+	obj.Phases.LexParse = dur(m.LexParseNsPerToken * lexed)
+	obj.Phases.Sema = dur(m.SemaNsPerDecl * float64(obj.Stats.Decls) * semaShare(c.PCH != nil))
+	// "the frontend must still perform the required template
+	// instantiations ... as it cannot be done without looking at the
+	// template usages" — charged fully in both Default and PCH modes.
+	obj.Phases.Instantiate = dur(m.InstantiateNsPerUse * float64(obj.Stats.TemplateUses))
+	opt := m.OptLevelFactor[clampOpt(c.OptLevel)]
+	obj.Phases.Backend = dur(opt * (m.BackendNsPerUse*float64(obj.Stats.TemplateUses) +
+		m.BackendNsPerMainFunc*float64(obj.Stats.MainFuncDefs)))
+	return obj, nil
+}
+
+// semaShare discounts semantic analysis when declarations arrive
+// pre-checked from a PCH.
+func semaShare(usingPCH bool) float64 {
+	if usingPCH {
+		return 0.15
+	}
+	return 1.0
+}
+
+func clampOpt(o int) int {
+	if o < 0 {
+		return 0
+	}
+	if o > 3 {
+		return 3
+	}
+	return o
+}
+
+func dur(ns float64) time.Duration { return time.Duration(ns) }
+
+// Link models the linking step (Fig. 6 step ⑤). YALLA pays for one extra
+// object (wrappers.o), which the paper notes as one reason the dev-cycle
+// gap narrows (§5.4).
+func (c *Compiler) Link(objects ...*Object) time.Duration {
+	m := c.Model
+	funcs := 0
+	for _, o := range objects {
+		funcs += o.Stats.FuncDefs
+	}
+	return dur(m.LinkBaseNs + m.LinkPerObjectNs*float64(len(objects)) + m.LinkPerFuncNs*float64(funcs))
+}
+
+// LTONsPerUnit is the additional whole-program-optimization cost per
+// instantiation/function reaching an LTO link.
+const LTONsPerUnit = 25000
+
+// LinkLTO models the extra whole-program optimization pass of a
+// link-time-optimized build: every function and instantiation in every
+// object is re-optimized together, which is what made LTO "detrimental to
+// the development cycle" in the paper's experiment (§5.4).
+func (c *Compiler) LinkLTO(objects ...*Object) time.Duration {
+	units := 0
+	for _, o := range objects {
+		units += o.Stats.FuncDefs + o.Stats.TemplateUses
+	}
+	return dur(LTONsPerUnit * float64(units))
+}
+
+// countUnit fills declaration/template statistics from the parsed unit.
+func countUnit(tu *ast.TranslationUnit, mainFile string, st *Stats) {
+	ast.Inspect(tu, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.ClassDecl, *ast.AliasDecl, *ast.EnumDecl, *ast.VarDecl, *ast.FieldDecl, *ast.UsingDecl:
+			st.Decls++
+		case *ast.FunctionDecl:
+			st.Decls++
+			if x.Body != nil {
+				st.FuncDefs++
+				st.BodyTokens += bodyTokenEstimate(x.Body)
+				if x.Pos().File == mainFile {
+					st.MainFuncDefs++
+				}
+			}
+		case *ast.ExplicitInstantiation:
+			st.Decls++
+			st.TemplateUses++
+		case *ast.DeclRefExpr:
+			if hasTemplateArgs(x.Name) {
+				st.TemplateUses++
+			}
+		case *ast.LambdaExpr:
+			st.TemplateUses++ // unique closure type instantiation
+		}
+		if t, ok := typeOfNode(n); ok && t != nil && hasTemplateArgs(t.Name) {
+			st.TemplateUses++
+		}
+		return
+	})
+}
+
+// typeOfNode extracts the declared type for declarator nodes.
+func typeOfNode(n ast.Node) (*ast.Type, bool) {
+	switch x := n.(type) {
+	case *ast.FieldDecl:
+		return x.Type, true
+	case *ast.VarDecl:
+		return x.Type, true
+	case *ast.AliasDecl:
+		return x.Target, true
+	}
+	return nil, false
+}
+
+func hasTemplateArgs(q ast.QualifiedName) bool {
+	for _, s := range q.Segments {
+		if len(s.Args) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyTokenEstimate approximates the token count of a function body from
+// its AST node count (the parser does not retain raw body tokens).
+func bodyTokenEstimate(body *ast.CompoundStmt) int {
+	n := 0
+	ast.Inspect(body, func(ast.Node) { n++ })
+	return n * 4
+}
+
+// Token re-exported check helper (kept for tests).
+var _ = token.EOF

@@ -1,0 +1,176 @@
+package compilesim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pch"
+	"repro/internal/vfs"
+)
+
+func smallTree() *vfs.FS {
+	fs := vfs.New()
+	fs.Write("lib/big.hpp", strings.Repeat(`
+template <class T> struct Box { T v; T get() const { return v; } };
+inline int helper(int x) { Box<int> b{x}; return b.get(); }
+`, 200))
+	fs.Write("main.cpp", `#include <big.hpp>
+int main() {
+  int x = helper(1);
+  return x;
+}
+`)
+	return fs
+}
+
+func TestCompileProducesStats(t *testing.T) {
+	fs := smallTree()
+	obj, err := New(fs, "lib").Compile("main.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Stats.LOC < 400 || obj.Stats.Headers != 1 || obj.Stats.Tokens == 0 {
+		t.Fatalf("stats = %+v", obj.Stats)
+	}
+	if obj.Stats.MainFuncDefs != 1 {
+		t.Fatalf("MainFuncDefs = %d", obj.Stats.MainFuncDefs)
+	}
+	if obj.Stats.TemplateUses < 200 {
+		t.Fatalf("TemplateUses = %d", obj.Stats.TemplateUses)
+	}
+	if obj.Phases.Total() <= 0 {
+		t.Fatal("no time charged")
+	}
+}
+
+func TestPhasesSumToTotal(t *testing.T) {
+	fs := smallTree()
+	obj, err := New(fs, "lib").Compile("main.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := obj.Phases
+	sum := p.Startup + p.Preprocess + p.LexParse + p.Sema + p.PCHLoad + p.Instantiate + p.Backend
+	if sum != p.Total() {
+		t.Fatalf("sum %v != total %v", sum, p.Total())
+	}
+}
+
+func TestPCHReducesFrontendNotBackend(t *testing.T) {
+	fs := smallTree()
+	def, err := New(fs, "lib").Compile("main.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pch.Build(fs, "lib/big.hpp", []string{"lib"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := New(fs, "lib")
+	cc.PCH = p
+	withPCH, err := cc.Compile("main.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withPCH.Phases.Backend != def.Phases.Backend {
+		t.Fatalf("backend changed under PCH: %v vs %v (Fig. 7a: identical)",
+			withPCH.Phases.Backend, def.Phases.Backend)
+	}
+	if withPCH.Phases.Instantiate != def.Phases.Instantiate {
+		t.Fatalf("instantiation changed under PCH: %v vs %v",
+			withPCH.Phases.Instantiate, def.Phases.Instantiate)
+	}
+	if withPCH.Phases.LexParse >= def.Phases.LexParse {
+		t.Fatalf("PCH did not cut parse time: %v vs %v",
+			withPCH.Phases.LexParse, def.Phases.LexParse)
+	}
+	if withPCH.Phases.PCHLoad <= 0 {
+		t.Fatal("PCH load not charged")
+	}
+	if withPCH.Stats.UserTokens >= withPCH.Stats.Tokens {
+		t.Fatal("token attribution failed")
+	}
+}
+
+func TestOptLevelScalesBackend(t *testing.T) {
+	fs := smallTree()
+	c0 := New(fs, "lib")
+	c0.OptLevel = 0
+	o0, err := c0.Compile("main.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3 := New(fs, "lib")
+	c3.OptLevel = 3
+	o3, err := c3.Compile("main.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o0.Phases.Backend >= o3.Phases.Backend {
+		t.Fatalf("-O0 backend %v >= -O3 %v", o0.Phases.Backend, o3.Phases.Backend)
+	}
+	if o0.Phases.LexParse != o3.Phases.LexParse {
+		t.Fatal("opt level must not change frontend")
+	}
+}
+
+func TestLinkCost(t *testing.T) {
+	fs := smallTree()
+	cc := New(fs, "lib")
+	a, err := cc.Compile("main.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := cc.Link(a)
+	two := cc.Link(a, a)
+	if two <= one {
+		t.Fatalf("linking two objects (%v) not costlier than one (%v)", two, one)
+	}
+}
+
+func TestMissingMainFile(t *testing.T) {
+	fs := vfs.New()
+	if _, err := New(fs).Compile("nope.cpp"); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestDeterministicTimes(t *testing.T) {
+	fs := smallTree()
+	a, err := New(fs, "lib").Compile("main.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(fs, "lib").Compile("main.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Phases.Total() != b.Phases.Total() {
+		t.Fatalf("non-deterministic: %v vs %v", a.Phases.Total(), b.Phases.Total())
+	}
+}
+
+func TestGCCModelSlowerFrontendSameShape(t *testing.T) {
+	fs := smallTree()
+	clang := New(fs, "lib")
+	obj1, err := clang.Compile("main.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcc := New(fs, "lib")
+	gcc.Model = GCCCostModel()
+	obj2, err := gcc.Compile("main.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj2.Phases.LexParse <= obj1.Phases.LexParse {
+		t.Fatalf("gcc lexparse %v <= clang %v", obj2.Phases.LexParse, obj1.Phases.LexParse)
+	}
+	if obj2.Phases.Total() <= obj1.Phases.Total() {
+		t.Fatalf("gcc total %v <= clang %v", obj2.Phases.Total(), obj1.Phases.Total())
+	}
+	// The statistics are compiler-independent facts.
+	if obj1.Stats != obj2.Stats {
+		t.Fatalf("stats differ: %+v vs %+v", obj1.Stats, obj2.Stats)
+	}
+}

@@ -1,0 +1,21 @@
+package core
+
+import "testing"
+
+// BenchmarkSubstitute measures the tool's real wall-clock execution on
+// the paper's running example (§5.5 discusses this startup cost).
+func BenchmarkSubstitute(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fs := pykokkosFS()
+		_, err := Substitute(Options{
+			FS:          fs,
+			SearchPaths: []string{"kokkos", "src"},
+			Sources:     []string{"src/kernel.cpp", "src/functor.hpp"},
+			Header:      "Kokkos_Core.hpp",
+			OutDir:      "out",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

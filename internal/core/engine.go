@@ -1,0 +1,269 @@
+// Package core implements Header Substitution, the paper's contribution:
+// given C++ source files and an expensive header they include, it
+// generates (1) a lightweight header containing forward declarations,
+// function/method wrappers, and functors replacing lambdas; (2) modified
+// sources that include the lightweight header instead and use the wrappers
+// (with incomplete-type usages turned into pointers); and (3) a wrappers
+// translation unit holding wrapper definitions plus explicit template
+// instantiations, which is compiled once and linked thereafter (Figure 6).
+//
+// The entry point Substitute follows the SubstituteHeader algorithm of
+// Figure 5: analyze → resolve aliases → forward declare → wrap → transform
+// lambdas → replace include → write wrapper file.
+package core
+
+import (
+	"fmt"
+	"path"
+	"strings"
+
+	"repro/internal/cpp/parser"
+	"repro/internal/cpp/preprocessor"
+	"repro/internal/cpp/sema"
+	"repro/internal/rewrite"
+	"repro/internal/vfs"
+)
+
+// Options configures one Header Substitution run.
+type Options struct {
+	// FS holds the project tree (sources + all headers).
+	FS *vfs.FS
+	// SearchPaths are the -I include directories.
+	SearchPaths []string
+	// Sources are the user files to transform. The first file that
+	// includes Header gets the include replacement; all of them get usage
+	// transformations.
+	Sources []string
+	// Header is the include target to substitute, as spelled in the
+	// #include directive (e.g. "Kokkos_Core.hpp").
+	Header string
+	// ExtraHeaders are additional expensive headers substituted in the
+	// same run — a step toward the paper's §6 goal of applying Header
+	// Substitution to entire projects. All substituted headers share one
+	// lightweight header and one wrappers TU.
+	ExtraHeaders []string
+	// OutDir receives the generated files. Default "yalla_out".
+	OutDir string
+	// LightweightName names the generated header. Default
+	// "lightweight_header.hpp".
+	LightweightName string
+	// WrappersName names the wrapper TU. Default "wrappers.cpp".
+	WrappersName string
+	// Defines are -D style predefined macros.
+	Defines map[string]string
+	// PreDeclare lists qualified names of classes and functions from the
+	// substituted header that should be forward declared (and wrapped if
+	// necessary) even when the sources do not use them yet. This is the
+	// paper's §6 extension: "allowing developers to specify all the
+	// classes and functions they need prior to running YALLA for the
+	// first time", so the tool need not be rerun when the used-symbol
+	// set grows.
+	PreDeclare []string
+}
+
+// Result reports what Substitute produced.
+type Result struct {
+	// LightweightPath/WrappersPath are the generated files' paths in FS.
+	LightweightPath string
+	WrappersPath    string
+	// ModifiedSources maps each original source path to its rewritten
+	// path in OutDir.
+	ModifiedSources map[string]string
+	// HeaderFile is the resolved path of the (primary) substituted
+	// header; HeaderFiles lists every substituted header's resolved path.
+	HeaderFile  string
+	HeaderFiles []string
+	// HeaderOwned lists every file the substituted header pulls in
+	// (including itself).
+	HeaderOwned []string
+	Report      Report
+}
+
+// Report carries the statistics the evaluation tables summarize.
+type Report struct {
+	ForwardDeclaredClasses int
+	FunctionWrappers       int
+	MethodWrappers         int
+	FieldWrappers          int
+	LambdasConverted       int
+	CallSitesRewritten     int
+	PointerizedUsages      int
+	EnumsRewritten         int
+	AliasesResolved        int
+	Diagnostics            []string
+}
+
+// Engine carries the state of one substitution run.
+type Engine struct {
+	opts   Options
+	fs     *vfs.FS
+	tables *sema.Table
+
+	headerFile  string
+	headerFiles []string
+	headerOwned map[string]bool
+	sourceSet   map[string]bool
+
+	an  *analysis
+	rep Report
+
+	// edits per original file; lambda-internal edits are partitioned out
+	// during emission.
+	rewrites *rewrite.Set
+}
+
+// Substitute runs Header Substitution; see the package comment.
+func Substitute(opts Options) (*Result, error) {
+	e, err := newEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.run()
+}
+
+func newEngine(opts Options) (*Engine, error) {
+	if opts.FS == nil {
+		return nil, fmt.Errorf("core: Options.FS is required")
+	}
+	if len(opts.Sources) == 0 {
+		return nil, fmt.Errorf("core: at least one source file is required")
+	}
+	if opts.Header == "" {
+		return nil, fmt.Errorf("core: Options.Header is required")
+	}
+	if opts.OutDir == "" {
+		opts.OutDir = "yalla_out"
+	}
+	if opts.LightweightName == "" {
+		opts.LightweightName = "lightweight_header.hpp"
+	}
+	if opts.WrappersName == "" {
+		opts.WrappersName = "wrappers.cpp"
+	}
+	return &Engine{
+		opts:        opts,
+		fs:          opts.FS,
+		headerOwned: map[string]bool{},
+		sourceSet:   map[string]bool{},
+		rewrites:    rewrite.NewSet(),
+	}, nil
+}
+
+func (e *Engine) run() (*Result, error) {
+	// Phase 0: preprocess + parse everything, build symbol tables.
+	if err := e.frontend(); err != nil {
+		return nil, err
+	}
+	// Phase 1 (Fig. 5 lines 2–10): analysis.
+	if err := e.analyze(); err != nil {
+		return nil, err
+	}
+	// Phase 2 (lines 11–14): forward declarations.
+	fwd, err := e.buildForwardDecls()
+	if err != nil {
+		return nil, err
+	}
+	// Lines 15–22: wrappers.
+	wrappers := e.buildWrappers()
+	// Lines 23–26: lambda conversion, include replacement, and usage
+	// transformations, collected as source edits.
+	edits, functors, err := e.transform(wrappers)
+	if err != nil {
+		return nil, err
+	}
+	// Line 27: emit everything.
+	return e.emit(fwd, wrappers, functors, edits)
+}
+
+// frontend preprocesses each source, parses the translation units, builds
+// the symbol table, and computes the header-owned file set.
+func (e *Engine) frontend() error {
+	for _, s := range e.opts.Sources {
+		e.sourceSet[vfs.Clean(s)] = true
+	}
+	e.tables = sema.NewTable()
+	e.an = newAnalysis()
+
+	for _, src := range e.opts.Sources {
+		pp := preprocessor.New(e.fs, e.opts.SearchPaths...)
+		for k, v := range e.opts.Defines {
+			pp.Define(k, v)
+		}
+		res, err := pp.Preprocess(src)
+		if err != nil {
+			return fmt.Errorf("core: preprocess %s: %v", src, err)
+		}
+		// Resolve every substituted header among this TU's includes and
+		// mark their transitive closures as header-owned.
+		for _, target := range e.headerTargets() {
+			if hf := e.findHeaderFile(res, target); hf != "" {
+				if e.headerFile == "" {
+					e.headerFile = hf
+				}
+				if !e.headerOwned[hf] {
+					e.headerFiles = append(e.headerFiles, hf)
+				}
+				e.markOwned(res.DirectDeps, hf)
+			}
+		}
+		p := parser.New(res.Tokens)
+		tu, err := p.Parse()
+		if err != nil {
+			return fmt.Errorf("core: parse %s: %v", src, err)
+		}
+		e.tables.AddUnit(tu)
+		e.an.units[vfs.Clean(src)] = tu
+	}
+	if e.headerFile == "" {
+		return fmt.Errorf("core: header %q is not included by any source", e.opts.Header)
+	}
+	return nil
+}
+
+// headerTargets lists every include target being substituted.
+func (e *Engine) headerTargets() []string {
+	return append([]string{e.opts.Header}, e.opts.ExtraHeaders...)
+}
+
+// findHeaderFile locates the resolved path of an include target among the
+// TU's includes.
+func (e *Engine) findHeaderFile(res *preprocessor.Result, target string) string {
+	suffix := "/" + path.Base(target)
+	for _, inc := range res.Includes {
+		if inc == vfs.Clean(target) || strings.HasSuffix("/"+inc, suffix) {
+			return inc
+		}
+	}
+	return ""
+}
+
+// markOwned adds hf and everything reachable from it to headerOwned.
+func (e *Engine) markOwned(deps map[string][]string, hf string) {
+	if e.headerOwned[hf] {
+		return
+	}
+	e.headerOwned[hf] = true
+	for _, d := range deps[hf] {
+		e.markOwned(deps, d)
+	}
+}
+
+// inHeader reports whether a file is owned by the substituted header.
+func (e *Engine) inHeader(file string) bool { return e.headerOwned[file] }
+
+// inSources reports whether a file is one of the user sources.
+func (e *Engine) inSources(file string) bool { return e.sourceSet[file] }
+
+// diag records a diagnostic in the report.
+func (e *Engine) diag(format string, args ...any) {
+	e.rep.Diagnostics = append(e.rep.Diagnostics, fmt.Sprintf(format, args...))
+}
+
+// srcText returns the trimmed original source for a node range.
+func (e *Engine) srcText(file string, startOff, endOff int) string {
+	src, err := e.fs.Read(file)
+	if err != nil || startOff < 0 || endOff > len(src) || startOff > endOff {
+		return ""
+	}
+	return strings.TrimSpace(src[startOff:endOff])
+}

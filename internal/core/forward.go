@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cpp/ast"
+	"repro/internal/cpp/sema"
+)
+
+// ForwardDecl is one class to forward declare in the lightweight header.
+type ForwardDecl struct {
+	Namespace []string // enclosing namespaces, outermost first
+	Keyword   string   // class or struct
+	Name      string
+	// TemplateHeader is the `template <...>` prefix, empty for plain
+	// classes.
+	TemplateHeader string
+}
+
+// buildForwardDecls implements Fig. 5 lines 11–14: for every used class,
+// check forward-declarability (nested classes are unsupported unless an
+// alias rerouted resolution to a non-nested class, §3.2.1) and produce the
+// declaration.
+func (e *Engine) buildForwardDecls() ([]ForwardDecl, error) {
+	var out []ForwardDecl
+	for _, cu := range e.an.sortedClasses() {
+		fd, err := e.makeClassForwardDeclarable(cu)
+		if err != nil {
+			e.diag("%v", err)
+			continue
+		}
+		out = append(out, fd)
+		e.rep.ForwardDeclaredClasses++
+	}
+	return out, nil
+}
+
+// makeClassForwardDeclarable validates and constructs the forward
+// declaration for one class use.
+func (e *Engine) makeClassForwardDeclarable(cu *ClassUse) (ForwardDecl, error) {
+	sym := cu.Sym
+	if sym.IsNested() {
+		return ForwardDecl{}, fmt.Errorf(
+			"class %s is nested inside %s and cannot be forward declared (unsupported, see paper §3.2.1)",
+			sym.Qualified(), sym.Parent.Qualified())
+	}
+	var nss []string
+	for p := sym.Parent; p != nil && p.Name != ""; p = p.Parent {
+		if p.Kind != sema.NamespaceSym {
+			return ForwardDecl{}, fmt.Errorf(
+				"class %s has non-namespace parent %s", sym.Qualified(), p.Qualified())
+		}
+		nss = append([]string{p.Name}, nss...)
+	}
+	fd := ForwardDecl{Namespace: nss, Keyword: "class", Name: sym.Name}
+	cd := sym.Class()
+	if cd != nil {
+		if cd.Keyword != "" {
+			fd.Keyword = cd.Keyword
+		}
+		if cd.IsTemplate() {
+			fd.TemplateHeader = templateHeader(cd.TemplateParams, true)
+		}
+	}
+	return fd, nil
+}
+
+// templateHeader renders `template <class T, int N = 2>`; withDefaults
+// controls whether default arguments are kept (they must appear in the
+// forward declaration since the real header is no longer included).
+func templateHeader(params []ast.TemplateParam, withDefaults bool) string {
+	var parts []string
+	for _, p := range params {
+		s := p.Kind
+		if p.Pack {
+			s += "..."
+		}
+		if p.Name != "" {
+			s += " " + p.Name
+		}
+		if withDefaults && p.Default_ != "" {
+			s += " = " + p.Default_
+		}
+		parts = append(parts, s)
+	}
+	return "template <" + strings.Join(parts, ", ") + ">"
+}
+
+// renderForwardDecls groups declarations by namespace and renders them.
+func renderForwardDecls(decls []ForwardDecl) string {
+	var b strings.Builder
+	b.WriteString("// Forward declarations of used classes.\n")
+	// Group by namespace path while preserving order.
+	type group struct {
+		ns    string
+		decls []ForwardDecl
+	}
+	var groups []group
+	idx := map[string]int{}
+	for _, d := range decls {
+		key := strings.Join(d.Namespace, "::")
+		i, ok := idx[key]
+		if !ok {
+			i = len(groups)
+			idx[key] = i
+			groups = append(groups, group{ns: key})
+		}
+		groups[i].decls = append(groups[i].decls, d)
+	}
+	for _, g := range groups {
+		indent := ""
+		if g.ns != "" {
+			for _, ns := range strings.Split(g.ns, "::") {
+				b.WriteString(indent + "namespace " + ns + " {\n")
+				indent += "  "
+			}
+		}
+		for _, d := range g.decls {
+			b.WriteString(indent)
+			if d.TemplateHeader != "" {
+				b.WriteString(d.TemplateHeader + " ")
+			}
+			b.WriteString(d.Keyword + " " + d.Name + ";\n")
+		}
+		if g.ns != "" {
+			parts := strings.Split(g.ns, "::")
+			for i := len(parts) - 1; i >= 0; i-- {
+				b.WriteString(strings.Repeat("  ", i) + "} // namespace " + parts[i] + "\n")
+			}
+		}
+	}
+	return b.String()
+}

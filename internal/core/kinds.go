@@ -1,0 +1,18 @@
+package core
+
+import "repro/internal/cpp/token"
+
+// Token-kind shorthands used by the analyzer's type inference.
+const (
+	starKind      = token.Star
+	ampKind       = token.Amp
+	intLitKind    = token.IntLit
+	floatLitKind  = token.FloatLit
+	charLitKind   = token.CharLit
+	stringLitKind = token.StringLit
+	incKind       = token.PlusPlus
+	decKind       = token.MinusMinus
+)
+
+// isAssignOp reports whether the operator mutates its left operand.
+func isAssignOp(k token.Kind) bool { return token.AssignmentOps[k] }

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"repro/internal/cpp/ast"
+	"repro/internal/cpp/sema"
+)
+
+// resolveTypeDeep rewrites a source-level type into its fully resolved
+// form: aliases are followed (including aliases nested in class templates,
+// with the enclosing class's template arguments substituted — the
+// member_t → TeamPolicy<sp_t>::member_type → HostThreadTeamMember<OpenMP>
+// chain of §3.2.1), names of header symbols are fully qualified, and
+// template arguments are resolved recursively. Types that do not resolve
+// are returned unchanged.
+func (e *Engine) resolveTypeDeep(ty *ast.Type, fromFile string) *ast.Type {
+	return e.resolveDeep(ty, nil, fromFile, map[string]*ast.Type{}, 0)
+}
+
+const maxResolveDepth = 32
+
+// resolveDeep is the worker; scope (optional) is the declaration context,
+// and subst maps template-parameter names to resolved types.
+func (e *Engine) resolveDeep(ty *ast.Type, scope *sema.Symbol, fromFile string, subst map[string]*ast.Type, depth int) *ast.Type {
+	if ty == nil || ty.Builtin || depth > maxResolveDepth {
+		return ty
+	}
+	// A bare name matching a substitution is replaced outright, merging
+	// declarators.
+	if len(ty.Name.Segments) == 1 && len(ty.Name.Segments[0].Args) == 0 {
+		if rep, ok := subst[ty.Name.Segments[0].Name]; ok && rep != nil {
+			out := rep.Clone()
+			out.Pointer += ty.Pointer
+			out.LValueRef = out.LValueRef || ty.LValueRef
+			out.RValueRef = out.RValueRef || ty.RValueRef
+			out.Const = out.Const || ty.Const
+			return out
+		}
+	}
+
+	// Walk segments stepwise, tracking the current scope symbol and
+	// template-argument bindings.
+	cur := e.rootSymbolFor(ty.Name.Segments[0].Name, scope, fromFile)
+	if cur == nil {
+		// Unresolvable root (builtin-ish, template param, std::, ...):
+		// still resolve template args recursively for rendering.
+		return e.resolveArgsOnly(ty, scope, fromFile, subst, depth)
+	}
+
+	binds := map[string]*ast.Type{}
+	for k, v := range subst {
+		binds[k] = v
+	}
+	var sym *sema.Symbol
+	for i, seg := range ty.Name.Segments {
+		if i == 0 {
+			sym = cur
+		} else {
+			sym = cur.FirstChild(seg.Name)
+			if sym == nil {
+				return e.resolveArgsOnly(ty, scope, fromFile, subst, depth)
+			}
+		}
+		last := i == len(ty.Name.Segments)-1
+		switch sym.Kind {
+		case sema.AliasSym:
+			a := sym.Alias()
+			if a == nil || a.Target == nil {
+				return ty
+			}
+			resolved := e.resolveDeep(a.Target, sym.Parent, sym.DeclFile, binds, depth+1)
+			if last {
+				out := resolved.Clone()
+				out.Pointer += ty.Pointer
+				out.LValueRef = out.LValueRef || ty.LValueRef
+				out.RValueRef = out.RValueRef || ty.RValueRef
+				out.Const = out.Const || ty.Const
+				return out
+			}
+			// Continue descending inside the aliased class.
+			nextSym, nextBinds := e.symbolOfType(resolved, fromFile)
+			if nextSym == nil {
+				return ty
+			}
+			cur = nextSym
+			binds = nextBinds
+		case sema.ClassSym:
+			// Bind this segment's template arguments to the class's
+			// parameters for later alias resolution.
+			if cd := sym.Class(); cd != nil {
+				for j, tp := range cd.TemplateParams {
+					if j < len(seg.Args) && seg.Args[j].Type != nil {
+						binds[tp.Name] = e.resolveDeep(seg.Args[j].Type, scope, fromFile, subst, depth+1)
+					}
+				}
+			}
+			if last {
+				out := ty.Clone()
+				name := sema.ParseQualified(sym.Qualified())
+				if len(seg.Args) > 0 {
+					var args []ast.TemplateArg
+					for _, a := range seg.Args {
+						if a.Type != nil {
+							args = append(args, ast.TemplateArg{Type: e.resolveDeep(a.Type, scope, fromFile, subst, depth+1)})
+						} else {
+							args = append(args, a)
+						}
+					}
+					name.Segments[len(name.Segments)-1].Args = args
+				}
+				out.Name = name
+				return out
+			}
+			cur = sym
+		case sema.NamespaceSym:
+			cur = sym
+		case sema.EnumSym:
+			out := ty.Clone()
+			out.Name = sema.ParseQualified(sym.Qualified())
+			return out
+		default:
+			return ty
+		}
+	}
+	return ty
+}
+
+// resolveArgsOnly keeps the name but deeply resolves template arguments.
+func (e *Engine) resolveArgsOnly(ty *ast.Type, scope *sema.Symbol, fromFile string, subst map[string]*ast.Type, depth int) *ast.Type {
+	out := ty.Clone()
+	name := ty.Name
+	changed := false
+	segs := make([]ast.NameSegment, len(name.Segments))
+	copy(segs, name.Segments)
+	for si := range segs {
+		if len(segs[si].Args) == 0 {
+			continue
+		}
+		var args []ast.TemplateArg
+		for _, a := range segs[si].Args {
+			if a.Type != nil {
+				args = append(args, ast.TemplateArg{Type: e.resolveDeep(a.Type, scope, fromFile, subst, depth+1)})
+				changed = true
+			} else {
+				args = append(args, a)
+			}
+		}
+		segs[si].Args = args
+	}
+	if changed {
+		out.Name = ast.QualifiedName{Segments: segs}
+	}
+	return out
+}
+
+// rootSymbolFor finds the starting symbol for an unqualified first
+// segment: enclosing scopes, the global scope, using-directives, and
+// using-declarations of fromFile.
+func (e *Engine) rootSymbolFor(name string, scope *sema.Symbol, fromFile string) *sema.Symbol {
+	for s := scope; s != nil; s = s.Parent {
+		if c := s.FirstChild(name); c != nil {
+			return c
+		}
+	}
+	if c := e.tables.Global.FirstChild(name); c != nil {
+		return c
+	}
+	for _, ns := range e.tables.UsingNamespaces[fromFile] {
+		if nsSym := e.tables.Global.FirstChild(ns); nsSym != nil {
+			if c := nsSym.FirstChild(name); c != nil {
+				return c
+			}
+		}
+	}
+	if ud, ok := e.tables.UsingDecls[fromFile][name]; ok {
+		if r := e.tables.Lookup(ud, fromFile); r != nil {
+			return r.Symbol
+		}
+	}
+	return nil
+}
+
+// symbolOfType resolves a (already deep-resolved) type back to its class
+// symbol and the bindings of its template arguments.
+func (e *Engine) symbolOfType(ty *ast.Type, fromFile string) (*sema.Symbol, map[string]*ast.Type) {
+	if ty == nil {
+		return nil, nil
+	}
+	r := e.tables.Lookup(ty.Name, fromFile)
+	if r == nil || r.Symbol.Kind != sema.ClassSym {
+		return nil, nil
+	}
+	binds := map[string]*ast.Type{}
+	if cd := r.Symbol.Class(); cd != nil {
+		args := ty.Name.Last().Args
+		for j, tp := range cd.TemplateParams {
+			if j < len(args) && args[j].Type != nil {
+				binds[tp.Name] = args[j].Type
+			}
+		}
+	}
+	return r.Symbol, binds
+}
+
+// valueTypeText renders a deep-resolved type with reference declarators
+// stripped (template argument deduction binds the value type).
+func (e *Engine) valueTypeText(ty *ast.Type, fromFile string) string {
+	if ty == nil {
+		return ""
+	}
+	resolved := e.resolveTypeDeep(ty, fromFile).Clone()
+	resolved.LValueRef = false
+	resolved.RValueRef = false
+	resolved.Const = false
+	return e.typeText(resolved, nil, nil)
+}

@@ -1,0 +1,64 @@
+package core
+
+// Rule documents one row of the paper's Table 1 — the summary of Header
+// Substitution's code transformations — and where this implementation
+// applies it. Exposed so tools (and tests) can enumerate the rule set.
+type Rule struct {
+	// Symbol is the C++ symbol kind the rule applies to (Table 1 col 1).
+	Symbol string
+	// Transformation is the paper's description (Table 1 col 2).
+	Transformation string
+	// Where names the functions implementing the rule.
+	Where string
+}
+
+// Rules returns the Table 1 transformation rules in paper order.
+func Rules() []Rule {
+	return []Rule{
+		{
+			Symbol: "Class or struct",
+			Transformation: "Forward declare and replace usages with " +
+				"pointers.",
+			Where: "forward.go:makeClassForwardDeclarable, " +
+				"analyzer.go:recordTypeUse (pointer sites), " +
+				"transform.go (pointer-ification edits)",
+		},
+		{
+			Symbol:         "Type alias",
+			Transformation: "Resolve and forward declare.",
+			Where: "sema.Lookup alias chains, resolve.go:resolveTypeDeep, " +
+				"transform.go:aliasEdits",
+		},
+		{
+			Symbol: "Enum",
+			Transformation: "Replace usages with the datatype of the " +
+				"size of the enum.",
+			Where: "analyzer.go:recordTypeUse (EnumSym sites), " +
+				"recordEnumeratorRef, transform.go (enum edits)",
+		},
+		{
+			Symbol: "Function",
+			Transformation: "Forward declare if it does not use forward " +
+				"declared classes. Otherwise create a wrapper and " +
+				"replace usages with calls to the wrapper.",
+			Where: "wrappers.go:needsWrapper/createFunctionWrapper, " +
+				"emit.go:renderFunctionForwardDecl, " +
+				"transform.go:renameCalleeEdit",
+		},
+		{
+			Symbol: "Class method & field",
+			Transformation: "Create wrapper with class type as the first " +
+				"argument. Replace usages with call to wrapper, passing " +
+				"the object as the first argument.",
+			Where: "wrappers.go:createMethodWrapper, " +
+				"transform.go:methodCallEdits",
+		},
+		{
+			Symbol: "Lambda",
+			Transformation: "Create an equivalent functor that overloads " +
+				"the call operator and then replace the usage with a " +
+				"call to the functor's constructor.",
+			Where: "transform.go:buildFunctorsFromLambdas/renderFunctor",
+		},
+	}
+}

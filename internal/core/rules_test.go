@@ -1,0 +1,451 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// run is a helper running Substitute over an inline project.
+func run(t *testing.T, files map[string]string, sources []string, header string) (*Result, *vfs.FS) {
+	t.Helper()
+	fs := vfs.New()
+	for p, c := range files {
+		fs.Write(p, c)
+	}
+	res, err := Substitute(Options{
+		FS:          fs,
+		SearchPaths: []string{"lib", "."},
+		Sources:     sources,
+		Header:      header,
+		OutDir:      "out",
+	})
+	if err != nil {
+		t.Fatalf("Substitute: %v", err)
+	}
+	return res, fs
+}
+
+func TestRulesTableComplete(t *testing.T) {
+	rules := Rules()
+	if len(rules) != 6 {
+		t.Fatalf("Table 1 has 6 rows, got %d", len(rules))
+	}
+	wantSymbols := []string{"Class or struct", "Type alias", "Enum",
+		"Function", "Class method & field", "Lambda"}
+	for i, w := range wantSymbols {
+		if rules[i].Symbol != w {
+			t.Errorf("rule %d = %q, want %q", i, rules[i].Symbol, w)
+		}
+		if rules[i].Transformation == "" || rules[i].Where == "" {
+			t.Errorf("rule %d incomplete: %+v", i, rules[i])
+		}
+	}
+}
+
+// --- Rule 1: class/struct → forward declare, pointerize usages.
+
+func TestRuleClassPointerization(t *testing.T) {
+	res, fs := run(t, map[string]string{
+		"lib/big.hpp": `#pragma once
+namespace lib {
+class Widget {
+public:
+  Widget(int n);
+  int size() const;
+};
+}
+`,
+		"main.cpp": `#include <big.hpp>
+int use() {
+  lib::Widget w(3);
+  return size(w);
+}
+int size_of(lib::Widget& byref, lib::Widget* byptr) { return 0; }
+`,
+	}, []string{"main.cpp"}, "big.hpp")
+
+	src := read(t, fs, res.ModifiedSources["main.cpp"])
+	if !strings.Contains(src, "lib::Widget *w = yalla_make_Widget(3);") {
+		t.Errorf("by-value local not pointerized+wrapped:\n%s", src)
+	}
+	// Reference and pointer usages stay untouched (§4.1: usage nature).
+	if !strings.Contains(src, "lib::Widget& byref") || !strings.Contains(src, "lib::Widget* byptr") {
+		t.Errorf("ref/ptr params must not change:\n%s", src)
+	}
+	lh := read(t, fs, res.LightweightPath)
+	if !strings.Contains(lh, "namespace lib {") || !strings.Contains(lh, "class Widget;") {
+		t.Errorf("forward declaration missing:\n%s", lh)
+	}
+}
+
+// --- Rule 2: alias resolution.
+
+func TestRuleAliasResolved(t *testing.T) {
+	res, fs := run(t, map[string]string{
+		"lib/big.hpp": `#pragma once
+namespace lib {
+template <class T> class Outer {
+public:
+  using inner_type = Inner<T>;
+};
+template <class T> class Inner {
+public:
+  int id() const;
+};
+}
+`,
+		"main.cpp": `#include <big.hpp>
+using it = lib::Outer<int>::inner_type;
+int use(it& x) { return id(x); }
+`,
+	}, []string{"main.cpp"}, "big.hpp")
+
+	src := read(t, fs, res.ModifiedSources["main.cpp"])
+	// The alias target routed through the nested alias must be rewritten
+	// to the non-nested class (§3.2.1 / Table 1 row 2).
+	if !strings.Contains(src, "using it = lib::Inner<int>;") {
+		t.Errorf("alias not resolved:\n%s", src)
+	}
+	lh := read(t, fs, res.LightweightPath)
+	if !strings.Contains(lh, "class Inner;") {
+		t.Errorf("Inner not forward declared:\n%s", lh)
+	}
+	if strings.Contains(lh, "class Outer;") {
+		t.Errorf("Outer should not be needed:\n%s", lh)
+	}
+}
+
+// --- Rule 3: enums.
+
+func TestRuleEnumReplacement(t *testing.T) {
+	res, fs := run(t, map[string]string{
+		"lib/big.hpp": `#pragma once
+namespace lib {
+enum Mode { READ, WRITE = 4, APPEND };
+void open(const char* path, int flags);
+}
+`,
+		"main.cpp": `#include <big.hpp>
+int use() {
+  lib::Mode m = lib::WRITE;
+  lib::open("f", lib::APPEND);
+  return m;
+}
+`,
+	}, []string{"main.cpp"}, "big.hpp")
+
+	src := read(t, fs, res.ModifiedSources["main.cpp"])
+	// The enum-typed declaration becomes the underlying type...
+	if !strings.Contains(src, "int m =") {
+		t.Errorf("enum type not replaced with underlying:\n%s", src)
+	}
+	// ...and enumerator references become their values.
+	if !strings.Contains(src, "4 /* lib::WRITE */") {
+		t.Errorf("WRITE not replaced with 4:\n%s", src)
+	}
+	if !strings.Contains(src, "5 /* lib::APPEND */") {
+		t.Errorf("APPEND not replaced with 5 (implicit increment):\n%s", src)
+	}
+	if res.Report.EnumsRewritten < 3 {
+		t.Errorf("EnumsRewritten = %d", res.Report.EnumsRewritten)
+	}
+}
+
+// --- Rule 4: functions.
+
+func TestRuleFunctionForwardDeclVsWrapper(t *testing.T) {
+	res, fs := run(t, map[string]string{
+		"lib/big.hpp": `#pragma once
+namespace lib {
+class Blob {
+public:
+  int size() const;
+};
+int plain(int x);
+Blob make_blob(int n);
+void consume(Blob b);
+}
+`,
+		"main.cpp": `#include <big.hpp>
+int use() {
+  int a = lib::plain(1);
+  lib::Blob b = lib::make_blob(2);
+  lib::consume(b);
+  return a;
+}
+`,
+	}, []string{"main.cpp"}, "big.hpp")
+
+	lh := read(t, fs, res.LightweightPath)
+	// plain() has no incomplete types → forward declared, not wrapped.
+	if !strings.Contains(lh, "int plain(int x);") {
+		t.Errorf("plain() should be forward declared:\n%s", lh)
+	}
+	if strings.Contains(lh, "plain_w") {
+		t.Errorf("plain() must not be wrapped:\n%s", lh)
+	}
+	// make_blob returns Blob by value → pointer-returning wrapper.
+	if !strings.Contains(lh, "lib::Blob* make_blob_w(int n);") {
+		t.Errorf("make_blob wrapper missing:\n%s", lh)
+	}
+	// consume takes Blob by value → pointer-parameter wrapper.
+	if !strings.Contains(lh, "void consume_w(lib::Blob* b);") {
+		t.Errorf("consume wrapper missing:\n%s", lh)
+	}
+	src := read(t, fs, res.ModifiedSources["main.cpp"])
+	if !strings.Contains(src, "lib::plain(1)") {
+		t.Errorf("plain call must keep its name:\n%s", src)
+	}
+	if !strings.Contains(src, "make_blob_w(2)") || !strings.Contains(src, "consume_w(b)") {
+		t.Errorf("wrapped calls not renamed:\n%s", src)
+	}
+	w := read(t, fs, res.WrappersPath)
+	if !strings.Contains(w, "return new lib::Blob(lib::make_blob(n));") {
+		t.Errorf("make_blob_w must heap-allocate:\n%s", w)
+	}
+	if !strings.Contains(w, "lib::consume(*b);") {
+		t.Errorf("consume_w must deref:\n%s", w)
+	}
+}
+
+// --- Rule 5: methods and fields.
+
+func TestRuleMethodWrapper(t *testing.T) {
+	res, fs := run(t, map[string]string{
+		"lib/big.hpp": `#pragma once
+namespace lib {
+class Counter {
+public:
+  Counter();
+  void add(int d);
+  int value() const;
+};
+}
+`,
+		"main.cpp": `#include <big.hpp>
+int use() {
+  lib::Counter c;
+  c.add(5);
+  return c.value();
+}
+`,
+	}, []string{"main.cpp"}, "big.hpp")
+
+	src := read(t, fs, res.ModifiedSources["main.cpp"])
+	if !strings.Contains(src, "add(c, 5);") {
+		t.Errorf("method call not rewritten with object first:\n%s", src)
+	}
+	if !strings.Contains(src, "return value(c);") {
+		t.Errorf("zero-arg method call not rewritten:\n%s", src)
+	}
+	w := read(t, fs, res.WrappersPath)
+	if !strings.Contains(w, "yalla_deref(o).add(d)") {
+		t.Errorf("wrapper must call the original method:\n%s", w)
+	}
+}
+
+// --- Rule 6: lambdas.
+
+func TestRuleLambdaToFunctor(t *testing.T) {
+	res, fs := run(t, map[string]string{
+		"lib/big.hpp": `#pragma once
+namespace lib {
+template <class F> void each(int n, F f);
+}
+`,
+		"main.cpp": `#include <big.hpp>
+int use() {
+  int total = 0;
+  int scale = 2;
+  lib::each(10, [&](int i) { total += i * scale; });
+  return total;
+}
+`,
+	}, []string{"main.cpp"}, "big.hpp")
+
+	src := read(t, fs, res.ModifiedSources["main.cpp"])
+	if !strings.Contains(src, "yalla_functor_1{total, scale}") {
+		t.Errorf("lambda not replaced with functor construction:\n%s", src)
+	}
+	lh := read(t, fs, res.LightweightPath)
+	// total is mutated by the body → captured by reference; scale is
+	// read-only → copied like the paper's Fig. 4a functor members.
+	if !strings.Contains(lh, "struct yalla_functor_1 {") ||
+		!strings.Contains(lh, "int& total;") || !strings.Contains(lh, "int scale;") {
+		t.Errorf("functor missing captures:\n%s", lh)
+	}
+	if !strings.Contains(lh, "total += i * scale;") {
+		t.Errorf("functor body wrong:\n%s", lh)
+	}
+	w := read(t, fs, res.WrappersPath)
+	// Explicit instantiation with the functor type (§3.4).
+	if !strings.Contains(w, "each<yalla_functor_1>") && !strings.Contains(w, "each_w<yalla_functor_1>") {
+		t.Errorf("missing explicit instantiation with functor:\n%s", w)
+	}
+}
+
+// --- Unsupported case: nested classes (§3.2.1, §6).
+
+func TestNestedClassDiagnostic(t *testing.T) {
+	res, _ := run(t, map[string]string{
+		"lib/big.hpp": `#pragma once
+namespace lib {
+class Outer {
+public:
+  class Nested {
+  public:
+    int id() const;
+  };
+  Nested make() const;
+};
+}
+`,
+		"main.cpp": `#include <big.hpp>
+int use(lib::Outer::Nested& n) { return id(n); }
+`,
+	}, []string{"main.cpp"}, "big.hpp")
+
+	found := false
+	for _, d := range res.Report.Diagnostics {
+		if strings.Contains(d, "nested") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected nested-class diagnostic, got %v", res.Report.Diagnostics)
+	}
+}
+
+// --- Multiple sources share one lightweight header.
+
+func TestMultipleSourcesShareHeader(t *testing.T) {
+	res, fs := run(t, map[string]string{
+		"lib/big.hpp": `#pragma once
+namespace lib { class A { public: int f() const; }; class B { public: int g() const; }; }
+`,
+		"one.cpp": `#include <big.hpp>
+int use1(lib::A& a) { return a.f(); }
+`,
+		"two.cpp": `#include <big.hpp>
+int use2(lib::B& b) { return b.g(); }
+`,
+	}, []string{"one.cpp", "two.cpp"}, "big.hpp")
+
+	lh := read(t, fs, res.LightweightPath)
+	// Both sources' symbols land in the one lightweight header.
+	if !strings.Contains(lh, "class A;") || !strings.Contains(lh, "class B;") {
+		t.Errorf("classes from both sources missing:\n%s", lh)
+	}
+	if len(res.ModifiedSources) != 2 {
+		t.Fatalf("ModifiedSources = %v", res.ModifiedSources)
+	}
+}
+
+// --- Explicit template arguments at call sites survive renaming.
+
+func TestExplicitTemplateArgsPreserved(t *testing.T) {
+	res, fs := run(t, map[string]string{
+		"lib/big.hpp": `#pragma once
+namespace lib {
+class Pod { public: int v; };
+template <class T> Pod convert(T x);
+}
+`,
+		"main.cpp": `#include <big.hpp>
+int use() {
+  lib::Pod* p = lib::convert<double>(1.5);
+  return 0;
+}
+`,
+	}, []string{"main.cpp"}, "big.hpp")
+
+	src := read(t, fs, res.ModifiedSources["main.cpp"])
+	if !strings.Contains(src, "convert_w<double>(1.5)") {
+		t.Errorf("explicit template args lost:\n%s", src)
+	}
+	w := read(t, fs, res.WrappersPath)
+	if !strings.Contains(w, "template lib::Pod* convert_w<double>(double);") {
+		t.Errorf("instantiation missing:\n%s", w)
+	}
+}
+
+// --- using-directives make unqualified names resolve.
+
+func TestUsingNamespaceResolution(t *testing.T) {
+	res, fs := run(t, map[string]string{
+		"lib/big.hpp": `#pragma once
+namespace lib { class Thing { public: int id() const; }; }
+`,
+		"main.cpp": `#include <big.hpp>
+using namespace lib;
+int use(Thing& t) { return t.id(); }
+`,
+	}, []string{"main.cpp"}, "big.hpp")
+
+	lh := read(t, fs, res.LightweightPath)
+	if !strings.Contains(lh, "class Thing;") {
+		t.Errorf("unqualified use not resolved via using-directive:\n%s", lh)
+	}
+	src := read(t, fs, res.ModifiedSources["main.cpp"])
+	if !strings.Contains(src, "id(t)") {
+		t.Errorf("method call not rewritten:\n%s", src)
+	}
+}
+
+// --- Multi-header substitution (§6 ¶1 direction).
+
+func TestMultiHeaderSubstitution(t *testing.T) {
+	fs := vfs.New()
+	fs.Write("lib/alpha.hpp", `#pragma once
+namespace alpha { class A { public: A(); int fa() const; }; }
+`)
+	fs.Write("lib/beta.hpp", `#pragma once
+namespace beta { class B { public: B(); int fb() const; }; }
+`)
+	fs.Write("main.cpp", `#include <alpha.hpp>
+#include <beta.hpp>
+int use() {
+  alpha::A a;
+  beta::B b;
+  return a.fa() + b.fb();
+}
+`)
+	res, err := Substitute(Options{
+		FS:           fs,
+		SearchPaths:  []string{"lib", "."},
+		Sources:      []string{"main.cpp"},
+		Header:       "alpha.hpp",
+		ExtraHeaders: []string{"beta.hpp"},
+		OutDir:       "out",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.HeaderFiles) != 2 {
+		t.Fatalf("HeaderFiles = %v", res.HeaderFiles)
+	}
+	src := read(t, fs, res.ModifiedSources["main.cpp"])
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "#include <alpha.hpp>") ||
+			strings.HasPrefix(trimmed, "#include <beta.hpp>") {
+			t.Fatalf("substituted include remains active:\n%s", src)
+		}
+	}
+	if strings.Count(src, `#include "lightweight_header.hpp"`) != 1 {
+		t.Fatalf("exactly one lightweight include expected:\n%s", src)
+	}
+	lh := read(t, fs, res.LightweightPath)
+	if !strings.Contains(lh, "class A;") || !strings.Contains(lh, "class B;") {
+		t.Fatalf("both libraries' classes must be declared:\n%s", lh)
+	}
+	if !strings.Contains(src, "fa(a)") || !strings.Contains(src, "fb(b)") {
+		t.Fatalf("method calls from both libraries rewritten:\n%s", src)
+	}
+	w := read(t, fs, res.WrappersPath)
+	if !strings.Contains(w, "#include <alpha.hpp>") || !strings.Contains(w, "#include <beta.hpp>") {
+		t.Fatalf("wrappers TU must include both headers:\n%s", w)
+	}
+}

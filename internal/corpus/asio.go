@@ -1,0 +1,178 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/vfs"
+)
+
+// asioAPI is the handwritten public surface of asiosim: an io_context,
+// TCP socket/acceptor/endpoint types (tcp modeled as a namespace so its
+// members are forward-declarable), buffers returned by value (forcing
+// wrappers), and async operations taking completion handlers (forcing
+// lambda→functor conversion), matching what the paper's chat_server
+// example exercises.
+const asioAPI = `
+namespace asio {
+
+class error_code {
+public:
+  error_code();
+  bool failed() const;
+  int value() const;
+};
+
+class io_context {
+public:
+  io_context();
+  int run();
+  void stop();
+  int poll();
+};
+
+class const_buffer {
+public:
+  const_buffer();
+  int size() const;
+};
+
+const_buffer buffer(const char* data, int n);
+
+namespace ip {
+namespace tcp {
+
+class endpoint {
+public:
+  endpoint();
+  endpoint(int port);
+  int port() const;
+};
+
+class socket {
+public:
+  socket(io_context& ctx);
+  int read_some(char* data, int n);
+  int write_some(const char* data, int n);
+  bool is_open() const;
+  void close();
+};
+
+class acceptor {
+public:
+  acceptor(io_context& ctx, endpoint ep);
+  void accept(socket& peer);
+  void listen(int backlog);
+};
+
+}
+}
+
+template <class Socket, class Handler>
+void async_read(Socket& s, const_buffer buf, Handler handler);
+
+template <class Socket, class Handler>
+void async_write(Socket& s, const_buffer buf, Handler handler);
+
+template <class Acceptor, class Handler>
+void async_accept(Acceptor& a, Handler handler);
+
+}
+`
+
+var asioStdDeps = []string{
+	"type_traits", "cstdint", "utility", "string", "memory",
+	"functional", "thread", "mutex", "chrono", "array", "cstring",
+}
+
+const (
+	asioFillerFiles = 1840
+	asioFillerLOC   = 66
+)
+
+var (
+	asioOnce sync.Once
+	asioFS   *vfs.FS
+)
+
+func asioTree() *vfs.FS {
+	asioOnce.Do(func() {
+		files := map[string]string{}
+		for p, c := range stdTree() {
+			files[p] = c
+		}
+		fillers := fillerTreeDense(files, "asio/detail", "", "asio_detail", asioFillerFiles, asioFillerLOC, 40000, nil, 16)
+		var b strings.Builder
+		b.WriteString("#ifndef ASIO_HPP\n#define ASIO_HPP\n")
+		for _, d := range asioStdDeps {
+			fmt.Fprintf(&b, "#include <%s>\n", d)
+		}
+		for _, f := range fillers {
+			fmt.Fprintf(&b, "#include <%s>\n", f)
+		}
+		b.WriteString(asioAPI)
+		b.WriteString("#endif\n")
+		files["asio/asio.hpp"] = b.String()
+		asioFS = vfs.New()
+		writeAll(asioFS, files)
+	})
+	return asioFS
+}
+
+const chatServerCode = `// chat_server example (asiosim) — Boost.Asio-style chat server.
+#include <asio/asio.hpp>
+#include <iostream>
+#include <string>
+#include <vector>
+#include <map>
+#include <memory>
+#include <sstream>
+
+static char read_buf[512];
+
+int serve_one(int port) {
+  asio::io_context ctx;
+  asio::ip::tcp::endpoint ep(port);
+  asio::ip::tcp::acceptor acc(ctx, ep);
+  asio::ip::tcp::socket sock(ctx);
+  acc.listen(8);
+  acc.accept(sock);
+  int delivered = 0;
+  asio::const_buffer rb = asio::buffer(read_buf, 512);
+  asio::async_read(sock, rb,
+    [&](int ec, int n) { delivered += n; });
+  asio::async_write(sock, rb,
+    [&](int ec, int n) { delivered += n; });
+  int handled = ctx.run();
+  std::cout << "served" << handled;
+  sock.close();
+  return delivered;
+}
+
+int run_chat_server() {
+  int total = 0;
+  for (int i = 0; i < 4; i++) {
+    total += serve_one(9000 + i);
+  }
+  return total;
+}
+`
+
+// AsioSubjects builds the chat_server subject.
+func AsioSubjects() []*Subject {
+	fs := asioTree().Clone()
+	mainFile := "src/chat_server.cpp"
+	fs.Write(mainFile, chatServerCode)
+	return []*Subject{{
+		Name:                "chat_server",
+		Library:             "Boost.Asio",
+		FS:                  fs,
+		MainFile:            mainFile,
+		Sources:             []string{mainFile},
+		Header:              "asio/asio.hpp",
+		SearchPaths:         []string{".", "std", "src"},
+		KernelIters:         200000,
+		WrapperCallsPerIter: 7,
+	}}
+}

@@ -1,0 +1,160 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// templateDensity controls how instantiation-heavy a library's filler
+// headers are, in tenths (0–10). This is the structural property that
+// drives the paper's per-library PCH behaviour: Kokkos headers are mostly
+// *uninstantiated* template declarations (PCH helps a lot — parsing
+// dominates), while RapidJSON/Asio header-only code instantiates heavily
+// in every including TU (PCH helps little — instantiation + backend
+// dominate, §5.3).
+// templateDensity is in twentieths.
+var templateDensity = 4
+
+// fillerHeader generates one filler header of roughly targetLOC non-blank
+// lines. The content is ordinary library-flavored C++ — classes with
+// inline methods, function templates, aliases, enums — so the frontend
+// does real work on it and the compilation simulator's declaration,
+// function-definition, and template-usage counts are realistic. The seed
+// makes names unique across files.
+func fillerHeader(guard string, seed int, targetLOC int, includes []string) string {
+	return fillerHeaderDense(guard, seed, targetLOC, includes, templateDensity)
+}
+
+// fillerHeaderDense is fillerHeader with an explicit template density.
+func fillerHeaderDense(guard string, seed int, targetLOC int, includes []string, density int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#ifndef %s\n#define %s\n", guard, guard)
+	for _, inc := range includes {
+		fmt.Fprintf(&b, "#include <%s>\n", inc)
+	}
+	loc := 3 + len(includes)
+	i := 0
+	for loc < targetLOC {
+		// Deterministic weighted choice: `density` in 10 blocks is the
+		// instantiation-heavy kind.
+		if (seed*31+i*7)%20 < density {
+			fmt.Fprintf(&b, `template <class T> struct Node_%d_%d {
+  T v;
+  T get() const { return v; }
+};
+template <class T> T combine_inst_%d_%d(T x) { return x + 1; }
+inline int eval_%d_%d(int x) {
+  Node_%d_%d<int> a{x};
+  Node_%d_%d<double> b{1.5};
+  return a.get() + combine_inst_%d_%d<int>(x);
+}
+`, seed, i, seed, i, seed, i, seed, i, seed, i, seed, i)
+			loc += 10
+			i++
+			continue
+		}
+		kind := (seed + i) % 5
+		if density <= 2 && kind == 2 {
+			// Declaration-heavy libraries avoid the alias-instantiation
+			// block too; their headers parse big but instantiate little.
+			kind = 4
+		}
+		switch kind {
+		case 0:
+			// a class with fields and inline methods (12 lines)
+			fmt.Fprintf(&b, `class Widget_%d_%d {
+public:
+  Widget_%d_%d(int n) : n_(n), scale_(1.0) {}
+  int size() const { return n_; }
+  double scaled(double f) const { return scale_ * f + n_; }
+  void reset(int n) { n_ = n; scale_ = 1.0; }
+private:
+  int n_;
+  double scale_;
+};
+`, seed, i, seed, i)
+			loc += 10
+		case 1:
+			// a function template + usage helper (8 lines)
+			fmt.Fprintf(&b, `template <class T>
+T combine_%d_%d(T a, T b) {
+  T acc = a;
+  acc += b;
+  return acc;
+}
+inline int use_combine_%d_%d(int x) { return combine_%d_%d(x, x + 1); }
+`, seed, i, seed, i, seed, i)
+			loc += 7
+		case 2:
+			// a class template with a nested alias consumer (9 lines)
+			fmt.Fprintf(&b, `template <class T, class U>
+struct Pair_%d_%d {
+  T first;
+  U second;
+  T sum(T base) const { return base + first; }
+};
+using PairII_%d_%d = Pair_%d_%d<int, int>;
+`, seed, i, seed, i, seed, i)
+			loc += 7
+		case 3:
+			// an enum + switch helper (10 lines)
+			fmt.Fprintf(&b, `enum class Mode_%d_%d { A, B, C };
+inline int mode_cost_%d_%d(int m) {
+  if (m == 0) { return 1; }
+  if (m == 1) { return 2; }
+  return 3;
+}
+`, seed, i, seed, i)
+			loc += 6
+		default:
+			// inline free functions with loops (9 lines)
+			fmt.Fprintf(&b, `inline long checksum_%d_%d(const char* data, int n) {
+  long acc = 0;
+  for (int i = 0; i < n; i++) {
+    acc += data[i] * 31 + i;
+  }
+  return acc;
+}
+`, seed, i)
+			loc += 7
+		}
+		i++
+	}
+	b.WriteString("#endif\n")
+	return b.String()
+}
+
+// fillerTree writes count filler headers of locEach lines under dir into
+// files, returning include targets relative to searchRoot (the -I
+// directory the library is found under; "" when the project root itself
+// is on the include path).
+func fillerTreeRooted(files map[string]string, dir, searchRoot, prefix string, count, locEach, seedBase int, deps []string) []string {
+	return fillerTreeDense(files, dir, searchRoot, prefix, count, locEach, seedBase, deps, templateDensity)
+}
+
+// fillerTreeDense generates the tree with an explicit template density.
+func fillerTreeDense(files map[string]string, dir, searchRoot, prefix string, count, locEach, seedBase int, deps []string, density int) []string {
+	var targets []string
+	for i := 0; i < count; i++ {
+		name := fmt.Sprintf("%s/%s_%03d.hpp", dir, prefix, i)
+		target := name
+		if searchRoot != "" {
+			target = strings.TrimPrefix(name, searchRoot+"/")
+		}
+		guard := strings.ToUpper(strings.NewReplacer("/", "_", ".", "_", "-", "_").Replace(target))
+		var incs []string
+		if i == 0 {
+			incs = deps
+		}
+		files[name] = fillerHeaderDense(guard, seedBase+i, locEach, incs, density)
+		targets = append(targets, target)
+	}
+	return targets
+}
+
+// fillerTree is fillerTreeRooted with the first path segment as the
+// search root (the std/ and kokkos/ layout).
+func fillerTree(files map[string]string, dir, prefix string, count, locEach, seedBase int, deps []string) []string {
+	root := dir[:strings.Index(dir, "/")]
+	return fillerTreeRooted(files, dir, root, prefix, count, locEach, seedBase, deps)
+}

@@ -1,0 +1,87 @@
+package corpus
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpp/lexer"
+	"repro/internal/cpp/parser"
+	"repro/internal/cpp/preprocessor"
+	"repro/internal/vfs"
+)
+
+// TestFillerHeadersAlwaysParse is the generator's contract with the
+// frontend: any seed/density/size combination must produce C++ our lexer
+// and parser accept without error.
+func TestFillerHeadersAlwaysParse(t *testing.T) {
+	f := func(seed uint16, density uint8, size uint8) bool {
+		loc := 40 + int(size)%200
+		src := fillerHeaderDense("GUARD_T", int(seed), loc, nil, int(density)%21)
+		fs := vfs.New()
+		fs.Write("f.hpp", src)
+		res, err := preprocessor.New(fs).Preprocess("f.hpp")
+		if err != nil {
+			t.Logf("preprocess error: %v", err)
+			return false
+		}
+		if _, err := parser.New(res.Tokens).Parse(); err != nil {
+			t.Logf("parse error: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFillerLOCApproximation checks the generator hits its size target
+// within tolerance — Table 3's scale depends on it.
+func TestFillerLOCApproximation(t *testing.T) {
+	for _, target := range []int{60, 150, 240} {
+		for seed := 0; seed < 5; seed++ {
+			src := fillerHeaderDense(fmt.Sprintf("G_%d", seed), seed*77, target, nil, 4)
+			got := lexer.CountSourceLines(src)
+			if got < target-5 || got > target+15 {
+				t.Errorf("target %d seed %d: got %d lines", target, seed, got)
+			}
+		}
+	}
+}
+
+// TestFillerGuardsWork ensures double inclusion is a no-op.
+func TestFillerGuardsWork(t *testing.T) {
+	fs := vfs.New()
+	fs.Write("lib/f.hpp", fillerHeaderDense("F_HPP", 1, 60, nil, 4))
+	fs.Write("main.cpp", "#include <f.hpp>\n#include <f.hpp>\nint main() {}\n")
+	pp := preprocessor.New(fs, "lib")
+	res, err := pp.Preprocess("main.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Includes) != 1 {
+		t.Fatalf("includes = %v", res.Includes)
+	}
+}
+
+// TestStdTreeSelfContained: every std group preprocesses without missing
+// includes.
+func TestStdTreeSelfContained(t *testing.T) {
+	fs := vfs.New()
+	for p, c := range stdTree() {
+		fs.Write(p, c)
+	}
+	for _, g := range stdGroups {
+		fs2 := fs.Clone()
+		fs2.Write("probe.cpp", "#include <"+g.name+">\nint main() {}\n")
+		pp := preprocessor.New(fs2, "std")
+		res, err := pp.Preprocess("probe.cpp")
+		if err != nil {
+			t.Fatalf("%s: %v", g.name, err)
+		}
+		if len(res.MissingIncludes) != 0 {
+			t.Fatalf("%s missing %v", g.name, res.MissingIncludes)
+		}
+	}
+}

@@ -1,0 +1,405 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/vfs"
+)
+
+// kokkosAPI is the handwritten public surface of the kokkossim library —
+// the symbols the PyKokkos-generated subjects actually use. It mirrors
+// the structure the paper's running example depends on: a View class
+// template, TeamPolicy with a nested member_type alias, functions that
+// return Impl types by value (forcing function wrappers), and
+// parallel dispatch taking functors by value (forcing lambda→functor
+// conversion).
+const kokkosAPI = `
+namespace Kokkos {
+
+class OpenMP {
+public:
+  static int concurrency();
+};
+class Serial;
+
+struct LayoutRight {};
+struct LayoutLeft {};
+
+void initialize(int narg, char* arg);
+void finalize();
+void fence();
+
+template <class DataType, class Layout>
+class View {
+public:
+  View();
+  View(const char* label, int n0);
+  View(const char* label, int n0, int n1);
+  int& operator()(int i) const;
+  int& operator()(int i, int j) const;
+  int extent(int r) const;
+  const char* label() const;
+};
+
+template <class D1, class L1, class D2, class L2>
+void deep_copy(View<D1, L1> dst, View<D2, L2> src);
+
+template <class Space>
+class RangePolicy {
+public:
+  RangePolicy(int begin, int end);
+  int begin() const;
+  int end() const;
+};
+
+template <class Space>
+class HostThreadTeamMember {
+public:
+  int league_rank() const;
+  int team_rank() const;
+  int team_size() const;
+};
+
+template <class Space>
+class TeamPolicy {
+public:
+  TeamPolicy(int league_size, int team_size);
+  using member_type = HostThreadTeamMember<Space>;
+};
+
+namespace Impl {
+template <class M>
+struct TeamThreadRangeBoundariesStruct {
+  M& member;
+  int start;
+  int end;
+};
+}
+
+template <class M>
+Impl::TeamThreadRangeBoundariesStruct<M> TeamThreadRange(M& m, int count);
+
+template <class Policy, class Functor>
+void parallel_for(Policy policy, Functor functor);
+
+template <class Functor>
+void parallel_for(int count, Functor functor);
+
+template <class Policy, class Functor, class Result>
+void parallel_reduce(Policy policy, Functor functor, Result& result);
+
+template <class Functor, class Result>
+void parallel_reduce(int count, Functor functor, Result& result);
+
+}
+`
+
+// kokkosStdDeps are the std headers the umbrella pulls (real Kokkos pulls
+// large parts of the standard library).
+var kokkosStdDeps = []string{
+	"type_traits", "cstdint", "utility", "string", "memory",
+	"thread", "mutex", "chrono", "cmath",
+}
+
+// kokkosFillerFiles/LOC size the internal header tree so the subject
+// compiles ≈111k LOC across ≈580 headers (Table 3, PyKokkos rows).
+const (
+	kokkosFillerFiles = 466
+	kokkosFillerLOC   = 205
+)
+
+var (
+	kokkosOnce sync.Once
+	kokkosFS   *vfs.FS
+)
+
+// kokkosTree builds the kokkossim library plus the std tree.
+func kokkosTree() *vfs.FS {
+	kokkosOnce.Do(func() {
+		files := map[string]string{}
+		for p, c := range stdTree() {
+			files[p] = c
+		}
+		fillers := fillerTreeDense(files, "kokkos/impl", "kokkos", "Kokkos_Impl", kokkosFillerFiles, kokkosFillerLOC, 5000, nil, 1)
+		var b strings.Builder
+		b.WriteString("#ifndef KOKKOS_CORE_HPP\n#define KOKKOS_CORE_HPP\n")
+		for _, d := range kokkosStdDeps {
+			fmt.Fprintf(&b, "#include <%s>\n", d)
+		}
+		for _, f := range fillers {
+			fmt.Fprintf(&b, "#include <%s>\n", f)
+		}
+		b.WriteString(kokkosAPI)
+		b.WriteString("#endif\n")
+		files["kokkos/Kokkos_Core.hpp"] = b.String()
+		kokkosFS = vfs.New()
+		writeAll(kokkosFS, files)
+	})
+	return kokkosFS
+}
+
+// pyKokkosSubject assembles one PyKokkos-style subject: a functor header
+// and a kernel source, mirroring Figure 3's structure.
+type pyKokkosSpec struct {
+	name       string
+	fields     string // functor member declarations
+	kernelSig  string // operator() parameter list
+	kernelBody string // operator() body (uses wrappers-to-be)
+	runBody    string // driver creating views and launching
+	iters      int    // simulated kernel work per run
+	wcalls     int    // wrapper calls per iteration after substitution
+}
+
+var pyKokkosSpecs = []pyKokkosSpec{
+	{
+		// The paper's 02 subject: matrix weighted inner product (Fig. 9a).
+		name: "02",
+		fields: `  int M;
+  Kokkos::View<int**, LayoutRight> A;
+  Kokkos::View<int*, LayoutRight> x;
+  Kokkos::View<int*, LayoutRight> y;`,
+		kernelSig: "int j, int &acc",
+		kernelBody: `  int temp = 0;
+  for (int i = 0; i < M; i++) {
+    temp += A(j, i) * x(i);
+  }
+  acc += y(j) * temp;`,
+		runBody: `  Kokkos::View<int**, Kokkos::LayoutRight> A("A", 64, 64);
+  Kokkos::View<int*, Kokkos::LayoutRight> x("x", 64);
+  Kokkos::View<int*, Kokkos::LayoutRight> y("y", 64);
+  functor_02 f;
+  int result = 0;
+  Kokkos::parallel_reduce(64, f, result);
+  return result;`,
+		iters: 64 * 64, wcalls: 3,
+	},
+	{
+		// The running example of §3 (Fig. 3/4): team policy add kernel.
+		name: "team_policy",
+		fields: `  int y;
+  Kokkos::View<int**, LayoutRight> x;`,
+		kernelSig: "member_t &m",
+		kernelBody: `  int j = m.league_rank();
+  Kokkos::parallel_for(
+    Kokkos::TeamThreadRange(m, 5),
+    [&](int i) { x(j, i) += y; });`,
+		runBody: `  Kokkos::View<int**, Kokkos::LayoutRight> x("x", 16, 5);
+  functor_team_policy f;
+  Kokkos::TeamPolicy<sp_t> policy(16, 1);
+  Kokkos::parallel_for(policy, f);
+  return 0;`,
+		iters: 16 * 5, wcalls: 2,
+	},
+	{
+		name: "nstream",
+		fields: `  double scalar;
+  Kokkos::View<int*, LayoutRight> a;
+  Kokkos::View<int*, LayoutRight> b;
+  Kokkos::View<int*, LayoutRight> c;`,
+		kernelSig:  "int i",
+		kernelBody: `  a(i) = b(i) + scalar * c(i);`,
+		runBody: `  Kokkos::View<int*, Kokkos::LayoutRight> a("a", 1024);
+  Kokkos::View<int*, Kokkos::LayoutRight> b("b", 1024);
+  Kokkos::View<int*, Kokkos::LayoutRight> c("c", 1024);
+  functor_nstream f;
+  Kokkos::parallel_for(1024, f);
+  return 0;`,
+		iters: 1024, wcalls: 3,
+	},
+	{
+		name: "BinningKKSort",
+		fields: `  int nbins;
+  Kokkos::View<int*, LayoutRight> bin_count;
+  Kokkos::View<int*, LayoutRight> bin_offsets;
+  Kokkos::View<int*, LayoutRight> permute;`,
+		kernelSig: "int i",
+		kernelBody: `  int b = permute(i);
+  bin_count(b) += 1;
+  bin_offsets(b) = bin_offsets(b) + i;`,
+		runBody: `  Kokkos::View<int*, Kokkos::LayoutRight> bc("bc", 256);
+  Kokkos::View<int*, Kokkos::LayoutRight> bo("bo", 256);
+  Kokkos::View<int*, Kokkos::LayoutRight> pm("pm", 256);
+  functor_BinningKKSort f;
+  Kokkos::parallel_for(256, f);
+  return 0;`,
+		iters: 256, wcalls: 5,
+	},
+	{
+		name: "FinalIntegrateFunctor",
+		fields: `  double dtf;
+  Kokkos::View<int**, LayoutRight> v;
+  Kokkos::View<int**, LayoutRight> f;`,
+		kernelSig: "int i",
+		kernelBody: `  v(i, 0) += f(i, 0);
+  v(i, 1) += f(i, 1);
+  v(i, 2) += f(i, 2);`,
+		runBody: `  Kokkos::View<int**, Kokkos::LayoutRight> v("v", 512, 3);
+  Kokkos::View<int**, Kokkos::LayoutRight> fr("f", 512, 3);
+  functor_FinalIntegrateFunctor f;
+  Kokkos::parallel_for(512, f);
+  return 0;`,
+		iters: 512, wcalls: 6,
+	},
+	{
+		name: "ForceLJNeigh_for",
+		fields: `  int num_neighs;
+  Kokkos::View<int**, LayoutRight> x;
+  Kokkos::View<int**, LayoutRight> ff;
+  Kokkos::View<int*, LayoutRight> neighs;`,
+		kernelSig: "int i",
+		kernelBody: `  int fx = 0;
+  for (int jj = 0; jj < num_neighs; jj++) {
+    int j = neighs(jj);
+    int dx = x(i, 0) - x(j, 0);
+    fx += dx * dx;
+  }
+  ff(i, 0) += fx;`,
+		runBody: `  Kokkos::View<int**, Kokkos::LayoutRight> x("x", 256, 3);
+  Kokkos::View<int**, Kokkos::LayoutRight> ff("ff", 256, 3);
+  Kokkos::View<int*, Kokkos::LayoutRight> ng("ng", 64);
+  functor_ForceLJNeigh_for f;
+  Kokkos::parallel_for(256, f);
+  return 0;`,
+		iters: 256 * 16, wcalls: 4,
+	},
+	{
+		name: "ForceLJNeigh_reduce",
+		fields: `  int num_neighs;
+  Kokkos::View<int**, LayoutRight> x;
+  Kokkos::View<int*, LayoutRight> neighs;`,
+		kernelSig: "int i, int &energy",
+		kernelBody: `  int acc = 0;
+  for (int jj = 0; jj < num_neighs; jj++) {
+    int j = neighs(jj);
+    int dx = x(i, 0) - x(j, 0);
+    acc += dx * dx;
+  }
+  energy += acc;`,
+		runBody: `  Kokkos::View<int**, Kokkos::LayoutRight> x("x", 256, 3);
+  Kokkos::View<int*, Kokkos::LayoutRight> ng("ng", 64);
+  functor_ForceLJNeigh_reduce f;
+  int energy = 0;
+  Kokkos::parallel_reduce(256, f, energy);
+  return energy;`,
+		iters: 256 * 16, wcalls: 3,
+	},
+	{
+		name: "InitialIntegrateFunctor",
+		fields: `  double dtf;
+  double dtv;
+  Kokkos::View<int**, LayoutRight> x;
+  Kokkos::View<int**, LayoutRight> v;`,
+		kernelSig: "int i",
+		kernelBody: `  v(i, 0) += 1;
+  x(i, 0) += v(i, 0);
+  v(i, 1) += 1;
+  x(i, 1) += v(i, 1);`,
+		runBody: `  Kokkos::View<int**, Kokkos::LayoutRight> x("x", 512, 3);
+  Kokkos::View<int**, Kokkos::LayoutRight> v("v", 512, 3);
+  functor_InitialIntegrateFunctor f;
+  Kokkos::parallel_for(512, f);
+  return 0;`,
+		iters: 512, wcalls: 8,
+	},
+	{
+		name: "init_system_get_n",
+		fields: `  int n;
+  Kokkos::View<int*, LayoutRight> counts;
+  Kokkos::View<int*, LayoutRight> ids;
+  Kokkos::View<int**, LayoutRight> pos;`,
+		kernelSig: "int i, int &total",
+		kernelBody: `  int c = counts(i);
+  if (c > 0) {
+    ids(i) = i;
+    total += c;
+  }
+  pos(i, 0) = i;`,
+		runBody: `  Kokkos::View<int*, Kokkos::LayoutRight> counts("c", 512);
+  Kokkos::View<int*, Kokkos::LayoutRight> ids("i", 512);
+  Kokkos::View<int**, Kokkos::LayoutRight> pos("p", 512, 3);
+  functor_init_system_get_n f;
+  int total = 0;
+  Kokkos::parallel_reduce(512, f, total);
+  return total;`,
+		iters: 512, wcalls: 4,
+	},
+	{
+		name: "KinE",
+		fields: `  Kokkos::View<int**, LayoutRight> v;
+  Kokkos::View<int*, LayoutRight> mass;`,
+		kernelSig: "int i, int &ke",
+		kernelBody: `  int m = mass(i);
+  ke += m * (v(i, 0) * v(i, 0) + v(i, 1) * v(i, 1) + v(i, 2) * v(i, 2));`,
+		runBody: `  Kokkos::View<int**, Kokkos::LayoutRight> v("v", 512, 3);
+  Kokkos::View<int*, Kokkos::LayoutRight> mass("m", 512);
+  functor_KinE f;
+  int ke = 0;
+  Kokkos::parallel_reduce(512, f, ke);
+  return ke;`,
+		iters: 512, wcalls: 7,
+	},
+	{
+		name: "Temperature",
+		fields: `  Kokkos::View<int**, LayoutRight> v;
+  Kokkos::View<int*, LayoutRight> type;`,
+		kernelSig: "int i, int &t",
+		kernelBody: `  int tt = type(i);
+  t += tt * (v(i, 0) + v(i, 1) + v(i, 2));`,
+		runBody: `  Kokkos::View<int**, Kokkos::LayoutRight> v("v", 512, 3);
+  Kokkos::View<int*, Kokkos::LayoutRight> ty("t", 512);
+  functor_Temperature f;
+  int t = 0;
+  Kokkos::parallel_reduce(512, f, t);
+  return t;`,
+		iters: 512, wcalls: 5,
+	},
+}
+
+// PyKokkosSubjects builds the 11 PyKokkos-style subjects over the shared
+// kokkossim tree.
+func PyKokkosSubjects() []*Subject {
+	base := kokkosTree()
+	var out []*Subject
+	for _, spec := range pyKokkosSpecs {
+		fs := base.Clone()
+		functorFile := fmt.Sprintf("src/%s_functor.hpp", spec.name)
+		mainFile := fmt.Sprintf("src/%s.cpp", spec.name)
+		fs.Write(functorFile, fmt.Sprintf(`// %s functor — PyKokkos-generated style (Fig. 3).
+#include <Kokkos_Core.hpp>
+
+using sp_t = Kokkos::OpenMP;
+using member_t = Kokkos::TeamPolicy<sp_t>::member_type;
+using Kokkos::LayoutRight;
+
+struct functor_%s {
+%s
+  void operator()(%s) const;
+};
+`, spec.name, spec.name, spec.fields, spec.kernelSig))
+		fs.Write(mainFile, fmt.Sprintf(`// %s kernel — PyKokkos-generated style (Fig. 3).
+#include "%s_functor.hpp"
+
+void functor_%s::operator()(%s) const {
+%s
+}
+
+int run_%s() {
+%s
+}
+`, spec.name, spec.name, spec.name, spec.kernelSig, spec.kernelBody, spec.name, spec.runBody))
+		out = append(out, &Subject{
+			Name:                spec.name,
+			Library:             "PyKokkos",
+			FS:                  fs,
+			MainFile:            mainFile,
+			Sources:             []string{mainFile, functorFile},
+			Header:              "Kokkos_Core.hpp",
+			SearchPaths:         []string{"kokkos", "std", "src"},
+			KernelIters:         spec.iters,
+			WrapperCallsPerIter: spec.wcalls,
+		})
+	}
+	return out
+}

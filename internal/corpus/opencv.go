@@ -1,0 +1,236 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/vfs"
+)
+
+// cvCoreAPI is the handwritten public surface of cvsim's core module —
+// the Mat container, small geometry value types (whose by-value passing
+// forces pointer-parameter wrappers), image I/O returning Mat by value
+// (forcing heap-allocating wrappers), and the imgproc/calib3d entry
+// points the three subjects use.
+const cvCoreAPI = `
+namespace cv {
+
+class Size {
+public:
+  Size(int w, int h);
+  int area() const;
+};
+
+class Point {
+public:
+  Point(int x, int y);
+  int dot(Point p) const;
+};
+
+class Scalar {
+public:
+  Scalar(int v0, int v1, int v2);
+};
+
+class Mat {
+public:
+  Mat();
+  Mat(int rows, int cols, int type);
+  int rows() const;
+  int cols() const;
+  int channels() const;
+  int& at(int i, int j);
+  Mat clone() const;
+  void release();
+  bool empty() const;
+};
+
+Mat imread(const char* path, int flags);
+void imwrite(const char* path, Mat img);
+
+void line(Mat& img, Point p1, Point p2, Scalar color, int thickness);
+void circle(Mat& img, Point center, int radius, Scalar color, int thickness);
+void ellipse(Mat& img, Point center, Size axes, double angle, Scalar color);
+
+void Laplacian(Mat& src, Mat& dst, int ddepth);
+void GaussianBlur(Mat& src, Mat& dst, Size ksize, double sigma);
+void cvtColor(Mat& src, Mat& dst, int code);
+
+double calibrateCamera(Mat& objectPoints, Mat& imagePoints, Size imageSize,
+                       Mat& cameraMatrix, Mat& distCoeffs);
+void undistort(Mat& src, Mat& dst, Mat& cameraMatrix, Mat& distCoeffs);
+
+int waitKey(int delay);
+
+}
+`
+
+// highguiAPI is the non-substituted companion module subjects keep
+// including directly, which is why OpenCV subjects retain a large LOC
+// residual after substitution (§5.3's explanation for `drawing`).
+const highguiAPI = `
+namespace cv {
+void named_window(const char* name);
+void show_status(const char* name, int code);
+void destroy_all_windows();
+}
+`
+
+const (
+	cvCoreFillerFiles  = 200
+	cvCoreFillerLOC    = 240
+	highguiFillerFiles = 34
+	highguiFillerLOC   = 240
+)
+
+var (
+	cvOnce sync.Once
+	cvFS   *vfs.FS
+)
+
+func cvTree() *vfs.FS {
+	cvOnce.Do(func() {
+		files := map[string]string{}
+		for p, c := range stdTree() {
+			files[p] = c
+		}
+		coreFillers := fillerTreeDense(files, "opencv2/core_detail", "", "cv_core", cvCoreFillerFiles, cvCoreFillerLOC, 20000, nil, 2)
+		var b strings.Builder
+		b.WriteString("#ifndef OPENCV2_CORE_HPP\n#define OPENCV2_CORE_HPP\n")
+		for _, d := range []string{"type_traits", "cstdint", "utility", "cstring"} {
+			fmt.Fprintf(&b, "#include <%s>\n", d)
+		}
+		for _, f := range coreFillers {
+			fmt.Fprintf(&b, "#include <%s>\n", f)
+		}
+		b.WriteString(cvCoreAPI)
+		b.WriteString("#endif\n")
+		files["opencv2/core.hpp"] = b.String()
+
+		hgFillers := fillerTreeDense(files, "opencv2/highgui_detail", "", "cv_highgui", highguiFillerFiles, highguiFillerLOC, 26000, nil, 2)
+		var h strings.Builder
+		h.WriteString("#ifndef OPENCV2_HIGHGUI_HPP\n#define OPENCV2_HIGHGUI_HPP\n")
+		for _, f := range hgFillers {
+			fmt.Fprintf(&h, "#include <%s>\n", f)
+		}
+		h.WriteString(highguiAPI)
+		h.WriteString("#endif\n")
+		files["opencv2/highgui.hpp"] = h.String()
+
+		cvFS = vfs.New()
+		writeAll(cvFS, files)
+	})
+	return cvFS
+}
+
+// OpenCVSubjects builds 3calibration, drawing, and laplace.
+func OpenCVSubjects() []*Subject {
+	base := cvTree()
+	specs := []struct {
+		name  string
+		code  string
+		iters int
+		wc    int
+	}{
+		{
+			name: "3calibration",
+			code: `// 3calibration example (cvsim) — calibrates three cameras.
+#include <opencv2/core.hpp>
+#include <opencv2/highgui.hpp>
+#include <iostream>
+#include <vector>
+#include <string>
+#include <sstream>
+
+int run_3calibration() {
+  double total = 0;
+  for (int cam = 0; cam < 3; cam++) {
+    cv::Mat objectPoints(64, 3, 0);
+    cv::Mat imagePoints(64, 2, 0);
+    cv::Mat cameraMatrix(3, 3, 0);
+    cv::Mat distCoeffs(1, 5, 0);
+    cv::Size imageSize(640, 480);
+    double err = cv::calibrateCamera(objectPoints, imagePoints, imageSize,
+                                     cameraMatrix, distCoeffs);
+    total += err;
+    std::cout << "camera" << cam;
+  }
+  cv::show_status("calib", 0);
+  return total > 0 ? 1 : 0;
+}
+`,
+			iters: 30000, wc: 6,
+		},
+		{
+			name: "drawing",
+			code: `// drawing example (cvsim) — draws primitives in a loop.
+#include <opencv2/core.hpp>
+#include <opencv2/highgui.hpp>
+#include <iostream>
+
+int run_drawing() {
+  cv::Mat image(512, 512, 0);
+  for (int i = 0; i < 16; i++) {
+    cv::Point p1(i, i);
+    cv::Point p2(512 - i, 512 - i);
+    cv::Scalar color(i, 128, 255 - i);
+    cv::line(image, p1, p2, color, 2);
+    cv::circle(image, p1, 32 + i, color, 1);
+  }
+  cv::named_window("drawing");
+  int key = cv::waitKey(10);
+  std::cout << key;
+  return image.rows();
+}
+`,
+			iters: 40000, wc: 8,
+		},
+		{
+			name: "laplace",
+			code: `// laplace example (cvsim) — Laplacian edge filter pipeline.
+#include <opencv2/core.hpp>
+#include <opencv2/highgui.hpp>
+#include <iostream>
+#include <algorithm>
+#include <vector>
+#include <cmath>
+
+int run_laplace() {
+  cv::Mat src = cv::imread("input.png", 1);
+  if (src.empty()) {
+    return 1;
+  }
+  cv::Mat smoothed(src.rows(), src.cols(), 0);
+  cv::Mat result(src.rows(), src.cols(), 0);
+  cv::Size ksize(3, 3);
+  cv::GaussianBlur(src, smoothed, ksize, 1.5);
+  cv::Laplacian(smoothed, result, 3);
+  cv::show_status("laplace", 0);
+  int key = cv::waitKey(30);
+  std::cout << key;
+  return result.rows();
+}
+`,
+			iters: 50000, wc: 5,
+		},
+	}
+	var out []*Subject
+	for _, sp := range specs {
+		fs := base.Clone()
+		mainFile := fmt.Sprintf("src/%s.cpp", sp.name)
+		fs.Write(mainFile, sp.code)
+		out = append(out, &Subject{
+			Name:                sp.name,
+			Library:             "OpenCV",
+			FS:                  fs,
+			MainFile:            mainFile,
+			Sources:             []string{mainFile},
+			Header:              "opencv2/core.hpp",
+			SearchPaths:         []string{".", "std", "src"},
+			KernelIters:         sp.iters,
+			WrapperCallsPerIter: sp.wc,
+		})
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/vfs"
+)
+
+// jsonAPI is the handwritten public surface of jsonsim, mirroring the
+// RapidJSON classes the paper's archiver/capitalize/condense examples
+// exercise: a DOM (Document/Value), a SAX writer over a string buffer,
+// and an in-situ reader.
+const jsonAPI = `
+namespace rapidjson {
+
+class Value {
+public:
+  Value();
+  bool IsString() const;
+  bool IsInt() const;
+  bool IsObject() const;
+  bool IsArray() const;
+  const char* GetString() const;
+  int GetStringLength() const;
+  int GetInt() const;
+  void SetInt(int v);
+  void SetString(char* s, int len);
+  int Size() const;
+  Value& MemberAt(int i);
+  Value& ElementAt(int i);
+  const char* NameAt(int i) const;
+};
+
+class Document {
+public:
+  Document();
+  void Parse(const char* json);
+  bool HasParseError() const;
+  int GetErrorOffset() const;
+  Value& Root();
+  int MemberCount() const;
+};
+
+class StringBuffer {
+public:
+  StringBuffer();
+  const char* GetString() const;
+  int GetSize() const;
+  void Clear();
+};
+
+template <class OutputStream>
+class Writer {
+public:
+  Writer(OutputStream& os);
+  bool StartObject();
+  bool EndObject();
+  bool StartArray();
+  bool EndArray();
+  bool Key(const char* name);
+  bool Int(int v);
+  bool String(const char* s);
+  bool Bool(bool b);
+};
+
+template <class InputStream, class Handler>
+void ParseStream(InputStream& is, Handler& h);
+
+class StringStream {
+public:
+  StringStream(const char* src);
+  char Peek() const;
+  char Take();
+};
+
+}
+`
+
+var jsonStdDeps = []string{"type_traits", "cstdint", "cstring", "utility"}
+
+const (
+	jsonFillerFiles = 150
+	jsonFillerLOC   = 200
+)
+
+var (
+	jsonOnce sync.Once
+	jsonFS   *vfs.FS
+)
+
+func jsonTree() *vfs.FS {
+	jsonOnce.Do(func() {
+		files := map[string]string{}
+		for p, c := range stdTree() {
+			files[p] = c
+		}
+		fillers := fillerTreeDense(files, "rapidjson/internal", "", "rj_internal", jsonFillerFiles, jsonFillerLOC, 9000, nil, 18)
+		var b strings.Builder
+		b.WriteString("#ifndef RAPIDJSON_RAPIDJSON_H\n#define RAPIDJSON_RAPIDJSON_H\n")
+		for _, d := range jsonStdDeps {
+			fmt.Fprintf(&b, "#include <%s>\n", d)
+		}
+		for _, f := range fillers {
+			fmt.Fprintf(&b, "#include <%s>\n", f)
+		}
+		b.WriteString(jsonAPI)
+		b.WriteString("#endif\n")
+		files["rapidjson/rapidjson.hpp"] = b.String()
+		jsonFS = vfs.New()
+		writeAll(jsonFS, files)
+	})
+	return jsonFS
+}
+
+// RapidJSONSubjects builds archiver, capitalize, and condense.
+func RapidJSONSubjects() []*Subject {
+	base := jsonTree()
+	specs := []struct {
+		name  string
+		code  string
+		iters int
+		wc    int
+	}{
+		{
+			// archiver: serialize a record graph through the SAX writer,
+			// with heavy std usage kept after substitution.
+			name: "archiver",
+			code: `// archiver example (jsonsim) — serializes a structure.
+#include <rapidjson/rapidjson.hpp>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+int run_archiver() {
+  rapidjson::StringBuffer buffer;
+  rapidjson::Writer<rapidjson::StringBuffer> writer(buffer);
+  writer.StartObject();
+  writer.Key("records");
+  writer.StartArray();
+  for (int i = 0; i < 8; i++) {
+    writer.StartObject();
+    writer.Key("id");
+    writer.Int(i);
+    writer.Key("name");
+    writer.String("record");
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  std::string out = buffer.GetString();
+  std::cout << out.c_str();
+  return buffer.GetSize();
+}
+`,
+			iters: 8 * 4, wc: 5,
+		},
+		{
+			name: "capitalize",
+			code: `// capitalize example (jsonsim) — upper-cases every string value.
+#include <rapidjson/rapidjson.hpp>
+#include <iostream>
+#include <cstring>
+
+int run_capitalize() {
+  rapidjson::Document d;
+  d.Parse("{\"a\":\"x\",\"b\":\"y\"}");
+  if (d.HasParseError()) {
+    return d.GetErrorOffset();
+  }
+  int n = d.MemberCount();
+  for (int i = 0; i < n; i++) {
+    rapidjson::Value& v = d.Root().MemberAt(i);
+    if (v.IsString()) {
+      int len = v.GetStringLength();
+      std::cout << v.GetString() << len;
+    }
+  }
+  return n;
+}
+`,
+			iters: 60000, wc: 6,
+		},
+		{
+			name: "condense",
+			code: `// condense example (jsonsim) — reparses and rewrites JSON compactly.
+#include <rapidjson/rapidjson.hpp>
+#include <cstdio>
+#include <cstring>
+
+int run_condense() {
+  rapidjson::StringStream is("{ \"k\" : 1 }");
+  rapidjson::StringBuffer buffer;
+  rapidjson::Writer<rapidjson::StringBuffer> writer(buffer);
+  writer.StartObject();
+  writer.Key("k");
+  writer.Int(1);
+  writer.EndObject();
+  int size = buffer.GetSize();
+  yprintf("%d", size);
+  return size;
+}
+`,
+			iters: 12, wc: 4,
+		},
+	}
+	var out []*Subject
+	for _, sp := range specs {
+		fs := base.Clone()
+		mainFile := fmt.Sprintf("src/%s.cpp", sp.name)
+		fs.Write(mainFile, sp.code)
+		out = append(out, &Subject{
+			Name:                sp.name,
+			Library:             "RapidJSON",
+			FS:                  fs,
+			MainFile:            mainFile,
+			Sources:             []string{mainFile},
+			Header:              "rapidjson/rapidjson.hpp",
+			SearchPaths:         []string{".", "std", "src"},
+			KernelIters:         sp.iters,
+			WrapperCallsPerIter: sp.wc,
+		})
+	}
+	return out
+}

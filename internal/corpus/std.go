@@ -1,0 +1,188 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// stdGroup describes one standard-library header and its internal files.
+type stdGroup struct {
+	name    string   // the public header name, e.g. "iostream"
+	files   int      // internal bits/ files
+	locEach int      // LOC per internal file
+	deps    []string // other std headers the entry includes
+	seed    int
+}
+
+// stdGroups models a libstdc++-like layout: public headers that fan out
+// into many internal bits/ headers. Sizes are chosen so subjects' residual
+// (post-substitution) LOC and header counts land near Table 3.
+var stdGroups = []stdGroup{
+	{name: "type_traits", files: 10, locEach: 70, deps: nil, seed: 100},
+	{name: "cstddef", files: 1, locEach: 40, deps: nil, seed: 120},
+	{name: "cstdint", files: 2, locEach: 50, deps: []string{"cstddef"}, seed: 130},
+	{name: "utility", files: 5, locEach: 90, deps: []string{"type_traits"}, seed: 140},
+	{name: "new", files: 2, locEach: 60, deps: []string{"cstddef"}, seed: 150},
+	{name: "string", files: 20, locEach: 150, deps: []string{"type_traits", "utility", "cstdint"}, seed: 200},
+	{name: "vector", files: 16, locEach: 140, deps: []string{"type_traits", "utility", "new"}, seed: 300},
+	{name: "iostream", files: 72, locEach: 150, deps: []string{"string", "cstdint"}, seed: 400},
+	{name: "algorithm", files: 22, locEach: 160, deps: []string{"type_traits", "utility"}, seed: 500},
+	{name: "map", files: 18, locEach: 150, deps: []string{"type_traits", "utility"}, seed: 600},
+	{name: "memory", files: 12, locEach: 140, deps: []string{"type_traits", "new"}, seed: 700},
+	{name: "functional", files: 13, locEach: 160, deps: []string{"type_traits", "utility"}, seed: 800},
+	{name: "sstream", files: 9, locEach: 150, deps: []string{"iostream", "string"}, seed: 900},
+	{name: "cmath", files: 4, locEach: 120, deps: nil, seed: 1000},
+	{name: "cstdio", files: 3, locEach: 100, deps: []string{"cstddef"}, seed: 1100},
+	{name: "cstring", files: 2, locEach: 80, deps: []string{"cstddef"}, seed: 1200},
+	{name: "thread", files: 14, locEach: 150, deps: []string{"functional", "memory"}, seed: 1300},
+	{name: "mutex", files: 7, locEach: 130, deps: []string{"type_traits"}, seed: 1400},
+	{name: "chrono", files: 9, locEach: 140, deps: []string{"type_traits", "cstdint"}, seed: 1500},
+	{name: "array", files: 4, locEach: 110, deps: []string{"type_traits"}, seed: 1600},
+	{name: "cstdlib", files: 2, locEach: 90, deps: nil, seed: 1700},
+}
+
+var (
+	stdOnce  sync.Once
+	stdFiles map[string]string
+)
+
+// stdTree returns the generated std-like headers, keyed by path under
+// "std/". The public entry for group g is "std/<name>"; subjects include
+// it as <name> with "std" on the search path.
+func stdTree() map[string]string {
+	stdOnce.Do(func() {
+		stdFiles = map[string]string{}
+		for _, g := range stdGroups {
+			bits := fillerTree(stdFiles, "std/bits", g.name, g.files, g.locEach, g.seed, nil)
+			var b strings.Builder
+			guard := "_STD_" + strings.ToUpper(g.name) + "_"
+			fmt.Fprintf(&b, "#ifndef %s\n#define %s\n", guard, guard)
+			for _, d := range g.deps {
+				fmt.Fprintf(&b, "#include <%s>\n", d)
+			}
+			for _, t := range bits {
+				fmt.Fprintf(&b, "#include <%s>\n", t)
+			}
+			// A small public surface so subjects can use std-ish names.
+			fmt.Fprintf(&b, "%s", stdSurface(g.name))
+			b.WriteString("#endif\n")
+			stdFiles["std/"+g.name] = b.String()
+		}
+	})
+	return stdFiles
+}
+
+// stdSurface returns handwritten public API for the std headers subjects
+// actually use in code.
+func stdSurface(name string) string {
+	switch name {
+	case "string":
+		return `namespace std {
+class string {
+public:
+  string();
+  string(const char* s);
+  int size() const;
+  const char* c_str() const;
+  string substr(int pos, int len) const;
+  char& operator[](int i);
+};
+inline string to_string(int v) { return string("num"); }
+}
+`
+	case "vector":
+		return `namespace std {
+template <class T> class vector {
+public:
+  vector();
+  void push_back(const T& v);
+  int size() const;
+  T& operator[](int i);
+  void clear();
+};
+}
+`
+	case "iostream":
+		return `namespace std {
+class ostream {
+public:
+  ostream& operator<<(const char* s);
+  ostream& operator<<(int v);
+  ostream& operator<<(double v);
+};
+class istream {
+public:
+  istream& operator>>(int& v);
+};
+extern ostream cout;
+extern istream cin;
+inline const char* endl = "\n";
+}
+`
+	case "map":
+		return `namespace std {
+template <class K, class V> class map {
+public:
+  map();
+  V& operator[](const K& k);
+  int size() const;
+};
+}
+`
+	case "memory":
+		return `namespace std {
+template <class T> class shared_ptr {
+public:
+  shared_ptr();
+  T* get() const;
+  T& operator*() const;
+};
+template <class T> shared_ptr<T> make_shared_basic() { return shared_ptr<T>(); }
+}
+`
+	case "sstream":
+		return `namespace std {
+class stringstream {
+public:
+  stringstream();
+  stringstream& operator<<(const char* s);
+  stringstream& operator<<(int v);
+  string str() const;
+};
+}
+`
+	case "cstdio":
+		return `extern "C" {
+int yprintf(const char* fmt, int v);
+int ysnprintf(char* buf, int n, const char* fmt, int v);
+}
+`
+	case "cmath":
+		return `namespace std {
+inline double sqrt_approx(double x) { double r = x; for (int i = 0; i < 8; i++) { r = (r + x / r) * 0.5; } return r; }
+inline double fabs_val(double x) { return x < 0 ? -x : x; }
+}
+`
+	case "functional":
+		return `namespace std {
+template <class T> class function {
+public:
+  function();
+  T* target_of() const;
+};
+}
+`
+	case "chrono":
+		return `namespace std {
+namespace chrono {
+class steady_clock {
+public:
+  static long now_ticks();
+};
+}
+}
+`
+	}
+	return ""
+}

@@ -1,0 +1,195 @@
+package ast
+
+import (
+	"testing"
+
+	"repro/internal/cpp/token"
+)
+
+func TestQualifiedName(t *testing.T) {
+	q := QN("Kokkos", "View")
+	if q.String() != "Kokkos::View" || q.Plain() != "Kokkos::View" {
+		t.Fatalf("q = %q / %q", q.String(), q.Plain())
+	}
+	if q.Last().Name != "View" || q.Qualifier().String() != "Kokkos" {
+		t.Fatalf("last=%v qual=%v", q.Last(), q.Qualifier())
+	}
+	if q.IsEmpty() {
+		t.Fatal("non-empty name reported empty")
+	}
+	var empty QualifiedName
+	if !empty.IsEmpty() || empty.Last().Name != "" || !empty.Qualifier().IsEmpty() {
+		t.Fatal("empty name accessors")
+	}
+	single := QN("x")
+	if !single.Qualifier().IsEmpty() {
+		t.Fatal("single segment has no qualifier")
+	}
+}
+
+func TestQualifiedNameWithArgs(t *testing.T) {
+	q := QualifiedName{Segments: []NameSegment{
+		{Name: "Kokkos"},
+		{Name: "View", Args: []TemplateArg{
+			{Type: &Type{Name: QN("int"), Pointer: 2}},
+			{Type: &Type{Name: QN("LayoutRight")}},
+		}},
+	}}
+	if got := q.String(); got != "Kokkos::View<int**, LayoutRight>" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := q.Plain(); got != "Kokkos::View" {
+		t.Fatalf("Plain = %q", got)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	ty := &Type{Name: QN("Kokkos", "View"), Const: true, Pointer: 1, LValueRef: true}
+	if got := ty.String(); got != "const Kokkos::View*&" {
+		t.Fatalf("String = %q", got)
+	}
+	if ty.IsByValue() {
+		t.Fatal("pointer+ref type reported by-value")
+	}
+	val := &Type{Name: QN("int")}
+	if !val.IsByValue() {
+		t.Fatal("plain type should be by-value")
+	}
+	var nilT *Type
+	if nilT.String() != "<nil-type>" {
+		t.Fatal("nil type string")
+	}
+	if nilT.Clone() != nil {
+		t.Fatal("nil clone")
+	}
+}
+
+func TestTypeCloneIndependent(t *testing.T) {
+	a := &Type{Name: QN("X"), Pointer: 1}
+	b := a.Clone()
+	b.Pointer = 5
+	if a.Pointer != 1 {
+		t.Fatal("clone shares declarator state")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	call := &CallExpr{
+		Callee: &DeclRefExpr{Name: QN("Kokkos", "parallel_for")},
+		Args: []Expr{
+			&LiteralExpr{Kind: token.IntLit, Text: "5"},
+			&MemberExpr{Base: &DeclRefExpr{Name: QN("m")}, Member: "rank"},
+		},
+	}
+	if got := ExprString(call); got != "Kokkos::parallel_for(5, m.rank)" {
+		t.Fatalf("ExprString = %q", got)
+	}
+	bin := &BinaryExpr{Op: token.PlusEq, L: &DeclRefExpr{Name: QN("x")}, R: &LiteralExpr{Text: "1"}}
+	if got := ExprString(bin); got != "x += 1" {
+		t.Fatalf("bin = %q", got)
+	}
+	idx := &IndexExpr{Base: &DeclRefExpr{Name: QN("a")}, Index: &LiteralExpr{Text: "3"}}
+	if got := ExprString(idx); got != "a[3]" {
+		t.Fatalf("idx = %q", got)
+	}
+	il := &InitListExpr{TypeName: QN("functor"), Elems: []Expr{&DeclRefExpr{Name: QN("x")}}}
+	if got := ExprString(il); got != "functor{x}" {
+		t.Fatalf("init list = %q", got)
+	}
+	ne := &NewExpr{Type: &Type{Name: QN("T")}, Args: []Expr{&LiteralExpr{Text: "1"}}}
+	if got := ExprString(ne); got != "new T(1)" {
+		t.Fatalf("new = %q", got)
+	}
+	cond := &ConditionalExpr{Cond: &DeclRefExpr{Name: QN("c")},
+		Then: &LiteralExpr{Text: "1"}, Else: &LiteralExpr{Text: "2"}}
+	if got := ExprString(cond); got != "c ? 1 : 2" {
+		t.Fatalf("cond = %q", got)
+	}
+	if ExprString(nil) != "" {
+		t.Fatal("nil expr")
+	}
+	if ExprString(&LambdaExpr{}) != "<lambda>" {
+		t.Fatal("lambda placeholder")
+	}
+	un := &UnaryExpr{Op: token.Star, X: &DeclRefExpr{Name: QN("p")}}
+	if got := ExprString(un); got != "*p" {
+		t.Fatalf("unary = %q", got)
+	}
+	post := &UnaryExpr{Op: token.PlusPlus, X: &DeclRefExpr{Name: QN("i")}, Postfix: true}
+	if got := ExprString(post); got != "i++" {
+		t.Fatalf("postfix = %q", got)
+	}
+}
+
+func TestWalkStopsOnFalse(t *testing.T) {
+	tu := &TranslationUnit{Decls: []Decl{
+		&ClassDecl{Name: "A", Members: []Decl{
+			&FieldDecl{Name: "f"},
+		}},
+	}}
+	visited := 0
+	Walk(tu, func(n Node) bool {
+		visited++
+		_, isClass := n.(*ClassDecl)
+		return !isClass // stop descent at the class
+	})
+	if visited != 2 { // TU + ClassDecl, not the field
+		t.Fatalf("visited = %d", visited)
+	}
+}
+
+func TestTranslationUnitPos(t *testing.T) {
+	var tu TranslationUnit
+	if tu.Pos().IsValid() || tu.End().IsValid() {
+		t.Fatal("empty TU should have invalid pos")
+	}
+	c := &ClassDecl{Name: "A"}
+	c.Start = token.Pos{Line: 3, Col: 1}
+	c.Stop = token.Pos{Line: 5, Col: 2}
+	tu.Decls = []Decl{c}
+	if tu.Pos().Line != 3 || tu.End().Line != 5 {
+		t.Fatalf("pos=%v end=%v", tu.Pos(), tu.End())
+	}
+}
+
+func TestClassAccessors(t *testing.T) {
+	c := &ClassDecl{Name: "C", Members: []Decl{
+		&FieldDecl{Name: "a"},
+		&FunctionDecl{Name: "m"},
+		&FieldDecl{Name: "b"},
+	}}
+	if len(c.FieldsOf()) != 2 || len(c.Methods()) != 1 {
+		t.Fatalf("fields=%d methods=%d", len(c.FieldsOf()), len(c.Methods()))
+	}
+	if c.IsTemplate() {
+		t.Fatal("not a template")
+	}
+	c.TemplateParams = []TemplateParam{{Kind: "class", Name: "T"}}
+	if !c.IsTemplate() {
+		t.Fatal("template")
+	}
+}
+
+func TestFunctionAccessors(t *testing.T) {
+	f := &FunctionDecl{Name: "free"}
+	if f.IsMethod() {
+		t.Fatal("free function is not a method")
+	}
+	f.QualifierName = QN("C")
+	if !f.IsMethod() {
+		t.Fatal("qualified definition is a method")
+	}
+	g := &FunctionDecl{Name: "m", Class: &ClassDecl{Name: "C"}}
+	if !g.IsMethod() {
+		t.Fatal("in-class decl is a method")
+	}
+}
+
+func TestTemplateParamIsType(t *testing.T) {
+	if !(TemplateParam{Kind: "typename"}).IsType() || !(TemplateParam{Kind: "class"}).IsType() {
+		t.Fatal("type params")
+	}
+	if (TemplateParam{Kind: "int"}).IsType() {
+		t.Fatal("non-type param")
+	}
+}

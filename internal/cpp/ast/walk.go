@@ -1,0 +1,157 @@
+package ast
+
+// Visitor is called for each node during Walk. Returning false stops
+// descent into the node's children.
+type Visitor func(Node) bool
+
+// Walk traverses the tree rooted at n in depth-first source order,
+// invoking v before descending into children.
+func Walk(n Node, v Visitor) {
+	if n == nil || !v(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *TranslationUnit:
+		for _, d := range x.Decls {
+			Walk(d, v)
+		}
+	case *NamespaceDecl:
+		for _, d := range x.Decls {
+			Walk(d, v)
+		}
+	case *ClassDecl:
+		for _, m := range x.Members {
+			Walk(m, v)
+		}
+	case *FieldDecl:
+		if x.Init != nil {
+			Walk(x.Init, v)
+		}
+	case *FunctionDecl:
+		for _, p := range x.Params {
+			if p.Default != nil {
+				Walk(p.Default, v)
+			}
+		}
+		if x.Body != nil {
+			Walk(x.Body, v)
+		}
+	case *VarDecl:
+		if x.Init != nil {
+			Walk(x.Init, v)
+		}
+		for _, a := range x.CtorArgs {
+			Walk(a, v)
+		}
+	case *EnumDecl:
+		for _, it := range x.Items {
+			if it.Value != nil {
+				Walk(it.Value, v)
+			}
+		}
+	case *StaticAssertDecl:
+		if x.Cond != nil {
+			Walk(x.Cond, v)
+		}
+	case *AliasDecl, *UsingDecl, *ExplicitInstantiation:
+		// leaves
+	case *CompoundStmt:
+		for _, s := range x.Stmts {
+			Walk(s, v)
+		}
+	case *DeclStmt:
+		Walk(x.D, v)
+	case *ExprStmt:
+		Walk(x.X, v)
+	case *ReturnStmt:
+		if x.X != nil {
+			Walk(x.X, v)
+		}
+	case *IfStmt:
+		Walk(x.Cond, v)
+		Walk(x.Then, v)
+		if x.Else != nil {
+			Walk(x.Else, v)
+		}
+	case *ForStmt:
+		if x.Init != nil {
+			Walk(x.Init, v)
+		}
+		if x.Cond != nil {
+			Walk(x.Cond, v)
+		}
+		if x.Post != nil {
+			Walk(x.Post, v)
+		}
+		Walk(x.Body, v)
+	case *WhileStmt:
+		Walk(x.Cond, v)
+		Walk(x.Body, v)
+	case *DoStmt:
+		Walk(x.Body, v)
+		Walk(x.Cond, v)
+	case *SwitchStmt:
+		Walk(x.Cond, v)
+		for _, c := range x.Cases {
+			if c.Value != nil {
+				Walk(c.Value, v)
+			}
+			for _, s := range c.Body {
+				Walk(s, v)
+			}
+		}
+	case *RangeForStmt:
+		if x.Var != nil {
+			Walk(x.Var, v)
+		}
+		Walk(x.Range, v)
+		Walk(x.Body, v)
+	case *CallExpr:
+		Walk(x.Callee, v)
+		for _, a := range x.Args {
+			Walk(a, v)
+		}
+	case *MemberExpr:
+		Walk(x.Base, v)
+	case *IndexExpr:
+		Walk(x.Base, v)
+		Walk(x.Index, v)
+	case *BinaryExpr:
+		Walk(x.L, v)
+		Walk(x.R, v)
+	case *UnaryExpr:
+		Walk(x.X, v)
+	case *ParenExpr:
+		Walk(x.X, v)
+	case *LambdaExpr:
+		for _, c := range x.Captures {
+			if c.Init != nil {
+				Walk(c.Init, v)
+			}
+		}
+		if x.Body != nil {
+			Walk(x.Body, v)
+		}
+	case *NewExpr:
+		for _, a := range x.Args {
+			Walk(a, v)
+		}
+	case *CastExpr:
+		Walk(x.X, v)
+	case *InitListExpr:
+		for _, e := range x.Elems {
+			Walk(e, v)
+		}
+	case *ConditionalExpr:
+		Walk(x.Cond, v)
+		Walk(x.Then, v)
+		Walk(x.Else, v)
+	case *DeclRefExpr, *LiteralExpr:
+		// leaves
+	}
+}
+
+// Inspect is a convenience wrapper over Walk that always descends.
+func Inspect(n Node, f func(Node)) {
+	Walk(n, func(n Node) bool { f(n); return true })
+}

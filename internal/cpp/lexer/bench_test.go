@@ -1,0 +1,31 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+)
+
+var benchSrc = strings.Repeat(`
+template <class T, class Layout> class View {
+public:
+  View(const char* label, int n0, int n1);
+  T& operator()(int i, int j) const { return data_[i * n1_ + j]; }
+private:
+  T* data_;
+  int n1_;
+};
+inline double norm(const View<double, LayoutRight>& v, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; i++) { acc += v(i, 0) * v(i, 0); }
+  return acc; // 0x1p-3 and "strings" appear too
+}
+`, 64)
+
+func BenchmarkTokenize(b *testing.B) {
+	b.SetBytes(int64(len(benchSrc)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Tokenize("bench.cpp", benchSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

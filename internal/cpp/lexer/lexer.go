@@ -1,0 +1,504 @@
+// Package lexer implements a C++ lexer sufficient for header analysis:
+// identifiers, keywords, numeric/char/string literals (including raw
+// strings), all punctuators, comments, line splices, and preprocessor
+// hash tokens. It is the first stage of the frontend substrate that
+// replaces clang in this reproduction.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cpp/token"
+)
+
+// Option configures a Lexer.
+type Option func(*Lexer)
+
+// KeepComments makes the lexer emit Comment tokens instead of skipping them.
+func KeepComments() Option {
+	return func(l *Lexer) { l.keepComments = true }
+}
+
+// Lexer tokenizes one source buffer.
+type Lexer struct {
+	file string
+	src  string
+
+	off  int
+	line int
+	col  int
+
+	atLineStart  bool
+	keepComments bool
+
+	errs []error
+}
+
+// New returns a lexer over src, attributing positions to file.
+func New(file, src string, opts ...Option) *Lexer {
+	l := &Lexer{file: file, src: src, line: 1, col: 1, atLineStart: true}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// Errors returns lexical errors accumulated so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+// Tokenize lexes the entire buffer, returning all tokens up to and
+// including the EOF token.
+func Tokenize(file, src string, opts ...Option) ([]token.Token, error) {
+	l := New(file, src, opts...)
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			break
+		}
+	}
+	if len(l.errs) > 0 {
+		return toks, l.errs[0]
+	}
+	return toks, nil
+}
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{File: l.file, Offset: l.off, Line: l.line, Col: l.col}
+}
+
+func (l *Lexer) errorf(format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("%s: %s", l.pos(), fmt.Sprintf(format, args...)))
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+// advance consumes one byte, maintaining line/col and handling line splices
+// (backslash-newline) transparently by treating them as zero-width.
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSplices consumes any backslash-newline sequences at the cursor.
+func (l *Lexer) skipSplices() {
+	for l.peek() == '\\' {
+		n := 1
+		if l.peekAt(n) == '\r' {
+			n++
+		}
+		if l.peekAt(n) != '\n' {
+			return
+		}
+		for i := 0; i <= n; i++ {
+			l.advance()
+		}
+	}
+}
+
+// skipSpace consumes whitespace and (unless configured otherwise) comments.
+// It reports whether a newline was crossed.
+func (l *Lexer) skipSpace() (sawNewline bool, comment *token.Token) {
+	for l.off < len(l.src) {
+		l.skipSplices()
+		c := l.peek()
+		switch {
+		case c == '\n':
+			sawNewline = true
+			l.advance()
+		case c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f':
+			l.advance()
+		case c == '/' && l.peekAt(1) == '/':
+			start := l.pos()
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.skipSplices()
+				if l.off < len(l.src) && l.peek() != '\n' {
+					l.advance()
+				}
+			}
+			if l.keepComments {
+				t := token.Token{Kind: token.Comment, Text: l.src[start.Offset:l.off], Pos: start}
+				return sawNewline, &t
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				if l.peek() == '\n' {
+					sawNewline = true
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf("unterminated block comment")
+			}
+			if l.keepComments {
+				t := token.Token{Kind: token.Comment, Text: l.src[start.Offset:l.off], Pos: start}
+				return sawNewline, &t
+			}
+		default:
+			return sawNewline, nil
+		}
+	}
+	return sawNewline, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() token.Token {
+	nl, comment := l.skipSpace()
+	first := l.atLineStart || nl
+	l.atLineStart = false
+	if comment != nil {
+		comment.LeadingNewline = first
+		return *comment
+	}
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: start, LeadingNewline: first}
+	}
+
+	mk := func(k token.Kind) token.Token {
+		return token.Token{Kind: k, Text: l.src[start.Offset:l.off], Pos: start, LeadingNewline: first}
+	}
+
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		return l.lexIdentOrLiteralPrefix(start, first)
+	case isDigit(c) || (c == '.' && isDigit(l.peekAt(1))):
+		l.lexNumber()
+		if strings.ContainsAny(l.src[start.Offset:l.off], ".eEpP") &&
+			!strings.HasPrefix(l.src[start.Offset:l.off], "0x") &&
+			!strings.HasPrefix(l.src[start.Offset:l.off], "0X") {
+			return mk(token.FloatLit)
+		}
+		txt := l.src[start.Offset:l.off]
+		if (strings.HasPrefix(txt, "0x") || strings.HasPrefix(txt, "0X")) && strings.ContainsAny(txt, ".pP") {
+			return mk(token.FloatLit)
+		}
+		return mk(token.IntLit)
+	case c == '"':
+		l.lexString('"')
+		return mk(token.StringLit)
+	case c == '\'':
+		l.lexString('\'')
+		return mk(token.CharLit)
+	}
+	return l.lexPunct(start, first)
+}
+
+// lexIdentOrLiteralPrefix handles identifiers, keywords, and literal
+// prefixes such as R"(...)" raw strings and L'a' wide chars.
+func (l *Lexer) lexIdentOrLiteralPrefix(start token.Pos, first bool) token.Token {
+	for l.off < len(l.src) && isIdentCont(l.peek()) {
+		l.advance()
+		l.skipSplices()
+	}
+	text := l.src[start.Offset:l.off]
+
+	mk := func(k token.Kind) token.Token {
+		return token.Token{Kind: k, Text: l.src[start.Offset:l.off], Pos: start, LeadingNewline: first}
+	}
+
+	// Raw string literal: R"delim( ... )delim"
+	if l.peek() == '"' && strings.HasSuffix(text, "R") {
+		switch text {
+		case "R", "u8R", "uR", "UR", "LR":
+			l.lexRawString()
+			return mk(token.StringLit)
+		}
+	}
+	// Encoding-prefixed string/char literal.
+	if l.peek() == '"' {
+		switch text {
+		case "u8", "u", "U", "L":
+			l.lexString('"')
+			return mk(token.StringLit)
+		}
+	}
+	if l.peek() == '\'' {
+		switch text {
+		case "u8", "u", "U", "L":
+			l.lexString('\'')
+			return mk(token.CharLit)
+		}
+	}
+
+	if token.Keywords[text] {
+		return token.Token{Kind: token.Keyword, Text: text, Pos: start, LeadingNewline: first}
+	}
+	return token.Token{Kind: token.Identifier, Text: text, Pos: start, LeadingNewline: first}
+}
+
+func (l *Lexer) lexNumber() {
+	// pp-number: digits, identifier chars, ', and exponent signs.
+	for l.off < len(l.src) {
+		l.skipSplices()
+		c := l.peek()
+		switch {
+		case isIdentCont(c) || c == '.' || c == '\'':
+			prev := c
+			l.advance()
+			_ = prev
+			// e+, e-, p+, p- exponents
+			if (c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+				(l.peek() == '+' || l.peek() == '-') {
+				// only a sign if prior char began an exponent within a number
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) lexString(quote byte) {
+	l.advance() // opening quote
+	for l.off < len(l.src) {
+		c := l.peek()
+		if c == '\\' {
+			l.advance()
+			if l.off < len(l.src) {
+				l.advance()
+			}
+			continue
+		}
+		if c == quote {
+			l.advance()
+			return
+		}
+		if c == '\n' {
+			kind := "string"
+			if quote == '\'' {
+				kind = "char"
+			}
+			l.errorf("unterminated %s literal", kind)
+			return
+		}
+		l.advance()
+	}
+	l.errorf("unterminated literal at EOF")
+}
+
+func (l *Lexer) lexRawString() {
+	l.advance() // "
+	// read delimiter up to (
+	dstart := l.off
+	for l.off < len(l.src) && l.peek() != '(' {
+		l.advance()
+	}
+	delim := l.src[dstart:l.off]
+	if l.off >= len(l.src) {
+		l.errorf("unterminated raw string delimiter")
+		return
+	}
+	l.advance() // (
+	closing := ")" + delim + `"`
+	for l.off < len(l.src) {
+		if strings.HasPrefix(l.src[l.off:], closing) {
+			for range closing {
+				l.advance()
+			}
+			return
+		}
+		l.advance()
+	}
+	l.errorf("unterminated raw string literal")
+}
+
+func (l *Lexer) lexPunct(start token.Pos, first bool) token.Token {
+	mk := func(k token.Kind, n int) token.Token {
+		for i := 0; i < n; i++ {
+			l.advance()
+			l.skipSplices()
+		}
+		return token.Token{Kind: k, Text: l.src[start.Offset:l.off], Pos: start, LeadingNewline: first}
+	}
+	c := l.peek()
+	c1 := l.peekAt(1)
+	c2 := l.peekAt(2)
+	switch c {
+	case '(':
+		return mk(token.LParen, 1)
+	case ')':
+		return mk(token.RParen, 1)
+	case '{':
+		return mk(token.LBrace, 1)
+	case '}':
+		return mk(token.RBrace, 1)
+	case '[':
+		return mk(token.LBracket, 1)
+	case ']':
+		return mk(token.RBracket, 1)
+	case ';':
+		return mk(token.Semi, 1)
+	case ',':
+		return mk(token.Comma, 1)
+	case '?':
+		return mk(token.Question, 1)
+	case '~':
+		return mk(token.Tilde, 1)
+	case ':':
+		if c1 == ':' {
+			return mk(token.ColonCol, 2)
+		}
+		return mk(token.Colon, 1)
+	case '.':
+		if c1 == '.' && c2 == '.' {
+			return mk(token.Ellipsis, 3)
+		}
+		if c1 == '*' {
+			return mk(token.DotStar, 2)
+		}
+		return mk(token.Dot, 1)
+	case '+':
+		if c1 == '+' {
+			return mk(token.PlusPlus, 2)
+		}
+		if c1 == '=' {
+			return mk(token.PlusEq, 2)
+		}
+		return mk(token.Plus, 1)
+	case '-':
+		if c1 == '-' {
+			return mk(token.MinusMinus, 2)
+		}
+		if c1 == '=' {
+			return mk(token.MinusEq, 2)
+		}
+		if c1 == '>' {
+			if c2 == '*' {
+				return mk(token.ArrowStar, 3)
+			}
+			return mk(token.Arrow, 2)
+		}
+		return mk(token.Minus, 1)
+	case '*':
+		if c1 == '=' {
+			return mk(token.StarEq, 2)
+		}
+		return mk(token.Star, 1)
+	case '/':
+		if c1 == '=' {
+			return mk(token.SlashEq, 2)
+		}
+		return mk(token.Slash, 1)
+	case '%':
+		if c1 == '=' {
+			return mk(token.PercentEq, 2)
+		}
+		return mk(token.Percent, 1)
+	case '&':
+		if c1 == '&' {
+			return mk(token.AmpAmp, 2)
+		}
+		if c1 == '=' {
+			return mk(token.AmpEq, 2)
+		}
+		return mk(token.Amp, 1)
+	case '|':
+		if c1 == '|' {
+			return mk(token.PipePipe, 2)
+		}
+		if c1 == '=' {
+			return mk(token.PipeEq, 2)
+		}
+		return mk(token.Pipe, 1)
+	case '^':
+		if c1 == '=' {
+			return mk(token.CaretEq, 2)
+		}
+		return mk(token.Caret, 1)
+	case '!':
+		if c1 == '=' {
+			return mk(token.NotEq, 2)
+		}
+		return mk(token.Exclaim, 1)
+	case '=':
+		if c1 == '=' {
+			return mk(token.EqEq, 2)
+		}
+		return mk(token.Assign, 1)
+	case '<':
+		if c1 == '=' && c2 == '>' {
+			return mk(token.Spaceship, 3)
+		}
+		if c1 == '=' {
+			return mk(token.LessEq, 2)
+		}
+		if c1 == '<' {
+			if c2 == '=' {
+				return mk(token.ShlEq, 3)
+			}
+			return mk(token.Shl, 2)
+		}
+		return mk(token.Less, 1)
+	case '>':
+		if c1 == '=' {
+			return mk(token.GreaterEq, 2)
+		}
+		if c1 == '>' {
+			if c2 == '=' {
+				return mk(token.ShrEq, 3)
+			}
+			return mk(token.Shr, 2)
+		}
+		return mk(token.Greater, 1)
+	case '#':
+		if c1 == '#' {
+			return mk(token.HashHash, 2)
+		}
+		return mk(token.Hash, 1)
+	}
+	l.errorf("unexpected character %q", string(c))
+	return mk(token.Invalid, 1)
+}
+
+// CountSourceLines returns the number of non-blank lines in src, mirroring
+// how the paper's Table 3 counts LOC of preprocessed output.
+func CountSourceLines(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}

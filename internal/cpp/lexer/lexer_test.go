@@ -1,0 +1,280 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/cpp/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, err := Tokenize("test.cpp", src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	var ks []token.Kind
+	for _, tk := range toks {
+		if tk.Kind != token.EOF {
+			ks = append(ks, tk.Kind)
+		}
+	}
+	return ks
+}
+
+func texts(t *testing.T, src string) []string {
+	t.Helper()
+	toks, err := Tokenize("test.cpp", src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	var out []string
+	for _, tk := range toks {
+		if tk.Kind != token.EOF {
+			out = append(out, tk.Text)
+		}
+	}
+	return out
+}
+
+func TestIdentifiersAndKeywords(t *testing.T) {
+	toks, err := Tokenize("t.cpp", "class Foo_1 int x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind token.Kind
+		text string
+	}{
+		{token.Keyword, "class"},
+		{token.Identifier, "Foo_1"},
+		{token.Keyword, "int"},
+		{token.Identifier, "x"},
+		{token.EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = %v, want %v %q", i, toks[i], w.kind, w.text)
+		}
+	}
+}
+
+func TestNumericLiterals(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind token.Kind
+	}{
+		{"42", token.IntLit},
+		{"0x2aULL", token.IntLit},
+		{"0b1010", token.IntLit},
+		{"1'000'000", token.IntLit},
+		{"3.14", token.FloatLit},
+		{"1e-9f", token.FloatLit},
+		{".5", token.FloatLit},
+		{"0x1.8p3", token.FloatLit},
+		{"6.022e23", token.FloatLit},
+	}
+	for _, c := range cases {
+		toks, err := Tokenize("t.cpp", c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if len(toks) != 2 {
+			t.Errorf("%q lexed to %d tokens: %v", c.src, len(toks)-1, toks)
+			continue
+		}
+		if toks[0].Kind != c.kind || toks[0].Text != c.src {
+			t.Errorf("%q = %v, want %v", c.src, toks[0], c.kind)
+		}
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	cases := []string{
+		`"hello"`,
+		`"esc \" quote"`,
+		`u8"utf"`,
+		`L"wide"`,
+		`R"(raw "string" here)"`,
+		`R"xy(nested )" inside)xy"`,
+	}
+	for _, c := range cases {
+		toks, err := Tokenize("t.cpp", c)
+		if err != nil {
+			t.Fatalf("%q: %v", c, err)
+		}
+		if len(toks) != 2 || toks[0].Kind != token.StringLit || toks[0].Text != c {
+			t.Errorf("%q lexed to %v", c, toks)
+		}
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	for _, c := range []string{`'a'`, `'\n'`, `'\''`, `L'w'`} {
+		toks, err := Tokenize("t.cpp", c)
+		if err != nil {
+			t.Fatalf("%q: %v", c, err)
+		}
+		if len(toks) != 2 || toks[0].Kind != token.CharLit {
+			t.Errorf("%q lexed to %v", c, toks)
+		}
+	}
+}
+
+func TestPunctuators(t *testing.T) {
+	got := kinds(t, ":: -> ->* ... <=> <<= >>= && || ++ -- ## .*")
+	want := []token.Kind{
+		token.ColonCol, token.Arrow, token.ArrowStar, token.Ellipsis,
+		token.Spaceship, token.ShlEq, token.ShrEq, token.AmpAmp,
+		token.PipePipe, token.PlusPlus, token.MinusMinus, token.HashHash,
+		token.DotStar,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("punct %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCommentsSkippedByDefault(t *testing.T) {
+	got := texts(t, "a // line comment\nb /* block */ c")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCommentsKept(t *testing.T) {
+	toks, err := Tokenize("t.cpp", "a /* keep */ b", KeepComments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 || toks[1].Kind != token.Comment || toks[1].Text != "/* keep */" {
+		t.Fatalf("got %v", toks)
+	}
+}
+
+func TestLeadingNewlineFlag(t *testing.T) {
+	toks, err := Tokenize("t.cpp", "#include <x>\n#define Y 1\nint z;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tokens: # include < x > # define Y 1 int z ;
+	var hashes []token.Token
+	for _, tk := range toks {
+		if tk.Kind == token.Hash {
+			hashes = append(hashes, tk)
+		}
+	}
+	if len(hashes) != 2 {
+		t.Fatalf("want 2 hashes, got %d", len(hashes))
+	}
+	for i, h := range hashes {
+		if !h.LeadingNewline {
+			t.Errorf("hash %d should be at line start", i)
+		}
+	}
+	if toks[1].LeadingNewline {
+		t.Errorf("'include' should not be flagged at line start")
+	}
+}
+
+func TestLineSplice(t *testing.T) {
+	got := texts(t, "ab\\\ncd")
+	if len(got) != 1 || got[0] != "ab\\\ncd" {
+		// the token spans the splice; spelling keeps raw text
+		t.Fatalf("got %v", got)
+	}
+	toks, _ := Tokenize("t.cpp", "ab\\\ncd")
+	if toks[0].Kind != token.Identifier {
+		t.Fatalf("spliced identifier kind = %v", toks[0].Kind)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("t.cpp", "int\n  x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("int at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("x at %v", toks[1].Pos)
+	}
+	if toks[1].Pos.Offset != 6 {
+		t.Errorf("x offset = %d", toks[1].Pos.Offset)
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	_, err := Tokenize("t.cpp", "\"abc\nnext")
+	if err == nil {
+		t.Fatal("want error for unterminated string")
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	_, err := Tokenize("t.cpp", "/* never closed")
+	if err == nil {
+		t.Fatal("want error for unterminated comment")
+	}
+}
+
+func TestTemplateAngleTokens(t *testing.T) {
+	// The lexer must produce Shr for >> (parser re-splits in template args).
+	got := kinds(t, "A<B<int>> x")
+	want := []token.Kind{token.Identifier, token.Less, token.Identifier,
+		token.Less, token.Keyword, token.Shr, token.Identifier}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tok %d = %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCountSourceLines(t *testing.T) {
+	src := "int a;\n\n  \nint b;\n// c\n"
+	if n := CountSourceLines(src); n != 3 {
+		t.Fatalf("CountSourceLines = %d, want 3", n)
+	}
+}
+
+func TestRealisticSnippet(t *testing.T) {
+	src := `
+#include <Kokkos_Core.hpp>
+using member_t = Kokkos::TeamPolicy<sp_t>::member_type;
+struct add_y {
+  int y;
+  Kokkos::View<int**, LayoutRight> x;
+  void operator()(member_t &m);
+};
+`
+	toks, err := Tokenize("functor.hpp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) < 40 {
+		t.Fatalf("too few tokens: %d", len(toks))
+	}
+	// Spot check the scope operator sequence Kokkos::TeamPolicy.
+	for i := 0; i < len(toks)-2; i++ {
+		if toks[i].Text == "Kokkos" && toks[i+1].Kind == token.ColonCol && toks[i+2].Text == "TeamPolicy" {
+			return
+		}
+	}
+	t.Fatal("did not find Kokkos::TeamPolicy token sequence")
+}

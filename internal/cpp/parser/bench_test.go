@@ -1,0 +1,44 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpp/lexer"
+	"repro/internal/cpp/token"
+)
+
+var benchSrc = strings.Repeat(`
+namespace lib {
+template <class T, class L> class Box {
+public:
+  Box(const char* label, int n);
+  T& operator()(int i) const;
+  int size() const { return n_; }
+private:
+  int n_;
+};
+template <class F> void apply(int n, F f) { for (int i = 0; i < n; i++) { f(i); } }
+inline int drive(Box<int, int>& b) {
+  int acc = 0;
+  apply(b.size(), [&](int i) { acc += b(i); });
+  return acc;
+}
+}
+`, 48)
+
+func BenchmarkParse(b *testing.B) {
+	toks, err := lexer.Tokenize("bench.cpp", benchSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(benchSrc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Parse may splice '>>' tokens in place, so hand it a fresh copy.
+		cp := append([]token.Token(nil), toks...)
+		if _, err := New(cp).Parse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

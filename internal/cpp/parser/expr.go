@@ -1,0 +1,718 @@
+package parser
+
+import (
+	"repro/internal/cpp/ast"
+	"repro/internal/cpp/token"
+)
+
+// ----------------------------------------------------------- statements
+
+func (p *Parser) parseCompound() *ast.CompoundStmt {
+	cs := &ast.CompoundStmt{}
+	cs.Start = p.cur().Pos
+	p.expect(token.LBrace)
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		start := p.pos
+		s := p.parseStmt()
+		if s != nil {
+			cs.Stmts = append(cs.Stmts, s)
+		}
+		if p.pos == start {
+			p.errorf("stuck in block at %v", p.cur())
+			p.next()
+		}
+	}
+	cs.Stop = p.cur().End()
+	p.expect(token.RBrace)
+	return cs
+}
+
+func (p *Parser) parseStmt() ast.Stmt {
+	switch {
+	case p.at(token.Semi):
+		p.next()
+		return nil
+	case p.at(token.LBrace):
+		return p.parseCompound()
+	case p.atWord("return"):
+		rs := &ast.ReturnStmt{}
+		rs.Start = p.cur().Pos
+		p.next()
+		if !p.at(token.Semi) {
+			rs.X = p.parseExpr()
+		}
+		rs.Stop = p.cur().End()
+		p.expect(token.Semi)
+		return rs
+	case p.atWord("if"):
+		return p.parseIf()
+	case p.atWord("for"):
+		return p.parseFor()
+	case p.atWord("while"):
+		return p.parseWhile()
+	case p.atWord("do"):
+		return p.parseDo()
+	case p.atWord("switch"):
+		return p.parseSwitch()
+	case p.atWord("break") || p.atWord("continue"):
+		es := &ast.ExprStmt{}
+		es.Start = p.cur().Pos
+		es.X = &ast.DeclRefExpr{Name: ast.QN(p.next().Text)}
+		es.Stop = p.cur().End()
+		p.expect(token.Semi)
+		return es
+	case p.atWord("using"):
+		d := p.parseUsing()
+		return wrapDecl(d)
+	case p.atWord("typedef"):
+		d := p.parseTypedef()
+		return wrapDecl(d)
+	case p.atWord("static_assert"):
+		return wrapDecl(p.parseStaticAssert())
+	case p.atWord("struct") || p.atWord("class"):
+		return wrapDecl(p.parseClassOrVar(nil))
+	}
+	// Try a local variable declaration with backtracking.
+	if d := p.tryParseLocalDecl(); d != nil {
+		return wrapDecl(d)
+	}
+	es := &ast.ExprStmt{}
+	es.Start = p.cur().Pos
+	es.X = p.parseExpr()
+	es.Stop = p.cur().End()
+	p.expect(token.Semi)
+	return es
+}
+
+func wrapDecl(d ast.Decl) ast.Stmt {
+	if d == nil {
+		return nil
+	}
+	ds := &ast.DeclStmt{D: d}
+	ds.Start = d.Pos()
+	ds.Stop = d.End()
+	return ds
+}
+
+// tryParseLocalDecl attempts `type name [init] ;` with full rollback.
+func (p *Parser) tryParseLocalDecl() ast.Decl {
+	save := p.pos
+	savedToks := p.toks
+	rollback := func() {
+		p.pos = save
+		p.toks = savedToks
+	}
+	var isStatic bool
+	for p.acceptWord("static") || p.acceptWord("constexpr") {
+		isStatic = true
+	}
+	t := p.tryParseType()
+	if t == nil {
+		rollback()
+		return nil
+	}
+	if !p.at(token.Identifier) {
+		rollback()
+		return nil
+	}
+	name := p.next().Text
+	v := &ast.VarDecl{Name: name, Type: t, Static: isStatic}
+	v.Start = t.PosStart
+	switch p.cur().Kind {
+	case token.Assign:
+		p.next()
+		v.Init = p.parseAssignExpr()
+	case token.LBrace:
+		v.Init = p.parseBracedInit(ast.QualifiedName{})
+	case token.LParen:
+		// Could be a constructor call `T x(a, b);` — parse args.
+		p.next()
+		for !p.at(token.RParen) && !p.at(token.EOF) {
+			v.CtorArgs = append(v.CtorArgs, p.parseAssignExpr())
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+		p.expect(token.RParen)
+	case token.Semi, token.Comma:
+		// plain declaration (possibly the first of several declarators)
+	case token.LBracket:
+		for p.at(token.LBracket) {
+			p.skipBalanced(token.LBracket, token.RBracket)
+		}
+	default:
+		rollback()
+		return nil
+	}
+	// Additional declarators share the type; the analysis only needs the
+	// first, so the rest are consumed without separate VarDecl nodes.
+	for p.accept(token.Comma) {
+		for p.at(token.Star) || p.at(token.Amp) {
+			p.next()
+		}
+		if !p.at(token.Identifier) {
+			rollback()
+			return nil
+		}
+		p.next()
+		if p.accept(token.Assign) {
+			if p.parseAssignExpr() == nil {
+				rollback()
+				return nil
+			}
+		} else if p.at(token.LBrace) {
+			p.parseBracedInit(ast.QualifiedName{})
+		}
+	}
+	if !p.at(token.Semi) {
+		rollback()
+		return nil
+	}
+	v.Stop = p.cur().End()
+	p.next()
+	return v
+}
+
+func (p *Parser) parseIf() ast.Stmt {
+	is := &ast.IfStmt{}
+	is.Start = p.cur().Pos
+	p.next()
+	p.expect(token.LParen)
+	is.Cond = p.parseExpr()
+	p.expect(token.RParen)
+	is.Then = p.parseStmt()
+	if p.acceptWord("else") {
+		is.Else = p.parseStmt()
+	}
+	if is.Else != nil {
+		is.Stop = is.Else.End()
+	} else if is.Then != nil {
+		is.Stop = is.Then.End()
+	}
+	return is
+}
+
+func (p *Parser) parseFor() ast.Stmt {
+	start := p.cur().Pos
+	p.next()
+	p.expect(token.LParen)
+	// Range-for: `for (T x : range)`.
+	if rf := p.tryParseRangeFor(start); rf != nil {
+		return rf
+	}
+	fs := &ast.ForStmt{}
+	fs.Start = start
+	if !p.at(token.Semi) {
+		if d := p.tryParseLocalDecl(); d != nil {
+			fs.Init = wrapDecl(d)
+		} else {
+			es := &ast.ExprStmt{X: p.parseExpr()}
+			fs.Init = es
+			p.expect(token.Semi)
+		}
+	} else {
+		p.next()
+	}
+	if !p.at(token.Semi) {
+		fs.Cond = p.parseExpr()
+	}
+	p.expect(token.Semi)
+	if !p.at(token.RParen) {
+		fs.Post = p.parseExpr()
+	}
+	p.expect(token.RParen)
+	fs.Body = p.parseStmt()
+	if fs.Body != nil {
+		fs.Stop = fs.Body.End()
+	}
+	return fs
+}
+
+// tryParseRangeFor attempts `T name : expr )` after the for's '(' with
+// full rollback.
+func (p *Parser) tryParseRangeFor(start token.Pos) ast.Stmt {
+	save := p.pos
+	savedToks := p.toks
+	rollback := func() {
+		p.pos = save
+		p.toks = savedToks
+	}
+	p.acceptWord("const")
+	t := p.tryParseType()
+	if t == nil || !p.at(token.Identifier) {
+		rollback()
+		return nil
+	}
+	name := p.next().Text
+	if !p.accept(token.Colon) {
+		rollback()
+		return nil
+	}
+	rf := &ast.RangeForStmt{}
+	rf.Start = start
+	vd := &ast.VarDecl{Name: name, Type: t}
+	vd.Start = t.PosStart
+	vd.Stop = p.cur().Pos
+	rf.Var = vd
+	rf.Range = p.parseExpr()
+	p.expect(token.RParen)
+	rf.Body = p.parseStmt()
+	if rf.Body != nil {
+		rf.Stop = rf.Body.End()
+	}
+	return rf
+}
+
+func (p *Parser) parseDo() ast.Stmt {
+	ds := &ast.DoStmt{}
+	ds.Start = p.cur().Pos
+	p.next()
+	ds.Body = p.parseStmt()
+	if !p.acceptWord("while") {
+		p.errorf("expected 'while' after do body")
+		return ds
+	}
+	p.expect(token.LParen)
+	ds.Cond = p.parseExpr()
+	ds.Stop = p.cur().End()
+	p.expect(token.RParen)
+	p.expect(token.Semi)
+	return ds
+}
+
+func (p *Parser) parseSwitch() ast.Stmt {
+	ss := &ast.SwitchStmt{}
+	ss.Start = p.cur().Pos
+	p.next()
+	p.expect(token.LParen)
+	ss.Cond = p.parseExpr()
+	p.expect(token.RParen)
+	p.expect(token.LBrace)
+	var cur *ast.SwitchCase
+	flush := func() {
+		if cur != nil {
+			ss.Cases = append(ss.Cases, *cur)
+		}
+	}
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		switch {
+		case p.atWord("case"):
+			flush()
+			p.next()
+			cur = &ast.SwitchCase{Value: p.parseShiftFreeExpr()}
+			p.expect(token.Colon)
+		case p.atWord("default"):
+			flush()
+			p.next()
+			cur = &ast.SwitchCase{}
+			p.expect(token.Colon)
+		default:
+			s := p.parseStmt()
+			if cur == nil {
+				p.errorf("statement before first case label")
+				cur = &ast.SwitchCase{}
+			}
+			if s != nil {
+				cur.Body = append(cur.Body, s)
+			}
+		}
+	}
+	flush()
+	ss.Stop = p.cur().End()
+	p.expect(token.RBrace)
+	return ss
+}
+
+func (p *Parser) parseWhile() ast.Stmt {
+	ws := &ast.WhileStmt{}
+	ws.Start = p.cur().Pos
+	p.next()
+	p.expect(token.LParen)
+	ws.Cond = p.parseExpr()
+	p.expect(token.RParen)
+	ws.Body = p.parseStmt()
+	if ws.Body != nil {
+		ws.Stop = ws.Body.End()
+	}
+	return ws
+}
+
+// ---------------------------------------------------------- expressions
+
+// parseExpr parses a full expression including comma-free assignment.
+func (p *Parser) parseExpr() ast.Expr { return p.parseAssignExpr() }
+
+func (p *Parser) parseAssignExpr() ast.Expr {
+	lhs := p.parseConditional(1)
+	if lhs == nil {
+		return nil
+	}
+	if token.AssignmentOps[p.cur().Kind] {
+		op := p.next().Kind
+		rhs := p.parseAssignExpr()
+		if rhs == nil {
+			p.errorf("missing right-hand side of assignment")
+			return lhs
+		}
+		be := &ast.BinaryExpr{Op: op, L: lhs, R: rhs}
+		be.Start = lhs.Pos()
+		be.Stop = rhs.End()
+		return be
+	}
+	return lhs
+}
+
+// parseShiftFreeExpr parses a constant expression that must stop at a
+// top-level '>' (template argument context).
+func (p *Parser) parseShiftFreeExpr() ast.Expr {
+	return p.parseBinaryExpr(9, true) // additive and tighter only
+}
+
+func (p *Parser) parseConditional(minPrec int) ast.Expr {
+	cond := p.parseBinaryExpr(minPrec, false)
+	if cond == nil || !p.at(token.Question) {
+		return cond
+	}
+	p.next()
+	thenE := p.parseAssignExpr()
+	p.expect(token.Colon)
+	elseE := p.parseAssignExpr()
+	ce := &ast.ConditionalExpr{Cond: cond, Then: thenE, Else: elseE}
+	ce.Start = cond.Pos()
+	ce.Stop = elseE.End()
+	return ce
+}
+
+func binPrec(k token.Kind) int {
+	switch k {
+	case token.PipePipe:
+		return 1
+	case token.AmpAmp:
+		return 2
+	case token.Pipe:
+		return 3
+	case token.Caret:
+		return 4
+	case token.Amp:
+		return 5
+	case token.EqEq, token.NotEq:
+		return 6
+	case token.Less, token.Greater, token.LessEq, token.GreaterEq, token.Spaceship:
+		return 7
+	case token.Shl, token.Shr:
+		return 8
+	case token.Plus, token.Minus:
+		return 9
+	case token.Star, token.Slash, token.Percent:
+		return 10
+	}
+	return 0
+}
+
+func (p *Parser) parseBinaryExpr(minPrec int, templateCtx bool) ast.Expr {
+	lhs := p.parseUnary()
+	if lhs == nil {
+		return nil
+	}
+	for {
+		k := p.cur().Kind
+		if templateCtx && (k == token.Greater || k == token.Shr) {
+			return lhs
+		}
+		prec := binPrec(k)
+		if prec == 0 || prec < minPrec {
+			return lhs
+		}
+		p.next()
+		rhs := p.parseBinaryExpr(prec+1, templateCtx)
+		if rhs == nil {
+			p.errorf("missing right operand of %v", k)
+			return lhs
+		}
+		be := &ast.BinaryExpr{Op: k, L: lhs, R: rhs}
+		be.Start = lhs.Pos()
+		be.Stop = rhs.End()
+		lhs = be
+	}
+}
+
+func (p *Parser) parseUnary() ast.Expr {
+	start := p.cur().Pos
+	switch p.cur().Kind {
+	case token.Plus, token.Minus, token.Exclaim, token.Tilde,
+		token.Star, token.Amp, token.PlusPlus, token.MinusMinus:
+		op := p.next().Kind
+		x := p.parseUnary()
+		ue := &ast.UnaryExpr{Op: op, X: x}
+		ue.Start = start
+		if x != nil {
+			ue.Stop = x.End()
+		}
+		return ue
+	}
+	if p.atWord("new") {
+		p.next()
+		t := p.tryParseType()
+		ne := &ast.NewExpr{Type: t}
+		ne.Start = start
+		if p.at(token.LParen) {
+			p.next()
+			for !p.at(token.RParen) && !p.at(token.EOF) {
+				ne.Args = append(ne.Args, p.parseAssignExpr())
+				if !p.accept(token.Comma) {
+					break
+				}
+			}
+			p.expect(token.RParen)
+		} else if p.at(token.LBrace) {
+			bi := p.parseBracedInit(ast.QualifiedName{})
+			ne.Args = bi.Elems
+		}
+		ne.Stop = p.cur().Pos
+		return ne
+	}
+	if p.atWord("sizeof") {
+		p.next()
+		if p.at(token.LParen) {
+			p.skipBalanced(token.LParen, token.RParen)
+		} else {
+			p.parseUnary()
+		}
+		le := &ast.LiteralExpr{Kind: token.IntLit, Text: "sizeof"}
+		le.Start = start
+		le.Stop = p.cur().Pos
+		return le
+	}
+	if p.atWord("delete") {
+		p.next()
+		if p.at(token.LBracket) {
+			p.skipBalanced(token.LBracket, token.RBracket)
+		}
+		x := p.parseUnary()
+		ue := &ast.UnaryExpr{Op: token.Tilde, X: x} // representation detail
+		ue.Start = start
+		if x != nil {
+			ue.Stop = x.End()
+		}
+		return ue
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() ast.Expr {
+	x := p.parsePrimary()
+	if x == nil {
+		return nil
+	}
+	for {
+		switch p.cur().Kind {
+		case token.LParen:
+			ce := &ast.CallExpr{Callee: x}
+			ce.Start = x.Pos()
+			ce.CalleeEnd = p.cur().Pos
+			p.next()
+			for !p.at(token.RParen) && !p.at(token.EOF) {
+				ce.Args = append(ce.Args, p.parseAssignExpr())
+				if !p.accept(token.Comma) {
+					break
+				}
+			}
+			ce.Stop = p.cur().End()
+			p.expect(token.RParen)
+			x = ce
+		case token.LBracket:
+			ie := &ast.IndexExpr{Base: x}
+			ie.Start = x.Pos()
+			p.next()
+			ie.Index = p.parseExpr()
+			ie.Stop = p.cur().End()
+			p.expect(token.RBracket)
+			x = ie
+		case token.Dot, token.Arrow:
+			arrow := p.next().Kind == token.Arrow
+			mpos := p.cur().Pos
+			var member string
+			if p.atWord("operator") {
+				// x.operator()(...) — rare; normalize
+				p.next()
+				member = "operator"
+				if p.at(token.LParen) && p.peekN(1).Kind == token.RParen {
+					p.next()
+					p.next()
+					member = "operator()"
+				}
+			} else {
+				member = p.expect(token.Identifier).Text
+				// member template: x.foo<int>(...)
+				if p.at(token.Less) {
+					if _, ok := p.tryParseTemplateArgs(); ok {
+						// template args are dropped; the analysis keys on
+						// the member name
+						_ = ok
+					}
+				}
+			}
+			me := &ast.MemberExpr{Base: x, Member: member, Arrow: arrow, MemberPos: mpos}
+			me.Start = x.Pos()
+			me.Stop = p.cur().Pos
+			x = me
+		case token.PlusPlus, token.MinusMinus:
+			op := p.next().Kind
+			ue := &ast.UnaryExpr{Op: op, X: x, Postfix: true}
+			ue.Start = x.Pos()
+			ue.Stop = p.cur().Pos
+			x = ue
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() ast.Expr {
+	start := p.cur().Pos
+	switch p.cur().Kind {
+	case token.IntLit, token.FloatLit, token.CharLit, token.StringLit:
+		t := p.next()
+		le := &ast.LiteralExpr{Kind: t.Kind, Text: t.Text}
+		le.Start = t.Pos
+		le.Stop = t.End()
+		return le
+	case token.LParen:
+		p.next()
+		x := p.parseExpr()
+		pe := &ast.ParenExpr{X: x}
+		pe.Start = start
+		pe.Stop = p.cur().End()
+		p.expect(token.RParen)
+		return pe
+	case token.LBracket:
+		return p.parseLambda()
+	case token.LBrace:
+		return p.parseBracedInit(ast.QualifiedName{})
+	case token.Keyword:
+		switch p.cur().Text {
+		case "true", "false", "nullptr", "this":
+			t := p.next()
+			le := &ast.LiteralExpr{Kind: token.Identifier, Text: t.Text}
+			le.Start = t.Pos
+			le.Stop = t.End()
+			return le
+		case "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast":
+			p.next()
+			p.expect(token.Less)
+			t := p.tryParseType()
+			if p.at(token.Shr) {
+				p.splitShr()
+			}
+			p.expect(token.Greater)
+			p.expect(token.LParen)
+			x := p.parseExpr()
+			ce := &ast.CastExpr{Type: t, X: x}
+			ce.Start = start
+			ce.Stop = p.cur().End()
+			p.expect(token.RParen)
+			return ce
+		case "new", "sizeof", "delete":
+			return p.parseUnary()
+		}
+		// Builtin type used as functional cast: int(x), double(y).
+		if token.IsTypeKeyword(p.cur().Text) {
+			t := p.tryParseType()
+			if t != nil && p.at(token.LParen) {
+				p.next()
+				x := p.parseExpr()
+				ce := &ast.CastExpr{Type: t, X: x}
+				ce.Start = start
+				ce.Stop = p.cur().End()
+				p.expect(token.RParen)
+				return ce
+			}
+		}
+		p.errorf("unexpected keyword %q in expression", p.cur().Text)
+		p.next()
+		return nil
+	case token.Identifier:
+		name, _ := p.tryParseQualifiedName(true)
+		// T{...} functional braced construction.
+		if p.at(token.LBrace) {
+			return p.parseBracedInit(name)
+		}
+		dre := &ast.DeclRefExpr{Name: name}
+		dre.Start = start
+		dre.Stop = p.cur().Pos
+		return dre
+	}
+	p.errorf("unexpected token %v in expression", p.cur())
+	return nil
+}
+
+// parseBracedInit parses { a, b, ... }, optionally as T{...}.
+func (p *Parser) parseBracedInit(typeName ast.QualifiedName) *ast.InitListExpr {
+	il := &ast.InitListExpr{TypeName: typeName}
+	il.Start = p.cur().Pos
+	p.expect(token.LBrace)
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		il.Elems = append(il.Elems, p.parseAssignExpr())
+		if !p.accept(token.Comma) {
+			break
+		}
+	}
+	il.Stop = p.cur().End()
+	p.expect(token.RBrace)
+	return il
+}
+
+// parseLambda parses [captures](params) [mutable] [-> T] { body }.
+func (p *Parser) parseLambda() ast.Expr {
+	le := &ast.LambdaExpr{}
+	le.Start = p.cur().Pos
+	p.expect(token.LBracket)
+	for !p.at(token.RBracket) && !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.Amp:
+			p.next()
+			if p.at(token.Identifier) {
+				le.Captures = append(le.Captures, ast.LambdaCapture{Name: p.next().Text, ByRef: true})
+			} else {
+				le.DefaultCapture = "&"
+			}
+		case token.Assign:
+			p.next()
+			le.DefaultCapture = "="
+		case token.Identifier:
+			name := p.next().Text
+			cap := ast.LambdaCapture{Name: name}
+			if p.accept(token.Assign) {
+				cap.Init = p.parseAssignExpr()
+			}
+			le.Captures = append(le.Captures, cap)
+		case token.Keyword:
+			if p.cur().Text == "this" {
+				p.next()
+				le.Captures = append(le.Captures, ast.LambdaCapture{Name: "this"})
+			} else {
+				p.errorf("unexpected %q in lambda capture", p.cur().Text)
+				p.next()
+			}
+		default:
+			p.errorf("unexpected %v in lambda capture", p.cur())
+			p.next()
+		}
+		p.accept(token.Comma)
+	}
+	p.expect(token.RBracket)
+	if p.at(token.LParen) {
+		le.Params = p.parseParamList()
+	}
+	if p.acceptWord("mutable") {
+		le.Mutable = true
+	}
+	if p.accept(token.Arrow) {
+		le.ReturnType = p.tryParseType()
+	}
+	if p.at(token.LBrace) {
+		le.Body = p.parseCompound()
+		le.Stop = le.Body.End()
+	}
+	return le
+}

@@ -1,0 +1,776 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/cpp/ast"
+	"repro/internal/cpp/lexer"
+	"repro/internal/cpp/token"
+)
+
+func parse(t *testing.T, src string) *ast.TranslationUnit {
+	t.Helper()
+	toks, err := lexer.Tokenize("test.cpp", src)
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	tu, err := New(toks).Parse()
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	return tu
+}
+
+func mustClass(t *testing.T, d ast.Decl) *ast.ClassDecl {
+	t.Helper()
+	c, ok := d.(*ast.ClassDecl)
+	if !ok {
+		t.Fatalf("decl is %T, want *ClassDecl", d)
+	}
+	return c
+}
+
+func mustFunc(t *testing.T, d ast.Decl) *ast.FunctionDecl {
+	t.Helper()
+	f, ok := d.(*ast.FunctionDecl)
+	if !ok {
+		t.Fatalf("decl is %T, want *FunctionDecl", d)
+	}
+	return f
+}
+
+func TestParseSimpleFunction(t *testing.T) {
+	tu := parse(t, "int add(int x, int y) { return x + y; }")
+	if len(tu.Decls) != 1 {
+		t.Fatalf("decls = %d", len(tu.Decls))
+	}
+	f := mustFunc(t, tu.Decls[0])
+	if f.Name != "add" || !f.IsDefinition || len(f.Params) != 2 {
+		t.Fatalf("f = %+v", f)
+	}
+	if f.ReturnType.String() != "int" {
+		t.Fatalf("return type = %s", f.ReturnType)
+	}
+	if f.Params[0].Name != "x" || f.Params[0].Type.String() != "int" {
+		t.Fatalf("param0 = %+v", f.Params[0])
+	}
+}
+
+func TestParseFunctionTemplateFigure2(t *testing.T) {
+	// Figure 2a of the paper.
+	tu := parse(t, `
+template<typename T>
+T g_add(T x, T y) {
+  return x + y;
+}
+int main() {
+  g_add<int>(1, 2);
+}`)
+	if len(tu.Decls) != 2 {
+		t.Fatalf("decls = %d", len(tu.Decls))
+	}
+	f := mustFunc(t, tu.Decls[0])
+	if !f.IsTemplate() || f.TemplateParams[0].Name != "T" || f.TemplateParams[0].Kind != "typename" {
+		t.Fatalf("template params = %+v", f.TemplateParams)
+	}
+	m := mustFunc(t, tu.Decls[1])
+	call := m.Body.Stmts[0].(*ast.ExprStmt).X.(*ast.CallExpr)
+	dre := call.Callee.(*ast.DeclRefExpr)
+	if dre.Name.Plain() != "g_add" {
+		t.Fatalf("callee = %s", dre.Name)
+	}
+	if len(dre.Name.Last().Args) != 1 || dre.Name.Last().Args[0].Type.String() != "int" {
+		t.Fatalf("template args = %+v", dre.Name.Last().Args)
+	}
+	if len(call.Args) != 2 {
+		t.Fatalf("call args = %d", len(call.Args))
+	}
+}
+
+func TestParseExplicitInstantiation(t *testing.T) {
+	// Figure 2d of the paper.
+	tu := parse(t, `
+template<typename T>
+T g_add(T x, T y) { return x + y; }
+template
+int g_add<int>(int x, int y);`)
+	if len(tu.Decls) != 2 {
+		t.Fatalf("decls = %d", len(tu.Decls))
+	}
+	ei, ok := tu.Decls[1].(*ast.ExplicitInstantiation)
+	if !ok {
+		t.Fatalf("decl 1 = %T", tu.Decls[1])
+	}
+	if ei.IsClass || ei.Name.Plain() != "g_add" || len(ei.Params) != 2 {
+		t.Fatalf("ei = %+v", ei)
+	}
+}
+
+func TestParseNamespaceAndClass(t *testing.T) {
+	tu := parse(t, `
+namespace Kokkos {
+  class OpenMP;
+  template<class DataType, class Layout> class View;
+  struct LayoutRight {};
+}`)
+	ns := tu.Decls[0].(*ast.NamespaceDecl)
+	if ns.Name != "Kokkos" || len(ns.Decls) != 3 {
+		t.Fatalf("ns = %+v", ns)
+	}
+	openmp := mustClass(t, ns.Decls[0])
+	if openmp.Name != "OpenMP" || openmp.IsDefinition {
+		t.Fatalf("OpenMP = %+v", openmp)
+	}
+	view := mustClass(t, ns.Decls[1])
+	if !view.IsTemplate() || len(view.TemplateParams) != 2 || view.TemplateParams[1].Name != "Layout" {
+		t.Fatalf("View = %+v", view)
+	}
+	lr := mustClass(t, ns.Decls[2])
+	if !lr.IsDefinition || lr.Keyword != "struct" {
+		t.Fatalf("LayoutRight = %+v", lr)
+	}
+}
+
+func TestParseFigure3Functor(t *testing.T) {
+	// The paper's running PyKokkos example (functor.hpp, Figure 3),
+	// minus the #include which the preprocessor handles.
+	tu := parse(t, `
+using sp_t = Kokkos::OpenMP;
+using member_t = Kokkos::TeamPolicy<sp_t>::member_type;
+using Kokkos::LayoutRight;
+
+struct add_y {
+  int y;
+  Kokkos::View<int**, LayoutRight> x;
+  void operator()(member_t &m);
+};`)
+	if len(tu.Decls) != 4 {
+		t.Fatalf("decls = %d", len(tu.Decls))
+	}
+	a1 := tu.Decls[0].(*ast.AliasDecl)
+	if a1.Name != "sp_t" || a1.Target.Name.String() != "Kokkos::OpenMP" {
+		t.Fatalf("alias 1 = %+v target=%s", a1, a1.Target)
+	}
+	a2 := tu.Decls[1].(*ast.AliasDecl)
+	wantTarget := "Kokkos::TeamPolicy<sp_t>::member_type"
+	if a2.Target.Name.String() != wantTarget {
+		t.Fatalf("alias 2 target = %s, want %s", a2.Target.Name, wantTarget)
+	}
+	u := tu.Decls[2].(*ast.UsingDecl)
+	if u.Name.String() != "Kokkos::LayoutRight" || u.IsNamespace {
+		t.Fatalf("using = %+v", u)
+	}
+	c := mustClass(t, tu.Decls[3])
+	if c.Name != "add_y" || len(c.Members) != 3 {
+		t.Fatalf("add_y = %+v", c)
+	}
+	fields := c.FieldsOf()
+	if len(fields) != 2 || fields[0].Name != "y" || fields[1].Name != "x" {
+		t.Fatalf("fields = %+v", fields)
+	}
+	// View<int**, LayoutRight>: first template arg is int with Pointer=2.
+	xType := fields[1].Type
+	args := xType.Name.Last().Args
+	if len(args) != 2 || args[0].Type.Pointer != 2 || args[0].Type.Name.String() != "int" {
+		t.Fatalf("View args = %+v", args)
+	}
+	ms := c.Methods()
+	if len(ms) != 1 || ms[0].Name != "operator()" || !ms[0].IsOperator {
+		t.Fatalf("methods = %+v", ms)
+	}
+	if len(ms[0].Params) != 1 || !ms[0].Params[0].Type.LValueRef {
+		t.Fatalf("operator() params = %+v", ms[0].Params)
+	}
+}
+
+func TestParseFigure3Kernel(t *testing.T) {
+	// kernel.cpp from Figure 3: out-of-line method def with lambda.
+	tu := parse(t, `
+void add_y::operator()(member_t &m) {
+  int j = m.league_rank();
+  Kokkos::parallel_for(
+    Kokkos::TeamThreadRange(m, 5),
+    [&](int i) { x(j, i) += y; });
+}`)
+	f := mustFunc(t, tu.Decls[0])
+	if f.QualifierName.String() != "add_y" || f.Name != "operator()" {
+		t.Fatalf("f = name=%q qual=%q", f.Name, f.QualifierName)
+	}
+	if !f.IsDefinition || len(f.Body.Stmts) != 2 {
+		t.Fatalf("body stmts = %d", len(f.Body.Stmts))
+	}
+	// int j = m.league_rank();
+	ds := f.Body.Stmts[0].(*ast.DeclStmt)
+	vd := ds.D.(*ast.VarDecl)
+	if vd.Name != "j" {
+		t.Fatalf("vd = %+v", vd)
+	}
+	call := vd.Init.(*ast.CallExpr)
+	me := call.Callee.(*ast.MemberExpr)
+	if me.Member != "league_rank" || me.Arrow {
+		t.Fatalf("member call = %+v", me)
+	}
+	// Kokkos::parallel_for(TeamThreadRange(m,5), lambda)
+	es := f.Body.Stmts[1].(*ast.ExprStmt)
+	pf := es.X.(*ast.CallExpr)
+	if pf.Callee.(*ast.DeclRefExpr).Name.String() != "Kokkos::parallel_for" {
+		t.Fatalf("callee = %s", ast.ExprString(pf.Callee))
+	}
+	if len(pf.Args) != 2 {
+		t.Fatalf("args = %d", len(pf.Args))
+	}
+	ttr := pf.Args[0].(*ast.CallExpr)
+	if ttr.Callee.(*ast.DeclRefExpr).Name.String() != "Kokkos::TeamThreadRange" {
+		t.Fatalf("arg0 = %s", ast.ExprString(ttr))
+	}
+	lam, ok := pf.Args[1].(*ast.LambdaExpr)
+	if !ok {
+		t.Fatalf("arg1 = %T", pf.Args[1])
+	}
+	if lam.DefaultCapture != "&" || len(lam.Params) != 1 || lam.Params[0].Name != "i" {
+		t.Fatalf("lambda = %+v", lam)
+	}
+	// x(j, i) += y — operator() call on field x inside lambda body.
+	inner := lam.Body.Stmts[0].(*ast.ExprStmt).X.(*ast.BinaryExpr)
+	if inner.Op != token.PlusEq {
+		t.Fatalf("op = %v", inner.Op)
+	}
+	xcall := inner.L.(*ast.CallExpr)
+	if xcall.Callee.(*ast.DeclRefExpr).Name.String() != "x" || len(xcall.Args) != 2 {
+		t.Fatalf("x call = %s", ast.ExprString(xcall))
+	}
+}
+
+func TestParseNestedTemplateShr(t *testing.T) {
+	tu := parse(t, "Kokkos::View<Kokkos::View<int>> nested;")
+	v := tu.Decls[0].(*ast.VarDecl)
+	args := v.Type.Name.Last().Args
+	if len(args) != 1 || args[0].Type.Name.Plain() != "Kokkos::View" {
+		t.Fatalf("nested args = %+v", args)
+	}
+}
+
+func TestParseLessThanNotTemplate(t *testing.T) {
+	tu := parse(t, "void f() { int a = 1; int b = 2; bool c = a < b; }")
+	f := mustFunc(t, tu.Decls[0])
+	vd := f.Body.Stmts[2].(*ast.DeclStmt).D.(*ast.VarDecl)
+	be, ok := vd.Init.(*ast.BinaryExpr)
+	if !ok || be.Op != token.Less {
+		t.Fatalf("init = %s", ast.ExprString(vd.Init))
+	}
+}
+
+func TestParseForLoop(t *testing.T) {
+	tu := parse(t, `
+void f() {
+  for (int i = 0; i < 10; i++) {
+    g(i);
+  }
+}`)
+	f := mustFunc(t, tu.Decls[0])
+	fs := f.Body.Stmts[0].(*ast.ForStmt)
+	if fs.Init == nil || fs.Cond == nil || fs.Post == nil {
+		t.Fatalf("for = %+v", fs)
+	}
+	vd := fs.Init.(*ast.DeclStmt).D.(*ast.VarDecl)
+	if vd.Name != "i" {
+		t.Fatalf("loop var = %+v", vd)
+	}
+}
+
+func TestParseEnum(t *testing.T) {
+	tu := parse(t, "enum class Color : int { Red, Green = 5, Blue };")
+	e := tu.Decls[0].(*ast.EnumDecl)
+	if !e.Scoped || e.Name != "Color" || e.Underlying != "int" || len(e.Items) != 3 {
+		t.Fatalf("enum = %+v", e)
+	}
+	if e.Items[1].Name != "Green" || e.Items[1].Value == nil {
+		t.Fatalf("items = %+v", e.Items)
+	}
+}
+
+func TestParseTypedef(t *testing.T) {
+	tu := parse(t, "typedef unsigned long long size_type;")
+	a := tu.Decls[0].(*ast.AliasDecl)
+	if a.Name != "size_type" || a.Target.Name.String() != "unsigned long long" {
+		t.Fatalf("typedef = %+v target=%s", a, a.Target)
+	}
+}
+
+func TestParseClassWithMethodsAndAccess(t *testing.T) {
+	tu := parse(t, `
+class Widget {
+public:
+  Widget(int n);
+  ~Widget();
+  int size() const { return n_; }
+  static Widget make();
+private:
+  int n_;
+};`)
+	c := mustClass(t, tu.Decls[0])
+	ms := c.Methods()
+	if len(ms) != 4 {
+		t.Fatalf("methods = %d", len(ms))
+	}
+	if ms[0].Name != "Widget" || ms[1].Name != "~Widget" {
+		t.Fatalf("ctor/dtor = %q %q", ms[0].Name, ms[1].Name)
+	}
+	if !ms[2].Const || !ms[2].IsDefinition {
+		t.Fatalf("size() = %+v", ms[2])
+	}
+	if !ms[3].Static {
+		t.Fatalf("make() = %+v", ms[3])
+	}
+	fs := c.FieldsOf()
+	if len(fs) != 1 || fs[0].Access != ast.Private {
+		t.Fatalf("fields = %+v", fs)
+	}
+}
+
+func TestParseNestedClass(t *testing.T) {
+	tu := parse(t, `
+class Outer {
+public:
+  class Inner { int x; };
+};`)
+	outer := mustClass(t, tu.Decls[0])
+	inner := mustClass(t, outer.Members[0])
+	if inner.Name != "Inner" || inner.Parent != outer {
+		t.Fatalf("inner = %+v parent=%v", inner, inner.Parent)
+	}
+}
+
+func TestParseOperatorOverloads(t *testing.T) {
+	tu := parse(t, `
+struct V {
+  int& operator()(int i, int j);
+  int& operator[](int i);
+  V operator+(const V& o) const;
+  bool operator==(const V& o) const;
+};`)
+	c := mustClass(t, tu.Decls[0])
+	ms := c.Methods()
+	want := []string{"operator()", "operator[]", "operator+", "operator=="}
+	if len(ms) != len(want) {
+		t.Fatalf("methods = %d", len(ms))
+	}
+	for i, w := range want {
+		if ms[i].Name != w {
+			t.Errorf("method %d = %q, want %q", i, ms[i].Name, w)
+		}
+	}
+}
+
+func TestParseVariableWithCtorArgs(t *testing.T) {
+	tu := parse(t, `void f() { Kokkos::View<int*> v("label", 10); }`)
+	f := mustFunc(t, tu.Decls[0])
+	vd := f.Body.Stmts[0].(*ast.DeclStmt).D.(*ast.VarDecl)
+	if vd.Name != "v" || len(vd.CtorArgs) != 2 {
+		t.Fatalf("vd = %+v", vd)
+	}
+}
+
+func TestParseExternC(t *testing.T) {
+	tu := parse(t, `extern "C" { int c_func(int); }`)
+	ns := tu.Decls[0].(*ast.NamespaceDecl)
+	if len(ns.Decls) != 1 {
+		t.Fatalf("extern C decls = %+v", ns.Decls)
+	}
+}
+
+func TestParseIfElse(t *testing.T) {
+	tu := parse(t, "int f(int x) { if (x > 0) return 1; else return -1; }")
+	f := mustFunc(t, tu.Decls[0])
+	is := f.Body.Stmts[0].(*ast.IfStmt)
+	if is.Else == nil {
+		t.Fatal("missing else")
+	}
+}
+
+func TestParseWhile(t *testing.T) {
+	tu := parse(t, "void f() { while (running) { step(); } }")
+	f := mustFunc(t, tu.Decls[0])
+	ws := f.Body.Stmts[0].(*ast.WhileStmt)
+	if ws.Cond == nil || ws.Body == nil {
+		t.Fatalf("while = %+v", ws)
+	}
+}
+
+func TestParseNewExpr(t *testing.T) {
+	tu := parse(t, "void f() { auto* p = new Foo(1, 2); }")
+	f := mustFunc(t, tu.Decls[0])
+	vd := f.Body.Stmts[0].(*ast.DeclStmt).D.(*ast.VarDecl)
+	ne := vd.Init.(*ast.NewExpr)
+	if ne.Type.Name.String() != "Foo" || len(ne.Args) != 2 {
+		t.Fatalf("new = %+v", ne)
+	}
+}
+
+func TestParseStaticCast(t *testing.T) {
+	tu := parse(t, "void f() { int x = static_cast<int>(y); }")
+	f := mustFunc(t, tu.Decls[0])
+	vd := f.Body.Stmts[0].(*ast.DeclStmt).D.(*ast.VarDecl)
+	ce := vd.Init.(*ast.CastExpr)
+	if ce.Type.Name.String() != "int" {
+		t.Fatalf("cast = %+v", ce)
+	}
+}
+
+func TestParseBracedFunctorConstruction(t *testing.T) {
+	// lambda_functor{x, j, i} as in Figure 4b line 21.
+	tu := parse(t, "void f() { g(lambda_functor{x, j, y}); }")
+	fn := mustFunc(t, tu.Decls[0])
+	call := fn.Body.Stmts[0].(*ast.ExprStmt).X.(*ast.CallExpr)
+	il := call.Args[0].(*ast.InitListExpr)
+	if il.TypeName.String() != "lambda_functor" || len(il.Elems) != 3 {
+		t.Fatalf("init list = %+v", il)
+	}
+}
+
+func TestParsePositionsPointIntoSource(t *testing.T) {
+	src := "namespace N {\nstruct S { int f; };\n}"
+	tu := parse(t, src)
+	ns := tu.Decls[0].(*ast.NamespaceDecl)
+	c := mustClass(t, ns.Decls[0])
+	if c.Pos().Line != 2 {
+		t.Fatalf("struct pos = %v", c.Pos())
+	}
+	fd := c.FieldsOf()[0]
+	if fd.Pos().Line != 2 || fd.Pos().Col != 12 {
+		t.Fatalf("field pos = %v", fd.Pos())
+	}
+}
+
+func TestParseTemplateClassWithDefaults(t *testing.T) {
+	tu := parse(t, "template<class T, class Layout = LayoutRight, int Rank = 2> class View {};")
+	c := mustClass(t, tu.Decls[0])
+	if len(c.TemplateParams) != 3 {
+		t.Fatalf("params = %+v", c.TemplateParams)
+	}
+	if c.TemplateParams[1].Default_ != "LayoutRight" {
+		t.Fatalf("default = %q", c.TemplateParams[1].Default_)
+	}
+	if c.TemplateParams[2].Kind != "int" || c.TemplateParams[2].Default_ != "2" {
+		t.Fatalf("non-type param = %+v", c.TemplateParams[2])
+	}
+}
+
+func TestParseVariadicTemplate(t *testing.T) {
+	tu := parse(t, "template<class... Args> void call(Args... args);")
+	f := mustFunc(t, tu.Decls[0])
+	if !f.TemplateParams[0].Pack {
+		t.Fatalf("pack = %+v", f.TemplateParams)
+	}
+}
+
+func TestParseConditionalExpr(t *testing.T) {
+	tu := parse(t, "int f(int a) { return a > 0 ? a : -a; }")
+	f := mustFunc(t, tu.Decls[0])
+	rs := f.Body.Stmts[0].(*ast.ReturnStmt)
+	if _, ok := rs.X.(*ast.ConditionalExpr); !ok {
+		t.Fatalf("return expr = %T", rs.X)
+	}
+}
+
+func TestWalkVisitsAllCalls(t *testing.T) {
+	tu := parse(t, `
+void k(member_t &m) {
+  int j = m.league_rank();
+  Kokkos::parallel_for(Kokkos::TeamThreadRange(m, 5), [&](int i) { x(j, i) += y; });
+}`)
+	var calls int
+	ast.Inspect(tu, func(n ast.Node) {
+		if _, ok := n.(*ast.CallExpr); ok {
+			calls++
+		}
+	})
+	// league_rank, parallel_for, TeamThreadRange, x(j,i) = 4
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	toks, _ := lexer.Tokenize("bad.cpp", "int ; @@@ ; struct Good {};")
+	p := New(toks)
+	tu, _ := p.Parse()
+	// Should still find struct Good.
+	found := false
+	ast.Inspect(tu, func(n ast.Node) {
+		if c, ok := n.(*ast.ClassDecl); ok && c.Name == "Good" {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("parser did not recover to find struct Good")
+	}
+}
+
+func TestParseDoWhile(t *testing.T) {
+	tu := parse(t, "void f() { int i = 0; do { i++; } while (i < 10); }")
+	f := mustFunc(t, tu.Decls[0])
+	ds, ok := f.Body.Stmts[1].(*ast.DoStmt)
+	if !ok || ds.Cond == nil || ds.Body == nil {
+		t.Fatalf("do stmt = %+v", f.Body.Stmts[1])
+	}
+}
+
+func TestParseSwitch(t *testing.T) {
+	tu := parse(t, `
+int f(int x) {
+  switch (x) {
+  case 1:
+    return 10;
+  case 2:
+  case 3:
+    return 20;
+  default:
+    return 0;
+  }
+}`)
+	f := mustFunc(t, tu.Decls[0])
+	ss := f.Body.Stmts[0].(*ast.SwitchStmt)
+	if len(ss.Cases) != 4 {
+		t.Fatalf("cases = %d", len(ss.Cases))
+	}
+	if ss.Cases[3].Value != nil {
+		t.Fatal("last case should be default")
+	}
+	if len(ss.Cases[1].Body) != 0 {
+		t.Fatal("fallthrough case 2 should be empty")
+	}
+}
+
+func TestParseRangeFor(t *testing.T) {
+	tu := parse(t, "void f(std::vector<int>& xs) { for (int x : xs) { g(x); } }")
+	fn := mustFunc(t, tu.Decls[0])
+	rf, ok := fn.Body.Stmts[0].(*ast.RangeForStmt)
+	if !ok {
+		t.Fatalf("stmt = %T", fn.Body.Stmts[0])
+	}
+	if rf.Var.Name != "x" || rf.Var.Type.String() != "int" {
+		t.Fatalf("var = %+v", rf.Var)
+	}
+	if ast.ExprString(rf.Range) != "xs" {
+		t.Fatalf("range = %s", ast.ExprString(rf.Range))
+	}
+}
+
+func TestParseClassicForStillWorks(t *testing.T) {
+	tu := parse(t, "void f() { for (int i = 0; i < 3; i++) { g(i); } }")
+	fn := mustFunc(t, tu.Decls[0])
+	if _, ok := fn.Body.Stmts[0].(*ast.ForStmt); !ok {
+		t.Fatalf("stmt = %T", fn.Body.Stmts[0])
+	}
+}
+
+func TestWalkVisitsNewStatements(t *testing.T) {
+	tu := parse(t, `
+void f(int n) {
+  do { h(n); } while (n > 0);
+  switch (n) { case 1: h(1); break; default: h(2); }
+  for (int x : xs) { h(x); }
+}`)
+	calls := 0
+	ast.Inspect(tu, func(n ast.Node) {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if dre, ok := c.Callee.(*ast.DeclRefExpr); ok && dre.Name.Plain() == "h" {
+				calls++
+			}
+		}
+	})
+	if calls != 4 {
+		t.Fatalf("h calls visited = %d, want 4", calls)
+	}
+}
+
+func TestParseArrowAndPostfix(t *testing.T) {
+	tu := parse(t, "void f(W* w) { int r = w->rank(); r++; --r; }")
+	fn := mustFunc(t, tu.Decls[0])
+	vd := fn.Body.Stmts[0].(*ast.DeclStmt).D.(*ast.VarDecl)
+	call := vd.Init.(*ast.CallExpr)
+	me := call.Callee.(*ast.MemberExpr)
+	if !me.Arrow || me.Member != "rank" {
+		t.Fatalf("arrow member = %+v", me)
+	}
+	post := fn.Body.Stmts[1].(*ast.ExprStmt).X.(*ast.UnaryExpr)
+	if !post.Postfix || post.Op != token.PlusPlus {
+		t.Fatalf("postfix = %+v", post)
+	}
+	pre := fn.Body.Stmts[2].(*ast.ExprStmt).X.(*ast.UnaryExpr)
+	if pre.Postfix || pre.Op != token.MinusMinus {
+		t.Fatalf("prefix = %+v", pre)
+	}
+}
+
+func TestParseDeleteAndSizeof(t *testing.T) {
+	tu := parse(t, "void f(T* p) { delete p; int n = sizeof(T); }")
+	fn := mustFunc(t, tu.Decls[0])
+	if len(fn.Body.Stmts) != 2 {
+		t.Fatalf("stmts = %d", len(fn.Body.Stmts))
+	}
+}
+
+func TestParseStaticAssert(t *testing.T) {
+	tu := parse(t, `static_assert(sizeof(int) == 4, "message");`)
+	if _, ok := tu.Decls[0].(*ast.StaticAssertDecl); !ok {
+		t.Fatalf("decl = %T", tu.Decls[0])
+	}
+}
+
+func TestParseUsingNamespaceStmt(t *testing.T) {
+	tu := parse(t, "using namespace std;\nusing namespace lib::detail;")
+	u1 := tu.Decls[0].(*ast.UsingDecl)
+	if !u1.IsNamespace || u1.Name.Plain() != "std" {
+		t.Fatalf("u1 = %+v", u1)
+	}
+	u2 := tu.Decls[1].(*ast.UsingDecl)
+	if u2.Name.Plain() != "lib::detail" {
+		t.Fatalf("u2 = %+v", u2)
+	}
+}
+
+func TestParseDestructorAndCtorInitList(t *testing.T) {
+	tu := parse(t, `
+class R {
+public:
+  R(int n) : n_(n), cap_(n * 2) { init(); }
+  ~R() { release(); }
+private:
+  int n_;
+  int cap_;
+};`)
+	c := mustClass(t, tu.Decls[0])
+	ms := c.Methods()
+	if len(ms) != 2 || ms[0].Name != "R" || ms[1].Name != "~R" {
+		t.Fatalf("methods = %+v", ms)
+	}
+	if !ms[0].IsDefinition || !ms[1].IsDefinition {
+		t.Fatal("bodies not parsed")
+	}
+}
+
+func TestParseDefaultedAndDeleted(t *testing.T) {
+	tu := parse(t, `
+class M {
+public:
+  M() = default;
+  M(const M&) = delete;
+  virtual int v() = 0;
+};`)
+	c := mustClass(t, tu.Decls[0])
+	if len(c.Methods()) != 3 {
+		t.Fatalf("methods = %d", len(c.Methods()))
+	}
+	if !c.Methods()[2].Virtual {
+		t.Fatal("virtual flag")
+	}
+}
+
+func TestParseNoexceptAndOverride(t *testing.T) {
+	tu := parse(t, `
+class D {
+public:
+  int get() const noexcept override { return 0; }
+  void set(int v) noexcept(true);
+};`)
+	c := mustClass(t, tu.Decls[0])
+	if len(c.Methods()) != 2 || !c.Methods()[0].Const || !c.Methods()[0].IsDefinition {
+		t.Fatalf("methods = %+v", c.Methods())
+	}
+}
+
+func TestParseTrailingReturnType(t *testing.T) {
+	tu := parse(t, "auto add(int a, int b) -> long { return a + b; }")
+	f := mustFunc(t, tu.Decls[0])
+	if f.ReturnType == nil || f.ReturnType.String() != "long" {
+		t.Fatalf("trailing return = %v", f.ReturnType)
+	}
+}
+
+func TestParseFunctionalCastOfBuiltin(t *testing.T) {
+	tu := parse(t, "void f() { double d = double(3) + int(x); }")
+	fn := mustFunc(t, tu.Decls[0])
+	if len(fn.Body.Stmts) != 1 {
+		t.Fatal("stmt count")
+	}
+}
+
+func TestParseMultiDeclarator(t *testing.T) {
+	tu := parse(t, "void f() { int i = 0, j = 1; use(i, j); }")
+	fn := mustFunc(t, tu.Decls[0])
+	if len(fn.Body.Stmts) != 2 {
+		t.Fatalf("stmts = %d", len(fn.Body.Stmts))
+	}
+}
+
+func TestParseGlobalArraysAndStatics(t *testing.T) {
+	tu := parse(t, `static char buffer[512];
+extern int shared_counter;
+constexpr int kMax = 128;`)
+	if len(tu.Decls) != 3 {
+		t.Fatalf("decls = %d", len(tu.Decls))
+	}
+	v := tu.Decls[0].(*ast.VarDecl)
+	if v.Name != "buffer" || !v.Static {
+		t.Fatalf("buffer = %+v", v)
+	}
+}
+
+func TestParseAliasTemplate(t *testing.T) {
+	tu := parse(t, "template <class T> using Vec = std::vector<T>;")
+	a, ok := tu.Decls[0].(*ast.AliasDecl)
+	if !ok || a.Name != "Vec" {
+		t.Fatalf("decl = %+v", tu.Decls[0])
+	}
+}
+
+func TestParseMemberTemplateCall(t *testing.T) {
+	tu := parse(t, "void f(W& w) { w.get<int>(3); }")
+	fn := mustFunc(t, tu.Decls[0])
+	call := fn.Body.Stmts[0].(*ast.ExprStmt).X.(*ast.CallExpr)
+	me := call.Callee.(*ast.MemberExpr)
+	if me.Member != "get" {
+		t.Fatalf("member = %q", me.Member)
+	}
+}
+
+func TestParseFreeOperatorOverload(t *testing.T) {
+	tu := parse(t, "V operator+(const V& a, const V& b);")
+	f := mustFunc(t, tu.Decls[0])
+	if !f.IsOperator || f.Name != "operator+" || len(f.Params) != 2 {
+		t.Fatalf("f = %+v", f)
+	}
+}
+
+func TestParseConstCastFamily(t *testing.T) {
+	for _, cast := range []string{"const_cast", "reinterpret_cast", "dynamic_cast"} {
+		tu := parse(t, "void f(B* b) { A* a = "+cast+"<A*>(b); }")
+		fn := mustFunc(t, tu.Decls[0])
+		vd := fn.Body.Stmts[0].(*ast.DeclStmt).D.(*ast.VarDecl)
+		if _, ok := vd.Init.(*ast.CastExpr); !ok {
+			t.Fatalf("%s init = %T", cast, vd.Init)
+		}
+	}
+}
+
+func TestParseInitCaptureLambda(t *testing.T) {
+	tu := parse(t, "void f() { g([n = compute()](int i) { return n + i; }); }")
+	fn := mustFunc(t, tu.Decls[0])
+	call := fn.Body.Stmts[0].(*ast.ExprStmt).X.(*ast.CallExpr)
+	lam := call.Args[0].(*ast.LambdaExpr)
+	if len(lam.Captures) != 1 || lam.Captures[0].Name != "n" || lam.Captures[0].Init == nil {
+		t.Fatalf("captures = %+v", lam.Captures)
+	}
+}
+
+func TestParseMutableLambdaWithReturnType(t *testing.T) {
+	tu := parse(t, "void f() { g([x]() mutable -> int { return x++; }); }")
+	fn := mustFunc(t, tu.Decls[0])
+	call := fn.Body.Stmts[0].(*ast.ExprStmt).X.(*ast.CallExpr)
+	lam := call.Args[0].(*ast.LambdaExpr)
+	if !lam.Mutable || lam.ReturnType == nil || lam.ReturnType.String() != "int" {
+		t.Fatalf("lambda = mutable=%v ret=%v", lam.Mutable, lam.ReturnType)
+	}
+}

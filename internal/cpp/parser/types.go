@@ -1,0 +1,196 @@
+package parser
+
+import (
+	"strings"
+
+	"repro/internal/cpp/ast"
+	"repro/internal/cpp/token"
+)
+
+// builtinCombinable are keywords that can combine into one fundamental
+// type, e.g. `unsigned long long int`.
+var builtinCombinable = map[string]bool{
+	"unsigned": true, "signed": true, "long": true, "short": true,
+	"int": true, "char": true, "double": true, "float": true,
+	"bool": true, "void": true, "wchar_t": true, "auto": true,
+	"char8_t": true, "char16_t": true, "char32_t": true,
+}
+
+// tryParseType attempts to parse a type at the cursor, returning nil
+// (with the cursor restored) if the tokens do not form a type.
+func (p *Parser) tryParseType() *ast.Type {
+	save := p.pos
+	t := &ast.Type{PosStart: p.cur().Pos}
+
+	for {
+		switch {
+		case p.acceptWord("const"):
+			t.Const = true
+		case p.acceptWord("volatile"):
+			t.Volatile = true
+		case p.acceptWord("typename") || p.acceptWord("struct") || p.acceptWord("class"):
+			// elaborated type specifier / dependent-name marker
+		default:
+			goto qualsdone
+		}
+	}
+qualsdone:
+
+	switch {
+	case p.at(token.Keyword) && builtinCombinable[p.cur().Text]:
+		var parts []string
+		for p.at(token.Keyword) && builtinCombinable[p.cur().Text] {
+			parts = append(parts, p.next().Text)
+		}
+		t.Name = ast.QN(strings.Join(parts, " "))
+		t.Builtin = true
+	case p.atWord("decltype"):
+		p.next()
+		start := p.cur().Pos
+		p.skipBalanced(token.LParen, token.RParen)
+		t.Name = ast.QN("decltype")
+		_ = start
+	case p.at(token.Identifier):
+		n, ok := p.tryParseQualifiedName(true)
+		if !ok {
+			p.pos = save
+			return nil
+		}
+		t.Name = n
+	default:
+		p.pos = save
+		return nil
+	}
+
+	// const can also follow the type name (east const).
+	for {
+		switch {
+		case p.acceptWord("const"):
+			t.Const = true
+		case p.acceptWord("volatile"):
+			t.Volatile = true
+		default:
+			goto postquals
+		}
+	}
+postquals:
+
+	for {
+		switch p.cur().Kind {
+		case token.Star:
+			p.next()
+			t.Pointer++
+			p.acceptWord("const") // T* const
+		case token.Amp:
+			p.next()
+			t.LValueRef = true
+			goto done
+		case token.AmpAmp:
+			p.next()
+			t.RValueRef = true
+			goto done
+		default:
+			goto done
+		}
+	}
+done:
+	t.PosEnd = p.cur().Pos
+	return t
+}
+
+// tryParseQualifiedName parses A::B<args>::C. If allowTrailingArgs is
+// false, template arguments on the final segment are still parsed (they
+// belong to the name); the flag is reserved for contexts that must not
+// treat '<' as an argument list.
+func (p *Parser) tryParseQualifiedName(allowTrailingArgs bool) (ast.QualifiedName, bool) {
+	var q ast.QualifiedName
+	if !p.at(token.Identifier) {
+		return q, false
+	}
+	for {
+		seg := ast.NameSegment{Name: p.expect(token.Identifier).Text}
+		if p.at(token.Less) {
+			if args, ok := p.tryParseTemplateArgs(); ok {
+				seg.Args = args
+			}
+		}
+		q.Segments = append(q.Segments, seg)
+		if p.at(token.ColonCol) && p.peekN(1).Kind == token.Identifier {
+			p.next()
+			continue
+		}
+		// `::template foo` dependent names: skip 'template'.
+		if p.at(token.ColonCol) && p.peekN(1).Is("template") {
+			p.next()
+			p.next()
+			continue
+		}
+		break
+	}
+	return q, true
+}
+
+// tryParseTemplateArgs parses <arg, ...> with backtracking; returns
+// ok=false (cursor restored) when the '<' turns out to be a comparison.
+func (p *Parser) tryParseTemplateArgs() ([]ast.TemplateArg, bool) {
+	save := p.pos
+	savedToks := p.toks // splitShr mutates the slice; keep the original
+	p.expect(token.Less)
+	var args []ast.TemplateArg
+	if p.at(token.Greater) { // empty list: foo<>
+		p.next()
+		return args, true
+	}
+	for {
+		if p.at(token.Shr) {
+			p.splitShr()
+		}
+		if p.at(token.Greater) {
+			break
+		}
+		arg, ok := p.tryParseTemplateArg()
+		if !ok {
+			p.toks = savedToks
+			p.pos = save
+			return nil, false
+		}
+		args = append(args, arg)
+		if p.at(token.Shr) {
+			p.splitShr()
+		}
+		if p.accept(token.Comma) {
+			continue
+		}
+		break
+	}
+	if p.at(token.Shr) {
+		p.splitShr()
+	}
+	if !p.accept(token.Greater) {
+		p.toks = savedToks
+		p.pos = save
+		return nil, false
+	}
+	return args, true
+}
+
+func (p *Parser) tryParseTemplateArg() (ast.TemplateArg, bool) {
+	// Try a type first (most args in the corpora are types).
+	save := p.pos
+	if t := p.tryParseType(); t != nil {
+		// A type arg must be followed by ',' '>' or '>>'.
+		if p.at(token.Comma) || p.at(token.Greater) || p.at(token.Shr) {
+			return ast.TemplateArg{Type: t}, true
+		}
+		p.pos = save
+	}
+	// Constant expression argument (no '>' comparisons inside, per C++).
+	e := p.parseShiftFreeExpr()
+	if e == nil {
+		return ast.TemplateArg{}, false
+	}
+	if p.at(token.Comma) || p.at(token.Greater) || p.at(token.Shr) {
+		return ast.TemplateArg{Expr: e}, true
+	}
+	return ast.TemplateArg{}, false
+}

@@ -1,0 +1,63 @@
+package preprocessor
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// benchFS builds a 100-header tree with guards and macros, approximating
+// one library module's preprocessing load.
+func benchFS() *vfs.FS {
+	fs := vfs.New()
+	umbrella := "#ifndef ALL_HPP\n#define ALL_HPP\n"
+	for i := 0; i < 100; i++ {
+		name := fmt.Sprintf("lib/h%03d.hpp", i)
+		fs.Write(name, fmt.Sprintf(`#ifndef H%03d_HPP
+#define H%03d_HPP
+#define VALUE_%d %d
+#if VALUE_%d > 50
+inline int f_%d(int x) { return x + VALUE_%d; }
+#else
+inline int f_%d(int x) { return x - VALUE_%d; }
+#endif
+class C_%d { int v; };
+#endif
+`, i, i, i, i, i, i, i, i, i, i))
+		umbrella += fmt.Sprintf("#include <h%03d.hpp>\n", i)
+	}
+	umbrella += "#endif\n"
+	fs.Write("lib/all.hpp", umbrella)
+	fs.Write("main.cpp", "#include <all.hpp>\n#include <all.hpp>\nint main() { return f_007(1); }\n")
+	return fs
+}
+
+func BenchmarkPreprocess(b *testing.B) {
+	fs := benchFS()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pp := New(fs, "lib")
+		if _, err := pp.Preprocess("main.cpp"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMacroExpansion(b *testing.B) {
+	fs := vfs.New()
+	fs.Write("m.cpp", `#define CAT(a, b) a##b
+#define STR(x) #x
+#define APPLY(f, ...) f(__VA_ARGS__)
+int CAT(foo, bar) = 0;
+const char* s = STR(hello world);
+int r = APPLY(func, 1, 2, 3);
+`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pp := New(fs)
+		if _, err := pp.Preprocess("m.cpp"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

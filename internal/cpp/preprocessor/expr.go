@@ -1,0 +1,354 @@
+package preprocessor
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cpp/token"
+)
+
+// evalCondition evaluates a #if / #elif controlling expression. The tokens
+// are the directive's operand, not yet macro expanded; `defined` operators
+// are resolved first, then macros expanded, then the integer constant
+// expression evaluated. Unknown identifiers evaluate to 0, per the
+// standard.
+func (pp *Preprocessor) evalCondition(toks []token.Token) (bool, error) {
+	resolved, err := pp.resolveDefined(toks)
+	if err != nil {
+		return false, err
+	}
+	expanded := pp.expand(resolved, map[string]bool{})
+	p := &condParser{toks: expanded}
+	v, err := p.parseTernary()
+	if err != nil {
+		return false, err
+	}
+	if p.pos != len(p.toks) {
+		return false, fmt.Errorf("trailing tokens in #if expression near %s", p.toks[p.pos].Text)
+	}
+	return v != 0, nil
+}
+
+// resolveDefined replaces defined(X) / defined X with 1 or 0 before macro
+// expansion, as required by the standard; __has_include(<x>) is resolved
+// here too.
+func (pp *Preprocessor) resolveDefined(toks []token.Token) ([]token.Token, error) {
+	var out []token.Token
+	for i := 0; i < len(toks); i++ {
+		tk := toks[i]
+		if tk.Kind == token.Identifier && tk.Text == "__has_include" {
+			val, next, err := pp.resolveHasInclude(toks, i, tk)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, val)
+			i = next
+			continue
+		}
+		if tk.Kind != token.Identifier || tk.Text != "defined" {
+			out = append(out, tk)
+			continue
+		}
+		i++
+		paren := false
+		if i < len(toks) && toks[i].Kind == token.LParen {
+			paren = true
+			i++
+		}
+		if i >= len(toks) || (toks[i].Kind != token.Identifier && toks[i].Kind != token.Keyword) {
+			return nil, fmt.Errorf("operand of 'defined' must be an identifier")
+		}
+		val := "0"
+		if pp.macros.isDefined(toks[i].Text) {
+			val = "1"
+		}
+		if paren {
+			i++
+			if i >= len(toks) || toks[i].Kind != token.RParen {
+				return nil, fmt.Errorf("missing ')' after defined(")
+			}
+		}
+		out = append(out, token.Token{Kind: token.IntLit, Text: val, Pos: tk.Pos})
+	}
+	return out, nil
+}
+
+// resolveHasInclude evaluates __has_include("x") / __has_include(<x>)
+// starting at index i (the __has_include token); it returns the 0/1 token
+// and the index of the closing ')'.
+func (pp *Preprocessor) resolveHasInclude(toks []token.Token, i int, tk token.Token) (token.Token, int, error) {
+	j := i + 1
+	if j >= len(toks) || toks[j].Kind != token.LParen {
+		return token.Token{}, i, fmt.Errorf("__has_include requires parentheses")
+	}
+	j++
+	// Collect tokens to the matching ')'.
+	var inner []token.Token
+	for j < len(toks) && toks[j].Kind != token.RParen {
+		inner = append(inner, toks[j])
+		j++
+	}
+	if j >= len(toks) {
+		return token.Token{}, i, fmt.Errorf("unterminated __has_include")
+	}
+	target, angled, ok := parseIncludeTarget(inner)
+	val := "0"
+	if ok {
+		if _, found := pp.resolveInclude(target, angled, tk.Pos.File); found {
+			val = "1"
+		}
+	}
+	return token.Token{Kind: token.IntLit, Text: val, Pos: tk.Pos}, j, nil
+}
+
+// condParser evaluates an integer constant expression with C precedence.
+type condParser struct {
+	toks []token.Token
+	pos  int
+}
+
+func (p *condParser) peek() token.Token {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return token.Token{Kind: token.EOF}
+}
+
+func (p *condParser) next() token.Token {
+	t := p.peek()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
+func (p *condParser) parseTernary() (int64, error) {
+	cond, err := p.parseBinary(0)
+	if err != nil {
+		return 0, err
+	}
+	if p.peek().Kind != token.Question {
+		return cond, nil
+	}
+	p.next()
+	thenV, err := p.parseTernary()
+	if err != nil {
+		return 0, err
+	}
+	if p.next().Kind != token.Colon {
+		return 0, fmt.Errorf("expected ':' in conditional expression")
+	}
+	elseV, err := p.parseTernary()
+	if err != nil {
+		return 0, err
+	}
+	if cond != 0 {
+		return thenV, nil
+	}
+	return elseV, nil
+}
+
+// binary operator precedence, C-style.
+func precOf(k token.Kind) int {
+	switch k {
+	case token.PipePipe:
+		return 1
+	case token.AmpAmp:
+		return 2
+	case token.Pipe:
+		return 3
+	case token.Caret:
+		return 4
+	case token.Amp:
+		return 5
+	case token.EqEq, token.NotEq:
+		return 6
+	case token.Less, token.Greater, token.LessEq, token.GreaterEq:
+		return 7
+	case token.Shl, token.Shr:
+		return 8
+	case token.Plus, token.Minus:
+		return 9
+	case token.Star, token.Slash, token.Percent:
+		return 10
+	}
+	return 0
+}
+
+func (p *condParser) parseBinary(minPrec int) (int64, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		op := p.peek().Kind
+		prec := precOf(op)
+		if prec == 0 || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return 0, err
+		}
+		lhs, err = applyBinary(op, lhs, rhs)
+		if err != nil {
+			return 0, err
+		}
+	}
+}
+
+func applyBinary(op token.Kind, a, b int64) (int64, error) {
+	btoi := func(x bool) int64 {
+		if x {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case token.PipePipe:
+		return btoi(a != 0 || b != 0), nil
+	case token.AmpAmp:
+		return btoi(a != 0 && b != 0), nil
+	case token.Pipe:
+		return a | b, nil
+	case token.Caret:
+		return a ^ b, nil
+	case token.Amp:
+		return a & b, nil
+	case token.EqEq:
+		return btoi(a == b), nil
+	case token.NotEq:
+		return btoi(a != b), nil
+	case token.Less:
+		return btoi(a < b), nil
+	case token.Greater:
+		return btoi(a > b), nil
+	case token.LessEq:
+		return btoi(a <= b), nil
+	case token.GreaterEq:
+		return btoi(a >= b), nil
+	case token.Shl:
+		return a << uint(b&63), nil
+	case token.Shr:
+		return a >> uint(b&63), nil
+	case token.Plus:
+		return a + b, nil
+	case token.Minus:
+		return a - b, nil
+	case token.Star:
+		return a * b, nil
+	case token.Slash:
+		if b == 0 {
+			return 0, fmt.Errorf("division by zero in #if")
+		}
+		return a / b, nil
+	case token.Percent:
+		if b == 0 {
+			return 0, fmt.Errorf("modulo by zero in #if")
+		}
+		return a % b, nil
+	}
+	return 0, fmt.Errorf("unsupported operator %v in #if", op)
+}
+
+func (p *condParser) parseUnary() (int64, error) {
+	switch tk := p.peek(); tk.Kind {
+	case token.Exclaim:
+		p.next()
+		v, err := p.parseUnary()
+		if err != nil {
+			return 0, err
+		}
+		if v == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case token.Minus:
+		p.next()
+		v, err := p.parseUnary()
+		return -v, err
+	case token.Plus:
+		p.next()
+		return p.parseUnary()
+	case token.Tilde:
+		p.next()
+		v, err := p.parseUnary()
+		return ^v, err
+	}
+	return p.parsePrimary()
+}
+
+func (p *condParser) parsePrimary() (int64, error) {
+	tk := p.next()
+	switch tk.Kind {
+	case token.LParen:
+		v, err := p.parseTernary()
+		if err != nil {
+			return 0, err
+		}
+		if p.next().Kind != token.RParen {
+			return 0, fmt.Errorf("missing ')' in #if expression")
+		}
+		return v, nil
+	case token.IntLit:
+		return parsePPInt(tk.Text)
+	case token.CharLit:
+		return charValue(tk.Text), nil
+	case token.Identifier, token.Keyword:
+		// true/false are keywords in C++ #if; other identifiers are 0.
+		switch tk.Text {
+		case "true":
+			return 1, nil
+		case "false":
+			return 0, nil
+		}
+		return 0, nil
+	case token.EOF:
+		return 0, fmt.Errorf("unexpected end of #if expression")
+	}
+	return 0, fmt.Errorf("unexpected token %q in #if expression", tk.Text)
+}
+
+// parsePPInt parses a preprocessor integer literal, stripping digit
+// separators and suffixes.
+func parsePPInt(text string) (int64, error) {
+	s := strings.ReplaceAll(text, "'", "")
+	s = strings.TrimRight(s, "uUlLzZ")
+	if s == "" {
+		return 0, fmt.Errorf("bad integer literal %q", text)
+	}
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer literal %q: %v", text, err)
+	}
+	return int64(v), nil
+}
+
+// charValue returns the numeric value of a character literal; multi-char
+// and escape handling is simplified to the common cases.
+func charValue(text string) int64 {
+	s := strings.Trim(text, "'")
+	s = strings.TrimPrefix(s, "L'")
+	if strings.HasPrefix(s, `\`) && len(s) >= 2 {
+		switch s[1] {
+		case 'n':
+			return '\n'
+		case 't':
+			return '\t'
+		case '0':
+			return 0
+		case 'r':
+			return '\r'
+		case '\\':
+			return '\\'
+		case '\'':
+			return '\''
+		}
+	}
+	if len(s) > 0 {
+		return int64(s[0])
+	}
+	return 0
+}

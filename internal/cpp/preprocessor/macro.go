@@ -1,0 +1,280 @@
+package preprocessor
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cpp/token"
+)
+
+// Macro is a preprocessor macro definition.
+type Macro struct {
+	Name         string
+	FunctionLike bool
+	Params       []string
+	Variadic     bool
+	Body         []token.Token
+	Pos          token.Pos
+}
+
+// SameDefinition reports whether two definitions are identical, which the
+// standard permits for redefinition.
+func (m *Macro) SameDefinition(o *Macro) bool {
+	if m.FunctionLike != o.FunctionLike || m.Variadic != o.Variadic ||
+		len(m.Params) != len(o.Params) || len(m.Body) != len(o.Body) {
+		return false
+	}
+	for i := range m.Params {
+		if m.Params[i] != o.Params[i] {
+			return false
+		}
+	}
+	for i := range m.Body {
+		if m.Body[i].Kind != o.Body[i].Kind || m.Body[i].Text != o.Body[i].Text {
+			return false
+		}
+	}
+	return true
+}
+
+// macroTable holds the active macro definitions.
+type macroTable struct {
+	defs map[string]*Macro
+}
+
+func newMacroTable() *macroTable {
+	return &macroTable{defs: make(map[string]*Macro)}
+}
+
+func (t *macroTable) define(m *Macro)         { t.defs[m.Name] = m }
+func (t *macroTable) undef(name string)       { delete(t.defs, name) }
+func (t *macroTable) lookup(n string) *Macro  { return t.defs[n] }
+func (t *macroTable) isDefined(n string) bool { return t.defs[n] != nil }
+
+// expand macro-expands toks. hide tracks macro names currently being
+// expanded to stop recursion, per the standard's no-rescan rule.
+func (pp *Preprocessor) expand(toks []token.Token, hide map[string]bool) []token.Token {
+	var out []token.Token
+	for i := 0; i < len(toks); i++ {
+		tk := toks[i]
+		if tk.Kind != token.Identifier || hide[tk.Text] {
+			out = append(out, tk)
+			continue
+		}
+		if b, ok := pp.builtinMacro(tk); ok {
+			out = append(out, b)
+			continue
+		}
+		m := pp.macros.lookup(tk.Text)
+		if m == nil {
+			out = append(out, tk)
+			continue
+		}
+		if !m.FunctionLike {
+			sub := pp.expandWith(m.Body, hide, m.Name)
+			out = append(out, sub...)
+			continue
+		}
+		// Function-like: require a following '(' or leave untouched.
+		j := i + 1
+		if j >= len(toks) || toks[j].Kind != token.LParen {
+			out = append(out, tk)
+			continue
+		}
+		args, next, err := splitMacroArgs(toks, j)
+		if err != nil {
+			pp.errorf(tk.Pos, "%v", err)
+			out = append(out, tk)
+			continue
+		}
+		i = next
+		body, err := pp.substituteParams(m, args, hide)
+		if err != nil {
+			pp.errorf(tk.Pos, "%v", err)
+			continue
+		}
+		out = append(out, pp.expandWith(body, hide, m.Name)...)
+	}
+	return out
+}
+
+func (pp *Preprocessor) expandWith(toks []token.Token, hide map[string]bool, name string) []token.Token {
+	hide[name] = true
+	res := pp.expand(toks, hide)
+	delete(hide, name)
+	return res
+}
+
+// builtinMacro expands the standard predefined macros __FILE__,
+// __LINE__, and __COUNTER__.
+func (pp *Preprocessor) builtinMacro(tk token.Token) (token.Token, bool) {
+	switch tk.Text {
+	case "__FILE__":
+		return token.Token{Kind: token.StringLit, Text: fmt.Sprintf("%q", tk.Pos.File),
+			Pos: tk.Pos, LeadingNewline: tk.LeadingNewline}, true
+	case "__LINE__":
+		return token.Token{Kind: token.IntLit, Text: fmt.Sprintf("%d", tk.Pos.Line),
+			Pos: tk.Pos, LeadingNewline: tk.LeadingNewline}, true
+	case "__COUNTER__":
+		pp.counter++
+		return token.Token{Kind: token.IntLit, Text: fmt.Sprintf("%d", pp.counter-1),
+			Pos: tk.Pos, LeadingNewline: tk.LeadingNewline}, true
+	}
+	return token.Token{}, false
+}
+
+// splitMacroArgs parses the parenthesized argument list starting at the
+// '(' at index lp, returning the argument token slices and the index of
+// the closing ')'.
+func splitMacroArgs(toks []token.Token, lp int) (args [][]token.Token, rp int, err error) {
+	depth := 0
+	var cur []token.Token
+	for i := lp; i < len(toks); i++ {
+		tk := toks[i]
+		switch tk.Kind {
+		case token.LParen, token.LBracket, token.LBrace:
+			depth++
+			if depth > 1 {
+				cur = append(cur, tk)
+			}
+		case token.RParen, token.RBracket, token.RBrace:
+			depth--
+			if depth == 0 {
+				if len(cur) > 0 || len(args) > 0 {
+					args = append(args, cur)
+				}
+				return args, i, nil
+			}
+			cur = append(cur, tk)
+		case token.Comma:
+			if depth == 1 {
+				args = append(args, cur)
+				cur = nil
+			} else {
+				cur = append(cur, tk)
+			}
+		default:
+			cur = append(cur, tk)
+		}
+	}
+	return nil, 0, fmt.Errorf("unterminated macro argument list")
+}
+
+// substituteParams replaces parameter names in the macro body with the
+// (pre-expanded) argument tokens, handling # stringize and ## paste.
+func (pp *Preprocessor) substituteParams(m *Macro, args [][]token.Token, hide map[string]bool) ([]token.Token, error) {
+	if !m.Variadic && len(args) != len(m.Params) {
+		if !(len(m.Params) == 0 && len(args) == 0) {
+			return nil, fmt.Errorf("macro %s expects %d args, got %d", m.Name, len(m.Params), len(args))
+		}
+	}
+	argFor := func(name string) ([]token.Token, bool) {
+		for pi, p := range m.Params {
+			if p == name {
+				if pi < len(args) {
+					return args[pi], true
+				}
+				return nil, true
+			}
+		}
+		if m.Variadic && name == "__VA_ARGS__" {
+			var va []token.Token
+			for i := len(m.Params); i < len(args); i++ {
+				if i > len(m.Params) {
+					va = append(va, token.Token{Kind: token.Comma, Text: ","})
+				}
+				va = append(va, args[i]...)
+			}
+			return va, true
+		}
+		return nil, false
+	}
+
+	var out []token.Token
+	for i := 0; i < len(m.Body); i++ {
+		tk := m.Body[i]
+		// # param → stringize
+		if tk.Kind == token.Hash && i+1 < len(m.Body) && m.Body[i+1].Kind == token.Identifier {
+			if arg, ok := argFor(m.Body[i+1].Text); ok {
+				out = append(out, token.Token{Kind: token.StringLit, Text: stringize(arg), Pos: tk.Pos})
+				i++
+				continue
+			}
+		}
+		// a ## b → paste
+		if i+1 < len(m.Body) && m.Body[i+1].Kind == token.HashHash {
+			left := resolveOne(tk, argFor)
+			i += 2
+			if i >= len(m.Body) {
+				return nil, fmt.Errorf("'##' at end of macro body")
+			}
+			right := resolveOne(m.Body[i], argFor)
+			pasted, err := pasteTokens(left, right, tk.Pos)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pasted...)
+			continue
+		}
+		if tk.Kind == token.Identifier {
+			if arg, ok := argFor(tk.Text); ok {
+				// Arguments are fully expanded before substitution.
+				out = append(out, pp.expand(arg, hide)...)
+				continue
+			}
+		}
+		out = append(out, tk)
+	}
+	return out, nil
+}
+
+func resolveOne(tk token.Token, argFor func(string) ([]token.Token, bool)) []token.Token {
+	if tk.Kind == token.Identifier {
+		if arg, ok := argFor(tk.Text); ok {
+			return arg
+		}
+	}
+	return []token.Token{tk}
+}
+
+// pasteTokens concatenates the last token of left with the first of right.
+func pasteTokens(left, right []token.Token, pos token.Pos) ([]token.Token, error) {
+	if len(left) == 0 {
+		return right, nil
+	}
+	if len(right) == 0 {
+		return left, nil
+	}
+	l, r := left[len(left)-1], right[0]
+	joined := l.Text + r.Text
+	kind := token.Identifier
+	switch {
+	case l.Kind == token.IntLit && r.Kind == token.IntLit:
+		kind = token.IntLit
+	case l.Kind == token.IntLit || (l.Kind != token.Identifier && l.Kind != token.Keyword):
+		// Punctuator pastes are rare in our corpora; treat conservatively.
+		kind = l.Kind
+	}
+	out := make([]token.Token, 0, len(left)+len(right)-1)
+	out = append(out, left[:len(left)-1]...)
+	out = append(out, token.Token{Kind: kind, Text: joined, Pos: pos})
+	out = append(out, right[1:]...)
+	return out, nil
+}
+
+// stringize renders tokens as a C string literal per the # operator.
+func stringize(toks []token.Token) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i, tk := range toks {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		s := tk.Text
+		s = strings.ReplaceAll(s, `\`, `\\`)
+		s = strings.ReplaceAll(s, `"`, `\"`)
+		b.WriteString(s)
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -1,0 +1,488 @@
+// Package preprocessor implements the C++ preprocessor phase of the
+// frontend substrate: #include resolution over a virtual filesystem,
+// object- and function-like macros with stringize/paste, conditional
+// compilation with full integer constant expressions, include guards and
+// #pragma once. It produces the translation-unit token stream consumed by
+// the parser plus the statistics (total LOC, headers included) that the
+// paper's Table 3 reports.
+package preprocessor
+
+import (
+	"fmt"
+	"path"
+	"strings"
+
+	"repro/internal/cpp/lexer"
+	"repro/internal/cpp/token"
+	"repro/internal/vfs"
+)
+
+// DefaultMaxDepth bounds include nesting to catch cycles that guards
+// fail to break.
+const DefaultMaxDepth = 200
+
+// Result is the output of preprocessing one top-level source file.
+type Result struct {
+	// Tokens is the fully expanded translation-unit token stream
+	// (terminated by an EOF token).
+	Tokens []token.Token
+	// Includes lists every distinct file included, directly or
+	// transitively, excluding the main file, in first-inclusion order.
+	Includes []string
+	// LOC is the count of non-blank lines contributed by all files'
+	// active regions (main file included), mirroring Table 3's "LOC".
+	LOC int
+	// DirectDeps maps each file to the includes it resolved directly.
+	DirectDeps map[string][]string
+	// MissingIncludes lists include targets that could not be resolved;
+	// preprocessing continues past them (the corpora model system headers
+	// that exist, so a miss usually signals a corpus bug).
+	MissingIncludes []string
+}
+
+// Preprocessor preprocesses files from a virtual filesystem.
+type Preprocessor struct {
+	FS          *vfs.FS
+	SearchPaths []string
+	// Predefined seeds the macro table, e.g. {"__cplusplus": "202002L"}.
+	Predefined map[string]string
+	MaxDepth   int
+
+	macros     *macroTable
+	pragmaOnce map[string]bool
+	// guardedBy caches detected include guards: file -> macro name.
+	guardedBy map[string]string
+	errs      []error
+
+	res     *Result
+	seen    map[string]bool
+	depth   int
+	counter int // __COUNTER__ state
+}
+
+// condState tracks one level of conditional nesting.
+type condState struct {
+	active    bool // tokens in the current branch are emitted
+	everTaken bool // some branch already matched
+	sawElse   bool
+	parentOK  bool // enclosing region was active
+}
+
+// New returns a preprocessor over fs with the given include search paths.
+func New(fs *vfs.FS, searchPaths ...string) *Preprocessor {
+	return &Preprocessor{FS: fs, SearchPaths: searchPaths, MaxDepth: DefaultMaxDepth}
+}
+
+func (pp *Preprocessor) errorf(pos token.Pos, format string, args ...any) {
+	pp.errs = append(pp.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+// Define adds an object-like macro prior to preprocessing, like -D on a
+// compiler command line.
+func (pp *Preprocessor) Define(name, value string) {
+	if pp.macros == nil {
+		pp.macros = newMacroTable()
+	}
+	toks, _ := lexer.Tokenize("<command line>", value)
+	body := toks[:len(toks)-1] // strip EOF
+	for i := range body {
+		body[i].LeadingNewline = false
+	}
+	pp.macros.define(&Macro{Name: name, Body: body})
+}
+
+// Preprocess runs the preprocessor on the given main file.
+func (pp *Preprocessor) Preprocess(mainFile string) (*Result, error) {
+	if pp.macros == nil {
+		pp.macros = newMacroTable()
+	}
+	for k, v := range pp.Predefined {
+		pp.Define(k, v)
+	}
+	if pp.MaxDepth == 0 {
+		pp.MaxDepth = DefaultMaxDepth
+	}
+	pp.pragmaOnce = map[string]bool{}
+	pp.guardedBy = map[string]string{}
+	pp.errs = nil
+	pp.res = &Result{DirectDeps: map[string][]string{}}
+	pp.seen = map[string]bool{}
+
+	if err := pp.processFile(mainFile, true); err != nil {
+		return pp.res, err
+	}
+	pp.res.Tokens = append(pp.res.Tokens, token.Token{Kind: token.EOF, LeadingNewline: true})
+	if len(pp.errs) > 0 {
+		return pp.res, pp.errs[0]
+	}
+	return pp.res, nil
+}
+
+// resolveInclude finds the file for an include target.
+func (pp *Preprocessor) resolveInclude(target string, angled bool, from string) (string, bool) {
+	if !angled {
+		rel := vfs.Clean(path.Join(path.Dir(from), target))
+		if pp.FS.Exists(rel) {
+			return rel, true
+		}
+	}
+	for _, sp := range pp.SearchPaths {
+		cand := vfs.Clean(path.Join(sp, target))
+		if pp.FS.Exists(cand) {
+			return cand, true
+		}
+	}
+	if pp.FS.Exists(target) {
+		return vfs.Clean(target), true
+	}
+	return "", false
+}
+
+func (pp *Preprocessor) processFile(file string, isMain bool) error {
+	file = vfs.Clean(file)
+	if pp.depth >= pp.MaxDepth {
+		return fmt.Errorf("preprocessor: include depth exceeds %d at %s (include cycle?)", pp.MaxDepth, file)
+	}
+	if pp.pragmaOnce[file] {
+		return nil
+	}
+	if g, ok := pp.guardedBy[file]; ok && pp.macros.isDefined(g) {
+		return nil
+	}
+	src, err := pp.FS.Read(file)
+	if err != nil {
+		return err
+	}
+	toks, err := lexer.Tokenize(file, src)
+	if err != nil {
+		return fmt.Errorf("%s: %v", file, err)
+	}
+	toks = toks[:len(toks)-1] // drop EOF; caller appends a single final one
+
+	if !isMain && !pp.seen[file] {
+		pp.seen[file] = true
+		pp.res.Includes = append(pp.res.Includes, file)
+	}
+
+	pp.depth++
+	defer func() { pp.depth-- }()
+
+	// Detect a whole-file include guard: #ifndef G / #define G ... #endif
+	// with nothing outside. Used to skip repeat inclusions cheaply.
+	if g, ok := detectIncludeGuard(toks); ok {
+		pp.guardedBy[file] = g
+	}
+
+	var conds []condState
+	active := func() bool {
+		for _, c := range conds {
+			if !c.active {
+				return false
+			}
+		}
+		return true
+	}
+
+	// activeLines counts distinct source lines that contributed tokens.
+	activeLines := map[int]bool{}
+
+	i := 0
+	for i < len(toks) {
+		tk := toks[i]
+		if tk.Kind == token.Hash && tk.LeadingNewline {
+			// Gather the directive line.
+			j := i + 1
+			for j < len(toks) && !toks[j].LeadingNewline {
+				j++
+			}
+			line := toks[i+1 : j]
+			pp.handleDirective(file, tk, line, &conds, active)
+			i = j
+			continue
+		}
+		// Gather the whole run of ordinary tokens up to the next directive
+		// so function-like macro invocations spanning lines expand
+		// correctly.
+		j := i
+		for j < len(toks) && !(toks[j].Kind == token.Hash && toks[j].LeadingNewline) {
+			j++
+		}
+		if active() {
+			out := pp.expand(toks[i:j], map[string]bool{})
+			pp.res.Tokens = append(pp.res.Tokens, out...)
+			for _, t := range toks[i:j] {
+				activeLines[t.Pos.Line] = true
+			}
+		}
+		i = j
+	}
+	if len(conds) != 0 {
+		pp.errorf(token.Pos{File: file, Line: 1, Col: 1}, "unterminated conditional directive")
+	}
+	pp.res.LOC += len(activeLines)
+	return nil
+}
+
+// handleDirective processes one directive line.
+func (pp *Preprocessor) handleDirective(file string, hash token.Token, line []token.Token, conds *[]condState, active func() bool) {
+	if len(line) == 0 {
+		return // null directive
+	}
+	name := line[0].Text
+	rest := line[1:]
+
+	// Conditionals are processed even in inactive regions (they nest).
+	switch name {
+	case "if", "ifdef", "ifndef":
+		st := condState{parentOK: active()}
+		if !st.parentOK {
+			// Inside a skipped region: push an always-false frame.
+			st.active, st.everTaken = false, true
+			*conds = append(*conds, st)
+			return
+		}
+		var ok bool
+		var err error
+		switch name {
+		case "if":
+			ok, err = pp.evalCondition(rest)
+		case "ifdef":
+			ok = len(rest) > 0 && pp.macros.isDefined(rest[0].Text)
+		case "ifndef":
+			ok = len(rest) > 0 && !pp.macros.isDefined(rest[0].Text)
+		}
+		if err != nil {
+			pp.errorf(hash.Pos, "#%s: %v", name, err)
+		}
+		st.active, st.everTaken = ok, ok
+		*conds = append(*conds, st)
+		return
+	case "elif":
+		if len(*conds) == 0 {
+			pp.errorf(hash.Pos, "#elif without #if")
+			return
+		}
+		st := &(*conds)[len(*conds)-1]
+		if st.sawElse {
+			pp.errorf(hash.Pos, "#elif after #else")
+			return
+		}
+		if !st.parentOK || st.everTaken {
+			st.active = false
+			return
+		}
+		ok, err := pp.evalCondition(rest)
+		if err != nil {
+			pp.errorf(hash.Pos, "#elif: %v", err)
+		}
+		st.active, st.everTaken = ok, ok
+		return
+	case "else":
+		if len(*conds) == 0 {
+			pp.errorf(hash.Pos, "#else without #if")
+			return
+		}
+		st := &(*conds)[len(*conds)-1]
+		if st.sawElse {
+			pp.errorf(hash.Pos, "duplicate #else")
+			return
+		}
+		st.sawElse = true
+		st.active = st.parentOK && !st.everTaken
+		st.everTaken = true
+		return
+	case "endif":
+		if len(*conds) == 0 {
+			pp.errorf(hash.Pos, "#endif without #if")
+			return
+		}
+		*conds = (*conds)[:len(*conds)-1]
+		return
+	}
+
+	if !active() {
+		return
+	}
+
+	switch name {
+	case "include":
+		pp.handleInclude(file, hash, rest)
+	case "define":
+		pp.handleDefine(hash, rest)
+	case "undef":
+		if len(rest) > 0 {
+			pp.macros.undef(rest[0].Text)
+		}
+	case "pragma":
+		if len(rest) > 0 && rest[0].Text == "once" {
+			pp.pragmaOnce[file] = true
+		}
+	case "error":
+		var parts []string
+		for _, t := range rest {
+			parts = append(parts, t.Text)
+		}
+		pp.errorf(hash.Pos, "#error %s", strings.Join(parts, " "))
+	case "warning", "line":
+		// ignored
+	default:
+		pp.errorf(hash.Pos, "unknown directive #%s", name)
+	}
+}
+
+func (pp *Preprocessor) handleInclude(file string, hash token.Token, rest []token.Token) {
+	target, angled, ok := parseIncludeTarget(rest)
+	if !ok {
+		// Could be a computed include via macro; expand and retry.
+		expanded := pp.expand(rest, map[string]bool{})
+		target, angled, ok = parseIncludeTarget(expanded)
+		if !ok {
+			pp.errorf(hash.Pos, "malformed #include")
+			return
+		}
+	}
+	resolved, found := pp.resolveInclude(target, angled, file)
+	if !found {
+		pp.res.MissingIncludes = append(pp.res.MissingIncludes, target)
+		return
+	}
+	pp.res.DirectDeps[file] = append(pp.res.DirectDeps[file], resolved)
+	if err := pp.processFile(resolved, false); err != nil {
+		pp.errorf(hash.Pos, "%v", err)
+	}
+}
+
+// parseIncludeTarget extracts the include path from the directive operand.
+func parseIncludeTarget(rest []token.Token) (target string, angled, ok bool) {
+	if len(rest) == 0 {
+		return "", false, false
+	}
+	if rest[0].Kind == token.StringLit {
+		return strings.Trim(rest[0].Text, `"`), false, true
+	}
+	if rest[0].Kind == token.Less {
+		var b strings.Builder
+		for _, t := range rest[1:] {
+			if t.Kind == token.Greater {
+				return b.String(), true, true
+			}
+			b.WriteString(t.Text)
+		}
+	}
+	return "", false, false
+}
+
+func (pp *Preprocessor) handleDefine(hash token.Token, rest []token.Token) {
+	if len(rest) == 0 || (rest[0].Kind != token.Identifier && rest[0].Kind != token.Keyword) {
+		pp.errorf(hash.Pos, "#define requires a macro name")
+		return
+	}
+	m := &Macro{Name: rest[0].Text, Pos: rest[0].Pos}
+	body := rest[1:]
+	// Function-like only if '(' immediately follows the name (no space).
+	if len(body) > 0 && body[0].Kind == token.LParen &&
+		body[0].Pos.Offset == rest[0].End().Offset {
+		m.FunctionLike = true
+		i := 1
+		for i < len(body) && body[i].Kind != token.RParen {
+			switch body[i].Kind {
+			case token.Identifier:
+				m.Params = append(m.Params, body[i].Text)
+			case token.Ellipsis:
+				m.Variadic = true
+			case token.Comma:
+			default:
+				pp.errorf(body[i].Pos, "unexpected token %q in macro parameter list", body[i].Text)
+			}
+			i++
+		}
+		if i >= len(body) {
+			pp.errorf(hash.Pos, "unterminated macro parameter list")
+			return
+		}
+		body = body[i+1:]
+	}
+	m.Body = append([]token.Token(nil), body...)
+	if old := pp.macros.lookup(m.Name); old != nil && !old.SameDefinition(m) {
+		// Benign in practice; keep latest definition like most compilers.
+	}
+	pp.macros.define(m)
+}
+
+// detectIncludeGuard recognizes the canonical
+//
+//	#ifndef NAME
+//	#define NAME
+//	...
+//	#endif
+//
+// pattern covering the entire file.
+func detectIncludeGuard(toks []token.Token) (string, bool) {
+	// First directive must be #ifndef NAME.
+	i := 0
+	if i+1 >= len(toks) || toks[i].Kind != token.Hash || !toks[i].LeadingNewline {
+		return "", false
+	}
+	if !toks[i+1].Is("ifndef") || i+2 >= len(toks) {
+		return "", false
+	}
+	guard := toks[i+2].Text
+	// Second directive must be #define NAME.
+	j := i + 3
+	for j < len(toks) && !toks[j].LeadingNewline {
+		j++
+	}
+	if j+2 >= len(toks) || toks[j].Kind != token.Hash || !toks[j+1].Is("define") || toks[j+2].Text != guard {
+		return "", false
+	}
+	// The matching #endif must be the last directive, with nothing after.
+	depth := 1
+	k := j + 3
+	lastEndif := -1
+	for k < len(toks) {
+		if toks[k].Kind == token.Hash && toks[k].LeadingNewline && k+1 < len(toks) {
+			switch toks[k+1].Text {
+			case "if", "ifdef", "ifndef":
+				depth++
+			case "endif":
+				depth--
+				if depth == 0 {
+					lastEndif = k
+				}
+			}
+		}
+		k++
+	}
+	if lastEndif < 0 {
+		return "", false
+	}
+	// Nothing but the #endif line may follow.
+	m := lastEndif
+	for m < len(toks) && (m == lastEndif || !toks[m].LeadingNewline) {
+		m++
+	}
+	if m != len(toks) {
+		return "", false
+	}
+	return guard, true
+}
+
+// RenderTokens reconstructs compilable text from a token stream; used for
+// golden tests and debugging (positions are not preserved).
+func RenderTokens(toks []token.Token) string {
+	var b strings.Builder
+	for i, tk := range toks {
+		if tk.Kind == token.EOF {
+			break
+		}
+		if i > 0 {
+			if tk.LeadingNewline {
+				b.WriteByte('\n')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString(tk.Text)
+	}
+	return b.String()
+}

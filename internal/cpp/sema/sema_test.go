@@ -1,0 +1,335 @@
+package sema
+
+import (
+	"strings"
+
+	"testing"
+
+	"repro/internal/cpp/ast"
+	"repro/internal/cpp/lexer"
+	"repro/internal/cpp/parser"
+)
+
+func build(t *testing.T, files map[string]string) *Table {
+	t.Helper()
+	tab := NewTable()
+	for name, src := range files {
+		toks, err := lexer.Tokenize(name, src)
+		if err != nil {
+			t.Fatalf("lex %s: %v", name, err)
+		}
+		tu, err := parser.New(toks).Parse()
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		tab.AddUnit(tu)
+	}
+	return tab
+}
+
+const kokkosHeader = `
+namespace Kokkos {
+  class OpenMP;
+  struct LayoutRight {};
+  template<class T, class L> class View {
+  public:
+    T& operator()(int i, int j);
+  };
+  template<class Space> class TeamPolicy {
+  public:
+    using member_type = HostThreadTeamMember<Space>;
+  };
+  template<class Space> class HostThreadTeamMember {
+  public:
+    int league_rank() const;
+  };
+  namespace Impl {
+    template<class T> struct TeamThreadRangeBoundariesStruct {};
+  }
+  template<class M> Impl::TeamThreadRangeBoundariesStruct<M> TeamThreadRange(M& m, int n);
+  template<class P, class F> void parallel_for(P policy, F functor);
+}
+`
+
+func TestBuildScopes(t *testing.T) {
+	tab := build(t, map[string]string{"Kokkos_Core.hpp": kokkosHeader})
+	kok := tab.Global.FirstChild("Kokkos")
+	if kok == nil || kok.Kind != NamespaceSym {
+		t.Fatalf("Kokkos = %+v", kok)
+	}
+	view := kok.FirstChild("View")
+	if view == nil || view.Kind != ClassSym || view.Qualified() != "Kokkos::View" {
+		t.Fatalf("View = %+v", view)
+	}
+	if op := view.FirstChild("operator()"); op == nil || op.Kind != FunctionSym {
+		t.Fatalf("operator() not found in View")
+	}
+	impl := kok.FirstChild("Impl")
+	if impl == nil || impl.FirstChild("TeamThreadRangeBoundariesStruct") == nil {
+		t.Fatal("Impl::TeamThreadRangeBoundariesStruct not found")
+	}
+}
+
+func TestLookupQualified(t *testing.T) {
+	tab := build(t, map[string]string{"Kokkos_Core.hpp": kokkosHeader})
+	r := tab.Lookup(ast.QN("Kokkos", "OpenMP"), "main.cpp")
+	if r == nil || r.Symbol.Qualified() != "Kokkos::OpenMP" {
+		t.Fatalf("lookup = %+v", r)
+	}
+	if r.Symbol.DeclFile != "Kokkos_Core.hpp" {
+		t.Fatalf("DeclFile = %q", r.Symbol.DeclFile)
+	}
+}
+
+func TestLookupUnresolved(t *testing.T) {
+	tab := build(t, map[string]string{"Kokkos_Core.hpp": kokkosHeader})
+	if r := tab.Lookup(ast.QN("NoSuch", "Thing"), "main.cpp"); r != nil {
+		t.Fatalf("lookup = %+v", r)
+	}
+}
+
+func TestUsingNamespaceDirective(t *testing.T) {
+	tab := build(t, map[string]string{
+		"Kokkos_Core.hpp": kokkosHeader,
+		"main.cpp":        "using namespace Kokkos;\nOpenMP* space;",
+	})
+	r := tab.Lookup(ast.QN("OpenMP"), "main.cpp")
+	if r == nil || r.Symbol.Qualified() != "Kokkos::OpenMP" {
+		t.Fatalf("lookup via using-directive = %+v", r)
+	}
+	// Not visible from a file without the directive.
+	if r := tab.Lookup(ast.QN("OpenMP"), "other.cpp"); r != nil {
+		t.Fatalf("leaked using-directive: %+v", r)
+	}
+}
+
+func TestUsingDeclaration(t *testing.T) {
+	tab := build(t, map[string]string{
+		"Kokkos_Core.hpp": kokkosHeader,
+		"main.cpp":        "using Kokkos::LayoutRight;\nLayoutRight l;",
+	})
+	r := tab.Lookup(ast.QN("LayoutRight"), "main.cpp")
+	if r == nil || r.Symbol.Qualified() != "Kokkos::LayoutRight" {
+		t.Fatalf("lookup via using-decl = %+v", r)
+	}
+}
+
+func TestAliasResolution(t *testing.T) {
+	tab := build(t, map[string]string{
+		"Kokkos_Core.hpp": kokkosHeader,
+		"main.cpp":        "using sp_t = Kokkos::OpenMP;\nsp_t* s;",
+	})
+	r := tab.Lookup(ast.QN("sp_t"), "main.cpp")
+	if r == nil || r.Symbol.Qualified() != "Kokkos::OpenMP" {
+		t.Fatalf("alias target = %+v", r)
+	}
+	if len(r.AliasChain) != 1 || r.AliasChain[0].Name != "sp_t" {
+		t.Fatalf("alias chain = %+v", r.AliasChain)
+	}
+}
+
+func TestNestedAliasThroughClass(t *testing.T) {
+	// member_t = Kokkos::TeamPolicy<sp_t>::member_type, where member_type
+	// is an alias to HostThreadTeamMember — the paper's §3.2.1 case.
+	tab := build(t, map[string]string{
+		"Kokkos_Core.hpp": kokkosHeader,
+		"main.cpp": `using sp_t = Kokkos::OpenMP;
+using member_t = Kokkos::TeamPolicy<sp_t>::member_type;
+member_t* m;`,
+	})
+	r := tab.Lookup(ast.QN("member_t"), "main.cpp")
+	if r == nil {
+		t.Fatal("member_t did not resolve")
+	}
+	if got := r.Symbol.Qualified(); got != "Kokkos::HostThreadTeamMember" {
+		t.Fatalf("member_t resolves to %q, want Kokkos::HostThreadTeamMember", got)
+	}
+	// The chain passes through both aliases.
+	if len(r.AliasChain) < 2 {
+		t.Fatalf("alias chain = %+v", r.AliasChain)
+	}
+}
+
+func TestIsNested(t *testing.T) {
+	tab := build(t, map[string]string{
+		"h.hpp": "class Outer { public: class Inner {}; }; class Free {};",
+	})
+	outer := tab.Global.FirstChild("Outer")
+	inner := outer.FirstChild("Inner")
+	if !inner.IsNested() {
+		t.Fatal("Inner should be nested")
+	}
+	if tab.Global.FirstChild("Free").IsNested() {
+		t.Fatal("Free should not be nested")
+	}
+}
+
+func TestOutOfLineMethodAttachesToClass(t *testing.T) {
+	tab := build(t, map[string]string{
+		"functor.hpp": "struct add_y { void operator()(int &m); };",
+		"kernel.cpp":  "void add_y::operator()(int &m) { }",
+	})
+	addy := tab.Global.FirstChild("add_y")
+	ops := addy.ChildrenNamed("operator()")
+	if len(ops) != 1 {
+		t.Fatalf("operator() children = %d", len(ops))
+	}
+	if len(ops[0].Decls) != 2 {
+		t.Fatalf("operator() decls = %d, want declaration + definition", len(ops[0].Decls))
+	}
+}
+
+func TestNamespaceMerging(t *testing.T) {
+	tab := build(t, map[string]string{
+		"a.hpp": "namespace N { class A; }",
+		"b.hpp": "namespace N { class B; }",
+	})
+	n := tab.Global.FirstChild("N")
+	if n.FirstChild("A") == nil || n.FirstChild("B") == nil {
+		t.Fatal("namespace contents not merged")
+	}
+}
+
+func TestClassDefinitionPreferredOverForwardDecl(t *testing.T) {
+	tab := build(t, map[string]string{
+		"fwd.hpp": "namespace K { class View; }",
+		"def.hpp": "namespace K { class View { public: int size(); }; }",
+	})
+	v := tab.Global.FirstChild("K").FirstChild("View")
+	if !v.Class().IsDefinition {
+		t.Fatal("primary decl should be the definition")
+	}
+	if v.DeclFile != "def.hpp" {
+		t.Fatalf("DeclFile = %q", v.DeclFile)
+	}
+}
+
+func TestUnderlyingTypePreservesDeclarator(t *testing.T) {
+	tab := build(t, map[string]string{
+		"h.hpp":    "namespace K { class OpenMP {}; }",
+		"main.cpp": "using sp_t = K::OpenMP;\nsp_t* p;",
+	})
+	ty := &ast.Type{Name: ast.QN("sp_t"), Pointer: 1}
+	u := tab.UnderlyingType(ty, "main.cpp")
+	if u.Name.Plain() != "K::OpenMP" || u.Pointer != 1 {
+		t.Fatalf("underlying = %s pointer=%d", u.Name, u.Pointer)
+	}
+}
+
+func TestEnumAndVarSymbols(t *testing.T) {
+	tab := build(t, map[string]string{
+		"h.hpp": "enum class Mode { A, B };\nint counter = 0;",
+	})
+	if s := tab.Global.FirstChild("Mode"); s == nil || s.Kind != EnumSym {
+		t.Fatalf("Mode = %+v", s)
+	}
+	if s := tab.Global.FirstChild("counter"); s == nil || s.Kind != VarSym {
+		t.Fatalf("counter = %+v", s)
+	}
+}
+
+func TestFunctionOverloadsShareSymbol(t *testing.T) {
+	tab := build(t, map[string]string{
+		"h.hpp": "void f(int);\nvoid f(double);\nvoid f(int, int);",
+	})
+	f := tab.Global.FirstChild("f")
+	if f == nil || len(f.Decls) != 3 {
+		t.Fatalf("f decls = %+v", f)
+	}
+}
+
+func TestScopedEnumeratorLookup(t *testing.T) {
+	tab := build(t, map[string]string{
+		"h.hpp": `namespace lib {
+enum class Color { Red, Green = 7, Blue };
+enum Flags { A = 1, B = 2, C = 4 };
+}`,
+	})
+	// Scoped enumerators live under the enum.
+	r := tab.Lookup(ast.QN("lib", "Color", "Green"), "main.cpp")
+	if r == nil || r.Symbol.Kind != EnumeratorSym {
+		t.Fatalf("Color::Green = %+v", r)
+	}
+	if r.Symbol.EnumValue != 7 {
+		t.Fatalf("Green = %d", r.Symbol.EnumValue)
+	}
+	if r2 := tab.Lookup(ast.QN("lib", "Color", "Blue"), "m"); r2 == nil || r2.Symbol.EnumValue != 8 {
+		t.Fatalf("Blue should be 8")
+	}
+	// Unscoped enumerators are visible in the enclosing namespace.
+	r3 := tab.Lookup(ast.QN("lib", "C"), "m")
+	if r3 == nil || r3.Symbol.EnumValue != 4 {
+		t.Fatalf("lib::C = %+v", r3)
+	}
+}
+
+func TestEnumeratorValueExpressions(t *testing.T) {
+	tab := build(t, map[string]string{
+		"h.hpp": "enum E { X = 1 << 4, Y = 0x10 + 2, Z = (3) * 4, N = -2, Seq };",
+	})
+	want := map[string]int64{"X": 16, "Y": 18, "Z": 12, "N": -2, "Seq": -1}
+	for name, v := range want {
+		r := tab.Lookup(ast.QN(name), "m")
+		if r == nil {
+			t.Fatalf("%s missing", name)
+		}
+		if r.Symbol.EnumValue != v {
+			t.Errorf("%s = %d, want %d", name, r.Symbol.EnumValue, v)
+		}
+	}
+}
+
+func TestDumpRendersTree(t *testing.T) {
+	tab := build(t, map[string]string{"h.hpp": "namespace N { class C { int f; }; }"})
+	out := tab.Dump()
+	for _, want := range []string{"namespace N", "class C", "field f"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseQualifiedHelper(t *testing.T) {
+	q := ParseQualified("A::B::C")
+	if q.String() != "A::B::C" || len(q.Segments) != 3 {
+		t.Fatalf("q = %+v", q)
+	}
+	if ParseQualified("solo").String() != "solo" {
+		t.Fatal("single segment")
+	}
+}
+
+func TestLookupScopedWalksOutward(t *testing.T) {
+	tab := build(t, map[string]string{
+		"h.hpp": `namespace outer {
+class Target {};
+namespace inner {
+class User {};
+}
+}`,
+	})
+	inner := tab.Global.FirstChild("outer").FirstChild("inner")
+	r := tab.LookupScoped(ast.QN("Target"), inner, "h.hpp")
+	if r == nil || r.Symbol.Qualified() != "outer::Target" {
+		t.Fatalf("scoped lookup = %+v", r)
+	}
+}
+
+func TestAliasCycleTerminates(t *testing.T) {
+	tab := build(t, map[string]string{
+		"h.hpp": "using A = B;\nusing B = A;",
+	})
+	// Must not hang or crash; result may be nil or an alias symbol.
+	_ = tab.Lookup(ast.QN("A"), "h.hpp")
+}
+
+func TestUnderlyingTypeBuiltinAlias(t *testing.T) {
+	tab := build(t, map[string]string{
+		"h.hpp": "using index_t = long;",
+	})
+	ty := &ast.Type{Name: ast.QN("index_t")}
+	u := tab.UnderlyingType(ty, "h.hpp")
+	if u == nil {
+		t.Fatal("nil underlying")
+	}
+}

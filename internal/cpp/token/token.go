@@ -1,0 +1,209 @@
+// Package token defines the lexical token kinds and source positions used
+// by the C++ frontend. It plays the role of clang's Token/SourceLocation
+// machinery for this reproduction.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Punctuators follow C++ naming (clang's tok:: names).
+const (
+	Invalid Kind = iota
+	EOF
+
+	Identifier // foo
+	Keyword    // class, template, ...
+	IntLit     // 42, 0x2a, 0b101, 42ull
+	FloatLit   // 3.14, 1e-9f
+	CharLit    // 'a', L'a'
+	StringLit  // "abc", R"(abc)", u8"abc"
+
+	// Punctuators.
+	LParen    // (
+	RParen    // )
+	LBrace    // {
+	RBrace    // }
+	LBracket  // [
+	RBracket  // ]
+	Semi      // ;
+	Comma     // ,
+	Colon     // :
+	ColonCol  // ::
+	Arrow     // ->
+	ArrowStar // ->*
+	Dot       // .
+	DotStar   // .*
+	Ellipsis  // ...
+	Question  // ?
+
+	Assign     // =
+	Plus       // +
+	Minus      // -
+	Star       // *
+	Slash      // /
+	Percent    // %
+	Amp        // &
+	AmpAmp     // &&
+	Pipe       // |
+	PipePipe   // ||
+	Caret      // ^
+	Tilde      // ~
+	Exclaim    // !
+	Less       // <
+	Greater    // >
+	LessEq     // <=
+	GreaterEq  // >=
+	EqEq       // ==
+	NotEq      // !=
+	Spaceship  // <=>
+	Shl        // <<
+	Shr        // >>
+	PlusEq     // +=
+	MinusEq    // -=
+	StarEq     // *=
+	SlashEq    // /=
+	PercentEq  // %=
+	AmpEq      // &=
+	PipeEq     // |=
+	CaretEq    // ^=
+	ShlEq      // <<=
+	ShrEq      // >>=
+	PlusPlus   // ++
+	MinusMinus // --
+
+	Hash     // # (start of a preprocessor directive)
+	HashHash // ## (token paste, inside macro bodies)
+
+	Comment // retained only when the lexer is configured to keep them
+)
+
+var kindNames = map[Kind]string{
+	Invalid: "invalid", EOF: "eof",
+	Identifier: "identifier", Keyword: "keyword",
+	IntLit: "int-literal", FloatLit: "float-literal",
+	CharLit: "char-literal", StringLit: "string-literal",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Semi: ";", Comma: ",",
+	Colon: ":", ColonCol: "::", Arrow: "->", ArrowStar: "->*",
+	Dot: ".", DotStar: ".*", Ellipsis: "...", Question: "?",
+	Assign: "=", Plus: "+", Minus: "-", Star: "*", Slash: "/",
+	Percent: "%", Amp: "&", AmpAmp: "&&", Pipe: "|", PipePipe: "||",
+	Caret: "^", Tilde: "~", Exclaim: "!", Less: "<", Greater: ">",
+	LessEq: "<=", GreaterEq: ">=", EqEq: "==", NotEq: "!=",
+	Spaceship: "<=>", Shl: "<<", Shr: ">>",
+	PlusEq: "+=", MinusEq: "-=", StarEq: "*=", SlashEq: "/=",
+	PercentEq: "%=", AmpEq: "&=", PipeEq: "|=", CaretEq: "^=",
+	ShlEq: "<<=", ShrEq: ">>=", PlusPlus: "++", MinusMinus: "--",
+	Hash: "#", HashHash: "##", Comment: "comment",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Pos is a location in a source file. Offset is a byte offset into the
+// file's contents; Line and Col are 1-based.
+type Pos struct {
+	File   string
+	Offset int
+	Line   int
+	Col    int
+}
+
+// IsValid reports whether the position carries a real location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String formats the position as file:line:col.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "<invalid>"
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is a single lexical token.
+type Token struct {
+	Kind Kind
+	Text string // exact source spelling
+	Pos  Pos
+
+	// LeadingNewline is true when this token is the first on its line,
+	// which the preprocessor uses to recognize directives.
+	LeadingNewline bool
+}
+
+// End returns the position one past the last byte of the token.
+func (t Token) End() Pos {
+	p := t.Pos
+	p.Offset += len(t.Text)
+	p.Col += len(t.Text)
+	return p
+}
+
+// Is reports whether the token is a keyword or identifier with the given
+// spelling.
+func (t Token) Is(text string) bool {
+	return (t.Kind == Keyword || t.Kind == Identifier) && t.Text == text
+}
+
+// IsPunct reports whether the token is the given punctuator kind.
+func (t Token) IsPunct(k Kind) bool { return t.Kind == k }
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Identifier, Keyword, IntLit, FloatLit, CharLit, StringLit:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Keywords is the set of C++ keywords recognized by the lexer.
+var Keywords = map[string]bool{
+	"alignas": true, "alignof": true, "asm": true, "auto": true,
+	"bool": true, "break": true, "case": true, "catch": true,
+	"char": true, "char8_t": true, "char16_t": true, "char32_t": true,
+	"class": true, "concept": true, "const": true, "consteval": true,
+	"constexpr": true, "constinit": true, "const_cast": true,
+	"continue": true, "co_await": true, "co_return": true, "co_yield": true,
+	"decltype": true, "default": true, "delete": true, "do": true,
+	"double": true, "dynamic_cast": true, "else": true, "enum": true,
+	"explicit": true, "export": true, "extern": true, "false": true,
+	"float": true, "for": true, "friend": true, "goto": true, "if": true,
+	"inline": true, "int": true, "long": true, "mutable": true,
+	"namespace": true, "new": true, "noexcept": true, "nullptr": true,
+	"operator": true, "private": true, "protected": true, "public": true,
+	"register": true, "reinterpret_cast": true, "requires": true,
+	"return": true, "short": true, "signed": true, "sizeof": true,
+	"static": true, "static_assert": true, "static_cast": true,
+	"struct": true, "switch": true, "template": true, "this": true,
+	"thread_local": true, "throw": true, "true": true, "try": true,
+	"typedef": true, "typeid": true, "typename": true, "union": true,
+	"unsigned": true, "using": true, "virtual": true, "void": true,
+	"volatile": true, "wchar_t": true, "while": true,
+}
+
+// IsTypeKeyword reports whether the spelling is a builtin type keyword.
+func IsTypeKeyword(s string) bool {
+	switch s {
+	case "void", "bool", "char", "char8_t", "char16_t", "char32_t",
+		"wchar_t", "short", "int", "long", "signed", "unsigned",
+		"float", "double", "auto":
+		return true
+	}
+	return false
+}
+
+// AssignmentOps enumerates the compound-assignment punctuator kinds.
+var AssignmentOps = map[Kind]bool{
+	Assign: true, PlusEq: true, MinusEq: true, StarEq: true, SlashEq: true,
+	PercentEq: true, AmpEq: true, PipeEq: true, CaretEq: true,
+	ShlEq: true, ShrEq: true,
+}

@@ -1,0 +1,106 @@
+package token
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Identifier: "identifier",
+		Keyword:    "keyword",
+		ColonCol:   "::",
+		Arrow:      "->",
+		Spaceship:  "<=>",
+		ShlEq:      "<<=",
+		EOF:        "eof",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(9999).String(); got != "Kind(9999)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestPos(t *testing.T) {
+	p := Pos{File: "a.cpp", Offset: 10, Line: 2, Col: 3}
+	if !p.IsValid() {
+		t.Fatal("valid pos reported invalid")
+	}
+	if p.String() != "a.cpp:2:3" {
+		t.Fatalf("String = %q", p.String())
+	}
+	var zero Pos
+	if zero.IsValid() || zero.String() != "<invalid>" {
+		t.Fatalf("zero pos = %q", zero.String())
+	}
+}
+
+func TestTokenEnd(t *testing.T) {
+	tok := Token{Kind: Identifier, Text: "View", Pos: Pos{Offset: 5, Line: 1, Col: 6}}
+	end := tok.End()
+	if end.Offset != 9 || end.Col != 10 {
+		t.Fatalf("End = %+v", end)
+	}
+}
+
+func TestTokenIs(t *testing.T) {
+	kw := Token{Kind: Keyword, Text: "class"}
+	id := Token{Kind: Identifier, Text: "class"}
+	lit := Token{Kind: StringLit, Text: "class"}
+	if !kw.Is("class") || !id.Is("class") {
+		t.Fatal("Is should match keywords and identifiers")
+	}
+	if lit.Is("class") {
+		t.Fatal("Is must not match literals")
+	}
+	if !kw.IsPunct(Keyword) {
+		t.Fatal("IsPunct kind check")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: Identifier, Text: "x"}
+	if tok.String() != `identifier("x")` {
+		t.Fatalf("String = %q", tok.String())
+	}
+	semi := Token{Kind: Semi, Text: ";"}
+	if semi.String() != ";" {
+		t.Fatalf("String = %q", semi.String())
+	}
+}
+
+func TestKeywordTable(t *testing.T) {
+	for _, kw := range []string{"class", "template", "operator", "constexpr", "co_await"} {
+		if !Keywords[kw] {
+			t.Errorf("%q missing from keyword table", kw)
+		}
+	}
+	if Keywords["View"] {
+		t.Error("View should not be a keyword")
+	}
+}
+
+func TestIsTypeKeyword(t *testing.T) {
+	for _, s := range []string{"int", "double", "unsigned", "auto", "wchar_t"} {
+		if !IsTypeKeyword(s) {
+			t.Errorf("%q should be a type keyword", s)
+		}
+	}
+	for _, s := range []string{"class", "struct", "typename", "foo"} {
+		if IsTypeKeyword(s) {
+			t.Errorf("%q should not be a type keyword", s)
+		}
+	}
+}
+
+func TestAssignmentOps(t *testing.T) {
+	for _, k := range []Kind{Assign, PlusEq, ShlEq, CaretEq} {
+		if !AssignmentOps[k] {
+			t.Errorf("%v missing from AssignmentOps", k)
+		}
+	}
+	if AssignmentOps[EqEq] {
+		t.Error("== is not an assignment")
+	}
+}

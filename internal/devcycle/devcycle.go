@@ -1,0 +1,313 @@
+// Package devcycle simulates the paper's local development cycle
+// (Fig. 1/Fig. 6): the one-time setup for each configuration (steps ①–③ —
+// running the tool, compiling wrappers.cpp, or building a PCH) and the
+// repeated edit–compile–link–run iteration (steps ④–⑤ plus execution),
+// producing the data behind Figure 8 (cycle speedups) and Figure 10
+// (first-time compilation cost).
+package devcycle
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/compilesim"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/pch"
+	"repro/internal/vfs"
+)
+
+// Mode is a build configuration from the evaluation.
+type Mode int
+
+// The three configurations of Tables 2–3 and Figures 7–8, plus the two
+// extensions the paper discusses: YALLA combined with a PCH over the
+// residual (non-substituted) headers (§6: "YALLA is orthogonal in its
+// approach to PCH so the two techniques can be used simultaneously") and
+// YALLA with link-time optimization (§5.4: recovers the lost inlining at
+// a link-time cost the paper found detrimental).
+const (
+	Default Mode = iota
+	PCH
+	Yalla
+	YallaPCH
+	YallaLTO
+)
+
+// String names the mode as the paper does.
+func (m Mode) String() string {
+	switch m {
+	case Default:
+		return "Default"
+	case PCH:
+		return "PCH"
+	case Yalla:
+		return "Yalla"
+	case YallaPCH:
+		return "Yalla+PCH"
+	case YallaLTO:
+		return "Yalla+LTO"
+	}
+	return "?"
+}
+
+// isYalla reports whether the mode compiles the substituted sources.
+func (m Mode) isYalla() bool { return m == Yalla || m == YallaPCH || m == YallaLTO }
+
+// Times is one development-cycle iteration.
+type Times struct {
+	Compile time.Duration
+	Link    time.Duration
+	Run     time.Duration
+}
+
+// Total is the full cycle latency.
+func (t Times) Total() time.Duration { return t.Compile + t.Link + t.Run }
+
+// SetupTimes is the one-time cost before iterating (Fig. 10).
+type SetupTimes struct {
+	// Tool is YALLA's own execution time (≈1.5 s in the paper's Fig. 10).
+	Tool time.Duration
+	// WrapperCompile is the wrappers.cpp compile (step ③).
+	WrapperCompile time.Duration
+	// PCHBuild is the PCH generation time in PCH mode.
+	PCHBuild time.Duration
+	// FirstCompile is the first step-④ compile.
+	FirstCompile time.Duration
+}
+
+// Total is the full first-time cost.
+func (s SetupTimes) Total() time.Duration {
+	return s.Tool + s.WrapperCompile + s.PCHBuild + s.FirstCompile
+}
+
+// Setup is a prepared development environment for one subject+mode.
+type Setup struct {
+	Subject *corpus.Subject
+	Mode    Mode
+	FS      *vfs.FS
+	Setup   SetupTimes
+
+	compiler    *compilesim.Compiler
+	mainFile    string
+	wrapperObj  *compilesim.Object
+	phases      compilesim.Phases // last compile's phases
+	stats       compilesim.Stats
+	preDeclared map[string]bool
+}
+
+// runModel captures per-library execution characteristics with the small
+// inputs the paper uses in §5.4.
+type runModel struct {
+	startupNs float64 // process/framework startup (PyKokkos imports Python)
+	opNs      float64 // per logical kernel operation
+	penaltyNs float64 // extra per wrapper-boundary call in YALLA builds
+	perIter   bool    // penalty applies per iteration (fine-grained calls)
+}
+
+func modelFor(lib string) runModel {
+	switch lib {
+	case "PyKokkos":
+		// Per-element wrapper calls (Fig. 9) — the penalty scales with
+		// the iteration count.
+		return runModel{startupNs: 120e6, opNs: 2000, penaltyNs: 3000, perIter: true}
+	case "RapidJSON":
+		return runModel{startupNs: 8e6, opNs: 150, penaltyNs: 1200, perIter: true}
+	case "OpenCV":
+		// Library internals stay fully optimized inside wrappers.o; only
+		// call boundaries pay.
+		return runModel{startupNs: 25e6, opNs: 120, penaltyNs: 1200, perIter: true}
+	case "Boost.Asio":
+		return runModel{startupNs: 30e6, opNs: 180, penaltyNs: 1200, perIter: true}
+	}
+	return runModel{startupNs: 10e6, opNs: 200, penaltyNs: 500, perIter: true}
+}
+
+// Prepare performs the one-time steps for a subject under a mode.
+func Prepare(s *corpus.Subject, mode Mode) (*Setup, error) {
+	return PrepareWithOptions(s, mode, nil)
+}
+
+// PrepareWithOptions is Prepare with the §6 pre-declared symbol list
+// passed through to the tool.
+func PrepareWithOptions(s *corpus.Subject, mode Mode, preDeclare []string) (*Setup, error) {
+	fs := s.FS.Clone()
+	st := &Setup{Subject: s, Mode: mode, FS: fs, preDeclared: map[string]bool{}}
+	for _, p := range preDeclare {
+		st.preDeclared[p] = true
+	}
+
+	switch mode {
+	case Default:
+		st.compiler = compilesim.New(fs, s.SearchPaths...)
+		st.mainFile = s.MainFile
+
+	case PCH:
+		headerPath, err := resolveHeader(fs, s)
+		if err != nil {
+			return nil, err
+		}
+		p, err := pch.Build(fs, headerPath, s.SearchPaths, nil)
+		if err != nil {
+			return nil, err
+		}
+		st.compiler = compilesim.New(fs, s.SearchPaths...)
+		st.compiler.PCH = p
+		st.mainFile = s.MainFile
+		// PCH build ≈ frontend over the header plus serialization.
+		probe := compilesim.New(fs, s.SearchPaths...)
+		hdrObj, err := probe.Compile(headerPath)
+		if err != nil {
+			return nil, err
+		}
+		st.Setup.PCHBuild = time.Duration(1.15 * float64(hdrObj.Phases.Frontend()))
+
+	case Yalla, YallaPCH, YallaLTO:
+		res, err := core.Substitute(core.Options{
+			FS: fs, SearchPaths: s.SearchPaths, Sources: s.Sources,
+			Header: s.Header, OutDir: s.OutDir(),
+			PreDeclare: preDeclare,
+		})
+		if err != nil {
+			return nil, err
+		}
+		paths := append([]string{s.OutDir()}, s.SearchPaths...)
+		st.compiler = compilesim.New(fs, paths...)
+		st.mainFile = res.ModifiedSources[s.MainFile]
+		// Tool time: the analysis parses the whole translation unit and
+		// runs matching + rewriting over it — modeled as 2.3× the default
+		// frontend (≈1.5 s for the 02 subject, Fig. 10).
+		probe := compilesim.New(fs, s.SearchPaths...)
+		defObj, err := probe.Compile(s.MainFile)
+		if err != nil {
+			return nil, err
+		}
+		st.Setup.Tool = time.Duration(2.3 * float64(defObj.Phases.Frontend()))
+		// Step ③: compile wrappers.cpp once.
+		wobj, err := st.compiler.Compile(res.WrappersPath)
+		if err != nil {
+			return nil, fmt.Errorf("devcycle: wrappers compile: %v", err)
+		}
+		st.wrapperObj = wobj
+		st.Setup.WrapperCompile = wobj.Phases.Total()
+		if mode == YallaPCH {
+			// §6 combination: pre-compile the residual headers the
+			// substituted sources still include (std and non-substituted
+			// modules).
+			p, err := pch.Build(fs, st.mainFile, paths, nil)
+			if err != nil {
+				return nil, fmt.Errorf("devcycle: residual pch: %v", err)
+			}
+			// The PCH must not cover the user's editable files.
+			delete(p.Files, st.mainFile)
+			for _, out := range res.ModifiedSources {
+				delete(p.Files, out)
+			}
+			delete(p.Files, res.LightweightPath)
+			st.compiler.PCH = p
+			probeHdr, err := compilesim.New(fs, paths...).Compile(st.mainFile)
+			if err != nil {
+				return nil, err
+			}
+			st.Setup.PCHBuild = time.Duration(1.15 * float64(probeHdr.Phases.Frontend()))
+		}
+	}
+
+	// First step-④ compile to complete the initial build.
+	obj, err := st.compiler.Compile(st.mainFile)
+	if err != nil {
+		return nil, err
+	}
+	st.Setup.FirstCompile = obj.Phases.Total()
+	st.phases = obj.Phases
+	st.stats = obj.Stats
+	return st, nil
+}
+
+// resolveHeader finds the substituted header's path on the search paths.
+func resolveHeader(fs *vfs.FS, s *corpus.Subject) (string, error) {
+	for _, sp := range s.SearchPaths {
+		cand := sp + "/" + s.Header
+		if sp == "." {
+			cand = s.Header
+		}
+		if fs.Exists(cand) {
+			return vfs.Clean(cand), nil
+		}
+	}
+	return "", fmt.Errorf("devcycle: cannot resolve header %q", s.Header)
+}
+
+// Cycle simulates one edit–compile–link–run iteration (steps ④–⑤ plus
+// execution with small inputs).
+func (st *Setup) Cycle() (Times, error) {
+	obj, err := st.compiler.Compile(st.mainFile)
+	if err != nil {
+		return Times{}, err
+	}
+	st.phases = obj.Phases
+	st.stats = obj.Stats
+
+	objs := []*compilesim.Object{obj}
+	if st.Mode.isYalla() && st.wrapperObj != nil {
+		// "YALLA requires an additional linking step with the wrappers"
+		// (§5.4).
+		objs = append(objs, st.wrapperObj)
+	}
+	link := st.compiler.Link(objs...)
+	if st.Mode == YallaLTO {
+		// LTO re-optimizes the whole program at link time; the wrappers
+		// object drags the entire library's code into every link — "the
+		// additional time needed by the linker ... proved to be
+		// detrimental to the development cycle" (§5.4).
+		link += st.compiler.LinkLTO(objs...)
+	}
+
+	return Times{Compile: obj.Phases.Total(), Link: link, Run: st.runTime()}, nil
+}
+
+// CycleWithNewSymbol simulates an edit that starts using a header symbol
+// the source did not use before (§4.2: "YALLA must be rerun if the set of
+// used symbols from the header file being substituted changes"). In a
+// YALLA configuration the cycle then pays the tool rerun and the wrappers
+// recompile — unless the symbol was pre-declared at Prepare time (§6).
+// The returned bool reports whether a rerun was charged.
+func (st *Setup) CycleWithNewSymbol(symbol string) (Times, bool, error) {
+	times, err := st.Cycle()
+	if err != nil {
+		return Times{}, false, err
+	}
+	if !st.Mode.isYalla() || st.preDeclared[symbol] {
+		return times, false, nil
+	}
+	// The used-symbol set changed: rerun the tool and recompile wrappers
+	// before the normal fast compile.
+	times.Compile += st.Setup.Tool + st.Setup.WrapperCompile
+	st.preDeclared[symbol] = true // subsequent cycles are fast again
+	return times, true, nil
+}
+
+// Phases exposes the last compile's phase breakdown (Fig. 7).
+func (st *Setup) Phases() compilesim.Phases { return st.phases }
+
+// Stats exposes the last compile's translation-unit statistics (Table 3).
+func (st *Setup) Stats() compilesim.Stats { return st.stats }
+
+// runTime models executing the subject with small inputs.
+func (st *Setup) runTime() time.Duration {
+	m := modelFor(st.Subject.Library)
+	const opsPerIter = 6
+	ns := m.startupNs + float64(st.Subject.KernelIters)*opsPerIter*m.opNs
+	if st.Mode == Yalla || st.Mode == YallaPCH {
+		// Wrapper calls cross translation units and cannot be inlined
+		// (Fig. 9c) — each boundary crossing pays call overhead and
+		// missed optimization. YallaLTO recovers the inlining, so it
+		// runs at Default speed.
+		calls := float64(st.Subject.KernelIters) * float64(st.Subject.WrapperCallsPerIter)
+		if !m.perIter {
+			calls = float64(st.Subject.WrapperCallsPerIter) * 100
+		}
+		ns += calls * m.penaltyNs
+	}
+	return time.Duration(ns)
+}

@@ -1,0 +1,109 @@
+// Package execsim executes codegen kernel IR under a cycle cost model,
+// providing the run-time component of the development cycle (Fig. 8) and
+// quantifying the §5.4 effect: YALLA-transformed kernels run slower than
+// the default build because wrapper calls cross translation units and
+// cannot be inlined — "the call instructions do not appear [in the
+// default build] as the compiler inlines them".
+package execsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/codegen"
+)
+
+// CostModel maps IR execution to cycles.
+type CostModel struct {
+	ALUCycles  float64 // add/mul/mov
+	MemCycles  float64 // load/store
+	CallCycles float64 // call+prologue+epilogue+return for non-inlined calls
+	// MissedOpt multiplies non-inlined callee bodies (lost context for
+	// vectorization/scheduling).
+	MissedOpt float64
+	// CycleNs is the duration of one cycle in nanoseconds (~0.277 ns at
+	// 3.6 GHz).
+	CycleNs float64
+}
+
+// DefaultCostModel approximates a ~3.6 GHz core.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ALUCycles:  1,
+		MemCycles:  4,
+		CallCycles: 30,
+		MissedOpt:  1.6,
+		CycleNs:    0.277,
+	}
+}
+
+// Result is one simulated execution.
+type Result struct {
+	Cycles        float64
+	Instructions  int
+	CallsExecuted int
+	Time          time.Duration
+}
+
+// Run executes entry with the TU-visibility inlining rule applied: calls
+// to functions in the same TU (or any TU with LTO) execute at inlined
+// cost, others pay call overhead plus the missed-optimization multiplier.
+func Run(p *codegen.Program, entry string, opts codegen.Options, m CostModel) (*Result, error) {
+	f := p.Funcs[entry]
+	if f == nil {
+		return nil, fmt.Errorf("execsim: no function %q", entry)
+	}
+	r := &Result{}
+	if err := runBody(p, f, f.Body, opts, m, r, 1.0, 0); err != nil {
+		return nil, err
+	}
+	r.Time = time.Duration(r.Cycles * m.CycleNs)
+	return r, nil
+}
+
+const maxDepth = 32
+
+func runBody(p *codegen.Program, caller *codegen.Function, body []codegen.Instr, opts codegen.Options, m CostModel, r *Result, penalty float64, depth int) error {
+	if depth > maxDepth {
+		return fmt.Errorf("execsim: call depth exceeded")
+	}
+	for _, in := range body {
+		switch in.Op {
+		case codegen.OpAdd, codegen.OpMul, codegen.OpMov, codegen.OpRet:
+			r.Cycles += m.ALUCycles * penalty
+			r.Instructions++
+		case codegen.OpLoad, codegen.OpStore:
+			r.Cycles += m.MemCycles * penalty
+			r.Instructions++
+		case codegen.OpLoop:
+			trips := in.Trips
+			if trips <= 0 {
+				trips = 1
+			}
+			for t := 0; t < trips; t++ {
+				if err := runBody(p, caller, in.Body, opts, m, r, penalty, depth); err != nil {
+					return err
+				}
+				r.Cycles += m.ALUCycles * penalty // loop latch
+			}
+		case codegen.OpCall:
+			callee := p.Funcs[in.Callee]
+			if callee == nil {
+				return fmt.Errorf("execsim: call to unknown %q", in.Callee)
+			}
+			inlined := opts.LTO || callee.TU == caller.TU
+			if inlined {
+				if err := runBody(p, callee, callee.Body, opts, m, r, penalty, depth+1); err != nil {
+					return err
+				}
+				continue
+			}
+			r.CallsExecuted++
+			r.Cycles += m.CallCycles
+			if err := runBody(p, callee, callee.Body, opts, m, r, m.MissedOpt, depth+1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

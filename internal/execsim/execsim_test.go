@@ -1,0 +1,70 @@
+package execsim
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+)
+
+func TestYallaSlowerThanDefault(t *testing.T) {
+	m := DefaultCostModel()
+	def, err := Run(codegen.Kernel02(false, 64), "kernel02", codegen.DefaultOptions(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yal, err := Run(codegen.Kernel02(true, 64), "kernel02", codegen.DefaultOptions(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yal.Cycles <= def.Cycles {
+		t.Fatalf("yalla cycles %.0f <= default %.0f; wrapper calls must cost (§5.4)",
+			yal.Cycles, def.Cycles)
+	}
+	if def.CallsExecuted != 0 {
+		t.Fatalf("default executed %d non-inlined calls", def.CallsExecuted)
+	}
+	// 64 loop trips × 2 accesses + 1 epilogue access.
+	if yal.CallsExecuted != 64*2+1 {
+		t.Fatalf("yalla executed %d calls, want %d", yal.CallsExecuted, 64*2+1)
+	}
+}
+
+func TestLTOMatchesDefault(t *testing.T) {
+	m := DefaultCostModel()
+	opts := codegen.DefaultOptions()
+	def, _ := Run(codegen.Kernel02(false, 32), "kernel02", opts, m)
+	lto := codegen.DefaultOptions()
+	lto.LTO = true
+	y, err := Run(codegen.Kernel02(true, 32), "kernel02", lto, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Cycles != def.Cycles {
+		t.Fatalf("LTO cycles %.0f != default %.0f; LTO should recover inlining", y.Cycles, def.Cycles)
+	}
+}
+
+func TestCyclesScaleWithTrips(t *testing.T) {
+	m := DefaultCostModel()
+	small, _ := Run(codegen.Kernel02(false, 8), "kernel02", codegen.DefaultOptions(), m)
+	big, _ := Run(codegen.Kernel02(false, 80), "kernel02", codegen.DefaultOptions(), m)
+	if big.Cycles < 8*small.Cycles {
+		t.Fatalf("cycles do not scale with loop trips: %f vs %f", small.Cycles, big.Cycles)
+	}
+}
+
+func TestUnknownEntry(t *testing.T) {
+	if _, err := Run(codegen.NewProgram(), "x", codegen.DefaultOptions(), DefaultCostModel()); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestTimePositive(t *testing.T) {
+	r, err := Run(codegen.Kernel02(false, 16), "kernel02", codegen.DefaultOptions(), DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Time <= 0 || r.Instructions == 0 {
+		t.Fatalf("result = %+v", r)
+	}
+}

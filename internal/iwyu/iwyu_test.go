@@ -1,0 +1,132 @@
+package iwyu
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/vfs"
+)
+
+func demoFS() *vfs.FS {
+	fs := vfs.New()
+	fs.Write("lib/used.hpp", `#pragma once
+namespace u { class Thing { public: int id() const; }; }
+`)
+	fs.Write("lib/unused.hpp", `#pragma once
+namespace x { class Never {}; inline int never_fn() { return 0; } }
+`)
+	fs.Write("lib/alias_only.hpp", `#pragma once
+namespace a { class Real {}; }
+using real_t = a::Real;
+`)
+	fs.Write("main.cpp", `#include <used.hpp>
+#include <unused.hpp>
+#include <alias_only.hpp>
+int use(u::Thing& t, real_t& r) { return t.id(); }
+`)
+	return fs
+}
+
+func TestDetectsUnusedInclude(t *testing.T) {
+	fs := demoFS()
+	res, err := Analyze(Options{FS: fs, SearchPaths: []string{"lib", "."}, Source: "main.cpp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Includes) != 3 {
+		t.Fatalf("includes = %+v", res.Includes)
+	}
+	byTarget := map[string]IncludeUse{}
+	for _, inc := range res.Includes {
+		byTarget[inc.Target] = inc
+	}
+	if !byTarget["used.hpp"].Used {
+		t.Errorf("used.hpp should be used: %+v", byTarget["used.hpp"])
+	}
+	if byTarget["unused.hpp"].Used {
+		t.Errorf("unused.hpp should be unused: %+v", byTarget["unused.hpp"])
+	}
+	// alias_only is used through the alias real_t.
+	if !byTarget["alias_only.hpp"].Used {
+		t.Errorf("alias_only.hpp should be used via real_t: %+v", byTarget["alias_only.hpp"])
+	}
+	if res.Removed != 1 {
+		t.Fatalf("Removed = %d", res.Removed)
+	}
+	cleaned, err := fs.Read(res.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(cleaned, "unused.hpp") {
+		t.Fatalf("unused include not removed:\n%s", cleaned)
+	}
+	if !strings.Contains(cleaned, "used.hpp") {
+		t.Fatalf("used include removed:\n%s", cleaned)
+	}
+}
+
+func TestSymbolsReported(t *testing.T) {
+	fs := demoFS()
+	res, err := Analyze(Options{FS: fs, SearchPaths: []string{"lib", "."}, Source: "main.cpp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inc := range res.Includes {
+		if inc.Target == "used.hpp" {
+			found := false
+			for _, s := range inc.Symbols {
+				if s == "u::Thing" {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("symbols = %v", inc.Symbols)
+			}
+		}
+	}
+}
+
+// TestRemovalCannotHelpUsedHeaders demonstrates the paper's motivation
+// (§1/§7): on every corpus subject the expensive header IS used, so
+// IWYU-style removal deletes nothing — the header's full closure still
+// compiles, which is the case Header Substitution exists for.
+func TestRemovalCannotHelpUsedHeaders(t *testing.T) {
+	for _, name := range []string{"02", "condense", "drawing", "chat_server"} {
+		s := corpus.ByName(name)
+		if s == nil {
+			t.Fatalf("subject %s missing", name)
+		}
+		fs := s.FS.Clone()
+		res, err := Analyze(Options{FS: fs, SearchPaths: s.SearchPaths, Source: s.MainFile})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, inc := range res.Includes {
+			if strings.Contains(s.Header, inc.Target) || strings.Contains(inc.Resolved, s.Header) {
+				if !inc.Used {
+					t.Errorf("%s: the expensive header is reported unused", name)
+				}
+			}
+		}
+	}
+}
+
+func TestNoChangesNoOutput(t *testing.T) {
+	fs := vfs.New()
+	fs.Write("lib/h.hpp", "#pragma once\nclass C { public: int f() const; };\n")
+	fs.Write("main.cpp", "#include <h.hpp>\nint g(C& c) { return c.f(); }\n")
+	res, err := Analyze(Options{FS: fs, SearchPaths: []string{"lib"}, Source: "main.cpp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed != 0 || res.Output != "" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := Analyze(Options{}); err == nil {
+		t.Fatal("want error")
+	}
+}

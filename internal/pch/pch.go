@@ -1,0 +1,133 @@
+// Package pch implements the pre-compiled-header baseline the paper
+// compares against (§2.2, §5.3). A PCH is built by preprocessing and
+// parsing the expensive header once and serializing the resulting token
+// stream; a compilation that uses the PCH skips re-lexing/re-parsing the
+// header's files and instead pays a deserialization cost proportional to
+// the PCH size — which is why PCH helps the frontend but "the AST must
+// still be loaded from the PCH file on disk which is expensive" and the
+// backend time is unchanged (Fig. 7a).
+package pch
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cpp/ast"
+	"repro/internal/cpp/parser"
+	"repro/internal/cpp/preprocessor"
+	"repro/internal/cpp/token"
+	"repro/internal/vfs"
+)
+
+// PCH is one built pre-compiled header.
+type PCH struct {
+	Header string
+	// Files covered by the PCH (the header and everything it includes).
+	Files map[string]bool
+	// Tokens is the header's full token stream.
+	Tokens []token.Token
+	// TU is the parsed header AST.
+	TU *ast.TranslationUnit
+	// Blob is the serialized form; its length models the on-disk size
+	// (the paper notes PCH files reach hundreds of megabytes).
+	Blob []byte
+	// LOC is the header's source-line contribution.
+	LOC int
+}
+
+// Build constructs a PCH for the given header file.
+func Build(fs *vfs.FS, header string, searchPaths []string, defines map[string]string) (*PCH, error) {
+	pp := preprocessor.New(fs, searchPaths...)
+	for k, v := range defines {
+		pp.Define(k, v)
+	}
+	res, err := pp.Preprocess(header)
+	if err != nil {
+		return nil, fmt.Errorf("pch: %v", err)
+	}
+	tu, err := parser.New(res.Tokens).Parse()
+	if err != nil {
+		return nil, fmt.Errorf("pch: parse: %v", err)
+	}
+	p := &PCH{
+		Header: vfs.Clean(header),
+		Files:  map[string]bool{vfs.Clean(header): true},
+		Tokens: res.Tokens,
+		TU:     tu,
+		LOC:    res.LOC,
+	}
+	for _, inc := range res.Includes {
+		p.Files[inc] = true
+	}
+	p.Blob = Serialize(res.Tokens)
+	return p, nil
+}
+
+// Serialize encodes a token stream into the PCH on-disk format: a small
+// header, then length-prefixed records (kind, position, spelling).
+func Serialize(toks []token.Token) []byte {
+	buf := make([]byte, 0, len(toks)*16)
+	var tmp [10]byte
+	magic := []byte("YPCH")
+	buf = append(buf, magic...)
+	n := binary.PutUvarint(tmp[:], uint64(len(toks)))
+	buf = append(buf, tmp[:n]...)
+	for _, t := range toks {
+		n = binary.PutUvarint(tmp[:], uint64(t.Kind))
+		buf = append(buf, tmp[:n]...)
+		n = binary.PutUvarint(tmp[:], uint64(t.Pos.Offset))
+		buf = append(buf, tmp[:n]...)
+		n = binary.PutUvarint(tmp[:], uint64(len(t.Text)))
+		buf = append(buf, tmp[:n]...)
+		buf = append(buf, t.Text...)
+	}
+	return buf
+}
+
+// Deserialize decodes a serialized token stream; it is the work a
+// PCH-using compile performs instead of re-parsing the header.
+func Deserialize(blob []byte) ([]token.Token, error) {
+	if len(blob) < 4 || string(blob[:4]) != "YPCH" {
+		return nil, fmt.Errorf("pch: bad magic")
+	}
+	b := blob[4:]
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("pch: truncated count")
+	}
+	b = b[n:]
+	toks := make([]token.Token, 0, count)
+	for i := uint64(0); i < count; i++ {
+		kind, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("pch: truncated kind at %d", i)
+		}
+		b = b[n:]
+		off, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("pch: truncated offset at %d", i)
+		}
+		b = b[n:]
+		tlen, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("pch: truncated length at %d", i)
+		}
+		b = b[n:]
+		if uint64(len(b)) < tlen {
+			return nil, fmt.Errorf("pch: truncated text at %d", i)
+		}
+		toks = append(toks, token.Token{
+			Kind: token.Kind(kind),
+			Pos:  token.Pos{Offset: int(off)},
+			Text: string(b[:tlen]),
+		})
+		b = b[tlen:]
+	}
+	return toks, nil
+}
+
+// Covers reports whether the PCH covers the given file.
+func (p *PCH) Covers(file string) bool { return p.Files[file] }
+
+// SizeBytes is the modeled on-disk size.
+func (p *PCH) SizeBytes() int { return len(p.Blob) }

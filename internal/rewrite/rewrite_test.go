@@ -1,0 +1,155 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReplace(t *testing.T) {
+	b := NewBuffer("t.cpp", "Kokkos::View<int**> x;")
+	if err := b.Replace(0, 19, "Kokkos::View<int**>*"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "Kokkos::View<int**>* x;" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestInsertAndRemove(t *testing.T) {
+	b := NewBuffer("t.cpp", "f(a, b);")
+	if err := b.Insert(2, "m, "); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Remove(5, 6); err != nil { // remove 'b'... offsets in original
+		t.Fatal(err)
+	}
+	got, err := b.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "f(m, a, );" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMultipleEditsOrdered(t *testing.T) {
+	b := NewBuffer("t.cpp", "abcdef")
+	_ = b.Replace(4, 5, "E")
+	_ = b.Replace(1, 2, "B")
+	got, _ := b.Apply()
+	if got != "aBcdEf" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestInsertionsAtSamePointKeepOrder(t *testing.T) {
+	b := NewBuffer("t.cpp", "x")
+	_ = b.Insert(0, "1")
+	_ = b.Insert(0, "2")
+	_ = b.Insert(0, "3")
+	got, _ := b.Apply()
+	if got != "123x" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestOverlapErrors(t *testing.T) {
+	b := NewBuffer("t.cpp", "abcdef")
+	_ = b.Replace(0, 3, "X")
+	_ = b.Replace(2, 4, "Y")
+	if _, err := b.Apply(); err == nil {
+		t.Fatal("want overlap error")
+	}
+}
+
+func TestBadRange(t *testing.T) {
+	b := NewBuffer("t.cpp", "abc")
+	if err := b.Replace(2, 10, "X"); err == nil {
+		t.Fatal("want range error")
+	}
+	if err := b.Replace(-1, 2, "X"); err == nil {
+		t.Fatal("want range error")
+	}
+}
+
+func TestReplaceLineAndRemoveLine(t *testing.T) {
+	src := "#include <Kokkos_Core.hpp>\nint x;\nint y;\n"
+	b := NewBuffer("t.cpp", src)
+	if err := b.ReplaceLine(1, "#include <lightweight_header.hpp>"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := b.Apply()
+	want := "#include <lightweight_header.hpp>\nint x;\nint y;\n"
+	if got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+
+	b2 := NewBuffer("t.cpp", src)
+	if err := b2.RemoveLine(2); err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := b2.Apply()
+	if got2 != "#include <Kokkos_Core.hpp>\nint y;\n" {
+		t.Fatalf("got %q", got2)
+	}
+}
+
+func TestReplaceLineMissing(t *testing.T) {
+	b := NewBuffer("t.cpp", "one line")
+	if err := b.ReplaceLine(5, "x"); err == nil {
+		t.Fatal("want error for missing line")
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet()
+	s.Add("a.cpp", "aaa")
+	s.Add("b.cpp", "bbb")
+	_ = s.Get("a.cpp").Replace(0, 1, "X")
+	out, err := s.ApplyAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["a.cpp"] != "Xaa" || out["b.cpp"] != "bbb" {
+		t.Fatalf("out = %v", out)
+	}
+	if s.Get("missing") != nil {
+		t.Fatal("Get(missing) should be nil")
+	}
+}
+
+func TestNoEditsIdentity(t *testing.T) {
+	f := func(src string) bool {
+		b := NewBuffer("t", src)
+		got, err := b.Apply()
+		return err == nil && got == src
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDisjointEditsApplyAll(t *testing.T) {
+	// Splitting a string at even boundaries and replacing alternate
+	// chunks must yield the expected composition.
+	src := strings.Repeat("ab", 50)
+	b := NewBuffer("t", src)
+	for i := 0; i < len(src); i += 4 {
+		_ = b.Replace(i, i+2, "XY")
+	}
+	got, err := b.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(src) || !strings.HasPrefix(got, "XYab") {
+		t.Fatalf("got %q", got[:8])
+	}
+	if strings.Count(got, "XY") != 25 {
+		t.Fatalf("XY count = %d", strings.Count(got, "XY"))
+	}
+}

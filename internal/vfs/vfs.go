@@ -1,0 +1,117 @@
+// Package vfs provides an in-memory filesystem used to hold C++ source
+// trees: the synthetic library corpora, user subjects, and YALLA's
+// generated outputs. It stands in for the developer's working directory
+// in the paper's workflow (Figure 6).
+package vfs
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS is a thread-safe in-memory filesystem keyed by slash-separated paths.
+// The zero value is not usable; call New.
+type FS struct {
+	mu    sync.RWMutex
+	files map[string]string
+}
+
+// New returns an empty filesystem.
+func New() *FS {
+	return &FS{files: make(map[string]string)}
+}
+
+// Clean normalizes a path to the canonical internal form.
+func Clean(p string) string {
+	return strings.TrimPrefix(path.Clean("/"+p), "/")
+}
+
+// Write creates or replaces the file at p with contents.
+func (fs *FS) Write(p, contents string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[Clean(p)] = contents
+}
+
+// Read returns the contents of p.
+func (fs *FS) Read(p string) (string, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	c, ok := fs.files[Clean(p)]
+	if !ok {
+		return "", fmt.Errorf("vfs: open %s: file does not exist", p)
+	}
+	return c, nil
+}
+
+// Exists reports whether p is a file in the filesystem.
+func (fs *FS) Exists(p string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[Clean(p)]
+	return ok
+}
+
+// Remove deletes p; it is a no-op if p does not exist.
+func (fs *FS) Remove(p string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.files, Clean(p))
+}
+
+// List returns all file paths in sorted order.
+func (fs *FS) List() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Glob returns sorted paths with the given prefix.
+func (fs *FS) Glob(prefix string) []string {
+	prefix = Clean(prefix)
+	var out []string
+	for _, p := range fs.List() {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Size returns the number of files.
+func (fs *FS) Size() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return len(fs.files)
+}
+
+// Clone returns a deep copy; useful for edit–compile cycles that must not
+// disturb the pristine tree.
+func (fs *FS) Clone() *FS {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := New()
+	for p, c := range fs.files {
+		out.files[p] = c
+	}
+	return out
+}
+
+// TotalBytes returns the sum of all file sizes.
+func (fs *FS) TotalBytes() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n := 0
+	for _, c := range fs.files {
+		n += len(c)
+	}
+	return n
+}

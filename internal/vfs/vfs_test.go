@@ -1,0 +1,102 @@
+package vfs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteRead(t *testing.T) {
+	fs := New()
+	fs.Write("a/b.hpp", "int x;")
+	got, err := fs.Read("a/b.hpp")
+	if err != nil || got != "int x;" {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	fs := New()
+	if _, err := fs.Read("nope.hpp"); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestCleanNormalizesPaths(t *testing.T) {
+	fs := New()
+	fs.Write("./x/../y/z.hpp", "c")
+	if !fs.Exists("y/z.hpp") {
+		t.Fatal("path not normalized")
+	}
+	if got, _ := fs.Read("y/./z.hpp"); got != "c" {
+		t.Fatalf("read via alt spelling = %q", got)
+	}
+}
+
+func TestListSortedAndGlob(t *testing.T) {
+	fs := New()
+	fs.Write("b.hpp", "")
+	fs.Write("a.hpp", "")
+	fs.Write("kokkos/core.hpp", "")
+	l := fs.List()
+	if len(l) != 3 || l[0] != "a.hpp" || l[1] != "b.hpp" {
+		t.Fatalf("List = %v", l)
+	}
+	g := fs.Glob("kokkos/")
+	if len(g) != 1 || g[0] != "kokkos/core.hpp" {
+		t.Fatalf("Glob = %v", g)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	fs := New()
+	fs.Write("f", "orig")
+	c := fs.Clone()
+	c.Write("f", "changed")
+	if got, _ := fs.Read("f"); got != "orig" {
+		t.Fatal("clone mutated original")
+	}
+}
+
+func TestRemoveAndSize(t *testing.T) {
+	fs := New()
+	fs.Write("f", "x")
+	if fs.Size() != 1 {
+		t.Fatalf("Size = %d", fs.Size())
+	}
+	fs.Remove("f")
+	if fs.Exists("f") || fs.Size() != 0 {
+		t.Fatal("Remove failed")
+	}
+	fs.Remove("f") // no-op
+}
+
+func TestTotalBytes(t *testing.T) {
+	fs := New()
+	fs.Write("a", "12345")
+	fs.Write("b", "123")
+	if n := fs.TotalBytes(); n != 8 {
+		t.Fatalf("TotalBytes = %d", n)
+	}
+}
+
+func TestPropertyWriteThenReadRoundTrips(t *testing.T) {
+	fs := New()
+	f := func(name, contents string) bool {
+		if name == "" {
+			return true
+		}
+		fs.Write(name, contents)
+		got, err := fs.Read(name)
+		return err == nil && got == contents
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCleanIdempotent(t *testing.T) {
+	f := func(p string) bool { return Clean(Clean(p)) == Clean(p) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
