@@ -17,12 +17,14 @@ import (
 
 	"testing"
 
+	"repro/internal/buildcache"
 	"repro/internal/codegen"
 	"repro/internal/compilesim"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/devcycle"
 	"repro/internal/execsim"
+	"repro/internal/experiments"
 )
 
 // table2Subjects limits the heaviest benchmarks to one representative per
@@ -286,5 +288,85 @@ func BenchmarkAblationOptLevels(b *testing.B) {
 			}
 			b.ReportMetric(total, "vms_compile")
 		})
+	}
+}
+
+// ----------------------------------------------------------------- harness
+
+// BenchmarkHarnessSequential measures the real wall-clock cost of the
+// full 18-subject × 3-mode evaluation run cold: one worker, no build
+// cache, subject-result memo reset every iteration. This is the baseline
+// the parallel/cached harness is compared against.
+func BenchmarkHarnessSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		if _, err := experiments.RunAllWith(experiments.RunConfig{Jobs: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	experiments.ResetCache()
+}
+
+// BenchmarkHarnessParallel measures the same full matrix warm: a 4-way
+// worker pool served from a build cache primed by one untimed cold run.
+// Every iteration resets the subject-result memo, so all subjects are
+// genuinely re-simulated — only lexing/preprocessing/parsing is reused.
+// The rendered tables and figures are byte-identical to the sequential
+// cold run (see TestParallelAndCachedRunsAreByteIdentical).
+func BenchmarkHarnessParallel(b *testing.B) {
+	bc := buildcache.New()
+	experiments.ResetCache()
+	if _, err := experiments.RunAllWith(experiments.RunConfig{Jobs: 4, Cache: bc}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		if _, err := experiments.RunAllWith(experiments.RunConfig{Jobs: 4, Cache: bc}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	experiments.ResetCache()
+	st := bc.Stats()
+	b.ReportMetric(float64(st.TUHits), "tu_hits")
+	b.ReportMetric(float64(st.TokenHits), "token_hits")
+}
+
+// BenchmarkFrontendColdCache measures one simulated compile of the
+// paper's headline subject with a fresh (empty) build cache each
+// iteration — the cost of lexing, preprocessing, and parsing the full
+// Kokkos header tree from scratch.
+func BenchmarkFrontendColdCache(b *testing.B) {
+	s := corpus.ByName("02")
+	for i := 0; i < b.N; i++ {
+		cc := compilesim.New(s.FS, s.SearchPaths...)
+		cc.Cache = buildcache.New()
+		if _, err := cc.Compile(s.MainFile); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrontendWarmCache measures the same compile served from a
+// primed build cache: the manifest validates and the whole frontend is
+// one TU-cache hit.
+func BenchmarkFrontendWarmCache(b *testing.B) {
+	s := corpus.ByName("02")
+	bc := buildcache.New()
+	cc := compilesim.New(s.FS, s.SearchPaths...)
+	cc.Cache = bc
+	if _, err := cc.Compile(s.MainFile); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cc.Compile(s.MainFile); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := bc.Stats(); st.TUMisses != 1 {
+		b.Fatalf("expected exactly one cold build, stats = %+v", st)
 	}
 }

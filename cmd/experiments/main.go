@@ -7,9 +7,13 @@
 // Usage:
 //
 //	experiments [-table2] [-table3] [-fig7] [-fig8] [-fig9] [-fig10]
-//	            [-subject NAME] [-results DIR]
+//	            [-subject NAME] [-results DIR] [-j N] [-cache=false]
+//	            [-benchjson] [-v]
 //
-// With no selection flags, everything runs.
+// With no selection flags, everything runs. Subjects fan out over -j
+// worker goroutines and share a content-addressed build cache; both are
+// wall-clock optimizations only — every table and figure is
+// byte-identical at any -j with the cache on or off.
 package main
 
 import (
@@ -17,30 +21,66 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
+	"repro/internal/buildcache"
 	"repro/internal/corpus"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		table2  = flag.Bool("table2", false, "regenerate Table 2 (compilation time)")
-		table3  = flag.Bool("table3", false, "regenerate Table 3 (LOC and headers)")
-		fig7    = flag.Bool("fig7", false, "regenerate Figure 7 (phase breakdown)")
-		fig8    = flag.Bool("fig8", false, "regenerate Figure 8 (dev-cycle speedup)")
-		fig9    = flag.Bool("fig9", false, "regenerate Figure 9 (generated code)")
-		fig10   = flag.Bool("fig10", false, "regenerate Figure 10 (first-time build)")
-		ext     = flag.Bool("extensions", false, "run the §5.4/§6 extension ablation (Yalla+PCH, Yalla+LTO)")
-		gcc     = flag.Bool("gcc", false, "reproduce the summarized GCC results (§5.3)")
-		subject = flag.String("subject", "", "restrict to one subject")
-		results = flag.String("results", "", "directory to write CSV/trace results into")
+		table2    = flag.Bool("table2", false, "regenerate Table 2 (compilation time)")
+		table3    = flag.Bool("table3", false, "regenerate Table 3 (LOC and headers)")
+		fig7      = flag.Bool("fig7", false, "regenerate Figure 7 (phase breakdown)")
+		fig8      = flag.Bool("fig8", false, "regenerate Figure 8 (dev-cycle speedup)")
+		fig9      = flag.Bool("fig9", false, "regenerate Figure 9 (generated code)")
+		fig10     = flag.Bool("fig10", false, "regenerate Figure 10 (first-time build)")
+		ext       = flag.Bool("extensions", false, "run the §5.4/§6 extension ablation (Yalla+PCH, Yalla+LTO)")
+		gcc       = flag.Bool("gcc", false, "reproduce the summarized GCC results (§5.3)")
+		subject   = flag.String("subject", "", "restrict to one subject")
+		results   = flag.String("results", "", "directory to write CSV/trace results into")
+		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "parallel subject jobs")
+		useCache  = flag.Bool("cache", true, "memoize lexing/preprocessing/parsing across subjects")
+		benchjson = flag.String("benchjson", "", "measure the harness cold-vs-warm and write the JSON report to this file (e.g. results/bench_harness.json)")
+		verbose   = flag.Bool("v", false, "print per-subject progress and build cache statistics")
 	)
 	flag.Parse()
+
+	var bc *buildcache.Cache
+	if *useCache {
+		bc = buildcache.Default()
+	}
+
+	if *benchjson != "" {
+		rep, err := experiments.BenchHarness(*jobs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		blob, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.MkdirAll(filepath.Dir(*benchjson), 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchjson, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "harness: cold sequential %.1fs, warm -j %d %.1fs (%.1fx), report in %s\n",
+			float64(rep.SequentialColdNs)/1e9, rep.Jobs, float64(rep.ParallelWarmNs)/1e9,
+			rep.Speedup, *benchjson)
+		return
+	}
 
 	all := !*table2 && !*table3 && !*fig7 && !*fig8 && !*fig9 && !*fig10 && !*ext && !*gcc
 
 	if *gcc {
-		out, err := experiments.GCCSummary()
+		out, err := experiments.GCCSummaryWith(bc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
@@ -62,10 +102,13 @@ func main() {
 	}
 	needRuns := all || *table2 || *table3 || *fig7 || *fig8 || *fig10 || *results != ""
 	if !needRuns {
+		if *verbose && bc != nil {
+			fmt.Fprintln(os.Stderr, bc.Stats())
+		}
 		return
 	}
 
-	subjects := corpus.All()
+	var subjects []*corpus.Subject
 	if *subject != "" {
 		s := corpus.ByName(*subject)
 		if s == nil {
@@ -75,17 +118,21 @@ func main() {
 		subjects = []*corpus.Subject{s}
 	}
 
-	var res []*experiments.SubjectResult
-	for _, s := range subjects {
-		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", s.Name, s.Library)
-		r, err := experiments.RunSubjectCached(s)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+	cfg := experiments.RunConfig{Jobs: *jobs, Subjects: subjects, Cache: bc}
+	if *verbose {
+		cfg.Progress = func(s *corpus.Subject) {
+			fmt.Fprintf(os.Stderr, "running %s (%s)...\n", s.Name, s.Library)
 		}
-		res = append(res, r)
+	}
+	res, err := experiments.RunAllWith(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
 	}
 	experiments.SortByTableOrder(res)
+	if *verbose && bc != nil {
+		fmt.Fprintln(os.Stderr, bc.Stats())
+	}
 
 	if all || *table2 {
 		fmt.Println("Table 2 — compilation time and speedups")

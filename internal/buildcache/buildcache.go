@@ -1,0 +1,326 @@
+// Package buildcache is a content-addressed compilation cache for the
+// simulation substrate. Real builds of the paper's corpora re-lex and
+// re-parse the same ~580 corpus headers for every translation unit of
+// every subject and mode; this package memoizes that redundant work the
+// same way ccache/sccache do for real compilers, at two granularities:
+//
+//   - Token streams: one lexed token stream per distinct (path, content)
+//     pair, shared read-only by every preprocessor run in the process.
+//   - Translation units: the preprocessed token stream, parsed AST, and
+//     caller-supplied statistics of a whole TU, keyed by the compilation
+//     configuration (main file, search paths, defines) and validated
+//     against a recorded dependency manifest — every file the preprocess
+//     read (by content hash) and every include-resolution probe that
+//     missed (which must still miss). This is ccache's "direct mode":
+//     a hit is only served when byte-identical inputs guarantee a
+//     byte-identical result.
+//
+// Only real wall-clock time changes; cached entries are exactly what a
+// cold run would recompute, so all virtual-time outputs (Tables 2–3,
+// Figures 7–10) stay byte-identical with the cache on or off.
+//
+// Cached token slices and ASTs are shared across goroutines and must be
+// treated as immutable by all consumers.
+package buildcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/cpp/ast"
+	"repro/internal/cpp/preprocessor"
+	"repro/internal/cpp/token"
+	"repro/internal/vfs"
+)
+
+// Stats counts cache traffic. BytesSaved is source bytes that were not
+// re-lexed thanks to token-stream hits; TokensSaved is TU tokens that
+// were not re-preprocessed/re-parsed thanks to translation-unit hits.
+type Stats struct {
+	TokenHits   uint64
+	TokenMisses uint64
+	TUHits      uint64
+	TUMisses    uint64
+	Evictions   uint64
+	BytesSaved  uint64
+	TokensSaved uint64
+}
+
+// String renders the stats for -v style diagnostics.
+func (s Stats) String() string {
+	return fmt.Sprintf("buildcache: tokens %d hit / %d miss, TUs %d hit / %d miss, %d evicted, %.1f MB source re-lex avoided, %d tokens re-parse avoided",
+		s.TokenHits, s.TokenMisses, s.TUHits, s.TUMisses, s.Evictions,
+		float64(s.BytesSaved)/1e6, s.TokensSaved)
+}
+
+// TU is one cached translation-unit frontend result: everything about a
+// compile that depends only on the source text, not on the cost model,
+// optimization level, or PCH configuration.
+type TU struct {
+	// Result is the full preprocessor output (token stream, include list,
+	// LOC). Shared; read-only.
+	Result *preprocessor.Result
+	// AST is the parsed translation unit. Shared; read-only.
+	AST *ast.TranslationUnit
+	// Aux carries caller-supplied derived data (e.g. compilesim's
+	// declaration/instantiation counts) so it is not recomputed on hits.
+	Aux any
+}
+
+// Dep is one entry of a TU's dependency manifest. Hash is the content
+// hash the file had when the entry was built; an empty Hash records a
+// negative dependency — an include-resolution probe that found no file
+// and must still find none for the entry to be valid.
+type Dep struct {
+	Path string
+	Hash string
+}
+
+// DefaultMaxTokenEntries bounds the token-stream map; when exceeded the
+// completed entries are flushed (a generational eviction, like ccache's
+// size-triggered cleanup).
+const DefaultMaxTokenEntries = 8192
+
+// DefaultMaxTUVariants bounds how many differing-manifest variants are
+// kept per configuration key (oldest evicted first).
+const DefaultMaxTUVariants = 8
+
+type lexEntry struct {
+	done chan struct{}
+	toks []token.Token
+	err  error
+}
+
+type tuEntry struct {
+	deps []Dep
+	val  *TU
+}
+
+type flight struct {
+	done chan struct{}
+}
+
+// Cache is a process-wide build cache, safe for concurrent use. The zero
+// value is not usable; call New.
+type Cache struct {
+	mu        sync.Mutex
+	lex       map[string]*lexEntry
+	tus       map[string][]*tuEntry
+	tuFlights map[string]*flight
+	stats     Stats
+
+	// MaxTokenEntries and MaxTUVariants override the eviction bounds;
+	// set them before first use.
+	MaxTokenEntries int
+	MaxTUVariants   int
+}
+
+// New returns an empty cache with default eviction bounds.
+func New() *Cache {
+	return &Cache{
+		lex:             map[string]*lexEntry{},
+		tus:             map[string][]*tuEntry{},
+		tuFlights:       map[string]*flight{},
+		MaxTokenEntries: DefaultMaxTokenEntries,
+		MaxTUVariants:   DefaultMaxTUVariants,
+	}
+}
+
+var defaultCache = New()
+
+// Default returns the shared process-wide cache.
+func Default() *Cache { return defaultCache }
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// FileKey is the content-addressed identity of one file: path and
+// content both participate, so two files with equal content but
+// different paths (whose tokens carry different positions) never share
+// an entry, and a rewritten file under the same path never serves stale
+// tokens.
+func FileKey(path, content string) string {
+	h := sha256.New()
+	h.Write([]byte(path))
+	h.Write([]byte{0})
+	h.Write([]byte(content))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ConfigKey hashes an ordered list of configuration strings (main file,
+// search paths, defines) into a TU cache key.
+func ConfigKey(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Tokens returns the memoized token stream for (path, content), calling
+// lex on the first request. Concurrent requests for the same file wait
+// for the single in-flight lex (singleflight) instead of duplicating it.
+// The returned slice is shared and must not be mutated.
+func (c *Cache) Tokens(path, content string, lex func() ([]token.Token, error)) ([]token.Token, error) {
+	key := FileKey(path, content)
+	c.mu.Lock()
+	if e, ok := c.lex[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		if e.err == nil {
+			c.mu.Lock()
+			c.stats.TokenHits++
+			c.stats.BytesSaved += uint64(len(content))
+			c.mu.Unlock()
+			return e.toks, nil
+		}
+		return e.toks, e.err
+	}
+	c.evictTokensLocked()
+	e := &lexEntry{done: make(chan struct{})}
+	c.lex[key] = e
+	c.stats.TokenMisses++
+	c.mu.Unlock()
+
+	e.toks, e.err = lex()
+	close(e.done)
+	if e.err != nil {
+		// Do not cache failures; a corpus fix under the same key must
+		// re-lex. Waiters already hold the entry and see the error.
+		c.mu.Lock()
+		delete(c.lex, key)
+		c.mu.Unlock()
+	}
+	return e.toks, e.err
+}
+
+// evictTokensLocked flushes completed token entries once the map exceeds
+// its bound. In-flight entries are kept: their builders still hold them.
+func (c *Cache) evictTokensLocked() {
+	max := c.MaxTokenEntries
+	if max <= 0 {
+		max = DefaultMaxTokenEntries
+	}
+	if len(c.lex) < max {
+		return
+	}
+	for k, e := range c.lex {
+		select {
+		case <-e.done:
+			delete(c.lex, k)
+			c.stats.Evictions++
+		default:
+		}
+	}
+}
+
+// TranslationUnit returns a cached TU for the configuration key whose
+// dependency manifest validates (every Dep with a Hash must report the
+// same hash via valid; every Dep without one must still be absent), or
+// builds one. build returns the TU plus the manifest to record. The
+// returned bool reports whether the result came from the cache.
+//
+// Concurrent misses on the same key are deduplicated: one caller builds,
+// the others wait and re-validate (their filesystems may differ, in
+// which case they build their own variant).
+func (c *Cache) TranslationUnit(key string, valid func(Dep) bool, build func() (*TU, []Dep, error)) (*TU, bool, error) {
+	for {
+		c.mu.Lock()
+		entries := append([]*tuEntry(nil), c.tus[key]...)
+		fl := c.tuFlights[key]
+		c.mu.Unlock()
+
+		for _, e := range entries {
+			if depsValid(e.deps, valid) {
+				c.mu.Lock()
+				c.stats.TUHits++
+				if e.val.Result != nil {
+					c.stats.TokensSaved += uint64(len(e.val.Result.Tokens))
+				}
+				c.mu.Unlock()
+				return e.val, true, nil
+			}
+		}
+		if fl != nil {
+			<-fl.done
+			continue // someone just built this key; re-validate
+		}
+
+		c.mu.Lock()
+		if fl2 := c.tuFlights[key]; fl2 != nil {
+			c.mu.Unlock()
+			<-fl2.done
+			continue
+		}
+		mine := &flight{done: make(chan struct{})}
+		c.tuFlights[key] = mine
+		c.mu.Unlock()
+
+		val, deps, err := build()
+		c.mu.Lock()
+		delete(c.tuFlights, key)
+		if err == nil {
+			c.stats.TUMisses++
+			c.tus[key] = append(c.tus[key], &tuEntry{deps: deps, val: val})
+			maxVar := c.MaxTUVariants
+			if maxVar <= 0 {
+				maxVar = DefaultMaxTUVariants
+			}
+			if n := len(c.tus[key]); n > maxVar {
+				c.tus[key] = append([]*tuEntry(nil), c.tus[key][n-maxVar:]...)
+				c.stats.Evictions += uint64(n - maxVar)
+			}
+		}
+		c.mu.Unlock()
+		close(mine.done)
+		return val, false, err
+	}
+}
+
+func depsValid(deps []Dep, valid func(Dep) bool) bool {
+	for _, d := range deps {
+		if !valid(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// Manifest records the dependency set of a preprocessor run: the main
+// file and every include by content hash, plus every missed resolution
+// probe as a negative (must-stay-absent) entry.
+func Manifest(fs *vfs.FS, main string, res *preprocessor.Result) []Dep {
+	deps := make([]Dep, 0, len(res.Includes)+len(res.AbsentDeps)+1)
+	add := func(p string) {
+		if h, ok := fs.ContentHash(p); ok {
+			deps = append(deps, Dep{Path: p, Hash: h})
+		}
+	}
+	add(vfs.Clean(main))
+	for _, inc := range res.Includes {
+		add(inc)
+	}
+	for _, p := range res.AbsentDeps {
+		deps = append(deps, Dep{Path: p})
+	}
+	return deps
+}
+
+// Validator returns a Dep validator over fs: positive deps must hash to
+// the recorded value, negative deps must still be absent.
+func Validator(fs *vfs.FS) func(Dep) bool {
+	return func(d Dep) bool {
+		if d.Hash == "" {
+			return !fs.Exists(d.Path)
+		}
+		h, ok := fs.ContentHash(d.Path)
+		return ok && h == d.Hash
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/buildcache"
 	"repro/internal/pch"
 	"repro/internal/vfs"
 )
@@ -172,5 +173,79 @@ func TestGCCModelSlowerFrontendSameShape(t *testing.T) {
 	// The statistics are compiler-independent facts.
 	if obj1.Stats != obj2.Stats {
 		t.Fatalf("stats differ: %+v vs %+v", obj1.Stats, obj2.Stats)
+	}
+}
+
+func TestCacheDoesNotChangeOutputs(t *testing.T) {
+	fs := smallTree()
+	cold, err := New(fs, "lib").Compile("main.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := buildcache.New()
+	warmCC := New(fs, "lib")
+	warmCC.Cache = bc
+	miss, err := warmCC.Compile("main.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := warmCC.Compile("main.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats != miss.Stats || cold.Stats != hit.Stats {
+		t.Fatalf("stats diverge: cold %+v miss %+v hit %+v", cold.Stats, miss.Stats, hit.Stats)
+	}
+	if cold.Phases != miss.Phases || cold.Phases != hit.Phases {
+		t.Fatalf("phases diverge: cold %+v miss %+v hit %+v", cold.Phases, miss.Phases, hit.Phases)
+	}
+	st := bc.Stats()
+	if st.TUMisses != 1 || st.TUHits != 1 {
+		t.Fatalf("cache stats = %+v, want 1 TU miss + 1 TU hit", st)
+	}
+}
+
+func TestCacheInvalidatedByEdit(t *testing.T) {
+	fs := smallTree()
+	bc := buildcache.New()
+	cc := New(fs, "lib")
+	cc.Cache = bc
+	before, err := cc.Compile("main.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := fs.Read("main.cpp")
+	fs.Write("main.cpp", src+"\nint extra() { return 2; }\n")
+	after, err := cc.Compile("main.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Stats == before.Stats {
+		t.Fatal("edit did not change the compile — stale cache hit")
+	}
+	if after.Stats.MainFuncDefs != before.Stats.MainFuncDefs+1 {
+		t.Fatalf("MainFuncDefs = %d, want %d", after.Stats.MainFuncDefs, before.Stats.MainFuncDefs+1)
+	}
+	if bc.Stats().TUMisses != 2 {
+		t.Fatalf("cache stats = %+v, want 2 misses", bc.Stats())
+	}
+}
+
+func TestCacheHitAcrossClones(t *testing.T) {
+	fs := smallTree()
+	bc := buildcache.New()
+	cc1 := New(fs, "lib")
+	cc1.Cache = bc
+	if _, err := cc1.Compile("main.cpp"); err != nil {
+		t.Fatal(err)
+	}
+	// A clone with identical content (a different dev-cycle FS) hits.
+	cc2 := New(fs.Clone(), "lib")
+	cc2.Cache = bc
+	if _, err := cc2.Compile("main.cpp"); err != nil {
+		t.Fatal(err)
+	}
+	if st := bc.Stats(); st.TUHits != 1 {
+		t.Fatalf("cache stats = %+v, want a cross-clone hit", st)
 	}
 }

@@ -59,6 +59,9 @@ type Options struct {
 	// first time", so the tool need not be rerun when the used-symbol
 	// set grows.
 	PreDeclare []string
+	// TokenCache, when set, memoizes per-file lexing across the tool's
+	// preprocessor runs (wall-clock only; output unchanged).
+	TokenCache preprocessor.TokenCache
 }
 
 // Result reports what Substitute produced.
@@ -186,6 +189,7 @@ func (e *Engine) frontend() error {
 
 	for _, src := range e.opts.Sources {
 		pp := preprocessor.New(e.fs, e.opts.SearchPaths...)
+		pp.Cache = e.opts.TokenCache
 		for k, v := range e.opts.Defines {
 			pp.Define(k, v)
 		}

@@ -111,7 +111,9 @@ func (p *Parser) errorf(format string, args ...any) {
 }
 
 // splitShr turns the current '>>' token into '>' so nested template
-// argument lists can close one level at a time.
+// argument lists can close one level at a time. The rewritten stream is
+// always a fresh slice: the input tokens may be shared (build cache, PCH
+// blobs), so the caller's backing array must never be written.
 func (p *Parser) splitShr() {
 	t := p.toks[p.pos]
 	if t.Kind != token.Shr {
@@ -122,8 +124,11 @@ func (p *Parser) splitShr() {
 	p2.Offset++
 	p2.Col++
 	g2 := token.Token{Kind: token.Greater, Text: ">", Pos: p2}
-	rest := append([]token.Token{g1, g2}, p.toks[p.pos+1:]...)
-	p.toks = append(p.toks[:p.pos], rest...)
+	out := make([]token.Token, 0, len(p.toks)+1)
+	out = append(out, p.toks[:p.pos]...)
+	out = append(out, g1, g2)
+	out = append(out, p.toks[p.pos+1:]...)
+	p.toks = out
 }
 
 // skipBalanced consumes tokens until the matching closer for the opener

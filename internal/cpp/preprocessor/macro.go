@@ -53,8 +53,25 @@ func (t *macroTable) isDefined(n string) bool { return t.defs[n] != nil }
 
 // expand macro-expands toks. hide tracks macro names currently being
 // expanded to stop recursion, per the standard's no-rescan rule.
+//
+// When nothing in toks can expand, the input slice itself is returned
+// (it may be a shared cached stream, so callers must treat the result
+// as read-only either way). Most token runs in real headers contain no
+// macro invocations, and skipping the copy there is a large win.
 func (pp *Preprocessor) expand(toks []token.Token, hide map[string]bool) []token.Token {
-	var out []token.Token
+	first := -1
+	for i, tk := range toks {
+		if tk.Kind == token.Identifier && !hide[tk.Text] && pp.mayExpand(tk.Text) {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return toks
+	}
+	out := make([]token.Token, 0, len(toks))
+	out = append(out, toks[:first]...)
+	toks = toks[first:]
 	for i := 0; i < len(toks); i++ {
 		tk := toks[i]
 		if tk.Kind != token.Identifier || hide[tk.Text] {
@@ -107,6 +124,16 @@ func (pp *Preprocessor) expandWith(toks []token.Token, hide map[string]bool, nam
 
 // builtinMacro expands the standard predefined macros __FILE__,
 // __LINE__, and __COUNTER__.
+// mayExpand reports whether an identifier could produce expansion
+// output different from itself: a builtin or a defined macro.
+func (pp *Preprocessor) mayExpand(name string) bool {
+	switch name {
+	case "__FILE__", "__LINE__", "__COUNTER__":
+		return true
+	}
+	return pp.macros.isDefined(name)
+}
+
 func (pp *Preprocessor) builtinMacro(tk token.Token) (token.Token, bool) {
 	switch tk.Text {
 	case "__FILE__":

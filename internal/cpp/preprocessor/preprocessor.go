@@ -38,6 +38,21 @@ type Result struct {
 	// preprocessing continues past them (the corpora model system headers
 	// that exist, so a miss usually signals a corpus bug).
 	MissingIncludes []string
+	// AbsentDeps lists every path probed during include resolution that
+	// did not exist. Together with the resolved file set it forms the
+	// dependency manifest of this run: a build cache may replay the
+	// result only while all included files are unchanged AND all of
+	// these paths are still absent (a new file earlier on a search path
+	// would change resolution).
+	AbsentDeps []string
+}
+
+// TokenCache memoizes per-file lexed token streams. It is implemented by
+// buildcache.Cache; the indirection keeps this package free of a
+// dependency on the cache implementation. Returned slices are shared:
+// the preprocessor never mutates them, and neither may other users.
+type TokenCache interface {
+	Tokens(path, content string, lex func() ([]token.Token, error)) ([]token.Token, error)
 }
 
 // Preprocessor preprocesses files from a virtual filesystem.
@@ -47,6 +62,10 @@ type Preprocessor struct {
 	// Predefined seeds the macro table, e.g. {"__cplusplus": "202002L"}.
 	Predefined map[string]string
 	MaxDepth   int
+	// Cache, when non-nil, memoizes per-file lexing across preprocessor
+	// runs. Purely a wall-clock optimization: the emitted token stream is
+	// byte-identical with or without it.
+	Cache TokenCache
 
 	macros     *macroTable
 	pragmaOnce map[string]bool
@@ -54,10 +73,15 @@ type Preprocessor struct {
 	guardedBy map[string]string
 	errs      []error
 
-	res     *Result
-	seen    map[string]bool
-	depth   int
-	counter int // __COUNTER__ state
+	res        *Result
+	seen       map[string]bool
+	absentSeen map[string]bool
+	// chunks accumulates expanded token runs during one Preprocess; they
+	// are concatenated once (ntoks total) into Result.Tokens at the end.
+	chunks [][]token.Token
+	ntoks  int
+	depth      int
+	counter    int // __COUNTER__ state
 }
 
 // condState tracks one level of conditional nesting.
@@ -107,35 +131,62 @@ func (pp *Preprocessor) Preprocess(mainFile string) (*Result, error) {
 	pp.errs = nil
 	pp.res = &Result{DirectDeps: map[string][]string{}}
 	pp.seen = map[string]bool{}
+	pp.absentSeen = map[string]bool{}
+	pp.chunks = nil
+	pp.ntoks = 0
 
 	if err := pp.processFile(mainFile, true); err != nil {
 		return pp.res, err
 	}
-	pp.res.Tokens = append(pp.res.Tokens, token.Token{Kind: token.EOF, LeadingNewline: true})
+	// Concatenate the accumulated token runs with one exact-size
+	// allocation. Growing res.Tokens incrementally instead would
+	// reallocate (and zero) multi-megabyte arrays many times per TU,
+	// which dominated harness wall time.
+	all := make([]token.Token, 0, pp.ntoks+1)
+	for _, c := range pp.chunks {
+		all = append(all, c...)
+	}
+	pp.chunks = nil
+	pp.res.Tokens = append(all, token.Token{Kind: token.EOF, LeadingNewline: true})
 	if len(pp.errs) > 0 {
 		return pp.res, pp.errs[0]
 	}
 	return pp.res, nil
 }
 
-// resolveInclude finds the file for an include target.
+// resolveInclude finds the file for an include target. Probes that miss
+// are recorded as negative dependencies (Result.AbsentDeps): resolution
+// is only reproducible while those paths stay absent.
 func (pp *Preprocessor) resolveInclude(target string, angled bool, from string) (string, bool) {
 	if !angled {
 		rel := vfs.Clean(path.Join(path.Dir(from), target))
 		if pp.FS.Exists(rel) {
 			return rel, true
 		}
+		pp.recordAbsent(rel)
 	}
 	for _, sp := range pp.SearchPaths {
 		cand := vfs.Clean(path.Join(sp, target))
 		if pp.FS.Exists(cand) {
 			return cand, true
 		}
+		pp.recordAbsent(cand)
 	}
 	if pp.FS.Exists(target) {
 		return vfs.Clean(target), true
 	}
+	pp.recordAbsent(vfs.Clean(target))
 	return "", false
+}
+
+func (pp *Preprocessor) recordAbsent(p string) {
+	if pp.absentSeen == nil {
+		pp.absentSeen = map[string]bool{}
+	}
+	if !pp.absentSeen[p] {
+		pp.absentSeen[p] = true
+		pp.res.AbsentDeps = append(pp.res.AbsentDeps, p)
+	}
 }
 
 func (pp *Preprocessor) processFile(file string, isMain bool) error {
@@ -153,7 +204,14 @@ func (pp *Preprocessor) processFile(file string, isMain bool) error {
 	if err != nil {
 		return err
 	}
-	toks, err := lexer.Tokenize(file, src)
+	var toks []token.Token
+	if pp.Cache != nil {
+		toks, err = pp.Cache.Tokens(file, src, func() ([]token.Token, error) {
+			return lexer.Tokenize(file, src)
+		})
+	} else {
+		toks, err = lexer.Tokenize(file, src)
+	}
 	if err != nil {
 		return fmt.Errorf("%s: %v", file, err)
 	}
@@ -209,7 +267,10 @@ func (pp *Preprocessor) processFile(file string, isMain bool) error {
 		}
 		if active() {
 			out := pp.expand(toks[i:j], map[string]bool{})
-			pp.res.Tokens = append(pp.res.Tokens, out...)
+			// out may alias the (shared, read-only) lexed stream when no
+			// macro fired; the final concatenation copies it either way.
+			pp.chunks = append(pp.chunks, out)
+			pp.ntoks += len(out)
 			for _, t := range toks[i:j] {
 				activeLines[t.Pos.Line] = true
 			}

@@ -1,6 +1,7 @@
 package sema
 
 import (
+	"sort"
 	"strings"
 
 	"testing"
@@ -13,7 +14,15 @@ import (
 func build(t *testing.T, files map[string]string) *Table {
 	t.Helper()
 	tab := NewTable()
-	for name, src := range files {
+	// Sorted order: declarations must be seen before out-of-line
+	// definitions, as in C++, and map iteration order is random.
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		src := files[name]
 		toks, err := lexer.Tokenize(name, src)
 		if err != nil {
 			t.Fatalf("lex %s: %v", name, err)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/buildcache"
 	"repro/internal/compilesim"
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -125,21 +126,42 @@ func modelFor(lib string) runModel {
 
 // Prepare performs the one-time steps for a subject under a mode.
 func Prepare(s *corpus.Subject, mode Mode) (*Setup, error) {
-	return PrepareWithOptions(s, mode, nil)
+	return PrepareWith(s, mode, Config{})
 }
 
 // PrepareWithOptions is Prepare with the §6 pre-declared symbol list
 // passed through to the tool.
 func PrepareWithOptions(s *corpus.Subject, mode Mode, preDeclare []string) (*Setup, error) {
+	return PrepareWith(s, mode, Config{PreDeclare: preDeclare})
+}
+
+// Config bundles the optional knobs of a Prepare run.
+type Config struct {
+	// PreDeclare is the §6 pre-declared symbol list passed to the tool.
+	PreDeclare []string
+	// Cache, when set, memoizes frontend work (lexing, preprocessing,
+	// parsing) across subjects, modes, and repeated cycles. All virtual
+	// times are byte-identical with or without it; only the real time
+	// spent simulating drops.
+	Cache *buildcache.Cache
+}
+
+// PrepareWith is Prepare with explicit configuration.
+func PrepareWith(s *corpus.Subject, mode Mode, cfg Config) (*Setup, error) {
 	fs := s.FS.Clone()
 	st := &Setup{Subject: s, Mode: mode, FS: fs, preDeclared: map[string]bool{}}
-	for _, p := range preDeclare {
+	for _, p := range cfg.PreDeclare {
 		st.preDeclared[p] = true
+	}
+	newCompiler := func(paths ...string) *compilesim.Compiler {
+		cc := compilesim.New(fs, paths...)
+		cc.Cache = cfg.Cache
+		return cc
 	}
 
 	switch mode {
 	case Default:
-		st.compiler = compilesim.New(fs, s.SearchPaths...)
+		st.compiler = newCompiler(s.SearchPaths...)
 		st.mainFile = s.MainFile
 
 	case PCH:
@@ -147,15 +169,15 @@ func PrepareWithOptions(s *corpus.Subject, mode Mode, preDeclare []string) (*Set
 		if err != nil {
 			return nil, err
 		}
-		p, err := pch.Build(fs, headerPath, s.SearchPaths, nil)
+		p, err := pch.BuildWithCache(fs, headerPath, s.SearchPaths, nil, cfg.Cache)
 		if err != nil {
 			return nil, err
 		}
-		st.compiler = compilesim.New(fs, s.SearchPaths...)
+		st.compiler = newCompiler(s.SearchPaths...)
 		st.compiler.PCH = p
 		st.mainFile = s.MainFile
 		// PCH build ≈ frontend over the header plus serialization.
-		probe := compilesim.New(fs, s.SearchPaths...)
+		probe := newCompiler(s.SearchPaths...)
 		hdrObj, err := probe.Compile(headerPath)
 		if err != nil {
 			return nil, err
@@ -163,21 +185,25 @@ func PrepareWithOptions(s *corpus.Subject, mode Mode, preDeclare []string) (*Set
 		st.Setup.PCHBuild = time.Duration(1.15 * float64(hdrObj.Phases.Frontend()))
 
 	case Yalla, YallaPCH, YallaLTO:
-		res, err := core.Substitute(core.Options{
+		opts := core.Options{
 			FS: fs, SearchPaths: s.SearchPaths, Sources: s.Sources,
 			Header: s.Header, OutDir: s.OutDir(),
-			PreDeclare: preDeclare,
-		})
+			PreDeclare: cfg.PreDeclare,
+		}
+		if cfg.Cache != nil {
+			opts.TokenCache = cfg.Cache
+		}
+		res, err := core.Substitute(opts)
 		if err != nil {
 			return nil, err
 		}
 		paths := append([]string{s.OutDir()}, s.SearchPaths...)
-		st.compiler = compilesim.New(fs, paths...)
+		st.compiler = newCompiler(paths...)
 		st.mainFile = res.ModifiedSources[s.MainFile]
 		// Tool time: the analysis parses the whole translation unit and
 		// runs matching + rewriting over it — modeled as 2.3× the default
 		// frontend (≈1.5 s for the 02 subject, Fig. 10).
-		probe := compilesim.New(fs, s.SearchPaths...)
+		probe := newCompiler(s.SearchPaths...)
 		defObj, err := probe.Compile(s.MainFile)
 		if err != nil {
 			return nil, err
@@ -194,7 +220,7 @@ func PrepareWithOptions(s *corpus.Subject, mode Mode, preDeclare []string) (*Set
 			// §6 combination: pre-compile the residual headers the
 			// substituted sources still include (std and non-substituted
 			// modules).
-			p, err := pch.Build(fs, st.mainFile, paths, nil)
+			p, err := pch.BuildWithCache(fs, st.mainFile, paths, nil, cfg.Cache)
 			if err != nil {
 				return nil, fmt.Errorf("devcycle: residual pch: %v", err)
 			}
@@ -205,7 +231,7 @@ func PrepareWithOptions(s *corpus.Subject, mode Mode, preDeclare []string) (*Set
 			}
 			delete(p.Files, res.LightweightPath)
 			st.compiler.PCH = p
-			probeHdr, err := compilesim.New(fs, paths...).Compile(st.mainFile)
+			probeHdr, err := newCompiler(paths...).Compile(st.mainFile)
 			if err != nil {
 				return nil, err
 			}

@@ -8,12 +8,15 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/buildcache"
 	"repro/internal/codegen"
 	"repro/internal/compilesim"
 	"repro/internal/core"
@@ -43,6 +46,10 @@ type ModeResult struct {
 	ToolMs           float64
 	WrapperCompileMs float64
 	PCHBuildMs       float64
+	// WallNs is the real (not virtual) time spent simulating this
+	// subject × mode, for the harness benchmark report. It never feeds
+	// any paper table or figure.
+	WallNs int64
 }
 
 // CycleMs is the development-cycle latency.
@@ -75,9 +82,16 @@ var Modes = []devcycle.Mode{devcycle.Default, devcycle.PCH, devcycle.Yalla}
 
 // RunSubject measures one subject under all three configurations.
 func RunSubject(s *corpus.Subject) (*SubjectResult, error) {
+	return RunSubjectWith(s, nil)
+}
+
+// RunSubjectWith is RunSubject with a build cache shared across
+// subjects. Virtual times are identical with or without it.
+func RunSubjectWith(s *corpus.Subject, bc *buildcache.Cache) (*SubjectResult, error) {
 	out := &SubjectResult{Name: s.Name, Library: s.Library, Modes: map[devcycle.Mode]ModeResult{}}
 	for _, mode := range Modes {
-		st, err := devcycle.Prepare(s, mode)
+		start := time.Now()
+		st, err := devcycle.PrepareWith(s, mode, devcycle.Config{Cache: bc})
 		if err != nil {
 			return nil, fmt.Errorf("%s/%v: %v", s.Name, mode, err)
 		}
@@ -104,6 +118,7 @@ func RunSubject(s *corpus.Subject) (*SubjectResult, error) {
 			ToolMs:           ms(st.Setup.Tool),
 			WrapperCompileMs: ms(st.Setup.WrapperCompile),
 			PCHBuildMs:       ms(st.Setup.PCHBuild),
+			WallNs:           time.Since(start).Nanoseconds(),
 		}
 	}
 	return out, nil
@@ -111,39 +126,144 @@ func RunSubject(s *corpus.Subject) (*SubjectResult, error) {
 
 func ms(d time.Duration) float64 { return float64(d) / 1e6 }
 
+// inflight is one subject's memoized (or in-progress) measurement.
+// Completion is signaled by closing done; res/err are immutable after.
+type inflight struct {
+	done chan struct{}
+	res  *SubjectResult
+	err  error
+}
+
 var (
 	cacheMu sync.Mutex
-	cache   = map[string]*SubjectResult{}
+	cache   = map[string]*inflight{}
 )
 
 // RunSubjectCached memoizes RunSubject per subject name (the simulation
-// is deterministic).
+// is deterministic). Concurrent callers for the same subject share one
+// in-flight run (singleflight) instead of duplicating the work.
 func RunSubjectCached(s *corpus.Subject) (*SubjectResult, error) {
-	cacheMu.Lock()
-	if r, ok := cache[s.Name]; ok {
-		cacheMu.Unlock()
-		return r, nil
-	}
-	cacheMu.Unlock()
-	r, err := RunSubject(s)
-	if err != nil {
-		return nil, err
-	}
-	cacheMu.Lock()
-	cache[s.Name] = r
-	cacheMu.Unlock()
-	return r, nil
+	return runSubjectShared(s, nil)
 }
 
-// RunAll measures every subject.
+func runSubjectShared(s *corpus.Subject, bc *buildcache.Cache) (*SubjectResult, error) {
+	cacheMu.Lock()
+	if e, ok := cache[s.Name]; ok {
+		cacheMu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &inflight{done: make(chan struct{})}
+	cache[s.Name] = e
+	cacheMu.Unlock()
+
+	e.res, e.err = RunSubjectWith(s, bc)
+	if e.err != nil {
+		// Do not pin failures: a later caller retries. Waiters already
+		// holding e still observe this error.
+		cacheMu.Lock()
+		delete(cache, s.Name)
+		cacheMu.Unlock()
+	}
+	close(e.done)
+	return e.res, e.err
+}
+
+// ResetCache drops all memoized subject results. Intended for benchmarks
+// and tests that need a cold harness; not safe to call concurrently with
+// in-flight runs.
+func ResetCache() {
+	cacheMu.Lock()
+	cache = map[string]*inflight{}
+	cacheMu.Unlock()
+}
+
+// RunConfig configures RunAllWith.
+type RunConfig struct {
+	// Jobs is the worker-pool width; <= 0 means runtime.GOMAXPROCS(0).
+	Jobs int
+	// Subjects restricts the run; nil means corpus.All().
+	Subjects []*corpus.Subject
+	// Cache is the build cache shared by all workers; nil disables
+	// frontend caching (every TU is lexed and parsed from scratch).
+	Cache *buildcache.Cache
+	// Progress, when set, is called from worker goroutines as each
+	// subject starts; it must be safe for concurrent use.
+	Progress func(s *corpus.Subject)
+}
+
+// RunAll measures every subject sequentially with no build cache — the
+// cold path, kept for compatibility and as the baseline the benchmarks
+// compare against.
 func RunAll() ([]*SubjectResult, error) {
-	var out []*SubjectResult
-	for _, s := range corpus.All() {
-		r, err := RunSubjectCached(s)
-		if err != nil {
-			return nil, err
+	return RunAllWith(RunConfig{Jobs: 1})
+}
+
+// RunAllWith measures the configured subjects on a bounded worker pool.
+// Results come back in presentation (corpus) order regardless of
+// completion order, duplicate subjects are deduplicated via the
+// singleflight result cache, and the first error stops the fan-out and
+// is returned.
+func RunAllWith(cfg RunConfig) ([]*SubjectResult, error) {
+	subjects := cfg.Subjects
+	if subjects == nil {
+		subjects = corpus.All()
+	}
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(subjects) {
+		jobs = len(subjects)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+
+	out := make([]*SubjectResult, len(subjects))
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		stop     = make(chan struct{})
+		idx      = make(chan int)
+	)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				s := subjects[i]
+				if cfg.Progress != nil {
+					cfg.Progress(s)
+				}
+				r, err := runSubjectShared(s, cfg.Cache)
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						close(stop)
+					})
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+	// Feed indices in presentation order; stop feeding after the first
+	// error (in-flight subjects drain, queued ones are abandoned).
+	go func() {
+		defer close(idx)
+		for i := range subjects {
+			select {
+			case <-stop:
+				return
+			case idx <- i:
+			}
 		}
-		out = append(out, r)
+	}()
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }
@@ -326,6 +446,13 @@ func Extensions(names ...string) (string, error) {
 // 2.7× for GCC"): the same pipeline under the GCC cost model, reported as
 // averages.
 func GCCSummary() (string, error) {
+	return GCCSummaryWith(nil)
+}
+
+// GCCSummaryWith is GCCSummary with a shared build cache. Because the
+// cached frontend is cost-model independent, the GCC rerun reuses every
+// TU the clang-model run already processed.
+func GCCSummaryWith(bc *buildcache.Cache) (string, error) {
 	var b strings.Builder
 	b.WriteString("GCC summary — average compile-time speedups under the g++ cost model\n")
 	fmt.Fprintf(&b, "%-24s %12s %9s %11s %8s %8s\n",
@@ -333,7 +460,7 @@ func GCCSummary() (string, error) {
 	sumP, sumY := 0.0, 0.0
 	n := 0
 	for _, s := range corpus.All() {
-		d, p, y, err := compileTriple(s, compilesim.GCCCostModel())
+		d, p, y, err := compileTriple(s, compilesim.GCCCostModel(), bc)
 		if err != nil {
 			return "", fmt.Errorf("%s: %v", s.Name, err)
 		}
@@ -350,10 +477,11 @@ func GCCSummary() (string, error) {
 
 // compileTriple compiles one subject under the three configurations with
 // an explicit cost model, returning virtual milliseconds.
-func compileTriple(s *corpus.Subject, model compilesim.CostModel) (def, pchMs, yal float64, err error) {
+func compileTriple(s *corpus.Subject, model compilesim.CostModel, bc *buildcache.Cache) (def, pchMs, yal float64, err error) {
 	fs := s.FS.Clone()
 	cc := compilesim.New(fs, s.SearchPaths...)
 	cc.Model = model
+	cc.Cache = bc
 	defObj, err := cc.Compile(s.MainFile)
 	if err != nil {
 		return 0, 0, 0, err
@@ -369,27 +497,33 @@ func compileTriple(s *corpus.Subject, model compilesim.CostModel) (def, pchMs, y
 			break
 		}
 	}
-	p, err := pch.Build(fs, hdr, s.SearchPaths, nil)
+	p, err := pch.BuildWithCache(fs, hdr, s.SearchPaths, nil, bc)
 	if err != nil {
 		return 0, 0, 0, err
 	}
 	cp := compilesim.New(fs, s.SearchPaths...)
 	cp.Model = model
+	cp.Cache = bc
 	cp.PCH = p
+	subOpts := core.Options{
+		FS: fs, SearchPaths: s.SearchPaths, Sources: s.Sources,
+		Header: s.Header, OutDir: s.OutDir(),
+	}
+	if bc != nil {
+		subOpts.TokenCache = bc
+	}
 	pchObj, err := cp.Compile(s.MainFile)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	res, err := core.Substitute(core.Options{
-		FS: fs, SearchPaths: s.SearchPaths, Sources: s.Sources,
-		Header: s.Header, OutDir: s.OutDir(),
-	})
+	res, err := core.Substitute(subOpts)
 	if err != nil {
 		return 0, 0, 0, err
 	}
 	paths := append([]string{s.OutDir()}, s.SearchPaths...)
 	cy := compilesim.New(fs, paths...)
 	cy.Model = model
+	cy.Cache = bc
 	yalObj, err := cy.Compile(res.ModifiedSources[s.MainFile])
 	if err != nil {
 		return 0, 0, 0, err
@@ -485,6 +619,113 @@ func Traces(results []*SubjectResult) map[string]string {
 		}
 	}
 	return out
+}
+
+// ------------------------------------------------- harness benchmarking
+
+// BenchRow is one subject × mode wall-clock measurement (real time spent
+// simulating, not virtual compile time).
+type BenchRow struct {
+	Subject    string `json:"subject"`
+	Library    string `json:"library"`
+	Mode       string `json:"mode"`
+	ColdWallNs int64  `json:"cold_wall_ns"`
+	WarmWallNs int64  `json:"warm_wall_ns"`
+}
+
+// BenchCacheStats is the build cache traffic of a harness benchmark.
+type BenchCacheStats struct {
+	TokenHits   uint64 `json:"token_hits"`
+	TokenMisses uint64 `json:"token_misses"`
+	TUHits      uint64 `json:"tu_hits"`
+	TUMisses    uint64 `json:"tu_misses"`
+	Evictions   uint64 `json:"evictions"`
+	BytesSaved  uint64 `json:"bytes_saved"`
+	TokensSaved uint64 `json:"tokens_saved"`
+}
+
+// BenchReport is the results/bench_harness.json payload: the full
+// subject matrix measured cold-sequential (-j 1, empty cache) and then
+// warm-parallel (same cache, -j jobs).
+type BenchReport struct {
+	Jobs             int             `json:"jobs"`
+	Subjects         int             `json:"subjects"`
+	SequentialColdNs int64           `json:"sequential_cold_ns"`
+	ParallelWarmNs   int64           `json:"parallel_warm_ns"`
+	Speedup          float64         `json:"speedup"`
+	Cache            BenchCacheStats `json:"cache"`
+	Rows             []BenchRow      `json:"rows"`
+}
+
+// BenchHarness measures the harness itself: one truly cold sequential
+// run of the full matrix (one worker, no build cache — the pre-existing
+// behavior of this harness), an untimed run that primes a fresh build
+// cache, and then one timed warm parallel run against it. The
+// subject-result memo is reset between runs, so every subject is
+// genuinely re-simulated each time. Virtual outputs of all runs are
+// identical; only wall clock differs.
+func BenchHarness(jobs int) (*BenchReport, error) {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	bc := buildcache.New()
+	subjects := corpus.All()
+
+	ResetCache()
+	t0 := time.Now()
+	cold, err := RunAllWith(RunConfig{Jobs: 1})
+	if err != nil {
+		return nil, fmt.Errorf("cold run: %v", err)
+	}
+	coldNs := time.Since(t0).Nanoseconds()
+
+	ResetCache()
+	if _, err := RunAllWith(RunConfig{Jobs: jobs, Cache: bc}); err != nil {
+		return nil, fmt.Errorf("priming run: %v", err)
+	}
+
+	ResetCache()
+	t1 := time.Now()
+	warm, err := RunAllWith(RunConfig{Jobs: jobs, Cache: bc})
+	if err != nil {
+		return nil, fmt.Errorf("warm run: %v", err)
+	}
+	warmNs := time.Since(t1).Nanoseconds()
+	ResetCache()
+
+	st := bc.Stats()
+	rep := &BenchReport{
+		Jobs:             jobs,
+		Subjects:         len(subjects),
+		SequentialColdNs: coldNs,
+		ParallelWarmNs:   warmNs,
+		Cache: BenchCacheStats{
+			TokenHits: st.TokenHits, TokenMisses: st.TokenMisses,
+			TUHits: st.TUHits, TUMisses: st.TUMisses,
+			Evictions: st.Evictions, BytesSaved: st.BytesSaved,
+			TokensSaved: st.TokensSaved,
+		},
+	}
+	if warmNs > 0 {
+		rep.Speedup = float64(coldNs) / float64(warmNs)
+	}
+	for i, s := range subjects {
+		for _, mode := range Modes {
+			rep.Rows = append(rep.Rows, BenchRow{
+				Subject:    s.Name,
+				Library:    s.Library,
+				Mode:       mode.String(),
+				ColdWallNs: cold[i].Modes[mode].WallNs,
+				WarmWallNs: warm[i].Modes[mode].WallNs,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// JSON renders the report indented for results/bench_harness.json.
+func (r *BenchReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
 }
 
 // SortByTableOrder orders results in Table 2's row order.

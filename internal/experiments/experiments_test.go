@@ -4,8 +4,10 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/buildcache"
 	"repro/internal/corpus"
 	"repro/internal/devcycle"
+	"repro/internal/vfs"
 )
 
 // condenseResult runs (and caches) the cheapest subject across the three
@@ -146,4 +148,63 @@ func keys(m map[string]string) []string {
 		out = append(out, k)
 	}
 	return out
+}
+
+// TestParallelAndCachedRunsAreByteIdentical is the tentpole's safety
+// property: neither the worker pool width nor the build cache may change
+// a single byte of the paper's outputs. It renders Table 2, Table 3, and
+// Figure 7 from (a) a sequential uncached run, (b) a sequential run into
+// a fresh build cache, and (c) an 8-way parallel run served from that
+// warm cache, resetting the subject-result memo in between so every
+// variant genuinely re-simulates.
+func TestParallelAndCachedRunsAreByteIdentical(t *testing.T) {
+	subjects := []*corpus.Subject{
+		corpus.ByName("condense"),
+		corpus.ByName("drawing"),
+		corpus.ByName("chat_server"),
+	}
+	for _, s := range subjects {
+		if s == nil {
+			t.Fatal("subject missing from corpus")
+		}
+	}
+	render := func(res []*SubjectResult) string {
+		return Table2(res) + "\n" + Table3(res) + "\n" + Fig7(res, "drawing")
+	}
+	run := func(jobs int, bc *buildcache.Cache) string {
+		t.Helper()
+		ResetCache()
+		res, err := RunAllWith(RunConfig{Jobs: jobs, Subjects: subjects, Cache: bc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return render(res)
+	}
+	defer ResetCache()
+
+	bc := buildcache.New()
+	uncached := run(1, nil)
+	coldCache := run(1, bc)
+	warmParallel := run(8, bc)
+	if uncached != coldCache {
+		t.Errorf("build cache changed the rendered output:\n--- uncached ---\n%s\n--- cached ---\n%s", uncached, coldCache)
+	}
+	if uncached != warmParallel {
+		t.Errorf("-j 8 warm run changed the rendered output:\n--- -j 1 ---\n%s\n--- -j 8 ---\n%s", uncached, warmParallel)
+	}
+	if st := bc.Stats(); st.TUHits == 0 || st.TokenHits == 0 {
+		t.Errorf("warm run did not hit the cache: %+v", st)
+	}
+}
+
+// TestRunAllWithStopsOnFirstError checks error propagation from the
+// worker pool: a subject that cannot run fails the whole fan-out.
+func TestRunAllWithStopsOnFirstError(t *testing.T) {
+	defer ResetCache()
+	ResetCache()
+	bad := &corpus.Subject{Name: "broken-subject", Library: "none", FS: vfs.New(), MainFile: "absent.cpp"}
+	_, err := RunAllWith(RunConfig{Jobs: 4, Subjects: []*corpus.Subject{bad}})
+	if err == nil {
+		t.Fatal("expected an error from the unrunnable subject")
+	}
 }

@@ -11,7 +11,10 @@ package pch
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
+	"strings"
 
+	"repro/internal/buildcache"
 	"repro/internal/cpp/ast"
 	"repro/internal/cpp/parser"
 	"repro/internal/cpp/preprocessor"
@@ -37,23 +40,51 @@ type PCH struct {
 
 // Build constructs a PCH for the given header file.
 func Build(fs *vfs.FS, header string, searchPaths []string, defines map[string]string) (*PCH, error) {
-	pp := preprocessor.New(fs, searchPaths...)
-	for k, v := range defines {
-		pp.Define(k, v)
+	return BuildWithCache(fs, header, searchPaths, defines, nil)
+}
+
+// BuildWithCache is Build with a build cache: the expensive preprocess +
+// parse of the header's translation unit is served from (and feeds) the
+// content-addressed TU cache shared with the compilation simulator, so
+// building a PCH and probe-compiling the same header costs one frontend
+// run per process instead of one per use. The produced PCH is
+// byte-identical with or without the cache.
+func BuildWithCache(fs *vfs.FS, header string, searchPaths []string, defines map[string]string, cache *buildcache.Cache) (*PCH, error) {
+	build := func() (*buildcache.TU, []buildcache.Dep, error) {
+		pp := preprocessor.New(fs, searchPaths...)
+		if cache != nil {
+			pp.Cache = cache
+		}
+		for k, v := range defines {
+			pp.Define(k, v)
+		}
+		res, err := pp.Preprocess(header)
+		if err != nil {
+			return nil, nil, fmt.Errorf("pch: %v", err)
+		}
+		tu, err := parser.New(res.Tokens).Parse()
+		if err != nil {
+			return nil, nil, fmt.Errorf("pch: parse: %v", err)
+		}
+		return &buildcache.TU{Result: res, AST: tu}, buildcache.Manifest(fs, header, res), nil
 	}
-	res, err := pp.Preprocess(header)
+
+	var unit *buildcache.TU
+	var err error
+	if cache == nil {
+		unit, _, err = build()
+	} else {
+		unit, _, err = cache.TranslationUnit(configKey(header, searchPaths, defines), buildcache.Validator(fs), build)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("pch: %v", err)
+		return nil, err
 	}
-	tu, err := parser.New(res.Tokens).Parse()
-	if err != nil {
-		return nil, fmt.Errorf("pch: parse: %v", err)
-	}
+	res := unit.Result
 	p := &PCH{
 		Header: vfs.Clean(header),
 		Files:  map[string]bool{vfs.Clean(header): true},
 		Tokens: res.Tokens,
-		TU:     tu,
+		TU:     unit.AST,
 		LOC:    res.LOC,
 	}
 	for _, inc := range res.Includes {
@@ -61,6 +92,18 @@ func Build(fs *vfs.FS, header string, searchPaths []string, defines map[string]s
 	}
 	p.Blob = Serialize(res.Tokens)
 	return p, nil
+}
+
+// configKey mirrors compilesim's frontend configuration key so a PCH
+// build and a plain compile of the same header share one TU cache entry.
+func configKey(main string, searchPaths []string, defines map[string]string) string {
+	parts := []string{"compilesim", vfs.Clean(main), strings.Join(searchPaths, "\x1f")}
+	defs := make([]string, 0, len(defines))
+	for k, v := range defines {
+		defs = append(defs, k+"="+v)
+	}
+	sort.Strings(defs)
+	return buildcache.ConfigKey(append(parts, defs...)...)
 }
 
 // Serialize encodes a token stream into the PCH on-disk format: a small

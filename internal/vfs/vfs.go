@@ -5,6 +5,8 @@
 package vfs
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"path"
 	"sort"
@@ -17,11 +19,14 @@ import (
 type FS struct {
 	mu    sync.RWMutex
 	files map[string]string
+	// hashes lazily memoizes per-file content hashes for the build cache;
+	// entries are invalidated on Write/Remove and copied by Clone.
+	hashes map[string]string
 }
 
 // New returns an empty filesystem.
 func New() *FS {
-	return &FS{files: make(map[string]string)}
+	return &FS{files: make(map[string]string), hashes: make(map[string]string)}
 }
 
 // Clean normalizes a path to the canonical internal form.
@@ -33,7 +38,9 @@ func Clean(p string) string {
 func (fs *FS) Write(p, contents string) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.files[Clean(p)] = contents
+	p = Clean(p)
+	fs.files[p] = contents
+	delete(fs.hashes, p)
 }
 
 // Read returns the contents of p.
@@ -60,6 +67,40 @@ func (fs *FS) Remove(p string) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	delete(fs.files, Clean(p))
+	delete(fs.hashes, Clean(p))
+}
+
+// ContentHash returns a stable content hash for p, or ok=false if p does
+// not exist. Hashes are memoized per file until the file is rewritten, so
+// repeated build-cache validations cost a map lookup, not a rehash.
+func (fs *FS) ContentHash(p string) (string, bool) {
+	p = Clean(p)
+	fs.mu.RLock()
+	if h, ok := fs.hashes[p]; ok {
+		fs.mu.RUnlock()
+		return h, true
+	}
+	c, ok := fs.files[p]
+	fs.mu.RUnlock()
+	if !ok {
+		return "", false
+	}
+	sum := sha256.Sum256([]byte(c))
+	h := hex.EncodeToString(sum[:])
+	fs.mu.Lock()
+	// Recheck: the file may have been rewritten while we hashed.
+	if cur, ok := fs.files[p]; ok && cur == c {
+		fs.hashes[p] = h
+	} else if !ok {
+		fs.mu.Unlock()
+		return "", false
+	} else {
+		sum = sha256.Sum256([]byte(cur))
+		h = hex.EncodeToString(sum[:])
+		fs.hashes[p] = h
+	}
+	fs.mu.Unlock()
+	return h, true
 }
 
 // List returns all file paths in sorted order.
@@ -101,6 +142,9 @@ func (fs *FS) Clone() *FS {
 	out := New()
 	for p, c := range fs.files {
 		out.files[p] = c
+	}
+	for p, h := range fs.hashes {
+		out.hashes[p] = h
 	}
 	return out
 }

@@ -100,3 +100,44 @@ func TestPropertyCleanIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestContentHash(t *testing.T) {
+	fs := New()
+	fs.Write("a.hpp", "int x;")
+	h1, ok := fs.ContentHash("a.hpp")
+	if !ok || h1 == "" {
+		t.Fatalf("ContentHash = %q, %v", h1, ok)
+	}
+	// Memoized value is stable.
+	if h2, _ := fs.ContentHash("a.hpp"); h2 != h1 {
+		t.Fatalf("memoized hash %q != %q", h2, h1)
+	}
+	// Rewriting the file invalidates the memo.
+	fs.Write("a.hpp", "int y;")
+	h3, _ := fs.ContentHash("a.hpp")
+	if h3 == h1 {
+		t.Fatal("hash unchanged after rewrite")
+	}
+	// Clones share hashes for identical content but diverge after edits.
+	cl := fs.Clone()
+	hc, _ := cl.ContentHash("a.hpp")
+	if hc != h3 {
+		t.Fatalf("clone hash %q != %q", hc, h3)
+	}
+	cl.Write("a.hpp", "int z;")
+	hz, _ := cl.ContentHash("a.hpp")
+	if hz == h3 {
+		t.Fatal("clone edit did not change its hash")
+	}
+	if back, _ := fs.ContentHash("a.hpp"); back != h3 {
+		t.Fatal("clone edit leaked into the parent FS")
+	}
+	// Missing files report no hash.
+	if _, ok := fs.ContentHash("missing.hpp"); ok {
+		t.Fatal("hash for a missing file")
+	}
+	fs.Remove("a.hpp")
+	if _, ok := fs.ContentHash("a.hpp"); ok {
+		t.Fatal("hash survived Remove")
+	}
+}
