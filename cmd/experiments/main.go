@@ -8,17 +8,27 @@
 //
 //	experiments [-table2] [-table3] [-fig7] [-fig8] [-fig9] [-fig10]
 //	            [-subject NAME] [-results DIR] [-j N] [-cache=false]
-//	            [-benchjson] [-v]
+//	            [-benchjson] [-trace FILE] [-metrics FILE|-]
+//	            [-attribution FILE] [-pprof ADDR] [-v]
 //
 // With no selection flags, everything runs. Subjects fan out over -j
 // worker goroutines and share a content-addressed build cache; both are
 // wall-clock optimizations only — every table and figure is
 // byte-identical at any -j with the cache on or off.
+//
+// Observability: -trace writes a Chrome trace_event JSON of the run
+// (load it in chrome://tracing or Perfetto: per-worker wall-clock lanes
+// plus per subject × mode virtual phase lanes), -metrics writes the
+// metrics-registry snapshot ("-" for stdout), -attribution writes the
+// per-phase compile-cost attribution report, and -pprof serves
+// net/http/pprof on the given address for live profiling.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -26,30 +36,59 @@ import (
 	"repro/internal/buildcache"
 	"repro/internal/corpus"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		table2    = flag.Bool("table2", false, "regenerate Table 2 (compilation time)")
-		table3    = flag.Bool("table3", false, "regenerate Table 3 (LOC and headers)")
-		fig7      = flag.Bool("fig7", false, "regenerate Figure 7 (phase breakdown)")
-		fig8      = flag.Bool("fig8", false, "regenerate Figure 8 (dev-cycle speedup)")
-		fig9      = flag.Bool("fig9", false, "regenerate Figure 9 (generated code)")
-		fig10     = flag.Bool("fig10", false, "regenerate Figure 10 (first-time build)")
-		ext       = flag.Bool("extensions", false, "run the §5.4/§6 extension ablation (Yalla+PCH, Yalla+LTO)")
-		gcc       = flag.Bool("gcc", false, "reproduce the summarized GCC results (§5.3)")
-		subject   = flag.String("subject", "", "restrict to one subject")
-		results   = flag.String("results", "", "directory to write CSV/trace results into")
-		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "parallel subject jobs")
-		useCache  = flag.Bool("cache", true, "memoize lexing/preprocessing/parsing across subjects")
-		benchjson = flag.String("benchjson", "", "measure the harness cold-vs-warm and write the JSON report to this file (e.g. results/bench_harness.json)")
-		verbose   = flag.Bool("v", false, "print per-subject progress and build cache statistics")
+		table2      = flag.Bool("table2", false, "regenerate Table 2 (compilation time)")
+		table3      = flag.Bool("table3", false, "regenerate Table 3 (LOC and headers)")
+		fig7        = flag.Bool("fig7", false, "regenerate Figure 7 (phase breakdown)")
+		fig8        = flag.Bool("fig8", false, "regenerate Figure 8 (dev-cycle speedup)")
+		fig9        = flag.Bool("fig9", false, "regenerate Figure 9 (generated code)")
+		fig10       = flag.Bool("fig10", false, "regenerate Figure 10 (first-time build)")
+		ext         = flag.Bool("extensions", false, "run the §5.4/§6 extension ablation (Yalla+PCH, Yalla+LTO)")
+		gcc         = flag.Bool("gcc", false, "reproduce the summarized GCC results (§5.3)")
+		subject     = flag.String("subject", "", "restrict to one subject")
+		results     = flag.String("results", "", "directory to write CSV/trace results into")
+		jobs        = flag.Int("j", runtime.GOMAXPROCS(0), "parallel subject jobs")
+		useCache    = flag.Bool("cache", true, "memoize lexing/preprocessing/parsing across subjects")
+		benchjson   = flag.String("benchjson", "", "measure the harness cold-vs-warm and write the JSON report to this file (e.g. results/bench_harness.json)")
+		traceFile   = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
+		metricsOut  = flag.String("metrics", "", "write the metrics snapshot to this file, or - for stdout")
+		attribution = flag.String("attribution", "", "write the compile-cost attribution report (JSON) to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		verbose     = flag.Bool("v", false, "print per-subject progress and the metrics snapshot")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: pprof: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
+	// The observability handle: a tracer only when a trace is requested,
+	// a registry whenever anything will read metrics (-metrics or -v).
+	var (
+		tracer *obs.Tracer
+		reg    *obs.Registry
+	)
+	if *traceFile != "" {
+		tracer = obs.NewTracer(nil)
+	}
+	if *metricsOut != "" || *verbose {
+		reg = obs.NewRegistry()
+	}
+	o := obs.New(tracer, reg)
 
 	var bc *buildcache.Cache
 	if *useCache {
 		bc = buildcache.Default()
+		bc.AttachMetrics(o)
 	}
 
 	if *benchjson != "" {
@@ -100,11 +139,10 @@ func main() {
 	if *fig9 || all {
 		fmt.Println(experiments.Fig9())
 	}
-	needRuns := all || *table2 || *table3 || *fig7 || *fig8 || *fig10 || *results != ""
+	needRuns := all || *table2 || *table3 || *fig7 || *fig8 || *fig10 ||
+		*results != "" || *traceFile != "" || *attribution != ""
 	if !needRuns {
-		if *verbose && bc != nil {
-			fmt.Fprintln(os.Stderr, bc.Stats())
-		}
+		flushObservability(tracer, reg, *traceFile, *metricsOut, *verbose)
 		return
 	}
 
@@ -118,7 +156,7 @@ func main() {
 		subjects = []*corpus.Subject{s}
 	}
 
-	cfg := experiments.RunConfig{Jobs: *jobs, Subjects: subjects, Cache: bc}
+	cfg := experiments.RunConfig{Jobs: *jobs, Subjects: subjects, Cache: bc, Obs: o}
 	if *verbose {
 		cfg.Progress = func(s *corpus.Subject) {
 			fmt.Fprintf(os.Stderr, "running %s (%s)...\n", s.Name, s.Library)
@@ -126,13 +164,20 @@ func main() {
 	}
 	res, err := experiments.RunAllWith(cfg)
 	if err != nil {
+		// A failed run still reports how far it got and flushes whatever
+		// trace/metrics the completed subjects recorded.
+		done, total := 0, len(res)
+		for _, r := range res {
+			if r != nil {
+				done++
+			}
+		}
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		fmt.Fprintf(os.Stderr, "experiments: completed %d of %d subjects before the failure\n", done, total)
+		flushObservability(tracer, reg, *traceFile, *metricsOut, *verbose)
 		os.Exit(1)
 	}
 	experiments.SortByTableOrder(res)
-	if *verbose && bc != nil {
-		fmt.Fprintln(os.Stderr, bc.Stats())
-	}
 
 	if all || *table2 {
 		fmt.Println("Table 2 — compilation time and speedups")
@@ -159,6 +204,66 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "results written to %s\n", *results)
+	}
+	if *attribution != "" {
+		rep := experiments.Attribution(res, bc)
+		blob, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: attribution: %v\n", err)
+			os.Exit(1)
+		}
+		if dir := filepath.Dir(*attribution); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: attribution: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if err := os.WriteFile(*attribution, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: attribution: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "attribution report written to %s\n", *attribution)
+	}
+	flushObservability(tracer, reg, *traceFile, *metricsOut, *verbose)
+}
+
+// flushObservability writes the trace file and metrics snapshot (if
+// requested) once the run — complete or partial — is over.
+func flushObservability(tracer *obs.Tracer, reg *obs.Registry, traceFile, metricsOut string, verbose bool) {
+	if tracer != nil && traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", err)
+			return
+		}
+		if err := tracer.Export(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (open in chrome://tracing)\n", traceFile)
+	}
+	if reg == nil {
+		return
+	}
+	snap := reg.Snapshot()
+	if metricsOut == "-" {
+		os.Stdout.WriteString(snap.String())
+	} else if metricsOut != "" {
+		blob, err := snap.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: metrics: %v\n", err)
+			return
+		}
+		if err := os.WriteFile(metricsOut, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: metrics: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", metricsOut)
+	}
+	if verbose && metricsOut != "-" {
+		os.Stderr.WriteString(snap.String())
 	}
 }
 

@@ -8,10 +8,12 @@
 // Usage:
 //
 //	yalla -header Kokkos_Core.hpp [-I dir]... [-D NAME[=VAL]]...
-//	      [-o outdir] source.cpp [more sources...]
+//	      [-o outdir] [-trace trace.json] source.cpp [more sources...]
 //
 // Sources and include directories are read from disk; generated files are
-// written under -o (default yalla_out).
+// written under -o (default yalla_out). With -trace, the tool writes a
+// Chrome trace_event JSON of its own phases (frontend, analyze,
+// forward-decls, wrappers, transform, emit) for chrome://tracing.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -32,11 +35,12 @@ func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
 
 func main() {
 	var (
-		includes multiFlag
-		defines  multiFlag
-		headers  multiFlag
-		outDir   = flag.String("o", "yalla_out", "output directory for generated files")
-		verbose  = flag.Bool("v", false, "print the substitution report")
+		includes  multiFlag
+		defines   multiFlag
+		headers   multiFlag
+		outDir    = flag.String("o", "yalla_out", "output directory for generated files")
+		verbose   = flag.Bool("v", false, "print the substitution report")
+		traceFile = flag.String("trace", "", "write a Chrome trace_event JSON of the tool run to this file")
 	)
 	var preDeclare multiFlag
 	flag.Var(&includes, "I", "include search directory (repeatable)")
@@ -72,6 +76,10 @@ func main() {
 		defs[name] = val
 	}
 
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer(nil)
+	}
 	res, err := core.Substitute(core.Options{
 		FS:           fs,
 		SearchPaths:  searchPaths,
@@ -81,9 +89,23 @@ func main() {
 		OutDir:       *outDir,
 		Defines:      defs,
 		PreDeclare:   preDeclare,
+		Obs:          obs.New(tracer, nil),
 	})
 	if err != nil {
 		fail("yalla: %v", err)
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fail("yalla: trace: %v", err)
+		}
+		if err := tracer.Export(f); err != nil {
+			fail("yalla: trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("yalla: trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (open in chrome://tracing)\n", *traceFile)
 	}
 
 	// Write the generated files back to disk.

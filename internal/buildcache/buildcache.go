@@ -32,6 +32,7 @@ import (
 	"repro/internal/cpp/ast"
 	"repro/internal/cpp/preprocessor"
 	"repro/internal/cpp/token"
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -102,6 +103,21 @@ type flight struct {
 	done chan struct{}
 }
 
+// instruments are the cache's registered metric handles. All fields are
+// nil-safe no-ops until AttachMetrics resolves them, and they are
+// incremented at exactly the sites the internal Stats counters are, so
+// a metrics snapshot always matches Stats().
+type instruments struct {
+	tokenHits    *obs.Counter
+	tokenMisses  *obs.Counter
+	tuHits       *obs.Counter
+	tuMisses     *obs.Counter
+	evictions    *obs.Counter
+	bytesSaved   *obs.Counter
+	tokensSaved  *obs.Counter
+	singleflight *obs.Counter
+}
+
 // Cache is a process-wide build cache, safe for concurrent use. The zero
 // value is not usable; call New.
 type Cache struct {
@@ -110,6 +126,7 @@ type Cache struct {
 	tus       map[string][]*tuEntry
 	tuFlights map[string]*flight
 	stats     Stats
+	ins       instruments
 
 	// MaxTokenEntries and MaxTUVariants override the eviction bounds;
 	// set them before first use.
@@ -138,6 +155,29 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// AttachMetrics registers the cache's named instruments
+// (buildcache.token.hits, buildcache.tu.misses, …) in the handle's
+// registry. Counters accumulate from attach time; attach before first
+// use for totals that match Stats(). A nil handle detaches nothing and
+// does nothing.
+func (c *Cache) AttachMetrics(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ins = instruments{
+		tokenHits:    o.Counter("buildcache.token.hits"),
+		tokenMisses:  o.Counter("buildcache.token.misses"),
+		tuHits:       o.Counter("buildcache.tu.hits"),
+		tuMisses:     o.Counter("buildcache.tu.misses"),
+		evictions:    o.Counter("buildcache.evictions"),
+		bytesSaved:   o.Counter("buildcache.bytes_saved"),
+		tokensSaved:  o.Counter("buildcache.tokens_saved"),
+		singleflight: o.Counter("buildcache.singleflight.dedup"),
+	}
 }
 
 // FileKey is the content-addressed identity of one file: path and
@@ -172,13 +212,23 @@ func (c *Cache) Tokens(path, content string, lex func() ([]token.Token, error)) 
 	key := FileKey(path, content)
 	c.mu.Lock()
 	if e, ok := c.lex[key]; ok {
+		ins := c.ins
 		c.mu.Unlock()
+		select {
+		case <-e.done:
+		default:
+			// In-flight elsewhere: we are a deduplicated waiter, not a
+			// plain hit on a completed entry.
+			ins.singleflight.Add(1)
+		}
 		<-e.done
 		if e.err == nil {
 			c.mu.Lock()
 			c.stats.TokenHits++
 			c.stats.BytesSaved += uint64(len(content))
 			c.mu.Unlock()
+			ins.tokenHits.Add(1)
+			ins.bytesSaved.Add(uint64(len(content)))
 			return e.toks, nil
 		}
 		return e.toks, e.err
@@ -187,6 +237,7 @@ func (c *Cache) Tokens(path, content string, lex func() ([]token.Token, error)) 
 	e := &lexEntry{done: make(chan struct{})}
 	c.lex[key] = e
 	c.stats.TokenMisses++
+	c.ins.tokenMisses.Add(1)
 	c.mu.Unlock()
 
 	e.toks, e.err = lex()
@@ -216,6 +267,7 @@ func (c *Cache) evictTokensLocked() {
 		case <-e.done:
 			delete(c.lex, k)
 			c.stats.Evictions++
+			c.ins.evictions.Add(1)
 		default:
 		}
 	}
@@ -244,17 +296,26 @@ func (c *Cache) TranslationUnit(key string, valid func(Dep) bool, build func() (
 				if e.val.Result != nil {
 					c.stats.TokensSaved += uint64(len(e.val.Result.Tokens))
 				}
+				ins := c.ins
 				c.mu.Unlock()
+				ins.tuHits.Add(1)
+				if e.val.Result != nil {
+					ins.tokensSaved.Add(uint64(len(e.val.Result.Tokens)))
+				}
 				return e.val, true, nil
 			}
 		}
 		if fl != nil {
+			c.mu.Lock()
+			c.ins.singleflight.Add(1)
+			c.mu.Unlock()
 			<-fl.done
 			continue // someone just built this key; re-validate
 		}
 
 		c.mu.Lock()
 		if fl2 := c.tuFlights[key]; fl2 != nil {
+			c.ins.singleflight.Add(1)
 			c.mu.Unlock()
 			<-fl2.done
 			continue
@@ -268,6 +329,7 @@ func (c *Cache) TranslationUnit(key string, valid func(Dep) bool, build func() (
 		delete(c.tuFlights, key)
 		if err == nil {
 			c.stats.TUMisses++
+			c.ins.tuMisses.Add(1)
 			c.tus[key] = append(c.tus[key], &tuEntry{deps: deps, val: val})
 			maxVar := c.MaxTUVariants
 			if maxVar <= 0 {
@@ -276,6 +338,7 @@ func (c *Cache) TranslationUnit(key string, valid func(Dep) bool, build func() (
 			if n := len(c.tus[key]); n > maxVar {
 				c.tus[key] = append([]*tuEntry(nil), c.tus[key][n-maxVar:]...)
 				c.stats.Evictions += uint64(n - maxVar)
+				c.ins.evictions.Add(uint64(n - maxVar))
 			}
 		}
 		c.mu.Unlock()

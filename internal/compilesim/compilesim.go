@@ -30,6 +30,7 @@ import (
 	"repro/internal/cpp/parser"
 	"repro/internal/cpp/preprocessor"
 	"repro/internal/cpp/token"
+	"repro/internal/obs"
 	"repro/internal/pch"
 	"repro/internal/vfs"
 )
@@ -149,6 +150,11 @@ type Compiler struct {
 	// Only wall-clock time changes: all phase times and statistics are
 	// byte-identical with the cache on or off.
 	Cache *buildcache.Cache
+	// Obs, when set, records one wall-clock span per Compile (with
+	// preprocess/parse child spans on cache misses), per-phase virtual
+	// time histograms, and a simulated-cost histogram. Recording never
+	// changes virtual times; the nil default is a zero-cost no-op.
+	Obs *obs.Obs
 }
 
 // New returns a compiler over fs with the default cost model and -O3.
@@ -161,7 +167,11 @@ func (c *Compiler) Compile(main string) (*Object, error) {
 	m := c.Model
 	obj := &Object{Name: main}
 
-	unit, err := c.frontend(main)
+	sp := c.Obs.Start("compile")
+	sp.SetStr("file", main)
+	defer sp.End()
+
+	unit, err := c.frontend(main, sp.Obs())
 	if err != nil {
 		return nil, err
 	}
@@ -213,6 +223,20 @@ func (c *Compiler) Compile(main string) (*Object, error) {
 	opt := m.OptLevelFactor[clampOpt(c.OptLevel)]
 	obj.Phases.Backend = dur(opt * (m.BackendNsPerUse*float64(obj.Stats.TemplateUses) +
 		m.BackendNsPerMainFunc*float64(obj.Stats.MainFuncDefs)))
+
+	// Attribution instruments: virtual per-phase time and total simulated
+	// cost. Pure observation — nothing above depends on it.
+	c.Obs.Counter("compilesim.compiles").Add(1)
+	c.Obs.ObserveMs("phase.startup_ms", obj.Phases.Startup)
+	c.Obs.ObserveMs("phase.preprocess_ms", obj.Phases.Preprocess)
+	c.Obs.ObserveMs("phase.lexparse_ms", obj.Phases.LexParse)
+	c.Obs.ObserveMs("phase.sema_ms", obj.Phases.Sema)
+	c.Obs.ObserveMs("phase.pchload_ms", obj.Phases.PCHLoad)
+	c.Obs.ObserveMs("phase.instantiate_ms", obj.Phases.Instantiate)
+	c.Obs.ObserveMs("phase.backend_ms", obj.Phases.Backend)
+	c.Obs.ObserveMs("compile.cost_ms", obj.Phases.Total())
+	sp.SetInt("tokens", int64(obj.Stats.Tokens))
+	sp.SetInt("vcost_us", obj.Phases.Total().Microseconds())
 	return obj, nil
 }
 
@@ -223,9 +247,10 @@ func (c *Compiler) Compile(main string) (*Object, error) {
 // the content-addressed TU cache when the recorded dependency manifest
 // (every file read, by hash, and every include probe that missed)
 // still validates against the compiler's filesystem.
-func (c *Compiler) frontend(main string) (*buildcache.TU, error) {
+func (c *Compiler) frontend(main string, o *obs.Obs) (*buildcache.TU, error) {
 	build := func() (*buildcache.TU, []buildcache.Dep, error) {
 		ppr := preprocessor.New(c.FS, c.SearchPaths...)
+		ppr.Obs = o
 		if c.Cache != nil {
 			ppr.Cache = c.Cache
 		}
@@ -236,7 +261,9 @@ func (c *Compiler) frontend(main string) (*buildcache.TU, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("compilesim: %s: %v", main, err)
 		}
-		tu, err := parser.New(res.Tokens).Parse()
+		pr := parser.New(res.Tokens)
+		pr.Obs = o
+		tu, err := pr.Parse()
 		if err != nil {
 			return nil, nil, fmt.Errorf("compilesim: %s: parse: %v", main, err)
 		}
@@ -252,7 +279,14 @@ func (c *Compiler) frontend(main string) (*buildcache.TU, error) {
 		t, _, err := build()
 		return t, err
 	}
-	t, _, err := c.Cache.TranslationUnit(c.configKey(main), buildcache.Validator(c.FS), build)
+	t, hit, err := c.Cache.TranslationUnit(c.configKey(main), buildcache.Validator(c.FS), build)
+	if hit {
+		// The preprocess/parse spans above never opened; mark the hit so
+		// the timeline still shows where this TU's frontend came from.
+		hsp := o.Start("frontend cache hit")
+		hsp.SetStr("file", main)
+		hsp.End()
+	}
 	return t, err
 }
 

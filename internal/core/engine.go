@@ -20,6 +20,7 @@ import (
 	"repro/internal/cpp/parser"
 	"repro/internal/cpp/preprocessor"
 	"repro/internal/cpp/sema"
+	"repro/internal/obs"
 	"repro/internal/rewrite"
 	"repro/internal/vfs"
 )
@@ -62,6 +63,10 @@ type Options struct {
 	// TokenCache, when set, memoizes per-file lexing across the tool's
 	// preprocessor runs (wall-clock only; output unchanged).
 	TokenCache preprocessor.TokenCache
+	// Obs, when set, records one "substitute" span with per-phase child
+	// spans (frontend, analyze, forward-decls, wrappers, transform, emit)
+	// and substitution counters. Nil disables recording at zero cost.
+	Obs *obs.Obs
 }
 
 // Result reports what Substitute produced.
@@ -153,42 +158,81 @@ func newEngine(opts Options) (*Engine, error) {
 }
 
 func (e *Engine) run() (*Result, error) {
+	root := e.opts.Obs.Start("substitute")
+	root.SetStr("header", e.opts.Header)
+	defer root.End()
+	o := root.Obs()
+	phase := func(name string, f func() error) error {
+		sp := o.Start(name)
+		defer sp.End()
+		return f()
+	}
+
 	// Phase 0: preprocess + parse everything, build symbol tables.
-	if err := e.frontend(); err != nil {
+	if err := phase("frontend", func() error { return e.frontend(o) }); err != nil {
 		return nil, err
 	}
 	// Phase 1 (Fig. 5 lines 2–10): analysis.
-	if err := e.analyze(); err != nil {
+	if err := phase("analyze", e.analyze); err != nil {
 		return nil, err
 	}
 	// Phase 2 (lines 11–14): forward declarations.
-	fwd, err := e.buildForwardDecls()
-	if err != nil {
+	var fwd []ForwardDecl
+	if err := phase("forward-decls", func() error {
+		var err error
+		fwd, err = e.buildForwardDecls()
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	// Lines 15–22: wrappers.
-	wrappers := e.buildWrappers()
+	var wrappers *wrapperSet
+	if err := phase("wrappers", func() error {
+		wrappers = e.buildWrappers()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	// Lines 23–26: lambda conversion, include replacement, and usage
 	// transformations, collected as source edits.
-	edits, functors, err := e.transform(wrappers)
-	if err != nil {
+	var edits []editRec
+	var functors []*Functor
+	if err := phase("transform", func() error {
+		var err error
+		edits, functors, err = e.transform(wrappers)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	// Line 27: emit everything.
-	return e.emit(fwd, wrappers, functors, edits)
+	var res *Result
+	if err := phase("emit", func() error {
+		var err error
+		res, err = e.emit(fwd, wrappers, functors, edits)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	e.opts.Obs.Counter("substitute.runs").Add(1)
+	e.opts.Obs.Counter("substitute.wrappers").Add(uint64(res.Report.FunctionWrappers + res.Report.MethodWrappers))
+	root.SetInt("forward_decls", int64(res.Report.ForwardDeclaredClasses))
+	root.SetInt("call_sites", int64(res.Report.CallSitesRewritten))
+	return res, nil
 }
 
 // frontend preprocesses each source, parses the translation units, builds
 // the symbol table, and computes the header-owned file set.
-func (e *Engine) frontend() error {
+func (e *Engine) frontend(o *obs.Obs) error {
 	for _, s := range e.opts.Sources {
 		e.sourceSet[vfs.Clean(s)] = true
 	}
 	e.tables = sema.NewTable()
+	e.tables.Obs = o
 	e.an = newAnalysis()
 
 	for _, src := range e.opts.Sources {
 		pp := preprocessor.New(e.fs, e.opts.SearchPaths...)
+		pp.Obs = o
 		pp.Cache = e.opts.TokenCache
 		for k, v := range e.opts.Defines {
 			pp.Define(k, v)
@@ -211,6 +255,7 @@ func (e *Engine) frontend() error {
 			}
 		}
 		p := parser.New(res.Tokens)
+		p.Obs = o
 		tu, err := p.Parse()
 		if err != nil {
 			return fmt.Errorf("core: parse %s: %v", src, err)

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cpp/ast"
 	"repro/internal/cpp/token"
+	"repro/internal/obs"
 )
 
 // Parser parses one token stream into a TranslationUnit.
@@ -21,6 +22,9 @@ type Parser struct {
 	errs []error
 	// class stack for nested-class parenting
 	classStack []*ast.ClassDecl
+	// Obs, when non-nil, records a span + counters per Parse. The nil
+	// default is a zero-cost no-op.
+	Obs *obs.Obs
 }
 
 // New returns a parser over toks (which must end with an EOF token, as
@@ -33,6 +37,9 @@ func New(toks []token.Token) *Parser {
 // syntax error the parser records it and skips to a likely recovery point;
 // the first error (if any) is returned alongside the partial tree.
 func (p *Parser) Parse() (*ast.TranslationUnit, error) {
+	sp := p.Obs.Start("parse")
+	sp.SetInt("tokens", int64(len(p.toks)))
+	defer sp.End()
 	tu := &ast.TranslationUnit{}
 	for !p.at(token.EOF) {
 		start := p.pos
@@ -45,6 +52,8 @@ func (p *Parser) Parse() (*ast.TranslationUnit, error) {
 			p.next()
 		}
 	}
+	sp.SetInt("decls", int64(len(tu.Decls)))
+	p.Obs.Counter("parser.units").Add(1)
 	if len(p.errs) > 0 {
 		return tu, p.errs[0]
 	}

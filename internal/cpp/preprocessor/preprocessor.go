@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/cpp/lexer"
 	"repro/internal/cpp/token"
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -66,6 +67,11 @@ type Preprocessor struct {
 	// runs. Purely a wall-clock optimization: the emitted token stream is
 	// byte-identical with or without it.
 	Cache TokenCache
+	// Obs, when non-nil, records a span per Preprocess plus file/token
+	// counters. The nil default (disabled mode) adds zero allocations to
+	// the hot path: the instruments below stay nil and every hook on them
+	// is a no-op.
+	Obs *obs.Obs
 
 	macros     *macroTable
 	pragmaOnce map[string]bool
@@ -78,10 +84,12 @@ type Preprocessor struct {
 	absentSeen map[string]bool
 	// chunks accumulates expanded token runs during one Preprocess; they
 	// are concatenated once (ntoks total) into Result.Tokens at the end.
-	chunks [][]token.Token
-	ntoks  int
-	depth      int
-	counter    int // __COUNTER__ state
+	chunks  [][]token.Token
+	ntoks   int
+	depth   int
+	counter int // __COUNTER__ state
+	// Resolved-once metric instruments (nil when Obs is nil).
+	cFiles *obs.Counter
 }
 
 // condState tracks one level of conditional nesting.
@@ -117,6 +125,10 @@ func (pp *Preprocessor) Define(name, value string) {
 
 // Preprocess runs the preprocessor on the given main file.
 func (pp *Preprocessor) Preprocess(mainFile string) (*Result, error) {
+	sp := pp.Obs.Start("preprocess")
+	sp.SetStr("main", mainFile)
+	defer sp.End()
+	pp.cFiles = pp.Obs.Counter("preprocessor.files")
 	if pp.macros == nil {
 		pp.macros = newMacroTable()
 	}
@@ -148,6 +160,9 @@ func (pp *Preprocessor) Preprocess(mainFile string) (*Result, error) {
 	}
 	pp.chunks = nil
 	pp.res.Tokens = append(all, token.Token{Kind: token.EOF, LeadingNewline: true})
+	sp.SetInt("tokens", int64(len(pp.res.Tokens)))
+	sp.SetInt("includes", int64(len(pp.res.Includes)))
+	pp.Obs.Counter("preprocessor.tokens").Add(uint64(len(pp.res.Tokens)))
 	if len(pp.errs) > 0 {
 		return pp.res, pp.errs[0]
 	}
@@ -200,6 +215,7 @@ func (pp *Preprocessor) processFile(file string, isMain bool) error {
 	if g, ok := pp.guardedBy[file]; ok && pp.macros.isDefined(g) {
 		return nil
 	}
+	pp.cFiles.Add(1)
 	src, err := pp.FS.Read(file)
 	if err != nil {
 		return err

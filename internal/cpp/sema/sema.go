@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/cpp/ast"
+	"repro/internal/obs"
 )
 
 // SymKind classifies a symbol.
@@ -156,6 +157,9 @@ type Table struct {
 	// UsingDecls maps unqualified name -> qualified name from
 	// using-declarations, per file.
 	UsingDecls map[string]map[string]ast.QualifiedName
+	// Obs, when non-nil, records a span + declaration counter per
+	// AddUnit. The nil default is a zero-cost no-op.
+	Obs *obs.Obs
 }
 
 // NewTable returns an empty table.
@@ -180,6 +184,11 @@ func Build(tus ...*ast.TranslationUnit) *Table {
 
 // AddUnit merges one more translation unit into the table.
 func (t *Table) AddUnit(tu *ast.TranslationUnit) {
+	sp := t.Obs.Start("sema")
+	sp.SetInt("decls", int64(len(tu.Decls)))
+	defer sp.End()
+	t.Obs.Counter("sema.units").Add(1)
+	t.Obs.Counter("sema.decls").Add(uint64(len(tu.Decls)))
 	for _, d := range tu.Decls {
 		t.addDecl(t.Global, d)
 	}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/compilesim"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/obs"
 	"repro/internal/pch"
 	"repro/internal/vfs"
 )
@@ -95,6 +96,7 @@ type Setup struct {
 	phases      compilesim.Phases // last compile's phases
 	stats       compilesim.Stats
 	preDeclared map[string]bool
+	obs         *obs.Obs
 }
 
 // runModel captures per-library execution characteristics with the small
@@ -144,18 +146,29 @@ type Config struct {
 	// times are byte-identical with or without it; only the real time
 	// spent simulating drops.
 	Cache *buildcache.Cache
+	// Obs, when set, records prepare/cycle spans and pipeline metrics for
+	// this setup. Nil disables recording at zero cost.
+	Obs *obs.Obs
 }
 
 // PrepareWith is Prepare with explicit configuration.
 func PrepareWith(s *corpus.Subject, mode Mode, cfg Config) (*Setup, error) {
+	sp := cfg.Obs.Start("prepare")
+	sp.SetStr("subject", s.Name)
+	sp.SetStr("mode", mode.String())
+	defer sp.End()
+	o := sp.Obs()
+
 	fs := s.FS.Clone()
-	st := &Setup{Subject: s, Mode: mode, FS: fs, preDeclared: map[string]bool{}}
+	fs.SetReadCounter(o.Counter("vfs.reads"))
+	st := &Setup{Subject: s, Mode: mode, FS: fs, preDeclared: map[string]bool{}, obs: o}
 	for _, p := range cfg.PreDeclare {
 		st.preDeclared[p] = true
 	}
 	newCompiler := func(paths ...string) *compilesim.Compiler {
 		cc := compilesim.New(fs, paths...)
 		cc.Cache = cfg.Cache
+		cc.Obs = o
 		return cc
 	}
 
@@ -169,7 +182,7 @@ func PrepareWith(s *corpus.Subject, mode Mode, cfg Config) (*Setup, error) {
 		if err != nil {
 			return nil, err
 		}
-		p, err := pch.BuildWithCache(fs, headerPath, s.SearchPaths, nil, cfg.Cache)
+		p, err := pch.BuildObserved(fs, headerPath, s.SearchPaths, nil, cfg.Cache, o)
 		if err != nil {
 			return nil, err
 		}
@@ -189,6 +202,7 @@ func PrepareWith(s *corpus.Subject, mode Mode, cfg Config) (*Setup, error) {
 			FS: fs, SearchPaths: s.SearchPaths, Sources: s.Sources,
 			Header: s.Header, OutDir: s.OutDir(),
 			PreDeclare: cfg.PreDeclare,
+			Obs:        o,
 		}
 		if cfg.Cache != nil {
 			opts.TokenCache = cfg.Cache
@@ -220,7 +234,7 @@ func PrepareWith(s *corpus.Subject, mode Mode, cfg Config) (*Setup, error) {
 			// §6 combination: pre-compile the residual headers the
 			// substituted sources still include (std and non-substituted
 			// modules).
-			p, err := pch.BuildWithCache(fs, st.mainFile, paths, nil, cfg.Cache)
+			p, err := pch.BuildObserved(fs, st.mainFile, paths, nil, cfg.Cache, o)
 			if err != nil {
 				return nil, fmt.Errorf("devcycle: residual pch: %v", err)
 			}
@@ -264,9 +278,25 @@ func resolveHeader(fs *vfs.FS, s *corpus.Subject) (string, error) {
 	return "", fmt.Errorf("devcycle: cannot resolve header %q", s.Header)
 }
 
+// SetObs re-points the setup's observability handle (e.g. so cycles run
+// under a harness-level span instead of the prepare span). Nil is allowed
+// and disables recording.
+func (st *Setup) SetObs(o *obs.Obs) {
+	st.obs = o
+	if st.compiler != nil {
+		st.compiler.Obs = o
+	}
+}
+
 // Cycle simulates one edit–compile–link–run iteration (steps ④–⑤ plus
 // execution with small inputs).
 func (st *Setup) Cycle() (Times, error) {
+	sp := st.obs.Start("cycle")
+	defer sp.End()
+	prev := st.compiler.Obs
+	st.compiler.Obs = sp.Obs()
+	defer func() { st.compiler.Obs = prev }()
+
 	obj, err := st.compiler.Compile(st.mainFile)
 	if err != nil {
 		return Times{}, err
@@ -289,7 +319,13 @@ func (st *Setup) Cycle() (Times, error) {
 		link += st.compiler.LinkLTO(objs...)
 	}
 
-	return Times{Compile: obj.Phases.Total(), Link: link, Run: st.runTime()}, nil
+	t := Times{Compile: obj.Phases.Total(), Link: link, Run: st.runTime()}
+	st.obs.Counter("devcycle.cycles").Add(1)
+	st.obs.ObserveMs("cycle.total_ms", t.Total())
+	sp.SetInt("vcompile_us", t.Compile.Microseconds())
+	sp.SetInt("vlink_us", link.Microseconds())
+	sp.SetInt("vrun_us", t.Run.Microseconds())
+	return t, nil
 }
 
 // CycleWithNewSymbol simulates an edit that starts using a header symbol

@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/devcycle"
+	"repro/internal/obs"
 	"repro/internal/pch"
 )
 
@@ -88,17 +89,36 @@ func RunSubject(s *corpus.Subject) (*SubjectResult, error) {
 // RunSubjectWith is RunSubject with a build cache shared across
 // subjects. Virtual times are identical with or without it.
 func RunSubjectWith(s *corpus.Subject, bc *buildcache.Cache) (*SubjectResult, error) {
+	return runSubject(s, bc, nil)
+}
+
+// runSubject measures one subject under all modes, recording a "subject"
+// span with one child span per mode plus a virtual-cost lane per
+// subject × mode on the handle's tracer (nil o disables recording).
+func runSubject(s *corpus.Subject, bc *buildcache.Cache, o *obs.Obs) (*SubjectResult, error) {
+	ssp := o.Start("subject")
+	ssp.SetStr("name", s.Name)
+	ssp.SetStr("library", s.Library)
+	defer ssp.End()
+	so := ssp.Obs()
+
 	out := &SubjectResult{Name: s.Name, Library: s.Library, Modes: map[devcycle.Mode]ModeResult{}}
 	for _, mode := range Modes {
 		start := time.Now()
-		st, err := devcycle.PrepareWith(s, mode, devcycle.Config{Cache: bc})
+		msp := so.Start("mode")
+		msp.SetStr("mode", mode.String())
+		st, err := devcycle.PrepareWith(s, mode, devcycle.Config{Cache: bc, Obs: msp.Obs()})
 		if err != nil {
+			msp.End()
 			return nil, fmt.Errorf("%s/%v: %v", s.Name, mode, err)
 		}
+		st.SetObs(msp.Obs())
 		cycle, err := st.Cycle()
 		if err != nil {
+			msp.End()
 			return nil, fmt.Errorf("%s/%v: %v", s.Name, mode, err)
 		}
+		msp.End()
 		ph := st.Phases()
 		stats := st.Stats()
 		out.Modes[mode] = ModeResult{
@@ -121,7 +141,44 @@ func RunSubjectWith(s *corpus.Subject, bc *buildcache.Cache) (*SubjectResult, er
 			WallNs:           time.Since(start).Nanoseconds(),
 		}
 	}
+	o.Counter("experiments.subjects").Add(1)
+	emitVirtualLanes(o, out)
 	return out, nil
+}
+
+// emitVirtualLanes renders the subject's per-mode virtual phase costs as
+// explicit-timestamp spans on the trace's virtual-cost process, so the
+// deterministic per-phase timeline the paper plots (Fig. 7) sits next to
+// the real wall-clock worker lanes in one Chrome trace.
+func emitVirtualLanes(o *obs.Obs, r *SubjectResult) {
+	for _, mode := range Modes {
+		lane := o.VirtualLane(r.Name + "/" + mode.String())
+		if lane == nil {
+			return
+		}
+		m := r.Modes[mode]
+		phases := []struct {
+			name string
+			ms   float64
+		}{
+			{"Startup", m.StartupMs},
+			{"Preprocess", m.PreprocessMs},
+			{"LexParse", m.LexParseMs},
+			{"Sema", m.SemaMs},
+			{"PCHLoad", m.PCHLoadMs},
+			{"Instantiate", m.InstantiateMs},
+			{"Backend", m.BackendMs},
+		}
+		t := time.Duration(0)
+		for _, ph := range phases {
+			if ph.ms <= 0 {
+				continue
+			}
+			d := time.Duration(ph.ms * float64(time.Millisecond))
+			lane.Emit(ph.name, t, d)
+			t += d
+		}
+	}
 }
 
 func ms(d time.Duration) float64 { return float64(d) / 1e6 }
@@ -143,13 +200,14 @@ var (
 // is deterministic). Concurrent callers for the same subject share one
 // in-flight run (singleflight) instead of duplicating the work.
 func RunSubjectCached(s *corpus.Subject) (*SubjectResult, error) {
-	return runSubjectShared(s, nil)
+	return runSubjectShared(s, nil, nil)
 }
 
-func runSubjectShared(s *corpus.Subject, bc *buildcache.Cache) (*SubjectResult, error) {
+func runSubjectShared(s *corpus.Subject, bc *buildcache.Cache, o *obs.Obs) (*SubjectResult, error) {
 	cacheMu.Lock()
 	if e, ok := cache[s.Name]; ok {
 		cacheMu.Unlock()
+		o.Counter("experiments.singleflight.dedup").Add(1)
 		<-e.done
 		return e.res, e.err
 	}
@@ -157,7 +215,7 @@ func runSubjectShared(s *corpus.Subject, bc *buildcache.Cache) (*SubjectResult, 
 	cache[s.Name] = e
 	cacheMu.Unlock()
 
-	e.res, e.err = RunSubjectWith(s, bc)
+	e.res, e.err = runSubject(s, bc, o)
 	if e.err != nil {
 		// Do not pin failures: a later caller retries. Waiters already
 		// holding e still observe this error.
@@ -190,6 +248,10 @@ type RunConfig struct {
 	// Progress, when set, is called from worker goroutines as each
 	// subject starts; it must be safe for concurrent use.
 	Progress func(s *corpus.Subject)
+	// Obs, when set, records the run: each worker gets its own trace
+	// lane ("worker N"), each subject a span tree, and the registry the
+	// pipeline's counters and histograms. Nil disables recording.
+	Obs *obs.Obs
 }
 
 // RunAll measures every subject sequentially with no build cache — the
@@ -201,9 +263,12 @@ func RunAll() ([]*SubjectResult, error) {
 
 // RunAllWith measures the configured subjects on a bounded worker pool.
 // Results come back in presentation (corpus) order regardless of
-// completion order, duplicate subjects are deduplicated via the
-// singleflight result cache, and the first error stops the fan-out and
-// is returned.
+// completion order, and duplicate subjects are deduplicated via the
+// singleflight result cache. The first error stops the fan-out and is
+// returned — together with the partial results: every subject that
+// completed before the stop keeps its slot, unfinished subjects are nil.
+// Callers that only care about the all-or-nothing contract can keep
+// ignoring the slice when err != nil.
 func RunAllWith(cfg RunConfig) ([]*SubjectResult, error) {
 	subjects := cfg.Subjects
 	if subjects == nil {
@@ -230,6 +295,7 @@ func RunAllWith(cfg RunConfig) ([]*SubjectResult, error) {
 	)
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
+		wo := cfg.Obs.Lane(fmt.Sprintf("worker %d", w+1))
 		go func() {
 			defer wg.Done()
 			for i := range idx {
@@ -237,7 +303,7 @@ func RunAllWith(cfg RunConfig) ([]*SubjectResult, error) {
 				if cfg.Progress != nil {
 					cfg.Progress(s)
 				}
-				r, err := runSubjectShared(s, cfg.Cache)
+				r, err := runSubjectShared(s, cfg.Cache, wo)
 				if err != nil {
 					errOnce.Do(func() {
 						firstErr = err
@@ -262,10 +328,9 @@ func RunAllWith(cfg RunConfig) ([]*SubjectResult, error) {
 		}
 	}()
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
+	// On error the partial results still come back so the caller can
+	// report how far the run got (and flush any trace/metrics recorded).
+	return out, firstErr
 }
 
 // ------------------------------------------------------------- rendering

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDisabledModeZeroAllocs is the regression guard for the nil-handle
+// contract: the exact hook sequence the preprocessor and compile
+// simulator run per file/TU must not allocate when observability is off,
+// so the default (untraced) pipeline pays nothing for its hooks.
+func TestDisabledModeZeroAllocs(t *testing.T) {
+	var o *Obs
+	counter := o.Counter("preprocessor.files")
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := o.Start("preprocess")
+		sp.SetStr("main", "kernel.cpp")
+		counter.Add(1)
+		child := sp.Obs().Start("parse")
+		child.SetInt("tokens", 4096)
+		child.End()
+		o.Observe("phase.preprocess_ms", 70.5)
+		o.ObserveMs("compile.cost_ms", 678*time.Millisecond)
+		sp.SetInt("includes", 12)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled-mode hook sequence allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestMetricsOnlyHandleAllocs documents the metrics-only mode (registry,
+// no tracer): instruments resolve once and the per-event cost is bounded
+// to the span bookkeeping, which never touches a lane.
+func TestMetricsOnlyNoTrace(t *testing.T) {
+	o := New(nil, NewRegistry())
+	sp := o.Start("compile")
+	sp.SetStr("file", "x.cpp") // dropped: no lane
+	sp.End()
+	o.Counter("n").Add(1)
+	if got := o.Counter("n").Value(); got != 1 {
+		t.Errorf("counter = %d, want 1", got)
+	}
+	if o.Metrics() == nil {
+		t.Error("Metrics() = nil for registry-backed handle")
+	}
+}

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock abstracts the tracer's time source so trace and metric output can
+// be made deterministic: production uses RealClock, tests inject a
+// VirtualClock whose readings are a pure function of the call sequence,
+// making exported traces byte-stable.
+type Clock interface {
+	Now() time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return realClock{} }
+
+// VirtualClock is a deterministic clock: every Now() call advances a
+// shared counter by a fixed step from a fixed epoch (the Unix epoch, UTC).
+// It is safe for concurrent use; under concurrency the interleaving of
+// readings is scheduler-dependent, but any single-goroutine call sequence
+// always observes the same times.
+type VirtualClock struct {
+	step time.Duration
+	n    atomic.Int64
+}
+
+// NewVirtualClock returns a virtual clock advancing by step per reading.
+func NewVirtualClock(step time.Duration) *VirtualClock {
+	return &VirtualClock{step: step}
+}
+
+// Now returns the next virtual instant.
+func (c *VirtualClock) Now() time.Time {
+	return time.Unix(0, 0).UTC().Add(time.Duration(c.n.Add(1)-1) * c.step)
+}

@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The nil *Counter is a
+// valid no-op instrument: Add on it does nothing and allocates nothing,
+// which is what makes disabled-mode instrumentation free on hot paths.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. Safe on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count. Safe on a nil receiver.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins metric. The nil *Gauge is a valid no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set records the gauge value. Safe on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value returns the current value. Safe on a nil receiver.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBounds are the shared exponential bucket upper bounds, sized for
+// millisecond-scale virtual time and cost observations.
+var histBounds = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// Histogram records a distribution of float64 observations (typically
+// virtual milliseconds or simulated cost). The nil *Histogram is a valid
+// no-op instrument.
+type Histogram struct {
+	mu      sync.Mutex
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+	buckets []uint64 // len(histBounds)+1; last is the overflow bucket
+}
+
+// Observe records one value. Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	i := sort.SearchFloat64s(histBounds, v)
+	h.buckets[i]++
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in milliseconds. Safe on nil.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / 1e6)
+}
+
+// Registry is a process- or run-scoped set of named instruments, safe for
+// concurrent use. The nil *Registry hands out nil instruments, so a
+// registry pointer can be threaded unconditionally through the pipeline.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating if needed) the named counter. Safe on a nil
+// receiver, in which case it returns the nil no-op instrument.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge. Safe on nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram. Safe on nil.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{buckets: make([]uint64, len(histBounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistSnapshot is one histogram's state at snapshot time. Buckets lists
+// only the non-empty buckets; LE is the bucket's inclusive upper bound
+// and +Inf is rendered as the JSON string "inf".
+type HistSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     float64      `json:"sum"`
+	Min     float64      `json:"min"`
+	Max     float64      `json:"max"`
+	Buckets []BucketSnap `json:"buckets,omitempty"`
+}
+
+// BucketSnap is one non-empty histogram bucket.
+type BucketSnap struct {
+	LE string `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+// encoding/json sorts map keys, so marshaling a snapshot is
+// deterministic given deterministic instrument values.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current state. Safe on a nil receiver
+// (returns an empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: map[string]uint64{}, Gauges: map[string]int64{}, Histograms: map[string]HistSnapshot{}}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		h.mu.Lock()
+		hs := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		for i, n := range h.buckets {
+			if n == 0 {
+				continue
+			}
+			le := "inf"
+			if i < len(histBounds) {
+				le = trimFloat(histBounds[i])
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnap{LE: le, N: n})
+		}
+		h.mu.Unlock()
+		s.Histograms[k] = hs
+	}
+	return s
+}
+
+// JSON renders the snapshot as indented, key-sorted JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// String renders the snapshot as sorted "name = value" lines for -v
+// style diagnostics.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-40s %d\n", k, s.Counters[k])
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-40s %d\n", k, s.Gauges[k])
+	}
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		fmt.Fprintf(&b, "%-40s n=%d sum=%s min=%s max=%s\n",
+			k, h.Count, trimFloat(h.Sum), trimFloat(h.Min), trimFloat(h.Max))
+	}
+	return b.String()
+}
+
+// trimFloat formats a float compactly without trailing zeros.
+func trimFloat(f float64) string {
+	out := fmt.Sprintf("%.3f", f)
+	out = strings.TrimRight(out, "0")
+	return strings.TrimRight(out, ".")
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSnapshotGolden pins the snapshot encodings (JSON and the -v text
+// form) for a deterministic registry.
+func TestSnapshotGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("buildcache.tu.hits").Add(12)
+	r.Counter("buildcache.tu.misses").Add(3)
+	r.Gauge("workers").Set(4)
+	h := r.Histogram("compile.cost_ms")
+	h.Observe(0.05)
+	h.Observe(42)
+	h.Observe(678.4)
+	h.ObserveDuration(1500 * time.Millisecond)
+
+	snap := r.Snapshot()
+	blob, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.json.golden", append(blob, '\n'))
+	checkGolden(t, "metrics.txt.golden", []byte(snap.String()))
+}
+
+// TestRegistryConcurrency hammers one registry from 8 goroutines —
+// creating, incrementing, observing, and snapshotting concurrently — and
+// checks the totals. Run under -race this is the registry's data-race
+// proof.
+func TestRegistryConcurrency(t *testing.T) {
+	const goroutines, iters = 8, 2000
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("shared").Add(1)
+				r.Counter("per-goroutine").Add(uint64(g))
+				r.Gauge("last").Set(int64(i))
+				r.Histogram("h").Observe(float64(i % 100))
+				if i%500 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	snap := r.Snapshot()
+	if got, want := snap.Counters["shared"], uint64(goroutines*iters); got != want {
+		t.Errorf("shared counter = %d, want %d", got, want)
+	}
+	if got, want := snap.Histograms["h"].Count, uint64(goroutines*iters); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	var bucketSum uint64
+	for _, b := range snap.Histograms["h"].Buckets {
+		bucketSum += b.N
+	}
+	if got, want := bucketSum, uint64(goroutines*iters); got != want {
+		t.Errorf("bucket sum = %d, want %d", got, want)
+	}
+}
+
+// TestNilInstruments checks the disabled-mode no-ops.
+func TestNilInstruments(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(5)
+	r.Gauge("g").Set(3)
+	r.Histogram("h").Observe(1)
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Errorf("nil counter value = %d", got)
+	}
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Errorf("nil gauge value = %d", got)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+// TestVirtualClock checks the deterministic tick sequence.
+func TestVirtualClock(t *testing.T) {
+	c := NewVirtualClock(time.Millisecond)
+	t0 := c.Now()
+	t1 := c.Now()
+	if got := t1.Sub(t0); got != time.Millisecond {
+		t.Errorf("tick = %v, want 1ms", got)
+	}
+	if !t0.Equal(time.Unix(0, 0).UTC()) {
+		t.Errorf("epoch = %v, want unix 0", t0)
+	}
+}

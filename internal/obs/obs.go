@@ -1,0 +1,207 @@
+// Package obs is the repository's zero-dependency observability layer:
+// hierarchical wall-clock spans exported as Chrome trace_event JSON
+// (chrome://tracing / Perfetto), a registry of named metric instruments
+// (counters, gauges, time/cost histograms), and an injectable clock so
+// every output can be made deterministic in tests.
+//
+// The unit threaded through the pipeline is *Obs: a handle bundling a
+// tracer lane, a parent span, and a metrics registry. The nil *Obs is
+// the disabled mode — every method on it (and on the nil *Span and nil
+// instruments it hands out) is a no-op that performs zero allocations,
+// so hot paths like the preprocessor carry their hooks unconditionally.
+//
+// Spans are recorded lock-free: each lane is owned by one goroutine
+// (worker pools derive one lane per worker via Lane), and completed
+// spans append to the owning lane without synchronization. Export
+// happens after the pool drains.
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Obs is the observability handle threaded through the pipeline: where
+// new spans attach (lane + parent), and where metrics register. The nil
+// *Obs disables everything at zero cost.
+type Obs struct {
+	tracer *Tracer
+	reg    *Registry
+	lane   *Lane
+	parent int64
+}
+
+// New returns a root handle over the given tracer and/or registry.
+// Either may be nil; if both are nil the handle itself is nil (fully
+// disabled). With a tracer, the root records into a lane named "main".
+func New(t *Tracer, r *Registry) *Obs {
+	if t == nil && r == nil {
+		return nil
+	}
+	o := &Obs{tracer: t, reg: r}
+	if t != nil {
+		o.lane = t.newLane(PidWall, "main")
+	}
+	return o
+}
+
+// Lane derives a handle recording into a fresh wall-clock lane (one per
+// worker goroutine). Parentage resets: spans on the new lane are roots.
+// Safe on a nil receiver; without a tracer it returns the handle itself.
+func (o *Obs) Lane(name string) *Obs {
+	if o == nil || o.tracer == nil {
+		return o
+	}
+	return &Obs{tracer: o.tracer, reg: o.reg, lane: o.tracer.newLane(PidWall, name)}
+}
+
+// VirtualLane returns a fresh virtual-cost lane for explicit-timestamp
+// Emit calls, or nil without a tracer. Safe on a nil receiver.
+func (o *Obs) VirtualLane(name string) *Lane {
+	if o == nil || o.tracer == nil {
+		return nil
+	}
+	return o.tracer.newLane(PidVirtual, name)
+}
+
+// Metrics exposes the handle's registry (nil when disabled).
+func (o *Obs) Metrics() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Counter resolves a named counter, the nil no-op instrument when
+// disabled. Resolve once per run and Add on the hot path.
+func (o *Obs) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Counter(name)
+}
+
+// Gauge resolves a named gauge (nil no-op when disabled).
+func (o *Obs) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Gauge(name)
+}
+
+// Observe records one value into the named histogram. Safe on nil.
+func (o *Obs) Observe(name string, v float64) {
+	if o == nil {
+		return
+	}
+	o.reg.Histogram(name).Observe(v)
+}
+
+// ObserveMs records a duration, in milliseconds, into the named
+// histogram. Safe on nil.
+func (o *Obs) ObserveMs(name string, d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.reg.Histogram(name).ObserveDuration(d)
+}
+
+// Span is one in-progress span. The nil *Span is a no-op. A span is
+// recorded onto its lane when End is called; all methods must be called
+// from the lane's owning goroutine.
+type Span struct {
+	o      *Obs // child handle, parented at this span
+	lane   *Lane
+	id     int64
+	parent int64
+	name   string
+	start  time.Time
+	attrs  []Attr
+}
+
+// Start opens a span named name under the handle's current parent. Safe
+// on a nil receiver (returns the nil no-op span). Pass only constant
+// names from hot paths; attach dynamic data via SetStr/SetInt, which are
+// free when the span is nil.
+func (o *Obs) Start(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	sp := &Span{name: name, parent: o.parent}
+	if o.tracer != nil && o.lane != nil {
+		sp.lane = o.lane
+		sp.id = o.tracer.ids.Add(1)
+		sp.start = o.tracer.clock.Now()
+	}
+	childParent := sp.id
+	if sp.id == 0 {
+		// Metrics-only handle: no span identity; callees keep the
+		// inherited parent so a later tracer sees a consistent chain.
+		childParent = o.parent
+	}
+	sp.o = &Obs{tracer: o.tracer, reg: o.reg, lane: o.lane, parent: childParent}
+	return sp
+}
+
+// Obs returns the handle for work nested under this span, so callees'
+// spans become children. Safe on a nil receiver (returns nil).
+func (sp *Span) Obs() *Obs {
+	if sp == nil {
+		return nil
+	}
+	return sp.o
+}
+
+// SetStr attaches a string attribute. Safe on a nil receiver.
+func (sp *Span) SetStr(key, val string) {
+	if sp == nil || sp.lane == nil {
+		return
+	}
+	sp.attrs = append(sp.attrs, Attr{Key: key, Str: val, IsStr: true})
+}
+
+// SetInt attaches an integer attribute. Safe on a nil receiver.
+func (sp *Span) SetInt(key string, val int64) {
+	if sp == nil || sp.lane == nil {
+		return
+	}
+	sp.attrs = append(sp.attrs, Attr{Key: key, Int: val})
+}
+
+// End closes the span and records it onto its lane. Safe on a nil
+// receiver.
+func (sp *Span) End() {
+	if sp == nil || sp.lane == nil {
+		return
+	}
+	t := sp.lane.t
+	now := t.clock.Now()
+	sp.lane.events = append(sp.lane.events, event{
+		id:     sp.id,
+		parent: sp.parent,
+		name:   sp.name,
+		ts:     sp.start.Sub(t.epoch),
+		dur:    now.Sub(sp.start),
+		attrs:  sp.attrs,
+	})
+}
+
+type ctxKey struct{}
+
+// IntoContext carries the handle in a context; the harness layer passes
+// contexts, lower layers receive the extracted *Obs in their options.
+func IntoContext(ctx context.Context, o *Obs) context.Context {
+	if o == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, o)
+}
+
+// FromContext extracts the handle carried by IntoContext, or nil.
+func FromContext(ctx context.Context) *Obs {
+	if ctx == nil {
+		return nil
+	}
+	o, _ := ctx.Value(ctxKey{}).(*Obs)
+	return o
+}

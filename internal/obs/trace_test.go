@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// chromeTrace mirrors the exported JSON shape for validation.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Ph   string         `json:"ph"`
+		Name string         `json:"name"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (rerun with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s\n got:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestExportGoldenSequential drives a single-goroutine span tree under a
+// virtual clock and pins the exported trace byte for byte: at -j 1 the
+// span-ID order equals start order, so the output is fully deterministic.
+func TestExportGoldenSequential(t *testing.T) {
+	tr := NewTracer(NewVirtualClock(time.Millisecond))
+	o := New(tr, NewRegistry())
+
+	root := o.Start("subject")
+	root.SetStr("name", "02")
+	mode := root.Obs().Start("mode")
+	mode.SetStr("mode", "Default")
+	compile := mode.Obs().Start("compile")
+	compile.SetInt("tokens", 1234)
+	compile.End()
+	mode.End()
+	root.End()
+
+	w := o.Lane("worker 1")
+	ws := w.Start("prepare")
+	ws.End()
+
+	vl := o.VirtualLane("02/Default")
+	vl.Emit("Preprocess", 0, 70*time.Millisecond)
+	vl.Emit("LexParse", 70*time.Millisecond, 298*time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	checkGolden(t, "trace_j1.golden", buf.Bytes())
+}
+
+// TestExportParallel hammers one tracer from concurrent worker lanes and
+// checks the structural invariants that survive nondeterministic
+// interleaving: the export parses, every span lands on its worker's lane,
+// and each lane's timeline is monotone (IDs sort by start order).
+func TestExportParallel(t *testing.T) {
+	const workers, spansPer = 4, 25
+	tr := NewTracer(NewVirtualClock(time.Microsecond))
+	o := New(tr, nil)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		lane := o.Lane("worker")
+		go func() {
+			defer wg.Done()
+			for i := 0; i < spansPer; i++ {
+				sp := lane.Start("unit")
+				child := sp.Obs().Start("phase")
+				child.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+
+	spans := 0
+	lastTS := map[int]float64{}
+	threadNames := 0
+	for _, ev := range parsed.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				threadNames++
+			}
+		case "X":
+			spans++
+			if ev.Pid != PidWall {
+				t.Errorf("span %q on pid %d, want %d", ev.Name, ev.Pid, PidWall)
+			}
+			if ev.TS < lastTS[ev.Tid] {
+				t.Errorf("tid %d not monotone: ts %v after %v", ev.Tid, ev.TS, lastTS[ev.Tid])
+			}
+			lastTS[ev.Tid] = ev.TS
+		}
+	}
+	if want := workers * spansPer * 2; spans != want {
+		t.Errorf("got %d spans, want %d", spans, want)
+	}
+	if want := workers + 1; threadNames != want { // +1 for the root "main" lane
+		t.Errorf("got %d thread_name records, want %d", threadNames, want)
+	}
+}
+
+// TestSpanParentage checks that child spans carry their parent's ID in
+// args and that nil handles produce no events.
+func TestSpanParentage(t *testing.T) {
+	tr := NewTracer(NewVirtualClock(time.Millisecond))
+	o := New(tr, nil)
+	parent := o.Start("parent")
+	child := parent.Obs().Start("child")
+	child.End()
+	parent.End()
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	var childParent, got float64 = 1, -1
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "child" {
+			got = ev.Args["parent"].(float64)
+		}
+	}
+	if got != childParent {
+		t.Errorf("child's parent arg = %v, want %v", got, childParent)
+	}
+
+	// Nil-handle path: no tracer, no events, no panics.
+	var nilObs *Obs
+	sp := nilObs.Start("x")
+	sp.SetStr("k", "v")
+	sp.SetInt("n", 1)
+	sp.Obs().Start("y").End()
+	sp.End()
+	nilObs.Lane("w").Start("z").End()
+	nilObs.VirtualLane("v").Emit("e", 0, time.Second)
+}

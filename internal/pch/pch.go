@@ -19,6 +19,7 @@ import (
 	"repro/internal/cpp/parser"
 	"repro/internal/cpp/preprocessor"
 	"repro/internal/cpp/token"
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -50,8 +51,20 @@ func Build(fs *vfs.FS, header string, searchPaths []string, defines map[string]s
 // run per process instead of one per use. The produced PCH is
 // byte-identical with or without the cache.
 func BuildWithCache(fs *vfs.FS, header string, searchPaths []string, defines map[string]string, cache *buildcache.Cache) (*PCH, error) {
+	return BuildObserved(fs, header, searchPaths, defines, cache, nil)
+}
+
+// BuildObserved is BuildWithCache with an observability handle: it wraps
+// the build in a "pch.build" span (with preprocess/parse child spans on
+// cache misses) and records blob-size metrics. A nil handle disables all
+// recording at zero cost.
+func BuildObserved(fs *vfs.FS, header string, searchPaths []string, defines map[string]string, cache *buildcache.Cache, o *obs.Obs) (*PCH, error) {
+	sp := o.Start("pch.build")
+	sp.SetStr("header", header)
+	defer sp.End()
 	build := func() (*buildcache.TU, []buildcache.Dep, error) {
 		pp := preprocessor.New(fs, searchPaths...)
+		pp.Obs = sp.Obs()
 		if cache != nil {
 			pp.Cache = cache
 		}
@@ -62,7 +75,9 @@ func BuildWithCache(fs *vfs.FS, header string, searchPaths []string, defines map
 		if err != nil {
 			return nil, nil, fmt.Errorf("pch: %v", err)
 		}
-		tu, err := parser.New(res.Tokens).Parse()
+		pr := parser.New(res.Tokens)
+		pr.Obs = sp.Obs()
+		tu, err := pr.Parse()
 		if err != nil {
 			return nil, nil, fmt.Errorf("pch: parse: %v", err)
 		}
@@ -91,6 +106,10 @@ func BuildWithCache(fs *vfs.FS, header string, searchPaths []string, defines map
 		p.Files[inc] = true
 	}
 	p.Blob = Serialize(res.Tokens)
+	o.Counter("pch.builds").Add(1)
+	o.Observe("pch.blob_bytes", float64(len(p.Blob)))
+	sp.SetInt("blob_bytes", int64(len(p.Blob)))
+	sp.SetInt("files", int64(len(p.Files)))
 	return p, nil
 }
 

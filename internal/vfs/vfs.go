@@ -12,6 +12,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // FS is a thread-safe in-memory filesystem keyed by slash-separated paths.
@@ -22,6 +24,10 @@ type FS struct {
 	// hashes lazily memoizes per-file content hashes for the build cache;
 	// entries are invalidated on Write/Remove and copied by Clone.
 	hashes map[string]string
+	// reads, when set via SetReadCounter, counts Read calls. Clones share
+	// the counter, so one instrument aggregates a whole subject tree's
+	// traffic. The nil counter (the default) costs one branch per Read.
+	reads *obs.Counter
 }
 
 // New returns an empty filesystem.
@@ -43,10 +49,19 @@ func (fs *FS) Write(p, contents string) {
 	delete(fs.hashes, p)
 }
 
+// SetReadCounter attaches a read-traffic instrument (typically
+// obs.Registry's "vfs.reads"). Pass nil to detach.
+func (fs *FS) SetReadCounter(c *obs.Counter) {
+	fs.mu.Lock()
+	fs.reads = c
+	fs.mu.Unlock()
+}
+
 // Read returns the contents of p.
 func (fs *FS) Read(p string) (string, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
+	fs.reads.Add(1)
 	c, ok := fs.files[Clean(p)]
 	if !ok {
 		return "", fmt.Errorf("vfs: open %s: file does not exist", p)
@@ -140,6 +155,7 @@ func (fs *FS) Clone() *FS {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	out := New()
+	out.reads = fs.reads
 	for p, c := range fs.files {
 		out.files[p] = c
 	}
