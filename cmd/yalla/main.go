@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/obs"
 	"repro/internal/vfs"
 )
@@ -43,14 +44,20 @@ func main() {
 		traceFile = flag.String("trace", "", "write a Chrome trace_event JSON of the tool run to this file")
 	)
 	var preDeclare multiFlag
+	subjectName := flag.String("subject", "", "run on a named corpus subject instead of disk sources (see -subject help)")
 	flag.Var(&includes, "I", "include search directory (repeatable)")
 	flag.Var(&defines, "D", "predefined macro NAME[=VALUE] (repeatable)")
 	flag.Var(&headers, "header", "header to substitute, as spelled in the #include (repeatable; at least one required)")
 	flag.Var(&preDeclare, "predeclare", "qualified symbol to pre-declare even if unused, e.g. Kokkos::fence (repeatable; avoids reruns when usage grows)")
 	flag.Parse()
 
+	if *subjectName != "" {
+		runSubject(*subjectName, *verbose)
+		return
+	}
 	if len(headers) == 0 || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: yalla -header <name.hpp> [-header more.hpp]... [-I dir]... [-D NAME[=V]]... [-o outdir] sources...")
+		fmt.Fprintln(os.Stderr, "       yalla -subject <name> [-v]    (run on a built-in corpus subject)")
 		os.Exit(2)
 	}
 	header := &headers[0]
@@ -140,6 +147,50 @@ func main() {
 		for _, d := range r.Diagnostics {
 			fmt.Printf("  note: %s\n", d)
 		}
+	}
+}
+
+// runSubject applies Header Substitution to a named corpus subject
+// in-memory — the one-shot equivalent of a yallad session, convenient
+// for byte-for-byte comparison against the daemon's output. An unknown
+// name is a usage error: exit code 2 with a hint listing valid names.
+func runSubject(name string, verbose bool) {
+	subj := corpus.ByName(name)
+	if subj == nil {
+		fmt.Fprintf(os.Stderr, "yalla: unknown subject %q\n", name)
+		fmt.Fprintln(os.Stderr, "hint: valid subjects are:")
+		for _, s := range corpus.All() {
+			fmt.Fprintf(os.Stderr, "  %-24s (%s)\n", s.Name, s.Library)
+		}
+		os.Exit(2)
+	}
+	fs := subj.FS.Clone()
+	res, err := core.Substitute(core.Options{
+		FS:          fs,
+		SearchPaths: subj.SearchPaths,
+		Sources:     subj.Sources,
+		Header:      subj.Header,
+		OutDir:      subj.OutDir(),
+	})
+	if err != nil {
+		fail("yalla: %v", err)
+	}
+	paths := []string{res.LightweightPath, res.WrappersPath}
+	paths = append(paths, sortedValues(res.ModifiedSources)...)
+	for _, p := range paths {
+		content, err := fs.Read(p)
+		if err != nil {
+			fail("yalla: %v", err)
+		}
+		fmt.Printf("generated %s (%d bytes)\n", p, len(content))
+	}
+	if verbose {
+		r := res.Report
+		fmt.Printf("substituted %s for subject %s\n", res.HeaderFile, subj.Name)
+		fmt.Printf("  forward-declared classes: %d\n", r.ForwardDeclaredClasses)
+		fmt.Printf("  function wrappers:        %d\n", r.FunctionWrappers)
+		fmt.Printf("  method wrappers:          %d\n", r.MethodWrappers)
+		fmt.Printf("  call sites rewritten:     %d\n", r.CallSitesRewritten)
 	}
 }
 

@@ -1,0 +1,121 @@
+// Command yallad runs the Header Substitution daemon: a long-lived HTTP
+// server holding named sessions (subject + mode + a copy-on-write file
+// overlay) that serves edit, compile-cycle, and substitution requests
+// incrementally over a shared build cache. Repeated iterations of the
+// edit–compile–run cycle skip process startup and re-analysis — only
+// work whose content hashes changed is redone.
+//
+// Usage:
+//
+//	yallad [-addr 127.0.0.1:7777] [-workers N] [-max-cached-tus N]
+//
+// The daemon serves the JSON API documented on daemon.Handler, plus
+// GET /metrics (RED metrics and pipeline counters) and GET /trace
+// (Chrome trace of completed requests). SIGINT/SIGTERM drain
+// gracefully: in-flight requests finish before the process exits.
+//
+// Load-generator mode benchmarks the daemon against the cold one-shot
+// path and writes a JSON report:
+//
+//	yallad -loadgen [-clients 8] [-iters 20] [-subjects a,b,...]
+//	       [-cold 3] [-out results/bench_daemon.json]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7777", "listen address")
+		workers = flag.Int("workers", 4, "concurrent compute requests")
+		maxTUs  = flag.Int("max-cached-tus", 4096, "LRU cap on cached translation units (0 = unbounded)")
+		reqTO   = flag.Duration("request-timeout", 60*time.Second, "per-request deadline")
+		drainTO = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound")
+
+		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		clients  = flag.Int("clients", 8, "loadgen: concurrent clients")
+		iters    = flag.Int("iters", 20, "loadgen: edit+rebuild iterations per client")
+		subjects = flag.String("subjects", "", "loadgen: comma-separated subject names (default: one per library)")
+		mode     = flag.String("mode", "yalla", "loadgen: build mode for every session")
+		cold     = flag.Int("cold", 3, "loadgen: cold one-shot baseline iterations")
+		out      = flag.String("out", "results/bench_daemon.json", "loadgen: report path")
+	)
+	flag.Parse()
+
+	if *loadgen {
+		runLoadgen(*clients, *iters, *subjects, *mode, *cold, *workers, *out)
+		return
+	}
+
+	srv := daemon.New(daemon.Config{
+		Addr:           *addr,
+		Workers:        *workers,
+		MaxCachedTUs:   *maxTUs,
+		RequestTimeout: *reqTO,
+		DrainTimeout:   *drainTO,
+		Tracer:         obs.NewTracer(nil),
+		Registry:       obs.NewRegistry(),
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "yallad listening on %s (%d workers)\n", *addr, *workers)
+	if err := srv.Run(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail("%v", err)
+	}
+	fmt.Fprintln(os.Stderr, "yallad drained and stopped")
+}
+
+func runLoadgen(clients, iters int, subjects, mode string, cold, workers int, out string) {
+	cfg := daemon.LoadgenConfig{
+		Clients:   clients,
+		Iters:     iters,
+		Mode:      mode,
+		ColdIters: cold,
+		Workers:   workers,
+		Progress: func(client int) {
+			fmt.Fprintf(os.Stderr, "client %d done\n", client)
+		},
+	}
+	if subjects != "" {
+		cfg.Subjects = strings.Split(subjects, ",")
+	}
+	rep, err := daemon.Loadgen(cfg)
+	if err != nil {
+		fail("loadgen: %v", err)
+	}
+	blob, err := rep.JSON()
+	if err != nil {
+		fail("loadgen: %v", err)
+	}
+	if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+		fail("loadgen: %v", err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		fail("loadgen: %v", err)
+	}
+	fmt.Printf("%d clients x %d iters on %s\n", rep.Clients, rep.Iters, strings.Join(rep.Subjects, ", "))
+	fmt.Printf("  warm daemon iteration: mean %.2fms  p95 %.2fms\n",
+		float64(rep.WarmIter.MeanNs)/1e6, float64(rep.WarmIter.P95Ns)/1e6)
+	fmt.Printf("  cold one-shot run:     mean %.2fms\n", float64(rep.ColdCLI.MeanNs)/1e6)
+	fmt.Printf("  warm speedup: %.1fx   identical outputs: %v\n", rep.WarmSpeedup, rep.Identical)
+	fmt.Printf("report written to %s\n", out)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "yallad: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -24,6 +24,7 @@
 package buildcache
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -95,8 +96,12 @@ type lexEntry struct {
 }
 
 type tuEntry struct {
+	key  string
 	deps []Dep
 	val  *TU
+	// elem is the entry's node in the cache's LRU list (front = most
+	// recently used); nil once evicted.
+	elem *list.Element
 }
 
 type flight struct {
@@ -124,6 +129,7 @@ type Cache struct {
 	mu        sync.Mutex
 	lex       map[string]*lexEntry
 	tus       map[string][]*tuEntry
+	tuLRU     *list.List // of *tuEntry; front = most recently used
 	tuFlights map[string]*flight
 	stats     Stats
 	ins       instruments
@@ -132,6 +138,12 @@ type Cache struct {
 	// set them before first use.
 	MaxTokenEntries int
 	MaxTUVariants   int
+	// MaxTUEntries, when > 0, caps the total number of cached translation
+	// units across all configuration keys with least-recently-used
+	// eviction (hits refresh recency). The default 0 keeps the historical
+	// unbounded behavior — fine for one-shot harness runs, a real leak
+	// for a long-lived daemon, which sets this. Set before first use.
+	MaxTUEntries int
 }
 
 // New returns an empty cache with default eviction bounds.
@@ -139,6 +151,7 @@ func New() *Cache {
 	return &Cache{
 		lex:             map[string]*lexEntry{},
 		tus:             map[string][]*tuEntry{},
+		tuLRU:           list.New(),
 		tuFlights:       map[string]*flight{},
 		MaxTokenEntries: DefaultMaxTokenEntries,
 		MaxTUVariants:   DefaultMaxTUVariants,
@@ -296,6 +309,11 @@ func (c *Cache) TranslationUnit(key string, valid func(Dep) bool, build func() (
 				if e.val.Result != nil {
 					c.stats.TokensSaved += uint64(len(e.val.Result.Tokens))
 				}
+				if e.elem != nil {
+					// Refresh recency; a no-op if the entry was evicted
+					// between the snapshot above and taking the lock.
+					c.tuLRU.MoveToFront(e.elem)
+				}
 				ins := c.ins
 				c.mu.Unlock()
 				ins.tuHits.Add(1)
@@ -330,21 +348,47 @@ func (c *Cache) TranslationUnit(key string, valid func(Dep) bool, build func() (
 		if err == nil {
 			c.stats.TUMisses++
 			c.ins.tuMisses.Add(1)
-			c.tus[key] = append(c.tus[key], &tuEntry{deps: deps, val: val})
+			e := &tuEntry{key: key, deps: deps, val: val}
+			e.elem = c.tuLRU.PushFront(e)
+			c.tus[key] = append(c.tus[key], e)
 			maxVar := c.MaxTUVariants
 			if maxVar <= 0 {
 				maxVar = DefaultMaxTUVariants
 			}
-			if n := len(c.tus[key]); n > maxVar {
-				c.tus[key] = append([]*tuEntry(nil), c.tus[key][n-maxVar:]...)
-				c.stats.Evictions += uint64(n - maxVar)
-				c.ins.evictions.Add(uint64(n - maxVar))
+			// Per-key variant bound (oldest variant first), then the
+			// optional global LRU bound.
+			for len(c.tus[key]) > maxVar {
+				c.evictTULocked(c.tus[key][0])
+			}
+			for c.MaxTUEntries > 0 && c.tuLRU.Len() > c.MaxTUEntries {
+				c.evictTULocked(c.tuLRU.Back().Value.(*tuEntry))
 			}
 		}
 		c.mu.Unlock()
 		close(mine.done)
 		return val, false, err
 	}
+}
+
+// evictTULocked removes one TU entry from the LRU list and its key's
+// variant slice, counting the eviction. Caller holds c.mu.
+func (c *Cache) evictTULocked(e *tuEntry) {
+	if e.elem != nil {
+		c.tuLRU.Remove(e.elem)
+		e.elem = nil
+	}
+	s := c.tus[e.key]
+	for i, x := range s {
+		if x == e {
+			c.tus[e.key] = append(s[:i], s[i+1:]...)
+			break
+		}
+	}
+	if len(c.tus[e.key]) == 0 {
+		delete(c.tus, e.key)
+	}
+	c.stats.Evictions++
+	c.ins.evictions.Add(1)
 }
 
 func depsValid(deps []Dep, valid func(Dep) bool) bool {

@@ -2,6 +2,7 @@ package buildcache
 
 import (
 	"errors"
+	"fmt"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/cpp/lexer"
 	"repro/internal/cpp/token"
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -279,5 +281,97 @@ func TestFileKeyAndConfigKey(t *testing.T) {
 	// The separator must prevent boundary ambiguity.
 	if ConfigKey("ab", "c") == ConfigKey("a", "bc") {
 		t.Fatal("ConfigKey parts must be delimited")
+	}
+}
+
+func TestTranslationUnitGlobalLRUEviction(t *testing.T) {
+	c := New()
+	c.MaxTUEntries = 2
+	always := func(Dep) bool { return true }
+	add := func(name string) {
+		t.Helper()
+		built := false
+		_, cached, err := c.TranslationUnit(ConfigKey(name), always, func() (*TU, []Dep, error) {
+			built = true
+			return &TU{Aux: name}, []Dep{{Path: name, Hash: "h"}}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !built || cached {
+			t.Fatalf("%s: expected a fresh build", name)
+		}
+	}
+	hit := func(name string) bool {
+		t.Helper()
+		val, cached, err := c.TranslationUnit(ConfigKey(name), always, func() (*TU, []Dep, error) {
+			return &TU{Aux: name}, []Dep{{Path: name, Hash: "h"}}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached && val.Aux != name {
+			t.Fatalf("%s: wrong entry served", name)
+		}
+		return cached
+	}
+
+	add("a")
+	add("b")
+	if !hit("a") { // refresh a's recency: LRU order is now b, a
+		t.Fatal("a should be cached")
+	}
+	add("c") // cap 2: evicts b, the least recently used
+	if !hit("a") {
+		t.Fatal("recently-used a was evicted")
+	}
+	if !hit("c") {
+		t.Fatal("newest entry c was evicted")
+	}
+	if hit("b") {
+		t.Fatal("LRU entry b survived past the cap")
+	}
+	if ev := c.Stats().Evictions; ev < 2 {
+		t.Fatalf("Evictions = %d, want >= 2 (b evicted, then an entry for b's rebuild)", ev)
+	}
+}
+
+func TestTranslationUnitLRUEvictionCounterInRegistry(t *testing.T) {
+	c := New()
+	c.MaxTUEntries = 1
+	reg := obs.NewRegistry()
+	c.AttachMetrics(obs.New(nil, reg))
+	always := func(Dep) bool { return true }
+	for _, name := range []string{"a", "b", "c"} {
+		if _, _, err := c.TranslationUnit(ConfigKey(name), always, func() (*TU, []Dep, error) {
+			return &TU{}, nil, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := c.Stats().Evictions
+	if want == 0 {
+		t.Fatal("no evictions happened")
+	}
+	if got := reg.Counter("buildcache.evictions").Value(); got != want {
+		t.Fatalf("registry evictions = %d, Stats().Evictions = %d", got, want)
+	}
+}
+
+func TestTranslationUnitLRUDisabledByDefault(t *testing.T) {
+	c := New()
+	always := func(Dep) bool { return true }
+	for i := 0; i < 50; i++ {
+		if _, _, err := c.TranslationUnit(ConfigKey(fmt.Sprintf("k%d", i)), always, func() (*TU, []Dep, error) {
+			return &TU{}, nil, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ev := c.Stats().Evictions; ev != 0 {
+		t.Fatalf("evictions with no cap set: %d", ev)
+	}
+	if n := c.tuLRU.Len(); n != 50 {
+		t.Fatalf("LRU tracks %d entries, want 50", n)
 	}
 }

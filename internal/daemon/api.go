@@ -1,0 +1,373 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// maxBodyBytes bounds request bodies (edits carry whole files).
+const maxBodyBytes = 8 << 20
+
+// Handler returns the daemon's HTTP API:
+//
+//	GET    /healthz                      liveness + uptime
+//	GET    /metrics                      metrics snapshot (?format=text)
+//	GET    /trace                        Chrome trace of completed requests
+//	POST   /v1/sessions                  create session {name,subject,mode}
+//	GET    /v1/sessions                  list sessions
+//	GET    /v1/sessions/{name}           session info
+//	DELETE /v1/sessions/{name}           close session
+//	POST   /v1/sessions/{name}/files     apply an edit {path,content}
+//	GET    /v1/sessions/{name}/files?path=P   read a file from the tree
+//	POST   /v1/sessions/{name}/cycle     one compile-link-run iteration
+//	POST   /v1/sessions/{name}/substitute?include_content=1
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /trace", s.handleTrace)
+	mux.HandleFunc("POST /v1/sessions", s.instrument("session.create", s.handleSessionCreate))
+	mux.HandleFunc("GET /v1/sessions", s.instrument("session.list", s.handleSessionList))
+	mux.HandleFunc("GET /v1/sessions/{name}", s.instrument("session.get", s.handleSessionGet))
+	mux.HandleFunc("DELETE /v1/sessions/{name}", s.instrument("session.close", s.handleSessionClose))
+	mux.HandleFunc("POST /v1/sessions/{name}/files", s.instrument("edit", s.pooled(s.handleEdit)))
+	mux.HandleFunc("GET /v1/sessions/{name}/files", s.instrument("file.read", s.handleFileRead))
+	mux.HandleFunc("POST /v1/sessions/{name}/cycle", s.instrument("cycle", s.pooled(s.handleCycle)))
+	mux.HandleFunc("POST /v1/sessions/{name}/substitute", s.instrument("substitute", s.pooled(s.handleSubstitute)))
+	return mux
+}
+
+// apiError is the JSON error envelope; Hint carries usage guidance.
+type apiError struct {
+	Error string `json:"error"`
+	Hint  string `json:"hint,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handlerFunc is an instrumented handler: it receives the per-request
+// obs handle and returns the response status for the metrics layer.
+type handlerFunc func(w http.ResponseWriter, r *http.Request, o *obs.Obs) int
+
+// instrument wraps a handler with the daemon's RED metrics and a
+// per-request trace span on a dedicated sealed lane: requests counted
+// per route, latency histograms per route, errors counted, in-flight
+// gauged.
+func (s *Server) instrument(route string, h handlerFunc) http.HandlerFunc {
+	requests := s.o.Counter("daemon.requests")
+	perRoute := s.o.Counter("daemon.requests." + route)
+	errCount := s.o.Counter("daemon.errors")
+	gauge := s.o.Gauge("daemon.inflight")
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := s.reqIDs.Add(1)
+		requests.Add(1)
+		perRoute.Add(1)
+		gauge.Set(s.inflight.Add(1))
+		start := time.Now()
+
+		ro := s.o.Lane(fmt.Sprintf("req %d", id))
+		sp := ro.Start("request")
+		sp.SetStr("route", route)
+		sp.SetStr("method", r.Method)
+		if name := r.PathValue("name"); name != "" {
+			sp.SetStr("session", name)
+		}
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		status := h(w, r.WithContext(ctx), sp.Obs())
+		cancel()
+
+		sp.SetInt("status", int64(status))
+		sp.End()
+		ro.SealLane()
+		gauge.Set(s.inflight.Add(-1))
+		d := time.Since(start)
+		s.o.ObserveMs("daemon.request_ms", d)
+		s.o.ObserveMs("daemon.request_ms."+route, d)
+		if status >= 400 {
+			errCount.Add(1)
+		}
+	}
+}
+
+// pooled routes a handler through the bounded worker pool: the request
+// holds one slot for its whole execution or is rejected with 503 after
+// the queue timeout.
+func (s *Server) pooled(h handlerFunc) handlerFunc {
+	return func(w http.ResponseWriter, r *http.Request, o *obs.Obs) int {
+		if err := s.acquireSlot(r.Context()); err != nil {
+			if errors.Is(err, errQueueTimeout) {
+				s.o.Counter("daemon.rejected").Add(1)
+				writeError(w, http.StatusServiceUnavailable, "%v", err)
+				return http.StatusServiceUnavailable
+			}
+			writeError(w, http.StatusGatewayTimeout, "%v", err)
+			return http.StatusGatewayTimeout
+		}
+		defer s.releaseSlot()
+		return h(w, r, o)
+	}
+}
+
+// session resolves the {name} path segment, writing the error response
+// itself when absent.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) *Session {
+	name := r.PathValue("name")
+	sess := s.Session(name)
+	if sess == nil {
+		writeJSON(w, http.StatusNotFound, apiError{
+			Error: fmt.Sprintf("no such session %q", name),
+			Hint:  "create it first: POST /v1/sessions {\"name\":..., \"subject\":..., \"mode\":...}",
+		})
+	}
+	return sess
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return false
+	}
+	if len(body) == 0 {
+		return true // empty body = all defaults
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeError(w, http.StatusBadRequest, "decode body: %v", err)
+		return false
+	}
+	return true
+}
+
+// --------------------------------------------------------------- routes
+
+type healthResponse struct {
+	Status    string `json:"status"`
+	UptimeSec int64  `json:"uptime_sec"`
+	Sessions  int    `json:"sessions"`
+	Workers   int    `json:"workers"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.sessions)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:    "ok",
+		UptimeSec: int64(time.Since(s.started).Seconds()),
+		Sessions:  n,
+		Workers:   s.cfg.Workers,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		writeError(w, http.StatusNotFound, "metrics registry disabled")
+		return
+	}
+	snap := s.reg.Snapshot()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, snap.String())
+		return
+	}
+	blob, err := snap.JSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(blob, '\n'))
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.tracer.ExportSealed(w); err != nil {
+		// Headers are gone; nothing more to do than drop the conn.
+		return
+	}
+}
+
+type sessionRequest struct {
+	Name    string `json:"name"`
+	Subject string `json:"subject"`
+	Mode    string `json:"mode"`
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request, o *obs.Obs) int {
+	var req sessionRequest
+	if !decodeBody(w, r, &req) {
+		return http.StatusBadRequest
+	}
+	sess, err := s.CreateSession(req.Name, req.Subject, req.Mode)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errSessionExists) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, apiError{
+			Error: err.Error(),
+			Hint:  "subjects come from the corpus (e.g. 02, team_policy, drawing); modes: default, pch, yalla, yalla+pch, yalla+lto",
+		})
+		return status
+	}
+	writeJSON(w, http.StatusCreated, sess.Info())
+	return http.StatusCreated
+}
+
+func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request, o *obs.Obs) int {
+	writeJSON(w, http.StatusOK, struct {
+		Sessions []Info `json:"sessions"`
+	}{s.Sessions()})
+	return http.StatusOK
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request, o *obs.Obs) int {
+	sess := s.session(w, r)
+	if sess == nil {
+		return http.StatusNotFound
+	}
+	writeJSON(w, http.StatusOK, sess.Info())
+	return http.StatusOK
+}
+
+func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request, o *obs.Obs) int {
+	if !s.CloseSession(r.PathValue("name")) {
+		writeError(w, http.StatusNotFound, "no such session %q", r.PathValue("name"))
+		return http.StatusNotFound
+	}
+	w.WriteHeader(http.StatusNoContent)
+	return http.StatusNoContent
+}
+
+type editRequest struct {
+	Path    string `json:"path"`
+	Content string `json:"content"`
+}
+
+func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request, o *obs.Obs) int {
+	sess := s.session(w, r)
+	if sess == nil {
+		return http.StatusNotFound
+	}
+	var req editRequest
+	if !decodeBody(w, r, &req) {
+		return http.StatusBadRequest
+	}
+	if req.Path == "" {
+		writeError(w, http.StatusBadRequest, "path is required")
+		return http.StatusBadRequest
+	}
+	res := sess.Edit(req.Path, req.Content)
+	s.o.Counter("daemon.edits").Add(1)
+	if res.Invalidated {
+		s.o.Counter("daemon.invalidations").Add(1)
+	}
+	writeJSON(w, http.StatusOK, res)
+	return http.StatusOK
+}
+
+type fileResponse struct {
+	Path    string `json:"path"`
+	Content string `json:"content"`
+}
+
+func (s *Server) handleFileRead(w http.ResponseWriter, r *http.Request, o *obs.Obs) int {
+	sess := s.session(w, r)
+	if sess == nil {
+		return http.StatusNotFound
+	}
+	path := r.URL.Query().Get("path")
+	if path == "" {
+		writeError(w, http.StatusBadRequest, "query parameter path is required")
+		return http.StatusBadRequest
+	}
+	content, err := sess.ReadFile(path)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return http.StatusNotFound
+	}
+	writeJSON(w, http.StatusOK, fileResponse{Path: path, Content: content})
+	return http.StatusOK
+}
+
+type cycleRequest struct {
+	// NewSymbol models the §4.2 edit that starts using a header symbol
+	// the sources did not use before.
+	NewSymbol string `json:"new_symbol"`
+}
+
+func (s *Server) handleCycle(w http.ResponseWriter, r *http.Request, o *obs.Obs) int {
+	sess := s.session(w, r)
+	if sess == nil {
+		return http.StatusNotFound
+	}
+	var req cycleRequest
+	if !decodeBody(w, r, &req) {
+		return http.StatusBadRequest
+	}
+	res, err := sess.Cycle(r.Context(), o, req.NewSymbol)
+	if err != nil {
+		return s.computeError(w, r, err)
+	}
+	if res.Prepared {
+		s.o.Counter("daemon.cycles.cold").Add(1)
+	} else {
+		s.o.Counter("daemon.cycles.warm").Add(1)
+	}
+	writeJSON(w, http.StatusOK, res)
+	return http.StatusOK
+}
+
+func (s *Server) handleSubstitute(w http.ResponseWriter, r *http.Request, o *obs.Obs) int {
+	sess := s.session(w, r)
+	if sess == nil {
+		return http.StatusNotFound
+	}
+	res, err := s.substitute(r.Context(), sess, o)
+	if err != nil {
+		return s.computeError(w, r, err)
+	}
+	if res.Memoized {
+		s.o.Counter("daemon.substitute.memo_hits").Add(1)
+	}
+	if r.URL.Query().Get("include_content") == "" {
+		stripped := res.clone()
+		stripped.Files = nil
+		res = stripped
+	}
+	writeJSON(w, http.StatusOK, res)
+	return http.StatusOK
+}
+
+// computeError maps a failed compute request to a status: deadline →
+// 504, anything else → 500.
+func (s *Server) computeError(w http.ResponseWriter, r *http.Request, err error) int {
+	status := http.StatusInternalServerError
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		status = http.StatusGatewayTimeout
+	}
+	writeError(w, status, "%v", err)
+	return status
+}

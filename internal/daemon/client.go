@@ -1,0 +1,123 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Client is a typed HTTP client for the daemon API, used by the load
+// generator and tests; it exercises the same wire path a real editor
+// integration would.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:7777").
+func NewClient(base string) *Client {
+	return &Client{base: base, hc: &http.Client{Timeout: 120 * time.Second}}
+}
+
+// do runs one JSON round trip; out may be nil for responses without a
+// body. Non-2xx responses decode the error envelope.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		blob, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var ae apiError
+		if json.Unmarshal(blob, &ae) == nil && ae.Error != "" {
+			return fmt.Errorf("%s %s: %d: %s", method, path, resp.StatusCode, ae.Error)
+		}
+		return fmt.Errorf("%s %s: %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(blob, out)
+}
+
+// CreateSession registers a session on the daemon.
+func (c *Client) CreateSession(name, subject, mode string) (Info, error) {
+	var info Info
+	err := c.do("POST", "/v1/sessions", sessionRequest{Name: name, Subject: subject, Mode: mode}, &info)
+	return info, err
+}
+
+// CloseSession removes a session.
+func (c *Client) CloseSession(name string) error {
+	return c.do("DELETE", "/v1/sessions/"+url.PathEscape(name), nil, nil)
+}
+
+// Edit writes one file into the session tree.
+func (c *Client) Edit(session, path, content string) (EditResult, error) {
+	var res EditResult
+	err := c.do("POST", "/v1/sessions/"+url.PathEscape(session)+"/files",
+		editRequest{Path: path, Content: content}, &res)
+	return res, err
+}
+
+// Cycle runs one development-cycle iteration; newSymbol may be empty.
+func (c *Client) Cycle(session, newSymbol string) (*CycleResult, error) {
+	var res CycleResult
+	err := c.do("POST", "/v1/sessions/"+url.PathEscape(session)+"/cycle",
+		cycleRequest{NewSymbol: newSymbol}, &res)
+	if err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Substitute runs (or memo-serves) Header Substitution for the session.
+func (c *Client) Substitute(session string, includeContent bool) (*SubstituteResult, error) {
+	path := "/v1/sessions/" + url.PathEscape(session) + "/substitute"
+	if includeContent {
+		path += "?include_content=1"
+	}
+	var res SubstituteResult
+	if err := c.do("POST", path, nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// ReadFile fetches one file from the session's working tree.
+func (c *Client) ReadFile(session, path string) (string, error) {
+	var res fileResponse
+	err := c.do("GET", "/v1/sessions/"+url.PathEscape(session)+"/files?path="+url.QueryEscape(path), nil, &res)
+	return res.Content, err
+}
+
+// Health fetches /healthz.
+func (c *Client) Health() (map[string]any, error) {
+	var out map[string]any
+	err := c.do("GET", "/healthz", nil, &out)
+	return out, err
+}

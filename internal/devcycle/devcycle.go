@@ -141,6 +141,12 @@ func PrepareWithOptions(s *corpus.Subject, mode Mode, preDeclare []string) (*Set
 type Config struct {
 	// PreDeclare is the §6 pre-declared symbol list passed to the tool.
 	PreDeclare []string
+	// FS, when set, is used as the working tree directly instead of
+	// cloning the subject's pristine FS. Daemon sessions pass their live
+	// copy-on-write overlay here, so edits applied after Prepare are
+	// visible to subsequent Cycle compiles (the build cache invalidates
+	// exactly the translation units whose content hashes changed).
+	FS *vfs.FS
 	// Cache, when set, memoizes frontend work (lexing, preprocessing,
 	// parsing) across subjects, modes, and repeated cycles. All virtual
 	// times are byte-identical with or without it; only the real time
@@ -159,7 +165,10 @@ func PrepareWith(s *corpus.Subject, mode Mode, cfg Config) (*Setup, error) {
 	defer sp.End()
 	o := sp.Obs()
 
-	fs := s.FS.Clone()
+	fs := cfg.FS
+	if fs == nil {
+		fs = s.FS.Clone()
+	}
 	fs.SetReadCounter(o.Counter("vfs.reads"))
 	st := &Setup{Subject: s, Mode: mode, FS: fs, preDeclared: map[string]bool{}, obs: o}
 	for _, p := range cfg.PreDeclare {

@@ -55,6 +55,17 @@ func (o *Obs) Lane(name string) *Obs {
 	return &Obs{tracer: o.tracer, reg: o.reg, lane: o.tracer.newLane(PidWall, name)}
 }
 
+// SealLane seals the handle's trace lane (see Lane.Seal): the caller
+// promises no further spans will be recorded through this handle or its
+// descendants, which makes the lane exportable via Tracer.ExportSealed
+// while other lanes are still recording. Safe on a nil receiver.
+func (o *Obs) SealLane() {
+	if o == nil {
+		return
+	}
+	o.lane.Seal()
+}
+
 // VirtualLane returns a fresh virtual-cost lane for explicit-timestamp
 // Emit calls, or nil without a tracer. Safe on a nil receiver.
 func (o *Obs) VirtualLane(name string) *Lane {

@@ -29,10 +29,11 @@ type Tracer struct {
 	epoch time.Time
 	ids   atomic.Int64
 
-	mu       sync.Mutex
-	lanes    []*Lane
-	nextWall int
-	nextVirt int
+	mu        sync.Mutex
+	lanes     []*Lane
+	nextWall  int
+	nextVirt  int
+	sealedCap int
 }
 
 // NewTracer returns a tracer reading time from clock (RealClock for
@@ -53,6 +54,7 @@ type Lane struct {
 	tid    int
 	name   string
 	events []event
+	sealed bool
 }
 
 // event is one completed span, recorded at End (or Emit) time.
@@ -101,15 +103,85 @@ func (l *Lane) Emit(name string, ts, dur time.Duration) {
 	l.events = append(l.events, event{id: l.t.ids.Add(1), name: name, ts: ts, dur: dur})
 }
 
+// Seal marks the lane complete: its owner promises not to record into
+// it again, which makes it safe to export while other lanes are still
+// recording. Call it from the owning goroutine after the last End/Emit.
+// Sealing also enforces the tracer's sealed-lane retention cap (see
+// SetSealedRetention). Safe on a nil receiver.
+func (l *Lane) Seal() {
+	if l == nil {
+		return
+	}
+	t := l.t
+	t.mu.Lock()
+	l.sealed = true
+	if t.sealedCap > 0 {
+		sealed := 0
+		for _, ln := range t.lanes {
+			if ln.sealed {
+				sealed++
+			}
+		}
+		if sealed > t.sealedCap {
+			drop := sealed - t.sealedCap
+			kept := t.lanes[:0]
+			for _, ln := range t.lanes {
+				if drop > 0 && ln.sealed {
+					drop--
+					continue
+				}
+				kept = append(kept, ln)
+			}
+			t.lanes = kept
+		}
+	}
+	t.mu.Unlock()
+}
+
+// SetSealedRetention caps how many sealed lanes the tracer retains; when
+// a Seal pushes the count past n, the oldest sealed lanes are dropped.
+// Long-lived servers that open one lane per request use this to bound
+// trace memory. n <= 0 (the default) retains everything.
+func (t *Tracer) SetSealedRetention(n int) {
+	t.mu.Lock()
+	t.sealedCap = n
+	t.mu.Unlock()
+}
+
 // Export writes the trace as Chrome trace_event JSON, loadable in
 // chrome://tracing or Perfetto. Lanes are emitted as thread-name
 // metadata sorted by (pid, tid); span events are sorted by span ID,
 // which equals start order for a single-lane trace and is a stable total
 // order for a parallel one.
+//
+// Export must only be called after all recording goroutines have
+// finished. A live server that still has lanes recording should use
+// ExportSealed instead.
 func (t *Tracer) Export(w io.Writer) error {
 	t.mu.Lock()
 	lanes := append([]*Lane(nil), t.lanes...)
 	t.mu.Unlock()
+	return t.exportLanes(w, lanes)
+}
+
+// ExportSealed writes only the sealed lanes as Chrome trace_event JSON.
+// Sealed lanes no longer record, so this is safe to call at any time —
+// concurrently with goroutines still recording into unsealed lanes —
+// which is what lets a long-lived daemon serve its trace over HTTP
+// mid-run.
+func (t *Tracer) ExportSealed(w io.Writer) error {
+	t.mu.Lock()
+	var lanes []*Lane
+	for _, l := range t.lanes {
+		if l.sealed {
+			lanes = append(lanes, l)
+		}
+	}
+	t.mu.Unlock()
+	return t.exportLanes(w, lanes)
+}
+
+func (t *Tracer) exportLanes(w io.Writer, lanes []*Lane) error {
 	sort.Slice(lanes, func(i, j int) bool {
 		if lanes[i].pid != lanes[j].pid {
 			return lanes[i].pid < lanes[j].pid

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -183,4 +186,97 @@ func TestSpanParentage(t *testing.T) {
 	sp.End()
 	nilObs.Lane("w").Start("z").End()
 	nilObs.VirtualLane("v").Emit("e", 0, time.Second)
+}
+
+func TestExportSealedOnlyIncludesSealedLanes(t *testing.T) {
+	tr := NewTracer(NewVirtualClock(time.Millisecond))
+	o := New(tr, nil)
+
+	a := o.Lane("req 1")
+	sp := a.Start("request")
+	sp.SetStr("route", "cycle")
+	sp.End()
+	a.SealLane()
+
+	b := o.Lane("req 2") // still recording: must not appear
+	open := b.Start("request")
+
+	var buf bytes.Buffer
+	if err := tr.ExportSealed(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"req 1"`) {
+		t.Fatalf("sealed lane missing from export:\n%s", out)
+	}
+	if strings.Contains(out, `"req 2"`) {
+		t.Fatalf("unsealed lane leaked into export:\n%s", out)
+	}
+	open.End()
+	b.SealLane()
+	buf.Reset()
+	if err := tr.ExportSealed(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"req 2"`) {
+		t.Fatal("lane missing after seal")
+	}
+}
+
+func TestExportSealedConcurrentWithRecording(t *testing.T) {
+	tr := NewTracer(nil)
+	o := New(tr, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				lane := o.Lane(fmt.Sprintf("w%d-%d", w, i))
+				sp := lane.Start("request")
+				sp.SetInt("i", int64(i))
+				sp.End()
+				lane.SealLane()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			if err := tr.ExportSealed(io.Discard); err != nil {
+				t.Errorf("ExportSealed: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+}
+
+func TestSealedRetentionCapDropsOldest(t *testing.T) {
+	tr := NewTracer(NewVirtualClock(time.Millisecond))
+	tr.SetSealedRetention(3)
+	o := New(tr, nil)
+	for i := 0; i < 10; i++ {
+		lane := o.Lane(fmt.Sprintf("req %d", i))
+		sp := lane.Start("request")
+		sp.End()
+		lane.SealLane()
+	}
+	var buf bytes.Buffer
+	if err := tr.ExportSealed(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for i := 0; i < 7; i++ {
+		if strings.Contains(out, fmt.Sprintf(`"req %d"`, i)) {
+			t.Fatalf("dropped lane req %d still exported", i)
+		}
+	}
+	for i := 7; i < 10; i++ {
+		if !strings.Contains(out, fmt.Sprintf(`"req %d"`, i)) {
+			t.Fatalf("retained lane req %d missing:\n%s", i, out)
+		}
+	}
 }

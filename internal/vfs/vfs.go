@@ -18,12 +18,22 @@ import (
 
 // FS is a thread-safe in-memory filesystem keyed by slash-separated paths.
 // The zero value is not usable; call New.
+//
+// An FS can be a copy-on-write overlay over a base tree (see Overlay):
+// reads fall through to the base, writes and removals stay local. The
+// base must not be mutated while overlays over it are in use; the
+// corpora already follow this contract ("treat them as read-only").
 type FS struct {
 	mu    sync.RWMutex
 	files map[string]string
 	// hashes lazily memoizes per-file content hashes for the build cache;
 	// entries are invalidated on Write/Remove and copied by Clone.
 	hashes map[string]string
+	// tombs marks paths deleted in this layer that still exist in the
+	// base; nil for a plain filesystem.
+	tombs map[string]bool
+	// base is the read-only layer under this one, or nil.
+	base *FS
 	// reads, when set via SetReadCounter, counts Read calls. Clones share
 	// the counter, so one instrument aggregates a whole subject tree's
 	// traffic. The nil counter (the default) costs one branch per Read.
@@ -33,6 +43,25 @@ type FS struct {
 // New returns an empty filesystem.
 func New() *FS {
 	return &FS{files: make(map[string]string), hashes: make(map[string]string)}
+}
+
+// Overlay returns a copy-on-write layer over fs: reads fall through to
+// fs, writes and removals are local to the returned layer. The base is
+// shared, not copied, so creating an overlay is O(1) regardless of tree
+// size — one daemon session per client stays cheap even over the ~580
+// header corpora. The caller must not mutate fs while the overlay is in
+// use. The overlay starts with the base's read counter attached.
+func (fs *FS) Overlay() *FS {
+	fs.mu.RLock()
+	reads := fs.reads
+	fs.mu.RUnlock()
+	return &FS{
+		files:  make(map[string]string),
+		hashes: make(map[string]string),
+		tombs:  make(map[string]bool),
+		base:   fs,
+		reads:  reads,
+	}
 }
 
 // Clean normalizes a path to the canonical internal form.
@@ -47,6 +76,7 @@ func (fs *FS) Write(p, contents string) {
 	p = Clean(p)
 	fs.files[p] = contents
 	delete(fs.hashes, p)
+	delete(fs.tombs, p)
 }
 
 // SetReadCounter attaches a read-traffic instrument (typically
@@ -57,12 +87,31 @@ func (fs *FS) SetReadCounter(c *obs.Counter) {
 	fs.mu.Unlock()
 }
 
+// get looks p up through the layer chain without touching read counters.
+func (fs *FS) get(p string) (string, bool) {
+	for l := fs; l != nil; {
+		l.mu.RLock()
+		c, ok := l.files[p]
+		tomb := l.tombs[p]
+		base := l.base
+		l.mu.RUnlock()
+		if ok {
+			return c, true
+		}
+		if tomb {
+			return "", false
+		}
+		l = base
+	}
+	return "", false
+}
+
 // Read returns the contents of p.
 func (fs *FS) Read(p string) (string, error) {
 	fs.mu.RLock()
-	defer fs.mu.RUnlock()
 	fs.reads.Add(1)
-	c, ok := fs.files[Clean(p)]
+	fs.mu.RUnlock()
+	c, ok := fs.get(Clean(p))
 	if !ok {
 		return "", fmt.Errorf("vfs: open %s: file does not exist", p)
 	}
@@ -71,23 +120,27 @@ func (fs *FS) Read(p string) (string, error) {
 
 // Exists reports whether p is a file in the filesystem.
 func (fs *FS) Exists(p string) bool {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	_, ok := fs.files[Clean(p)]
+	_, ok := fs.get(Clean(p))
 	return ok
 }
 
 // Remove deletes p; it is a no-op if p does not exist.
 func (fs *FS) Remove(p string) {
+	p = Clean(p)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	delete(fs.files, Clean(p))
-	delete(fs.hashes, Clean(p))
+	delete(fs.files, p)
+	delete(fs.hashes, p)
+	if fs.base != nil && fs.base.Exists(p) {
+		fs.tombs[p] = true
+	}
 }
 
 // ContentHash returns a stable content hash for p, or ok=false if p does
 // not exist. Hashes are memoized per file until the file is rewritten, so
-// repeated build-cache validations cost a map lookup, not a rehash.
+// repeated build-cache validations cost a map lookup, not a rehash. For
+// an overlay, hashes of base files memoize in the base, so every session
+// sharing a corpus shares its hash cache too.
 func (fs *FS) ContentHash(p string) (string, bool) {
 	p = Clean(p)
 	fs.mu.RLock()
@@ -96,9 +149,14 @@ func (fs *FS) ContentHash(p string) (string, bool) {
 		return h, true
 	}
 	c, ok := fs.files[p]
+	tomb := fs.tombs[p]
+	base := fs.base
 	fs.mu.RUnlock()
 	if !ok {
-		return "", false
+		if tomb || base == nil {
+			return "", false
+		}
+		return base.ContentHash(p)
 	}
 	sum := sha256.Sum256([]byte(c))
 	h := hex.EncodeToString(sum[:])
@@ -120,14 +178,47 @@ func (fs *FS) ContentHash(p string) (string, bool) {
 
 // List returns all file paths in sorted order.
 func (fs *FS) List() []string {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	out := make([]string, 0, len(fs.files))
-	for p := range fs.files {
+	merged := map[string]bool{}
+	fs.collect(merged)
+	out := make([]string, 0, len(merged))
+	for p := range merged {
 		out = append(out, p)
 	}
 	sort.Strings(out)
 	return out
+}
+
+// collect accumulates the visible path set of the layer chain into m.
+func (fs *FS) collect(m map[string]bool) {
+	type layer struct {
+		files map[string]bool
+		tombs map[string]bool
+	}
+	var layers []layer
+	for l := fs; l != nil; {
+		l.mu.RLock()
+		f := make(map[string]bool, len(l.files))
+		for p := range l.files {
+			f[p] = true
+		}
+		t := make(map[string]bool, len(l.tombs))
+		for p := range l.tombs {
+			t[p] = true
+		}
+		base := l.base
+		l.mu.RUnlock()
+		layers = append(layers, layer{files: f, tombs: t})
+		l = base
+	}
+	// Apply bottom-up so upper-layer tombstones hide base files.
+	for i := len(layers) - 1; i >= 0; i-- {
+		for p := range layers[i].tombs {
+			delete(m, p)
+		}
+		for p := range layers[i].files {
+			m[p] = true
+		}
+	}
 }
 
 // Glob returns sorted paths with the given prefix.
@@ -145,17 +236,30 @@ func (fs *FS) Glob(prefix string) []string {
 // Size returns the number of files.
 func (fs *FS) Size() int {
 	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return len(fs.files)
+	base := fs.base
+	n := len(fs.files)
+	fs.mu.RUnlock()
+	if base == nil {
+		return n
+	}
+	return len(fs.List())
 }
 
-// Clone returns a deep copy; useful for edit–compile cycles that must not
-// disturb the pristine tree.
+// Clone returns a copy that can be mutated independently. A plain
+// filesystem is deep-copied; an overlay copies only its local layer and
+// keeps sharing the (read-only) base, so session snapshots stay O(edits).
 func (fs *FS) Clone() *FS {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	out := New()
 	out.reads = fs.reads
+	out.base = fs.base
+	if fs.base != nil {
+		out.tombs = make(map[string]bool, len(fs.tombs))
+		for p := range fs.tombs {
+			out.tombs[p] = true
+		}
+	}
 	for p, c := range fs.files {
 		out.files[p] = c
 	}
@@ -168,10 +272,22 @@ func (fs *FS) Clone() *FS {
 // TotalBytes returns the sum of all file sizes.
 func (fs *FS) TotalBytes() int {
 	fs.mu.RLock()
-	defer fs.mu.RUnlock()
+	base := fs.base
+	fs.mu.RUnlock()
+	if base == nil {
+		fs.mu.RLock()
+		defer fs.mu.RUnlock()
+		n := 0
+		for _, c := range fs.files {
+			n += len(c)
+		}
+		return n
+	}
 	n := 0
-	for _, c := range fs.files {
-		n += len(c)
+	for _, p := range fs.List() {
+		if c, ok := fs.get(p); ok {
+			n += len(c)
+		}
 	}
 	return n
 }

@@ -1,6 +1,8 @@
 package vfs
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -140,4 +142,185 @@ func TestContentHash(t *testing.T) {
 	if _, ok := fs.ContentHash("a.hpp"); ok {
 		t.Fatal("hash survived Remove")
 	}
+}
+
+func TestOverlayReadThroughAndCOW(t *testing.T) {
+	base := New()
+	base.Write("hdr.hpp", "base")
+	base.Write("keep.hpp", "kept")
+	ov := base.Overlay()
+
+	if got, _ := ov.Read("hdr.hpp"); got != "base" {
+		t.Fatalf("overlay read-through = %q", got)
+	}
+	ov.Write("hdr.hpp", "edited")
+	if got, _ := ov.Read("hdr.hpp"); got != "edited" {
+		t.Fatalf("overlay after write = %q", got)
+	}
+	if got, _ := base.Read("hdr.hpp"); got != "base" {
+		t.Fatal("overlay write leaked into base")
+	}
+	if !ov.Exists("keep.hpp") {
+		t.Fatal("base file invisible through overlay")
+	}
+}
+
+func TestOverlayTombstones(t *testing.T) {
+	base := New()
+	base.Write("a.hpp", "x")
+	ov := base.Overlay()
+	ov.Remove("a.hpp")
+	if ov.Exists("a.hpp") {
+		t.Fatal("tombstoned file still visible")
+	}
+	if _, err := ov.Read("a.hpp"); err == nil {
+		t.Fatal("tombstoned file readable")
+	}
+	if _, ok := ov.ContentHash("a.hpp"); ok {
+		t.Fatal("tombstoned file has a hash")
+	}
+	if !base.Exists("a.hpp") {
+		t.Fatal("overlay Remove leaked into base")
+	}
+	// Re-writing over a tombstone resurrects the path.
+	ov.Write("a.hpp", "y")
+	if got, _ := ov.Read("a.hpp"); got != "y" {
+		t.Fatalf("resurrected read = %q", got)
+	}
+	if got := ov.List(); len(got) != 1 || got[0] != "a.hpp" {
+		t.Fatalf("List after resurrect = %v", got)
+	}
+}
+
+func TestOverlayListGlobSizeBytes(t *testing.T) {
+	base := New()
+	base.Write("inc/a.hpp", "aa")
+	base.Write("inc/b.hpp", "bb")
+	base.Write("src/main.cpp", "mm")
+	ov := base.Overlay()
+	ov.Write("inc/c.hpp", "cc")
+	ov.Remove("inc/b.hpp")
+	ov.Write("src/main.cpp", "edited")
+
+	want := []string{"inc/a.hpp", "inc/c.hpp", "src/main.cpp"}
+	got := ov.List()
+	if len(got) != len(want) {
+		t.Fatalf("List = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v, want %v", got, want)
+		}
+	}
+	if g := ov.Glob("inc/"); len(g) != 2 {
+		t.Fatalf("Glob = %v", g)
+	}
+	if ov.Size() != 3 {
+		t.Fatalf("Size = %d", ov.Size())
+	}
+	if n := ov.TotalBytes(); n != len("aa")+len("cc")+len("edited") {
+		t.Fatalf("TotalBytes = %d", n)
+	}
+	// Base stays intact.
+	if base.Size() != 3 || !base.Exists("inc/b.hpp") {
+		t.Fatal("base mutated by overlay")
+	}
+}
+
+func TestOverlayContentHashDelegation(t *testing.T) {
+	base := New()
+	base.Write("a.hpp", "int x;")
+	hb, _ := base.ContentHash("a.hpp")
+	ov := base.Overlay()
+	ho, ok := ov.ContentHash("a.hpp")
+	if !ok || ho != hb {
+		t.Fatalf("overlay hash %q != base hash %q", ho, hb)
+	}
+	ov.Write("a.hpp", "int y;")
+	h2, _ := ov.ContentHash("a.hpp")
+	if h2 == hb {
+		t.Fatal("edited overlay file kept the base hash")
+	}
+	if back, _ := base.ContentHash("a.hpp"); back != hb {
+		t.Fatal("overlay edit changed the base hash")
+	}
+}
+
+func TestOverlayCloneSharesBase(t *testing.T) {
+	base := New()
+	base.Write("a.hpp", "base")
+	ov := base.Overlay()
+	ov.Write("b.hpp", "local")
+	cl := ov.Clone()
+	if got, _ := cl.Read("a.hpp"); got != "base" {
+		t.Fatal("clone lost the base layer")
+	}
+	cl.Write("b.hpp", "clone-edit")
+	if got, _ := ov.Read("b.hpp"); got != "local" {
+		t.Fatal("clone edit leaked into the overlay")
+	}
+	cl.Remove("a.hpp")
+	if !ov.Exists("a.hpp") {
+		t.Fatal("clone tombstone leaked into the overlay")
+	}
+}
+
+// TestOverlayConcurrentReadersOneWriter is the daemon-session contract:
+// many request goroutines read a session tree (Read/Exists/ContentHash/
+// List) while one writer applies edits. Run under -race.
+func TestOverlayConcurrentReadersOneWriter(t *testing.T) {
+	base := New()
+	for i := 0; i < 64; i++ {
+		base.Write(fmt.Sprintf("inc/h%02d.hpp", i), fmt.Sprintf("// header %d", i))
+	}
+	ov := base.Overlay()
+	ov.Write("main.cpp", "int main() { return 0; }")
+
+	const readers = 8
+	const rounds = 300
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := fmt.Sprintf("inc/h%02d.hpp", (r*7+i)%64)
+				if _, err := ov.Read(p); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				if !ov.Exists("main.cpp") {
+					t.Error("main.cpp vanished")
+					return
+				}
+				if _, ok := ov.ContentHash(p); !ok {
+					t.Errorf("no hash for %s", p)
+					return
+				}
+				if c, err := ov.Read("main.cpp"); err != nil || c == "" {
+					t.Errorf("main read = %q, %v", c, err)
+					return
+				}
+				if i%16 == 0 {
+					ov.List()
+					ov.Clone().Read("main.cpp")
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < rounds; i++ {
+		ov.Write("main.cpp", fmt.Sprintf("int main() { return %d; }", i))
+		ov.ContentHash("main.cpp")
+		if i%50 == 0 {
+			ov.Write(fmt.Sprintf("gen/g%d.hpp", i), "// generated")
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
