@@ -1,0 +1,189 @@
+// Command yallafuzz drives the differential fuzzing harness: it
+// generates random C++-subset programs, pushes each one through the
+// full substitution pipeline, and checks the four equivalence oracles
+// (exec, idempotent, paths, perf). Failures are delta-debugged down to
+// minimal reproducers and saved under -repros; saved reproducers re-run
+// with -rerun.
+//
+// Usage:
+//
+//	yallafuzz [-seed N] [-n N] [-size N] [-oracle LIST] [-minimize]
+//	          [-repros DIR] [-rerun] [-corpus] [-budget N]
+//	          [-metrics FILE|-] [-v]
+//
+// Exit status is 1 when any oracle reports a violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/difftest"
+	"repro/internal/fuzzgen"
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		seed       = flag.Int64("seed", 1, "first generator seed")
+		n          = flag.Int("n", 100, "number of generated programs")
+		size       = flag.Int("size", 0, "statement chunks per program (0 = generator default)")
+		oracleList = flag.String("oracle", "", "comma-separated oracle subset (exec,idempotent,paths,perf); empty runs all")
+		minimize   = flag.Bool("minimize", true, "delta-debug failures to minimal reproducers")
+		reproDir   = flag.String("repros", "results/repros", "directory for saved reproducers")
+		rerun      = flag.Bool("rerun", false, "re-run saved reproducers instead of fuzzing")
+		corpusRun  = flag.Bool("corpus", false, "also check every corpus subject")
+		budget     = flag.Int("budget", 0, "interpreter step budget per program (0 = default)")
+		metricsOut = flag.String("metrics", "", "write the metrics snapshot to this file, or - for stdout")
+		verbose    = flag.Bool("v", false, "log every checked program")
+	)
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	o := obs.New(nil, reg)
+	opt := difftest.Options{Budget: *budget, Obs: o}
+	if *oracleList != "" {
+		opt.Oracles = strings.Split(*oracleList, ",")
+		for _, name := range opt.Oracles {
+			if !validOracle(name) {
+				fmt.Fprintf(os.Stderr, "yallafuzz: unknown oracle %q (have %s)\n",
+					name, strings.Join(difftest.OracleNames, ","))
+				os.Exit(2)
+			}
+		}
+	}
+
+	violations := 0
+	if *rerun {
+		violations += rerunRepros(*reproDir, opt, *verbose)
+	} else {
+		if *corpusRun {
+			violations += checkCorpus(opt, *verbose)
+		}
+		violations += fuzz(*seed, *n, *size, opt, *minimize, *reproDir, *verbose)
+	}
+
+	if *metricsOut != "" {
+		writeMetrics(*metricsOut, reg)
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "yallafuzz: %d violation(s)\n", violations)
+		os.Exit(1)
+	}
+	fmt.Println("yallafuzz: all checks passed")
+}
+
+func validOracle(name string) bool {
+	for _, n := range difftest.OracleNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// fuzz checks n generated programs starting at the given seed,
+// minimizing and saving any failure. Returns the number of failing
+// programs.
+func fuzz(seed int64, n, size int, opt difftest.Options, minimize bool, reproDir string, verbose bool) int {
+	bad := 0
+	for i := 0; i < n; i++ {
+		s := seed + int64(i)
+		p := fuzzgen.Generate(fuzzgen.Config{Seed: s, Size: size})
+		r := difftest.Check(difftest.SubjectFor(p), opt)
+		if verbose || !r.OK() {
+			status := "ok"
+			if !r.OK() {
+				status = fmt.Sprintf("FAIL (%d violations)", len(r.Violations))
+			}
+			fmt.Printf("seed %-6d %s\n", s, status)
+		}
+		for _, v := range r.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		if r.OK() {
+			continue
+		}
+		bad++
+		if !minimize {
+			continue
+		}
+		min, mres, err := difftest.Minimize(p, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "  minimize: %v\n", err)
+			continue
+		}
+		rep := difftest.NewRepro(min, mres)
+		path, err := rep.Save(reproDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "  save repro: %v\n", err)
+			continue
+		}
+		fmt.Printf("  minimized to %d source lines -> %s\n", rep.SourceLines, path)
+	}
+	return bad
+}
+
+// checkCorpus runs every oracle over every hand-written corpus subject.
+func checkCorpus(opt difftest.Options, verbose bool) int {
+	bad := 0
+	for _, s := range corpus.All() {
+		r := difftest.Check(s, opt)
+		if verbose || !r.OK() || len(r.Skipped) > 0 {
+			fmt.Printf("corpus %-24s violations=%d skipped=%d\n", s.Name, len(r.Violations), len(r.Skipped))
+		}
+		for _, v := range r.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		if !r.OK() {
+			bad++
+		}
+	}
+	return bad
+}
+
+// rerunRepros replays every saved reproducer; on a fixed pipeline they
+// all pass.
+func rerunRepros(dir string, opt difftest.Options, verbose bool) int {
+	repros, err := difftest.LoadRepros(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yallafuzz: %v\n", err)
+		os.Exit(2)
+	}
+	if len(repros) == 0 {
+		fmt.Printf("no reproducers under %s\n", dir)
+		return 0
+	}
+	bad := 0
+	for _, rep := range repros {
+		r := rep.Check(opt)
+		status := "ok"
+		if !r.OK() {
+			status = "STILL FAILING"
+			bad++
+		}
+		fmt.Printf("repro %-32s (seed %d, %s) %s\n", rep.Name, rep.Seed, rep.Oracle, status)
+		for _, v := range r.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+	}
+	return bad
+}
+
+func writeMetrics(path string, reg *obs.Registry) {
+	b, err := reg.Snapshot().JSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yallafuzz: metrics: %v\n", err)
+		return
+	}
+	if path == "-" {
+		fmt.Println(string(b))
+		return
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "yallafuzz: metrics: %v\n", err)
+	}
+}

@@ -48,7 +48,7 @@ func (e *Engine) transform(ws *wrapperSet) ([]editRec, []*Functor, error) {
 	// (plus the pointer-insertion site below), so edits inside the
 	// argument list compose.
 	for _, cu := range e.an.ctors {
-		w := ws.ctorWrapper[cu.ClassSym.Qualified()]
+		w := ws.ctorWrapper[e.ctorKey(cu)]
 		if w == nil {
 			continue
 		}

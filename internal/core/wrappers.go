@@ -102,7 +102,7 @@ func (e *Engine) buildWrappers() *wrapperSet {
 		e.rep.MethodWrappers++
 	}
 	for _, cu := range e.an.ctors {
-		key := cu.ClassSym.Qualified()
+		key := e.ctorKey(cu)
 		if ws.ctorWrapper[key] == nil {
 			w := e.createCtorWrapper(ws, cu)
 			ws.all = append(ws.all, w)
@@ -617,6 +617,23 @@ func (e *Engine) objectTypeText(cs *CallSite) string {
 		text += "*"
 	}
 	return text
+}
+
+// ctorKey identifies one constructor wrapper. Keying by class name alone
+// is wrong for templates: `View<int*> x("x", 64)` and
+// `View<int**> A("A", 64, 64)` need different wrappers (different return
+// type and arity), so the key is the deep-resolved declared type plus
+// the argument signature.
+func (e *Engine) ctorKey(cu *CtorUse) string {
+	parts := []string{e.valueTypeText(cu.Var.Type, cu.File)}
+	for _, info := range e.ctorArgTypes(cu) {
+		t := info.text
+		if info.pointer {
+			t += "*"
+		}
+		parts = append(parts, t)
+	}
+	return strings.Join(parts, "|")
 }
 
 // createCtorWrapper builds `C* yalla_make_C(args) { return new C(args); }`

@@ -1,0 +1,162 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/cpp/token"
+)
+
+// tok is a compact (kind, text) expectation for table-driven cases.
+type tok struct {
+	kind token.Kind
+	text string
+}
+
+func expectTokens(t *testing.T, src string, want []tok) {
+	t.Helper()
+	toks, err := Tokenize("edge.cpp", src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	var got []tok
+	for _, tk := range toks {
+		if tk.Kind == token.EOF {
+			continue
+		}
+		got = append(got, tok{tk.Kind, tk.Text})
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize(%q) = %v, want %v", src, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Tokenize(%q) token %d = {%v %q}, want {%v %q}",
+				src, i, got[i].kind, got[i].text, want[i].kind, want[i].text)
+		}
+	}
+}
+
+// TestLineContinuations exercises translation-phase-2 splices, including
+// the fuzzer-found case of a splice landing inside a token: the scanner
+// must both continue the token across the splice and drop the splice
+// bytes from the token text (so a spliced keyword is still a keyword).
+func TestLineContinuations(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []tok
+	}{
+		{"splice joins adjacent ident chars", "int\\\nx;", []tok{
+			{token.Identifier, "intx"}, {token.Semi, ";"},
+		}},
+		{"inside keyword", "in\\\nt x;", []tok{
+			{token.Keyword, "int"}, {token.Identifier, "x"}, {token.Semi, ";"},
+		}},
+		{"inside identifier", "ab\\\ncd", []tok{
+			{token.Identifier, "abcd"},
+		}},
+		{"crlf splice inside identifier", "ab\\\r\ncd", []tok{
+			{token.Identifier, "abcd"},
+		}},
+		{"inside integer literal", "12\\\n3 + 4", []tok{
+			{token.IntLit, "123"}, {token.Plus, "+"}, {token.IntLit, "4"},
+		}},
+		{"inside float literal", "1.\\\n5f", []tok{
+			{token.FloatLit, "1.5f"},
+		}},
+		{"multiple consecutive splices", "a\\\n\\\nb", []tok{
+			{token.Identifier, "ab"},
+		}},
+		{"backslash before escaped quote stays in string", "\"a\\\\b\"", []tok{
+			{token.StringLit, "\"a\\\\b\""},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { expectTokens(t, tc.src, tc.want) })
+	}
+}
+
+// TestRawStrings covers plain and delimited raw string literals,
+// including close-parens and quotes inside the body.
+func TestRawStrings(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []tok
+	}{
+		{"plain", `R"(hello)"`, []tok{
+			{token.StringLit, `R"(hello)"`},
+		}},
+		{"delimited", `R"xy(a)b)xy"`, []tok{
+			{token.StringLit, `R"xy(a)b)xy"`},
+		}},
+		{"newline in body", "R\"(line1\nline2)\"", []tok{
+			{token.StringLit, "R\"(line1\nline2)\""},
+		}},
+		{"u8 raw prefix", `u8R"(x)"`, []tok{
+			{token.StringLit, `u8R"(x)"`},
+		}},
+		{"identifier ending in R is not raw", `VAR "s"`, []tok{
+			{token.Identifier, "VAR"}, {token.StringLit, `"s"`},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { expectTokens(t, tc.src, tc.want) })
+	}
+}
+
+// TestAdjacentCloseAngles documents that `>>` closing nested template
+// argument lists lexes as a single right-shift token; the parser is
+// responsible for splitting it (C++11 [temp.names]p3).
+func TestAdjacentCloseAngles(t *testing.T) {
+	expectTokens(t, "A<B<int>> v;", []tok{
+		{token.Identifier, "A"}, {token.Less, "<"},
+		{token.Identifier, "B"}, {token.Less, "<"},
+		{token.Keyword, "int"}, {token.Shr, ">>"},
+		{token.Identifier, "v"}, {token.Semi, ";"},
+	})
+	expectTokens(t, "x >>= 2;", []tok{
+		{token.Identifier, "x"}, {token.ShrEq, ">>="},
+		{token.IntLit, "2"}, {token.Semi, ";"},
+	})
+}
+
+// TestLexerErrorRecovery feeds malformed inputs that fuzzing likes to
+// produce and requires errors (not panics, not silent acceptance).
+func TestLexerErrorRecovery(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unterminated string", `"abc`},
+		{"unterminated char", `'a`},
+		{"unterminated raw string", `R"(abc`},
+		{"unterminated delimited raw string", `R"xy(abc)zz"`},
+		{"unterminated block comment", "/* abc"},
+		{"lone backslash", "a \\ b"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := New("err.cpp", tc.src)
+			for i := 0; i < 1000; i++ {
+				if l.Next().Kind == token.EOF {
+					break
+				}
+			}
+			if len(l.Errors()) == 0 {
+				t.Errorf("lexing %q: expected at least one error", tc.src)
+			}
+		})
+	}
+}
+
+// TestEncodingPrefixes checks prefixed string and char literals keep
+// their prefix in the token text and classify correctly.
+func TestEncodingPrefixes(t *testing.T) {
+	expectTokens(t, `L"wide" u8"utf8" U'c' L'\n'`, []tok{
+		{token.StringLit, `L"wide"`},
+		{token.StringLit, `u8"utf8"`},
+		{token.CharLit, "U'c'"},
+		{token.CharLit, `L'\n'`},
+	})
+}

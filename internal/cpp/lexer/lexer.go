@@ -204,16 +204,19 @@ func (l *Lexer) Next() token.Token {
 		return l.lexIdentOrLiteralPrefix(start, first)
 	case isDigit(c) || (c == '.' && isDigit(l.peekAt(1))):
 		l.lexNumber()
-		if strings.ContainsAny(l.src[start.Offset:l.off], ".eEpP") &&
-			!strings.HasPrefix(l.src[start.Offset:l.off], "0x") &&
-			!strings.HasPrefix(l.src[start.Offset:l.off], "0X") {
-			return mk(token.FloatLit)
+		txt := stripSplices(l.src[start.Offset:l.off])
+		mkNum := func(k token.Kind) token.Token {
+			return token.Token{Kind: k, Text: txt, Pos: start, LeadingNewline: first}
 		}
-		txt := l.src[start.Offset:l.off]
+		if strings.ContainsAny(txt, ".eEpP") &&
+			!strings.HasPrefix(txt, "0x") &&
+			!strings.HasPrefix(txt, "0X") {
+			return mkNum(token.FloatLit)
+		}
 		if (strings.HasPrefix(txt, "0x") || strings.HasPrefix(txt, "0X")) && strings.ContainsAny(txt, ".pP") {
-			return mk(token.FloatLit)
+			return mkNum(token.FloatLit)
 		}
-		return mk(token.IntLit)
+		return mkNum(token.IntLit)
 	case c == '"':
 		l.lexString('"')
 		return mk(token.StringLit)
@@ -231,7 +234,7 @@ func (l *Lexer) lexIdentOrLiteralPrefix(start token.Pos, first bool) token.Token
 		l.advance()
 		l.skipSplices()
 	}
-	text := l.src[start.Offset:l.off]
+	text := stripSplices(l.src[start.Offset:l.off])
 
 	mk := func(k token.Kind) token.Token {
 		return token.Token{Kind: k, Text: l.src[start.Offset:l.off], Pos: start, LeadingNewline: first}
@@ -265,6 +268,34 @@ func (l *Lexer) lexIdentOrLiteralPrefix(start token.Pos, first bool) token.Token
 		return token.Token{Kind: token.Keyword, Text: text, Pos: start, LeadingNewline: first}
 	}
 	return token.Token{Kind: token.Identifier, Text: text, Pos: start, LeadingNewline: first}
+}
+
+// stripSplices removes backslash-newline line splices (translation
+// phase 2) that the scanner stepped over inside a token, so that a
+// spliced `in\<newline>t` yields the keyword text "int" and `12\<newline>3`
+// the literal "123". Positions are unaffected; only the token text is
+// cleaned.
+func stripSplices(s string) string {
+	if !strings.Contains(s, "\\") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		if s[i] == '\\' {
+			j := i + 1
+			if j < len(s) && s[j] == '\r' {
+				j++
+			}
+			if j < len(s) && s[j] == '\n' {
+				i = j + 1
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
 }
 
 func (l *Lexer) lexNumber() {

@@ -191,8 +191,9 @@ func TestLeadingNewlineFlag(t *testing.T) {
 
 func TestLineSplice(t *testing.T) {
 	got := texts(t, "ab\\\ncd")
-	if len(got) != 1 || got[0] != "ab\\\ncd" {
-		// the token spans the splice; spelling keeps raw text
+	if len(got) != 1 || got[0] != "abcd" {
+		// the token spans the splice; the splice bytes are removed from
+		// the spelling (translation phase 2)
 		t.Fatalf("got %v", got)
 	}
 	toks, _ := Tokenize("t.cpp", "ab\\\ncd")

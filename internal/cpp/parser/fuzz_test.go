@@ -1,0 +1,34 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/cpp/lexer"
+)
+
+// FuzzParser feeds arbitrary source through the lexer and parser. The
+// contract under fuzzing is "errors, never panics": malformed input must
+// surface as parse errors.
+func FuzzParser(f *testing.F) {
+	f.Add("int main() { return 0; }")
+	f.Add("template <typename T> class View { T* p; };")
+	f.Add("namespace a { namespace b { enum class E { X, Y }; } }")
+	f.Add("auto f = [](int x) { return x << 1; };")
+	f.Add("A<B<int>> v; int w = v.get()->*p;")
+	f.Add("class C { C(int) {} C operator+(const C&) const; };")
+	f.Add("using V = fz::View<double>; V x(\"n\", 4);")
+	f.Add("int x = 0x1p3 + .5e-2f + 12'345;")
+	f.Add("struct { struct { int x; } inner; } anon;")
+	f.Add("template<> struct S<int*> {};")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lexer.Tokenize("fuzz.cpp", src)
+		if err != nil {
+			return
+		}
+		p := New(toks)
+		tu, err := p.Parse()
+		if err == nil && tu == nil {
+			t.Fatal("nil translation unit with nil error")
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package preprocessor
+
+import (
+	"strings"
+	"testing"
+)
+
+// These cases were promoted from early differential-fuzzing runs of the
+// substitution pipeline: inputs the generator (or its mutations) emitted
+// that exercise lexical corners the main tests skip — raw strings
+// flowing through macro machinery, spliced directives, and stringize
+// edge cases.
+
+func TestRawStringSurvivesPreprocessing(t *testing.T) {
+	out := rendered(t, map[string]string{
+		"main.cpp": "const char* s = R\"(no #define here)\";\nconst char* d = R\"xy(close )\" inside)xy\";",
+	}, "main.cpp")
+	if !strings.Contains(out, `R"(no #define here)"`) {
+		t.Fatalf("plain raw string mangled: %q", out)
+	}
+	if !strings.Contains(out, `R"xy(close )" inside)xy"`) {
+		t.Fatalf("delimited raw string mangled: %q", out)
+	}
+}
+
+func TestRawStringAsMacroArgument(t *testing.T) {
+	out := rendered(t, map[string]string{
+		"main.cpp": "#define ID(x) x\nconst char* s = ID(R\"(a,b)\");",
+	}, "main.cpp")
+	// The comma lives inside one raw-string token, so ID gets a single
+	// argument.
+	if !strings.Contains(out, `R"(a,b)"`) {
+		t.Fatalf("raw string macro arg mangled: %q", out)
+	}
+}
+
+func TestLineContinuationInDirective(t *testing.T) {
+	out := rendered(t, map[string]string{
+		"main.cpp": "#define ADD(a, b) \\\n  ((a) + (b))\nint x = ADD(1, 2);",
+	}, "main.cpp")
+	if !strings.Contains(out, "( ( 1 ) + ( 2 ) )") {
+		t.Fatalf("spliced macro body lost: %q", out)
+	}
+}
+
+func TestLineContinuationSplitsDirectiveName(t *testing.T) {
+	// The splice lands inside the directive keyword itself; phase 2
+	// rejoins it before the directive parser runs.
+	out := rendered(t, map[string]string{
+		"main.cpp": "#def\\\nine V 7\nint x = V;",
+	}, "main.cpp")
+	if !strings.Contains(out, "int x = 7 ;") {
+		t.Fatalf("spliced #define not recognized: %q", out)
+	}
+}
+
+func TestAdjacentCloseAnglesThroughMacro(t *testing.T) {
+	out := rendered(t, map[string]string{
+		"main.cpp": "#define WRAP(T) A<B<T>>\nWRAP(int) v;",
+	}, "main.cpp")
+	// `>>` stays one token through expansion; the parser splits it.
+	if !strings.Contains(out, "A < B < int >> v ;") {
+		t.Fatalf("nested template close mangled: %q", out)
+	}
+}
+
+func TestStringizeCornerCases(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			"collapses interior whitespace",
+			"#define STR(x) #x\nconst char* s = STR(a    +\tb);",
+			`"a + b"`,
+		},
+		{
+			"escapes embedded quotes",
+			"#define STR(x) #x\nconst char* s = STR(\"hi\");",
+			`"\"hi\""`,
+		},
+		{
+			"escapes embedded backslashes",
+			"#define STR(x) #x\nconst char* s = STR(\"a\\n\");",
+			`"\"a\\n\""`,
+		},
+		{
+			"empty argument",
+			"#define STR(x) #x\nconst char* s = STR();",
+			`""`,
+		},
+		{
+			"argument not macro-expanded before stringize",
+			"#define V 42\n#define STR(x) #x\nconst char* s = STR(V);",
+			`"V"`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := rendered(t, map[string]string{"main.cpp": tc.src}, "main.cpp")
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("stringize %s: output %q missing %q", tc.name, out, tc.want)
+			}
+		})
+	}
+}
+
+func TestPasteFormsSingleToken(t *testing.T) {
+	out := rendered(t, map[string]string{
+		"main.cpp": "#define GLUE(a, b) a##b\nint GLUE(x, 1) = GLUE(4, 2);",
+	}, "main.cpp")
+	if !strings.Contains(out, "int x1 = 42 ;") {
+		t.Fatalf("paste failed: %q", out)
+	}
+}

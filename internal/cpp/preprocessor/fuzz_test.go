@@ -1,0 +1,32 @@
+package preprocessor
+
+import (
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// FuzzPreprocessor runs arbitrary source through the full preprocessor
+// (directives, macro expansion, conditionals). Errors are fine; panics
+// and runaway expansion are bugs.
+func FuzzPreprocessor(f *testing.F) {
+	f.Add("#define A(x) #x\nconst char* s = A(hi);")
+	f.Add("#define CAT(a, b) a##b\nint CAT(x, 1);")
+	f.Add("#if defined(X) && !defined(Y)\nint a;\n#else\nint b;\n#endif")
+	f.Add("#define REC REC\nint REC;")
+	f.Add("#define M(...) f(__VA_ARGS__)\nM(1, 2, 3);")
+	f.Add("#def\\\nine V 7\nint x = V;")
+	f.Add("#include \"missing.hpp\"\nint x;")
+	f.Add("#if 1 + 2 * 3 > (4 << 1)\nint yes;\n#endif")
+	f.Add("#pragma once\n#ifdef A\n#ifdef B\n#endif\n#endif")
+	f.Add("#define STR(x) #x\nconst char* s = STR();")
+	f.Fuzz(func(t *testing.T, src string) {
+		fs := vfs.New()
+		fs.Write("fuzz.cpp", src)
+		p := New(fs)
+		res, err := p.Preprocess("fuzz.cpp")
+		if err == nil && res == nil {
+			t.Fatal("nil result with nil error")
+		}
+	})
+}

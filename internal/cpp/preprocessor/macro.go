@@ -190,6 +190,12 @@ func splitMacroArgs(toks []token.Token, lp int) (args [][]token.Token, rp int, e
 // substituteParams replaces parameter names in the macro body with the
 // (pre-expanded) argument tokens, handling # stringize and ## paste.
 func (pp *Preprocessor) substituteParams(m *Macro, args [][]token.Token, hide map[string]bool) ([]token.Token, error) {
+	// M() for a one-parameter macro passes a single empty argument
+	// ([cpp.replace]p4: an argument list with no tokens between the
+	// parentheses is one empty argument, not zero arguments).
+	if len(args) == 0 && len(m.Params) == 1 {
+		args = [][]token.Token{nil}
+	}
 	if !m.Variadic && len(args) != len(m.Params) {
 		if !(len(m.Params) == 0 && len(args) == 0) {
 			return nil, fmt.Errorf("macro %s expects %d args, got %d", m.Name, len(m.Params), len(args))

@@ -185,14 +185,25 @@ func (s *Server) Cache() *buildcache.Cache { return s.cache }
 
 var errSessionExists = fmt.Errorf("session already exists")
 
-// CreateSession registers a new named session.
+// CreateSession registers a new named session for a corpus subject.
 func (s *Server) CreateSession(name, subjectName, modeName string) (*Session, error) {
-	if name == "" {
-		return nil, fmt.Errorf("session name is required")
-	}
 	subj := corpus.ByName(subjectName)
 	if subj == nil {
 		return nil, fmt.Errorf("unknown subject %q", subjectName)
+	}
+	return s.CreateSessionFor(name, subj, modeName)
+}
+
+// CreateSessionFor registers a new named session over an explicit
+// subject — one that is not (or not yet) part of the corpus, e.g. a
+// generated subject the differential-fuzzing harness drives through the
+// daemon path.
+func (s *Server) CreateSessionFor(name string, subj *corpus.Subject, modeName string) (*Session, error) {
+	if name == "" {
+		return nil, fmt.Errorf("session name is required")
+	}
+	if subj == nil {
+		return nil, fmt.Errorf("subject is required")
 	}
 	mode, err := ParseMode(modeName)
 	if err != nil {

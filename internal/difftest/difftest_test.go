@@ -1,0 +1,140 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/fuzzgen"
+)
+
+// TestCorpusOracles runs the differential harness over every corpus
+// subject: the whole hand-written corpus must pass the exec and
+// idempotence oracles with no violations and no skipped checks. The
+// expensive path/perf matrix runs on one representative subject here
+// (and on every generated program in TestFuzzSmoke); the full
+// corpus x oracle product is the yallafuzz CLI's job.
+func TestCorpusOracles(t *testing.T) {
+	for _, s := range corpus.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			oracles := []string{"exec", "idempotent"}
+			if s.Name == "02" {
+				oracles = nil // the paper's main subject gets all four
+			}
+			r := Check(s, Options{Oracles: oracles})
+			for _, v := range r.Violations {
+				t.Errorf("%s: %s", s.Name, v)
+			}
+			for _, sk := range r.Skipped {
+				t.Errorf("%s: skipped check: %s", s.Name, sk)
+			}
+		})
+	}
+}
+
+// TestFuzzSmoke is the CI smoke run: a fixed, deterministic batch of
+// generated programs through all four oracles. Any violation here is a
+// real pipeline bug (or a generator bug), never flake.
+func TestFuzzSmoke(t *testing.T) {
+	const n = 20
+	for seed := int64(1); seed <= n; seed++ {
+		p := fuzzgen.Generate(fuzzgen.Config{Seed: seed})
+		r := Check(SubjectFor(p), Options{})
+		for _, v := range r.Violations {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+	}
+}
+
+// TestFaultInjection plants a one-line fault in the substituted output
+// (an off-by-one in every emitted trace value) and requires the exec
+// oracle to catch it, the minimizer to shrink the reproducer, and the
+// repro round-trip (save / load / re-check) to keep failing while the
+// fault is in place.
+func TestFaultInjection(t *testing.T) {
+	mutateGenerated = func(path, content string) string {
+		if !strings.HasSuffix(path, ".cpp") {
+			return content
+		}
+		return strings.Replace(content, "yf_emit(", "yf_emit(1 + ", 1)
+	}
+	defer func() { mutateGenerated = nil }()
+
+	p := fuzzgen.Generate(fuzzgen.Config{Seed: 1})
+	r := Check(SubjectFor(p), Options{Oracles: []string{"exec"}})
+	if r.OK() {
+		t.Fatal("planted fault not detected by exec oracle")
+	}
+
+	minimized, mres, err := Minimize(p, Options{Oracles: []string{"exec"}})
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	lines := SourceLines(minimized)
+	if lines > 25 {
+		t.Errorf("minimized reproducer has %d source lines, want <= 25", lines)
+	}
+	if len(minimized.Files[fuzzgen.MainPath]) >= len(p.Files[fuzzgen.MainPath]) {
+		t.Errorf("minimizer did not shrink main (%d -> %d bytes)",
+			len(p.Files[fuzzgen.MainPath]), len(minimized.Files[fuzzgen.MainPath]))
+	}
+
+	rep := NewRepro(minimized, mres)
+	dir := t.TempDir()
+	path, err := rep.Save(dir)
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadRepro(path)
+	if err != nil {
+		t.Fatalf("LoadRepro: %v", err)
+	}
+	if loaded.Oracle != "exec" || loaded.SourceLines != lines {
+		t.Errorf("round-trip changed repro: oracle=%q lines=%d", loaded.Oracle, loaded.SourceLines)
+	}
+	if rr := loaded.Check(Options{Oracles: []string{"exec"}}); rr.OK() {
+		t.Error("reloaded reproducer no longer fails while the fault is still planted")
+	}
+}
+
+// TestFaultInjectionClears verifies the harness itself is clean again
+// once the fault hook is removed: the same seed passes.
+func TestFaultInjectionClears(t *testing.T) {
+	p := fuzzgen.Generate(fuzzgen.Config{Seed: 1})
+	r := Check(SubjectFor(p), Options{Oracles: []string{"exec"}})
+	if !r.OK() {
+		t.Fatalf("seed 1 fails without fault: %v", r.Violations)
+	}
+}
+
+// TestSavedRepros re-runs every reproducer saved under results/repros.
+// Each records a historical pipeline bug; on a fixed HEAD they must all
+// pass.
+func TestSavedRepros(t *testing.T) {
+	repros, err := LoadRepros("../../results/repros")
+	if err != nil {
+		t.Fatalf("LoadRepros: %v", err)
+	}
+	if len(repros) == 0 {
+		t.Skip("no saved reproducers")
+	}
+	for _, rep := range repros {
+		rep := rep
+		t.Run(rep.Name, func(t *testing.T) {
+			r := rep.Check(Options{})
+			for _, v := range r.Violations {
+				t.Errorf("%s (seed %d, originally %s): %s", rep.Name, rep.Seed, rep.Oracle, v)
+			}
+		})
+	}
+}
+
+// TestOracleSelection checks Options.Oracles filtering.
+func TestOracleSelection(t *testing.T) {
+	p := fuzzgen.Generate(fuzzgen.Config{Seed: 2})
+	r := Check(SubjectFor(p), Options{Oracles: []string{"idempotent"}})
+	if !r.OK() {
+		t.Fatalf("idempotent-only check failed: %v", r.Violations)
+	}
+}

@@ -1,0 +1,29 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/fuzzgen"
+)
+
+// FuzzSubstitute is the native-fuzzing entry to the differential
+// harness: the fuzz input is the generator seed, so go's coverage-guided
+// mutation explores generator configurations while every executed
+// program stays well-formed by construction. Only the cheap oracles run
+// here (exec + idempotent); the full path/perf matrix runs in the smoke
+// test and the yallafuzz CLI.
+func FuzzSubstitute(f *testing.F) {
+	for seed := int64(1); seed <= 10; seed++ {
+		f.Add(seed, int64(8))
+	}
+	f.Fuzz(func(t *testing.T, seed, size int64) {
+		if size < 1 || size > 24 {
+			size = 8
+		}
+		p := fuzzgen.Generate(fuzzgen.Config{Seed: seed, Size: int(size)})
+		r := Check(SubjectFor(p), Options{Oracles: []string{"exec", "idempotent"}})
+		for _, v := range r.Violations {
+			t.Errorf("seed %d size %d: %s", seed, size, v)
+		}
+	})
+}

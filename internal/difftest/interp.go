@@ -1,0 +1,1663 @@
+// This file is the exec oracle's engine: a dynamically-typed tree-walking
+// interpreter over the frontend's AST. It executes the ORIGINAL program
+// (one translation unit) and the SUBSTITUTED program (modified source +
+// lightweight header + wrappers TU, "linked" by merging declaration
+// tables) and records a trace of yf_emit/std::cout events. External
+// calls the corpus leaves bodiless (std::, declared-only library
+// methods) are interpreted opaquely but deterministically: results are
+// derived from a Merkle-style state hash of the receiver and arguments,
+// so the extra object copies wrapper code introduces cannot skew the
+// trace, while any reordering or dropped call still will.
+package difftest
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cpp/ast"
+	"repro/internal/cpp/token"
+)
+
+// Trace is the observable behavior of one program run.
+type Trace struct {
+	// Events are the rendered yf_emit arguments and std::cout operands,
+	// in order.
+	Events []string
+	// Ret is main's return value.
+	Ret int64
+}
+
+// String renders the trace for diffs.
+func (t *Trace) String() string {
+	return fmt.Sprintf("events=[%s] ret=%d", strings.Join(t.Events, " | "), t.Ret)
+}
+
+// Run interprets a program formed by linking the given translation
+// units: declarations are merged (definitions win over declarations)
+// and execution starts at main(). budget bounds the number of
+// interpreter steps (<= 0 means 2,000,000).
+func Run(tus []*ast.TranslationUnit, budget int) (tr *Trace, err error) {
+	if budget <= 0 {
+		budget = 2_000_000
+	}
+	in := &interp{
+		funcs:   map[string][]*funcInfo{},
+		classes: map[string]*classInfo{},
+		aliases: map[string]*ast.Type{},
+		enums:   map[string]int64{},
+		enumTys: map[string]bool{},
+		globals: map[string]*cell{},
+		steps:   budget,
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if ie, ok := r.(interpErr); ok {
+				tr, err = nil, fmt.Errorf("interp: %s", string(ie))
+				return
+			}
+			panic(r)
+		}
+	}()
+	for _, tu := range tus {
+		in.collect(tu.Decls, nil)
+	}
+	in.initGlobals()
+	mains := in.funcs["main"]
+	if len(mains) == 0 {
+		// Corpus subjects follow the kernel convention: a zero-arg
+		// `run_<name>()` entry instead of main().
+		var names []string
+		for name, list := range in.funcs {
+			if strings.HasPrefix(name, "run") && len(list) == 1 &&
+				len(list[0].decl.Params) == 0 && list[0].decl.Body != nil {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			mains = append(mains, in.funcs[name]...)
+		}
+	}
+	if len(mains) == 0 {
+		return nil, fmt.Errorf("interp: no main()")
+	}
+	mfn := mains[0]
+	if mfn.decl.Body == nil {
+		return nil, fmt.Errorf("interp: main() has no body")
+	}
+	args := make([]value, len(mfn.decl.Params))
+	for i := range args {
+		if i == 0 {
+			args[i] = intV(1)
+		} else {
+			args[i] = strV("<argv>")
+		}
+	}
+	ret := in.invoke(mfn, args, nil)
+	t := &Trace{Events: in.events}
+	if iv, ok := ret.(intV); ok {
+		t.Ret = int64(iv)
+	}
+	return t, nil
+}
+
+// ----------------------------------------------------------------- model
+
+type value interface{}
+
+type (
+	intV   int64
+	floatV float64
+	strV   string
+	voidV  struct{}
+	coutV  struct{}
+)
+
+// ptrV is a (possibly null) pointer to an object.
+type ptrV struct{ obj *object }
+
+// closureV is a lambda value; by-reference captures work because the
+// closure holds the defining environment's cells.
+type closureV struct {
+	lam *ast.LambdaExpr
+	env *env
+	ns  []string
+}
+
+// funcRefV is a reference to a named free function.
+type funcRefV struct{ name string }
+
+// object is a class instance. Opaque objects (class never defined, or
+// constructed through a bodiless constructor) carry only a state hash.
+type object struct {
+	class     *classInfo // nil when the class is unknown
+	className string
+	opaque    bool
+	fields    map[string]*cell
+	order     []string
+	// state evolves on every opaque mutation; opaque reads derive from
+	// it, which keeps them deterministic across extra wrapper copies.
+	state uint64
+}
+
+type cell struct{ v value }
+
+type funcInfo struct {
+	decl *ast.FunctionDecl
+	ns   []string
+}
+
+type classInfo struct {
+	fqn     string
+	ns      []string
+	decl    *ast.ClassDecl
+	hasDef  bool
+	fields  []*ast.FieldDecl
+	methods map[string][]*ast.FunctionDecl
+}
+
+type env struct {
+	parent *env
+	vars   map[string]*cell
+}
+
+func (e *env) lookup(name string) *cell {
+	for s := e; s != nil; s = s.parent {
+		if c, ok := s.vars[name]; ok {
+			return c
+		}
+	}
+	return nil
+}
+
+func (e *env) define(name string, v value) *cell {
+	c := &cell{v: v}
+	e.vars[name] = c
+	return c
+}
+
+type interp struct {
+	funcs       map[string][]*funcInfo
+	classes     map[string]*classInfo
+	aliases     map[string]*ast.Type
+	enums       map[string]int64
+	enumTys     map[string]bool
+	globals     map[string]*cell
+	globalOrder []*ast.VarDecl
+	globalNS    [][]string
+
+	events []string
+	steps  int
+}
+
+type interpErr string
+
+type retSignal struct{ v value }
+type breakSignal struct{}
+type continueSignal struct{}
+
+func (in *interp) fail(format string, args ...any) {
+	panic(interpErr(fmt.Sprintf(format, args...)))
+}
+
+func (in *interp) step() {
+	in.steps--
+	if in.steps <= 0 {
+		in.fail("step budget exhausted")
+	}
+}
+
+// ---------------------------------------------------------------- linker
+
+func joinNS(ns []string, name string) string {
+	if len(ns) == 0 {
+		return name
+	}
+	return strings.Join(ns, "::") + "::" + name
+}
+
+// collect walks declarations, merging them into the global tables.
+// Definitions win over forward/pure declarations so linking the
+// lightweight header's decls with the wrappers TU's defs behaves like a
+// real link step.
+func (in *interp) collect(decls []ast.Decl, ns []string) {
+	for _, d := range decls {
+		switch x := d.(type) {
+		case *ast.NamespaceDecl:
+			if x.Name == "" {
+				// extern "C" blocks parse as anonymous namespaces and
+				// are transparent for name lookup.
+				in.collect(x.Decls, ns)
+				continue
+			}
+			in.collect(x.Decls, append(append([]string(nil), ns...), x.Name))
+		case *ast.ClassDecl:
+			in.collectClass(x, ns)
+		case *ast.FunctionDecl:
+			if !x.QualifierName.IsEmpty() {
+				continue // out-of-line method definitions: not in the subset
+			}
+			in.addFunc(joinNS(ns, x.Name), x, ns)
+		case *ast.AliasDecl:
+			in.aliases[joinNS(ns, x.Name)] = x.Target
+		case *ast.EnumDecl:
+			in.collectEnum(x, ns)
+		case *ast.VarDecl:
+			in.globalOrder = append(in.globalOrder, x)
+			in.globalNS = append(in.globalNS, ns)
+		}
+	}
+}
+
+func (in *interp) addFunc(fqn string, f *ast.FunctionDecl, ns []string) {
+	list := in.funcs[fqn]
+	for i, prev := range list {
+		if len(prev.decl.Params) == len(f.Params) {
+			// Same name and arity: a definition replaces a declaration.
+			if f.Body != nil && prev.decl.Body == nil {
+				list[i] = &funcInfo{decl: f, ns: ns}
+			}
+			return
+		}
+	}
+	in.funcs[fqn] = append(list, &funcInfo{decl: f, ns: ns})
+}
+
+func (in *interp) collectClass(c *ast.ClassDecl, ns []string) {
+	fqn := joinNS(ns, c.Name)
+	ci := in.classes[fqn]
+	if ci == nil {
+		ci = &classInfo{fqn: fqn, ns: ns, methods: map[string][]*ast.FunctionDecl{}}
+		in.classes[fqn] = ci
+	}
+	if !c.IsDefinition && ci.hasDef {
+		return
+	}
+	if c.IsDefinition && !ci.hasDef {
+		ci.decl, ci.hasDef, ci.ns = c, true, ns
+		ci.fields = nil
+		ci.methods = map[string][]*ast.FunctionDecl{}
+		for _, m := range c.Members {
+			switch mm := m.(type) {
+			case *ast.FieldDecl:
+				ci.fields = append(ci.fields, mm)
+			case *ast.FunctionDecl:
+				in.addMethod(ci, mm)
+			case *ast.AliasDecl:
+				in.aliases[fqn+"::"+mm.Name] = mm.Target
+			case *ast.EnumDecl:
+				in.collectEnum(mm, append(append([]string(nil), ns...), c.Name))
+			}
+		}
+	}
+}
+
+func (in *interp) addMethod(ci *classInfo, f *ast.FunctionDecl) {
+	list := ci.methods[f.Name]
+	for i, prev := range list {
+		if len(prev.Params) == len(f.Params) {
+			if f.Body != nil && prev.Body == nil {
+				list[i] = f
+			}
+			return
+		}
+	}
+	ci.methods[f.Name] = append(list, f)
+}
+
+func (in *interp) collectEnum(e *ast.EnumDecl, ns []string) {
+	in.enumTys[joinNS(ns, e.Name)] = true
+	next := int64(0)
+	for _, item := range e.Items {
+		if item.Value != nil {
+			next = in.toInt(in.eval(item.Value, &env{vars: map[string]*cell{}}, ns))
+		}
+		in.enums[joinNS(ns, item.Name)] = next
+		in.enums[joinNS(ns, e.Name+"::"+item.Name)] = next
+		next++
+	}
+}
+
+func (in *interp) initGlobals() {
+	for i, vd := range in.globalOrder {
+		ns := in.globalNS[i]
+		e := &env{vars: map[string]*cell{}}
+		v := in.evalVarInit(vd, e, ns)
+		in.globals[joinNS(ns, vd.Name)] = &cell{v: v}
+	}
+}
+
+// resolve tries name against the enclosing namespaces, innermost first.
+func resolveCandidates(name string, ns []string) []string {
+	out := make([]string, 0, len(ns)+1)
+	for i := len(ns); i > 0; i-- {
+		out = append(out, strings.Join(ns[:i], "::")+"::"+name)
+	}
+	return append(out, name)
+}
+
+func (in *interp) findFuncs(name string, ns []string) ([]*funcInfo, string) {
+	for _, cand := range resolveCandidates(name, ns) {
+		if list, ok := in.funcs[cand]; ok {
+			return list, cand
+		}
+	}
+	return nil, ""
+}
+
+func (in *interp) findClass(name string, ns []string) *classInfo {
+	for _, cand := range resolveCandidates(name, ns) {
+		if ci, ok := in.classes[cand]; ok {
+			return ci
+		}
+		if t, ok := in.aliases[cand]; ok {
+			// Resolve the target in the namespace the alias was declared
+			// in first (`using A = C;` inside fz refers to fz::C), then
+			// fall back to the use site's namespaces.
+			if i := strings.LastIndex(cand, "::"); i >= 0 {
+				if ci := in.findClass(t.Name.Plain(), strings.Split(cand[:i], "::")); ci != nil {
+					return ci
+				}
+			}
+			return in.findClass(t.Name.Plain(), ns)
+		}
+	}
+	return nil
+}
+
+// pickOverload selects a callable for the given argument count,
+// tolerating trailing defaulted parameters.
+func pickOverload(cands []*ast.FunctionDecl, nargs int) *ast.FunctionDecl {
+	for _, f := range cands {
+		if len(f.Params) == nargs {
+			return f
+		}
+	}
+	for _, f := range cands {
+		if len(f.Params) > nargs {
+			ok := true
+			for _, p := range f.Params[nargs:] {
+				if p.Default == nil {
+					ok = false
+				}
+			}
+			if ok {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// -------------------------------------------------------------- invoking
+
+// invoke runs a function body. self, when non-nil, provides the field
+// environment (method call).
+func (in *interp) invoke(fn *funcInfo, args []value, argCells []*cell) value {
+	return in.invokeDecl(fn.decl, fn.ns, args, argCells, nil)
+}
+
+func (in *interp) invokeDecl(f *ast.FunctionDecl, ns []string, args []value, argCells []*cell, self *object) (ret value) {
+	in.step()
+	e := &env{vars: map[string]*cell{}}
+	if self != nil {
+		for _, name := range self.order {
+			e.vars[name] = self.fields[name]
+		}
+	}
+	in.bindParams(f.Params, args, argCells, e, ns)
+	defer func() {
+		if r := recover(); r != nil {
+			if rs, ok := r.(retSignal); ok {
+				ret = rs.v
+				return
+			}
+			panic(r)
+		}
+	}()
+	in.execBlock(f.Body, e, ns)
+	return voidV{}
+}
+
+func (in *interp) bindParams(params []ast.ParamDecl, args []value, argCells []*cell, e *env, ns []string) {
+	for i, p := range params {
+		name := p.Name
+		if name == "" {
+			name = fmt.Sprintf("$arg%d", i)
+		}
+		if i >= len(args) {
+			if p.Default == nil {
+				in.fail("missing argument %d and no default", i)
+			}
+			e.define(name, in.eval(p.Default, e, ns))
+			continue
+		}
+		// Reference parameters bind the caller's cell (when the argument
+		// is an lvalue), so callee writes are visible to the caller.
+		if p.Type != nil && p.Type.LValueRef && i < len(argCells) && argCells[i] != nil {
+			e.vars[name] = argCells[i]
+			continue
+		}
+		v := args[i]
+		if p.Type != nil && p.Type.IsByValue() {
+			v = in.copyVal(v)
+		}
+		e.define(name, v)
+	}
+}
+
+// copyVal implements C++ copy semantics at by-value binding points.
+func (in *interp) copyVal(v value) value {
+	o, ok := v.(*object)
+	if !ok {
+		return v
+	}
+	return in.cloneObject(o)
+}
+
+func (in *interp) cloneObject(o *object) *object {
+	cp := &object{class: o.class, className: o.className, opaque: o.opaque, state: o.state,
+		fields: map[string]*cell{}, order: append([]string(nil), o.order...)}
+	for name, c := range o.fields {
+		if cp.class != nil && cp.isRefField(name) {
+			cp.fields[name] = c // reference members alias on copy
+			continue
+		}
+		cp.fields[name] = &cell{v: in.copyVal(c.v)}
+	}
+	return cp
+}
+
+func (o *object) isRefField(name string) bool {
+	if o.class == nil {
+		return false
+	}
+	for _, f := range o.class.fields {
+		if f.Name == name {
+			return f.Type != nil && f.Type.LValueRef
+		}
+	}
+	return false
+}
+
+// construct creates an instance of ci (or an opaque stand-in) from
+// constructor arguments.
+func (in *interp) construct(ci *classInfo, className string, args []value, argCells []*cell) *object {
+	in.step()
+	if ci == nil || !ci.hasDef {
+		name := className
+		if ci != nil {
+			name = ci.fqn
+		}
+		return &object{className: name, opaque: true, fields: map[string]*cell{},
+			state: hashAll(hashStr("ctor"), hashStr(name), in.hashArgs(args))}
+	}
+	// Implicit copy constructor (also when the source is an opaque
+	// instance of the same class — wrapper code copy-constructs from
+	// dereferenced pointers, `new C(*a0)`).
+	if len(args) == 1 {
+		if src, ok := args[0].(*object); ok && (src.class == ci || src.className == ci.fqn) {
+			return in.cloneObject(src)
+		}
+	}
+	ctors := ci.methods[ci.decl.Name]
+	ctor := pickOverload(ctors, len(args))
+	if ctor != nil && ctor.Body == nil {
+		// Declared-only constructor: the class is externally implemented.
+		return &object{class: ci, className: ci.fqn, opaque: true, fields: map[string]*cell{},
+			state: hashAll(hashStr("ctor"), hashStr(ci.fqn), in.hashArgs(args))}
+	}
+	o := &object{class: ci, className: ci.fqn, fields: map[string]*cell{}}
+	for _, f := range ci.fields {
+		var v value = intV(0)
+		if f.Init != nil {
+			v = in.eval(f.Init, &env{vars: map[string]*cell{}}, ci.ns)
+		}
+		o.fields[f.Name] = &cell{v: v}
+		o.order = append(o.order, f.Name)
+	}
+	if ctor == nil {
+		if len(args) == 0 {
+			return o
+		}
+		// Aggregate initialization (functor structs, plain structs).
+		if len(ctors) == 0 && len(args) <= len(ci.fields) {
+			for i := range args {
+				f := ci.fields[i]
+				if f.Type != nil && f.Type.LValueRef && i < len(argCells) && argCells[i] != nil {
+					o.fields[f.Name] = argCells[i]
+				} else {
+					o.fields[f.Name].v = in.copyVal(args[i])
+				}
+			}
+			return o
+		}
+		in.fail("no constructor of %s takes %d args", ci.fqn, len(args))
+	}
+	in.invokeDecl(ctor, ci.ns, args, argCells, o)
+	return o
+}
+
+// --------------------------------------------------------------- opaques
+
+const opaqueMask = 0x3fff_ffff
+
+// opaqueResult derives a deterministic int from an opaque call.
+func opaqueResult(h uint64) value { return intV(int64(h & opaqueMask)) }
+
+// opaqueCall models a call whose definition is not available. decl may
+// be nil (fully unknown). recv is the receiver's state hash (0 for free
+// functions). Reference parameters receive derived values; non-const
+// methods advance the receiver's state.
+func (in *interp) opaqueCall(name string, recv *object, decl *ast.FunctionDecl, args []value, argCells []*cell) value {
+	in.step()
+	h := hashAll(hashStr("call"), hashStr(name), in.hashArgs(args))
+	if recv != nil {
+		h = hashAll(h, recv.state, in.hashObjShallow(recv))
+	}
+	if decl != nil {
+		for i, p := range decl.Params {
+			if p.Type == nil || !p.Type.LValueRef || p.Type.Const || i >= len(args) {
+				continue
+			}
+			// An object passed by non-const reference is mutated in
+			// place: fold the call into its state. Operating on the
+			// value (not the cell) keeps both program variants in sync —
+			// the wrapper path reaches the same shared object through a
+			// pointer dereference that has no caller cell.
+			if o, isObj := args[i].(*object); isObj {
+				if !in.isCallable(o) {
+					o.state = hashAll(o.state, hashStr("out"), h, uint64(i))
+				}
+				continue
+			}
+			if _, isCallable := args[i].(closureV); isCallable {
+				continue
+			}
+			if i < len(argCells) && argCells[i] != nil {
+				argCells[i].v = opaqueResult(hashAll(h, hashStr("out"), uint64(i)))
+			}
+		}
+	}
+	mutates := decl == nil || !decl.Const
+	if recv != nil && mutates {
+		recv.state = hashAll(recv.state, hashStr("mut"), h)
+	}
+	if decl != nil && decl.ReturnType != nil {
+		rt := decl.ReturnType
+		if rt.Builtin && rt.Name.Plain() == "void" {
+			return voidV{}
+		}
+		// A declared class return type yields an opaque instance, so
+		// `C x = lib_call(...);` (original) and `new C(lib_call(...))`
+		// (wrapper) observe the same state on both sides.
+		if !rt.Builtin && rt.Pointer == 0 {
+			var rns []string
+			if i := strings.LastIndex(name, "::"); i >= 0 {
+				rns = strings.Split(name[:i], "::")
+			}
+			if recv != nil && recv.class != nil {
+				rns = recv.class.ns
+			}
+			if ci := in.findClass(rt.Name.Plain(), rns); ci != nil {
+				return &object{class: ci, className: ci.fqn, opaque: true,
+					fields: map[string]*cell{}, state: hashAll(h, hashStr("ret"))}
+			}
+		}
+	}
+	return opaqueResult(h)
+}
+
+// opaqueStore models assignment through an opaque lvalue (e.g.
+// `view(i, j) = x` on a declared-only class).
+func (in *interp) opaqueStore(recv *object, key uint64, v value) {
+	recv.state = hashAll(recv.state, hashStr("store"), key, in.hashVal(v))
+}
+
+func (in *interp) isCallable(o *object) bool {
+	return o.class != nil && len(o.class.methods["operator()"]) > 0
+}
+
+// hashVal folds a value into a deterministic hash. Callables hash to a
+// constant: the original program passes lambdas where the substituted
+// one passes generated functors, and opaque callees invoke neither.
+func (in *interp) hashVal(v value) uint64 {
+	switch x := v.(type) {
+	case intV:
+		return hashAll(hashStr("i"), uint64(x))
+	case floatV:
+		return hashAll(hashStr("f"), uint64(int64(x*1e6)))
+	case strV:
+		return hashStr(string(x))
+	case voidV:
+		return hashStr("void")
+	case coutV:
+		return hashStr("cout")
+	case closureV:
+		return hashStr("callable")
+	case funcRefV:
+		return hashStr("callable")
+	case ptrV:
+		if x.obj == nil {
+			return hashStr("null")
+		}
+		return in.hashVal(x.obj)
+	case *object:
+		if in.isCallable(x) {
+			return hashStr("callable")
+		}
+		if x.opaque {
+			return hashAll(hashStr("o"), x.state)
+		}
+		return hashAll(in.hashObjShallow(x), x.state)
+	}
+	return hashStr(fmt.Sprintf("%T", v))
+}
+
+func (in *interp) hashObjShallow(o *object) uint64 {
+	h := hashStr(o.className)
+	for _, name := range o.order {
+		h = hashAll(h, in.hashVal(o.fields[name].v))
+	}
+	return h
+}
+
+func (in *interp) hashArgs(args []value) uint64 {
+	h := hashStr("args")
+	for _, a := range args {
+		h = hashAll(h, in.hashVal(a))
+	}
+	return h
+}
+
+// FNV-1a-style mixing.
+func hashStr(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func hashAll(parts ...uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, p := range parts {
+		for i := 0; i < 8; i++ {
+			h ^= (p >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// ------------------------------------------------------------ statements
+
+func (in *interp) execBlock(b *ast.CompoundStmt, e *env, ns []string) {
+	scope := &env{parent: e, vars: map[string]*cell{}}
+	for _, s := range b.Stmts {
+		in.exec(s, scope, ns)
+	}
+}
+
+func (in *interp) exec(s ast.Stmt, e *env, ns []string) {
+	in.step()
+	switch x := s.(type) {
+	case *ast.CompoundStmt:
+		in.execBlock(x, e, ns)
+	case *ast.DeclStmt:
+		vd, ok := x.D.(*ast.VarDecl)
+		if !ok {
+			in.fail("unsupported local declaration %T", x.D)
+		}
+		e.define(vd.Name, in.evalVarInit(vd, e, ns))
+	case *ast.ExprStmt:
+		in.eval(x.X, e, ns)
+	case *ast.ReturnStmt:
+		var v value = voidV{}
+		if x.X != nil {
+			v = in.eval(x.X, e, ns)
+		}
+		panic(retSignal{v})
+	case *ast.IfStmt:
+		if in.truthy(in.eval(x.Cond, e, ns)) {
+			in.exec(x.Then, e, ns)
+		} else if x.Else != nil {
+			in.exec(x.Else, e, ns)
+		}
+	case *ast.ForStmt:
+		scope := &env{parent: e, vars: map[string]*cell{}}
+		if x.Init != nil {
+			in.exec(x.Init, scope, ns)
+		}
+		for x.Cond == nil || in.truthy(in.eval(x.Cond, scope, ns)) {
+			if !in.loopBody(x.Body, scope, ns) {
+				break
+			}
+			if x.Post != nil {
+				in.eval(x.Post, scope, ns)
+			}
+		}
+	case *ast.WhileStmt:
+		for in.truthy(in.eval(x.Cond, e, ns)) {
+			if !in.loopBody(x.Body, e, ns) {
+				break
+			}
+		}
+	case *ast.DoStmt:
+		for {
+			if !in.loopBody(x.Body, e, ns) {
+				break
+			}
+			if !in.truthy(in.eval(x.Cond, e, ns)) {
+				break
+			}
+		}
+	case *ast.SwitchStmt:
+		in.execSwitch(x, e, ns)
+	default:
+		in.fail("unsupported statement %T", s)
+	}
+}
+
+// loopBody runs one iteration; false means break.
+func (in *interp) loopBody(body ast.Stmt, e *env, ns []string) (cont bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch r.(type) {
+			case breakSignal:
+				cont = false
+			case continueSignal:
+				cont = true
+			default:
+				panic(r)
+			}
+		}
+	}()
+	in.exec(body, e, ns)
+	return true
+}
+
+func (in *interp) execSwitch(x *ast.SwitchStmt, e *env, ns []string) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(breakSignal); ok {
+				return
+			}
+			panic(r)
+		}
+	}()
+	cond := in.toInt(in.eval(x.Cond, e, ns))
+	matched := false
+	for _, c := range x.Cases {
+		if !matched {
+			if c.Value == nil {
+				matched = true
+			} else if in.toInt(in.eval(c.Value, e, ns)) == cond {
+				matched = true
+			}
+		}
+		if matched {
+			scope := &env{parent: e, vars: map[string]*cell{}}
+			for _, s := range c.Body {
+				in.exec(s, scope, ns)
+			}
+		}
+	}
+}
+
+func (in *interp) evalVarInit(vd *ast.VarDecl, e *env, ns []string) value {
+	if vd.CtorArgs != nil || (vd.Init == nil && vd.Type != nil && !vd.Type.Builtin && vd.Type.Pointer == 0) {
+		// T x(a, b); or T x; — construct (unless the type is an enum or
+		// alias of a builtin, which default to zero).
+		plain := vd.Type.Name.Plain()
+		if in.isEnumType(plain, ns) {
+			return intV(0)
+		}
+		ci := in.findClass(plain, ns)
+		if ci == nil && vd.CtorArgs == nil {
+			return intV(0)
+		}
+		args, cells := in.evalArgs(vd.CtorArgs, e, ns)
+		return in.construct(ci, qualify(plain, ns), args, cells)
+	}
+	if vd.Init == nil {
+		return intV(0)
+	}
+	v := in.eval(vd.Init, e, ns)
+	// Copy-initialization from an existing lvalue object copies it.
+	if _, isRef := vd.Init.(*ast.DeclRefExpr); isRef {
+		if vd.Type != nil && vd.Type.IsByValue() {
+			v = in.copyVal(v)
+		}
+	}
+	if vd.Type != nil && vd.Type.Builtin && vd.Type.Pointer == 0 {
+		v = in.coerceBuiltin(v, vd.Type)
+	}
+	return v
+}
+
+func qualify(name string, ns []string) string {
+	if strings.Contains(name, "::") || len(ns) == 0 {
+		return name
+	}
+	return name
+}
+
+func (in *interp) isEnumType(plain string, ns []string) bool {
+	for _, cand := range resolveCandidates(plain, ns) {
+		if in.enumTys[cand] {
+			return true
+		}
+	}
+	return false
+}
+
+func (in *interp) coerceBuiltin(v value, t *ast.Type) value {
+	name := t.Name.Plain()
+	switch name {
+	case "int", "long", "short", "char", "unsigned", "size_t", "int64_t", "int32_t", "uint64_t", "uint32_t", "bool":
+		if f, ok := v.(floatV); ok {
+			return intV(int64(f))
+		}
+	case "double", "float":
+		if i, ok := v.(intV); ok {
+			return floatV(float64(i))
+		}
+	}
+	return v
+}
+
+// ----------------------------------------------------------- expressions
+
+// eval evaluates an expression to a value.
+func (in *interp) eval(x ast.Expr, e *env, ns []string) value {
+	v, _ := in.evalCell(x, e, ns)
+	return v
+}
+
+// evalCell evaluates an expression and, when it denotes an lvalue,
+// returns its storage cell too.
+func (in *interp) evalCell(x ast.Expr, e *env, ns []string) (value, *cell) {
+	in.step()
+	switch ex := x.(type) {
+	case *ast.LiteralExpr:
+		return in.literal(ex), nil
+	case *ast.DeclRefExpr:
+		return in.declRef(ex, e, ns)
+	case *ast.ParenExpr:
+		return in.evalCell(ex.X, e, ns)
+	case *ast.CallExpr:
+		return in.evalCall(ex, e, ns), nil
+	case *ast.MemberExpr:
+		return in.member(ex, e, ns)
+	case *ast.BinaryExpr:
+		return in.binary(ex, e, ns), nil
+	case *ast.UnaryExpr:
+		return in.unary(ex, e, ns)
+	case *ast.ConditionalExpr:
+		if in.truthy(in.eval(ex.Cond, e, ns)) {
+			return in.eval(ex.Then, e, ns), nil
+		}
+		return in.eval(ex.Else, e, ns), nil
+	case *ast.LambdaExpr:
+		in.checkLambda(ex)
+		return closureV{lam: ex, env: e, ns: ns}, nil
+	case *ast.NewExpr:
+		ci := in.findClass(ex.Type.Name.Plain(), ns)
+		args, cells := in.evalArgs(ex.Args, e, ns)
+		return ptrV{obj: in.construct(ci, ex.Type.Name.Plain(), args, cells)}, nil
+	case *ast.CastExpr:
+		v := in.eval(ex.X, e, ns)
+		if ex.Type != nil && ex.Type.Builtin {
+			return in.coerceBuiltin(v, ex.Type), nil
+		}
+		return v, nil
+	case *ast.InitListExpr:
+		if !ex.TypeName.IsEmpty() {
+			ci := in.findClass(ex.TypeName.Plain(), ns)
+			args, cells := in.evalArgs(ex.Elems, e, ns)
+			return in.construct(ci, ex.TypeName.Plain(), args, cells), nil
+		}
+		in.fail("untyped braced initializer")
+	case *ast.IndexExpr:
+		base := in.eval(ex.Base, e, ns)
+		idx := in.eval(ex.Index, e, ns)
+		if o, ok := base.(*object); ok && o.opaque {
+			return in.opaqueCall("operator[]", o, nil, []value{idx}, nil), nil
+		}
+		in.fail("unsupported indexing on %T", base)
+	}
+	in.fail("unsupported expression %T", x)
+	return nil, nil
+}
+
+func (in *interp) checkLambda(lam *ast.LambdaExpr) {
+	if lam.DefaultCapture == "=" {
+		in.fail("by-value default capture not supported")
+	}
+	for _, c := range lam.Captures {
+		if c.Name != "" && !c.ByRef {
+			in.fail("by-value capture %q not supported", c.Name)
+		}
+	}
+}
+
+func (in *interp) literal(l *ast.LiteralExpr) value {
+	switch l.Kind {
+	case token.IntLit:
+		return intV(parseIntLit(l.Text))
+	case token.FloatLit:
+		f, _ := strconv.ParseFloat(strings.TrimRight(l.Text, "fFlL"), 64)
+		return floatV(f)
+	case token.CharLit:
+		return intV(charLitValue(l.Text))
+	case token.StringLit:
+		return strV(unquoteCpp(l.Text))
+	}
+	switch l.Text {
+	case "true":
+		return intV(1)
+	case "false":
+		return intV(0)
+	case "nullptr", "NULL":
+		return ptrV{}
+	}
+	return intV(0)
+}
+
+func parseIntLit(s string) int64 {
+	s = strings.TrimRight(s, "uUlL")
+	s = strings.ReplaceAll(s, "'", "")
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		u, _ := strconv.ParseUint(s, 0, 64)
+		return int64(u)
+	}
+	return v
+}
+
+func charLitValue(s string) int64 {
+	s = strings.TrimPrefix(strings.TrimPrefix(strings.TrimPrefix(s, "L"), "u"), "U")
+	s = strings.Trim(s, "'")
+	if strings.HasPrefix(s, "\\") && len(s) > 1 {
+		switch s[1] {
+		case 'n':
+			return '\n'
+		case 't':
+			return '\t'
+		case '0':
+			return 0
+		case '\\':
+			return '\\'
+		case '\'':
+			return '\''
+		}
+	}
+	if len(s) > 0 {
+		return int64(s[0])
+	}
+	return 0
+}
+
+func unquoteCpp(s string) string {
+	// Raw string: R"delim(content)delim"
+	if i := strings.Index(s, "R\""); i >= 0 && i <= 2 {
+		rest := s[i+2:]
+		if j := strings.IndexByte(rest, '('); j >= 0 {
+			delim := rest[:j]
+			content := rest[j+1:]
+			if k := strings.LastIndex(content, ")"+delim+"\""); k >= 0 {
+				return content[:k]
+			}
+		}
+	}
+	s = strings.TrimLeft(s, "uUL8")
+	s = strings.Trim(s, "\"")
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '"', '\'':
+				b.WriteByte(s[i])
+			case '0':
+				b.WriteByte(0)
+			default:
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func (in *interp) declRef(ex *ast.DeclRefExpr, e *env, ns []string) (value, *cell) {
+	plain := ex.Name.Plain()
+	if len(ex.Name.Segments) == 1 {
+		if c := e.lookup(plain); c != nil {
+			return c.v, c
+		}
+		switch plain {
+		case "true":
+			return intV(1), nil
+		case "false":
+			return intV(0), nil
+		case "nullptr", "NULL":
+			return ptrV{}, nil
+		}
+	}
+	// The trace sink wins over any `extern ostream cout;` stub global.
+	switch plain {
+	case "std::cout", "std::cerr", "cout", "cerr":
+		return coutV{}, nil
+	case "std::endl", "std::flush", "endl":
+		return strV("\n"), nil
+	}
+	for _, cand := range resolveCandidates(plain, ns) {
+		if v, ok := in.enums[cand]; ok {
+			return intV(v), nil
+		}
+		if c, ok := in.globals[cand]; ok {
+			return c.v, c
+		}
+	}
+	if strings.HasPrefix(plain, "std::") {
+		return opaqueResult(hashAll(hashStr("stdref"), hashStr(plain))), nil
+	}
+	if _, fqn := in.findFuncs(plain, ns); fqn != "" {
+		return funcRefV{name: fqn}, nil
+	}
+	in.fail("unresolved name %q", plain)
+	return nil, nil
+}
+
+func (in *interp) member(ex *ast.MemberExpr, e *env, ns []string) (value, *cell) {
+	base := in.eval(ex.Base, e, ns)
+	if p, ok := base.(ptrV); ok && ex.Arrow {
+		if p.obj == nil {
+			in.fail("member %q on null pointer", ex.Member)
+		}
+		base = p.obj
+	}
+	if o, ok := base.(*object); ok {
+		if c, ok := o.fields[ex.Member]; ok {
+			return c.v, c
+		}
+		if o.opaque {
+			return in.opaqueCall(ex.Member, o, nil, nil, nil), nil
+		}
+	}
+	in.fail("no member %q on %T", ex.Member, base)
+	return nil, nil
+}
+
+func (in *interp) evalArgs(args []ast.Expr, e *env, ns []string) ([]value, []*cell) {
+	vals := make([]value, len(args))
+	cells := make([]*cell, len(args))
+	for i, a := range args {
+		vals[i], cells[i] = in.evalCell(a, e, ns)
+	}
+	return vals, cells
+}
+
+// evalCall dispatches a call expression.
+func (in *interp) evalCall(ex *ast.CallExpr, e *env, ns []string) value {
+	in.step()
+	switch callee := ex.Callee.(type) {
+	case *ast.MemberExpr:
+		return in.methodCall(callee, ex.Args, e, ns)
+	case *ast.DeclRefExpr:
+		return in.namedCall(callee, ex.Args, e, ns)
+	}
+	fn := in.eval(ex.Callee, e, ns)
+	args, cells := in.evalArgs(ex.Args, e, ns)
+	return in.callValue(fn, args, cells, "<expr>")
+}
+
+func (in *interp) methodCall(callee *ast.MemberExpr, argExprs []ast.Expr, e *env, ns []string) value {
+	base := in.eval(callee.Base, e, ns)
+	if p, ok := base.(ptrV); ok && callee.Arrow {
+		if p.obj == nil {
+			in.fail("method %q on null pointer", callee.Member)
+		}
+		base = p.obj
+	}
+	args, cells := in.evalArgs(argExprs, e, ns)
+	o, ok := base.(*object)
+	if !ok {
+		// Method call on a non-object (an opaque scalar, e.g. a
+		// std::string stand-in): opaque, keyed on the receiver's hash.
+		return opaqueResult(hashAll(hashStr("scalarmethod"), in.hashVal(base), hashStr(callee.Member), in.hashArgs(args)))
+	}
+	if o.class != nil {
+		cands := o.class.methods[callee.Member]
+		m := pickOverload(cands, len(args))
+		if m != nil && m.Body != nil {
+			return in.invokeDecl(m, o.class.ns, args, cells, o)
+		}
+		if m != nil {
+			return in.opaqueCall(callee.Member, o, m, args, cells)
+		}
+		if o.class.hasDef && !o.opaque {
+			in.fail("class %s has no method %q/%d", o.class.fqn, callee.Member, len(args))
+		}
+	}
+	return in.opaqueCall(callee.Member, o, nil, args, cells)
+}
+
+func (in *interp) namedCall(callee *ast.DeclRefExpr, argExprs []ast.Expr, e *env, ns []string) value {
+	plain := callee.Name.Plain()
+	// Trace hook and receiver-normalization builtins.
+	switch plain {
+	case "yf_emit":
+		args, _ := in.evalArgs(argExprs, e, ns)
+		if len(args) != 1 {
+			in.fail("yf_emit takes 1 argument")
+		}
+		in.events = append(in.events, in.render(args[0]))
+		return voidV{}
+	case "yalla_deref":
+		args, _ := in.evalArgs(argExprs, e, ns)
+		if len(args) != 1 {
+			in.fail("yalla_deref takes 1 argument")
+		}
+		if p, ok := args[0].(ptrV); ok {
+			if p.obj == nil {
+				in.fail("yalla_deref(null)")
+			}
+			return p.obj
+		}
+		return args[0]
+	}
+	// A local or global variable holding a callable.
+	if len(callee.Name.Segments) == 1 {
+		if c := e.lookup(plain); c != nil {
+			args, cells := in.evalArgs(argExprs, e, ns)
+			return in.callValue(c.v, args, cells, plain)
+		}
+	}
+	// Free function (possibly namespaced, possibly a template).
+	if cands, fqn := in.findFuncs(plain, ns); cands != nil {
+		var decls []*ast.FunctionDecl
+		for _, fi := range cands {
+			decls = append(decls, fi.decl)
+		}
+		args, cells := in.evalArgs(argExprs, e, ns)
+		f := pickOverload(decls, len(args))
+		if f == nil {
+			in.fail("no overload of %s takes %d args", fqn, len(args))
+		}
+		for _, fi := range cands {
+			if fi.decl == f {
+				if f.Body == nil {
+					return in.opaqueCall(fqn, nil, f, args, cells)
+				}
+				return in.invoke(fi, args, cells)
+			}
+		}
+	}
+	// Constructor call T(args) / alias / enum conversion.
+	if ci := in.findClass(plain, ns); ci != nil {
+		args, cells := in.evalArgs(argExprs, e, ns)
+		return in.construct(ci, plain, args, cells)
+	}
+	if in.isEnumType(plain, ns) {
+		args, _ := in.evalArgs(argExprs, e, ns)
+		if len(args) == 1 {
+			return args[0]
+		}
+	}
+	// Static method: Qualifier::method().
+	if q := callee.Name.Qualifier(); !q.IsEmpty() {
+		if ci := in.findClass(q.Plain(), ns); ci != nil {
+			name := callee.Name.Last().Name
+			args, cells := in.evalArgs(argExprs, e, ns)
+			m := pickOverload(ci.methods[name], len(args))
+			if m != nil && m.Body != nil && m.Static {
+				return in.invokeDecl(m, ci.ns, args, cells, nil)
+			}
+			return in.opaqueCall(ci.fqn+"::"+name, nil, m, args, cells)
+		}
+	}
+	if strings.HasPrefix(plain, "std::") {
+		args, cells := in.evalArgs(argExprs, e, ns)
+		return in.opaqueCall(plain, nil, nil, args, cells)
+	}
+	in.fail("unresolved call to %q", plain)
+	return nil
+}
+
+// callValue invokes a first-class callable: a lambda closure, a functor
+// object, or a function reference.
+func (in *interp) callValue(fn value, args []value, cells []*cell, what string) value {
+	switch f := fn.(type) {
+	case closureV:
+		lamFn := &ast.FunctionDecl{Params: f.lam.Params, Body: f.lam.Body}
+		return in.invokeClosure(lamFn, f, args, cells)
+	case funcRefV:
+		cands := in.funcs[f.name]
+		var decls []*ast.FunctionDecl
+		for _, fi := range cands {
+			decls = append(decls, fi.decl)
+		}
+		d := pickOverload(decls, len(args))
+		if d == nil {
+			in.fail("no overload of %s takes %d args", f.name, len(args))
+		}
+		for _, fi := range cands {
+			if fi.decl == d {
+				if d.Body == nil {
+					return in.opaqueCall(f.name, nil, d, args, cells)
+				}
+				return in.invoke(fi, args, cells)
+			}
+		}
+	case *object:
+		if in.isCallable(f) {
+			m := pickOverload(f.class.methods["operator()"], len(args))
+			if m != nil && m.Body != nil {
+				return in.invokeDecl(m, f.class.ns, args, cells, f)
+			}
+		}
+		if f.opaque {
+			return in.opaqueCall("operator()", f, nil, args, cells)
+		}
+	case ptrV:
+		if f.obj != nil {
+			return in.callValue(f.obj, args, cells, what)
+		}
+	}
+	in.fail("value %q (%T) is not callable", what, fn)
+	return nil
+}
+
+// invokeClosure runs a lambda body in its captured environment.
+func (in *interp) invokeClosure(f *ast.FunctionDecl, cl closureV, args []value, cells []*cell) (ret value) {
+	in.step()
+	e := &env{parent: cl.env, vars: map[string]*cell{}}
+	in.bindParams(f.Params, args, cells, e, cl.ns)
+	defer func() {
+		if r := recover(); r != nil {
+			if rs, ok := r.(retSignal); ok {
+				ret = rs.v
+				return
+			}
+			panic(r)
+		}
+	}()
+	in.execBlock(f.Body, e, cl.ns)
+	return voidV{}
+}
+
+// ---------------------------------------------------------- binary/unary
+
+func (in *interp) binary(ex *ast.BinaryExpr, e *env, ns []string) value {
+	switch ex.Op {
+	case token.AmpAmp:
+		if !in.truthy(in.eval(ex.L, e, ns)) {
+			return intV(0)
+		}
+		return boolInt(in.truthy(in.eval(ex.R, e, ns)))
+	case token.PipePipe:
+		if in.truthy(in.eval(ex.L, e, ns)) {
+			return intV(1)
+		}
+		return boolInt(in.truthy(in.eval(ex.R, e, ns)))
+	case token.Assign, token.PlusEq, token.MinusEq, token.StarEq, token.SlashEq, token.PercentEq,
+		token.AmpEq, token.PipeEq, token.CaretEq, token.ShlEq, token.ShrEq:
+		return in.assign(ex, e, ns)
+	}
+	l := in.eval(ex.L, e, ns)
+	if ex.Op == token.Shl || ex.Op == token.Shr {
+		if _, isCout := l.(coutV); isCout && ex.Op == token.Shl {
+			r := in.eval(ex.R, e, ns)
+			in.events = append(in.events, in.render(r))
+			return coutV{}
+		}
+		// Stream insertion/extraction on a library object
+		// (std::stringstream and friends): run a defined operator<< if
+		// the class has one, otherwise fold the operand into the
+		// stream's state and return the stream so chains work. Not a
+		// trace event — only std::cout observes.
+		if o, isObj := l.(*object); isObj {
+			r := in.eval(ex.R, e, ns)
+			op := "operator<<"
+			if ex.Op == token.Shr {
+				op = "operator>>"
+			}
+			if o.class != nil {
+				if m := pickOverload(o.class.methods[op], 1); m != nil && m.Body != nil {
+					return in.invokeDecl(m, o.class.ns, []value{r}, nil, o)
+				}
+			}
+			o.state = hashAll(o.state, hashStr("stream"), in.hashVal(r))
+			return o
+		}
+	}
+	r := in.eval(ex.R, e, ns)
+	return in.arith(ex.Op, l, r)
+}
+
+func (in *interp) assign(ex *ast.BinaryExpr, e *env, ns []string) value {
+	// Assignment through an opaque call result: view(i, j) = x.
+	if call, ok := stripParens(ex.L).(*ast.CallExpr); ok {
+		return in.opaqueAssign(ex, call, e, ns)
+	}
+	_, c := in.evalCell(ex.L, e, ns)
+	if c == nil {
+		in.fail("assignment target is not an lvalue")
+	}
+	r := in.eval(ex.R, e, ns)
+	if ex.Op == token.Assign {
+		c.v = in.copyVal(r)
+		return c.v
+	}
+	c.v = in.arith(compoundBase(ex.Op), c.v, r)
+	return c.v
+}
+
+// opaqueAssign handles `recv(args...) <op>= rhs` where recv(args...) is
+// an opaque lvalue (a reference returned by a declared-only method).
+func (in *interp) opaqueAssign(ex *ast.BinaryExpr, call *ast.CallExpr, e *env, ns []string) value {
+	var recv *object
+	var key uint64
+	switch callee := call.Callee.(type) {
+	case *ast.MemberExpr:
+		base := in.eval(callee.Base, e, ns)
+		if p, ok := base.(ptrV); ok {
+			base = p.obj
+		}
+		o, ok := base.(*object)
+		if !ok {
+			in.fail("opaque assignment through non-object receiver")
+		}
+		args, _ := in.evalArgs(call.Args, e, ns)
+		recv, key = o, hashAll(hashStr(callee.Member), in.hashArgs(args))
+	case *ast.DeclRefExpr:
+		v := in.eval(callee, e, ns)
+		if p, ok := v.(ptrV); ok {
+			v = p.obj
+		}
+		o, ok := v.(*object)
+		if !ok {
+			in.fail("assignment to call on non-object %q", callee.Name.Plain())
+		}
+		args, _ := in.evalArgs(call.Args, e, ns)
+		recv, key = o, hashAll(hashStr("operator()"), in.hashArgs(args))
+	default:
+		in.fail("unsupported assignment target")
+	}
+	if !recv.opaque {
+		in.fail("assignment through call on non-opaque object")
+	}
+	cur := in.opaqueCall("load", recv, nil, []value{intV(int64(key & opaqueMask))}, nil)
+	var nv value
+	if ex.Op == token.Assign {
+		nv = in.eval(ex.R, e, ns)
+	} else {
+		nv = in.arith(compoundBase(ex.Op), cur, in.eval(ex.R, e, ns))
+	}
+	in.opaqueStore(recv, key, nv)
+	return nv
+}
+
+func stripParens(x ast.Expr) ast.Expr {
+	for {
+		p, ok := x.(*ast.ParenExpr)
+		if !ok {
+			return x
+		}
+		x = p.X
+	}
+}
+
+func compoundBase(op token.Kind) token.Kind {
+	switch op {
+	case token.PlusEq:
+		return token.Plus
+	case token.MinusEq:
+		return token.Minus
+	case token.StarEq:
+		return token.Star
+	case token.SlashEq:
+		return token.Slash
+	case token.PercentEq:
+		return token.Percent
+	case token.AmpEq:
+		return token.Amp
+	case token.PipeEq:
+		return token.Pipe
+	case token.CaretEq:
+		return token.Caret
+	case token.ShlEq:
+		return token.Shl
+	case token.ShrEq:
+		return token.Shr
+	}
+	return op
+}
+
+func (in *interp) arith(op token.Kind, l, r value) value {
+	if lf, ok := l.(floatV); ok {
+		return in.floatArith(op, float64(lf), in.toFloat(r))
+	}
+	if rf, ok := r.(floatV); ok {
+		return in.floatArith(op, in.toFloat(l), float64(rf))
+	}
+	if ls, ok := l.(strV); ok {
+		if rs, ok := r.(strV); ok && op == token.Plus {
+			return strV(string(ls) + string(rs))
+		}
+		if op == token.EqEq || op == token.NotEq {
+			rs, _ := r.(strV)
+			return boolInt((ls == rs) == (op == token.EqEq))
+		}
+	}
+	a, b := in.toInt(l), in.toInt(r)
+	switch op {
+	case token.Plus:
+		return intV(a + b)
+	case token.Minus:
+		return intV(a - b)
+	case token.Star:
+		return intV(a * b)
+	case token.Slash:
+		if b == 0 {
+			in.fail("integer division by zero")
+		}
+		return intV(a / b)
+	case token.Percent:
+		if b == 0 {
+			in.fail("integer modulo by zero")
+		}
+		return intV(a % b)
+	case token.Amp:
+		return intV(a & b)
+	case token.Pipe:
+		return intV(a | b)
+	case token.Caret:
+		return intV(a ^ b)
+	case token.Shl:
+		return intV(a << (uint64(b) & 63))
+	case token.Shr:
+		return intV(a >> (uint64(b) & 63))
+	case token.Less:
+		return boolInt(a < b)
+	case token.Greater:
+		return boolInt(a > b)
+	case token.LessEq:
+		return boolInt(a <= b)
+	case token.GreaterEq:
+		return boolInt(a >= b)
+	case token.EqEq:
+		return boolInt(a == b)
+	case token.NotEq:
+		return boolInt(a != b)
+	case token.Comma:
+		return r
+	}
+	in.fail("unsupported binary operator %v", op)
+	return nil
+}
+
+func (in *interp) floatArith(op token.Kind, a, b float64) value {
+	switch op {
+	case token.Plus:
+		return floatV(a + b)
+	case token.Minus:
+		return floatV(a - b)
+	case token.Star:
+		return floatV(a * b)
+	case token.Slash:
+		if b == 0 {
+			in.fail("float division by zero")
+		}
+		return floatV(a / b)
+	case token.Less:
+		return boolInt(a < b)
+	case token.Greater:
+		return boolInt(a > b)
+	case token.LessEq:
+		return boolInt(a <= b)
+	case token.GreaterEq:
+		return boolInt(a >= b)
+	case token.EqEq:
+		return boolInt(a == b)
+	case token.NotEq:
+		return boolInt(a != b)
+	}
+	in.fail("unsupported float operator %v", op)
+	return nil
+}
+
+func (in *interp) unary(ex *ast.UnaryExpr, e *env, ns []string) (value, *cell) {
+	switch ex.Op {
+	case token.PlusPlus, token.MinusMinus:
+		_, c := in.evalCell(ex.X, e, ns)
+		if c == nil {
+			in.fail("++/-- target is not an lvalue")
+		}
+		old := in.toInt(c.v)
+		delta := int64(1)
+		if ex.Op == token.MinusMinus {
+			delta = -1
+		}
+		c.v = intV(old + delta)
+		if ex.Postfix {
+			return intV(old), nil
+		}
+		return c.v, c
+	case token.Minus:
+		v := in.eval(ex.X, e, ns)
+		if f, ok := v.(floatV); ok {
+			return floatV(-f), nil
+		}
+		return intV(-in.toInt(v)), nil
+	case token.Plus:
+		return in.eval(ex.X, e, ns), nil
+	case token.Exclaim:
+		return boolInt(!in.truthy(in.eval(ex.X, e, ns))), nil
+	case token.Tilde:
+		return intV(^in.toInt(in.eval(ex.X, e, ns))), nil
+	case token.Star:
+		v := in.eval(ex.X, e, ns)
+		if p, ok := v.(ptrV); ok {
+			if p.obj == nil {
+				in.fail("dereference of null pointer")
+			}
+			return p.obj, nil
+		}
+		in.fail("dereference of non-pointer %T", v)
+	case token.Amp:
+		v, _ := in.evalCell(ex.X, e, ns)
+		if o, ok := v.(*object); ok {
+			return ptrV{obj: o}, nil
+		}
+		in.fail("address-of non-object")
+	}
+	in.fail("unsupported unary operator %v", ex.Op)
+	return nil, nil
+}
+
+// ----------------------------------------------------------- conversions
+
+func boolInt(b bool) intV {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (in *interp) truthy(v value) bool {
+	switch x := v.(type) {
+	case intV:
+		return x != 0
+	case floatV:
+		return x != 0
+	case strV:
+		return x != ""
+	case ptrV:
+		return x.obj != nil
+	case *object:
+		return true
+	}
+	return false
+}
+
+func (in *interp) toInt(v value) int64 {
+	switch x := v.(type) {
+	case intV:
+		return int64(x)
+	case floatV:
+		return int64(x)
+	case strV:
+		return int64(hashStr(string(x)) & opaqueMask)
+	case *object:
+		in.fail("cannot convert object %s to int", x.className)
+	}
+	in.fail("cannot convert %T to int", v)
+	return 0
+}
+
+func (in *interp) toFloat(v value) float64 {
+	switch x := v.(type) {
+	case intV:
+		return float64(x)
+	case floatV:
+		return float64(x)
+	}
+	in.fail("cannot convert %T to float", v)
+	return 0
+}
+
+// render formats a value for the trace. Pointers render as their
+// pointee so that a pointerized rewrite of an emitted object stays
+// comparable to the original.
+func (in *interp) render(v value) string {
+	switch x := v.(type) {
+	case intV:
+		return strconv.FormatInt(int64(x), 10)
+	case floatV:
+		return strconv.FormatFloat(float64(x), 'g', -1, 64)
+	case strV:
+		return string(x)
+	case ptrV:
+		if x.obj == nil {
+			return "<null>"
+		}
+		return in.render(x.obj)
+	case *object:
+		return fmt.Sprintf("o%x", in.hashVal(x)&opaqueMask)
+	case voidV:
+		return "<void>"
+	}
+	return fmt.Sprintf("<%T>", v)
+}

@@ -1,0 +1,221 @@
+package difftest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/fuzzgen"
+)
+
+// Minimize shrinks a failing generated program to a (1-minimal) smaller
+// program that still trips the same oracle: it greedily drops program
+// chunks (the dependency closure keeps candidates well-formed), then
+// applies the semantic simplification passes — inline type aliases,
+// de-templatize classes — keeping every change that preserves the
+// failure. Returns the minimized program and the failing Result observed
+// on it.
+func Minimize(p *fuzzgen.Program, opt Options) (*fuzzgen.Program, *Result, error) {
+	if p.Spec == nil {
+		return nil, nil, fmt.Errorf("difftest: program has no spec to minimize")
+	}
+	base := Check(SubjectFor(p), opt)
+	if base.OK() {
+		return nil, nil, fmt.Errorf("difftest: program does not fail; nothing to minimize")
+	}
+	oracle := base.Violations[0].Oracle
+	// Re-checking candidates only needs the one failing oracle.
+	opt.Oracles = []string{oracle}
+
+	spec, last := p.Spec, base
+	fails := func(cand *fuzzgen.Spec) (*Result, bool) {
+		if cand == nil {
+			return nil, false
+		}
+		r := Check(SubjectFor(cand.Program()), opt)
+		for _, v := range r.Violations {
+			if v.Oracle == oracle {
+				return r, true
+			}
+		}
+		return nil, false
+	}
+
+	// Greedy chunk dropping to a fixpoint (1-minimal: no single chunk —
+	// with its dependents — can be removed and still fail).
+	for changed := true; changed; {
+		changed = false
+		for _, id := range spec.KeptIDs() {
+			keep := make([]int, 0)
+			for _, k := range spec.KeptIDs() {
+				if k != id {
+					keep = append(keep, k)
+				}
+			}
+			cand := spec.WithKeep(keep)
+			// Only candidates that strictly shrink the kept set count as
+			// progress; anything else could cycle the fixpoint loop.
+			if len(cand.KeptIDs()) >= len(spec.KeptIDs()) {
+				continue
+			}
+			if r, bad := fails(cand); bad {
+				spec, last = cand, r
+				changed = true
+			}
+		}
+	}
+	// Simplification passes.
+	for _, c := range spec.Chunks {
+		if c.AliasName != "" {
+			if r, bad := fails(spec.InlineAlias(c.ID)); bad {
+				spec, last = spec.InlineAlias(c.ID), r
+			}
+		}
+	}
+	for _, c := range spec.Chunks {
+		if c.TemplateName != "" {
+			if r, bad := fails(spec.PlainTemplate(c.ID)); bad {
+				spec, last = spec.PlainTemplate(c.ID), r
+			}
+		}
+	}
+	return spec.Program(), last, nil
+}
+
+// ----------------------------------------------------------------- repros
+
+// Repro is a saved minimal reproducer: the complete file set plus the
+// oracle it trips, re-runnable without the generator.
+type Repro struct {
+	Name        string            `json:"name"`
+	Seed        int64             `json:"seed"`
+	Oracle      string            `json:"oracle"`
+	Detail      string            `json:"detail"`
+	Keep        []int             `json:"keep,omitempty"`
+	MainFile    string            `json:"main_file"`
+	Header      string            `json:"header"`
+	SearchPaths []string          `json:"search_paths"`
+	Files       map[string]string `json:"files"`
+	// SourceLines counts the non-blank generated source lines (main +
+	// library header, excluding constant filler dependencies).
+	SourceLines int `json:"source_lines"`
+}
+
+// NewRepro packages a failing (ideally minimized) program and its
+// result.
+func NewRepro(p *fuzzgen.Program, r *Result) *Repro {
+	v := Violation{Oracle: "unknown", Detail: "unknown"}
+	if len(r.Violations) > 0 {
+		v = r.Violations[0]
+	}
+	rep := &Repro{
+		Name:        p.Name + "-" + v.Oracle,
+		Oracle:      v.Oracle,
+		Detail:      v.Detail,
+		MainFile:    p.MainFile,
+		Header:      p.Header,
+		SearchPaths: p.SearchPaths,
+		Files:       p.Files,
+		SourceLines: SourceLines(p),
+	}
+	if p.Spec != nil {
+		rep.Seed = p.Spec.Seed
+		rep.Keep = p.Spec.Keep
+	}
+	return rep
+}
+
+// SourceLines counts the non-blank lines of the generated main and
+// library header (the part the minimizer shrinks; filler headers are
+// constant mass, not test case).
+func SourceLines(p *fuzzgen.Program) int {
+	n := 0
+	for _, path := range []string{p.MainFile, fuzzgen.HeaderPath} {
+		for _, line := range strings.Split(p.Files[path], "\n") {
+			t := strings.TrimSpace(line)
+			if t == "" || strings.HasPrefix(t, "#include") || t == "#pragma once" {
+				continue
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// Save writes the repro as pretty JSON under dir (created if missing)
+// and returns the file path.
+func (r *Repro) Save(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, r.Name+".json")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadRepro reads a saved reproducer.
+func LoadRepro(path string) (*Repro, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Repro
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if r.MainFile == "" || len(r.Files) == 0 {
+		return nil, fmt.Errorf("%s: not a repro file", path)
+	}
+	return &r, nil
+}
+
+// LoadRepros reads every .json reproducer under dir (missing dir is an
+// empty set), sorted by name.
+func LoadRepros(dir string) ([]*Repro, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []*Repro
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		r, err := LoadRepro(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Program reconstructs the repro's program for re-checking.
+func (r *Repro) Program() *fuzzgen.Program {
+	return &fuzzgen.Program{
+		Name:        r.Name,
+		Files:       r.Files,
+		MainFile:    r.MainFile,
+		Header:      r.Header,
+		SearchPaths: r.SearchPaths,
+	}
+}
+
+// Check re-runs the oracles over the saved reproducer. A fixed repro
+// passes; a still-broken pipeline reports the violation again.
+func (r *Repro) Check(opt Options) *Result {
+	return Check(SubjectFor(r.Program()), opt)
+}

@@ -1,0 +1,493 @@
+// Package difftest is the differential-testing harness for the Header
+// Substitution pipeline. It checks the paper's core claim — that
+// substitution is *semantics-preserving* while compiling faster — on
+// arbitrary subjects (corpus entries or fuzzgen-generated programs) with
+// four oracles:
+//
+//	exec        the original program and the substituted program
+//	            (modified sources + wrappers TU) produce identical
+//	            observable output under the reference interpreter
+//	idempotent  substituting already-substituted sources is a no-op
+//	            (the tool reports nothing left to substitute) or a
+//	            stable fixpoint (byte-identical regenerated artifacts)
+//	paths       cache-on/cache-off, -j1/-jN, and daemon-session vs.
+//	            one-shot execution paths produce byte-identical
+//	            generated files
+//	perf        the substituted rebuild cost is no worse than the
+//	            baseline rebuild cost (the paper's headline property)
+//
+// A failed oracle yields a Violation with a deterministic detail string;
+// the minimizer (minimize.go) shrinks a failing generated program to a
+// minimal reproducer.
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/buildcache"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/cpp/ast"
+	"repro/internal/cpp/parser"
+	"repro/internal/cpp/preprocessor"
+	"repro/internal/daemon"
+	"repro/internal/devcycle"
+	"repro/internal/fuzzgen"
+	"repro/internal/obs"
+	"repro/internal/vfs"
+)
+
+// OracleNames lists every oracle in canonical run order.
+var OracleNames = []string{"exec", "idempotent", "paths", "perf"}
+
+// mutateGenerated is a test-only fault-injection hook: when set, every
+// generated file (lightweight header, wrappers, modified sources) is
+// passed through it right after substitution, before the exec oracle
+// interprets the substituted program. Tests use it to verify that a
+// broken rewrite actually trips an oracle.
+var mutateGenerated func(path, content string) string
+
+// Violation is one oracle failure.
+type Violation struct {
+	Oracle string `json:"oracle"`
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string { return v.Oracle + ": " + v.Detail }
+
+// Result is the outcome of checking one subject against the oracles.
+type Result struct {
+	Subject    string      `json:"subject"`
+	Violations []Violation `json:"violations,omitempty"`
+	// Skipped records oracles that could not run with the reason (e.g.
+	// both program variants fail identically under the interpreter).
+	Skipped []string `json:"skipped,omitempty"`
+}
+
+// OK reports whether every oracle passed.
+func (r *Result) OK() bool { return len(r.Violations) == 0 }
+
+func (r *Result) addf(oracle, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Oracle: oracle, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (r *Result) skipf(oracle, format string, args ...any) {
+	r.Skipped = append(r.Skipped, oracle+": "+fmt.Sprintf(format, args...))
+}
+
+// Options tunes a Check run.
+type Options struct {
+	// Oracles selects a subset of OracleNames; nil or empty runs all.
+	Oracles []string
+	// Budget bounds interpreter steps per program; <= 0 uses the
+	// interpreter default.
+	Budget int
+	// Obs, when set, records one span per oracle plus check counters.
+	Obs *obs.Obs
+}
+
+func (o Options) want(name string) bool {
+	if len(o.Oracles) == 0 {
+		return true
+	}
+	for _, n := range o.Oracles {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// SubjectFor wraps a generated program as a corpus subject so the whole
+// devcycle/daemon machinery can run it unchanged.
+func SubjectFor(p *fuzzgen.Program) *corpus.Subject {
+	fs := vfs.New()
+	paths := make([]string, 0, len(p.Files))
+	for path := range p.Files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		fs.Write(path, p.Files[path])
+	}
+	return &corpus.Subject{
+		Name:                p.Name,
+		Library:             "Fuzz",
+		FS:                  fs,
+		MainFile:            p.MainFile,
+		Sources:             []string{p.MainFile},
+		Header:              p.Header,
+		SearchPaths:         p.SearchPaths,
+		KernelIters:         4,
+		WrapperCallsPerIter: 2,
+	}
+}
+
+// Check runs the selected oracles over one subject. The subject's FS is
+// never written to: every pipeline run works on a private overlay.
+func Check(s *corpus.Subject, opt Options) *Result {
+	o := opt.Obs
+	sp := o.Start("difftest.check")
+	defer sp.End()
+	sp.SetStr("subject", s.Name)
+	res := &Result{Subject: s.Name}
+
+	// One primary substitution; exec/idempotent/paths all reuse it.
+	fsSub := s.FS.Overlay()
+	sub, err := substitute(fsSub, s, nil, "")
+	if err != nil {
+		res.addf("pipeline", "substitute failed: %v", err)
+		o.Counter("difftest.violations").Add(1)
+		return res
+	}
+	base := snapshotGenerated(fsSub, sub)
+	applyFault(fsSub, sub)
+
+	if opt.want("exec") {
+		esp := o.Start("oracle.exec")
+		execOracle(res, s, fsSub, sub, opt.Budget)
+		esp.End()
+	}
+	if opt.want("idempotent") {
+		isp := o.Start("oracle.idempotent")
+		idempotentOracle(res, s, fsSub, sub)
+		isp.End()
+	}
+	if opt.want("paths") {
+		psp := o.Start("oracle.paths")
+		pathsOracle(res, s, base)
+		psp.End()
+	}
+	if opt.want("perf") {
+		fsp := o.Start("oracle.perf")
+		perfOracle(res, s)
+		fsp.End()
+	}
+	o.Counter("difftest.checks").Add(1)
+	o.Counter("difftest.violations").Add(uint64(len(res.Violations)))
+	return res
+}
+
+// substitute runs core.Substitute on fs with panic containment (a
+// crashing rewrite is a finding, not a harness abort).
+func substitute(fs *vfs.FS, s *corpus.Subject, cache *buildcache.Cache, outDir string) (sub *core.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			sub, err = nil, fmt.Errorf("panic: %v", p)
+		}
+	}()
+	if outDir == "" {
+		outDir = s.OutDir()
+	}
+	opts := core.Options{
+		FS:          fs,
+		SearchPaths: s.SearchPaths,
+		Sources:     s.Sources,
+		Header:      s.Header,
+		OutDir:      outDir,
+	}
+	if cache != nil {
+		opts.TokenCache = cache
+	}
+	return core.Substitute(opts)
+}
+
+// generatedPaths lists the substitution's output files in stable order.
+func generatedPaths(sub *core.Result) []string {
+	paths := []string{sub.LightweightPath, sub.WrappersPath}
+	for _, p := range sub.ModifiedSources {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+func snapshotGenerated(fs *vfs.FS, sub *core.Result) map[string]string {
+	out := map[string]string{}
+	for _, p := range generatedPaths(sub) {
+		if c, err := fs.Read(p); err == nil {
+			out[p] = c
+		}
+	}
+	return out
+}
+
+func applyFault(fs *vfs.FS, sub *core.Result) {
+	if mutateGenerated == nil {
+		return
+	}
+	for _, p := range generatedPaths(sub) {
+		if c, err := fs.Read(p); err == nil {
+			fs.Write(p, mutateGenerated(p, c))
+		}
+	}
+}
+
+// ------------------------------------------------------------------ exec
+
+func execOracle(res *Result, s *corpus.Subject, fsSub *vfs.FS, sub *core.Result, budget int) {
+	orig, origErr := Interpret(s.FS.Overlay(), s.SearchPaths, s.Sources, budget)
+
+	files := make([]string, 0, len(s.Sources)+1)
+	for _, src := range s.Sources {
+		if m, ok := sub.ModifiedSources[src]; ok {
+			files = append(files, m)
+		} else {
+			files = append(files, src)
+		}
+	}
+	files = append(files, sub.WrappersPath)
+	paths := append(append([]string{}, s.SearchPaths...), dirOf(sub.LightweightPath))
+	got, gotErr := Interpret(fsSub, paths, files, budget)
+
+	switch {
+	case origErr != nil && gotErr != nil:
+		// The interpreter covers the generated subset, not all of C++;
+		// when BOTH variants are outside it, the oracle abstains.
+		res.skipf("exec", "both variants uninterpretable: original: %v; substituted: %v", origErr, gotErr)
+	case origErr != nil:
+		res.addf("exec", "original uninterpretable but substituted ran: %v", origErr)
+	case gotErr != nil:
+		res.addf("exec", "substituted program failed: %v (original ran fine)", gotErr)
+	default:
+		if d := diffTraces(orig, got); d != "" {
+			res.addf("exec", "output diverged: %s", d)
+		}
+	}
+}
+
+// Interpret preprocesses, parses, and runs a set of translation units
+// as one program, returning its observable trace.
+func Interpret(fs *vfs.FS, searchPaths, files []string, budget int) (tr *Trace, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			tr, err = nil, fmt.Errorf("interpreter panic: %v", p)
+		}
+	}()
+	tus := make([]*ast.TranslationUnit, 0, len(files))
+	for _, f := range files {
+		tu, err := ParseTU(fs, searchPaths, f)
+		if err != nil {
+			return nil, err
+		}
+		tus = append(tus, tu)
+	}
+	return Run(tus, budget)
+}
+
+// ParseTU runs the real pipeline frontend (preprocessor + parser) on one
+// file.
+func ParseTU(fs *vfs.FS, searchPaths []string, file string) (*ast.TranslationUnit, error) {
+	pp := preprocessor.New(fs, searchPaths...)
+	pr, err := pp.Preprocess(file)
+	if err != nil {
+		return nil, fmt.Errorf("%s: preprocess: %v", file, err)
+	}
+	p := parser.New(pr.Tokens)
+	tu, err := p.Parse()
+	if err != nil {
+		return nil, fmt.Errorf("%s: parse: %v", file, err)
+	}
+	if errs := p.Errors(); len(errs) > 0 {
+		return nil, fmt.Errorf("%s: parse: %v", file, errs[0])
+	}
+	return tu, nil
+}
+
+func diffTraces(a, b *Trace) string {
+	n := len(a.Events)
+	if len(b.Events) < n {
+		n = len(b.Events)
+	}
+	for i := 0; i < n; i++ {
+		if a.Events[i] != b.Events[i] {
+			return fmt.Sprintf("event %d: original %q vs substituted %q", i, a.Events[i], b.Events[i])
+		}
+	}
+	if len(a.Events) != len(b.Events) {
+		return fmt.Sprintf("event count: original %d vs substituted %d", len(a.Events), len(b.Events))
+	}
+	if a.Ret != b.Ret {
+		return fmt.Sprintf("return value: original %d vs substituted %d", a.Ret, b.Ret)
+	}
+	return ""
+}
+
+func dirOf(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[:i]
+	}
+	return "."
+}
+
+// ------------------------------------------------------------ idempotent
+
+func idempotentOracle(res *Result, s *corpus.Subject, fsSub *vfs.FS, sub *core.Result) {
+	fs2 := fsSub.Overlay()
+	srcs := make([]string, 0, len(s.Sources))
+	for _, src := range s.Sources {
+		if m, ok := sub.ModifiedSources[src]; ok {
+			srcs = append(srcs, m)
+		} else {
+			srcs = append(srcs, src)
+		}
+	}
+	paths := append(append([]string{}, s.SearchPaths...), dirOf(sub.LightweightPath))
+	out2 := dirOf(sub.LightweightPath) + "_idem"
+	sub2, err := core.Substitute(core.Options{
+		FS:          fs2,
+		SearchPaths: paths,
+		Sources:     srcs,
+		Header:      s.Header,
+		OutDir:      out2,
+	})
+	if err != nil {
+		// The expected no-op shape: the substituted sources no longer
+		// include the expensive header, so the tool has nothing to do.
+		if strings.Contains(err.Error(), "not included by any source") ||
+			strings.Contains(err.Error(), "no #include") {
+			return
+		}
+		res.addf("idempotent", "re-substitution failed unexpectedly: %v", err)
+		return
+	}
+	// Otherwise it must be a fixpoint: regenerated artifacts match the
+	// first generation byte for byte.
+	pairs := [][2]string{
+		{sub.LightweightPath, sub2.LightweightPath},
+		{sub.WrappersPath, sub2.WrappersPath},
+	}
+	for i, src := range srcs {
+		if m, ok := sub2.ModifiedSources[src]; ok {
+			pairs = append(pairs, [2]string{srcs[i], m})
+		}
+	}
+	for _, pr := range pairs {
+		a, errA := fs2.Read(pr[0])
+		b, errB := fs2.Read(pr[1])
+		if errA != nil || errB != nil {
+			res.addf("idempotent", "cannot read %q/%q for fixpoint compare", pr[0], pr[1])
+			return
+		}
+		if a != b {
+			res.addf("idempotent", "re-substitution changed %q (not a fixpoint)", pr[0])
+			return
+		}
+	}
+}
+
+// ----------------------------------------------------------------- paths
+
+// pathsOracle re-runs the substitution through every alternate execution
+// path and demands byte-identical generated files.
+func pathsOracle(res *Result, s *corpus.Subject, base map[string]string) {
+	compare := func(variant string, got map[string]string) {
+		keys := make([]string, 0, len(base))
+		for k := range base {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			g, ok := got[k]
+			if !ok {
+				res.addf("paths", "%s: missing generated file %q", variant, k)
+				return
+			}
+			if g != base[k] {
+				res.addf("paths", "%s: %q differs from one-shot output", variant, k)
+				return
+			}
+		}
+	}
+
+	// Cache-on one-shot, then a warm re-run against the same cache.
+	cache := buildcache.New()
+	for _, variant := range []string{"cache-cold", "cache-warm"} {
+		fs := s.FS.Overlay()
+		sub, err := substitute(fs, s, cache, "")
+		if err != nil {
+			res.addf("paths", "%s: substitute failed: %v", variant, err)
+			return
+		}
+		compare(variant, snapshotGenerated(fs, sub))
+	}
+
+	// Parallel: N workers share one fresh cache, each on its own
+	// overlay (the -j N path; exercises singleflight and hash reuse).
+	const jobs = 4
+	pcache := buildcache.New()
+	type out struct {
+		files map[string]string
+		err   error
+	}
+	outs := make([]out, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fs := s.FS.Overlay()
+			sub, err := substitute(fs, s, pcache, "")
+			if err != nil {
+				outs[i] = out{err: err}
+				return
+			}
+			outs[i] = out{files: snapshotGenerated(fs, sub)}
+		}(i)
+	}
+	wg.Wait()
+	for i, o := range outs {
+		if o.err != nil {
+			res.addf("paths", "parallel[%d]: substitute failed: %v", i, o.err)
+			return
+		}
+		compare(fmt.Sprintf("parallel[%d]", i), o.files)
+	}
+
+	// Daemon session path.
+	srv := daemon.New(daemon.Config{Workers: 2})
+	sess, err := srv.CreateSessionFor("difftest-"+s.Name, s, "yalla")
+	if err != nil {
+		res.addf("paths", "daemon: create session: %v", err)
+		return
+	}
+	dres, _, err := sess.Substitute(context.Background(), nil)
+	if err != nil {
+		res.addf("paths", "daemon: substitute failed: %v", err)
+		return
+	}
+	compare("daemon", dres.Files)
+}
+
+// ------------------------------------------------------------------ perf
+
+func perfOracle(res *Result, s *corpus.Subject) {
+	cycle := func(mode devcycle.Mode) (devcycle.Times, error) {
+		st, err := devcycle.PrepareWith(s, mode, devcycle.Config{FS: s.FS.Overlay()})
+		if err != nil {
+			return devcycle.Times{}, fmt.Errorf("prepare %s: %v", mode, err)
+		}
+		t, err := st.Cycle()
+		if err != nil {
+			return devcycle.Times{}, fmt.Errorf("cycle %s: %v", mode, err)
+		}
+		return t, nil
+	}
+	tD, err := cycle(devcycle.Default)
+	if err != nil {
+		res.addf("perf", "%v", err)
+		return
+	}
+	tY, err := cycle(devcycle.Yalla)
+	if err != nil {
+		res.addf("perf", "%v", err)
+		return
+	}
+	if tY.Compile > tD.Compile {
+		res.addf("perf", "substituted rebuild compile %v exceeds baseline %v", tY.Compile, tD.Compile)
+	}
+}

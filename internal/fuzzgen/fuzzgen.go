@@ -1,0 +1,996 @@
+// Package fuzzgen is a seeded, deterministic random-program generator
+// for the C++ subset the Header Substitution engine supports. It emits
+// library-header + user-source pairs shaped like the corpus subjects —
+// a namespaced header with classes, class templates, enums, aliases,
+// free/template functions, overloads, and default arguments, plus a
+// main() exercising them through constructor calls, method calls,
+// chained calls, lambdas, and control flow — so the differential
+// harness (internal/difftest) can check that substitution preserves
+// behavior on programs nobody hand-picked.
+//
+// Determinism is load-bearing: the same Config always renders the same
+// bytes, which is what makes failures replayable from a seed and makes
+// the delta-debugging minimizer sound (dropping chunks re-renders the
+// remainder unchanged).
+package fuzzgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Config seeds one generated program.
+type Config struct {
+	// Seed drives every random choice.
+	Seed int64
+	// Size is the approximate number of main() statement chunks;
+	// <= 0 means 8.
+	Size int
+	// FillerHeaders / FillerLines size the dependency headers the
+	// library header pulls in (the "expensive include" mass that makes
+	// the substituted rebuild measurably cheaper). <= 0 means 3 / 120.
+	FillerHeaders int
+	FillerLines   int
+}
+
+func (c *Config) fill() {
+	if c.Size <= 0 {
+		c.Size = 8
+	}
+	if c.FillerHeaders <= 0 {
+		c.FillerHeaders = 3
+	}
+	if c.FillerLines <= 0 {
+		c.FillerLines = 120
+	}
+}
+
+// Where says which file a chunk renders into.
+type Where int
+
+// Chunk locations.
+const (
+	HeaderChunk Where = iota // inside namespace fz in the library header
+	MainChunk                // inside main() in the user source
+)
+
+// Chunk is one independently droppable unit of the generated program: a
+// header declaration group or a main() statement group. Needs lists the
+// chunk IDs this chunk references; the minimizer keeps the dependency
+// closure so every candidate still parses.
+type Chunk struct {
+	ID    int      `json:"id"`
+	Where Where    `json:"where"`
+	Kind  string   `json:"kind"`
+	Needs []int    `json:"needs,omitempty"`
+	Lines []string `json:"lines"`
+
+	// AliasName/AliasTarget are set on alias chunks; the minimizer's
+	// alias-inlining pass rewrites AliasName to AliasTarget everywhere
+	// and drops the chunk.
+	AliasName   string `json:"alias_name,omitempty"`
+	AliasTarget string `json:"alias_target,omitempty"`
+	// TemplateName is set on class-template chunks; the minimizer's
+	// template-simplification pass strips the template header and the
+	// <...> argument lists at every use site.
+	TemplateName string `json:"template_name,omitempty"`
+	TemplateArgs string `json:"template_args,omitempty"`
+}
+
+// Spec is the chunked form of one generated program. Render is a pure
+// function of the spec, so the minimizer mutates Keep (and applies
+// textual simplification passes) and re-renders.
+type Spec struct {
+	Seed   int64   `json:"seed"`
+	Size   int     `json:"size"`
+	Chunks []Chunk `json:"chunks"`
+	// Filler maps dependency-header paths to their (constant) content.
+	Filler map[string]string `json:"filler,omitempty"`
+	// Keep, when non-nil, lists the chunk IDs to render (the minimizer's
+	// working set). nil means all chunks.
+	Keep []int `json:"keep,omitempty"`
+}
+
+// Program is a rendered generated subject, ready to hand to the
+// pipeline.
+type Program struct {
+	Name        string
+	Files       map[string]string
+	MainFile    string
+	Header      string
+	SearchPaths []string
+	Spec        *Spec
+}
+
+// File-layout constants shared with the harness.
+const (
+	HeaderPath = "fuzzlib/fuzz_core.hpp"
+	TracePath  = "fuzzlib/fuzztrace.hpp"
+	MainPath   = "src/main.cpp"
+	HeaderName = "fuzz_core.hpp"
+)
+
+// traceHeader declares the emit hook main() reports results through.
+// It is a separate, non-substituted include, so the trace channel
+// itself does not depend on the machinery under test.
+const traceHeader = "#pragma once\nvoid yf_emit(int v);\n"
+
+// Generate renders a fresh program for the config.
+func Generate(cfg Config) *Program {
+	cfg.fill()
+	g := &gen{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+	g.build()
+	spec := &Spec{Seed: cfg.Seed, Size: cfg.Size, Chunks: g.chunks, Filler: g.filler()}
+	return spec.Program()
+}
+
+// Program renders the spec (honoring Keep) into a compilable file set.
+func (s *Spec) Program() *Program {
+	kept := s.keptSet()
+	var hdr, main strings.Builder
+	hdr.WriteString("#pragma once\n")
+	deps := make([]string, 0, len(s.Filler))
+	for p := range s.Filler {
+		deps = append(deps, p)
+	}
+	sort.Strings(deps)
+	for _, p := range deps {
+		hdr.WriteString(fmt.Sprintf("#include %q\n", strings.TrimPrefix(p, "fuzzlib/")))
+	}
+	hdr.WriteString("namespace fz {\n")
+	for _, c := range s.Chunks {
+		if c.Where != HeaderChunk || !kept[c.ID] {
+			continue
+		}
+		for _, l := range c.Lines {
+			hdr.WriteString(l)
+			hdr.WriteString("\n")
+		}
+	}
+	hdr.WriteString("}\n")
+
+	main.WriteString(fmt.Sprintf("#include %q\n#include %q\n\nint main() {\n", HeaderName, "fuzztrace.hpp"))
+	for _, c := range s.Chunks {
+		if c.Where != MainChunk || !kept[c.ID] {
+			continue
+		}
+		for _, l := range c.Lines {
+			main.WriteString("  ")
+			main.WriteString(l)
+			main.WriteString("\n")
+		}
+	}
+	main.WriteString("  return 0;\n}\n")
+
+	files := map[string]string{
+		HeaderPath: hdr.String(),
+		TracePath:  traceHeader,
+		MainPath:   main.String(),
+	}
+	for p, content := range s.Filler {
+		files[p] = content
+	}
+	return &Program{
+		Name:        fmt.Sprintf("fuzz-%d", s.Seed),
+		Files:       files,
+		MainFile:    MainPath,
+		Header:      HeaderName,
+		SearchPaths: []string{"fuzzlib"},
+		Spec:        s,
+	}
+}
+
+// keptSet resolves Keep (nil = everything) to a dependency-closed set.
+func (s *Spec) keptSet() map[int]bool {
+	kept := map[int]bool{}
+	if s.Keep == nil {
+		for _, c := range s.Chunks {
+			kept[c.ID] = true
+		}
+		return kept
+	}
+	for _, id := range s.Keep {
+		kept[id] = true
+	}
+	// Drop anything whose dependencies are not kept (transitively), so a
+	// minimizer candidate always references only declared names.
+	byID := map[int]Chunk{}
+	for _, c := range s.Chunks {
+		byID[c.ID] = c
+	}
+	for changed := true; changed; {
+		changed = false
+		for id := range kept {
+			for _, need := range byID[id].Needs {
+				if !kept[need] {
+					delete(kept, id)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return kept
+}
+
+// WithKeep returns a copy of the spec rendering only the given chunks.
+// An empty (non-nil) ids keeps nothing — it must not collapse to the
+// nil Keep, which means "keep everything".
+func (s *Spec) WithKeep(ids []int) *Spec {
+	cp := *s
+	cp.Keep = make([]int, len(ids))
+	copy(cp.Keep, ids)
+	return &cp
+}
+
+// KeptIDs lists the IDs the spec currently renders, dependency-closed,
+// in chunk order.
+func (s *Spec) KeptIDs() []int {
+	kept := s.keptSet()
+	var ids []int
+	for _, c := range s.Chunks {
+		if kept[c.ID] {
+			ids = append(ids, c.ID)
+		}
+	}
+	return ids
+}
+
+// InlineAlias returns a copy with one alias chunk inlined away: every
+// use of the alias name is rewritten to its target and the alias
+// declaration is dropped. Returns nil if the chunk is not an alias or
+// not kept.
+func (s *Spec) InlineAlias(id int) *Spec {
+	kept := s.keptSet()
+	var alias Chunk
+	found := false
+	for _, c := range s.Chunks {
+		if c.ID == id && c.AliasName != "" && kept[c.ID] {
+			alias, found = c, true
+		}
+	}
+	if !found {
+		return nil
+	}
+	cp := *s
+	cp.Chunks = nil
+	var keep []int
+	for _, c := range s.Chunks {
+		if !kept[c.ID] {
+			continue
+		}
+		if c.ID == id {
+			continue
+		}
+		nc := c
+		nc.Lines = replaceAll(c.Lines, alias.AliasName, alias.AliasTarget)
+		nc.Needs = replaceNeed(c.Needs, id, alias.Needs)
+		cp.Chunks = append(cp.Chunks, nc)
+		keep = append(keep, nc.ID)
+	}
+	cp.Keep = keep
+	return &cp
+}
+
+// PlainTemplate returns a copy with one class-template chunk
+// de-templated: the template header is stripped and `Name<Args>`
+// becomes `Name` at every use site. Generated names are unique, so the
+// textual rewrite is unambiguous. Returns nil if not applicable.
+func (s *Spec) PlainTemplate(id int) *Spec {
+	kept := s.keptSet()
+	var tmpl Chunk
+	found := false
+	for _, c := range s.Chunks {
+		if c.ID == id && c.TemplateName != "" && kept[c.ID] {
+			tmpl, found = c, true
+		}
+	}
+	if !found {
+		return nil
+	}
+	spelled := tmpl.TemplateName + "<" + tmpl.TemplateArgs + ">"
+	cp := *s
+	cp.Chunks = nil
+	var keep []int
+	for _, c := range s.Chunks {
+		if !kept[c.ID] {
+			continue
+		}
+		nc := c
+		if c.ID == id {
+			var lines []string
+			for _, l := range c.Lines {
+				if strings.HasPrefix(strings.TrimSpace(l), "template <") {
+					continue
+				}
+				lines = append(lines, strings.ReplaceAll(l, "<T>", ""))
+			}
+			nc.Lines = lines
+			nc.TemplateName, nc.TemplateArgs = "", ""
+		} else {
+			nc.Lines = replaceAll(c.Lines, spelled, tmpl.TemplateName)
+		}
+		cp.Chunks = append(cp.Chunks, nc)
+		keep = append(keep, nc.ID)
+	}
+	cp.Keep = keep
+	return &cp
+}
+
+func replaceAll(lines []string, old, new string) []string {
+	out := make([]string, len(lines))
+	for i, l := range lines {
+		out[i] = strings.ReplaceAll(l, old, new)
+	}
+	return out
+}
+
+func replaceNeed(needs []int, drop int, add []int) []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, n := range append(append([]int(nil), needs...), add...) {
+		if n == drop || seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ------------------------------------------------------------ generator
+
+type gen struct {
+	rng    *rand.Rand
+	cfg    Config
+	chunks []Chunk
+	nextID int
+
+	// header inventory, by chunk ID
+	classes []classInfo
+	enums   []enumInfo
+	frees   []freeInfo
+	aliases []aliasInfo
+	applies []applyInfo
+	// main inventory
+	objs []objInfo
+	ints []intInfo
+}
+
+type classInfo struct {
+	id       int
+	name     string // spelled type, e.g. "C3" or "P5<int>"
+	plain    string
+	template bool
+	ctorArgs int
+	getter   string // int get() const
+	bump     string // void bump(int)
+	mk       string // self-returning chain method, "" if absent
+	paren    bool   // has operator()(int)
+}
+
+type enumInfo struct {
+	id    int
+	name  string
+	items []string // enumerator names (unscoped, referenced as fz::X)
+	vals  []int
+}
+
+type freeInfo struct {
+	id            int
+	name          string
+	arity         int // required args
+	optional      int // trailing params with defaults
+	overloadArity int // second overload arity, 0 if none
+	classID       int // when != 0: takes (build) or returns (take) that class
+	builds        bool
+	takes         bool
+	nested        bool // lives in fz::detail
+}
+
+type aliasInfo struct {
+	id      int
+	name    string
+	classID int
+}
+
+type applyInfo struct {
+	id    int
+	name  string
+	folds bool // int fold(F, n) vs void apply(F, n)
+}
+
+type objInfo struct {
+	name    string
+	classID int
+}
+
+type intInfo struct{ name string }
+
+func (g *gen) id() int { g.nextID++; return g.nextID - 1 }
+
+func (g *gen) add(c Chunk) int {
+	c.ID = g.id()
+	sort.Ints(c.Needs)
+	g.chunks = append(g.chunks, c)
+	return c.ID
+}
+
+func (g *gen) class(id int) classInfo {
+	for _, c := range g.classes {
+		if c.id == id {
+			return c
+		}
+	}
+	return g.classes[0]
+}
+
+// build generates header chunks then main chunks.
+func (g *gen) build() {
+	r := g.rng
+
+	// --- header: classes -------------------------------------------------
+	nClasses := 2 + r.Intn(2)
+	for i := 0; i < nClasses; i++ {
+		g.genClass(i > 0 && r.Intn(3) == 0)
+	}
+	// enums
+	for i := 0; i < 1+r.Intn(2); i++ {
+		g.genEnum()
+	}
+	// free functions
+	g.genFree(freeKind(r.Intn(3))) // plain / overloaded / default-arg
+	if r.Intn(2) == 0 {
+		g.genFree(freeKind(r.Intn(3)))
+	}
+	g.genBuilder()
+	if r.Intn(2) == 0 {
+		g.genTaker()
+	}
+	if r.Intn(2) == 0 {
+		g.genNested()
+	}
+	// aliases
+	for i := 0; i < 1+r.Intn(2); i++ {
+		g.genAlias()
+	}
+	// apply-style template functions (lambda targets)
+	g.genApply(false)
+	if r.Intn(2) == 0 {
+		g.genApply(true)
+	}
+
+	// --- main ------------------------------------------------------------
+	// Always start with one object so later chunks have a target.
+	g.genObjChunk()
+	for i := 1; i < g.cfg.Size; i++ {
+		switch r.Intn(9) {
+		case 0:
+			g.genObjChunk()
+		case 1:
+			g.genMethodChunk()
+		case 2:
+			g.genFreeCallChunk()
+		case 3:
+			g.genChainChunk()
+		case 4:
+			g.genEnumChunk()
+		case 5:
+			g.genLambdaChunk()
+		case 6:
+			g.genControlChunk()
+		case 7:
+			g.genArithChunk()
+		case 8:
+			g.genByValChunk()
+		}
+	}
+}
+
+type freeKind int
+
+const (
+	freePlain freeKind = iota
+	freeOverloaded
+	freeDefaultArg
+)
+
+func (g *gen) genClass(template bool) {
+	r := g.rng
+	id := g.nextID
+	plain := fmt.Sprintf("C%d", id)
+	name := plain
+	field := fmt.Sprintf("f%d_", id)
+	getter := fmt.Sprintf("get%d", id)
+	bump := fmt.Sprintf("bump%d", id)
+	k1, k2 := 1+r.Intn(4), r.Intn(7)
+	ctorArgs := 1
+	ctor := fmt.Sprintf("  %s(int a) { %s = a * %d + %d; }", plain, field, k1, k2)
+	if !template && r.Intn(3) == 0 {
+		ctorArgs = 2
+		ctor = fmt.Sprintf("  %s(int a, int b) { %s = a * %d + b; }", plain, field, k1)
+	}
+	lines := []string{""}
+	tmplArgs := ""
+	if template {
+		name = plain + "<int>"
+		tmplArgs = "int"
+		lines = append(lines, "template <class T>")
+	}
+	lines = append(lines,
+		fmt.Sprintf("class %s {", plain),
+		"public:",
+		ctor,
+		fmt.Sprintf("  int %s() const { return %s; }", getter, field),
+		fmt.Sprintf("  void %s(int d) { %s = %s + d; }", bump, field, field),
+	)
+	ci := classInfo{name: name, plain: plain, template: template, ctorArgs: ctorArgs, getter: getter, bump: bump}
+	if r.Intn(2) == 0 {
+		mk := fmt.Sprintf("mk%d", id)
+		mkArgs := fmt.Sprintf("%s + %d", field, 1+r.Intn(3))
+		if ctorArgs == 2 {
+			mkArgs += fmt.Sprintf(", %d", r.Intn(4))
+		}
+		lines = append(lines, fmt.Sprintf("  %s %s() const { return %s(%s); }",
+			spellSelf(plain, template), mk, spellSelf(plain, template), mkArgs))
+		ci.mk = mk
+	}
+	if r.Intn(3) == 0 {
+		lines = append(lines, fmt.Sprintf("  int operator()(int i) const { return %s * i + %d; }", field, r.Intn(5)))
+		ci.paren = true
+	}
+	lines = append(lines, "private:", fmt.Sprintf("  int %s;", field), "};")
+	ci.id = g.add(Chunk{Where: HeaderChunk, Kind: "class", Lines: lines, TemplateName: ifstr(template, plain), TemplateArgs: tmplArgs})
+	g.classes = append(g.classes, ci)
+}
+
+// spellSelf spells the class type inside its own body (templates name
+// themselves without arguments).
+func spellSelf(plain string, template bool) string { return plain }
+
+func ifstr(cond bool, s string) string {
+	if cond {
+		return s
+	}
+	return ""
+}
+
+func (g *gen) genEnum() {
+	r := g.rng
+	id := g.nextID
+	name := fmt.Sprintf("E%d", id)
+	items := []string{name + "_A", name + "_B", name + "_C"}
+	vals := []int{r.Intn(4), 4 + r.Intn(4), 9 + r.Intn(5)}
+	line := fmt.Sprintf("enum %s { %s = %d, %s = %d, %s = %d };",
+		name, items[0], vals[0], items[1], vals[1], items[2], vals[2])
+	ei := enumInfo{name: name, items: items, vals: vals}
+	ei.id = g.add(Chunk{Where: HeaderChunk, Kind: "enum", Lines: []string{"", line}})
+	g.enums = append(g.enums, ei)
+}
+
+func (g *gen) genFree(kind freeKind) {
+	r := g.rng
+	id := g.nextID
+	name := fmt.Sprintf("fn%d", id)
+	k := 1 + r.Intn(5)
+	fi := freeInfo{name: name}
+	var lines []string
+	switch kind {
+	case freeOverloaded:
+		lines = []string{
+			"",
+			fmt.Sprintf("int %s(int a) { return a * %d + 1; }", name, k),
+			fmt.Sprintf("int %s(int a, int b) { return a * %d + b; }", name, k),
+		}
+		fi.arity, fi.overloadArity = 1, 2
+	case freeDefaultArg:
+		lines = []string{"", fmt.Sprintf("int %s(int a, int k = %d) { return a * k + %d; }", name, 2+r.Intn(3), r.Intn(4))}
+		fi.arity, fi.optional = 1, 1
+	default:
+		lines = []string{"", fmt.Sprintf("int %s(int a, int b) { return a * %d + b - %d; }", name, k, r.Intn(3))}
+		fi.arity = 2
+	}
+	fi.id = g.add(Chunk{Where: HeaderChunk, Kind: "free", Lines: lines})
+	g.frees = append(g.frees, fi)
+}
+
+// genBuilder emits a free function returning a header class by value
+// (forcing a ReturnsPointer wrapper).
+func (g *gen) genBuilder() {
+	r := g.rng
+	c := g.classes[r.Intn(len(g.classes))]
+	if c.ctorArgs != 1 {
+		c = g.classes[0]
+		if c.ctorArgs != 1 {
+			return
+		}
+	}
+	id := g.nextID
+	name := fmt.Sprintf("build%d", id)
+	fi := freeInfo{name: name, arity: 1, classID: c.id, builds: true}
+	lines := []string{"", fmt.Sprintf("%s %s(int v) { return %s(v + %d); }", c.name, name, c.name, 1+r.Intn(3))}
+	fi.id = g.add(Chunk{Where: HeaderChunk, Kind: "builder", Needs: []int{c.id}, Lines: lines})
+	g.frees = append(g.frees, fi)
+}
+
+// genTaker emits a free function taking a header class by value
+// (forcing a pointerized wrapper parameter).
+func (g *gen) genTaker() {
+	r := g.rng
+	c := g.classes[r.Intn(len(g.classes))]
+	id := g.nextID
+	name := fmt.Sprintf("take%d", id)
+	fi := freeInfo{name: name, arity: 1, classID: c.id, takes: true}
+	lines := []string{"", fmt.Sprintf("int %s(%s b) { return b.%s() * %d; }", name, c.name, c.getter, 1+r.Intn(3))}
+	fi.id = g.add(Chunk{Where: HeaderChunk, Kind: "taker", Needs: []int{c.id}, Lines: lines})
+	g.frees = append(g.frees, fi)
+}
+
+func (g *gen) genNested() {
+	r := g.rng
+	id := g.nextID
+	name := fmt.Sprintf("mix%d", id)
+	fi := freeInfo{name: name, arity: 2, nested: true}
+	lines := []string{
+		"",
+		"namespace detail {",
+		fmt.Sprintf("int %s(int a, int b) { return a * %d + b; }", name, 2+r.Intn(3)),
+		"}",
+	}
+	fi.id = g.add(Chunk{Where: HeaderChunk, Kind: "nested", Lines: lines})
+	g.frees = append(g.frees, fi)
+}
+
+func (g *gen) genAlias() {
+	r := g.rng
+	c := g.classes[r.Intn(len(g.classes))]
+	id := g.nextID
+	name := fmt.Sprintf("A%d", id)
+	ai := aliasInfo{name: name, classID: c.id}
+	ai.id = g.add(Chunk{
+		Where: HeaderChunk, Kind: "alias", Needs: []int{c.id},
+		Lines:     []string{"", fmt.Sprintf("using %s = %s;", name, c.name)},
+		AliasName: name, AliasTarget: c.name,
+	})
+	g.aliases = append(g.aliases, ai)
+}
+
+func (g *gen) genApply(folds bool) {
+	id := g.nextID
+	ap := applyInfo{folds: folds}
+	var lines []string
+	if folds {
+		ap.name = fmt.Sprintf("fold%d", id)
+		lines = []string{
+			"",
+			"template <class F>",
+			fmt.Sprintf("int %s(F f, int n) {", ap.name),
+			"  int s = 0;",
+			"  for (int i = 0; i < n; ++i) {",
+			"    s = s + f(i);",
+			"  }",
+			"  return s;",
+			"}",
+		}
+	} else {
+		ap.name = fmt.Sprintf("apply%d", id)
+		lines = []string{
+			"",
+			"template <class F>",
+			fmt.Sprintf("void %s(F f, int n) {", ap.name),
+			"  for (int i = 0; i < n; ++i) {",
+			"    f(i);",
+			"  }",
+			"}",
+		}
+	}
+	ap.id = g.add(Chunk{Where: HeaderChunk, Kind: "apply", Lines: lines})
+	g.applies = append(g.applies, ap)
+}
+
+// ----------------------------------------------------------- main chunks
+
+// emitLine renders a yf_emit statement.
+func emitLine(expr string) string { return fmt.Sprintf("yf_emit(%s);", expr) }
+
+func (g *gen) ctorCall(c classInfo) string {
+	r := g.rng
+	if c.ctorArgs == 2 {
+		return fmt.Sprintf("(%d, %d)", r.Intn(7), r.Intn(7))
+	}
+	return fmt.Sprintf("(%d)", r.Intn(9))
+}
+
+// genObjChunk declares a header-class object (sometimes via an alias)
+// and emits its state.
+func (g *gen) genObjChunk() {
+	r := g.rng
+	c := g.classes[r.Intn(len(g.classes))]
+	id := g.nextID
+	v := fmt.Sprintf("v%d", id)
+	typ, needs := "fz::"+c.name, []int{c.id}
+	if len(g.aliases) > 0 && r.Intn(3) == 0 {
+		// Pick an alias for this class if one exists.
+		for _, a := range g.aliases {
+			if a.classID == c.id {
+				typ, needs = "fz::"+a.name, []int{a.id}
+				break
+			}
+		}
+	}
+	lines := []string{
+		fmt.Sprintf("%s %s%s;", typ, v, g.ctorCall(c)),
+		emitLine(fmt.Sprintf("%s.%s()", v, c.getter)),
+	}
+	g.add(Chunk{Where: MainChunk, Kind: "obj", Needs: needs, Lines: lines})
+	g.objs = append(g.objs, objInfo{name: v, classID: c.id})
+}
+
+func (g *gen) pickObj() (objInfo, bool) {
+	if len(g.objs) == 0 {
+		return objInfo{}, false
+	}
+	return g.objs[g.rng.Intn(len(g.objs))], true
+}
+
+func (g *gen) objChunkID(o objInfo) int {
+	// The chunk declaring an object has ID = var suffix.
+	var id int
+	fmt.Sscanf(o.name, "v%d", &id)
+	return id
+}
+
+func (g *gen) genMethodChunk() {
+	r := g.rng
+	o, ok := g.pickObj()
+	if !ok {
+		g.genObjChunk()
+		return
+	}
+	c := g.class(o.classID)
+	lines := []string{fmt.Sprintf("%s.%s(%d);", o.name, c.bump, 1+r.Intn(5))}
+	if c.paren && r.Intn(2) == 0 {
+		lines = append(lines, emitLine(fmt.Sprintf("%s(%d)", o.name, 1+r.Intn(4))))
+	}
+	lines = append(lines, emitLine(fmt.Sprintf("%s.%s()", o.name, c.getter)))
+	g.add(Chunk{Where: MainChunk, Kind: "method", Needs: []int{g.objChunkID(o)}, Lines: lines})
+}
+
+func (g *gen) genFreeCallChunk() {
+	r := g.rng
+	var cands []freeInfo
+	for _, f := range g.frees {
+		if !f.builds && !f.takes {
+			cands = append(cands, f)
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	f := cands[r.Intn(len(cands))]
+	qual := "fz::"
+	if f.nested {
+		qual = "fz::detail::"
+	}
+	arity := f.arity
+	if f.overloadArity > 0 && r.Intn(2) == 0 {
+		arity = f.overloadArity
+	}
+	if f.optional > 0 && r.Intn(2) == 0 {
+		arity += f.optional
+	}
+	args := make([]string, arity)
+	for i := range args {
+		args[i] = fmt.Sprintf("%d", 1+r.Intn(6))
+	}
+	g.add(Chunk{Where: MainChunk, Kind: "freecall", Needs: []int{f.id},
+		Lines: []string{emitLine(fmt.Sprintf("%s%s(%s)", qual, f.name, strings.Join(args, ", ")))}})
+}
+
+func (g *gen) genChainChunk() {
+	r := g.rng
+	// Builder chain: fz::buildN(k).getM()
+	var builders []freeInfo
+	for _, f := range g.frees {
+		if f.builds {
+			builders = append(builders, f)
+		}
+	}
+	if len(builders) > 0 && r.Intn(2) == 0 {
+		f := builders[r.Intn(len(builders))]
+		c := g.class(f.classID)
+		g.add(Chunk{Where: MainChunk, Kind: "chain", Needs: []int{f.id},
+			Lines: []string{emitLine(fmt.Sprintf("fz::%s(%d).%s()", f.name, r.Intn(6), c.getter))}})
+		return
+	}
+	// Method chain: v.mkN().getN()
+	o, ok := g.pickObj()
+	if !ok {
+		return
+	}
+	c := g.class(o.classID)
+	if c.mk == "" {
+		return
+	}
+	g.add(Chunk{Where: MainChunk, Kind: "chain", Needs: []int{g.objChunkID(o)},
+		Lines: []string{emitLine(fmt.Sprintf("%s.%s().%s()", o.name, c.mk, c.getter))}})
+}
+
+func (g *gen) genEnumChunk() {
+	r := g.rng
+	if len(g.enums) == 0 {
+		return
+	}
+	e := g.enums[r.Intn(len(g.enums))]
+	id := g.nextID
+	v := fmt.Sprintf("e%d", id)
+	i := r.Intn(len(e.items))
+	var lines []string
+	if r.Intn(2) == 0 {
+		// Enum-typed variable: the declaration's type site gets rewritten
+		// to the underlying type.
+		lines = []string{
+			fmt.Sprintf("fz::%s %s = fz::%s;", e.name, v, e.items[i]),
+			emitLine(fmt.Sprintf("%s + %d", v, r.Intn(4))),
+		}
+	} else {
+		lines = []string{
+			fmt.Sprintf("int %s = fz::%s + fz::%s;", v, e.items[i], e.items[(i+1)%len(e.items)]),
+			emitLine(v),
+		}
+	}
+	g.add(Chunk{Where: MainChunk, Kind: "enum", Needs: []int{e.id}, Lines: lines})
+	g.ints = append(g.ints, intInfo{name: v})
+}
+
+func (g *gen) genLambdaChunk() {
+	r := g.rng
+	if len(g.applies) == 0 {
+		return
+	}
+	ap := g.applies[r.Intn(len(g.applies))]
+	id := g.nextID
+	n := 2 + r.Intn(3)
+	if ap.folds {
+		acc := fmt.Sprintf("a%d", id)
+		lines := []string{
+			fmt.Sprintf("int %s = %d;", acc, r.Intn(4)),
+			emitLine(fmt.Sprintf("fz::%s([&](int i) { return i * %d + %s; }, %d)", ap.name, 1+r.Intn(3), acc, n)),
+		}
+		g.add(Chunk{Where: MainChunk, Kind: "lambda", Needs: []int{ap.id}, Lines: lines})
+		g.ints = append(g.ints, intInfo{name: acc})
+		return
+	}
+	// Apply with a mutating capture: either an int accumulator or a
+	// header-class object (whose capture gets pointerized).
+	if o, ok := g.pickObj(); ok && r.Intn(2) == 0 {
+		c := g.class(o.classID)
+		lines := []string{
+			fmt.Sprintf("fz::%s([&](int i) { %s.%s(i); }, %d);", ap.name, o.name, c.bump, n),
+			emitLine(fmt.Sprintf("%s.%s()", o.name, c.getter)),
+		}
+		g.add(Chunk{Where: MainChunk, Kind: "lambda", Needs: []int{ap.id, g.objChunkID(o)}, Lines: lines})
+		return
+	}
+	acc := fmt.Sprintf("a%d", id)
+	lines := []string{
+		fmt.Sprintf("int %s = 0;", acc),
+		fmt.Sprintf("fz::%s([&](int i) { %s = %s + i * %d; }, %d);", ap.name, acc, acc, 1+r.Intn(3), n),
+		emitLine(acc),
+	}
+	g.add(Chunk{Where: MainChunk, Kind: "lambda", Needs: []int{ap.id}, Lines: lines})
+	g.ints = append(g.ints, intInfo{name: acc})
+}
+
+func (g *gen) genControlChunk() {
+	r := g.rng
+	o, ok := g.pickObj()
+	if !ok {
+		g.genArithChunk()
+		return
+	}
+	c := g.class(o.classID)
+	id := g.nextID
+	v := fmt.Sprintf("t%d", id)
+	if r.Intn(2) == 0 {
+		lines := []string{
+			fmt.Sprintf("int %s = %s.%s();", v, o.name, c.getter),
+			fmt.Sprintf("if (%s > %d) {", v, 2+r.Intn(6)),
+			fmt.Sprintf("  %s.%s(%d);", o.name, c.bump, 1+r.Intn(3)),
+			"} else {",
+			fmt.Sprintf("  %s.%s(%d);", o.name, c.bump, 4+r.Intn(3)),
+			"}",
+			emitLine(fmt.Sprintf("%s.%s()", o.name, c.getter)),
+		}
+		g.add(Chunk{Where: MainChunk, Kind: "if", Needs: []int{g.objChunkID(o)}, Lines: lines})
+		return
+	}
+	lines := []string{
+		fmt.Sprintf("int %s = 0;", v),
+		fmt.Sprintf("for (int i = 0; i < %d; ++i) {", 2+r.Intn(3)),
+		fmt.Sprintf("  %s = %s + %s.%s();", v, v, o.name, c.getter),
+		"}",
+		emitLine(v),
+	}
+	g.add(Chunk{Where: MainChunk, Kind: "for", Needs: []int{g.objChunkID(o)}, Lines: lines})
+	g.ints = append(g.ints, intInfo{name: v})
+}
+
+func (g *gen) genArithChunk() {
+	r := g.rng
+	id := g.nextID
+	v := fmt.Sprintf("x%d", id)
+	expr := fmt.Sprintf("%d", 1+r.Intn(9))
+	var needs []int
+	if len(g.ints) > 0 && r.Intn(2) == 0 {
+		prev := g.ints[r.Intn(len(g.ints))]
+		expr = fmt.Sprintf("%s * %d + %d", prev.name, 1+r.Intn(3), r.Intn(5))
+		var pid int
+		fmt.Sscanf(prev.name[1:], "%d", &pid)
+		needs = append(needs, pid)
+	}
+	lines := []string{fmt.Sprintf("int %s = %s;", v, expr), emitLine(v)}
+	g.add(Chunk{Where: MainChunk, Kind: "arith", Needs: needs, Lines: lines})
+	g.ints = append(g.ints, intInfo{name: v})
+}
+
+// genByValChunk passes an object by value to a taker function.
+func (g *gen) genByValChunk() {
+	var takers []freeInfo
+	for _, f := range g.frees {
+		if f.takes {
+			takers = append(takers, f)
+		}
+	}
+	if len(takers) == 0 {
+		g.genFreeCallChunk()
+		return
+	}
+	f := takers[g.rng.Intn(len(takers))]
+	// Need an object of exactly the taker's class.
+	var o objInfo
+	found := false
+	for _, cand := range g.objs {
+		if cand.classID == f.classID {
+			o, found = cand, true
+		}
+	}
+	if !found {
+		c := g.class(f.classID)
+		id := g.nextID
+		v := fmt.Sprintf("v%d", id)
+		lines := []string{
+			fmt.Sprintf("fz::%s %s%s;", c.name, v, g.ctorCall(c)),
+			emitLine(fmt.Sprintf("fz::%s(%s)", f.name, v)),
+		}
+		g.add(Chunk{Where: MainChunk, Kind: "byval", Needs: []int{c.id, f.id}, Lines: lines})
+		g.objs = append(g.objs, objInfo{name: v, classID: c.id})
+		return
+	}
+	g.add(Chunk{Where: MainChunk, Kind: "byval", Needs: []int{g.objChunkID(o), f.id},
+		Lines: []string{emitLine(fmt.Sprintf("fz::%s(%s)", f.name, o.name))}})
+}
+
+// ---------------------------------------------------------------- filler
+
+// filler renders the constant dependency headers that give the library
+// header its compile-time mass (the engine's win comes from *not*
+// re-including these after substitution). Content depends only on the
+// config, never on the random stream.
+func (g *gen) filler() map[string]string {
+	out := map[string]string{}
+	for h := 0; h < g.cfg.FillerHeaders; h++ {
+		var b strings.Builder
+		b.WriteString("#pragma once\n")
+		fmt.Fprintf(&b, "namespace fzfill%d {\n", h)
+		for l := 0; l < g.cfg.FillerLines; l++ {
+			fmt.Fprintf(&b, "int filler_%d_%d(int a, int b);\n", h, l)
+		}
+		b.WriteString("}\n")
+		out[fmt.Sprintf("fuzzlib/fuzz_dep%d.hpp", h)] = b.String()
+	}
+	return out
+}

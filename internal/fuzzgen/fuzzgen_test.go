@@ -1,0 +1,163 @@
+package fuzzgen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 7, Size: 10})
+	b := Generate(Config{Seed: 7, Size: 10})
+	if !reflect.DeepEqual(a.Files, b.Files) {
+		t.Fatalf("same seed produced different file sets")
+	}
+	if a.MainFile != MainPath || a.Header != HeaderName {
+		t.Fatalf("layout constants: MainFile=%q Header=%q", a.MainFile, a.Header)
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(Config{Seed: 1})
+	b := Generate(Config{Seed: 2})
+	if a.Files[MainPath] == b.Files[MainPath] && a.Files[HeaderPath] == b.Files[HeaderPath] {
+		t.Fatalf("seeds 1 and 2 generated identical programs")
+	}
+}
+
+func TestGeneratedLayout(t *testing.T) {
+	p := Generate(Config{Seed: 3})
+	for _, path := range []string{MainPath, HeaderPath, TracePath} {
+		if p.Files[path] == "" {
+			t.Fatalf("missing generated file %s", path)
+		}
+	}
+	main := p.Files[MainPath]
+	if !strings.Contains(main, `#include "`+HeaderName+`"`) {
+		t.Errorf("main does not include the library header:\n%s", main)
+	}
+	if !strings.Contains(main, "yf_emit(") {
+		t.Errorf("main emits no trace events:\n%s", main)
+	}
+	if len(p.SearchPaths) == 0 {
+		t.Errorf("no search paths set")
+	}
+}
+
+func TestSpecRenderIsPure(t *testing.T) {
+	p := Generate(Config{Seed: 11, Size: 12})
+	q := p.Spec.Program()
+	if !reflect.DeepEqual(p.Files, q.Files) {
+		t.Fatalf("re-rendering the spec changed the file set")
+	}
+}
+
+// TestWithKeepClosure drops each chunk in turn and checks the rendered
+// candidate still references only rendered declarations: every chunk in
+// the kept set must have its Needs inside the kept set too (dependency
+// closure), which is what keeps minimizer candidates well-formed.
+func TestWithKeepClosure(t *testing.T) {
+	p := Generate(Config{Seed: 5, Size: 15})
+	spec := p.Spec
+	all := spec.KeptIDs()
+	if len(all) != len(spec.Chunks) {
+		t.Fatalf("KeptIDs with nil Keep = %d ids, want all %d", len(all), len(spec.Chunks))
+	}
+	for _, drop := range all {
+		keep := make([]int, 0, len(all)-1)
+		for _, id := range all {
+			if id != drop {
+				keep = append(keep, id)
+			}
+		}
+		cand := spec.WithKeep(keep)
+		kept := map[int]bool{}
+		for _, id := range cand.KeptIDs() {
+			kept[id] = true
+		}
+		if kept[drop] {
+			// Another kept chunk needs it; closure legitimately pulled
+			// it back in. Fine.
+			continue
+		}
+		for _, c := range cand.Chunks {
+			if !kept[c.ID] {
+				continue
+			}
+			for _, n := range c.Needs {
+				if !kept[n] {
+					t.Fatalf("drop %d: kept chunk %d needs unkept %d", drop, c.ID, n)
+				}
+			}
+		}
+	}
+}
+
+// TestWithKeepEmptyKeepsNothing: an explicitly empty keep set renders
+// no chunks; it must not be confused with the nil "keep everything"
+// default (regression: the minimizer's last-chunk drop used to
+// resurrect the whole program and cycle forever).
+func TestWithKeepEmptyKeepsNothing(t *testing.T) {
+	p := Generate(Config{Seed: 9})
+	empty := p.Spec.WithKeep([]int{})
+	if ids := empty.KeptIDs(); len(ids) != 0 {
+		t.Fatalf("WithKeep(empty).KeptIDs() = %v, want none", ids)
+	}
+	q := empty.Program()
+	if strings.Contains(q.Files[MainPath], "yf_emit(") {
+		t.Fatalf("empty keep still renders main chunks:\n%s", q.Files[MainPath])
+	}
+}
+
+func TestInlineAliasRemovesAliasName(t *testing.T) {
+	// Find a seed whose program has an alias chunk; the generator mixes
+	// kinds, so scan a few seeds.
+	for seed := int64(1); seed < 40; seed++ {
+		p := Generate(Config{Seed: seed, Size: 15})
+		for _, c := range p.Spec.Chunks {
+			if c.AliasName == "" {
+				continue
+			}
+			inlined := p.Spec.InlineAlias(c.ID)
+			if inlined == nil {
+				t.Fatalf("seed %d: InlineAlias(%d) returned nil", seed, c.ID)
+			}
+			q := inlined.Program()
+			for path, content := range q.Files {
+				if path == TracePath {
+					continue
+				}
+				if strings.Contains(content, c.AliasName) {
+					t.Fatalf("seed %d: alias %s still referenced in %s after inlining",
+						seed, c.AliasName, path)
+				}
+			}
+			return
+		}
+	}
+	t.Fatal("no seed in 1..39 produced an alias chunk")
+}
+
+func TestPlainTemplateStripsArgs(t *testing.T) {
+	for seed := int64(1); seed < 40; seed++ {
+		p := Generate(Config{Seed: seed, Size: 15})
+		for _, c := range p.Spec.Chunks {
+			if c.TemplateName == "" {
+				continue
+			}
+			plain := p.Spec.PlainTemplate(c.ID)
+			if plain == nil {
+				// Pass not applicable to this chunk (e.g. multiple
+				// distinct instantiations); try another.
+				continue
+			}
+			q := plain.Program()
+			if strings.Contains(q.Files[HeaderPath], c.TemplateName+"<") {
+				t.Fatalf("seed %d: template %s still instantiated after PlainTemplate",
+					seed, c.TemplateName)
+			}
+			return
+		}
+	}
+	t.Fatal("no seed in 1..39 produced a simplifiable template chunk")
+}
