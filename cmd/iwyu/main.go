@@ -8,9 +8,15 @@
 //
 //	iwyu -subject drawing            # audit a corpus subject
 //	iwyu [-I dir]... source.cpp      # audit a file from disk
+//	iwyu -json -subject drawing      # machine-readable report
+//
+// Removable includes are also printed as source-located diagnostics in
+// the shared yallacheck format (file:line:col: warning: ...
+// [unused-include]).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +36,7 @@ func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
 func main() {
 	var includes multiFlag
 	subject := flag.String("subject", "", "audit a corpus subject instead of a file")
+	asJSON := flag.Bool("json", false, "emit the full report (includes + diagnostics) as JSON")
 	flag.Var(&includes, "I", "include search directory (repeatable)")
 	flag.Parse()
 
@@ -59,6 +66,17 @@ func main() {
 	res, err := iwyu.Analyze(opts)
 	if err != nil {
 		fail("iwyu: %v", err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fail("iwyu: %v", err)
+		}
+		return
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Println(d)
 	}
 	for _, inc := range res.Includes {
 		status := "UNUSED"

@@ -1,14 +1,16 @@
 // Command yallafuzz drives the differential fuzzing harness: it
 // generates random C++-subset programs, pushes each one through the
-// full substitution pipeline, and checks the four equivalence oracles
-// (exec, idempotent, paths, perf). Failures are delta-debugged down to
-// minimal reproducers and saved under -repros; saved reproducers re-run
-// with -rerun.
+// full substitution pipeline, and checks the five equivalence oracles
+// (safety, exec, idempotent, paths, perf). Failures are delta-debugged
+// down to minimal reproducers and saved under -repros; saved
+// reproducers re-run with -rerun. With -unsafe, every program is
+// generated around a known-unsafe construct and the safety oracle runs
+// inverted: a program the check passes do NOT flag is the failure.
 //
 // Usage:
 //
 //	yallafuzz [-seed N] [-n N] [-size N] [-oracle LIST] [-minimize]
-//	          [-repros DIR] [-rerun] [-corpus] [-budget N]
+//	          [-repros DIR] [-rerun] [-corpus] [-unsafe] [-budget N]
 //	          [-metrics FILE|-] [-v]
 //
 // Exit status is 1 when any oracle reports a violation.
@@ -31,11 +33,12 @@ func main() {
 		seed       = flag.Int64("seed", 1, "first generator seed")
 		n          = flag.Int("n", 100, "number of generated programs")
 		size       = flag.Int("size", 0, "statement chunks per program (0 = generator default)")
-		oracleList = flag.String("oracle", "", "comma-separated oracle subset (exec,idempotent,paths,perf); empty runs all")
+		oracleList = flag.String("oracle", "", "comma-separated oracle subset (safety,exec,idempotent,paths,perf); empty runs all")
 		minimize   = flag.Bool("minimize", true, "delta-debug failures to minimal reproducers")
 		reproDir   = flag.String("repros", "results/repros", "directory for saved reproducers")
 		rerun      = flag.Bool("rerun", false, "re-run saved reproducers instead of fuzzing")
 		corpusRun  = flag.Bool("corpus", false, "also check every corpus subject")
+		unsafeGen  = flag.Bool("unsafe", false, "generate known-unsafe programs; the safety oracle must flag each one")
 		budget     = flag.Int("budget", 0, "interpreter step budget per program (0 = default)")
 		metricsOut = flag.String("metrics", "", "write the metrics snapshot to this file, or - for stdout")
 		verbose    = flag.Bool("v", false, "log every checked program")
@@ -63,7 +66,7 @@ func main() {
 		if *corpusRun {
 			violations += checkCorpus(opt, *verbose)
 		}
-		violations += fuzz(*seed, *n, *size, opt, *minimize, *reproDir, *verbose)
+		violations += fuzz(*seed, *n, *size, *unsafeGen, opt, *minimize, *reproDir, *verbose)
 	}
 
 	if *metricsOut != "" {
@@ -87,12 +90,21 @@ func validOracle(name string) bool {
 
 // fuzz checks n generated programs starting at the given seed,
 // minimizing and saving any failure. Returns the number of failing
-// programs.
-func fuzz(seed int64, n, size int, opt difftest.Options, minimize bool, reproDir string, verbose bool) int {
+// programs. In unsafe mode only the safety oracle is meaningful (the
+// programs diverge by design), so it runs alone with the inverted
+// expectation and failures are reported by seed instead of minimized.
+func fuzz(seed int64, n, size int, unsafe bool, opt difftest.Options, minimize bool, reproDir string, verbose bool) int {
+	if unsafe {
+		opt.MustFlag = true
+		if len(opt.Oracles) == 0 {
+			opt.Oracles = []string{"safety"}
+		}
+		minimize = false
+	}
 	bad := 0
 	for i := 0; i < n; i++ {
 		s := seed + int64(i)
-		p := fuzzgen.Generate(fuzzgen.Config{Seed: s, Size: size})
+		p := fuzzgen.Generate(fuzzgen.Config{Seed: s, Size: size, Unsafe: unsafe})
 		r := difftest.Check(difftest.SubjectFor(p), opt)
 		if verbose || !r.OK() {
 			status := "ok"

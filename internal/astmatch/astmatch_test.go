@@ -165,6 +165,120 @@ func TestCXXMethodDecl(t *testing.T) {
 	}
 }
 
+// TestCombinatorTable runs every combinator against one fixture so a
+// regression in any of them shows up as a named subtest failure. The
+// expectations count matches over the whole tree (Find visits every
+// node, so nested hits count individually).
+func TestCombinatorTable(t *testing.T) {
+	const src = `
+namespace lib {
+  class Mat { public: Mat(int r); int rows() const; int rows_; };
+  enum Flag { F_A = 1, F_B = 2 };
+  using Img = Mat;
+  template <class F> void each(F f, int n);
+}
+void use(lib::Mat& m) {
+  int r = m.rows();
+  lib::each([&](int i) { m.rows(); }, r);
+  lib::Mat copy(r);
+}`
+	tu := parse(t, "t.cpp", src)
+	cases := []struct {
+		name string
+		m    Matcher
+		want int
+	}{
+		{"CXXRecordDecl", CXXRecordDecl(), 1},
+		{"CXXRecordDecl+HasName", CXXRecordDecl(HasName("Mat")), 1},
+		{"CXXRecordDecl+HasName-miss", CXXRecordDecl(HasName("Vec")), 0},
+		{"CXXRecordDecl+IsDefinition", CXXRecordDecl(IsDefinition()), 1},
+		{"CXXRecordDecl+IsTemplate", CXXRecordDecl(IsTemplate()), 0},
+		{"FunctionDecl", FunctionDecl(), 4}, // Mat::Mat, rows, each, use
+		{"FunctionDecl+IsTemplate", FunctionDecl(IsTemplate()), 1},
+		{"CXXMethodDecl", CXXMethodDecl(), 2},
+		{"FieldDecl", FieldDecl(), 1},
+		{"VarDecl", VarDecl(HasName("copy")), 1},
+		{"VarDecl+HasType", VarDecl(HasType(func(ty *ast.Type) bool { return ty.String() == "int" })), 1},
+		{"EnumDecl", EnumDecl(HasName("Flag")), 1},
+		{"TypeAliasDecl", TypeAliasDecl(HasName("Img")), 1},
+		{"CallExpr", CallExpr(), 3}, // m.rows(), lib::each(...), m.rows() in lambda
+		{"CallExpr+Callee", CallExpr(Callee(DeclRefExpr(HasName("lib::each")))), 1},
+		{"CallExpr+HasArgument", CallExpr(HasArgument(0, LambdaExpr())), 1},
+		{"CallExpr+HasAnyArgument", CallExpr(HasAnyArgument(DeclRefExpr(HasName("r")))), 1},
+		{"MemberExpr", MemberExpr(HasName("rows")), 2},
+		{"MemberExpr+OnBase", MemberExpr(OnBase(DeclRefExpr(HasName("m")))), 2},
+		{"LambdaExpr", LambdaExpr(), 1},
+		{"HasDescendant", FunctionDecl(HasDescendant(LambdaExpr())), 1},
+		{"AnyOf", CXXRecordDecl(AnyOf(HasName("Mat"), HasName("Vec"))), 1},
+		{"AllOf", CXXRecordDecl(AllOf(HasName("Mat"), IsDefinition())), 1},
+		{"Not", CXXMethodDecl(Not(HasName("rows"))), 1}, // the constructor
+		{"IsExpansionInFile", CXXRecordDecl(IsExpansionInFile("t.cpp")), 1},
+		{"IsExpansionInFile-miss", CXXRecordDecl(IsExpansionInFile("u.cpp")), 0},
+		{"Bind", CallExpr(HasAnyArgument(Bind("lam", LambdaExpr()))), 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if got := len(Find(tu, tc.m)); got != tc.want {
+				t.Errorf("matches = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestNilAndEmptyAST pins down the degenerate inputs: a nil root and an
+// empty translation unit must yield zero matches (never panic), for
+// every node-kind combinator.
+func TestNilAndEmptyAST(t *testing.T) {
+	kinds := map[string]Matcher{
+		"CXXRecordDecl": CXXRecordDecl(),
+		"FunctionDecl":  FunctionDecl(),
+		"CXXMethodDecl": CXXMethodDecl(),
+		"FieldDecl":     FieldDecl(),
+		"VarDecl":       VarDecl(),
+		"CallExpr":      CallExpr(),
+		"MemberExpr":    MemberExpr(),
+		"LambdaExpr":    LambdaExpr(),
+		"DeclRefExpr":   DeclRefExpr(),
+		"TypeAliasDecl": TypeAliasDecl(),
+		"EnumDecl":      EnumDecl(),
+	}
+	empty := &ast.TranslationUnit{}
+	for name, m := range kinds {
+		if ms := Find(nil, m); len(ms) != 0 {
+			t.Errorf("%s on nil root: %d matches", name, len(ms))
+		}
+		if ms := Find(empty, m); len(ms) != 0 {
+			t.Errorf("%s on empty TU: %d matches", name, len(ms))
+		}
+	}
+	// Structural combinators applied to the wrong node kind (the bare
+	// TU) must be false, and Not must therefore match it.
+	b := Bindings{}
+	for name, m := range map[string]Matcher{
+		"Callee":         Callee(DeclRefExpr()),
+		"HasArgument":    HasArgument(0, DeclRefExpr()),
+		"HasAnyArgument": HasAnyArgument(DeclRefExpr()),
+		"OnBase":         OnBase(DeclRefExpr()),
+		"HasDescendant":  HasDescendant(DeclRefExpr()),
+		"HasName":        HasName("x"),
+		"IsDefinition":   IsDefinition(),
+		"IsTemplate":     IsTemplate(),
+		"HasType":        HasType(func(*ast.Type) bool { return true }),
+		"AnyOf-empty":    AnyOf(),
+	} {
+		if m(empty, b) {
+			t.Errorf("%s matched an empty TranslationUnit", name)
+		}
+	}
+	if !AllOf()(empty, b) {
+		t.Error("empty AllOf must match (vacuous truth)")
+	}
+	if !Not(CallExpr())(empty, b) {
+		t.Error("Not(CallExpr) must match a non-call node")
+	}
+}
+
 func TestHasArgumentIndex(t *testing.T) {
 	tu := parse(t, "s.cpp", "void f() { g(1, h(2)); }")
 	ms := Find(tu, CallExpr(Callee(DeclRefExpr(HasName("g"))), HasArgument(1, CallExpr())))

@@ -1,0 +1,252 @@
+// Package check implements "yallacheck", a substitution-safety static
+// analyzer for Header Substitution. The paper's §6 lists the constructs
+// its tool cannot handle — incomplete-type misuse once a library class
+// becomes an opaque pointer, user code inheriting from or specializing
+// library types, macros leaking out of the substituted header — but
+// offers no way to detect them up front, so unsafe inputs either
+// miscompile or fail deep in the pipeline with no source location.
+//
+// yallacheck closes that gap: a table of passes runs over the frontend's
+// AST + sema results (plus def-use dataflow facts, see dataflow.go) and
+// classifies each candidate substitution as safe, safe with machine-
+// applicable fix-its, or unsafe, emitting file:line:col diagnostics.
+// Passes execute in parallel per translation unit on a bounded pool;
+// output ordering is deterministic regardless of parallelism.
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/cpp/token"
+	"repro/internal/rewrite"
+	"repro/internal/vfs"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Severity levels. Error means the substitution would miscompile or
+// change behavior; Warning flags constructs that degrade but do not
+// break the result; Note carries auxiliary locations.
+const (
+	Note Severity = iota
+	Warning
+	Error
+)
+
+// String returns the clang-style spelling.
+func (s Severity) String() string {
+	switch s {
+	case Note:
+		return "note"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// MarshalJSON renders the severity as its spelling.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON accepts the spelling produced by MarshalJSON.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	switch str {
+	case "note":
+		*s = Note
+	case "warning":
+		*s = Warning
+	case "error":
+		*s = Error
+	default:
+		return fmt.Errorf("unknown severity %q", str)
+	}
+	return nil
+}
+
+// FixIt is one machine-applicable source edit: replace [Start, End) in
+// File with Text. Applied through internal/rewrite, whose overlap
+// detection rejects conflicting fix-its.
+type FixIt struct {
+	File  string `json:"file"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	Text  string `json:"text"`
+}
+
+// Diagnostic is one source-located finding of a pass.
+type Diagnostic struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Offset   int      `json:"offset"`
+	Severity Severity `json:"severity"`
+	Pass     string   `json:"pass"`
+	Message  string   `json:"message"`
+	FixIts   []FixIt  `json:"fixits,omitempty"`
+}
+
+// String renders the diagnostic in compiler style:
+//
+//	src/main.cpp:12:3: error: sizeof applied to ... [incomplete-deref]
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s [%s]", d.File, d.Line, d.Col, d.Severity, d.Message, d.Pass)
+}
+
+// NewDiag builds a diagnostic at pos.
+func NewDiag(pass string, sev Severity, pos token.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		File:     pos.File,
+		Line:     pos.Line,
+		Col:      pos.Col,
+		Offset:   pos.Offset,
+		Severity: sev,
+		Pass:     pass,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// SortDiagnostics orders diagnostics by file, then position, then pass,
+// then message — the canonical order every consumer (CLI, baseline,
+// gate) emits, making output byte-identical across runs and -j values.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Offset != b.Offset {
+			return a.Offset < b.Offset
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Message < b.Message
+	})
+}
+
+// dedupe removes identical findings reported by multiple translation
+// units (shared files are parsed once per TU). ds must be sorted.
+func dedupe(ds []Diagnostic) []Diagnostic {
+	out := ds[:0]
+	for i, d := range ds {
+		if i > 0 {
+			p := out[len(out)-1]
+			if p.File == d.File && p.Offset == d.Offset && p.Pass == d.Pass && p.Message == d.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Verdict classifies one checked substitution.
+type Verdict int
+
+// Verdicts. Safe: no error-severity findings. SafeWithFixIts: every
+// error carries fix-its (apply them and re-check). Unsafe: at least one
+// error has no mechanical fix.
+const (
+	Safe Verdict = iota
+	SafeWithFixIts
+	Unsafe
+)
+
+// String returns the verdict spelling used in reports.
+func (v Verdict) String() string {
+	switch v {
+	case Safe:
+		return "safe"
+	case SafeWithFixIts:
+		return "safe-with-fixits"
+	case Unsafe:
+		return "unsafe"
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
+// MarshalJSON renders the verdict as its spelling.
+func (v Verdict) MarshalJSON() ([]byte, error) { return json.Marshal(v.String()) }
+
+// UnmarshalJSON accepts the spelling produced by MarshalJSON.
+func (v *Verdict) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	switch str {
+	case "safe":
+		*v = Safe
+	case "safe-with-fixits":
+		*v = SafeWithFixIts
+	case "unsafe":
+		*v = Unsafe
+	default:
+		return fmt.Errorf("unknown verdict %q", str)
+	}
+	return nil
+}
+
+// ClassifyVerdict derives the overall verdict from a diagnostic set.
+func ClassifyVerdict(ds []Diagnostic) Verdict {
+	v := Safe
+	for _, d := range ds {
+		if d.Severity != Error {
+			continue
+		}
+		if len(d.FixIts) == 0 {
+			return Unsafe
+		}
+		v = SafeWithFixIts
+	}
+	return v
+}
+
+// ApplyFixIts applies every fix-it in ds to the files in fs, returning
+// the modified file paths in sorted order. Identical fix-its (the same
+// edit reported by several passes or TUs) collapse to one; genuinely
+// overlapping edits are an error from the rewrite layer.
+func ApplyFixIts(fs *vfs.FS, ds []Diagnostic) ([]string, error) {
+	byFile := map[string][]FixIt{}
+	seen := map[FixIt]bool{}
+	for _, d := range ds {
+		for _, f := range d.FixIts {
+			if seen[f] {
+				continue
+			}
+			seen[f] = true
+			byFile[f.File] = append(byFile[f.File], f)
+		}
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		src, err := fs.Read(file)
+		if err != nil {
+			return nil, fmt.Errorf("check: fix-it target %s: %v", file, err)
+		}
+		buf := rewrite.NewBuffer(file, src)
+		for _, fx := range byFile[file] {
+			if err := buf.Replace(fx.Start, fx.End, fx.Text); err != nil {
+				return nil, fmt.Errorf("check: fix-it in %s: %v", file, err)
+			}
+		}
+		fixed, err := buf.Apply()
+		if err != nil {
+			return nil, fmt.Errorf("check: applying fix-its to %s: %v", file, err)
+		}
+		fs.Write(file, fixed)
+	}
+	return files, nil
+}

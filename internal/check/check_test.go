@@ -1,0 +1,522 @@
+package check
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// libFS builds a project tree around one expensive header, exercising
+// the constructs the passes reason about.
+func libFS() *vfs.FS {
+	fs := vfs.New()
+	fs.Write("lib/bigheader.hpp", `#pragma once
+#include "bigdetail.hpp"
+#define LIB_MAGIC 42
+#define LIB_SCALE 2 * 3
+#define LIB_SQ(x) ((x) * (x))
+namespace lib {
+class Mat {
+ public:
+  Mat();
+  Mat(int r, int c);
+  int rows() const;
+  int cols() const;
+  Mat clone() const;
+  virtual void render();
+  int cols_;
+};
+Mat imread();
+void process(const Mat& m);
+template <typename F>
+void each(F f);
+template <typename T>
+class View {
+ public:
+  void bind();
+};
+}
+`)
+	fs.Write("lib/bigdetail.hpp", `#pragma once
+#define LIB_DETAIL_BITS 8
+namespace lib { class Detail { public: int d() const; }; }
+`)
+	return fs
+}
+
+// checkSrc runs the selected passes (nil = all) over one main source.
+func checkSrc(t *testing.T, src string, passes ...string) *Result {
+	t.Helper()
+	fs := libFS()
+	fs.Write("src/main.cpp", src)
+	res, err := Run(Options{
+		FS:          fs,
+		SearchPaths: []string{"lib", "src"},
+		Sources:     []string{"src/main.cpp"},
+		Header:      "bigheader.hpp",
+		Passes:      passes,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+// wantDiag asserts exactly n diagnostics of the given pass, each with a
+// valid location in main.cpp and containing want in the message.
+func wantDiag(t *testing.T, res *Result, pass string, n int, want string) {
+	t.Helper()
+	got := 0
+	for _, d := range res.Diagnostics {
+		if d.Pass != pass {
+			continue
+		}
+		got++
+		if d.File != "src/main.cpp" || d.Line <= 0 || d.Col <= 0 {
+			t.Errorf("%s: diagnostic lacks a source location: %+v", pass, d)
+		}
+		if want != "" && !strings.Contains(d.Message, want) {
+			t.Errorf("%s: message %q does not mention %q", pass, d.Message, want)
+		}
+	}
+	if got != n {
+		t.Errorf("%s: got %d diagnostics, want %d:\n%s", pass, got, n, diagDump(res))
+	}
+}
+
+func diagDump(res *Result) string {
+	var b strings.Builder
+	for _, d := range res.Diagnostics {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ------------------------------------------------------- incomplete-deref
+
+func TestIncompleteDerefFieldAccess(t *testing.T) {
+	res := checkSrc(t, `#include "bigheader.hpp"
+int main() {
+  lib::Mat m;
+  return m.cols_;
+}
+`, "incomplete-deref")
+	wantDiag(t, res, "incomplete-deref", 1, "cols_")
+	if res.Verdict != Unsafe {
+		t.Fatalf("verdict = %v, want unsafe", res.Verdict)
+	}
+}
+
+func TestIncompleteDerefNegativeMethodCalls(t *testing.T) {
+	res := checkSrc(t, `#include "bigheader.hpp"
+int main() {
+  lib::Mat m(2, 3);
+  lib::process(m);
+  return m.rows() + m.cols();
+}
+`, "incomplete-deref")
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("method calls should be clean:\n%s", diagDump(res))
+	}
+	if res.Verdict != Safe {
+		t.Fatalf("verdict = %v, want safe", res.Verdict)
+	}
+}
+
+func TestIncompleteDerefThroughDataflow(t *testing.T) {
+	// The library value flows: parameter → local copy → member access.
+	res := checkSrc(t, `#include "bigheader.hpp"
+int peek(lib::Mat m) {
+  lib::Mat n = m;
+  return n.cols_;
+}
+`, "incomplete-deref")
+	wantDiag(t, res, "incomplete-deref", 1, "cols_")
+}
+
+func TestIncompleteDerefCallReturn(t *testing.T) {
+	// imread() returns lib::Mat by value; reading a field off the
+	// temporary peers into the opaque pointer.
+	res := checkSrc(t, `#include "bigheader.hpp"
+int main() {
+  return lib::imread().cols_;
+}
+`, "incomplete-deref")
+	if got := len(res.Diagnostics); got != 1 {
+		t.Fatalf("got %d diagnostics:\n%s", got, diagDump(res))
+	}
+}
+
+func TestIncompleteDerefThroughAssignmentChain(t *testing.T) {
+	res := checkSrc(t, `#include "bigheader.hpp"
+int main() {
+  lib::Mat a = lib::imread();
+  lib::Mat b = a.clone();
+  return b.cols_;
+}
+`, "incomplete-deref")
+	wantDiag(t, res, "incomplete-deref", 1, "cols_")
+}
+
+func TestIncompleteDerefInLambdaCapture(t *testing.T) {
+	res := checkSrc(t, `#include "bigheader.hpp"
+int main() {
+  lib::Mat m;
+  auto f = [&]() { return m.cols_; };
+  return f();
+}
+`, "incomplete-deref")
+	wantDiag(t, res, "incomplete-deref", 1, "cols_")
+}
+
+func TestIncompleteDerefSizeof(t *testing.T) {
+	res := checkSrc(t, `#include "bigheader.hpp"
+int main() {
+  lib::Mat m;
+  int a = sizeof(lib::Mat);
+  int b = sizeof m;
+  int c = sizeof(int);
+  return a + b + c;
+}
+`, "incomplete-deref")
+	wantDiag(t, res, "incomplete-deref", 2, "sizeof")
+}
+
+// -------------------------------------------------- inherits-library-type
+
+func TestInheritsLibraryType(t *testing.T) {
+	res := checkSrc(t, `#include "bigheader.hpp"
+class Image : public lib::Mat {
+ public:
+  int id;
+};
+int main() { return 0; }
+`, "inherits-library-type")
+	wantDiag(t, res, "inherits-library-type", 1, "lib::Mat")
+}
+
+func TestInheritsUserBaseIsClean(t *testing.T) {
+	res := checkSrc(t, `#include "bigheader.hpp"
+class Base { public: int b; };
+class Derived : public Base { public: int d; };
+int main() { lib::Mat m; return m.rows(); }
+`, "inherits-library-type")
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("user-only inheritance should be clean:\n%s", diagDump(res))
+	}
+}
+
+// ----------------------------------------------- user-specializes-template
+
+func TestExplicitInstantiationFlaggedWithFixIt(t *testing.T) {
+	res := checkSrc(t, `#include "bigheader.hpp"
+template class lib::View<int>;
+int main() { return 0; }
+`, "user-specializes-template")
+	wantDiag(t, res, "user-specializes-template", 1, "lib::View")
+	d := res.Diagnostics[0]
+	if len(d.FixIts) != 1 {
+		t.Fatalf("want a removal fix-it, got %+v", d)
+	}
+	if res.Verdict != SafeWithFixIts {
+		t.Fatalf("verdict = %v, want safe-with-fixits", res.Verdict)
+	}
+	fs := libFS()
+	fs.Write("src/main.cpp", `#include "bigheader.hpp"
+template class lib::View<int>;
+int main() { return 0; }
+`)
+	if _, err := ApplyFixIts(fs, res.Diagnostics); err != nil {
+		t.Fatal(err)
+	}
+	fixed, _ := fs.Read("src/main.cpp")
+	if strings.Contains(fixed, "template class") {
+		t.Fatalf("fix-it did not remove the instantiation:\n%s", fixed)
+	}
+}
+
+func TestUserRedefinitionFlagged(t *testing.T) {
+	res := checkSrc(t, `#include "bigheader.hpp"
+namespace lib {
+class Mat {
+ public:
+  int z;
+};
+}
+int main() { return 0; }
+`, "user-specializes-template")
+	wantDiag(t, res, "user-specializes-template", 1, "lib::Mat")
+}
+
+func TestUserOwnTemplatesClean(t *testing.T) {
+	res := checkSrc(t, `#include "bigheader.hpp"
+template <typename T>
+class Box {
+ public:
+  T v;
+};
+template class Box<int>;
+int main() { lib::Mat m; return m.rows(); }
+`, "user-specializes-template")
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("user template instantiation should be clean:\n%s", diagDump(res))
+	}
+}
+
+// ------------------------------------------------------------ odr-macro-leak
+
+func TestMacroLeakWithFixIt(t *testing.T) {
+	res := checkSrc(t, `#include "bigheader.hpp"
+int main() {
+  int a = LIB_MAGIC;
+  int b = LIB_SCALE;
+  return a + b;
+}
+`, "odr-macro-leak")
+	wantDiag(t, res, "odr-macro-leak", 2, "")
+	for _, d := range res.Diagnostics {
+		if len(d.FixIts) != 1 {
+			t.Fatalf("object-like macro use should carry a fix-it: %+v", d)
+		}
+	}
+	fs := libFS()
+	src := `#include "bigheader.hpp"
+int main() {
+  int a = LIB_MAGIC;
+  int b = LIB_SCALE;
+  return a + b;
+}
+`
+	fs.Write("src/main.cpp", src)
+	if _, err := ApplyFixIts(fs, res.Diagnostics); err != nil {
+		t.Fatal(err)
+	}
+	fixed, _ := fs.Read("src/main.cpp")
+	if !strings.Contains(fixed, "int a = 42;") || !strings.Contains(fixed, "int b = (2 * 3);") {
+		t.Fatalf("macro bodies not inlined:\n%s", fixed)
+	}
+}
+
+func TestMacroLeakFromTransitiveHeader(t *testing.T) {
+	// bigdetail.hpp is pulled in by the substituted header, so its
+	// macros vanish too.
+	res := checkSrc(t, `#include "bigheader.hpp"
+int main() { return LIB_DETAIL_BITS; }
+`, "odr-macro-leak")
+	wantDiag(t, res, "odr-macro-leak", 1, "LIB_DETAIL_BITS")
+}
+
+func TestFunctionLikeMacroLeakNoFixIt(t *testing.T) {
+	res := checkSrc(t, `#include "bigheader.hpp"
+int main() { return LIB_SQ(3); }
+`, "odr-macro-leak")
+	wantDiag(t, res, "odr-macro-leak", 1, "LIB_SQ")
+	if len(res.Diagnostics[0].FixIts) != 0 {
+		t.Fatalf("function-like macros have no mechanical fix: %+v", res.Diagnostics[0])
+	}
+	if res.Verdict != Unsafe {
+		t.Fatalf("verdict = %v, want unsafe", res.Verdict)
+	}
+}
+
+func TestUserMacroClean(t *testing.T) {
+	res := checkSrc(t, `#include "bigheader.hpp"
+#define MY_MAGIC 7
+int main() { lib::Mat m; return MY_MAGIC + m.rows(); }
+`, "odr-macro-leak")
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("user-defined macros should be clean:\n%s", diagDump(res))
+	}
+}
+
+// ----------------------------------------------------------- escaping-lambda
+
+func TestEscapingLambdaFlagged(t *testing.T) {
+	res := checkSrc(t, `#include "bigheader.hpp"
+int main() {
+  auto f = [](int i) { return i; };
+  lib::each(f);
+  return 0;
+}
+`, "escaping-lambda")
+	wantDiag(t, res, "escaping-lambda", 1, "lib::each")
+}
+
+func TestLiteralLambdaClean(t *testing.T) {
+	res := checkSrc(t, `#include "bigheader.hpp"
+int main() {
+  lib::each([](int i) { return i; });
+  return 0;
+}
+`, "escaping-lambda")
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("literal lambda arguments are converted to functors:\n%s", diagDump(res))
+	}
+}
+
+func TestLambdaToUserFunctionClean(t *testing.T) {
+	res := checkSrc(t, `#include "bigheader.hpp"
+template <typename F>
+int apply(F f) { return f(1); }
+int main() {
+  auto f = [](int i) { return i; };
+  return apply(f);
+}
+`, "escaping-lambda")
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("lambdas passed to user functions are untouched:\n%s", diagDump(res))
+	}
+}
+
+// ------------------------------------------------------- unwrappable-overload
+
+func TestUnwrappableOverload(t *testing.T) {
+	res := checkSrc(t, `#include "bigheader.hpp"
+class Widget : public lib::Mat {
+ public:
+  void render();
+};
+int main() { return 0; }
+`, "unwrappable-overload")
+	wantDiag(t, res, "unwrappable-overload", 1, "render")
+}
+
+func TestVirtualMethodInDerivedFlagged(t *testing.T) {
+	res := checkSrc(t, `#include "bigheader.hpp"
+class Widget : public lib::Mat {
+ public:
+  virtual void paint();
+};
+int main() { return 0; }
+`, "unwrappable-overload")
+	wantDiag(t, res, "unwrappable-overload", 1, "paint")
+}
+
+func TestNonOverridingMethodClean(t *testing.T) {
+	res := checkSrc(t, `#include "bigheader.hpp"
+class Helper {
+ public:
+  void render();
+};
+int main() { lib::Mat m; return m.rows(); }
+`, "unwrappable-overload")
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("methods of non-derived classes should be clean:\n%s", diagDump(res))
+	}
+}
+
+// ------------------------------------------------------------------ plumbing
+
+func TestCleanProgramAllPasses(t *testing.T) {
+	res := checkSrc(t, `#include "bigheader.hpp"
+int main() {
+  lib::Mat m(4, 4);
+  lib::process(m);
+  lib::Mat c = m.clone();
+  lib::each([](int i) { return i * 2; });
+  return c.rows();
+}
+`)
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("idiomatic substitutable program should be clean:\n%s", diagDump(res))
+	}
+	if res.Verdict != Safe {
+		t.Fatalf("verdict = %v, want safe", res.Verdict)
+	}
+}
+
+func TestUnknownPassRejected(t *testing.T) {
+	fs := libFS()
+	fs.Write("src/main.cpp", "#include \"bigheader.hpp\"\nint main() { return 0; }\n")
+	_, err := Run(Options{FS: fs, SearchPaths: []string{"lib", "src"},
+		Sources: []string{"src/main.cpp"}, Header: "bigheader.hpp",
+		Passes: []string{"no-such-pass"}})
+	if err == nil || !strings.Contains(err.Error(), "no-such-pass") {
+		t.Fatalf("err = %v, want unknown pass", err)
+	}
+}
+
+func TestHeaderNotIncludedIsError(t *testing.T) {
+	fs := libFS()
+	fs.Write("src/main.cpp", "int main() { return 0; }\n")
+	_, err := Run(Options{FS: fs, SearchPaths: []string{"lib", "src"},
+		Sources: []string{"src/main.cpp"}, Header: "bigheader.hpp"})
+	if err == nil || !strings.Contains(err.Error(), "not included") {
+		t.Fatalf("err = %v, want not-included error", err)
+	}
+}
+
+func TestSixPassesRegistered(t *testing.T) {
+	ids := map[string]bool{}
+	for _, p := range Passes() {
+		ids[p.ID] = true
+	}
+	for _, want := range []string{
+		"incomplete-deref", "inherits-library-type", "user-specializes-template",
+		"odr-macro-leak", "escaping-lambda", "unwrappable-overload",
+	} {
+		if !ids[want] {
+			t.Errorf("pass %q not registered", want)
+		}
+	}
+	if len(ids) < 6 {
+		t.Fatalf("want at least 6 passes, got %d", len(ids))
+	}
+}
+
+func TestDeterministicAcrossJobs(t *testing.T) {
+	// Several sources sharing one unsafe header exercise the pool merge.
+	build := func(jobs int) *Result {
+		fs := libFS()
+		fs.Write("src/a.cpp", `#include "bigheader.hpp"
+int fa() { lib::Mat m; return m.cols_; }
+`)
+		fs.Write("src/b.cpp", `#include "bigheader.hpp"
+int fb() { return LIB_MAGIC; }
+`)
+		fs.Write("src/c.cpp", `#include "bigheader.hpp"
+class CB : public lib::Mat {};
+int fc() { return 0; }
+`)
+		res, err := Run(Options{FS: fs, SearchPaths: []string{"lib", "src"},
+			Sources: []string{"src/a.cpp", "src/b.cpp", "src/c.cpp"},
+			Header:  "bigheader.hpp", Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := build(1)
+	refJSON, _ := json.Marshal(ref.Diagnostics)
+	for _, jobs := range []int{2, 8} {
+		got := build(jobs)
+		gotJSON, _ := json.Marshal(got.Diagnostics)
+		if string(gotJSON) != string(refJSON) {
+			t.Fatalf("jobs=%d diverged:\n%s\nvs\n%s", jobs, gotJSON, refJSON)
+		}
+		if !reflect.DeepEqual(got.Counts, ref.Counts) {
+			t.Fatalf("jobs=%d counts diverged: %v vs %v", jobs, got.Counts, ref.Counts)
+		}
+	}
+	if len(ref.Diagnostics) < 3 {
+		t.Fatalf("fixture should produce findings in every TU:\n%s", diagDump(ref))
+	}
+}
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	b, err := json.Marshal(Error)
+	if err != nil || string(b) != `"error"` {
+		t.Fatalf("marshal: %s, %v", b, err)
+	}
+	var s Severity
+	if err := json.Unmarshal([]byte(`"warning"`), &s); err != nil || s != Warning {
+		t.Fatalf("unmarshal: %v, %v", s, err)
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &s); err == nil {
+		t.Fatal("bogus severity should not unmarshal")
+	}
+}

@@ -1,0 +1,286 @@
+package check
+
+import (
+	"repro/internal/cpp/ast"
+	"repro/internal/cpp/sema"
+	"repro/internal/cpp/token"
+)
+
+// VarFact is what the dataflow knows about one variable: whether it
+// holds a by-value object of a to-be-pointer-ified library class, and
+// whether it holds a lambda value. Facts are monotone — once a variable
+// is seen holding a library value anywhere in the function, every use
+// is treated as suspect (flow-insensitive, like the engine's own
+// analysis environment).
+type VarFact struct {
+	// Lib is the substituted-header class whose value the variable
+	// holds by value (nil when not a library value).
+	Lib *sema.Symbol
+	// Lambda is the lambda literal the variable (transitively) holds
+	// (nil when not a lambda).
+	Lambda *ast.LambdaExpr
+}
+
+// FnFlow holds the facts for one function definition. Lambdas nested in
+// the body share the enclosing function's environment (captured outer
+// variables keep their facts; lambda parameters are seeded like locals).
+type FnFlow struct {
+	Fn   *ast.FunctionDecl
+	Vars map[string]*VarFact
+}
+
+// FactFor resolves an expression to the fact of the variable it names
+// (through parentheses), or nil.
+func (ff *FnFlow) FactFor(x ast.Expr) *VarFact {
+	if ff == nil {
+		return nil
+	}
+	for {
+		p, ok := x.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		x = p.X
+	}
+	dre, ok := x.(*ast.DeclRefExpr)
+	if !ok || len(dre.Name.Segments) != 1 {
+		return nil
+	}
+	return ff.Vars[dre.Name.Segments[0].Name]
+}
+
+// Flow is the per-TU dataflow result: one FnFlow per function defined
+// in a user source.
+type Flow struct {
+	byFn map[*ast.FunctionDecl]*FnFlow
+}
+
+// Of returns the facts for fn (never nil; unknown functions get an
+// empty environment).
+func (f *Flow) Of(fn *ast.FunctionDecl) *FnFlow {
+	if f != nil {
+		if ff := f.byFn[fn]; ff != nil {
+			return ff
+		}
+	}
+	return &FnFlow{Fn: fn, Vars: map[string]*VarFact{}}
+}
+
+// EachUserFn visits every function definition located in a user source,
+// in source order, together with its dataflow facts.
+func (tu *TU) EachUserFn(visit func(fn *ast.FunctionDecl, ff *FnFlow)) {
+	ast.Inspect(tu.AST, func(n ast.Node) {
+		fn, ok := n.(*ast.FunctionDecl)
+		if !ok || fn.Body == nil || !tu.InSources(fn.Pos().File) {
+			return
+		}
+		visit(fn, tu.Flow.Of(fn))
+	})
+}
+
+// BuildFlow computes def-use facts for every user function in the TU:
+// library-class values are tracked through declarations, assignments,
+// calls (return values), and into lambda bodies via captures; lambda
+// values are tracked through declarations and assignments so passes can
+// see a lambda stored before escaping into a wrapped call.
+func BuildFlow(tu *TU) *Flow {
+	f := &Flow{byFn: map[*ast.FunctionDecl]*FnFlow{}}
+	ast.Inspect(tu.AST, func(n ast.Node) {
+		fn, ok := n.(*ast.FunctionDecl)
+		if !ok || fn.Body == nil || !tu.InSources(fn.Pos().File) {
+			return
+		}
+		f.byFn[fn] = buildFnFlow(tu, fn)
+	})
+	return f
+}
+
+func buildFnFlow(tu *TU, fn *ast.FunctionDecl) *FnFlow {
+	ff := &FnFlow{Fn: fn, Vars: map[string]*VarFact{}}
+	file := fn.Pos().File
+	for _, p := range fn.Params {
+		if p.Name == "" {
+			continue
+		}
+		if sym := libByValue(tu, p.Type, file); sym != nil {
+			ff.Vars[p.Name] = &VarFact{Lib: sym}
+		}
+	}
+	// Fields of the enclosing class (in-class or out-of-line methods):
+	// a library-typed field is pointerized like a local.
+	var classSym *sema.Symbol
+	if fn.Class != nil {
+		if r := tu.Tables.Lookup(ast.QN(fn.Class.Name), file); r != nil {
+			classSym = r.Symbol
+		}
+	} else if !fn.QualifierName.IsEmpty() {
+		if r := tu.Tables.Lookup(fn.QualifierName, file); r != nil {
+			classSym = r.Symbol
+		}
+	}
+	if classSym != nil {
+		classSym.EachChild(func(c *sema.Symbol) {
+			if c.Kind != sema.FieldSym {
+				return
+			}
+			if fd, ok := c.Decl.(*ast.FieldDecl); ok {
+				if sym := libByValue(tu, fd.Type, fd.Pos().File); sym != nil {
+					ff.merge(c.Name, &VarFact{Lib: sym})
+				}
+			}
+		})
+	}
+	// Iterate to a fixpoint: facts flow through chains of declarations
+	// and assignments in any textual order. Monotone over a finite
+	// domain, so the loop terminates; the bound is a safety net.
+	for range [8]struct{}{} {
+		changed := false
+		ast.Walk(fn.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ClassDecl:
+				// Local class bodies have their own environments.
+				return false
+			case *ast.VarDecl:
+				if x.Name == "" {
+					return true
+				}
+				if sym := libByValue(tu, x.Type, file); sym != nil {
+					changed = ff.merge(x.Name, &VarFact{Lib: sym}) || changed
+				}
+				if x.Init != nil {
+					changed = ff.merge(x.Name, ff.evalRHS(tu, x.Init, file)) || changed
+				}
+			case *ast.LambdaExpr:
+				for _, p := range x.Params {
+					if p.Name == "" {
+						continue
+					}
+					if sym := libByValue(tu, p.Type, file); sym != nil {
+						changed = ff.merge(p.Name, &VarFact{Lib: sym}) || changed
+					}
+				}
+			case *ast.BinaryExpr:
+				if x.Op != token.Assign {
+					return true
+				}
+				dre, ok := x.L.(*ast.DeclRefExpr)
+				if !ok || len(dre.Name.Segments) != 1 {
+					return true
+				}
+				changed = ff.merge(dre.Name.Segments[0].Name, ff.evalRHS(tu, x.R, file)) || changed
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return ff
+}
+
+// merge folds a fact into the variable's entry, reporting change.
+func (ff *FnFlow) merge(name string, src *VarFact) bool {
+	if src == nil || (src.Lib == nil && src.Lambda == nil) {
+		return false
+	}
+	dst := ff.Vars[name]
+	if dst == nil {
+		dst = &VarFact{}
+		ff.Vars[name] = dst
+	}
+	changed := false
+	if src.Lib != nil && dst.Lib == nil {
+		dst.Lib = src.Lib
+		changed = true
+	}
+	if src.Lambda != nil && dst.Lambda == nil {
+		dst.Lambda = src.Lambda
+		changed = true
+	}
+	return changed
+}
+
+// evalRHS computes the fact produced by an initializer or assignment
+// right-hand side.
+func (ff *FnFlow) evalRHS(tu *TU, x ast.Expr, file string) *VarFact {
+	for {
+		p, ok := x.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		x = p.X
+	}
+	switch v := x.(type) {
+	case *ast.LambdaExpr:
+		return &VarFact{Lambda: v}
+	case *ast.DeclRefExpr:
+		return ff.FactFor(v)
+	case *ast.CallExpr:
+		if sym := ff.CallReturnsLib(tu, v, file); sym != nil {
+			return &VarFact{Lib: sym}
+		}
+	case *ast.CastExpr:
+		if sym := libByValue(tu, v.Type, file); sym != nil {
+			return &VarFact{Lib: sym}
+		}
+	case *ast.InitListExpr:
+		if !v.TypeName.IsEmpty() {
+			t := &ast.Type{Name: v.TypeName, PosStart: v.Pos()}
+			if sym := libByValue(tu, t, file); sym != nil {
+				return &VarFact{Lib: sym}
+			}
+		}
+	}
+	return nil
+}
+
+// CallReturnsLib reports the header class a call returns by value, or
+// nil: a free header function with a by-value class return, or a method
+// call on a tracked library value whose return type is a library class.
+func (ff *FnFlow) CallReturnsLib(tu *TU, call *ast.CallExpr, file string) *sema.Symbol {
+	switch callee := call.Callee.(type) {
+	case *ast.DeclRefExpr:
+		r := tu.Tables.Lookup(callee.Name, callee.Pos().File)
+		if r == nil || r.Symbol.Kind != sema.FunctionSym {
+			return nil
+		}
+		fd := r.Symbol.Function()
+		if fd == nil {
+			return nil
+		}
+		return returnLib(tu, fd, r.Symbol.Parent, file)
+	case *ast.MemberExpr:
+		base := ff.FactFor(callee.Base)
+		if base == nil || base.Lib == nil {
+			return nil
+		}
+		m := base.Lib.FirstChild(callee.Member)
+		if m == nil || m.Function() == nil {
+			return nil
+		}
+		return returnLib(tu, m.Function(), base.Lib, file)
+	}
+	return nil
+}
+
+// returnLib resolves fd's return type (from its declaration scope) to a
+// by-value header class.
+func returnLib(tu *TU, fd *ast.FunctionDecl, scope *sema.Symbol, file string) *sema.Symbol {
+	rt := fd.ReturnType
+	if rt == nil || rt.Builtin || !rt.IsByValue() {
+		return nil
+	}
+	if r := tu.Tables.LookupScoped(rt.Name, scope, rt.PosStart.File); r != nil &&
+		r.Symbol.Kind == sema.ClassSym && tu.InHeader(r.Symbol.DeclFile) {
+		return r.Symbol
+	}
+	return tu.HeaderClassOf(rt, file)
+}
+
+// libByValue resolves ty to a header class used by value, or nil.
+func libByValue(tu *TU, ty *ast.Type, fromFile string) *sema.Symbol {
+	if ty == nil || !ty.IsByValue() {
+		return nil
+	}
+	return tu.HeaderClassOf(ty, fromFile)
+}

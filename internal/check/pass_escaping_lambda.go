@@ -1,0 +1,80 @@
+package check
+
+import (
+	"repro/internal/cpp/ast"
+	"repro/internal/cpp/sema"
+)
+
+func init() {
+	register(&Pass{
+		ID:  "escaping-lambda",
+		Doc: "lambda stored in a variable escapes into a substituted call",
+		Run: runEscapingLambda,
+	})
+}
+
+// runEscapingLambda flags lambdas that reach a substituted function
+// other than as a literal argument. The engine converts only literal
+// lambda arguments into named functors (Table 1); a lambda stored in a
+// variable first — or forwarded from a parameter — keeps its unutterable
+// closure type, which cannot cross the generated wrapper's signature.
+// The dataflow facts track lambda values through declarations and
+// assignments.
+func runEscapingLambda(tu *TU, report func(Diagnostic)) {
+	tu.EachUserFn(func(fn *ast.FunctionDecl, ff *FnFlow) {
+		ast.Walk(fn.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FunctionDecl, *ast.ClassDecl:
+				return false // visited as their own functions
+			case *ast.CallExpr:
+				target := headerCallTarget(tu, ff, x)
+				if target == "" {
+					return true
+				}
+				for _, a := range x.Args {
+					arg := a
+					for {
+						p, ok := arg.(*ast.ParenExpr)
+						if !ok {
+							break
+						}
+						arg = p.X
+					}
+					dre, ok := arg.(*ast.DeclRefExpr)
+					if !ok {
+						continue
+					}
+					if f := ff.FactFor(dre); f != nil && f.Lambda != nil {
+						report(NewDiag("escaping-lambda", Error, dre.Pos(),
+							"lambda stored in '%s' escapes into substituted function %s; only literal lambda arguments are converted to functors",
+							dre.Name.Plain(), target))
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// headerCallTarget resolves a call to the qualified name of the header
+// function or method it invokes, or "" when the callee is not part of a
+// substituted header. Mirrors the engine's call classification: free
+// functions, member calls on library values, and operator() on library
+// values are the rewritten forms.
+func headerCallTarget(tu *TU, ff *FnFlow, call *ast.CallExpr) string {
+	switch callee := call.Callee.(type) {
+	case *ast.DeclRefExpr:
+		if r := tu.Tables.Lookup(callee.Name, callee.Pos().File); r != nil &&
+			r.Symbol.Kind == sema.FunctionSym && tu.InHeader(r.Symbol.DeclFile) {
+			return r.Symbol.Qualified()
+		}
+		if f := ff.FactFor(callee); f != nil && f.Lib != nil {
+			return f.Lib.Qualified() + "::operator()"
+		}
+	case *ast.MemberExpr:
+		if sym := baseLibValue(tu, ff, callee.Base); sym != nil {
+			return sym.Qualified() + "::" + callee.Member
+		}
+	}
+	return ""
+}

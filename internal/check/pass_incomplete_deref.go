@@ -1,0 +1,147 @@
+package check
+
+import (
+	"repro/internal/astmatch"
+	"repro/internal/cpp/ast"
+	"repro/internal/cpp/sema"
+)
+
+func init() {
+	register(&Pass{
+		ID:  "incomplete-deref",
+		Doc: "field access or sizeof on a value whose class becomes an opaque pointer",
+		Run: runIncompleteDeref,
+	})
+}
+
+// runIncompleteDeref flags by-value uses of a library class that the
+// engine cannot rewrite. Method calls on library values become wrapper
+// calls (safe); everything else that peers inside the object — direct
+// data-member access, sizeof — breaks once the class is only forward
+// declared. The dataflow facts let us follow values through locals,
+// parameters, fields, assignments, call returns, and lambda captures.
+func runIncompleteDeref(tu *TU, report func(Diagnostic)) {
+	tu.EachUserFn(func(fn *ast.FunctionDecl, ff *FnFlow) {
+		// Member expressions serving as a call's callee are rewritten to
+		// method wrappers by the engine; collect them so plain member
+		// reads are the remainder.
+		callees := map[*ast.MemberExpr]bool{}
+		for _, m := range astmatch.Find(fn.Body, astmatch.CallExpr(
+			astmatch.Callee(astmatch.Bind("callee", astmatch.MemberExpr())))) {
+			if me, ok := m.Bindings["callee"].(*ast.MemberExpr); ok {
+				callees[me] = true
+			}
+		}
+		ast.Walk(fn.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FunctionDecl, *ast.ClassDecl:
+				return false // visited as their own functions
+			case *ast.MemberExpr:
+				if callees[x] || !tu.InSources(x.Pos().File) {
+					return true
+				}
+				if sym := baseLibValue(tu, ff, x.Base); sym != nil {
+					report(NewDiag("incomplete-deref", Error, x.MemberPos,
+						"member '%s' of substituted class %s is accessed directly; after substitution the value is an opaque %s* and only method calls are rewritten",
+						x.Member, sym.Qualified(), sym.Name))
+				}
+			case *ast.LiteralExpr:
+				if x.Text == "sizeof" {
+					checkSizeof(tu, ff, x, report)
+				}
+			}
+			return true
+		})
+	})
+}
+
+// baseLibValue resolves a member-access base to the library class whose
+// value it denotes: a tracked variable/parameter/field, or a call
+// returning a library class by value.
+func baseLibValue(tu *TU, ff *FnFlow, base ast.Expr) *sema.Symbol {
+	if f := ff.FactFor(base); f != nil && f.Lib != nil {
+		return f.Lib
+	}
+	if call, ok := base.(*ast.CallExpr); ok {
+		return ff.CallReturnsLib(tu, call, call.Pos().File)
+	}
+	return nil
+}
+
+// checkSizeof inspects a sizeof extent (the parser keeps the operand
+// opaque, so the original source text is scanned) for mentions of a
+// substituted class or of a variable holding one: sizeof of an opaque
+// pointer target is a hard compile error after substitution.
+func checkSizeof(tu *TU, ff *FnFlow, lit *ast.LiteralExpr, report func(Diagnostic)) {
+	pos := lit.Pos()
+	if !tu.InSources(pos.File) {
+		return
+	}
+	text := tu.SrcText(pos.File, pos.Offset, lit.End().Offset)
+	for _, segs := range qualifiedIdents(text) {
+		if len(segs) == 1 {
+			if f := ff.Vars[segs[0]]; f != nil && f.Lib != nil {
+				report(NewDiag("incomplete-deref", Error, pos,
+					"sizeof applied to '%s', a value of substituted class %s; the type is incomplete after substitution",
+					segs[0], f.Lib.Qualified()))
+				return
+			}
+		}
+		if r := tu.Tables.Lookup(ast.QN(segs...), pos.File); r != nil &&
+			r.Symbol.Kind == sema.ClassSym && tu.InHeader(r.Symbol.DeclFile) {
+			report(NewDiag("incomplete-deref", Error, pos,
+				"sizeof applied to substituted class %s; the type is incomplete after substitution",
+				r.Symbol.Qualified()))
+			return
+		}
+	}
+}
+
+// qualifiedIdents extracts identifier chains from a source snippet,
+// folding `a :: b` sequences into one multi-segment name.
+func qualifiedIdents(s string) [][]string {
+	var out [][]string
+	i := 0
+	readIdent := func() string {
+		j := i + 1
+		for j < len(s) && isIdentCont(s[j]) {
+			j++
+		}
+		id := s[i:j]
+		i = j
+		return id
+	}
+	skipSpace := func(k int) int {
+		for k < len(s) && (s[k] == ' ' || s[k] == '\t' || s[k] == '\n') {
+			k++
+		}
+		return k
+	}
+	for i < len(s) {
+		if !isIdentStart(s[i]) {
+			i++
+			continue
+		}
+		chain := []string{readIdent()}
+		for {
+			k := skipSpace(i)
+			if k+1 >= len(s) || s[k] != ':' || s[k+1] != ':' {
+				break
+			}
+			k = skipSpace(k + 2)
+			if k >= len(s) || !isIdentStart(s[k]) {
+				break
+			}
+			i = k
+			chain = append(chain, readIdent())
+		}
+		out = append(out, chain)
+	}
+	return out
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || ('0' <= c && c <= '9') }

@@ -1,0 +1,38 @@
+package check
+
+import (
+	"repro/internal/astmatch"
+	"repro/internal/cpp/ast"
+	"repro/internal/cpp/sema"
+)
+
+func init() {
+	register(&Pass{
+		ID:  "inherits-library-type",
+		Doc: "user class derives from a substituted library class",
+		Run: runInheritsLibraryType,
+	})
+}
+
+// runInheritsLibraryType flags user classes deriving from a class the
+// substituted header declares. After substitution the base is only a
+// forward declaration, and deriving from an incomplete type is ill-
+// formed — the paper's §6 lists inheritance from library types as a
+// construct Header Substitution cannot support.
+func runInheritsLibraryType(tu *TU, report func(Diagnostic)) {
+	for _, m := range astmatch.Find(tu.AST, astmatch.CXXRecordDecl(astmatch.IsDefinition())) {
+		cd := m.Node.(*ast.ClassDecl)
+		if !tu.InSources(cd.Pos().File) {
+			continue
+		}
+		for _, base := range cd.Bases {
+			r := tu.Tables.Lookup(base, cd.Pos().File)
+			if r == nil || r.Symbol.Kind != sema.ClassSym || !tu.InHeader(r.Symbol.DeclFile) {
+				continue
+			}
+			report(NewDiag("inherits-library-type", Error, cd.Pos(),
+				"%s %s inherits from substituted library class %s, which is only forward declared after substitution",
+				cd.Keyword, cd.Name, r.Symbol.Qualified()))
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package check
+
+import "strings"
+
+func init() {
+	register(&Pass{
+		ID:  "odr-macro-leak",
+		Doc: "macro defined by the substituted header is expanded in user code",
+		Run: runOdrMacroLeak,
+	})
+}
+
+// runOdrMacroLeak flags expansions, inside user sources, of macros the
+// substituted header defines: the lightweight header carries no macro
+// definitions, so after substitution the name no longer expands and the
+// code silently changes meaning or stops compiling (§6: "macros leaking
+// out of substituted headers"). Object-like macros get a machine-
+// applicable fix-it inlining the body at the use site.
+func runOdrMacroLeak(tu *TU, report func(Diagnostic)) {
+	for _, use := range tu.MacroUses {
+		if !tu.InSources(use.Pos.File) || !tu.InHeader(use.DefFile) {
+			continue
+		}
+		d := NewDiag("odr-macro-leak", Error, use.Pos,
+			"macro %s is defined by substituted header %s; the definition disappears with the header",
+			use.Name, use.DefFile)
+		if def, ok := tu.MacroDefs[use.Name]; ok && !def.FunctionLike && def.File == use.DefFile {
+			text := def.Body
+			if strings.ContainsAny(text, " \t") {
+				text = "(" + text + ")"
+			}
+			d.FixIts = []FixIt{{
+				File:  use.Pos.File,
+				Start: use.Pos.Offset,
+				End:   use.Pos.Offset + len(use.Name),
+				Text:  text,
+			}}
+		}
+		report(d)
+	}
+}

@@ -1,0 +1,67 @@
+package check
+
+import (
+	"repro/internal/astmatch"
+	"repro/internal/cpp/ast"
+	"repro/internal/cpp/sema"
+)
+
+func init() {
+	register(&Pass{
+		ID:  "unwrappable-overload",
+		Doc: "user method overrides a virtual method of a substituted library class",
+		Run: runUnwrappableOverload,
+	})
+}
+
+// runUnwrappableOverload flags methods of user classes that override a
+// virtual method declared by a substituted library base class. Wrappers
+// are free functions resolved at link time; a virtual override needs
+// the base's vtable layout, which only the full header provides — no
+// wrapper can reproduce dynamic dispatch across the substitution
+// boundary.
+func runUnwrappableOverload(tu *TU, report func(Diagnostic)) {
+	for _, m := range astmatch.Find(tu.AST, astmatch.CXXRecordDecl(astmatch.IsDefinition())) {
+		cd := m.Node.(*ast.ClassDecl)
+		if !tu.InSources(cd.Pos().File) {
+			continue
+		}
+		for _, base := range cd.Bases {
+			r := tu.Tables.Lookup(base, cd.Pos().File)
+			if r == nil || r.Symbol.Kind != sema.ClassSym || !tu.InHeader(r.Symbol.DeclFile) {
+				continue
+			}
+			for _, f := range cd.Methods() {
+				pos := f.NamePos
+				if !pos.IsValid() {
+					pos = f.Pos()
+				}
+				switch {
+				case f.Virtual:
+					report(NewDiag("unwrappable-overload", Error, pos,
+						"virtual method %s::%s cannot be wrapped: virtual dispatch does not cross the substitution boundary of base %s",
+						cd.Name, f.Name, r.Symbol.Qualified()))
+				case baseHasVirtual(r.Symbol, f.Name):
+					report(NewDiag("unwrappable-overload", Error, pos,
+						"method %s::%s overrides virtual %s::%s from the substituted header; the override is unreachable through wrappers",
+						cd.Name, f.Name, r.Symbol.Qualified(), f.Name))
+				}
+			}
+		}
+	}
+}
+
+// baseHasVirtual reports whether the base class declares a virtual
+// method of the given name.
+func baseHasVirtual(base *sema.Symbol, name string) bool {
+	ms := base.FirstChild(name)
+	if ms == nil {
+		return false
+	}
+	for _, d := range ms.Decls {
+		if fd, ok := d.(*ast.FunctionDecl); ok && fd.Virtual {
+			return true
+		}
+	}
+	return false
+}

@@ -60,6 +60,13 @@ type Options struct {
 	// first time", so the tool need not be rerun when the used-symbol
 	// set grows.
 	PreDeclare []string
+	// SkipCheck disables the safety gate. By default Substitute runs the
+	// internal/check passes over the parsed sources and refuses to
+	// substitute when any error-severity finding would make the rewritten
+	// program miscompile or change meaning (returning a *GateError).
+	// Setting SkipCheck restores the unchecked behavior of earlier
+	// versions.
+	SkipCheck bool
 	// TokenCache, when set, memoizes per-file lexing across the tool's
 	// preprocessor runs (wall-clock only; output unchanged).
 	TokenCache preprocessor.TokenCache
@@ -111,6 +118,9 @@ type Engine struct {
 	headerFiles []string
 	headerOwned map[string]bool
 	sourceSet   map[string]bool
+	// ppRes keeps each source's preprocessor result (macro definitions
+	// and expansion records) for the safety gate; nil when SkipCheck.
+	ppRes map[string]*preprocessor.Result
 
 	an  *analysis
 	rep Report
@@ -153,6 +163,7 @@ func newEngine(opts Options) (*Engine, error) {
 		fs:          opts.FS,
 		headerOwned: map[string]bool{},
 		sourceSet:   map[string]bool{},
+		ppRes:       map[string]*preprocessor.Result{},
 		rewrites:    rewrite.NewSet(),
 	}, nil
 }
@@ -171,6 +182,13 @@ func (e *Engine) run() (*Result, error) {
 	// Phase 0: preprocess + parse everything, build symbol tables.
 	if err := phase("frontend", func() error { return e.frontend(o) }); err != nil {
 		return nil, err
+	}
+	// Phase 0.5: the safety gate — refuse substitutions the check passes
+	// prove unsafe (§6 hazards), reusing the frontend artifacts.
+	if !e.opts.SkipCheck {
+		if err := phase("check", func() error { return e.gate(o) }); err != nil {
+			return nil, err
+		}
 	}
 	// Phase 1 (Fig. 5 lines 2–10): analysis.
 	if err := phase("analyze", e.analyze); err != nil {
@@ -234,12 +252,16 @@ func (e *Engine) frontend(o *obs.Obs) error {
 		pp := preprocessor.New(e.fs, e.opts.SearchPaths...)
 		pp.Obs = o
 		pp.Cache = e.opts.TokenCache
+		pp.TrackMacros = !e.opts.SkipCheck
 		for k, v := range e.opts.Defines {
 			pp.Define(k, v)
 		}
 		res, err := pp.Preprocess(src)
 		if err != nil {
 			return fmt.Errorf("core: preprocess %s: %v", src, err)
+		}
+		if pp.TrackMacros {
+			e.ppRes[vfs.Clean(src)] = res
 		}
 		// Resolve every substituted header among this TU's includes and
 		// mark their transitive closures as header-owned.

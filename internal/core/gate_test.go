@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/vfs"
+)
+
+// unsafeFS is a project whose source reads a data member off a by-value
+// library object — the engine would leave the access in place while
+// turning the value into an opaque pointer.
+func unsafeFS() *vfs.FS {
+	fs := vfs.New()
+	fs.Write("lib/big.hpp", `#pragma once
+namespace big {
+class Mat {
+ public:
+  Mat();
+  int rows() const;
+  int cols_;
+};
+}
+`)
+	fs.Write("src/main.cpp", `#include "big.hpp"
+int main() {
+  big::Mat m;
+  return m.cols_;
+}
+`)
+	return fs
+}
+
+func TestGateRejectsUnsafeInput(t *testing.T) {
+	_, err := Substitute(Options{
+		FS:          unsafeFS(),
+		SearchPaths: []string{"lib", "src"},
+		Sources:     []string{"src/main.cpp"},
+		Header:      "big.hpp",
+	})
+	var ge *GateError
+	if !errors.As(err, &ge) {
+		t.Fatalf("err = %v, want *GateError", err)
+	}
+	if len(ge.Diagnostics) == 0 {
+		t.Fatal("GateError carries no diagnostics")
+	}
+	d := ge.Diagnostics[0]
+	if d.File != "src/main.cpp" || d.Line <= 0 || d.Col <= 0 {
+		t.Fatalf("diagnostic lacks a source location: %+v", d)
+	}
+	if d.Pass != "incomplete-deref" || !strings.Contains(d.Message, "cols_") {
+		t.Fatalf("unexpected diagnostic: %+v", d)
+	}
+	if !strings.Contains(err.Error(), "src/main.cpp:") {
+		t.Fatalf("error string should locate the finding: %v", err)
+	}
+}
+
+func TestGateOptOutRestoresOldBehavior(t *testing.T) {
+	res, err := Substitute(Options{
+		FS:          unsafeFS(),
+		SearchPaths: []string{"lib", "src"},
+		Sources:     []string{"src/main.cpp"},
+		Header:      "big.hpp",
+		SkipCheck:   true,
+	})
+	if err != nil {
+		t.Fatalf("SkipCheck run failed: %v", err)
+	}
+	if res.LightweightPath == "" {
+		t.Fatal("SkipCheck run produced no output")
+	}
+}
+
+// TestGateTransparentOnCorpus asserts the gate (a) passes every
+// evaluation subject and (b) leaves the generated files byte-identical
+// to an unchecked run.
+func TestGateTransparentOnCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus sweep in -short mode")
+	}
+	for _, s := range corpus.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			run := func(skip bool) (*Result, *vfs.FS) {
+				fs := s.FS.Clone()
+				res, err := Substitute(Options{
+					FS:          fs,
+					SearchPaths: s.SearchPaths,
+					Sources:     s.Sources,
+					Header:      s.Header,
+					OutDir:      s.OutDir(),
+					SkipCheck:   skip,
+				})
+				if err != nil {
+					t.Fatalf("Substitute(skip=%v): %v", skip, err)
+				}
+				return res, fs
+			}
+			gated, gfs := run(false)
+			plain, pfs := run(true)
+			paths := []string{gated.LightweightPath, gated.WrappersPath}
+			for orig, mod := range gated.ModifiedSources {
+				if plain.ModifiedSources[orig] != mod {
+					t.Fatalf("modified-source path diverged for %s", orig)
+				}
+				paths = append(paths, mod)
+			}
+			for _, p := range paths {
+				g, err := gfs.Read(p)
+				if err != nil {
+					t.Fatalf("read %s: %v", p, err)
+				}
+				u, err := pfs.Read(p)
+				if err != nil {
+					t.Fatalf("read %s: %v", p, err)
+				}
+				if g != u {
+					t.Fatalf("%s differs between gated and unchecked runs", p)
+				}
+			}
+		})
+	}
+}

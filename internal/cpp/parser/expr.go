@@ -57,7 +57,11 @@ func (p *Parser) parseStmt() ast.Stmt {
 	case p.atWord("break") || p.atWord("continue"):
 		es := &ast.ExprStmt{}
 		es.Start = p.cur().Pos
-		es.X = &ast.DeclRefExpr{Name: ast.QN(p.next().Text)}
+		kw := p.next()
+		dre := &ast.DeclRefExpr{Name: ast.QN(kw.Text)}
+		dre.Start = kw.Pos
+		dre.Stop = kw.End()
+		es.X = dre
 		es.Stop = p.cur().End()
 		p.expect(token.Semi)
 		return es

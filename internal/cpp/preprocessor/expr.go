@@ -18,7 +18,9 @@ func (pp *Preprocessor) evalCondition(toks []token.Token) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	pp.suppressUses++
 	expanded := pp.expand(resolved, map[string]bool{})
+	pp.suppressUses--
 	p := &condParser{toks: expanded}
 	v, err := p.parseTernary()
 	if err != nil {

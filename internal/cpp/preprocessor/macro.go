@@ -88,6 +88,7 @@ func (pp *Preprocessor) expand(toks []token.Token, hide map[string]bool) []token
 			continue
 		}
 		if !m.FunctionLike {
+			pp.noteUse(tk, m)
 			sub := pp.expandWith(m.Body, hide, m.Name)
 			out = append(out, sub...)
 			continue
@@ -105,6 +106,7 @@ func (pp *Preprocessor) expand(toks []token.Token, hide map[string]bool) []token
 			continue
 		}
 		i = next
+		pp.noteUse(tk, m)
 		body, err := pp.substituteParams(m, args, hide)
 		if err != nil {
 			pp.errorf(tk.Pos, "%v", err)

@@ -46,6 +46,33 @@ type Result struct {
 	// these paths are still absent (a new file earlier on a search path
 	// would change resolution).
 	AbsentDeps []string
+	// MacroDefs and MacroUses are recorded only when
+	// Preprocessor.TrackMacros is set (the substitution-safety checker
+	// needs them to detect macros leaking out of a substituted header;
+	// everything else skips the bookkeeping). MacroDefs maps each macro
+	// name to its last #define; MacroUses lists every expansion site in
+	// an active region, in expansion order.
+	MacroDefs map[string]MacroDef
+	MacroUses []MacroUse
+}
+
+// MacroDef describes one #define for macro tracking.
+type MacroDef struct {
+	Name         string
+	File         string // file containing the #define
+	FunctionLike bool
+	Body         string // body rendered as source text
+	Pos          token.Pos
+}
+
+// MacroUse is one expansion of a defined macro in an active region.
+// Conditional-evaluation (#if) and computed-include expansions are not
+// recorded: they never survive into the token stream, so they cannot
+// leak into compiled user code.
+type MacroUse struct {
+	Name    string
+	DefFile string    // file whose #define was in effect at the use
+	Pos     token.Pos // position of the macro name at the use site
 }
 
 // TokenCache memoizes per-file lexed token streams. It is implemented by
@@ -72,6 +99,10 @@ type Preprocessor struct {
 	// the hot path: the instruments below stay nil and every hook on them
 	// is a no-op.
 	Obs *obs.Obs
+	// TrackMacros records macro definitions and expansion sites into
+	// Result.MacroDefs/MacroUses. Off by default: only the safety
+	// checker needs it, and token emission is unchanged either way.
+	TrackMacros bool
 
 	macros     *macroTable
 	pragmaOnce map[string]bool
@@ -88,6 +119,10 @@ type Preprocessor struct {
 	ntoks   int
 	depth   int
 	counter int // __COUNTER__ state
+	// suppressUses is non-zero while expanding tokens that never reach
+	// the output stream (#if conditions, computed includes); macro uses
+	// there are not recorded.
+	suppressUses int
 	// Resolved-once metric instruments (nil when Obs is nil).
 	cFiles *obs.Counter
 }
@@ -142,6 +177,9 @@ func (pp *Preprocessor) Preprocess(mainFile string) (*Result, error) {
 	pp.guardedBy = map[string]string{}
 	pp.errs = nil
 	pp.res = &Result{DirectDeps: map[string][]string{}}
+	if pp.TrackMacros {
+		pp.res.MacroDefs = map[string]MacroDef{}
+	}
 	pp.seen = map[string]bool{}
 	pp.absentSeen = map[string]bool{}
 	pp.chunks = nil
@@ -411,7 +449,9 @@ func (pp *Preprocessor) handleInclude(file string, hash token.Token, rest []toke
 	target, angled, ok := parseIncludeTarget(rest)
 	if !ok {
 		// Could be a computed include via macro; expand and retry.
+		pp.suppressUses++
 		expanded := pp.expand(rest, map[string]bool{})
+		pp.suppressUses--
 		target, angled, ok = parseIncludeTarget(expanded)
 		if !ok {
 			pp.errorf(hash.Pos, "malformed #include")
@@ -484,6 +524,38 @@ func (pp *Preprocessor) handleDefine(hash token.Token, rest []token.Token) {
 		// Benign in practice; keep latest definition like most compilers.
 	}
 	pp.macros.define(m)
+	if pp.TrackMacros {
+		pp.res.MacroDefs[m.Name] = MacroDef{
+			Name:         m.Name,
+			File:         m.Pos.File,
+			FunctionLike: m.FunctionLike,
+			Body:         renderMacroBody(m.Body),
+			Pos:          m.Pos,
+		}
+	}
+}
+
+// renderMacroBody renders a macro body as source text (tokens separated
+// by single spaces), for diagnostics and fix-its.
+func renderMacroBody(body []token.Token) string {
+	var b strings.Builder
+	for i, tk := range body {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(tk.Text)
+	}
+	return b.String()
+}
+
+// noteUse records one macro expansion site when tracking is enabled.
+func (pp *Preprocessor) noteUse(tk token.Token, m *Macro) {
+	if !pp.TrackMacros || pp.suppressUses > 0 {
+		return
+	}
+	pp.res.MacroUses = append(pp.res.MacroUses, MacroUse{
+		Name: m.Name, DefFile: m.Pos.File, Pos: tk.Pos,
+	})
 }
 
 // detectIncludeGuard recognizes the canonical

@@ -28,6 +28,7 @@ const maxBodyBytes = 8 << 20
 //	GET    /v1/sessions/{name}/files?path=P   read a file from the tree
 //	POST   /v1/sessions/{name}/cycle     one compile-link-run iteration
 //	POST   /v1/sessions/{name}/substitute?include_content=1
+//	POST   /v1/sessions/{name}/check     run the safety passes {passes}
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -41,6 +42,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{name}/files", s.instrument("file.read", s.handleFileRead))
 	mux.HandleFunc("POST /v1/sessions/{name}/cycle", s.instrument("cycle", s.pooled(s.handleCycle)))
 	mux.HandleFunc("POST /v1/sessions/{name}/substitute", s.instrument("substitute", s.pooled(s.handleSubstitute)))
+	mux.HandleFunc("POST /v1/sessions/{name}/check", s.instrument("check", s.pooled(s.handleCheck)))
 	return mux
 }
 
@@ -357,6 +359,30 @@ func (s *Server) handleSubstitute(w http.ResponseWriter, r *http.Request, o *obs
 		stripped.Files = nil
 		res = stripped
 	}
+	writeJSON(w, http.StatusOK, res)
+	return http.StatusOK
+}
+
+type checkRequest struct {
+	// Passes restricts which check passes run (empty = all).
+	Passes []string `json:"passes"`
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request, o *obs.Obs) int {
+	sess := s.session(w, r)
+	if sess == nil {
+		return http.StatusNotFound
+	}
+	var req checkRequest
+	if !decodeBody(w, r, &req) {
+		return http.StatusBadRequest
+	}
+	res, err := sess.Check(r.Context(), o, req.Passes)
+	if err != nil {
+		return s.computeError(w, r, err)
+	}
+	s.o.Counter("daemon.checks").Add(1)
+	s.o.Counter("daemon.check.findings").Add(uint64(len(res.Diagnostics)))
 	writeJSON(w, http.StatusOK, res)
 	return http.StatusOK
 }

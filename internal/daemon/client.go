@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"net/url"
 	"time"
+
+	"repro/internal/check"
 )
 
 // Client is a typed HTTP client for the daemon API, used by the load
@@ -103,6 +105,17 @@ func (c *Client) Substitute(session string, includeContent bool) (*SubstituteRes
 	}
 	var res SubstituteResult
 	if err := c.do("POST", path, nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Check runs the substitution-safety passes for the session; passes may
+// be nil to run all of them.
+func (c *Client) Check(session string, passes []string) (*check.Result, error) {
+	var res check.Result
+	if err := c.do("POST", "/v1/sessions/"+url.PathEscape(session)+"/check",
+		checkRequest{Passes: passes}, &res); err != nil {
 		return nil, err
 	}
 	return &res, nil

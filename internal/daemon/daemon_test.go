@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/obs"
 )
 
@@ -498,5 +499,81 @@ func TestLoadgenSmoke(t *testing.T) {
 	}
 	if _, err := rep.JSON(); err != nil {
 		t.Errorf("report JSON: %v", err)
+	}
+}
+
+// TestCheckEndpoint drives the safety-pass route: a pristine subject is
+// safe, an unsafe edit produces located findings, and the RED metrics
+// for the route are reported.
+func TestCheckEndpoint(t *testing.T) {
+	base, _, shutdown := startServer(t, Config{Registry: obs.NewRegistry()})
+	defer shutdown()
+	c := NewClient(base)
+	if _, err := c.CreateSession("chk", "condense", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.Check("chk", nil)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if len(res.Diagnostics) != 0 || res.Verdict != check.Safe {
+		t.Fatalf("pristine subject not safe: %+v", res)
+	}
+
+	// An edit that subclasses a library type must flip the verdict.
+	src, err := c.ReadFile("chk", "src/condense.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Edit("chk", "src/condense.cpp",
+		src+"\nclass MyDoc : public rapidjson::Document {};\n"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Check("chk", nil)
+	if err != nil {
+		t.Fatalf("check after edit: %v", err)
+	}
+	if res.Verdict != check.Unsafe {
+		t.Fatalf("verdict = %v, want unsafe", res.Verdict)
+	}
+	found := false
+	for _, d := range res.Diagnostics {
+		if d.Pass == "inherits-library-type" && d.File == "src/condense.cpp" && d.Line > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no located inherits-library-type finding: %+v", res.Diagnostics)
+	}
+
+	// Restricting passes must skip the inheritance check.
+	res, err = c.Check("chk", []string{"odr-macro-leak"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("pass filter ignored: %+v", res.Diagnostics)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Counters["daemon.checks"] != 3 {
+		t.Errorf("daemon.checks = %d, want 3", snap.Counters["daemon.checks"])
+	}
+	if snap.Counters["daemon.requests.check"] != 3 {
+		t.Errorf("daemon.requests.check = %d, want 3", snap.Counters["daemon.requests.check"])
+	}
+	if snap.Counters["daemon.check.findings"] == 0 {
+		t.Error("daemon.check.findings not incremented")
 	}
 }

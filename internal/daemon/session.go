@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/buildcache"
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/devcycle"
@@ -336,6 +337,30 @@ func (s *Session) substituteLocked(o *obs.Obs) (*SubstituteResult, error) {
 		out.Files[p] = content
 	}
 	return out, nil
+}
+
+// Check runs the substitution-safety passes over the session's working
+// tree (including any edits) without substituting anything, returning
+// the structured diagnostics. Unlike Substitute it never mutates the
+// tree, so it is safe to call at any point of the cycle.
+func (s *Session) Check(ctx context.Context, o *obs.Obs, passes []string) (*check.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opts := check.Options{
+		FS:          s.fs,
+		SearchPaths: s.subject.SearchPaths,
+		Sources:     s.subject.Sources,
+		Header:      s.subject.Header,
+		Passes:      passes,
+		Obs:         o,
+	}
+	if s.cache != nil {
+		opts.TokenCache = s.cache
+	}
+	return check.Run(opts)
 }
 
 // adoptSubstitute installs a result computed by an identical concurrent

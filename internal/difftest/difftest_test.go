@@ -18,9 +18,9 @@ func TestCorpusOracles(t *testing.T) {
 	for _, s := range corpus.All() {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
-			oracles := []string{"exec", "idempotent"}
+			oracles := []string{"safety", "exec", "idempotent"}
 			if s.Name == "02" {
-				oracles = nil // the paper's main subject gets all four
+				oracles = nil // the paper's main subject gets all five
 			}
 			r := Check(s, Options{Oracles: oracles})
 			for _, v := range r.Violations {
@@ -34,13 +34,61 @@ func TestCorpusOracles(t *testing.T) {
 }
 
 // TestFuzzSmoke is the CI smoke run: a fixed, deterministic batch of
-// generated programs through all four oracles. Any violation here is a
-// real pipeline bug (or a generator bug), never flake.
+// generated programs through all five oracles (including safety: a
+// check-pass error on any of these clean programs is a false positive).
+// Any violation here is a real pipeline bug (or a generator bug), never
+// flake.
 func TestFuzzSmoke(t *testing.T) {
 	const n = 20
 	for seed := int64(1); seed <= n; seed++ {
 		p := fuzzgen.Generate(fuzzgen.Config{Seed: seed})
 		r := Check(SubjectFor(p), Options{})
+		for _, v := range r.Violations {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+	}
+}
+
+// TestUnsafeGeneratedFlagged runs the safety oracle in MustFlag mode
+// over a batch of unsafe-generated programs: every one must draw at
+// least one check-pass error. The seed range is wide enough that both
+// unsafe constructs (by-value field read, user subclass) occur.
+func TestUnsafeGeneratedFlagged(t *testing.T) {
+	kinds := map[string]bool{}
+	for seed := int64(1); seed <= 12; seed++ {
+		p := fuzzgen.Generate(fuzzgen.Config{Seed: seed, Unsafe: true})
+		if !p.Unsafe {
+			t.Fatalf("seed %d: Config.Unsafe not propagated to Program.Unsafe", seed)
+		}
+		for _, c := range p.Spec.Chunks {
+			if strings.HasPrefix(c.Kind, "unsafe-") {
+				kinds[c.Kind] = true
+			}
+		}
+		r := Check(SubjectFor(p), Options{Oracles: []string{"safety"}, MustFlag: true})
+		for _, v := range r.Violations {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+	}
+	for _, k := range []string{"unsafe-fieldread", "unsafe-subclass"} {
+		if !kinds[k] {
+			t.Errorf("seed range never generated construct %q", k)
+		}
+	}
+}
+
+// TestSafetyCleanSweep is a deterministic slice of the acceptance
+// criterion's 500-program sweep: clean generated programs must draw
+// zero check-pass errors (no false positives). The full sweep runs via
+// `yallafuzz -n 500 -oracle safety`.
+func TestSafetyCleanSweep(t *testing.T) {
+	n := int64(40)
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		p := fuzzgen.Generate(fuzzgen.Config{Seed: seed})
+		r := Check(SubjectFor(p), Options{Oracles: []string{"safety"}})
 		for _, v := range r.Violations {
 			t.Errorf("seed %d: %s", seed, v)
 		}
@@ -95,6 +143,41 @@ func TestFaultInjection(t *testing.T) {
 	}
 	if rr := loaded.Check(Options{Oracles: []string{"exec"}}); rr.OK() {
 		t.Error("reloaded reproducer no longer fails while the fault is still planted")
+	}
+}
+
+// TestCtorWrapperMutationScope re-plants PR-4's ctor-wrapper bug (the
+// generated yalla_make_* wrapper constructs with a0 + 1 instead of a0)
+// and pins down the safety oracle's scope boundary: the exec oracle
+// catches the divergence, but no check pass can — the mutation lives in
+// the *generated* wrappers TU, which does not exist when the input
+// program is analyzed. The exec-unflagged cross-check is therefore
+// suppressed while a fault hook is planted; EXPERIMENTS.md documents
+// this class of bug as out of yallacheck's scope.
+func TestCtorWrapperMutationScope(t *testing.T) {
+	mutateGenerated = func(path, content string) string {
+		if !strings.HasSuffix(path, "wrappers.cpp") {
+			return content
+		}
+		return strings.Replace(content, "(a0);", "(a0 + 1);", 1)
+	}
+	defer func() { mutateGenerated = nil }()
+
+	caught := false
+	for seed := int64(1); seed <= 4; seed++ {
+		p := fuzzgen.Generate(fuzzgen.Config{Seed: seed})
+		r := Check(SubjectFor(p), Options{Oracles: []string{"safety", "exec"}})
+		for _, v := range r.Violations {
+			if v.Oracle == "exec" {
+				caught = true
+			}
+			if v.Oracle == "safety" {
+				t.Errorf("seed %d: safety oracle misfired on a generated-code fault: %s", seed, v)
+			}
+		}
+	}
+	if !caught {
+		t.Error("planted ctor-wrapper mutation never tripped the exec oracle")
 	}
 }
 

@@ -27,3 +27,26 @@ func FuzzSubstitute(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCheck fuzzes the safety oracle from both sides: clean programs
+// (unsafe=false) must produce zero check-pass errors, and programs
+// generated around a known-unsafe construct (unsafe=true) must produce
+// at least one. Either miss is a yallacheck bug — a false positive
+// would block valid substitutions at the gate, a false negative would
+// let a miscompile through.
+func FuzzCheck(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed, int64(6), false)
+		f.Add(seed, int64(6), true)
+	}
+	f.Fuzz(func(t *testing.T, seed, size int64, unsafe bool) {
+		if size < 1 || size > 24 {
+			size = 6
+		}
+		p := fuzzgen.Generate(fuzzgen.Config{Seed: seed, Size: int(size), Unsafe: unsafe})
+		r := Check(SubjectFor(p), Options{Oracles: []string{"safety"}, MustFlag: p.Unsafe})
+		for _, v := range r.Violations {
+			t.Errorf("seed %d size %d unsafe=%v: %s", seed, size, unsafe, v)
+		}
+	})
+}

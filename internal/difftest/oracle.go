@@ -2,8 +2,13 @@
 // Substitution pipeline. It checks the paper's core claim — that
 // substitution is *semantics-preserving* while compiling faster — on
 // arbitrary subjects (corpus entries or fuzzgen-generated programs) with
-// four oracles:
+// five oracles:
 //
+//	safety      the yallacheck passes produce no error diagnostic on a
+//	            clean program (no false positives) and at least one on a
+//	            program generated with a known-unsafe construct; when
+//	            the exec oracle later catches a real divergence the
+//	            passes stayed silent about, that silence is a violation
 //	exec        the original program and the substituted program
 //	            (modified sources + wrappers TU) produce identical
 //	            observable output under the reference interpreter
@@ -29,6 +34,7 @@ import (
 	"sync"
 
 	"repro/internal/buildcache"
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/cpp/ast"
@@ -42,7 +48,7 @@ import (
 )
 
 // OracleNames lists every oracle in canonical run order.
-var OracleNames = []string{"exec", "idempotent", "paths", "perf"}
+var OracleNames = []string{"safety", "exec", "idempotent", "paths", "perf"}
 
 // mutateGenerated is a test-only fault-injection hook: when set, every
 // generated file (lightweight header, wrappers, modified sources) is
@@ -86,6 +92,10 @@ type Options struct {
 	// Budget bounds interpreter steps per program; <= 0 uses the
 	// interpreter default.
 	Budget int
+	// MustFlag inverts the safety oracle's expectation: the subject was
+	// generated with a known-unsafe construct, so zero error diagnostics
+	// is the violation (a false negative).
+	MustFlag bool
 	// Obs, when set, records one span per oracle plus check counters.
 	Obs *obs.Obs
 }
@@ -136,6 +146,16 @@ func Check(s *corpus.Subject, opt Options) *Result {
 	sp.SetStr("subject", s.Name)
 	res := &Result{Subject: s.Name}
 
+	// The safety oracle runs before (and independently of) the
+	// substitution: it judges the *input* program.
+	safetyErrs, safetyRan := 0, false
+	if opt.want("safety") {
+		ssp := o.Start("oracle.safety")
+		safetyErrs = safetyOracle(res, s, opt.MustFlag)
+		safetyRan = true
+		ssp.End()
+	}
+
 	// One primary substitution; exec/idempotent/paths all reuse it.
 	fsSub := s.FS.Overlay()
 	sub, err := substitute(fsSub, s, nil, "")
@@ -151,6 +171,18 @@ func Check(s *corpus.Subject, opt Options) *Result {
 		esp := o.Start("oracle.exec")
 		execOracle(res, s, fsSub, sub, opt.Budget)
 		esp.End()
+	}
+	// Cross-check: an exec-caught miscompile the passes did not flag is
+	// a safety false negative. Injected faults (mutateGenerated) are
+	// exempt — they corrupt the *generated* output, which no static
+	// analysis of the input can anticipate.
+	if safetyRan && safetyErrs == 0 && mutateGenerated == nil {
+		for _, v := range res.Violations {
+			if v.Oracle == "exec" {
+				res.addf("safety", "exec divergence not flagged by any check pass: %s", v.Detail)
+				break
+			}
+		}
 	}
 	if opt.want("idempotent") {
 		isp := o.Start("oracle.idempotent")
@@ -189,6 +221,10 @@ func substitute(fs *vfs.FS, s *corpus.Subject, cache *buildcache.Cache, outDir s
 		Sources:     s.Sources,
 		Header:      s.Header,
 		OutDir:      outDir,
+		// The harness judges safety through its own oracle; the engine's
+		// gate must not pre-empt the downstream oracles (and fault
+		// injection plants bugs the gate would never see anyway).
+		SkipCheck: true,
 	}
 	if cache != nil {
 		opts.TokenCache = cache
@@ -225,6 +261,34 @@ func applyFault(fs *vfs.FS, sub *core.Result) {
 			fs.Write(p, mutateGenerated(p, c))
 		}
 	}
+}
+
+// ---------------------------------------------------------------- safety
+
+// safetyOracle runs the yallacheck passes over the *input* program and
+// returns the number of error diagnostics. With mustFlag unset, any
+// error on a program believed clean is a false positive; with mustFlag
+// set (the subject was generated around a known-unsafe construct),
+// silence is the violation — a false negative.
+func safetyOracle(res *Result, s *corpus.Subject, mustFlag bool) int {
+	cres, err := check.Run(check.Options{
+		FS:          s.FS.Overlay(),
+		SearchPaths: s.SearchPaths,
+		Sources:     s.Sources,
+		Header:      s.Header,
+	})
+	if err != nil {
+		res.addf("safety", "check run failed: %v", err)
+		return 0
+	}
+	errs := cres.Errors()
+	switch {
+	case mustFlag && len(errs) == 0:
+		res.addf("safety", "known-unsafe program produced no error diagnostic (verdict %s)", cres.Verdict)
+	case !mustFlag && len(errs) > 0:
+		res.addf("safety", "false positive on clean program: %s", errs[0])
+	}
+	return len(errs)
 }
 
 // ------------------------------------------------------------------ exec
@@ -344,6 +408,7 @@ func idempotentOracle(res *Result, s *corpus.Subject, fsSub *vfs.FS, sub *core.R
 		Sources:     srcs,
 		Header:      s.Header,
 		OutDir:      out2,
+		SkipCheck:   true,
 	})
 	if err != nil {
 		// The expected no-op shape: the substituted sources no longer

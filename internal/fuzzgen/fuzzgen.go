@@ -33,6 +33,12 @@ type Config struct {
 	// the substituted rebuild measurably cheaper). <= 0 means 3 / 120.
 	FillerHeaders int
 	FillerLines   int
+	// Unsafe appends one known-unsafe construct (a by-value field read
+	// of a library class, or user code subclassing one) that the
+	// yallacheck passes must flag. The resulting Program carries
+	// Unsafe=true so the harness can invert the safety oracle's
+	// expectation.
+	Unsafe bool
 }
 
 func (c *Config) fill() {
@@ -54,6 +60,7 @@ type Where int
 const (
 	HeaderChunk Where = iota // inside namespace fz in the library header
 	MainChunk                // inside main() in the user source
+	UserChunk                // file scope in the user source, before main()
 )
 
 // Chunk is one independently droppable unit of the generated program: a
@@ -91,6 +98,9 @@ type Spec struct {
 	// Keep, when non-nil, lists the chunk IDs to render (the minimizer's
 	// working set). nil means all chunks.
 	Keep []int `json:"keep,omitempty"`
+	// Unsafe records that the program was generated with a known-unsafe
+	// construct (Config.Unsafe).
+	Unsafe bool `json:"unsafe,omitempty"`
 }
 
 // Program is a rendered generated subject, ready to hand to the
@@ -102,6 +112,9 @@ type Program struct {
 	Header      string
 	SearchPaths []string
 	Spec        *Spec
+	// Unsafe mirrors Spec.Unsafe: the program contains a construct the
+	// check passes are expected to flag.
+	Unsafe bool
 }
 
 // File-layout constants shared with the harness.
@@ -122,7 +135,7 @@ func Generate(cfg Config) *Program {
 	cfg.fill()
 	g := &gen{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
 	g.build()
-	spec := &Spec{Seed: cfg.Seed, Size: cfg.Size, Chunks: g.chunks, Filler: g.filler()}
+	spec := &Spec{Seed: cfg.Seed, Size: cfg.Size, Chunks: g.chunks, Filler: g.filler(), Unsafe: cfg.Unsafe}
 	return spec.Program()
 }
 
@@ -151,7 +164,17 @@ func (s *Spec) Program() *Program {
 	}
 	hdr.WriteString("}\n")
 
-	main.WriteString(fmt.Sprintf("#include %q\n#include %q\n\nint main() {\n", HeaderName, "fuzztrace.hpp"))
+	main.WriteString(fmt.Sprintf("#include %q\n#include %q\n", HeaderName, "fuzztrace.hpp"))
+	for _, c := range s.Chunks {
+		if c.Where != UserChunk || !kept[c.ID] {
+			continue
+		}
+		for _, l := range c.Lines {
+			main.WriteString(l)
+			main.WriteString("\n")
+		}
+	}
+	main.WriteString("\nint main() {\n")
 	for _, c := range s.Chunks {
 		if c.Where != MainChunk || !kept[c.ID] {
 			continue
@@ -179,6 +202,7 @@ func (s *Spec) Program() *Program {
 		Header:      HeaderName,
 		SearchPaths: []string{"fuzzlib"},
 		Spec:        s,
+		Unsafe:      s.Unsafe,
 	}
 }
 
@@ -488,6 +512,48 @@ func (g *gen) build() {
 			g.genByValChunk()
 		}
 	}
+
+	// Unsafe constructs go last so the random stream (and therefore
+	// every chunk above) is identical to the Unsafe=false rendering of
+	// the same seed.
+	if g.cfg.Unsafe {
+		g.genUnsafeChunk()
+	}
+}
+
+// genUnsafeChunk appends one construct from the paper's §6 hazard list —
+// something Header Substitution silently miscompiles and yallacheck must
+// therefore flag.
+func (g *gen) genUnsafeChunk() {
+	r := g.rng
+	id := g.nextID
+	if r.Intn(2) == 0 {
+		// A public-field library class plus a direct by-value field read
+		// in main(): after substitution the object is an opaque pointer
+		// and the field access has no wrapper (incomplete-deref).
+		name := fmt.Sprintf("U%d", id)
+		hid := g.add(Chunk{Where: HeaderChunk, Kind: "unsafe-class", Lines: []string{
+			"",
+			fmt.Sprintf("class %s {", name),
+			"public:",
+			fmt.Sprintf("  %s(int a) { pf_ = a * 2; }", name),
+			"  int pf_;",
+			"};",
+		}})
+		v := fmt.Sprintf("u%d", g.nextID)
+		g.add(Chunk{Where: MainChunk, Kind: "unsafe-fieldread", Needs: []int{hid}, Lines: []string{
+			fmt.Sprintf("fz::%s %s(%d);", name, v, 1+r.Intn(5)),
+			emitLine(v + ".pf_"),
+		}})
+		return
+	}
+	// User code subclassing a library class: the derivation needs the
+	// full base definition, which substitution replaces with a forward
+	// declaration (inherits-library-type).
+	c := g.classes[r.Intn(len(g.classes))]
+	g.add(Chunk{Where: UserChunk, Kind: "unsafe-subclass", Needs: []int{c.id}, Lines: []string{
+		fmt.Sprintf("class Sub%d : public fz::%s { };", id, c.name),
+	}})
 }
 
 type freeKind int

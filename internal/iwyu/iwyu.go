@@ -10,8 +10,10 @@ package iwyu
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
+	"repro/internal/check"
 	"repro/internal/cpp/ast"
 	"repro/internal/cpp/parser"
 	"repro/internal/cpp/preprocessor"
@@ -34,23 +36,29 @@ type Options struct {
 type IncludeUse struct {
 	// Target is the include as spelled ("<iostream>"), Resolved the file
 	// path it resolved to.
-	Target   string
-	Resolved string
-	Line     int
+	Target   string `json:"target"`
+	Resolved string `json:"resolved,omitempty"`
+	Line     int    `json:"line"`
 	// Used reports whether any symbol declared in the include's
 	// transitive closure is referenced by the source.
-	Used bool
+	Used bool `json:"used"`
 	// Symbols samples the referenced symbols (up to 8).
-	Symbols []string
+	Symbols []string `json:"symbols,omitempty"`
 }
 
 // Result is the analysis output.
 type Result struct {
-	Includes []IncludeUse
+	Includes []IncludeUse `json:"includes"`
 	// Removed counts includes deleted from the cleaned copy.
-	Removed int
+	Removed int `json:"removed"`
 	// Output is the cleaned file's path in FS ("" when nothing changed).
-	Output string
+	Output string `json:"output,omitempty"`
+	// Diagnostics reports each removable include in the shared
+	// source-located diagnostic format (pass "unused-include", warning
+	// severity, with a fix-it deleting the directive line), so iwyu
+	// findings and yallacheck findings render and machine-apply the same
+	// way.
+	Diagnostics []check.Diagnostic `json:"diagnostics,omitempty"`
 }
 
 // Analyze audits the source's direct includes and writes a cleaned copy
@@ -165,9 +173,11 @@ func Analyze(opts Options) (*Result, error) {
 			if syms := usedBy[resolved]; len(syms) > 0 {
 				use.Used = true
 				for s := range syms {
-					if len(use.Symbols) < 8 {
-						use.Symbols = append(use.Symbols, s)
-					}
+					use.Symbols = append(use.Symbols, s)
+				}
+				sort.Strings(use.Symbols)
+				if len(use.Symbols) > 8 {
+					use.Symbols = use.Symbols[:8]
 				}
 			}
 			if !use.Used && resolved != "" {
@@ -175,11 +185,27 @@ func Analyze(opts Options) (*Result, error) {
 					return nil, err
 				}
 				res.Removed++
+				res.Diagnostics = append(res.Diagnostics, check.Diagnostic{
+					File:     srcClean,
+					Line:     line,
+					Col:      1 + strings.Index(raw, "#"),
+					Offset:   off + strings.Index(raw, "#"),
+					Severity: check.Warning,
+					Pass:     "unused-include",
+					Message:  fmt.Sprintf("include %q contributes no referenced symbol; remove it", target),
+					FixIts: []check.FixIt{{
+						File:  opts.Source,
+						Start: off,
+						End:   off + len(raw),
+						Text:  "",
+					}},
+				})
 			}
 			res.Includes = append(res.Includes, use)
 		}
 		off += len(raw)
 	}
+	check.SortDiagnostics(res.Diagnostics)
 	if res.Removed > 0 {
 		cleaned, err := buf.Apply()
 		if err != nil {

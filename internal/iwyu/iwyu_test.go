@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/check"
 	"repro/internal/corpus"
 	"repro/internal/vfs"
 )
@@ -63,6 +64,49 @@ func TestDetectsUnusedInclude(t *testing.T) {
 	}
 	if !strings.Contains(cleaned, "used.hpp") {
 		t.Fatalf("used include removed:\n%s", cleaned)
+	}
+}
+
+// TestDiagnosticsSharedFormat checks that every removable include is
+// also reported as a check.Diagnostic — located, warning-severity, pass
+// "unused-include" — and that applying its fix-it through the shared
+// check.ApplyFixIts machinery reproduces the cleaned file.
+func TestDiagnosticsSharedFormat(t *testing.T) {
+	fs := demoFS()
+	res, err := Analyze(Options{FS: fs, SearchPaths: []string{"lib", "."}, Source: "main.cpp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diagnostics) != 1 {
+		t.Fatalf("diagnostics = %+v", res.Diagnostics)
+	}
+	d := res.Diagnostics[0]
+	if d.File != "main.cpp" || d.Line != 2 || d.Col < 1 || d.Severity != check.Warning || d.Pass != "unused-include" {
+		t.Fatalf("diagnostic = %+v", d)
+	}
+	if !strings.Contains(d.Message, "unused.hpp") {
+		t.Fatalf("message = %q", d.Message)
+	}
+	if !strings.HasPrefix(d.String(), "main.cpp:2:") {
+		t.Fatalf("String() = %q", d.String())
+	}
+	if len(d.FixIts) != 1 {
+		t.Fatalf("fixits = %+v", d.FixIts)
+	}
+	fixedFS := demoFS()
+	if _, err := check.ApplyFixIts(fixedFS, res.Diagnostics); err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := fixedFS.Read("main.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleaned, err := fs.Read(res.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed != cleaned {
+		t.Fatalf("fix-it result differs from cleaned output:\n%q\nvs\n%q", fixed, cleaned)
 	}
 }
 
