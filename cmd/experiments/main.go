@@ -53,7 +53,8 @@ func main() {
 		results     = flag.String("results", "", "directory to write CSV/trace results into")
 		jobs        = flag.Int("j", runtime.GOMAXPROCS(0), "parallel subject jobs")
 		useCache    = flag.Bool("cache", true, "memoize lexing/preprocessing/parsing across subjects")
-		benchjson   = flag.String("benchjson", "", "measure the harness cold-vs-warm and write the JSON report to this file (e.g. results/bench_harness.json)")
+		benchjson   = flag.String("benchjson", "", "measure the harness cold-vs-warm (plus frontend microbenchmarks) and write the JSON report to this file (e.g. results/bench_frontend.json)")
+		benchbase   = flag.Duration("benchbaseline", 0, "pre-pass parallel-cold wall time to record in the -benchjson report (e.g. 85.2s), for the speedup-vs-baseline field")
 		traceFile   = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
 		metricsOut  = flag.String("metrics", "", "write the metrics snapshot to this file, or - for stdout")
 		attribution = flag.String("attribution", "", "write the compile-cost attribution report (JSON) to this file")
@@ -97,6 +98,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: benchjson: %v\n", err)
 			os.Exit(1)
 		}
+		if *benchbase > 0 {
+			rep.BaselineColdNs = benchbase.Nanoseconds()
+			if rep.ParallelColdNs > 0 {
+				rep.SpeedupVsBaseline = float64(rep.BaselineColdNs) / float64(rep.ParallelColdNs)
+			}
+		}
 		blob, err := rep.JSON()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: benchjson: %v\n", err)
@@ -110,9 +117,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "harness: cold sequential %.1fs, warm -j %d %.1fs (%.1fx), report in %s\n",
-			float64(rep.SequentialColdNs)/1e9, rep.Jobs, float64(rep.ParallelWarmNs)/1e9,
-			rep.Speedup, *benchjson)
+		fmt.Fprintf(os.Stderr, "harness: cold sequential %.1fs, cold -j %d %.1fs, warm -j %d %.1fs (%.1fx), report in %s\n",
+			float64(rep.SequentialColdNs)/1e9, rep.Jobs, float64(rep.ParallelColdNs)/1e9,
+			rep.Jobs, float64(rep.ParallelWarmNs)/1e9, rep.Speedup, *benchjson)
+		if rep.BaselineColdNs > 0 {
+			fmt.Fprintf(os.Stderr, "frontend speed pass: cold -j %d %.1fs vs pre-pass %.1fs (%.2fx)\n",
+				rep.Jobs, float64(rep.ParallelColdNs)/1e9, float64(rep.BaselineColdNs)/1e9,
+				rep.SpeedupVsBaseline)
+		}
+		for _, m := range rep.Frontend {
+			fmt.Fprintf(os.Stderr, "frontend bench: %-40s %12d ns/op %8.1f MB/s %6d allocs/op\n",
+				m.Name, m.NsPerOp, m.MBPerS, m.AllocsPerOp)
+		}
 		return
 	}
 

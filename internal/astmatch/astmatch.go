@@ -8,6 +8,7 @@ package astmatch
 
 import (
 	"repro/internal/cpp/ast"
+	"repro/internal/cpp/token"
 )
 
 // Matcher is a predicate over AST nodes. It may record named bindings
@@ -237,8 +238,9 @@ func IsTemplate() Matcher {
 // analogue of clang's isExpansionInFileMatching, which YALLA uses to
 // separate header-declared symbols from source-file usages.
 func IsExpansionInFile(file string) Matcher {
+	fid := token.InternFile(file)
 	return func(n ast.Node, b Bindings) bool {
-		return n.Pos().File == file
+		return n.Pos().File == fid
 	}
 }
 

@@ -103,10 +103,10 @@ func (d Diagnostic) String() string {
 // NewDiag builds a diagnostic at pos.
 func NewDiag(pass string, sev Severity, pos token.Pos, format string, args ...any) Diagnostic {
 	return Diagnostic{
-		File:     pos.File,
-		Line:     pos.Line,
-		Col:      pos.Col,
-		Offset:   pos.Offset,
+		File:     pos.File.Name(),
+		Line:     int(pos.Line),
+		Col:      int(pos.Col),
+		Offset:   int(pos.Offset),
 		Severity: sev,
 		Pass:     pass,
 		Message:  fmt.Sprintf(format, args...),

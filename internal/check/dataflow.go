@@ -71,7 +71,7 @@ func (f *Flow) Of(fn *ast.FunctionDecl) *FnFlow {
 func (tu *TU) EachUserFn(visit func(fn *ast.FunctionDecl, ff *FnFlow)) {
 	ast.Inspect(tu.AST, func(n ast.Node) {
 		fn, ok := n.(*ast.FunctionDecl)
-		if !ok || fn.Body == nil || !tu.InSources(fn.Pos().File) {
+		if !ok || fn.Body == nil || !tu.InSources(fn.Pos().FileName()) {
 			return
 		}
 		visit(fn, tu.Flow.Of(fn))
@@ -87,7 +87,7 @@ func BuildFlow(tu *TU) *Flow {
 	f := &Flow{byFn: map[*ast.FunctionDecl]*FnFlow{}}
 	ast.Inspect(tu.AST, func(n ast.Node) {
 		fn, ok := n.(*ast.FunctionDecl)
-		if !ok || fn.Body == nil || !tu.InSources(fn.Pos().File) {
+		if !ok || fn.Body == nil || !tu.InSources(fn.Pos().FileName()) {
 			return
 		}
 		f.byFn[fn] = buildFnFlow(tu, fn)
@@ -97,7 +97,7 @@ func BuildFlow(tu *TU) *Flow {
 
 func buildFnFlow(tu *TU, fn *ast.FunctionDecl) *FnFlow {
 	ff := &FnFlow{Fn: fn, Vars: map[string]*VarFact{}}
-	file := fn.Pos().File
+	file := fn.Pos().FileName()
 	for _, p := range fn.Params {
 		if p.Name == "" {
 			continue
@@ -124,7 +124,7 @@ func buildFnFlow(tu *TU, fn *ast.FunctionDecl) *FnFlow {
 				return
 			}
 			if fd, ok := c.Decl.(*ast.FieldDecl); ok {
-				if sym := libByValue(tu, fd.Type, fd.Pos().File); sym != nil {
+				if sym := libByValue(tu, fd.Type, fd.Pos().FileName()); sym != nil {
 					ff.merge(c.Name, &VarFact{Lib: sym})
 				}
 			}
@@ -240,7 +240,7 @@ func (ff *FnFlow) evalRHS(tu *TU, x ast.Expr, file string) *VarFact {
 func (ff *FnFlow) CallReturnsLib(tu *TU, call *ast.CallExpr, file string) *sema.Symbol {
 	switch callee := call.Callee.(type) {
 	case *ast.DeclRefExpr:
-		r := tu.Tables.Lookup(callee.Name, callee.Pos().File)
+		r := tu.Tables.Lookup(callee.Name, callee.Pos().FileName())
 		if r == nil || r.Symbol.Kind != sema.FunctionSym {
 			return nil
 		}
@@ -270,7 +270,7 @@ func returnLib(tu *TU, fd *ast.FunctionDecl, scope *sema.Symbol, file string) *s
 	if rt == nil || rt.Builtin || !rt.IsByValue() {
 		return nil
 	}
-	if r := tu.Tables.LookupScoped(rt.Name, scope, rt.PosStart.File); r != nil &&
+	if r := tu.Tables.LookupScoped(rt.Name, scope, rt.PosStart.File.Name()); r != nil &&
 		r.Symbol.Kind == sema.ClassSym && tu.InHeader(r.Symbol.DeclFile) {
 		return r.Symbol
 	}

@@ -64,7 +64,7 @@ func runEscapingLambda(tu *TU, report func(Diagnostic)) {
 func headerCallTarget(tu *TU, ff *FnFlow, call *ast.CallExpr) string {
 	switch callee := call.Callee.(type) {
 	case *ast.DeclRefExpr:
-		if r := tu.Tables.Lookup(callee.Name, callee.Pos().File); r != nil &&
+		if r := tu.Tables.Lookup(callee.Name, callee.Pos().FileName()); r != nil &&
 			r.Symbol.Kind == sema.FunctionSym && tu.InHeader(r.Symbol.DeclFile) {
 			return r.Symbol.Qualified()
 		}

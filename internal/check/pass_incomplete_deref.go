@@ -37,7 +37,7 @@ func runIncompleteDeref(tu *TU, report func(Diagnostic)) {
 			case *ast.FunctionDecl, *ast.ClassDecl:
 				return false // visited as their own functions
 			case *ast.MemberExpr:
-				if callees[x] || !tu.InSources(x.Pos().File) {
+				if callees[x] || !tu.InSources(x.Pos().FileName()) {
 					return true
 				}
 				if sym := baseLibValue(tu, ff, x.Base); sym != nil {
@@ -63,7 +63,7 @@ func baseLibValue(tu *TU, ff *FnFlow, base ast.Expr) *sema.Symbol {
 		return f.Lib
 	}
 	if call, ok := base.(*ast.CallExpr); ok {
-		return ff.CallReturnsLib(tu, call, call.Pos().File)
+		return ff.CallReturnsLib(tu, call, call.Pos().FileName())
 	}
 	return nil
 }
@@ -74,10 +74,10 @@ func baseLibValue(tu *TU, ff *FnFlow, base ast.Expr) *sema.Symbol {
 // pointer target is a hard compile error after substitution.
 func checkSizeof(tu *TU, ff *FnFlow, lit *ast.LiteralExpr, report func(Diagnostic)) {
 	pos := lit.Pos()
-	if !tu.InSources(pos.File) {
+	if !tu.InSources(pos.File.Name()) {
 		return
 	}
-	text := tu.SrcText(pos.File, pos.Offset, lit.End().Offset)
+	text := tu.SrcText(pos.File.Name(), int(pos.Offset), int(lit.End().Offset))
 	for _, segs := range qualifiedIdents(text) {
 		if len(segs) == 1 {
 			if f := ff.Vars[segs[0]]; f != nil && f.Lib != nil {
@@ -87,7 +87,7 @@ func checkSizeof(tu *TU, ff *FnFlow, lit *ast.LiteralExpr, report func(Diagnosti
 				return
 			}
 		}
-		if r := tu.Tables.Lookup(ast.QN(segs...), pos.File); r != nil &&
+		if r := tu.Tables.Lookup(ast.QN(segs...), pos.File.Name()); r != nil &&
 			r.Symbol.Kind == sema.ClassSym && tu.InHeader(r.Symbol.DeclFile) {
 			report(NewDiag("incomplete-deref", Error, pos,
 				"sizeof applied to substituted class %s; the type is incomplete after substitution",

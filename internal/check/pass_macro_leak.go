@@ -18,7 +18,7 @@ func init() {
 // applicable fix-it inlining the body at the use site.
 func runOdrMacroLeak(tu *TU, report func(Diagnostic)) {
 	for _, use := range tu.MacroUses {
-		if !tu.InSources(use.Pos.File) || !tu.InHeader(use.DefFile) {
+		if !tu.InSources(use.Pos.File.Name()) || !tu.InHeader(use.DefFile) {
 			continue
 		}
 		d := NewDiag("odr-macro-leak", Error, use.Pos,
@@ -30,9 +30,9 @@ func runOdrMacroLeak(tu *TU, report func(Diagnostic)) {
 				text = "(" + text + ")"
 			}
 			d.FixIts = []FixIt{{
-				File:  use.Pos.File,
-				Start: use.Pos.Offset,
-				End:   use.Pos.Offset + len(use.Name),
+				File:  use.Pos.File.Name(),
+				Start: int(use.Pos.Offset),
+				End:   int(use.Pos.Offset) + len(use.Name),
 				Text:  text,
 			}}
 		}

@@ -23,10 +23,10 @@ func init() {
 func runUserSpecializesTemplate(tu *TU, report func(Diagnostic)) {
 	ast.Inspect(tu.AST, func(n ast.Node) {
 		ei, ok := n.(*ast.ExplicitInstantiation)
-		if !ok || !tu.InSources(ei.Pos().File) {
+		if !ok || !tu.InSources(ei.Pos().FileName()) {
 			return
 		}
-		r := tu.Tables.Lookup(ei.Name, ei.Pos().File)
+		r := tu.Tables.Lookup(ei.Name, ei.Pos().FileName())
 		if r == nil || !tu.InHeader(r.Symbol.DeclFile) {
 			return
 		}
@@ -55,7 +55,7 @@ func runUserSpecializesTemplate(tu *TU, report func(Diagnostic)) {
 		}
 		for _, d := range sym.Decls {
 			cd, ok := d.(*ast.ClassDecl)
-			if !ok || !cd.IsDefinition || !tu.InSources(cd.Pos().File) {
+			if !ok || !cd.IsDefinition || !tu.InSources(cd.Pos().FileName()) {
 				continue
 			}
 			what := "redefines"
@@ -88,7 +88,7 @@ func anyDeclInHeader(tu *TU, sym *sema.Symbol) bool {
 		return true
 	}
 	for _, d := range sym.Decls {
-		if tu.InHeader(d.Pos().File) {
+		if tu.InHeader(d.Pos().FileName()) {
 			return true
 		}
 	}
@@ -99,8 +99,8 @@ func anyDeclInHeader(tu *TU, sym *sema.Symbol) bool {
 // including the trailing semicolon and, when the line becomes empty,
 // the newline.
 func removeDeclFixIt(tu *TU, n ast.Node) FixIt {
-	file := n.Pos().File
-	start, end := n.Pos().Offset, n.End().Offset
+	file := n.Pos().FileName()
+	start, end := int(n.Pos().Offset), int(n.End().Offset)
 	src, err := tu.FS.Read(file)
 	if err == nil {
 		for end < len(src) && (src[end] == ' ' || src[end] == '\t') {

@@ -23,11 +23,11 @@ func init() {
 func runUnwrappableOverload(tu *TU, report func(Diagnostic)) {
 	for _, m := range astmatch.Find(tu.AST, astmatch.CXXRecordDecl(astmatch.IsDefinition())) {
 		cd := m.Node.(*ast.ClassDecl)
-		if !tu.InSources(cd.Pos().File) {
+		if !tu.InSources(cd.Pos().FileName()) {
 			continue
 		}
 		for _, base := range cd.Bases {
-			r := tu.Tables.Lookup(base, cd.Pos().File)
+			r := tu.Tables.Lookup(base, cd.Pos().FileName())
 			if r == nil || r.Symbol.Kind != sema.ClassSym || !tu.InHeader(r.Symbol.DeclFile) {
 				continue
 			}

@@ -53,7 +53,7 @@ func (tu *TU) HeaderClassOf(ty *ast.Type, fromFile string) *sema.Symbol {
 	if ty == nil || ty.Builtin {
 		return nil
 	}
-	r := tu.Tables.Lookup(ty.Name, ty.PosStart.File)
+	r := tu.Tables.Lookup(ty.Name, ty.PosStart.File.Name())
 	if r == nil {
 		r = tu.Tables.Lookup(ty.Name, fromFile)
 	}

@@ -197,8 +197,16 @@ func (c *Compiler) Compile(main string) (*Object, error) {
 	user := obj.Stats.Tokens
 	if c.PCH != nil {
 		user = 0
+		// Token streams have long runs from the same file; memoize the
+		// coverage lookup per file transition.
+		var lastFile token.FileID
+		covered, haveLast := false, false
 		for _, t := range res.Tokens {
-			if !c.PCH.Covers(t.Pos.File) {
+			if !haveLast || t.Pos.File != lastFile {
+				lastFile, haveLast = t.Pos.File, true
+				covered = c.PCH.Covers(lastFile.Name())
+			}
+			if !covered {
 				user++
 			}
 		}
@@ -353,6 +361,7 @@ func (c *Compiler) LinkLTO(objects ...*Object) time.Duration {
 
 // countUnit fills declaration/template statistics from the parsed unit.
 func countUnit(tu *ast.TranslationUnit, mainFile string, st *Stats) {
+	mainID := token.InternFile(mainFile)
 	ast.Inspect(tu, func(n ast.Node) {
 		switch x := n.(type) {
 		case *ast.ClassDecl, *ast.AliasDecl, *ast.EnumDecl, *ast.VarDecl, *ast.FieldDecl, *ast.UsingDecl:
@@ -362,7 +371,7 @@ func countUnit(tu *ast.TranslationUnit, mainFile string, st *Stats) {
 			if x.Body != nil {
 				st.FuncDefs++
 				st.BodyTokens += bodyTokenEstimate(x.Body)
-				if x.Pos().File == mainFile {
+				if x.Pos().File == mainID {
 					st.MainFuncDefs++
 				}
 			}

@@ -161,6 +161,41 @@ type analysis struct {
 	seenSites map[string]bool
 	seenCalls map[string]bool
 	seenCtors map[string]bool
+
+	// enclFn maps VarDecl and LambdaExpr nodes to the first function (in
+	// traversal order) whose body contains them. Built lazily on first
+	// environment lookup; replaces a per-lookup whole-program rescan.
+	enclFn map[ast.Node]*ast.FunctionDecl
+}
+
+// enclosingFn returns the function whose body contains n, as the old
+// quadratic scan would have found it: the first *ast.FunctionDecl with a
+// non-nil body, in Inspect order, with n anywhere under Body.
+func (an *analysis) enclosingFn(n ast.Node) *ast.FunctionDecl {
+	if an.enclFn == nil {
+		an.enclFn = map[ast.Node]*ast.FunctionDecl{}
+		for _, tu := range an.units {
+			ast.Walk(tu, func(outer ast.Node) bool {
+				fn, ok := outer.(*ast.FunctionDecl)
+				if !ok || fn.Body == nil {
+					return true
+				}
+				ast.Inspect(fn.Body, func(m ast.Node) {
+					switch m.(type) {
+					case *ast.VarDecl, *ast.LambdaExpr:
+						if _, claimed := an.enclFn[m]; !claimed {
+							an.enclFn[m] = fn
+						}
+					}
+				})
+				// Inner functions were indexed by the body walk above;
+				// stopping the descent keeps the outermost function the
+				// owner, matching the old first-match-wins scan.
+				return false
+			})
+		}
+	}
+	return an.enclFn[n]
 }
 
 func newAnalysis() *analysis {
@@ -190,7 +225,7 @@ func (a *analysis) isPointerized(ty *ast.Type) bool {
 }
 
 func posKeyOf(ty *ast.Type) string {
-	return fmt.Sprintf("%s:%d", ty.PosStart.File, ty.PosStart.Offset)
+	return fmt.Sprintf("%s:%d", ty.PosStart.File.Name(), int(ty.PosStart.Offset))
 }
 
 // sortedClasses returns class uses ordered by qualified name for
@@ -312,7 +347,7 @@ func (e *Engine) addPreDeclared() {
 // files: fields, variables, parameters, and alias targets.
 func (e *Engine) analyzeTypes(src string, tu *ast.TranslationUnit) {
 	ast.Inspect(tu, func(n ast.Node) {
-		if !e.inSources(n.Pos().File) {
+		if !e.inSources(n.Pos().FileName()) {
 			return
 		}
 		switch x := n.(type) {
@@ -326,11 +361,11 @@ func (e *Engine) analyzeTypes(src string, tu *ast.TranslationUnit) {
 				// `T* x = make_T(...)`. Assignment-initialized locals
 				// (`Mat src = imread(...)`) keep their initializer, which
 				// a pointer-returning wrapper already supplies as T*.
-				key := fmt.Sprintf("%s:%d", n.Pos().File, n.Pos().Offset)
+				key := fmt.Sprintf("%s:%d", n.Pos().FileName(), int(n.Pos().Offset))
 				if !e.an.seenCtors[key] {
 					e.an.seenCtors[key] = true
 					e.an.ctors = append(e.an.ctors, &CtorUse{
-						File: n.Pos().File, Var: x, ClassSym: ptr,
+						File: n.Pos().FileName(), Var: x, ClassSym: ptr,
 					})
 				}
 			}
@@ -352,19 +387,19 @@ func (e *Engine) analyzeTypes(src string, tu *ast.TranslationUnit) {
 // recordEnumeratorRef schedules replacement of a header enumerator
 // reference with its constant value.
 func (e *Engine) recordEnumeratorRef(dre *ast.DeclRefExpr) {
-	r := e.tables.Lookup(dre.Name, dre.Pos().File)
+	r := e.tables.Lookup(dre.Name, dre.Pos().FileName())
 	if r == nil || r.Symbol.Kind != sema.EnumeratorSym || !e.inHeader(r.Symbol.DeclFile) {
 		return
 	}
-	key := fmt.Sprintf("enum:%s:%d", dre.Pos().File, dre.Pos().Offset)
+	key := fmt.Sprintf("enum:%s:%d", dre.Pos().FileName(), int(dre.Pos().Offset))
 	if e.an.seenSites[key] {
 		return
 	}
 	e.an.seenSites[key] = true
 	e.an.enumRefs = append(e.an.enumRefs, EnumRef{
-		File:  dre.Pos().File,
-		Start: dre.Pos().Offset,
-		End:   dre.End().Offset,
+		File:  dre.Pos().FileName(),
+		Start: int(dre.Pos().Offset),
+		End:   int(dre.End().Offset),
 		Value: r.Symbol.EnumValue,
 		Name:  r.Symbol.Qualified(),
 	})
@@ -387,7 +422,7 @@ func (e *Engine) recordTypeUse(src string, ty *ast.Type, pointerize bool) *sema.
 			}
 		}
 	}
-	r := e.tables.Lookup(ty.Name, ty.PosStart.File)
+	r := e.tables.Lookup(ty.Name, ty.PosStart.File.Name())
 	if r == nil {
 		return nil
 	}
@@ -409,8 +444,8 @@ func (e *Engine) recordTypeUse(src string, ty *ast.Type, pointerize bool) *sema.
 				underlying = ed.Underlying
 			}
 			e.an.sites = append(e.an.sites, TypeSite{
-				File: ty.PosStart.File, StartOff: ty.PosStart.Offset,
-				InsertOff: ty.PosEnd.Offset, Sym: sym, EnumUnderlying: underlying,
+				File: ty.PosStart.File.Name(), StartOff: int(ty.PosStart.Offset),
+				InsertOff: int(ty.PosEnd.Offset), Sym: sym, EnumUnderlying: underlying,
 			})
 			e.rep.EnumsRewritten++
 		}
@@ -431,8 +466,8 @@ func (e *Engine) recordTypeUse(src string, ty *ast.Type, pointerize bool) *sema.
 				if !e.an.seenSites[key] {
 					e.an.seenSites[key] = true
 					e.an.sites = append(e.an.sites, TypeSite{
-						File: ty.PosStart.File, StartOff: ty.PosStart.Offset,
-						InsertOff: ty.PosEnd.Offset, Sym: sym,
+						File: ty.PosStart.File.Name(), StartOff: int(ty.PosStart.Offset),
+						InsertOff: int(ty.PosEnd.Offset), Sym: sym,
 					})
 					e.rep.PointerizedUsages++
 				}
@@ -473,7 +508,7 @@ func (e *Engine) addSignatureClasses(f *ast.FunctionDecl, scope *sema.Symbol) {
 		if ty == nil || ty.Builtin {
 			return
 		}
-		if r := e.tables.LookupScoped(ty.Name, scope, ty.PosStart.File); r != nil &&
+		if r := e.tables.LookupScoped(ty.Name, scope, ty.PosStart.File.Name()); r != nil &&
 			r.Symbol.Kind == sema.ClassSym && e.inHeader(r.Symbol.DeclFile) {
 			cu := e.classUse(r.Symbol, r.AliasChain)
 			if ty.Pointer > 0 {
@@ -504,7 +539,7 @@ func (e *Engine) analyzeFunctions(src string, tu *ast.TranslationUnit) {
 	// Visit every function with a body defined in a source file.
 	ast.Inspect(tu, func(n ast.Node) {
 		fn, ok := n.(*ast.FunctionDecl)
-		if !ok || fn.Body == nil || !e.inSources(fn.Pos().File) {
+		if !ok || fn.Body == nil || !e.inSources(fn.Pos().FileName()) {
 			return
 		}
 		env := e.buildEnv(fn)
@@ -523,11 +558,11 @@ func (e *Engine) buildEnv(fn *ast.FunctionDecl) *funcEnv {
 	// Fields of the enclosing class (in-class or out-of-line definition).
 	var classSym *sema.Symbol
 	if fn.Class != nil {
-		if r := e.tables.Lookup(ast.QN(fn.Class.Name), fn.Pos().File); r != nil {
+		if r := e.tables.Lookup(ast.QN(fn.Class.Name), fn.Pos().FileName()); r != nil {
 			classSym = r.Symbol
 		}
 	} else if !fn.QualifierName.IsEmpty() {
-		if r := e.tables.Lookup(fn.QualifierName, fn.Pos().File); r != nil {
+		if r := e.tables.Lookup(fn.QualifierName, fn.Pos().FileName()); r != nil {
 			classSym = r.Symbol
 		}
 	}
@@ -585,7 +620,7 @@ func (e *Engine) walkBody(src string, body ast.Node, env *funcEnv, enclosing *as
 
 // recordCall classifies one call expression.
 func (e *Engine) recordCall(src string, call *ast.CallExpr, env *funcEnv, enclosing *ast.LambdaExpr) {
-	file := call.Pos().File
+	file := call.Pos().FileName()
 	if !e.inSources(file) {
 		return
 	}
@@ -620,7 +655,7 @@ func (e *Engine) headerClassOf(ty *ast.Type, fromFile string) *sema.Symbol {
 	if ty == nil || ty.Builtin {
 		return nil
 	}
-	r := e.tables.Lookup(ty.Name, ty.PosStart.File)
+	r := e.tables.Lookup(ty.Name, ty.PosStart.File.Name())
 	if r == nil {
 		r = e.tables.Lookup(ty.Name, fromFile)
 	}
@@ -633,7 +668,7 @@ func (e *Engine) headerClassOf(ty *ast.Type, fromFile string) *sema.Symbol {
 func (e *Engine) addFuncCall(sym *sema.Symbol, call *ast.CallExpr, env *funcEnv, enclosing *ast.LambdaExpr, file string) {
 	// Chained calls share a start offset (d.Root().MemberAt(i)); the
 	// callee end disambiguates.
-	siteKey := fmt.Sprintf("%s:%d:%d", file, call.Pos().Offset, call.CalleeEnd.Offset)
+	siteKey := fmt.Sprintf("%s:%d:%d", file, int(call.Pos().Offset), call.CalleeEnd.Offset)
 	if e.an.seenCalls[siteKey] {
 		return
 	}
@@ -667,7 +702,7 @@ func (e *Engine) argIsPointerizedVar(a ast.Expr, env *funcEnv) bool {
 }
 
 func (e *Engine) addMethodCall(classSym *sema.Symbol, method string, call *ast.CallExpr, object ast.Expr, objType *ast.Type, env *funcEnv, enclosing *ast.LambdaExpr, file string) {
-	siteKey := fmt.Sprintf("%s:%d:%d", file, call.Pos().Offset, call.CalleeEnd.Offset)
+	siteKey := fmt.Sprintf("%s:%d:%d", file, int(call.Pos().Offset), call.CalleeEnd.Offset)
 	if e.an.seenCalls[siteKey] {
 		return
 	}
@@ -716,7 +751,7 @@ func (e *Engine) inferType(x ast.Expr, env *funcEnv) *ast.Type {
 				return ev.typ
 			}
 		}
-		if r := e.tables.Lookup(v.Name, v.Pos().File); r != nil {
+		if r := e.tables.Lookup(v.Name, v.Pos().FileName()); r != nil {
 			switch r.Symbol.Kind {
 			case sema.VarSym:
 				if vd, ok := r.Symbol.Decl.(*ast.VarDecl); ok {
@@ -730,7 +765,7 @@ func (e *Engine) inferType(x ast.Expr, env *funcEnv) *ast.Type {
 	case *ast.CallExpr:
 		switch callee := v.Callee.(type) {
 		case *ast.DeclRefExpr:
-			if r := e.tables.Lookup(callee.Name, v.Pos().File); r != nil && r.Symbol.Kind == sema.FunctionSym {
+			if r := e.tables.Lookup(callee.Name, v.Pos().FileName()); r != nil && r.Symbol.Kind == sema.FunctionSym {
 				if f := r.Symbol.Function(); f != nil {
 					return e.concreteReturnType(r.Symbol, f, v, env)
 				}
@@ -738,7 +773,7 @@ func (e *Engine) inferType(x ast.Expr, env *funcEnv) *ast.Type {
 			// operator() on an object variable.
 			if len(callee.Name.Segments) == 1 {
 				if ev, ok := env.vars[callee.Name.Segments[0].Name]; ok {
-					if sym := e.headerClassOf(ev.typ, v.Pos().File); sym != nil {
+					if sym := e.headerClassOf(ev.typ, v.Pos().FileName()); sym != nil {
 						if op := sym.FirstChild("operator()"); op != nil && op.Function() != nil {
 							return e.methodResultType(sym, op.Function(), ev.typ)
 						}
@@ -747,7 +782,7 @@ func (e *Engine) inferType(x ast.Expr, env *funcEnv) *ast.Type {
 			}
 		case *ast.MemberExpr:
 			baseTy := e.inferType(callee.Base, env)
-			if sym := e.headerClassOf(baseTy, v.Pos().File); sym != nil {
+			if sym := e.headerClassOf(baseTy, v.Pos().FileName()); sym != nil {
 				if m := sym.FirstChild(callee.Member); m != nil && m.Function() != nil {
 					return e.methodResultType(sym, m.Function(), baseTy)
 				}
@@ -756,7 +791,7 @@ func (e *Engine) inferType(x ast.Expr, env *funcEnv) *ast.Type {
 		return nil
 	case *ast.MemberExpr:
 		baseTy := e.inferType(v.Base, env)
-		if sym := e.headerClassOf(baseTy, v.Pos().File); sym != nil {
+		if sym := e.headerClassOf(baseTy, v.Pos().FileName()); sym != nil {
 			if f := sym.FirstChild(v.Member); f != nil {
 				if fd, ok := f.Decl.(*ast.FieldDecl); ok {
 					return e.qualifySubst(fd.Type, sym, e.classArgSubst(sym, baseTy))
@@ -854,7 +889,7 @@ func (e *Engine) concreteReturnType(fsym *sema.Symbol, f *ast.FunctionDecl, call
 				continue
 			}
 			if at := e.inferType(call.Args[i], env); at != nil {
-				subst[tp] = e.valueTypeText(at, call.Pos().File)
+				subst[tp] = e.valueTypeText(at, call.Pos().FileName())
 			}
 		}
 	}
@@ -939,7 +974,7 @@ func (e *Engine) qualifySubst(ty *ast.Type, scope *sema.Symbol, subst map[string
 		}
 	}
 	name := ty.Name
-	if r := e.tables.LookupScoped(ty.Name, scope, ty.PosStart.File); r != nil &&
+	if r := e.tables.LookupScoped(ty.Name, scope, ty.PosStart.File.Name()); r != nil &&
 		(r.Symbol.Kind == sema.ClassSym || r.Symbol.Kind == sema.EnumSym) {
 		name = sema.ParseQualified(r.Symbol.Qualified())
 	}

@@ -52,8 +52,8 @@ func (e *Engine) transform(ws *wrapperSet) ([]editRec, []*Functor, error) {
 		if w == nil {
 			continue
 		}
-		declStart := cu.Var.Type.PosEnd.Offset
-		declEnd := cu.Var.End().Offset
+		declStart := int(cu.Var.Type.PosEnd.Offset)
+		declEnd := int(cu.Var.End().Offset)
 		raw := e.rawText(cu.File, declStart, declEnd)
 		if lp := strings.IndexByte(raw, '('); lp >= 0 {
 			edits = append(edits, editRec{cu.File, declStart + lp, declStart + lp + 1,
@@ -114,7 +114,7 @@ func (e *Engine) transform(ws *wrapperSet) ([]editRec, []*Functor, error) {
 		for _, cs := range mu.Calls {
 			ins, rep := e.methodCallEdits(cs, w.Name)
 			mEdits = append(mEdits, methodEdit{insert: ins, replace: rep,
-				calleeEnd: cs.Call.CalleeEnd.Offset})
+				calleeEnd: int(cs.Call.CalleeEnd.Offset)})
 			e.rep.CallSitesRewritten++
 		}
 	}
@@ -136,7 +136,7 @@ func (e *Engine) transform(ws *wrapperSet) ([]editRec, []*Functor, error) {
 	functors := e.buildFunctorsFromLambdas(ws)
 	for _, fc := range functors {
 		lam := fc.Use.Lambda
-		edits = append(edits, editRec{fc.Use.File, lam.Pos().Offset, lam.End().Offset, fc.CtorText})
+		edits = append(edits, editRec{fc.Use.File, int(lam.Pos().Offset), int(lam.End().Offset), fc.CtorText})
 		e.rep.LambdasConverted++
 	}
 
@@ -215,18 +215,18 @@ func (e *Engine) aliasEdits() []editRec {
 		}
 		ast.Inspect(tu, func(n ast.Node) {
 			ad, ok := n.(*ast.AliasDecl)
-			if !ok || ad.Target == nil || !e.inSources(ad.Pos().File) {
+			if !ok || ad.Target == nil || !e.inSources(ad.Pos().FileName()) {
 				return
 			}
-			key := fmt.Sprintf("%s:%d", ad.Pos().File, ad.Pos().Offset)
+			key := fmt.Sprintf("%s:%d", ad.Pos().FileName(), int(ad.Pos().Offset))
 			if seen[key] {
 				return
 			}
 			seen[key] = true
 			// Only rewrite when the spelled target mentions a multi-step
 			// path that resolution changes (e.g. nested member_type).
-			resolved := e.resolveTypeDeep(ad.Target, ad.Pos().File)
-			origText := e.srcText(ad.Pos().File, ad.Target.PosStart.Offset, ad.Target.PosEnd.Offset)
+			resolved := e.resolveTypeDeep(ad.Target, ad.Pos().FileName())
+			origText := e.srcText(ad.Pos().FileName(), int(ad.Target.PosStart.Offset), int(ad.Target.PosEnd.Offset))
 			newText := e.typeText(resolved, nil, nil)
 			if resolved == ad.Target || newText == origText || newText == "" {
 				return
@@ -237,9 +237,9 @@ func (e *Engine) aliasEdits() []editRec {
 			if len(ad.Target.Name.Segments) < 2 {
 				return
 			}
-			start := ad.Target.PosStart.Offset
-			end := start + len(strings.TrimRight(e.rawText(ad.Pos().File, start, ad.Target.PosEnd.Offset), " \t\n"))
-			out = append(out, editRec{ad.Pos().File, start, end, newText})
+			start := int(ad.Target.PosStart.Offset)
+			end := start + len(strings.TrimRight(e.rawText(ad.Pos().FileName(), start, int(ad.Target.PosEnd.Offset)), " \t\n"))
+			out = append(out, editRec{ad.Pos().FileName(), start, end, newText})
 		})
 	}
 	return out
@@ -261,8 +261,8 @@ func (e *Engine) includesTarget(line string) bool {
 // renameCalleeEdit rewrites the callee of a free-function call to the
 // wrapper name, preserving explicit template arguments.
 func (e *Engine) renameCalleeEdit(cs *CallSite, wrapperName string) editRec {
-	start := cs.Call.Pos().Offset
-	end := cs.Call.CalleeEnd.Offset
+	start := int(cs.Call.Pos().Offset)
+	end := int(cs.Call.CalleeEnd.Offset)
 	calleeSrc := e.srcText(cs.File, start, end)
 	newText := wrapperName
 	if i := strings.Index(calleeSrc, "<"); i >= 0 {
@@ -277,13 +277,13 @@ func (e *Engine) renameCalleeEdit(cs *CallSite, wrapperName string) editRec {
 // are inserted before the object expression, and the `.m(` (or bare `(`
 // for operator() calls) after it is replaced by a separator.
 func (e *Engine) methodCallEdits(cs *CallSite, wrapperName string) (editRec, editRec) {
-	start := cs.Call.Pos().Offset
-	calleeEnd := cs.Call.CalleeEnd.Offset // position of '('
+	start := int(cs.Call.Pos().Offset)
+	calleeEnd := int(cs.Call.CalleeEnd.Offset) // position of '('
 	// End of the object expression text. Call/paren expressions end
 	// exactly; name expressions end at the following token, so only
 	// whitespace is trimmed.
-	objRaw := e.rawText(cs.File, cs.Object.Pos().Offset, cs.Object.End().Offset)
-	objEnd := cs.Object.Pos().Offset + len(strings.TrimRight(objRaw, " \t\n"))
+	objRaw := e.rawText(cs.File, int(cs.Object.Pos().Offset), int(cs.Object.End().Offset))
+	objEnd := int(cs.Object.Pos().Offset) + len(strings.TrimRight(objRaw, " \t\n"))
 	insert := editRec{cs.File, start, start, wrapperName + "("}
 	sep := ""
 	if len(cs.Call.Args) > 0 {
@@ -308,7 +308,7 @@ func (e *Engine) exprSrc(file string, x ast.Expr) string {
 	if x == nil {
 		return ""
 	}
-	s := strings.TrimSpace(e.rawText(file, x.Pos().Offset, x.End().Offset))
+	s := strings.TrimSpace(e.rawText(file, int(x.Pos().Offset), int(x.End().Offset)))
 	s = strings.TrimRight(s, ",); \t\n")
 	return s
 }
@@ -386,7 +386,7 @@ func (e *Engine) captureAnalysis(lam *ast.LambdaExpr, cs *CallSite) []CaptureInf
 		})
 	}
 	// The environment of the enclosing function.
-	env := e.envForPos(lam.Pos().File, lam)
+	env := e.envForPos(lam.Pos().FileName(), lam)
 	var caps []CaptureInfo
 	capSeen := map[string]bool{}
 	if lam.Body == nil {
@@ -450,26 +450,8 @@ func (e *Engine) captureAnalysis(lam *ast.LambdaExpr, cs *CallSite) []CaptureInf
 // envForPos rebuilds the variable environment of the function containing
 // the given lambda.
 func (e *Engine) envForPos(file string, lam *ast.LambdaExpr) *funcEnv {
-	for _, tu := range e.an.units {
-		var found *funcEnv
-		ast.Inspect(tu, func(n ast.Node) {
-			fn, ok := n.(*ast.FunctionDecl)
-			if !ok || fn.Body == nil || found != nil {
-				return
-			}
-			contains := false
-			ast.Inspect(fn.Body, func(m ast.Node) {
-				if m == ast.Node(lam) {
-					contains = true
-				}
-			})
-			if contains {
-				found = e.buildEnv(fn)
-			}
-		})
-		if found != nil {
-			return found
-		}
+	if fn := e.an.enclosingFn(lam); fn != nil {
+		return e.buildEnv(fn)
 	}
 	return nil
 }
@@ -488,7 +470,7 @@ func (e *Engine) extractFunctorBodies(edits []editRec, functors []*Functor) ([]e
 		if lam.Body == nil {
 			continue
 		}
-		ranges = append(ranges, bodyRange{fc, lam.Body.Pos().Offset, lam.Body.End().Offset, fc.Use.File})
+		ranges = append(ranges, bodyRange{fc, int(lam.Body.Pos().Offset), int(lam.Body.End().Offset), fc.Use.File})
 	}
 
 	var outer []editRec
@@ -528,8 +510,8 @@ func (e *Engine) renderFunctorBody(fc *Functor, inner []editRec) (string, error)
 	if lam.Body == nil {
 		return "{}", nil
 	}
-	base := lam.Body.Pos().Offset
-	text := e.rawText(fc.Use.File, base, lam.Body.End().Offset)
+	base := int(lam.Body.Pos().Offset)
+	text := e.rawText(fc.Use.File, base, int(lam.Body.End().Offset))
 	sort.Slice(inner, func(i, j int) bool { return inner[i].start < inner[j].start })
 	var b strings.Builder
 	pos := 0

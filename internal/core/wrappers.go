@@ -188,7 +188,7 @@ func (e *Engine) scopedHeaderClass(ty *ast.Type, scope *sema.Symbol) *sema.Symbo
 	if ty == nil || ty.Builtin {
 		return nil
 	}
-	r := e.tables.LookupScoped(ty.Name, scope, ty.PosStart.File)
+	r := e.tables.LookupScoped(ty.Name, scope, ty.PosStart.File.Name())
 	if r == nil || r.Symbol.Kind != sema.ClassSym || !e.inHeader(r.Symbol.DeclFile) {
 		return nil
 	}
@@ -205,7 +205,7 @@ func (e *Engine) typeText(ty *ast.Type, scope *sema.Symbol, subst map[string]str
 	if ty.Const {
 		b.WriteString("const ")
 	}
-	b.WriteString(e.nameText(ty.Name, ty.PosStart.File, scope, subst))
+	b.WriteString(e.nameText(ty.Name, ty.PosStart.File.Name(), scope, subst))
 	b.WriteString(strings.Repeat("*", ty.Pointer))
 	if ty.LValueRef {
 		b.WriteString("&")
@@ -695,26 +695,8 @@ func (e *Engine) ctorArgTypes(cu *CtorUse) []ctorParamInfo {
 // envForVarDecl rebuilds the variable environment around a constructor
 // use so its argument types can be inferred.
 func (e *Engine) envForVarDecl(cu *CtorUse) *funcEnv {
-	for _, tu := range e.an.units {
-		var found *funcEnv
-		ast.Inspect(tu, func(n ast.Node) {
-			fn, ok := n.(*ast.FunctionDecl)
-			if !ok || fn.Body == nil || found != nil {
-				return
-			}
-			contains := false
-			ast.Inspect(fn.Body, func(m ast.Node) {
-				if vd, ok := m.(*ast.VarDecl); ok && vd == cu.Var {
-					contains = true
-				}
-			})
-			if contains {
-				found = e.buildEnv(fn)
-			}
-		})
-		if found != nil {
-			return found
-		}
+	if fn := e.an.enclosingFn(cu.Var); fn != nil {
+		return e.buildEnv(fn)
 	}
 	return &funcEnv{vars: map[string]*envVar{}}
 }

@@ -1,0 +1,82 @@
+package ast
+
+// Arena batch-allocates AST nodes in type-segregated slabs. The parser
+// creates one node per few tokens; allocating each from the heap makes
+// the garbage collector trace every node individually. A slab hands out
+// nodes from chunked arrays instead, so one heap allocation covers
+// slabSize nodes and the chunk dies as a unit when the translation unit
+// it backs becomes unreachable — per-TU lifetime without per-node
+// bookkeeping.
+//
+// Arenas are not safe for concurrent use; each Parser owns one. Nodes
+// built outside a parser (tests, synthesized rewrites) can keep using
+// plain &Node{} literals — the two allocation styles mix freely.
+
+const slabSize = 256
+
+type slab[T any] struct{ cur []T }
+
+// alloc returns a pointer to a zeroed T from the current chunk, starting
+// a new chunk when the current one is full. Full chunks are retained by
+// the node pointers handed out, never by the slab itself.
+func (s *slab[T]) alloc() *T {
+	n := len(s.cur)
+	if n == cap(s.cur) {
+		s.cur = make([]T, 0, slabSize)
+		n = 0
+	}
+	s.cur = s.cur[:n+1]
+	return &s.cur[n]
+}
+
+// Arena allocates the node types the parser produces in bulk.
+type Arena struct {
+	types     slab[Type]
+	binaries  slab[BinaryExpr]
+	unaries   slab[UnaryExpr]
+	literals  slab[LiteralExpr]
+	declRefs  slab[DeclRefExpr]
+	calls     slab[CallExpr]
+	members   slab[MemberExpr]
+	indexes   slab[IndexExpr]
+	parens    slab[ParenExpr]
+	initLists slab[InitListExpr]
+	compounds slab[CompoundStmt]
+	exprStmts slab[ExprStmt]
+	declStmts slab[DeclStmt]
+	returns   slab[ReturnStmt]
+	vars      slab[VarDecl]
+	fields    slab[FieldDecl]
+	funcs     slab[FunctionDecl]
+	segs      slab[NameSegment]
+}
+
+func (a *Arena) NewType() *Type                 { return a.types.alloc() }
+func (a *Arena) NewBinaryExpr() *BinaryExpr     { return a.binaries.alloc() }
+func (a *Arena) NewUnaryExpr() *UnaryExpr       { return a.unaries.alloc() }
+func (a *Arena) NewLiteralExpr() *LiteralExpr   { return a.literals.alloc() }
+func (a *Arena) NewDeclRefExpr() *DeclRefExpr   { return a.declRefs.alloc() }
+func (a *Arena) NewCallExpr() *CallExpr         { return a.calls.alloc() }
+func (a *Arena) NewMemberExpr() *MemberExpr     { return a.members.alloc() }
+func (a *Arena) NewIndexExpr() *IndexExpr       { return a.indexes.alloc() }
+func (a *Arena) NewParenExpr() *ParenExpr       { return a.parens.alloc() }
+func (a *Arena) NewInitListExpr() *InitListExpr { return a.initLists.alloc() }
+func (a *Arena) NewCompoundStmt() *CompoundStmt { return a.compounds.alloc() }
+func (a *Arena) NewExprStmt() *ExprStmt         { return a.exprStmts.alloc() }
+func (a *Arena) NewDeclStmt() *DeclStmt         { return a.declStmts.alloc() }
+func (a *Arena) NewReturnStmt() *ReturnStmt     { return a.returns.alloc() }
+func (a *Arena) NewVarDecl() *VarDecl           { return a.vars.alloc() }
+func (a *Arena) NewFieldDecl() *FieldDecl       { return a.fields.alloc() }
+func (a *Arena) NewFunctionDecl() *FunctionDecl { return a.funcs.alloc() }
+
+// QN1 builds a single-segment qualified name whose Segments slice is
+// carved out of the arena. The slice is full-capacity-limited, so a later
+// append by any caller copies out rather than clobbering the next slot.
+// Unqualified names dominate real code, and this avoids the one-element
+// slice allocation ast.QN would make for each.
+func (a *Arena) QN1(name string) QualifiedName {
+	seg := a.segs.alloc()
+	seg.Name = name
+	n := len(a.segs.cur)
+	return QualifiedName{Segments: a.segs.cur[n-1 : n : n]}
+}

@@ -3,6 +3,14 @@
 // strings), all punctuators, comments, line splices, and preprocessor
 // hash tokens. It is the first stage of the frontend substrate that
 // replaces clang in this reproduction.
+//
+// The scanner is byte-oriented and tuned for throughput: a 256-entry
+// character-class table drives dispatch, identifiers/whitespace/comments
+// are consumed by scan-ahead loops (with memchr-backed searches for
+// comment terminators), line/col positions are computed lazily from a
+// line-offset table instead of being maintained per byte, and line-splice
+// (backslash-newline) handling lives entirely off the hot path — a file
+// without a single backslash never pays for it.
 package lexer
 
 import (
@@ -20,14 +28,44 @@ func KeepComments() Option {
 	return func(l *Lexer) { l.keepComments = true }
 }
 
+// Character classes.
+const (
+	clIdentStart uint8 = 1 << 0 // _ $ a-z A-Z and bytes >= 0x80
+	clIdentCont  uint8 = 1 << 1 // ident-start plus 0-9
+	clSpace      uint8 = 1 << 2 // space \t \r \v \f (not \n)
+)
+
+var charClass [256]uint8
+
+func init() {
+	for c := 0; c < 256; c++ {
+		if c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80 {
+			charClass[c] |= clIdentStart | clIdentCont
+		}
+		if c >= '0' && c <= '9' {
+			charClass[c] |= clIdentCont
+		}
+	}
+	charClass[' '] |= clSpace
+	charClass['\t'] |= clSpace
+	charClass['\r'] |= clSpace
+	charClass['\v'] |= clSpace
+	charClass['\f'] |= clSpace
+}
+
 // Lexer tokenizes one source buffer.
 type Lexer struct {
 	file string
+	fid  token.FileID
 	src  string
 
-	off  int
-	line int
-	col  int
+	off int
+
+	// lineStarts[i] is the byte offset where 1-based line i+1 begins.
+	// Token positions are derived from it on demand; lineIdx advances
+	// monotonically because tokens are emitted in offset order.
+	lineStarts []int32
+	lineIdx    int
 
 	atLineStart  bool
 	keepComments bool
@@ -37,21 +75,42 @@ type Lexer struct {
 
 // New returns a lexer over src, attributing positions to file.
 func New(file, src string, opts ...Option) *Lexer {
-	l := &Lexer{file: file, src: src, line: 1, col: 1, atLineStart: true}
+	l := &Lexer{file: file, fid: token.InternFile(file), src: src, atLineStart: true}
+	l.lineStarts = buildLineStarts(src)
 	for _, o := range opts {
 		o(l)
 	}
 	return l
 }
 
+// buildLineStarts records the byte offset of every line start in src.
+func buildLineStarts(src string) []int32 {
+	// One entry per line plus the sentinel start; a memchr-driven scan.
+	starts := make([]int32, 1, strings.Count(src, "\n")+2)
+	starts[0] = 0
+	off := 0
+	for {
+		i := strings.IndexByte(src[off:], '\n')
+		if i < 0 {
+			return starts
+		}
+		off += i + 1
+		starts = append(starts, int32(off))
+	}
+}
+
 // Errors returns lexical errors accumulated so far.
 func (l *Lexer) Errors() []error { return l.errs }
+
+// tokensPerByte is the pre-sizing estimate for Tokenize: corpus code
+// averages a bit over three source bytes per token.
+const tokensPerByte = 3
 
 // Tokenize lexes the entire buffer, returning all tokens up to and
 // including the EOF token.
 func Tokenize(file, src string, opts ...Option) ([]token.Token, error) {
 	l := New(file, src, opts...)
-	var toks []token.Token
+	toks := make([]token.Token, 0, len(src)/tokensPerByte+4)
 	for {
 		t := l.Next()
 		toks = append(toks, t)
@@ -65,104 +124,81 @@ func Tokenize(file, src string, opts ...Option) ([]token.Token, error) {
 	return toks, nil
 }
 
-func (l *Lexer) pos() token.Pos {
-	return token.Pos{File: l.file, Offset: l.off, Line: l.line, Col: l.col}
+// posAt computes the position of a byte offset from the line-start table.
+// Offsets must be queried in nondecreasing order (they are: tokens are
+// emitted left to right), which makes the line lookup amortized O(1).
+func (l *Lexer) posAt(off int) token.Pos {
+	for l.lineIdx+1 < len(l.lineStarts) && off >= int(l.lineStarts[l.lineIdx+1]) {
+		l.lineIdx++
+	}
+	return token.Pos{
+		File:   l.fid,
+		Offset: int32(off),
+		Line:   int32(l.lineIdx + 1),
+		Col:    int32(off) - l.lineStarts[l.lineIdx] + 1,
+	}
 }
 
 func (l *Lexer) errorf(format string, args ...any) {
-	l.errs = append(l.errs, fmt.Errorf("%s: %s", l.pos(), fmt.Sprintf(format, args...)))
+	l.errs = append(l.errs, fmt.Errorf("%s: %s", l.posAt(l.off), fmt.Sprintf(format, args...)))
 }
 
-func (l *Lexer) peek() byte {
-	if l.off >= len(l.src) {
-		return 0
+// spliceEnd reports whether a line splice (backslash-newline, with an
+// optional carriage return) starts at off, and if so where it ends.
+func (l *Lexer) spliceEnd(off int) (int, bool) {
+	src := l.src
+	k := off + 1
+	if k < len(src) && src[k] == '\r' {
+		k++
 	}
-	return l.src[l.off]
-}
-
-func (l *Lexer) peekAt(n int) byte {
-	if l.off+n >= len(l.src) {
-		return 0
+	if k < len(src) && src[k] == '\n' {
+		return k + 1, true
 	}
-	return l.src[l.off+n]
+	return off, false
 }
 
-// advance consumes one byte, maintaining line/col and handling line splices
-// (backslash-newline) transparently by treating them as zero-width.
-func (l *Lexer) advance() byte {
-	c := l.src[l.off]
-	l.off++
-	if c == '\n' {
-		l.line++
-		l.col = 1
-	} else {
-		l.col++
-	}
-	return c
-}
-
-// skipSplices consumes any backslash-newline sequences at the cursor.
-func (l *Lexer) skipSplices() {
-	for l.peek() == '\\' {
-		n := 1
-		if l.peekAt(n) == '\r' {
-			n++
-		}
-		if l.peekAt(n) != '\n' {
-			return
-		}
-		for i := 0; i <= n; i++ {
-			l.advance()
-		}
-	}
-}
-
-// skipSpace consumes whitespace and (unless configured otherwise) comments.
-// It reports whether a newline was crossed.
+// skipSpace consumes whitespace and (unless configured otherwise)
+// comments. It reports whether a newline was crossed. Line splices are
+// stepped over without counting as newlines, matching translation
+// phase 2.
 func (l *Lexer) skipSpace() (sawNewline bool, comment *token.Token) {
-	for l.off < len(l.src) {
-		l.skipSplices()
-		c := l.peek()
+	src := l.src
+	for l.off < len(src) {
+		c := src[l.off]
 		switch {
 		case c == '\n':
 			sawNewline = true
-			l.advance()
-		case c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f':
-			l.advance()
-		case c == '/' && l.peekAt(1) == '/':
-			start := l.pos()
-			for l.off < len(l.src) && l.peek() != '\n' {
-				l.skipSplices()
-				if l.off < len(l.src) && l.peek() != '\n' {
-					l.advance()
-				}
+			l.off++
+		case charClass[c]&clSpace != 0:
+			l.off++
+		case c == '\\':
+			end, ok := l.spliceEnd(l.off)
+			if !ok {
+				return sawNewline, nil
 			}
+			l.off = end
+		case c == '/' && l.off+1 < len(src) && src[l.off+1] == '/':
+			start := l.off
+			var startPos token.Pos
 			if l.keepComments {
-				t := token.Token{Kind: token.Comment, Text: l.src[start.Offset:l.off], Pos: start}
+				startPos = l.posAt(start)
+			}
+			l.skipLineComment()
+			if l.keepComments {
+				t := token.Token{Kind: token.Comment, Text: src[start:l.off], Pos: startPos}
 				return sawNewline, &t
 			}
-		case c == '/' && l.peekAt(1) == '*':
-			start := l.pos()
-			l.advance()
-			l.advance()
-			closed := false
-			for l.off < len(l.src) {
-				if l.peek() == '*' && l.peekAt(1) == '/' {
-					l.advance()
-					l.advance()
-					closed = true
-					break
-				}
-				if l.peek() == '\n' {
-					sawNewline = true
-				}
-				l.advance()
+		case c == '/' && l.off+1 < len(src) && src[l.off+1] == '*':
+			start := l.off
+			var startPos token.Pos
+			if l.keepComments {
+				startPos = l.posAt(start)
 			}
-			if !closed {
-				l.errorf("unterminated block comment")
+			if l.skipBlockComment() {
+				sawNewline = true
 			}
 			if l.keepComments {
-				t := token.Token{Kind: token.Comment, Text: l.src[start.Offset:l.off], Pos: start}
+				t := token.Token{Kind: token.Comment, Text: src[start:l.off], Pos: startPos}
 				return sawNewline, &t
 			}
 		default:
@@ -172,13 +208,51 @@ func (l *Lexer) skipSpace() (sawNewline bool, comment *token.Token) {
 	return sawNewline, nil
 }
 
-func isIdentStart(c byte) bool {
-	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+// skipLineComment consumes a // comment up to (not including) the first
+// newline that is not escaped by a line splice.
+func (l *Lexer) skipLineComment() {
+	src := l.src
+	j := l.off + 2
+	for {
+		rel := strings.IndexByte(src[j:], '\n')
+		if rel < 0 {
+			l.off = len(src)
+			return
+		}
+		nl := j + rel
+		// A newline immediately preceded by a backslash (optionally with
+		// a \r in between) is a splice: the comment continues.
+		k := nl
+		if k > 0 && src[k-1] == '\r' {
+			k--
+		}
+		if k > 0 && src[k-1] == '\\' {
+			j = nl + 1
+			continue
+		}
+		l.off = nl
+		return
+	}
 }
 
-func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
-
-func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+// skipBlockComment consumes a /* */ comment, reporting whether it crossed
+// a newline. Splices do not participate: the terminator match is on raw
+// bytes, as in the per-byte scanner.
+func (l *Lexer) skipBlockComment() (sawNewline bool) {
+	src := l.src
+	body := l.off + 2
+	rel := strings.Index(src[body:], "*/")
+	if rel < 0 {
+		sawNewline = strings.IndexByte(src[body:], '\n') >= 0
+		l.off = len(src)
+		l.errorf("unterminated block comment")
+		return sawNewline
+	}
+	end := body + rel + 2
+	sawNewline = strings.IndexByte(src[body:end], '\n') >= 0
+	l.off = end
+	return sawNewline
+}
 
 // Next returns the next token.
 func (l *Lexer) Next() token.Token {
@@ -189,85 +263,120 @@ func (l *Lexer) Next() token.Token {
 		comment.LeadingNewline = first
 		return *comment
 	}
-	start := l.pos()
 	if l.off >= len(l.src) {
-		return token.Token{Kind: token.EOF, Pos: start, LeadingNewline: first}
+		return token.Token{Kind: token.EOF, Pos: l.posAt(l.off), LeadingNewline: first}
 	}
 
-	mk := func(k token.Kind) token.Token {
-		return token.Token{Kind: k, Text: l.src[start.Offset:l.off], Pos: start, LeadingNewline: first}
-	}
-
-	c := l.peek()
+	src := l.src
+	start := l.off
+	c := src[start]
 	switch {
-	case isIdentStart(c):
-		return l.lexIdentOrLiteralPrefix(start, first)
-	case isDigit(c) || (c == '.' && isDigit(l.peekAt(1))):
-		l.lexNumber()
-		txt := stripSplices(l.src[start.Offset:l.off])
-		mkNum := func(k token.Kind) token.Token {
-			return token.Token{Kind: k, Text: txt, Pos: start, LeadingNewline: first}
+	case charClass[c]&clIdentStart != 0:
+		return l.lexIdentOrLiteralPrefix(first)
+	case (c >= '0' && c <= '9') || (c == '.' && start+1 < len(src) && src[start+1] >= '0' && src[start+1] <= '9'):
+		startPos := l.posAt(start)
+		spliced := l.lexNumber()
+		txt := src[start:l.off]
+		if spliced {
+			txt = stripSplices(txt)
 		}
-		if strings.ContainsAny(txt, ".eEpP") &&
-			!strings.HasPrefix(txt, "0x") &&
-			!strings.HasPrefix(txt, "0X") {
-			return mkNum(token.FloatLit)
-		}
-		if (strings.HasPrefix(txt, "0x") || strings.HasPrefix(txt, "0X")) && strings.ContainsAny(txt, ".pP") {
-			return mkNum(token.FloatLit)
-		}
-		return mkNum(token.IntLit)
+		return token.Token{Kind: numberKind(txt), Text: txt, Pos: startPos, LeadingNewline: first}
 	case c == '"':
+		startPos := l.posAt(start)
 		l.lexString('"')
-		return mk(token.StringLit)
+		return token.Token{Kind: token.StringLit, Text: src[start:l.off], Pos: startPos, LeadingNewline: first}
 	case c == '\'':
+		startPos := l.posAt(start)
 		l.lexString('\'')
-		return mk(token.CharLit)
+		return token.Token{Kind: token.CharLit, Text: src[start:l.off], Pos: startPos, LeadingNewline: first}
 	}
-	return l.lexPunct(start, first)
+	return l.lexPunct(first)
+}
+
+// numberKind classifies a pp-number spelling as an int or float literal.
+func numberKind(txt string) token.Kind {
+	hex := len(txt) > 1 && txt[0] == '0' && (txt[1] == 'x' || txt[1] == 'X')
+	for i := 0; i < len(txt); i++ {
+		switch txt[i] {
+		case '.':
+			return token.FloatLit
+		case 'p', 'P':
+			return token.FloatLit
+		case 'e', 'E':
+			if !hex {
+				return token.FloatLit
+			}
+		}
+	}
+	return token.IntLit
 }
 
 // lexIdentOrLiteralPrefix handles identifiers, keywords, and literal
 // prefixes such as R"(...)" raw strings and L'a' wide chars.
-func (l *Lexer) lexIdentOrLiteralPrefix(start token.Pos, first bool) token.Token {
-	for l.off < len(l.src) && isIdentCont(l.peek()) {
-		l.advance()
-		l.skipSplices()
+func (l *Lexer) lexIdentOrLiteralPrefix(first bool) token.Token {
+	src := l.src
+	start := l.off
+	startPos := l.posAt(start)
+	spliced := false
+	i := start
+	for i < len(src) {
+		c := src[i]
+		if charClass[c]&clIdentCont != 0 {
+			i++
+			continue
+		}
+		if c == '\\' {
+			l.off = i
+			if end, ok := l.spliceEnd(i); ok {
+				i = end
+				spliced = true
+				continue
+			}
+		}
+		break
 	}
-	text := stripSplices(l.src[start.Offset:l.off])
-
-	mk := func(k token.Kind) token.Token {
-		return token.Token{Kind: k, Text: l.src[start.Offset:l.off], Pos: start, LeadingNewline: first}
+	l.off = i
+	text := src[start:i]
+	if spliced {
+		text = stripSplices(text)
 	}
 
 	// Raw string literal: R"delim( ... )delim"
-	if l.peek() == '"' && strings.HasSuffix(text, "R") {
+	next := byte(0)
+	if i < len(src) {
+		next = src[i]
+	}
+	if next == '"' && strings.HasSuffix(text, "R") {
 		switch text {
 		case "R", "u8R", "uR", "UR", "LR":
 			l.lexRawString()
-			return mk(token.StringLit)
+			return token.Token{Kind: token.StringLit, Text: src[start:l.off], Pos: startPos, LeadingNewline: first}
 		}
 	}
 	// Encoding-prefixed string/char literal.
-	if l.peek() == '"' {
+	if next == '"' {
 		switch text {
 		case "u8", "u", "U", "L":
 			l.lexString('"')
-			return mk(token.StringLit)
+			return token.Token{Kind: token.StringLit, Text: src[start:l.off], Pos: startPos, LeadingNewline: first}
 		}
 	}
-	if l.peek() == '\'' {
+	if next == '\'' {
 		switch text {
 		case "u8", "u", "U", "L":
 			l.lexString('\'')
-			return mk(token.CharLit)
+			return token.Token{Kind: token.CharLit, Text: src[start:l.off], Pos: startPos, LeadingNewline: first}
 		}
 	}
 
-	if token.Keywords[text] {
-		return token.Token{Kind: token.Keyword, Text: text, Pos: start, LeadingNewline: first}
+	// Keyword classification is folded into the intern lookup: keywords
+	// occupy a dense symbol range.
+	sym := token.Intern(text)
+	kind := token.Identifier
+	if sym.IsKeyword() {
+		kind = token.Keyword
 	}
-	return token.Token{Kind: token.Identifier, Text: text, Pos: start, LeadingNewline: first}
+	return token.Token{Kind: kind, Text: text, Pos: startPos, Sym: sym, LeadingNewline: first}
 }
 
 // stripSplices removes backslash-newline line splices (translation
@@ -298,44 +407,54 @@ func stripSplices(s string) string {
 	return b.String()
 }
 
-func (l *Lexer) lexNumber() {
-	// pp-number: digits, identifier chars, ', and exponent signs.
-	for l.off < len(l.src) {
-		l.skipSplices()
-		c := l.peek()
-		switch {
-		case isIdentCont(c) || c == '.' || c == '\'':
-			prev := c
-			l.advance()
-			_ = prev
-			// e+, e-, p+, p- exponents
-			if (c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
-				(l.peek() == '+' || l.peek() == '-') {
-				// only a sign if prior char began an exponent within a number
-				l.advance()
+// lexNumber consumes a pp-number (digits, identifier chars, ', dots, and
+// signed exponents), reporting whether it stepped over a line splice.
+func (l *Lexer) lexNumber() (spliced bool) {
+	src := l.src
+	i := l.off
+	for i < len(src) {
+		c := src[i]
+		if charClass[c]&clIdentCont != 0 || c == '.' || c == '\'' {
+			i++
+			// e+, e-, p+, p- exponents: the sign must follow the
+			// exponent letter on raw bytes (a splice in between
+			// terminates the number, as in the per-byte scanner).
+			if (c == 'e' || c == 'E' || c == 'p' || c == 'P') && i < len(src) && (src[i] == '+' || src[i] == '-') {
+				i++
 			}
-		default:
-			return
+			continue
 		}
+		if c == '\\' {
+			if end, ok := l.spliceEnd(i); ok {
+				i = end
+				spliced = true
+				continue
+			}
+		}
+		break
 	}
+	l.off = i
+	return spliced
 }
 
 func (l *Lexer) lexString(quote byte) {
-	l.advance() // opening quote
-	for l.off < len(l.src) {
-		c := l.peek()
+	src := l.src
+	i := l.off + 1 // opening quote
+	for i < len(src) {
+		c := src[i]
 		if c == '\\' {
-			l.advance()
-			if l.off < len(l.src) {
-				l.advance()
+			i++
+			if i < len(src) {
+				i++
 			}
 			continue
 		}
 		if c == quote {
-			l.advance()
+			l.off = i + 1
 			return
 		}
 		if c == '\n' {
+			l.off = i
 			kind := "string"
 			if quote == '\'' {
 				kind = "char"
@@ -343,193 +462,231 @@ func (l *Lexer) lexString(quote byte) {
 			l.errorf("unterminated %s literal", kind)
 			return
 		}
-		l.advance()
+		i++
 	}
+	l.off = i
 	l.errorf("unterminated literal at EOF")
 }
 
 func (l *Lexer) lexRawString() {
-	l.advance() // "
+	src := l.src
+	l.off++ // "
 	// read delimiter up to (
 	dstart := l.off
-	for l.off < len(l.src) && l.peek() != '(' {
-		l.advance()
+	for l.off < len(src) && src[l.off] != '(' {
+		l.off++
 	}
-	delim := l.src[dstart:l.off]
-	if l.off >= len(l.src) {
+	delim := src[dstart:l.off]
+	if l.off >= len(src) {
 		l.errorf("unterminated raw string delimiter")
 		return
 	}
-	l.advance() // (
+	l.off++ // (
 	closing := ")" + delim + `"`
-	for l.off < len(l.src) {
-		if strings.HasPrefix(l.src[l.off:], closing) {
-			for range closing {
-				l.advance()
-			}
-			return
-		}
-		l.advance()
+	rel := strings.Index(src[l.off:], closing)
+	if rel < 0 {
+		l.off = len(src)
+		l.errorf("unterminated raw string literal")
+		return
 	}
-	l.errorf("unterminated raw string literal")
+	l.off += rel + len(closing)
 }
 
-func (l *Lexer) lexPunct(start token.Pos, first bool) token.Token {
-	mk := func(k token.Kind, n int) token.Token {
-		for i := 0; i < n; i++ {
-			l.advance()
-			l.skipSplices()
-		}
-		return token.Token{Kind: k, Text: l.src[start.Offset:l.off], Pos: start, LeadingNewline: first}
-	}
-	c := l.peek()
-	c1 := l.peekAt(1)
-	c2 := l.peekAt(2)
+// punctSpec is one decoded punctuator: its kind and byte length.
+type punctSpec struct {
+	kind token.Kind
+	n    int
+}
+
+// decodePunct classifies the punctuator at the head of s on raw bytes
+// (splices between the bytes of a multi-character punctuator are not
+// recognized, matching the per-byte scanner).
+func decodePunct(c, c1, c2 byte) punctSpec {
 	switch c {
 	case '(':
-		return mk(token.LParen, 1)
+		return punctSpec{token.LParen, 1}
 	case ')':
-		return mk(token.RParen, 1)
+		return punctSpec{token.RParen, 1}
 	case '{':
-		return mk(token.LBrace, 1)
+		return punctSpec{token.LBrace, 1}
 	case '}':
-		return mk(token.RBrace, 1)
+		return punctSpec{token.RBrace, 1}
 	case '[':
-		return mk(token.LBracket, 1)
+		return punctSpec{token.LBracket, 1}
 	case ']':
-		return mk(token.RBracket, 1)
+		return punctSpec{token.RBracket, 1}
 	case ';':
-		return mk(token.Semi, 1)
+		return punctSpec{token.Semi, 1}
 	case ',':
-		return mk(token.Comma, 1)
+		return punctSpec{token.Comma, 1}
 	case '?':
-		return mk(token.Question, 1)
+		return punctSpec{token.Question, 1}
 	case '~':
-		return mk(token.Tilde, 1)
+		return punctSpec{token.Tilde, 1}
 	case ':':
 		if c1 == ':' {
-			return mk(token.ColonCol, 2)
+			return punctSpec{token.ColonCol, 2}
 		}
-		return mk(token.Colon, 1)
+		return punctSpec{token.Colon, 1}
 	case '.':
 		if c1 == '.' && c2 == '.' {
-			return mk(token.Ellipsis, 3)
+			return punctSpec{token.Ellipsis, 3}
 		}
 		if c1 == '*' {
-			return mk(token.DotStar, 2)
+			return punctSpec{token.DotStar, 2}
 		}
-		return mk(token.Dot, 1)
+		return punctSpec{token.Dot, 1}
 	case '+':
 		if c1 == '+' {
-			return mk(token.PlusPlus, 2)
+			return punctSpec{token.PlusPlus, 2}
 		}
 		if c1 == '=' {
-			return mk(token.PlusEq, 2)
+			return punctSpec{token.PlusEq, 2}
 		}
-		return mk(token.Plus, 1)
+		return punctSpec{token.Plus, 1}
 	case '-':
 		if c1 == '-' {
-			return mk(token.MinusMinus, 2)
+			return punctSpec{token.MinusMinus, 2}
 		}
 		if c1 == '=' {
-			return mk(token.MinusEq, 2)
+			return punctSpec{token.MinusEq, 2}
 		}
 		if c1 == '>' {
 			if c2 == '*' {
-				return mk(token.ArrowStar, 3)
+				return punctSpec{token.ArrowStar, 3}
 			}
-			return mk(token.Arrow, 2)
+			return punctSpec{token.Arrow, 2}
 		}
-		return mk(token.Minus, 1)
+		return punctSpec{token.Minus, 1}
 	case '*':
 		if c1 == '=' {
-			return mk(token.StarEq, 2)
+			return punctSpec{token.StarEq, 2}
 		}
-		return mk(token.Star, 1)
+		return punctSpec{token.Star, 1}
 	case '/':
 		if c1 == '=' {
-			return mk(token.SlashEq, 2)
+			return punctSpec{token.SlashEq, 2}
 		}
-		return mk(token.Slash, 1)
+		return punctSpec{token.Slash, 1}
 	case '%':
 		if c1 == '=' {
-			return mk(token.PercentEq, 2)
+			return punctSpec{token.PercentEq, 2}
 		}
-		return mk(token.Percent, 1)
+		return punctSpec{token.Percent, 1}
 	case '&':
 		if c1 == '&' {
-			return mk(token.AmpAmp, 2)
+			return punctSpec{token.AmpAmp, 2}
 		}
 		if c1 == '=' {
-			return mk(token.AmpEq, 2)
+			return punctSpec{token.AmpEq, 2}
 		}
-		return mk(token.Amp, 1)
+		return punctSpec{token.Amp, 1}
 	case '|':
 		if c1 == '|' {
-			return mk(token.PipePipe, 2)
+			return punctSpec{token.PipePipe, 2}
 		}
 		if c1 == '=' {
-			return mk(token.PipeEq, 2)
+			return punctSpec{token.PipeEq, 2}
 		}
-		return mk(token.Pipe, 1)
+		return punctSpec{token.Pipe, 1}
 	case '^':
 		if c1 == '=' {
-			return mk(token.CaretEq, 2)
+			return punctSpec{token.CaretEq, 2}
 		}
-		return mk(token.Caret, 1)
+		return punctSpec{token.Caret, 1}
 	case '!':
 		if c1 == '=' {
-			return mk(token.NotEq, 2)
+			return punctSpec{token.NotEq, 2}
 		}
-		return mk(token.Exclaim, 1)
+		return punctSpec{token.Exclaim, 1}
 	case '=':
 		if c1 == '=' {
-			return mk(token.EqEq, 2)
+			return punctSpec{token.EqEq, 2}
 		}
-		return mk(token.Assign, 1)
+		return punctSpec{token.Assign, 1}
 	case '<':
 		if c1 == '=' && c2 == '>' {
-			return mk(token.Spaceship, 3)
+			return punctSpec{token.Spaceship, 3}
 		}
 		if c1 == '=' {
-			return mk(token.LessEq, 2)
+			return punctSpec{token.LessEq, 2}
 		}
 		if c1 == '<' {
 			if c2 == '=' {
-				return mk(token.ShlEq, 3)
+				return punctSpec{token.ShlEq, 3}
 			}
-			return mk(token.Shl, 2)
+			return punctSpec{token.Shl, 2}
 		}
-		return mk(token.Less, 1)
+		return punctSpec{token.Less, 1}
 	case '>':
 		if c1 == '=' {
-			return mk(token.GreaterEq, 2)
+			return punctSpec{token.GreaterEq, 2}
 		}
 		if c1 == '>' {
 			if c2 == '=' {
-				return mk(token.ShrEq, 3)
+				return punctSpec{token.ShrEq, 3}
 			}
-			return mk(token.Shr, 2)
+			return punctSpec{token.Shr, 2}
 		}
-		return mk(token.Greater, 1)
+		return punctSpec{token.Greater, 1}
 	case '#':
 		if c1 == '#' {
-			return mk(token.HashHash, 2)
+			return punctSpec{token.HashHash, 2}
 		}
-		return mk(token.Hash, 1)
+		return punctSpec{token.Hash, 1}
 	}
-	l.errorf("unexpected character %q", string(c))
-	return mk(token.Invalid, 1)
+	return punctSpec{token.Invalid, 1}
+}
+
+func (l *Lexer) lexPunct(first bool) token.Token {
+	src := l.src
+	start := l.off
+	startPos := l.posAt(start)
+	var c1, c2 byte
+	c := src[start]
+	if start+1 < len(src) {
+		c1 = src[start+1]
+	}
+	if start+2 < len(src) {
+		c2 = src[start+2]
+	}
+	spec := decodePunct(c, c1, c2)
+	if spec.kind == token.Invalid {
+		l.errorf("unexpected character %q", string(c))
+	}
+	i := start + spec.n
+	// Trailing splices are absorbed into the token extent (and its raw
+	// text), as the per-byte scanner did.
+	for i < len(src) && src[i] == '\\' {
+		end, ok := l.spliceEnd(i)
+		if !ok {
+			break
+		}
+		i = end
+	}
+	l.off = i
+	return token.Token{Kind: spec.kind, Text: src[start:i], Pos: startPos, LeadingNewline: first}
 }
 
 // CountSourceLines returns the number of non-blank lines in src, mirroring
 // how the paper's Table 3 counts LOC of preprocessed output.
 func CountSourceLines(src string) int {
 	n := 0
-	for _, line := range strings.Split(src, "\n") {
-		if strings.TrimSpace(line) != "" {
-			n++
+	blank := true
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '\n':
+			if !blank {
+				n++
+			}
+			blank = true
+		case ' ', '\t', '\r', '\v', '\f':
+		default:
+			blank = false
 		}
+	}
+	if !blank {
+		n++
 	}
 	return n
 }

@@ -33,6 +33,7 @@ func BenchmarkParse(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(len(benchSrc)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Parse may splice '>>' tokens in place, so hand it a fresh copy.

@@ -8,8 +8,8 @@ import (
 // ----------------------------------------------------------- statements
 
 func (p *Parser) parseCompound() *ast.CompoundStmt {
-	cs := &ast.CompoundStmt{}
-	cs.Start = p.cur().Pos
+	cs := p.arena.NewCompoundStmt()
+	cs.Start = p.curPos()
 	p.expect(token.LBrace)
 	for !p.at(token.RBrace) && !p.at(token.EOF) {
 		start := p.pos
@@ -22,7 +22,7 @@ func (p *Parser) parseCompound() *ast.CompoundStmt {
 			p.next()
 		}
 	}
-	cs.Stop = p.cur().End()
+	cs.Stop = p.curEnd()
 	p.expect(token.RBrace)
 	return cs
 }
@@ -34,65 +34,67 @@ func (p *Parser) parseStmt() ast.Stmt {
 		return nil
 	case p.at(token.LBrace):
 		return p.parseCompound()
-	case p.atWord("return"):
-		rs := &ast.ReturnStmt{}
-		rs.Start = p.cur().Pos
+	case p.atSym(kwReturn, "return"):
+		rs := p.arena.NewReturnStmt()
+		rs.Start = p.curPos()
 		p.next()
 		if !p.at(token.Semi) {
 			rs.X = p.parseExpr()
 		}
-		rs.Stop = p.cur().End()
+		rs.Stop = p.curEnd()
 		p.expect(token.Semi)
 		return rs
-	case p.atWord("if"):
+	case p.atSym(kwIf, "if"):
 		return p.parseIf()
-	case p.atWord("for"):
+	case p.atSym(kwFor, "for"):
 		return p.parseFor()
-	case p.atWord("while"):
+	case p.atSym(kwWhile, "while"):
 		return p.parseWhile()
-	case p.atWord("do"):
+	case p.atSym(kwDo, "do"):
 		return p.parseDo()
-	case p.atWord("switch"):
+	case p.atSym(kwSwitch, "switch"):
 		return p.parseSwitch()
-	case p.atWord("break") || p.atWord("continue"):
-		es := &ast.ExprStmt{}
-		es.Start = p.cur().Pos
+	case p.atSym(kwBreak, "break") || p.atSym(kwContinue, "continue"):
+		es := p.arena.NewExprStmt()
+		es.Start = p.curPos()
 		kw := p.next()
-		dre := &ast.DeclRefExpr{Name: ast.QN(kw.Text)}
+		dre := p.arena.NewDeclRefExpr()
+		dre.Name = p.arena.QN1(kw.Text)
 		dre.Start = kw.Pos
 		dre.Stop = kw.End()
 		es.X = dre
-		es.Stop = p.cur().End()
+		es.Stop = p.curEnd()
 		p.expect(token.Semi)
 		return es
-	case p.atWord("using"):
+	case p.atSym(kwUsing, "using"):
 		d := p.parseUsing()
-		return wrapDecl(d)
-	case p.atWord("typedef"):
+		return p.wrapDecl(d)
+	case p.atSym(kwTypedef, "typedef"):
 		d := p.parseTypedef()
-		return wrapDecl(d)
-	case p.atWord("static_assert"):
-		return wrapDecl(p.parseStaticAssert())
-	case p.atWord("struct") || p.atWord("class"):
-		return wrapDecl(p.parseClassOrVar(nil))
+		return p.wrapDecl(d)
+	case p.atSym(kwStaticAssert, "static_assert"):
+		return p.wrapDecl(p.parseStaticAssert())
+	case p.atSym(kwStruct, "struct") || p.atSym(kwClass, "class"):
+		return p.wrapDecl(p.parseClassOrVar(nil))
 	}
 	// Try a local variable declaration with backtracking.
 	if d := p.tryParseLocalDecl(); d != nil {
-		return wrapDecl(d)
+		return p.wrapDecl(d)
 	}
-	es := &ast.ExprStmt{}
-	es.Start = p.cur().Pos
+	es := p.arena.NewExprStmt()
+	es.Start = p.curPos()
 	es.X = p.parseExpr()
-	es.Stop = p.cur().End()
+	es.Stop = p.curEnd()
 	p.expect(token.Semi)
 	return es
 }
 
-func wrapDecl(d ast.Decl) ast.Stmt {
+func (p *Parser) wrapDecl(d ast.Decl) ast.Stmt {
 	if d == nil {
 		return nil
 	}
-	ds := &ast.DeclStmt{D: d}
+	ds := p.arena.NewDeclStmt()
+	ds.D = d
 	ds.Start = d.Pos()
 	ds.Stop = d.End()
 	return ds
@@ -107,7 +109,7 @@ func (p *Parser) tryParseLocalDecl() ast.Decl {
 		p.toks = savedToks
 	}
 	var isStatic bool
-	for p.acceptWord("static") || p.acceptWord("constexpr") {
+	for p.acceptSym(kwStatic, "static") || p.acceptSym(kwConstexpr, "constexpr") {
 		isStatic = true
 	}
 	t := p.tryParseType()
@@ -120,9 +122,10 @@ func (p *Parser) tryParseLocalDecl() ast.Decl {
 		return nil
 	}
 	name := p.next().Text
-	v := &ast.VarDecl{Name: name, Type: t, Static: isStatic}
+	v := p.arena.NewVarDecl()
+	v.Name, v.Type, v.Static = name, t, isStatic
 	v.Start = t.PosStart
-	switch p.cur().Kind {
+	switch p.curKind() {
 	case token.Assign:
 		p.next()
 		v.Init = p.parseAssignExpr()
@@ -172,20 +175,20 @@ func (p *Parser) tryParseLocalDecl() ast.Decl {
 		rollback()
 		return nil
 	}
-	v.Stop = p.cur().End()
+	v.Stop = p.curEnd()
 	p.next()
 	return v
 }
 
 func (p *Parser) parseIf() ast.Stmt {
 	is := &ast.IfStmt{}
-	is.Start = p.cur().Pos
+	is.Start = p.curPos()
 	p.next()
 	p.expect(token.LParen)
 	is.Cond = p.parseExpr()
 	p.expect(token.RParen)
 	is.Then = p.parseStmt()
-	if p.acceptWord("else") {
+	if p.acceptSym(kwElse, "else") {
 		is.Else = p.parseStmt()
 	}
 	if is.Else != nil {
@@ -197,7 +200,7 @@ func (p *Parser) parseIf() ast.Stmt {
 }
 
 func (p *Parser) parseFor() ast.Stmt {
-	start := p.cur().Pos
+	start := p.curPos()
 	p.next()
 	p.expect(token.LParen)
 	// Range-for: `for (T x : range)`.
@@ -208,7 +211,7 @@ func (p *Parser) parseFor() ast.Stmt {
 	fs.Start = start
 	if !p.at(token.Semi) {
 		if d := p.tryParseLocalDecl(); d != nil {
-			fs.Init = wrapDecl(d)
+			fs.Init = p.wrapDecl(d)
 		} else {
 			es := &ast.ExprStmt{X: p.parseExpr()}
 			fs.Init = es
@@ -241,7 +244,7 @@ func (p *Parser) tryParseRangeFor(start token.Pos) ast.Stmt {
 		p.pos = save
 		p.toks = savedToks
 	}
-	p.acceptWord("const")
+	p.acceptSym(kwConst, "const")
 	t := p.tryParseType()
 	if t == nil || !p.at(token.Identifier) {
 		rollback()
@@ -254,9 +257,10 @@ func (p *Parser) tryParseRangeFor(start token.Pos) ast.Stmt {
 	}
 	rf := &ast.RangeForStmt{}
 	rf.Start = start
-	vd := &ast.VarDecl{Name: name, Type: t}
+	vd := p.arena.NewVarDecl()
+	vd.Name, vd.Type = name, t
 	vd.Start = t.PosStart
-	vd.Stop = p.cur().Pos
+	vd.Stop = p.curPos()
 	rf.Var = vd
 	rf.Range = p.parseExpr()
 	p.expect(token.RParen)
@@ -269,16 +273,16 @@ func (p *Parser) tryParseRangeFor(start token.Pos) ast.Stmt {
 
 func (p *Parser) parseDo() ast.Stmt {
 	ds := &ast.DoStmt{}
-	ds.Start = p.cur().Pos
+	ds.Start = p.curPos()
 	p.next()
 	ds.Body = p.parseStmt()
-	if !p.acceptWord("while") {
+	if !p.acceptSym(kwWhile, "while") {
 		p.errorf("expected 'while' after do body")
 		return ds
 	}
 	p.expect(token.LParen)
 	ds.Cond = p.parseExpr()
-	ds.Stop = p.cur().End()
+	ds.Stop = p.curEnd()
 	p.expect(token.RParen)
 	p.expect(token.Semi)
 	return ds
@@ -286,7 +290,7 @@ func (p *Parser) parseDo() ast.Stmt {
 
 func (p *Parser) parseSwitch() ast.Stmt {
 	ss := &ast.SwitchStmt{}
-	ss.Start = p.cur().Pos
+	ss.Start = p.curPos()
 	p.next()
 	p.expect(token.LParen)
 	ss.Cond = p.parseExpr()
@@ -300,12 +304,12 @@ func (p *Parser) parseSwitch() ast.Stmt {
 	}
 	for !p.at(token.RBrace) && !p.at(token.EOF) {
 		switch {
-		case p.atWord("case"):
+		case p.atSym(kwCase, "case"):
 			flush()
 			p.next()
 			cur = &ast.SwitchCase{Value: p.parseShiftFreeExpr()}
 			p.expect(token.Colon)
-		case p.atWord("default"):
+		case p.atSym(kwDefault, "default"):
 			flush()
 			p.next()
 			cur = &ast.SwitchCase{}
@@ -322,14 +326,14 @@ func (p *Parser) parseSwitch() ast.Stmt {
 		}
 	}
 	flush()
-	ss.Stop = p.cur().End()
+	ss.Stop = p.curEnd()
 	p.expect(token.RBrace)
 	return ss
 }
 
 func (p *Parser) parseWhile() ast.Stmt {
 	ws := &ast.WhileStmt{}
-	ws.Start = p.cur().Pos
+	ws.Start = p.curPos()
 	p.next()
 	p.expect(token.LParen)
 	ws.Cond = p.parseExpr()
@@ -351,14 +355,15 @@ func (p *Parser) parseAssignExpr() ast.Expr {
 	if lhs == nil {
 		return nil
 	}
-	if token.AssignmentOps[p.cur().Kind] {
+	if token.AssignmentOps[p.curKind()] {
 		op := p.next().Kind
 		rhs := p.parseAssignExpr()
 		if rhs == nil {
 			p.errorf("missing right-hand side of assignment")
 			return lhs
 		}
-		be := &ast.BinaryExpr{Op: op, L: lhs, R: rhs}
+		be := p.arena.NewBinaryExpr()
+		be.Op, be.L, be.R = op, lhs, rhs
 		be.Start = lhs.Pos()
 		be.Stop = rhs.End()
 		return be
@@ -419,7 +424,7 @@ func (p *Parser) parseBinaryExpr(minPrec int, templateCtx bool) ast.Expr {
 		return nil
 	}
 	for {
-		k := p.cur().Kind
+		k := p.curKind()
 		if templateCtx && (k == token.Greater || k == token.Shr) {
 			return lhs
 		}
@@ -433,7 +438,8 @@ func (p *Parser) parseBinaryExpr(minPrec int, templateCtx bool) ast.Expr {
 			p.errorf("missing right operand of %v", k)
 			return lhs
 		}
-		be := &ast.BinaryExpr{Op: k, L: lhs, R: rhs}
+		be := p.arena.NewBinaryExpr()
+		be.Op, be.L, be.R = k, lhs, rhs
 		be.Start = lhs.Pos()
 		be.Stop = rhs.End()
 		lhs = be
@@ -441,20 +447,21 @@ func (p *Parser) parseBinaryExpr(minPrec int, templateCtx bool) ast.Expr {
 }
 
 func (p *Parser) parseUnary() ast.Expr {
-	start := p.cur().Pos
-	switch p.cur().Kind {
+	start := p.curPos()
+	switch p.curKind() {
 	case token.Plus, token.Minus, token.Exclaim, token.Tilde,
 		token.Star, token.Amp, token.PlusPlus, token.MinusMinus:
 		op := p.next().Kind
 		x := p.parseUnary()
-		ue := &ast.UnaryExpr{Op: op, X: x}
+		ue := p.arena.NewUnaryExpr()
+		ue.Op, ue.X = op, x
 		ue.Start = start
 		if x != nil {
 			ue.Stop = x.End()
 		}
 		return ue
 	}
-	if p.atWord("new") {
+	if p.atSym(kwNew, "new") {
 		p.next()
 		t := p.tryParseType()
 		ne := &ast.NewExpr{Type: t}
@@ -472,10 +479,10 @@ func (p *Parser) parseUnary() ast.Expr {
 			bi := p.parseBracedInit(ast.QualifiedName{})
 			ne.Args = bi.Elems
 		}
-		ne.Stop = p.cur().Pos
+		ne.Stop = p.curPos()
 		return ne
 	}
-	if p.atWord("sizeof") {
+	if p.atSym(kwSizeof, "sizeof") {
 		p.next()
 		if p.at(token.LParen) {
 			p.skipBalanced(token.LParen, token.RParen)
@@ -484,16 +491,17 @@ func (p *Parser) parseUnary() ast.Expr {
 		}
 		le := &ast.LiteralExpr{Kind: token.IntLit, Text: "sizeof"}
 		le.Start = start
-		le.Stop = p.cur().Pos
+		le.Stop = p.curPos()
 		return le
 	}
-	if p.atWord("delete") {
+	if p.atSym(kwDelete, "delete") {
 		p.next()
 		if p.at(token.LBracket) {
 			p.skipBalanced(token.LBracket, token.RBracket)
 		}
 		x := p.parseUnary()
-		ue := &ast.UnaryExpr{Op: token.Tilde, X: x} // representation detail
+		ue := p.arena.NewUnaryExpr() // delete modeled as unary ~ (representation detail)
+		ue.Op, ue.X = token.Tilde, x
 		ue.Start = start
 		if x != nil {
 			ue.Stop = x.End()
@@ -509,11 +517,12 @@ func (p *Parser) parsePostfix() ast.Expr {
 		return nil
 	}
 	for {
-		switch p.cur().Kind {
+		switch p.curKind() {
 		case token.LParen:
-			ce := &ast.CallExpr{Callee: x}
+			ce := p.arena.NewCallExpr()
+			ce.Callee = x
 			ce.Start = x.Pos()
-			ce.CalleeEnd = p.cur().Pos
+			ce.CalleeEnd = p.curPos()
 			p.next()
 			for !p.at(token.RParen) && !p.at(token.EOF) {
 				ce.Args = append(ce.Args, p.parseAssignExpr())
@@ -521,26 +530,27 @@ func (p *Parser) parsePostfix() ast.Expr {
 					break
 				}
 			}
-			ce.Stop = p.cur().End()
+			ce.Stop = p.curEnd()
 			p.expect(token.RParen)
 			x = ce
 		case token.LBracket:
-			ie := &ast.IndexExpr{Base: x}
+			ie := p.arena.NewIndexExpr()
+			ie.Base = x
 			ie.Start = x.Pos()
 			p.next()
 			ie.Index = p.parseExpr()
-			ie.Stop = p.cur().End()
+			ie.Stop = p.curEnd()
 			p.expect(token.RBracket)
 			x = ie
 		case token.Dot, token.Arrow:
 			arrow := p.next().Kind == token.Arrow
-			mpos := p.cur().Pos
+			mpos := p.curPos()
 			var member string
-			if p.atWord("operator") {
+			if p.atSym(kwOperator, "operator") {
 				// x.operator()(...) — rare; normalize
 				p.next()
 				member = "operator"
-				if p.at(token.LParen) && p.peekN(1).Kind == token.RParen {
+				if p.at(token.LParen) && p.peekKind(1) == token.RParen {
 					p.next()
 					p.next()
 					member = "operator()"
@@ -556,15 +566,17 @@ func (p *Parser) parsePostfix() ast.Expr {
 					}
 				}
 			}
-			me := &ast.MemberExpr{Base: x, Member: member, Arrow: arrow, MemberPos: mpos}
+			me := p.arena.NewMemberExpr()
+			me.Base, me.Member, me.Arrow, me.MemberPos = x, member, arrow, mpos
 			me.Start = x.Pos()
-			me.Stop = p.cur().Pos
+			me.Stop = p.curPos()
 			x = me
 		case token.PlusPlus, token.MinusMinus:
 			op := p.next().Kind
-			ue := &ast.UnaryExpr{Op: op, X: x, Postfix: true}
+			ue := p.arena.NewUnaryExpr()
+			ue.Op, ue.X, ue.Postfix = op, x, true
 			ue.Start = x.Pos()
-			ue.Stop = p.cur().Pos
+			ue.Stop = p.curPos()
 			x = ue
 		default:
 			return x
@@ -573,20 +585,22 @@ func (p *Parser) parsePostfix() ast.Expr {
 }
 
 func (p *Parser) parsePrimary() ast.Expr {
-	start := p.cur().Pos
-	switch p.cur().Kind {
+	start := p.curPos()
+	switch p.curKind() {
 	case token.IntLit, token.FloatLit, token.CharLit, token.StringLit:
 		t := p.next()
-		le := &ast.LiteralExpr{Kind: t.Kind, Text: t.Text}
+		le := p.arena.NewLiteralExpr()
+		le.Kind, le.Text = t.Kind, t.Text
 		le.Start = t.Pos
 		le.Stop = t.End()
 		return le
 	case token.LParen:
 		p.next()
 		x := p.parseExpr()
-		pe := &ast.ParenExpr{X: x}
+		pe := p.arena.NewParenExpr()
+		pe.X = x
 		pe.Start = start
-		pe.Stop = p.cur().End()
+		pe.Stop = p.curEnd()
 		p.expect(token.RParen)
 		return pe
 	case token.LBracket:
@@ -597,7 +611,8 @@ func (p *Parser) parsePrimary() ast.Expr {
 		switch p.cur().Text {
 		case "true", "false", "nullptr", "this":
 			t := p.next()
-			le := &ast.LiteralExpr{Kind: token.Identifier, Text: t.Text}
+			le := p.arena.NewLiteralExpr()
+			le.Kind, le.Text = token.Identifier, t.Text
 			le.Start = t.Pos
 			le.Stop = t.End()
 			return le
@@ -613,7 +628,7 @@ func (p *Parser) parsePrimary() ast.Expr {
 			x := p.parseExpr()
 			ce := &ast.CastExpr{Type: t, X: x}
 			ce.Start = start
-			ce.Stop = p.cur().End()
+			ce.Stop = p.curEnd()
 			p.expect(token.RParen)
 			return ce
 		case "new", "sizeof", "delete":
@@ -627,7 +642,7 @@ func (p *Parser) parsePrimary() ast.Expr {
 				x := p.parseExpr()
 				ce := &ast.CastExpr{Type: t, X: x}
 				ce.Start = start
-				ce.Stop = p.cur().End()
+				ce.Stop = p.curEnd()
 				p.expect(token.RParen)
 				return ce
 			}
@@ -641,9 +656,10 @@ func (p *Parser) parsePrimary() ast.Expr {
 		if p.at(token.LBrace) {
 			return p.parseBracedInit(name)
 		}
-		dre := &ast.DeclRefExpr{Name: name}
+		dre := p.arena.NewDeclRefExpr()
+		dre.Name = name
 		dre.Start = start
-		dre.Stop = p.cur().Pos
+		dre.Stop = p.curPos()
 		return dre
 	}
 	p.errorf("unexpected token %v in expression", p.cur())
@@ -652,8 +668,9 @@ func (p *Parser) parsePrimary() ast.Expr {
 
 // parseBracedInit parses { a, b, ... }, optionally as T{...}.
 func (p *Parser) parseBracedInit(typeName ast.QualifiedName) *ast.InitListExpr {
-	il := &ast.InitListExpr{TypeName: typeName}
-	il.Start = p.cur().Pos
+	il := p.arena.NewInitListExpr()
+	il.TypeName = typeName
+	il.Start = p.curPos()
 	p.expect(token.LBrace)
 	for !p.at(token.RBrace) && !p.at(token.EOF) {
 		il.Elems = append(il.Elems, p.parseAssignExpr())
@@ -661,7 +678,7 @@ func (p *Parser) parseBracedInit(typeName ast.QualifiedName) *ast.InitListExpr {
 			break
 		}
 	}
-	il.Stop = p.cur().End()
+	il.Stop = p.curEnd()
 	p.expect(token.RBrace)
 	return il
 }
@@ -669,10 +686,10 @@ func (p *Parser) parseBracedInit(typeName ast.QualifiedName) *ast.InitListExpr {
 // parseLambda parses [captures](params) [mutable] [-> T] { body }.
 func (p *Parser) parseLambda() ast.Expr {
 	le := &ast.LambdaExpr{}
-	le.Start = p.cur().Pos
+	le.Start = p.curPos()
 	p.expect(token.LBracket)
 	for !p.at(token.RBracket) && !p.at(token.EOF) {
-		switch p.cur().Kind {
+		switch p.curKind() {
 		case token.Amp:
 			p.next()
 			if p.at(token.Identifier) {
@@ -708,7 +725,7 @@ func (p *Parser) parseLambda() ast.Expr {
 	if p.at(token.LParen) {
 		le.Params = p.parseParamList()
 	}
-	if p.acceptWord("mutable") {
+	if p.acceptSym(kwMutable, "mutable") {
 		le.Mutable = true
 	}
 	if p.accept(token.Arrow) {

@@ -22,6 +22,9 @@ type Parser struct {
 	errs []error
 	// class stack for nested-class parenting
 	classStack []*ast.ClassDecl
+	// arena batch-allocates the AST nodes of this translation unit; the
+	// whole tree is freed in slab-sized units when the TU is dropped.
+	arena ast.Arena
 	// Obs, when non-nil, records a span + counters per Parse. The nil
 	// default is a zero-cost no-op.
 	Obs *obs.Obs
@@ -65,11 +68,83 @@ func (p *Parser) Errors() []error { return p.errs }
 
 // ------------------------------------------------------------ utilities
 
+// Pre-interned spellings for the parser's word dispatch. Matching the
+// current token against one of these is an integer compare instead of a
+// string compare (see atSym).
+var (
+	kwBreak        = token.Intern("break")
+	kwCase         = token.Intern("case")
+	kwClass        = token.Intern("class")
+	kwConst        = token.Intern("const")
+	kwConstexpr    = token.Intern("constexpr")
+	kwContinue     = token.Intern("continue")
+	kwDecltype     = token.Intern("decltype")
+	kwDefault      = token.Intern("default")
+	kwDelete       = token.Intern("delete")
+	kwDo           = token.Intern("do")
+	kwElse         = token.Intern("else")
+	kwEnum         = token.Intern("enum")
+	kwExplicit     = token.Intern("explicit")
+	kwExtern       = token.Intern("extern")
+	kwFinal        = token.Intern("final")
+	kwFor          = token.Intern("for")
+	kwFriend       = token.Intern("friend")
+	kwIf           = token.Intern("if")
+	kwInline       = token.Intern("inline")
+	kwMutable      = token.Intern("mutable")
+	kwNamespace    = token.Intern("namespace")
+	kwNew          = token.Intern("new")
+	kwNoexcept     = token.Intern("noexcept")
+	kwOperator     = token.Intern("operator")
+	kwOverride     = token.Intern("override")
+	kwPrivate      = token.Intern("private")
+	kwProtected    = token.Intern("protected")
+	kwPublic       = token.Intern("public")
+	kwReturn       = token.Intern("return")
+	kwSizeof       = token.Intern("sizeof")
+	kwStatic       = token.Intern("static")
+	kwStaticAssert = token.Intern("static_assert")
+	kwStruct       = token.Intern("struct")
+	kwSwitch       = token.Intern("switch")
+	kwTemplate     = token.Intern("template")
+	kwTypedef      = token.Intern("typedef")
+	kwTypename     = token.Intern("typename")
+	kwUnion        = token.Intern("union")
+	kwUsing        = token.Intern("using")
+	kwVirtual      = token.Intern("virtual")
+	kwVolatile     = token.Intern("volatile")
+	kwWhile        = token.Intern("while")
+)
+
 func (p *Parser) cur() token.Token {
 	if p.pos < len(p.toks) {
 		return p.toks[p.pos]
 	}
 	return token.Token{Kind: token.EOF}
+}
+
+// curKind/curPos/curEnd read a single field of the current token without
+// copying the whole Token — the parser's innermost loops dispatch on
+// these.
+func (p *Parser) curKind() token.Kind {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos].Kind
+	}
+	return token.EOF
+}
+
+func (p *Parser) curPos() token.Pos {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos].Pos
+	}
+	return token.Pos{}
+}
+
+func (p *Parser) curEnd() token.Pos {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos].End()
+	}
+	return token.Pos{}
 }
 
 func (p *Parser) peekN(n int) token.Token {
@@ -79,21 +154,52 @@ func (p *Parser) peekN(n int) token.Token {
 	return token.Token{Kind: token.EOF}
 }
 
-func (p *Parser) at(k token.Kind) bool { return p.cur().Kind == k }
+func (p *Parser) peekKind(n int) token.Kind {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n].Kind
+	}
+	return token.EOF
+}
+
+func (p *Parser) at(k token.Kind) bool {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos].Kind == k
+	}
+	return k == token.EOF
+}
 
 func (p *Parser) atWord(w string) bool { return p.cur().Is(w) }
 
-func (p *Parser) next() token.Token {
-	t := p.cur()
-	if p.pos < len(p.toks) {
-		p.pos++
+// atSym reports whether the current token is the identifier/keyword w,
+// pre-interned as sym. Lexed tokens carry their symbol, so the match is
+// one integer compare; tokens minted elsewhere (token pastes, PCH blobs,
+// hand-built tests) have no symbol and fall back to the spelling.
+func (p *Parser) atSym(sym token.Symbol, w string) bool {
+	if p.pos >= len(p.toks) {
+		return false
 	}
-	return t
+	t := &p.toks[p.pos]
+	if t.Kind != token.Keyword && t.Kind != token.Identifier {
+		return false
+	}
+	if t.Sym != token.NoSym {
+		return t.Sym == sym
+	}
+	return t.Text == w
+}
+
+func (p *Parser) next() token.Token {
+	if p.pos < len(p.toks) {
+		t := p.toks[p.pos]
+		p.pos++
+		return t
+	}
+	return token.Token{Kind: token.EOF}
 }
 
 func (p *Parser) accept(k token.Kind) bool {
 	if p.at(k) {
-		p.next()
+		p.pos++
 		return true
 	}
 	return false
@@ -102,6 +208,14 @@ func (p *Parser) accept(k token.Kind) bool {
 func (p *Parser) acceptWord(w string) bool {
 	if p.atWord(w) {
 		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) acceptSym(sym token.Symbol, w string) bool {
+	if p.atSym(sym, w) {
+		p.pos++
 		return true
 	}
 	return false
@@ -116,7 +230,7 @@ func (p *Parser) expect(k token.Kind) token.Token {
 }
 
 func (p *Parser) errorf(format string, args ...any) {
-	p.errs = append(p.errs, fmt.Errorf("%s: %s", p.cur().Pos, fmt.Sprintf(format, args...)))
+	p.errs = append(p.errs, fmt.Errorf("%s: %s", p.curPos(), fmt.Sprintf(format, args...)))
 }
 
 // splitShr turns the current '>>' token into '>' so nested template
@@ -145,7 +259,7 @@ func (p *Parser) splitShr() {
 func (p *Parser) skipBalanced(open, close token.Kind) {
 	depth := 0
 	for !p.at(token.EOF) {
-		switch p.cur().Kind {
+		switch p.curKind() {
 		case open:
 			depth++
 		case close:
@@ -164,7 +278,7 @@ func (p *Parser) skipBalanced(open, close token.Kind) {
 func (p *Parser) skipToRecovery() {
 	depth := 0
 	for !p.at(token.EOF) {
-		switch p.cur().Kind {
+		switch p.curKind() {
 		case token.LBrace:
 			depth++
 		case token.RBrace:
@@ -193,21 +307,21 @@ func (p *Parser) parseDecl() ast.Decl {
 	case p.at(token.Semi):
 		p.next()
 		return nil
-	case p.atWord("namespace"):
+	case p.atSym(kwNamespace, "namespace"):
 		return p.parseNamespace()
-	case p.atWord("template"):
+	case p.atSym(kwTemplate, "template"):
 		return p.parseTemplated()
-	case p.atWord("class") || p.atWord("struct") || p.atWord("union"):
+	case p.atSym(kwClass, "class") || p.atSym(kwStruct, "struct") || p.atSym(kwUnion, "union"):
 		return p.parseClassOrVar(nil)
-	case p.atWord("enum"):
+	case p.atSym(kwEnum, "enum"):
 		return p.parseEnum()
-	case p.atWord("using"):
+	case p.atSym(kwUsing, "using"):
 		return p.parseUsing()
-	case p.atWord("typedef"):
+	case p.atSym(kwTypedef, "typedef"):
 		return p.parseTypedef()
-	case p.atWord("static_assert"):
+	case p.atSym(kwStaticAssert, "static_assert"):
 		return p.parseStaticAssert()
-	case p.atWord("extern"):
+	case p.atSym(kwExtern, "extern"):
 		// extern "C" { ... } or extern declaration
 		save := p.pos
 		p.next()
@@ -217,14 +331,14 @@ func (p *Parser) parseDecl() ast.Decl {
 				// Treat as a transparent block: parse decls inline by
 				// flattening into a namespace with empty name.
 				ns := &ast.NamespaceDecl{}
-				ns.Start = p.cur().Pos
+				ns.Start = p.curPos()
 				p.next()
 				for !p.at(token.RBrace) && !p.at(token.EOF) {
 					if d := p.parseDecl(); d != nil {
 						ns.Decls = append(ns.Decls, d)
 					}
 				}
-				ns.Stop = p.cur().Pos
+				ns.Stop = p.curPos()
 				p.expect(token.RBrace)
 				return ns
 			}
@@ -232,7 +346,7 @@ func (p *Parser) parseDecl() ast.Decl {
 		}
 		p.pos = save
 		return p.parseFunctionOrVariable(nil)
-	case p.atWord("friend"):
+	case p.atSym(kwFriend, "friend"):
 		// Friend declarations are irrelevant to the analysis; skip.
 		p.skipToRecovery()
 		return nil
@@ -241,7 +355,7 @@ func (p *Parser) parseDecl() ast.Decl {
 }
 
 func (p *Parser) parseNamespace() ast.Decl {
-	start := p.cur().Pos
+	start := p.curPos()
 	p.next() // namespace
 	ns := &ast.NamespaceDecl{}
 	ns.Start = start
@@ -260,8 +374,8 @@ func (p *Parser) parseNamespace() ast.Decl {
 				inner.Decls = append(inner.Decls, d)
 			}
 		}
-		inner.Stop = p.cur().Pos
-		ns.Stop = p.cur().Pos
+		inner.Stop = p.curPos()
+		ns.Stop = p.curPos()
 		p.expect(token.RBrace)
 		return ns
 	}
@@ -271,7 +385,7 @@ func (p *Parser) parseNamespace() ast.Decl {
 			ns.Decls = append(ns.Decls, d)
 		}
 	}
-	ns.Stop = p.cur().Pos
+	ns.Stop = p.curPos()
 	p.expect(token.RBrace)
 	return ns
 }
@@ -279,20 +393,20 @@ func (p *Parser) parseNamespace() ast.Decl {
 // parseTemplated handles template<...> class/function declarations and
 // explicit instantiations (`template` not followed by `<`).
 func (p *Parser) parseTemplated() ast.Decl {
-	start := p.cur().Pos
+	start := p.curPos()
 	p.next() // template
 	if !p.at(token.Less) {
 		return p.parseExplicitInstantiation(start)
 	}
 	params := p.parseTemplateParams()
 	switch {
-	case p.atWord("class") || p.atWord("struct") || p.atWord("union"):
+	case p.atSym(kwClass, "class") || p.atSym(kwStruct, "struct") || p.atSym(kwUnion, "union"):
 		d := p.parseClassOrVar(params)
 		if c, ok := d.(*ast.ClassDecl); ok {
 			c.Start = start
 		}
 		return d
-	case p.atWord("using"):
+	case p.atSym(kwUsing, "using"):
 		// alias template: template<...> using X = ...;
 		d := p.parseUsing()
 		return d
@@ -315,16 +429,16 @@ func (p *Parser) parseTemplateParams() []ast.TemplateParam {
 		}
 		var tp ast.TemplateParam
 		switch {
-		case p.atWord("typename") || p.atWord("class"):
+		case p.atSym(kwTypename, "typename") || p.atSym(kwClass, "class"):
 			tp.Kind = p.next().Text
 			// template-template params: template<class> class X
 			if p.at(token.Less) {
 				p.skipBalanced(token.Less, token.Greater)
 			}
-		case p.atWord("template"):
+		case p.atSym(kwTemplate, "template"):
 			p.next()
 			p.skipBalanced(token.Less, token.Greater)
-			if p.atWord("class") || p.atWord("typename") {
+			if p.atSym(kwClass, "class") || p.atSym(kwTypename, "typename") {
 				p.next()
 			}
 			tp.Kind = "template"
@@ -349,7 +463,7 @@ func (p *Parser) parseTemplateParams() []ast.TemplateParam {
 			depth := 0
 			var def []string
 			for !p.at(token.EOF) {
-				k := p.cur().Kind
+				k := p.curKind()
 				if depth == 0 && (k == token.Comma || k == token.Greater || k == token.Shr) {
 					break
 				}
@@ -385,7 +499,7 @@ func (p *Parser) parseTemplateParams() []ast.TemplateParam {
 func (p *Parser) parseExplicitInstantiation(start token.Pos) ast.Decl {
 	ei := &ast.ExplicitInstantiation{}
 	ei.Start = start
-	if p.atWord("class") || p.atWord("struct") {
+	if p.atSym(kwClass, "class") || p.atSym(kwStruct, "struct") {
 		ei.IsClass = true
 		p.next()
 		n, ok := p.tryParseQualifiedName(true)
@@ -395,7 +509,7 @@ func (p *Parser) parseExplicitInstantiation(start token.Pos) ast.Decl {
 			return nil
 		}
 		ei.Name = n
-		ei.Stop = p.cur().Pos
+		ei.Stop = p.curPos()
 		p.expect(token.Semi)
 		return ei
 	}
@@ -416,7 +530,7 @@ func (p *Parser) parseExplicitInstantiation(start token.Pos) ast.Decl {
 	if p.at(token.LParen) {
 		ei.Params = p.parseParamList()
 	}
-	ei.Stop = p.cur().Pos
+	ei.Stop = p.curPos()
 	p.expect(token.Semi)
 	return ei
 }
@@ -425,7 +539,7 @@ func (p *Parser) parseExplicitInstantiation(start token.Pos) ast.Decl {
 // `struct X { } x;` by ignoring the trailing declarator (not used in the
 // corpora).
 func (p *Parser) parseClassOrVar(tparams []ast.TemplateParam) ast.Decl {
-	start := p.cur().Pos
+	start := p.curPos()
 	kw := p.next().Text
 	c := &ast.ClassDecl{Keyword: kw, TemplateParams: tparams}
 	c.Start = start
@@ -439,10 +553,10 @@ func (p *Parser) parseClassOrVar(tparams []ast.TemplateParam) ast.Decl {
 	if p.accept(token.Colon) {
 		// base clause
 		for {
-			p.acceptWord("public")
-			p.acceptWord("private")
-			p.acceptWord("protected")
-			p.acceptWord("virtual")
+			p.acceptSym(kwPublic, "public")
+			p.acceptSym(kwPrivate, "private")
+			p.acceptSym(kwProtected, "protected")
+			p.acceptSym(kwVirtual, "virtual")
 			if n, ok := p.tryParseQualifiedName(true); ok {
 				c.Bases = append(c.Bases, n)
 			} else {
@@ -467,15 +581,15 @@ func (p *Parser) parseClassOrVar(tparams []ast.TemplateParam) ast.Decl {
 		}
 		for !p.at(token.RBrace) && !p.at(token.EOF) {
 			switch {
-			case p.atWord("public"):
+			case p.atSym(kwPublic, "public"):
 				p.next()
 				p.expect(token.Colon)
 				access = ast.Public
-			case p.atWord("private"):
+			case p.atSym(kwPrivate, "private"):
 				p.next()
 				p.expect(token.Colon)
 				access = ast.Private
-			case p.atWord("protected"):
+			case p.atSym(kwProtected, "protected"):
 				p.next()
 				p.expect(token.Colon)
 				access = ast.Protected
@@ -489,7 +603,7 @@ func (p *Parser) parseClassOrVar(tparams []ast.TemplateParam) ast.Decl {
 		p.classStack = p.classStack[:len(p.classStack)-1]
 		p.expect(token.RBrace)
 	}
-	c.Stop = p.cur().Pos
+	c.Stop = p.curPos()
 	p.expect(token.Semi)
 	return c
 }
@@ -501,7 +615,7 @@ func (p *Parser) parseMember(c *ast.ClassDecl, access ast.AccessSpec) ast.Decl {
 	case p.at(token.Semi):
 		p.next()
 		return nil
-	case p.atWord("template"):
+	case p.atSym(kwTemplate, "template"):
 		d := p.parseTemplated()
 		if f, ok := d.(*ast.FunctionDecl); ok {
 			f.Class = c
@@ -511,21 +625,21 @@ func (p *Parser) parseMember(c *ast.ClassDecl, access ast.AccessSpec) ast.Decl {
 			nc.Parent = c
 		}
 		return d
-	case p.atWord("class") || p.atWord("struct") || p.atWord("union"):
+	case p.atSym(kwClass, "class") || p.atSym(kwStruct, "struct") || p.atSym(kwUnion, "union"):
 		d := p.parseClassOrVar(nil)
 		if nc, ok := d.(*ast.ClassDecl); ok {
 			nc.Parent = c
 		}
 		return d
-	case p.atWord("enum"):
+	case p.atSym(kwEnum, "enum"):
 		return p.parseEnum()
-	case p.atWord("using"):
+	case p.atSym(kwUsing, "using"):
 		return p.parseUsing()
-	case p.atWord("typedef"):
+	case p.atSym(kwTypedef, "typedef"):
 		return p.parseTypedef()
-	case p.atWord("static_assert"):
+	case p.atSym(kwStaticAssert, "static_assert"):
 		return p.parseStaticAssert()
-	case p.atWord("friend"):
+	case p.atSym(kwFriend, "friend"):
 		p.skipToRecovery()
 		return nil
 	}
@@ -534,17 +648,17 @@ func (p *Parser) parseMember(c *ast.ClassDecl, access ast.AccessSpec) ast.Decl {
 	var isStatic, isVirtual, isInline, isConstexpr, isMutable bool
 	for {
 		switch {
-		case p.acceptWord("static"):
+		case p.acceptSym(kwStatic, "static"):
 			isStatic = true
-		case p.acceptWord("virtual"):
+		case p.acceptSym(kwVirtual, "virtual"):
 			isVirtual = true
-		case p.acceptWord("inline"):
+		case p.acceptSym(kwInline, "inline"):
 			isInline = true
-		case p.acceptWord("constexpr"):
+		case p.acceptSym(kwConstexpr, "constexpr"):
 			isConstexpr = true
-		case p.acceptWord("mutable"):
+		case p.acceptSym(kwMutable, "mutable"):
 			isMutable = true
-		case p.acceptWord("explicit"):
+		case p.acceptSym(kwExplicit, "explicit"):
 		default:
 			goto specdone
 		}
@@ -556,18 +670,20 @@ specdone:
 	if p.at(token.Tilde) {
 		p.next()
 		name := "~" + p.expect(token.Identifier).Text
-		f := &ast.FunctionDecl{Name: name, Class: c, Access: access}
+		f := p.arena.NewFunctionDecl()
+		f.Name, f.Class, f.Access = name, c, access
 		f.Start = p.toks[start].Pos
-		f.NamePos = p.cur().Pos
+		f.NamePos = p.curPos()
 		f.Params = p.parseParamList()
 		p.finishFunction(f)
 		return f
 	}
 
 	// Constructor: Name(...) where Name == class name and next is '('.
-	if p.at(token.Identifier) && p.cur().Text == c.Name && p.peekN(1).Kind == token.LParen {
+	if p.at(token.Identifier) && p.cur().Text == c.Name && p.peekKind(1) == token.LParen {
 		name := p.next().Text
-		f := &ast.FunctionDecl{Name: name, Class: c, Access: access}
+		f := p.arena.NewFunctionDecl()
+		f.Name, f.Class, f.Access = name, c, access
 		f.Start = p.toks[start].Pos
 		f.Params = p.parseParamList()
 		p.finishFunction(f)
@@ -582,7 +698,7 @@ specdone:
 		return nil
 	}
 	// operator overload
-	if p.atWord("operator") {
+	if p.atSym(kwOperator, "operator") {
 		f := p.parseOperatorFunction(t)
 		f.Class = c
 		f.Access = access
@@ -595,11 +711,12 @@ specdone:
 		p.skipToRecovery()
 		return nil
 	}
-	namePos := p.cur().Pos
+	namePos := p.curPos()
 	name := p.next().Text
 	if p.at(token.LParen) {
-		f := &ast.FunctionDecl{Name: name, ReturnType: t, Class: c, Access: access,
-			Static: isStatic, Virtual: isVirtual, Inline: isInline, Constexpr: isConstexpr}
+		f := p.arena.NewFunctionDecl()
+		f.Name, f.ReturnType, f.Class, f.Access = name, t, c, access
+		f.Static, f.Virtual, f.Inline, f.Constexpr = isStatic, isVirtual, isInline, isConstexpr
 		f.Start = p.toks[start].Pos
 		f.NamePos = namePos
 		f.Params = p.parseParamList()
@@ -607,7 +724,8 @@ specdone:
 		return f
 	}
 	// Field (possibly with array suffix / initializer).
-	fd := &ast.FieldDecl{Name: name, Type: t, Access: access, Static: isStatic}
+	fd := p.arena.NewFieldDecl()
+	fd.Name, fd.Type, fd.Access, fd.Static = name, t, access, isStatic
 	fd.Start = p.toks[start].Pos
 	for p.at(token.LBracket) {
 		p.skipBalanced(token.LBracket, token.RBracket)
@@ -617,7 +735,7 @@ specdone:
 	} else if p.at(token.LBrace) {
 		fd.Init = p.parseBracedInit(ast.QualifiedName{})
 	}
-	fd.Stop = p.cur().Pos
+	fd.Stop = p.curPos()
 	p.expect(token.Semi)
 	return fd
 }
@@ -628,13 +746,13 @@ specdone:
 func (p *Parser) finishFunction(f *ast.FunctionDecl) {
 	for {
 		switch {
-		case p.acceptWord("const"):
+		case p.acceptSym(kwConst, "const"):
 			f.Const = true
-		case p.acceptWord("noexcept"):
+		case p.acceptSym(kwNoexcept, "noexcept"):
 			if p.at(token.LParen) {
 				p.skipBalanced(token.LParen, token.RParen)
 			}
-		case p.atWord("override") || p.atWord("final"):
+		case p.atSym(kwOverride, "override") || p.atSym(kwFinal, "final"):
 			p.next()
 		case p.at(token.Amp) || p.at(token.AmpAmp):
 			p.next()
@@ -649,7 +767,7 @@ done:
 	if p.accept(token.Assign) {
 		// = default / = delete / = 0
 		p.next()
-		f.Stop = p.cur().Pos
+		f.Stop = p.curPos()
 		p.expect(token.Semi)
 		return
 	}
@@ -673,20 +791,20 @@ done:
 		p.accept(token.Semi)
 		return
 	}
-	f.Stop = p.cur().Pos
+	f.Stop = p.curPos()
 	p.expect(token.Semi)
 }
 
 // parseOperatorFunction parses `operator <spelling> (params)...` with the
 // return type already parsed.
 func (p *Parser) parseOperatorFunction(ret *ast.Type) *ast.FunctionDecl {
-	opPos := p.cur().Pos
+	opPos := p.curPos()
 	p.next() // operator
 	spell := ""
-	switch p.cur().Kind {
+	switch p.curKind() {
 	case token.LParen:
 		// operator()
-		if p.peekN(1).Kind == token.RParen {
+		if p.peekKind(1) == token.RParen {
 			p.next()
 			p.next()
 			spell = "()"
@@ -699,12 +817,11 @@ func (p *Parser) parseOperatorFunction(ret *ast.Type) *ast.FunctionDecl {
 		// single punctuator operator: +, -, ==, +=, <<, etc.
 		spell = p.next().Text
 	}
-	f := &ast.FunctionDecl{
-		Name:          "operator" + spell,
-		ReturnType:    ret,
-		IsOperator:    true,
-		OperatorSpell: spell,
-	}
+	f := p.arena.NewFunctionDecl()
+	f.Name = "operator" + spell
+	f.ReturnType = ret
+	f.IsOperator = true
+	f.OperatorSpell = spell
 	f.NamePos = opPos
 	f.Start = opPos
 	f.Params = p.parseParamList()
@@ -750,11 +867,11 @@ func (p *Parser) parseParamList() []ast.ParamDecl {
 }
 
 func (p *Parser) parseEnum() ast.Decl {
-	start := p.cur().Pos
+	start := p.curPos()
 	p.next() // enum
 	e := &ast.EnumDecl{}
 	e.Start = start
-	if p.acceptWord("class") || p.acceptWord("struct") {
+	if p.acceptSym(kwClass, "class") || p.acceptSym(kwStruct, "struct") {
 		e.Scoped = true
 	}
 	if p.at(token.Identifier) {
@@ -780,25 +897,25 @@ func (p *Parser) parseEnum() ast.Decl {
 		}
 		p.expect(token.RBrace)
 	}
-	e.Stop = p.cur().Pos
+	e.Stop = p.curPos()
 	p.expect(token.Semi)
 	return e
 }
 
 func (p *Parser) parseUsing() ast.Decl {
-	start := p.cur().Pos
+	start := p.curPos()
 	p.next() // using
-	if p.acceptWord("namespace") {
+	if p.acceptSym(kwNamespace, "namespace") {
 		u := &ast.UsingDecl{IsNamespace: true}
 		u.Start = start
 		n, _ := p.tryParseQualifiedName(false)
 		u.Name = n
-		u.Stop = p.cur().Pos
+		u.Stop = p.curPos()
 		p.expect(token.Semi)
 		return u
 	}
 	// `using X = type;` vs `using N::X;`
-	if p.at(token.Identifier) && p.peekN(1).Kind == token.Assign {
+	if p.at(token.Identifier) && p.peekKind(1) == token.Assign {
 		a := &ast.AliasDecl{Name: p.next().Text}
 		a.Start = start
 		p.expect(token.Assign)
@@ -808,7 +925,7 @@ func (p *Parser) parseUsing() ast.Decl {
 			p.skipToRecovery()
 			return a
 		}
-		a.Stop = p.cur().Pos
+		a.Stop = p.curPos()
 		p.expect(token.Semi)
 		return a
 	}
@@ -821,13 +938,13 @@ func (p *Parser) parseUsing() ast.Decl {
 		return nil
 	}
 	u.Name = n
-	u.Stop = p.cur().Pos
+	u.Stop = p.curPos()
 	p.expect(token.Semi)
 	return u
 }
 
 func (p *Parser) parseTypedef() ast.Decl {
-	start := p.cur().Pos
+	start := p.curPos()
 	p.next() // typedef
 	t := p.tryParseType()
 	if t == nil {
@@ -840,13 +957,13 @@ func (p *Parser) parseTypedef() ast.Decl {
 	if p.at(token.Identifier) {
 		a.Name = p.next().Text
 	}
-	a.Stop = p.cur().Pos
+	a.Stop = p.curPos()
 	p.expect(token.Semi)
 	return a
 }
 
 func (p *Parser) parseStaticAssert() ast.Decl {
-	start := p.cur().Pos
+	start := p.curPos()
 	p.next()
 	sa := &ast.StaticAssertDecl{}
 	sa.Start = start
@@ -856,7 +973,7 @@ func (p *Parser) parseStaticAssert() ast.Decl {
 		p.parseAssignExpr() // message
 	}
 	p.expect(token.RParen)
-	sa.Stop = p.cur().Pos
+	sa.Stop = p.curPos()
 	p.expect(token.Semi)
 	return sa
 }
@@ -868,13 +985,13 @@ func (p *Parser) parseFunctionOrVariable(tparams []ast.TemplateParam) ast.Decl {
 	var isStatic, isInline, isConstexpr bool
 	for {
 		switch {
-		case p.acceptWord("static"):
+		case p.acceptSym(kwStatic, "static"):
 			isStatic = true
-		case p.acceptWord("inline"):
+		case p.acceptSym(kwInline, "inline"):
 			isInline = true
-		case p.acceptWord("constexpr"):
+		case p.acceptSym(kwConstexpr, "constexpr"):
 			isConstexpr = true
-		case p.acceptWord("extern"):
+		case p.acceptSym(kwExtern, "extern"):
 		default:
 			goto specdone
 		}
@@ -886,7 +1003,7 @@ specdone:
 		p.skipToRecovery()
 		return nil
 	}
-	if p.atWord("operator") {
+	if p.atSym(kwOperator, "operator") {
 		// free operator overload
 		f := p.parseOperatorFunction(t)
 		f.TemplateParams = tparams
@@ -914,7 +1031,7 @@ specdone:
 		}
 		return f
 	}
-	if p.atWord("operator") {
+	if p.atSym(kwOperator, "operator") {
 		f := p.parseOperatorFunction(t)
 		f.QualifierName = name
 		f.TemplateParams = tparams
@@ -930,11 +1047,10 @@ specdone:
 	// Function template explicit args on declarator: f<int>(...) appears
 	// in explicit specializations `template<> int g_add<int>(...)`.
 	if p.at(token.LParen) {
-		f := &ast.FunctionDecl{
-			Name: simple, QualifierName: qual, ReturnType: t,
-			TemplateParams: tparams,
-			Static:         isStatic, Inline: isInline, Constexpr: isConstexpr,
-		}
+		f := p.arena.NewFunctionDecl()
+		f.Name, f.QualifierName, f.ReturnType = simple, qual, t
+		f.TemplateParams = tparams
+		f.Static, f.Inline, f.Constexpr = isStatic, isInline, isConstexpr
 		if start < len(p.toks) {
 			f.Start = p.toks[start].Pos
 		}
@@ -944,7 +1060,8 @@ specdone:
 	}
 
 	// Variable declaration.
-	v := &ast.VarDecl{Name: simple, Type: t, Static: isStatic}
+	v := p.arena.NewVarDecl()
+	v.Name, v.Type, v.Static = simple, t, isStatic
 	if start < len(p.toks) {
 		v.Start = p.toks[start].Pos
 	}
@@ -957,7 +1074,7 @@ specdone:
 		init := p.parseBracedInit(ast.QualifiedName{})
 		v.Init = init
 	}
-	v.Stop = p.cur().Pos
+	v.Stop = p.curPos()
 	p.expect(token.Semi)
 	return v
 }

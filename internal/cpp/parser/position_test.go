@@ -138,7 +138,7 @@ func auditPositions(t *testing.T, tu *ast.TranslationUnit) {
 		}
 		pos := n.Pos()
 		switch {
-		case pos.File == "":
+		case pos.FileName() == "":
 			report(t, &bad, n, "empty file")
 		case pos.Line <= 0:
 			report(t, &bad, n, fmt.Sprintf("line %d", pos.Line))

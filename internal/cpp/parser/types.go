@@ -16,19 +16,56 @@ var builtinCombinable = map[string]bool{
 	"char8_t": true, "char16_t": true, "char32_t": true,
 }
 
+// combinableSyms is builtinCombinable keyed by interned symbol: a dense
+// bool table indexed by Symbol, sized to the largest member. All members
+// are keywords, so the table is small and fixed at init.
+var combinableSyms = func() []bool {
+	max := token.Symbol(0)
+	syms := make([]token.Symbol, 0, len(builtinCombinable))
+	for w := range builtinCombinable {
+		s := token.Intern(w)
+		syms = append(syms, s)
+		if s > max {
+			max = s
+		}
+	}
+	out := make([]bool, max+1)
+	for _, s := range syms {
+		out[s] = true
+	}
+	return out
+}()
+
+// atCombinable reports whether the current token is a combinable builtin
+// type keyword, preferring the symbol table over the string map.
+func (p *Parser) atCombinable() bool {
+	if p.pos >= len(p.toks) {
+		return false
+	}
+	t := &p.toks[p.pos]
+	if t.Kind != token.Keyword {
+		return false
+	}
+	if t.Sym != token.NoSym {
+		return int(t.Sym) < len(combinableSyms) && combinableSyms[t.Sym]
+	}
+	return builtinCombinable[t.Text]
+}
+
 // tryParseType attempts to parse a type at the cursor, returning nil
 // (with the cursor restored) if the tokens do not form a type.
 func (p *Parser) tryParseType() *ast.Type {
 	save := p.pos
-	t := &ast.Type{PosStart: p.cur().Pos}
+	t := p.arena.NewType()
+	t.PosStart = p.curPos()
 
 	for {
 		switch {
-		case p.acceptWord("const"):
+		case p.acceptSym(kwConst, "const"):
 			t.Const = true
-		case p.acceptWord("volatile"):
+		case p.acceptSym(kwVolatile, "volatile"):
 			t.Volatile = true
-		case p.acceptWord("typename") || p.acceptWord("struct") || p.acceptWord("class"):
+		case p.acceptSym(kwTypename, "typename") || p.acceptSym(kwStruct, "struct") || p.acceptSym(kwClass, "class"):
 			// elaborated type specifier / dependent-name marker
 		default:
 			goto qualsdone
@@ -37,18 +74,25 @@ func (p *Parser) tryParseType() *ast.Type {
 qualsdone:
 
 	switch {
-	case p.at(token.Keyword) && builtinCombinable[p.cur().Text]:
-		var parts []string
-		for p.at(token.Keyword) && builtinCombinable[p.cur().Text] {
-			parts = append(parts, p.next().Text)
+	case p.atCombinable():
+		first := p.next().Text
+		if p.atCombinable() {
+			parts := []string{first}
+			for p.atCombinable() {
+				parts = append(parts, p.next().Text)
+			}
+			t.Name = p.arena.QN1(strings.Join(parts, " "))
+		} else {
+			// Single-keyword builtins (int, double, void, ...) dominate;
+			// skip the join and share the keyword's spelling.
+			t.Name = p.arena.QN1(first)
 		}
-		t.Name = ast.QN(strings.Join(parts, " "))
 		t.Builtin = true
-	case p.atWord("decltype"):
+	case p.atSym(kwDecltype, "decltype"):
 		p.next()
-		start := p.cur().Pos
+		start := p.curPos()
 		p.skipBalanced(token.LParen, token.RParen)
-		t.Name = ast.QN("decltype")
+		t.Name = p.arena.QN1("decltype")
 		_ = start
 	case p.at(token.Identifier):
 		n, ok := p.tryParseQualifiedName(true)
@@ -65,9 +109,9 @@ qualsdone:
 	// const can also follow the type name (east const).
 	for {
 		switch {
-		case p.acceptWord("const"):
+		case p.acceptSym(kwConst, "const"):
 			t.Const = true
-		case p.acceptWord("volatile"):
+		case p.acceptSym(kwVolatile, "volatile"):
 			t.Volatile = true
 		default:
 			goto postquals
@@ -76,11 +120,11 @@ qualsdone:
 postquals:
 
 	for {
-		switch p.cur().Kind {
+		switch p.curKind() {
 		case token.Star:
 			p.next()
 			t.Pointer++
-			p.acceptWord("const") // T* const
+			p.acceptSym(kwConst, "const") // T* const
 		case token.Amp:
 			p.next()
 			t.LValueRef = true
@@ -94,7 +138,7 @@ postquals:
 		}
 	}
 done:
-	t.PosEnd = p.cur().Pos
+	t.PosEnd = p.curPos()
 	return t
 }
 
@@ -107,6 +151,11 @@ func (p *Parser) tryParseQualifiedName(allowTrailingArgs bool) (ast.QualifiedNam
 	if !p.at(token.Identifier) {
 		return q, false
 	}
+	// Fast path: a single unqualified identifier with no template args —
+	// the overwhelmingly common shape. One arena-backed segment, no loop.
+	if k := p.peekKind(1); k != token.Less && k != token.ColonCol {
+		return p.arena.QN1(p.next().Text), true
+	}
 	for {
 		seg := ast.NameSegment{Name: p.expect(token.Identifier).Text}
 		if p.at(token.Less) {
@@ -115,7 +164,7 @@ func (p *Parser) tryParseQualifiedName(allowTrailingArgs bool) (ast.QualifiedNam
 			}
 		}
 		q.Segments = append(q.Segments, seg)
-		if p.at(token.ColonCol) && p.peekN(1).Kind == token.Identifier {
+		if p.at(token.ColonCol) && p.peekKind(1) == token.Identifier {
 			p.next()
 			continue
 		}

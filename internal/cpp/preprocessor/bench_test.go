@@ -35,6 +35,7 @@ class C_%d { int v; };
 
 func BenchmarkPreprocess(b *testing.B) {
 	fs := benchFS()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pp := New(fs, "lib")
@@ -53,6 +54,7 @@ int CAT(foo, bar) = 0;
 const char* s = STR(hello world);
 int r = APPLY(func, 1, 2, 3);
 `)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pp := New(fs)

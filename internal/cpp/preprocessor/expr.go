@@ -19,7 +19,7 @@ func (pp *Preprocessor) evalCondition(toks []token.Token) (bool, error) {
 		return false, err
 	}
 	pp.suppressUses++
-	expanded := pp.expand(resolved, map[string]bool{})
+	expanded := pp.expand(resolved, pp.hideRoot())
 	pp.suppressUses--
 	p := &condParser{toks: expanded}
 	v, err := p.parseTernary()
@@ -97,7 +97,7 @@ func (pp *Preprocessor) resolveHasInclude(toks []token.Token, i int, tk token.To
 	target, angled, ok := parseIncludeTarget(inner)
 	val := "0"
 	if ok {
-		if _, found := pp.resolveInclude(target, angled, tk.Pos.File); found {
+		if _, found := pp.resolveInclude(target, angled, tk.Pos.File.Name()); found {
 			val = "1"
 		}
 	}

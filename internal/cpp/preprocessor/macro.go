@@ -7,11 +7,31 @@ import (
 	"repro/internal/cpp/token"
 )
 
+// Pre-interned symbols used on the expansion hot path.
+var (
+	symFILE    = token.Intern("__FILE__")
+	symLINE    = token.Intern("__LINE__")
+	symCOUNTER = token.Intern("__COUNTER__")
+	symVAARGS  = token.Intern("__VA_ARGS__")
+)
+
+// symOf returns the token's interned symbol. Tokens produced by the lexer
+// carry one already; tokens built elsewhere (token pastes, hand-assembled
+// tests) are interned on first sight.
+func symOf(tk token.Token) token.Symbol {
+	if tk.Sym != token.NoSym || tk.Text == "" {
+		return tk.Sym
+	}
+	return token.Intern(tk.Text)
+}
+
 // Macro is a preprocessor macro definition.
 type Macro struct {
 	Name         string
+	Sym          token.Symbol // interned Name
 	FunctionLike bool
 	Params       []string
+	ParamSyms    []token.Symbol
 	Variadic     bool
 	Body         []token.Token
 	Pos          token.Pos
@@ -37,19 +57,51 @@ func (m *Macro) SameDefinition(o *Macro) bool {
 	return true
 }
 
-// macroTable holds the active macro definitions.
+// macroTable holds the active macro definitions, keyed by interned name
+// so the per-identifier lookup in expand hashes a machine word instead of
+// a string.
 type macroTable struct {
-	defs map[string]*Macro
+	defs map[token.Symbol]*Macro
 }
 
 func newMacroTable() *macroTable {
-	return &macroTable{defs: make(map[string]*Macro)}
+	return &macroTable{defs: make(map[token.Symbol]*Macro)}
 }
 
-func (t *macroTable) define(m *Macro)         { t.defs[m.Name] = m }
-func (t *macroTable) undef(name string)       { delete(t.defs, name) }
-func (t *macroTable) lookup(n string) *Macro  { return t.defs[n] }
-func (t *macroTable) isDefined(n string) bool { return t.defs[n] != nil }
+func (t *macroTable) define(m *Macro)                    { t.defs[m.Sym] = m }
+func (t *macroTable) undefSym(sym token.Symbol)          { delete(t.defs, sym) }
+func (t *macroTable) lookupSym(sym token.Symbol) *Macro  { return t.defs[sym] }
+func (t *macroTable) isDefinedSym(sym token.Symbol) bool { return t.defs[sym] != nil }
+func (t *macroTable) lookup(n string) *Macro {
+	sym, ok := token.LookupSym(n)
+	if !ok {
+		return nil
+	}
+	return t.defs[sym]
+}
+func (t *macroTable) isDefined(n string) bool { return t.lookup(n) != nil }
+
+// hidden reports whether sym is in the hide set. The set is a small
+// stack-like slice (its depth is the macro nesting depth), so a linear
+// scan of machine words beats a map by a wide margin.
+func hidden(hide []token.Symbol, sym token.Symbol) bool {
+	for _, h := range hide {
+		if h == sym {
+			return true
+		}
+	}
+	return false
+}
+
+// hideRoot returns the reusable empty hide set for a fresh top-level
+// expansion. Nested expansions append to it with value semantics, so the
+// backing array is shared across the whole Preprocess without clearing.
+func (pp *Preprocessor) hideRoot() []token.Symbol {
+	if pp.hideScratch == nil {
+		pp.hideScratch = make([]token.Symbol, 0, 64)
+	}
+	return pp.hideScratch[:0]
+}
 
 // expand macro-expands toks. hide tracks macro names currently being
 // expanded to stop recursion, per the standard's no-rescan rule.
@@ -58,10 +110,22 @@ func (t *macroTable) isDefined(n string) bool { return t.defs[n] != nil }
 // (it may be a shared cached stream, so callers must treat the result
 // as read-only either way). Most token runs in real headers contain no
 // macro invocations, and skipping the copy there is a large win.
-func (pp *Preprocessor) expand(toks []token.Token, hide map[string]bool) []token.Token {
+func (pp *Preprocessor) expand(toks []token.Token, hide []token.Symbol) []token.Token {
+	defs := pp.macros.defs
 	first := -1
-	for i, tk := range toks {
-		if tk.Kind == token.Identifier && !hide[tk.Text] && pp.mayExpand(tk.Text) {
+	for i := range toks {
+		tk := &toks[i]
+		if tk.Kind != token.Identifier {
+			continue
+		}
+		sym := tk.Sym
+		if sym == token.NoSym {
+			sym = symOf(*tk)
+		}
+		if hidden(hide, sym) {
+			continue
+		}
+		if sym == symFILE || sym == symLINE || sym == symCOUNTER || defs[sym] != nil {
 			first = i
 			break
 		}
@@ -74,22 +138,30 @@ func (pp *Preprocessor) expand(toks []token.Token, hide map[string]bool) []token
 	toks = toks[first:]
 	for i := 0; i < len(toks); i++ {
 		tk := toks[i]
-		if tk.Kind != token.Identifier || hide[tk.Text] {
+		if tk.Kind != token.Identifier {
 			out = append(out, tk)
 			continue
 		}
-		if b, ok := pp.builtinMacro(tk); ok {
-			out = append(out, b)
+		sym := tk.Sym
+		if sym == token.NoSym {
+			sym = symOf(tk)
+		}
+		if hidden(hide, sym) {
+			out = append(out, tk)
 			continue
 		}
-		m := pp.macros.lookup(tk.Text)
+		if sym == symFILE || sym == symLINE || sym == symCOUNTER {
+			out = append(out, pp.builtinMacro(tk, sym))
+			continue
+		}
+		m := defs[sym]
 		if m == nil {
 			out = append(out, tk)
 			continue
 		}
 		if !m.FunctionLike {
 			pp.noteUse(tk, m)
-			sub := pp.expandWith(m.Body, hide, m.Name)
+			sub := pp.expandWith(m.Body, hide, m.Sym)
 			out = append(out, sub...)
 			continue
 		}
@@ -112,78 +184,57 @@ func (pp *Preprocessor) expand(toks []token.Token, hide map[string]bool) []token
 			pp.errorf(tk.Pos, "%v", err)
 			continue
 		}
-		out = append(out, pp.expandWith(body, hide, m.Name)...)
+		out = append(out, pp.expandWith(body, hide, m.Sym)...)
 	}
 	return out
 }
 
-func (pp *Preprocessor) expandWith(toks []token.Token, hide map[string]bool, name string) []token.Token {
-	hide[name] = true
-	res := pp.expand(toks, hide)
-	delete(hide, name)
-	return res
+func (pp *Preprocessor) expandWith(toks []token.Token, hide []token.Symbol, sym token.Symbol) []token.Token {
+	return pp.expand(toks, append(hide, sym))
 }
 
 // builtinMacro expands the standard predefined macros __FILE__,
-// __LINE__, and __COUNTER__.
-// mayExpand reports whether an identifier could produce expansion
-// output different from itself: a builtin or a defined macro.
-func (pp *Preprocessor) mayExpand(name string) bool {
-	switch name {
-	case "__FILE__", "__LINE__", "__COUNTER__":
-		return true
-	}
-	return pp.macros.isDefined(name)
-}
-
-func (pp *Preprocessor) builtinMacro(tk token.Token) (token.Token, bool) {
-	switch tk.Text {
-	case "__FILE__":
+// __LINE__, and __COUNTER__. The caller has already matched sym.
+func (pp *Preprocessor) builtinMacro(tk token.Token, sym token.Symbol) token.Token {
+	switch sym {
+	case symFILE:
 		return token.Token{Kind: token.StringLit, Text: fmt.Sprintf("%q", tk.Pos.File),
-			Pos: tk.Pos, LeadingNewline: tk.LeadingNewline}, true
-	case "__LINE__":
+			Pos: tk.Pos, LeadingNewline: tk.LeadingNewline}
+	case symLINE:
 		return token.Token{Kind: token.IntLit, Text: fmt.Sprintf("%d", tk.Pos.Line),
-			Pos: tk.Pos, LeadingNewline: tk.LeadingNewline}, true
-	case "__COUNTER__":
+			Pos: tk.Pos, LeadingNewline: tk.LeadingNewline}
+	default: // __COUNTER__
 		pp.counter++
 		return token.Token{Kind: token.IntLit, Text: fmt.Sprintf("%d", pp.counter-1),
-			Pos: tk.Pos, LeadingNewline: tk.LeadingNewline}, true
+			Pos: tk.Pos, LeadingNewline: tk.LeadingNewline}
 	}
-	return token.Token{}, false
 }
 
 // splitMacroArgs parses the parenthesized argument list starting at the
 // '(' at index lp, returning the argument token slices and the index of
-// the closing ')'.
+// the closing ')'. Each argument is a zero-copy subslice of toks: the
+// tokens of one argument are always contiguous between delimiters.
 func splitMacroArgs(toks []token.Token, lp int) (args [][]token.Token, rp int, err error) {
 	depth := 0
-	var cur []token.Token
+	start := lp + 1
 	for i := lp; i < len(toks); i++ {
-		tk := toks[i]
-		switch tk.Kind {
+		switch toks[i].Kind {
 		case token.LParen, token.LBracket, token.LBrace:
 			depth++
-			if depth > 1 {
-				cur = append(cur, tk)
-			}
 		case token.RParen, token.RBracket, token.RBrace:
 			depth--
 			if depth == 0 {
+				cur := toks[start:i]
 				if len(cur) > 0 || len(args) > 0 {
 					args = append(args, cur)
 				}
 				return args, i, nil
 			}
-			cur = append(cur, tk)
 		case token.Comma:
 			if depth == 1 {
-				args = append(args, cur)
-				cur = nil
-			} else {
-				cur = append(cur, tk)
+				args = append(args, toks[start:i])
+				start = i + 1
 			}
-		default:
-			cur = append(cur, tk)
 		}
 	}
 	return nil, 0, fmt.Errorf("unterminated macro argument list")
@@ -191,7 +242,7 @@ func splitMacroArgs(toks []token.Token, lp int) (args [][]token.Token, rp int, e
 
 // substituteParams replaces parameter names in the macro body with the
 // (pre-expanded) argument tokens, handling # stringize and ## paste.
-func (pp *Preprocessor) substituteParams(m *Macro, args [][]token.Token, hide map[string]bool) ([]token.Token, error) {
+func (pp *Preprocessor) substituteParams(m *Macro, args [][]token.Token, hide []token.Symbol) ([]token.Token, error) {
 	// M() for a one-parameter macro passes a single empty argument
 	// ([cpp.replace]p4: an argument list with no tokens between the
 	// parentheses is one empty argument, not zero arguments).
@@ -203,16 +254,16 @@ func (pp *Preprocessor) substituteParams(m *Macro, args [][]token.Token, hide ma
 			return nil, fmt.Errorf("macro %s expects %d args, got %d", m.Name, len(m.Params), len(args))
 		}
 	}
-	argFor := func(name string) ([]token.Token, bool) {
-		for pi, p := range m.Params {
-			if p == name {
+	argFor := func(sym token.Symbol) ([]token.Token, bool) {
+		for pi, p := range m.ParamSyms {
+			if p == sym {
 				if pi < len(args) {
 					return args[pi], true
 				}
 				return nil, true
 			}
 		}
-		if m.Variadic && name == "__VA_ARGS__" {
+		if m.Variadic && sym == symVAARGS {
 			var va []token.Token
 			for i := len(m.Params); i < len(args); i++ {
 				if i > len(m.Params) {
@@ -230,7 +281,7 @@ func (pp *Preprocessor) substituteParams(m *Macro, args [][]token.Token, hide ma
 		tk := m.Body[i]
 		// # param → stringize
 		if tk.Kind == token.Hash && i+1 < len(m.Body) && m.Body[i+1].Kind == token.Identifier {
-			if arg, ok := argFor(m.Body[i+1].Text); ok {
+			if arg, ok := argFor(symOf(m.Body[i+1])); ok {
 				out = append(out, token.Token{Kind: token.StringLit, Text: stringize(arg), Pos: tk.Pos})
 				i++
 				continue
@@ -252,7 +303,7 @@ func (pp *Preprocessor) substituteParams(m *Macro, args [][]token.Token, hide ma
 			continue
 		}
 		if tk.Kind == token.Identifier {
-			if arg, ok := argFor(tk.Text); ok {
+			if arg, ok := argFor(symOf(tk)); ok {
 				// Arguments are fully expanded before substitution.
 				out = append(out, pp.expand(arg, hide)...)
 				continue
@@ -263,9 +314,9 @@ func (pp *Preprocessor) substituteParams(m *Macro, args [][]token.Token, hide ma
 	return out, nil
 }
 
-func resolveOne(tk token.Token, argFor func(string) ([]token.Token, bool)) []token.Token {
+func resolveOne(tk token.Token, argFor func(token.Symbol) ([]token.Token, bool)) []token.Token {
 	if tk.Kind == token.Identifier {
-		if arg, ok := argFor(tk.Text); ok {
+		if arg, ok := argFor(symOf(tk)); ok {
 			return arg
 		}
 	}

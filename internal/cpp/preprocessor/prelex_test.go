@@ -1,0 +1,155 @@
+package preprocessor_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/buildcache"
+	preprocessor "repro/internal/cpp/preprocessor"
+	"repro/internal/vfs"
+)
+
+// prelexFS builds a tree that exercises every discovery edge the
+// prelexer must not disturb: nested literal includes, an include inside
+// an inactive region (speculatively lexed, never consumed), a computed
+// include (invisible to the scan), a missing include, pragma once,
+// a classic include guard hit twice, and an angled include found via a
+// search path.
+func prelexFS() (*vfs.FS, string) {
+	fs := vfs.New()
+	fs.Write("main.cpp", `#include "a.hpp"
+#include "guard.hpp"
+#define WHICH "computed.hpp"
+#include WHICH
+#include "guard.hpp"
+#include "missing_on_purpose.hpp"
+#include <angle.hpp>
+int main() { return A + G + C + N; }
+`)
+	fs.Write("a.hpp", `#pragma once
+#include "b.hpp"
+#if 0
+#include "dead.hpp"
+#endif
+#define A 1
+`)
+	fs.Write("b.hpp", "#define B 2\nint b_decl;\n")
+	fs.Write("dead.hpp", "#error never consumed\n")
+	fs.Write("guard.hpp", `#ifndef GUARD_HPP
+#define GUARD_HPP
+#define G 3
+#endif
+`)
+	fs.Write("computed.hpp", "#define C 4\n")
+	fs.Write("sys/angle.hpp", "#define N 5\n")
+	return fs, "main.cpp"
+}
+
+func preprocessWith(t *testing.T, fs *vfs.FS, main string, jobs int, cache preprocessor.TokenCache) *preprocessor.Result {
+	t.Helper()
+	p := preprocessor.New(fs, "sys")
+	p.PrelexJobs = jobs
+	p.Cache = cache
+	res, err := p.Preprocess(main)
+	if err != nil {
+		t.Fatalf("Preprocess(jobs=%d): %v", jobs, err)
+	}
+	return res
+}
+
+// TestPrelexEquivalence pins that background lexing is invisible in the
+// Result: tokens, includes, dependency records, LOC — everything — must
+// match the sequential pass exactly, with and without a token cache.
+func TestPrelexEquivalence(t *testing.T) {
+	fs, main := prelexFS()
+	want := preprocessWith(t, fs, main, -1, nil)
+
+	for _, tc := range []struct {
+		name  string
+		cache preprocessor.TokenCache
+	}{
+		{"nocache", nil},
+		{"cache", buildcache.New()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, jobs := range []int{1, 4} {
+				got := preprocessWith(t, fs, main, jobs, tc.cache)
+				if !reflect.DeepEqual(got.Tokens, want.Tokens) {
+					t.Fatalf("jobs=%d: token stream diverged", jobs)
+				}
+				if !reflect.DeepEqual(got.Includes, want.Includes) {
+					t.Errorf("jobs=%d: includes %v, want %v", jobs, got.Includes, want.Includes)
+				}
+				if !reflect.DeepEqual(got.MissingIncludes, want.MissingIncludes) {
+					t.Errorf("jobs=%d: missing %v, want %v", jobs, got.MissingIncludes, want.MissingIncludes)
+				}
+				if !reflect.DeepEqual(got.AbsentDeps, want.AbsentDeps) {
+					t.Errorf("jobs=%d: absent deps %v, want %v", jobs, got.AbsentDeps, want.AbsentDeps)
+				}
+				if !reflect.DeepEqual(got.DirectDeps, want.DirectDeps) {
+					t.Errorf("jobs=%d: direct deps %v, want %v", jobs, got.DirectDeps, want.DirectDeps)
+				}
+				if got.LOC != want.LOC {
+					t.Errorf("jobs=%d: LOC %d, want %d", jobs, got.LOC, want.LOC)
+				}
+			}
+		})
+	}
+}
+
+// TestPrelexSharedCacheConcurrent runs many preprocessor instances over
+// one shared build cache with prelexing forced on, the shape the -race
+// detector needs to catch unsynchronized sharing of cached streams.
+func TestPrelexSharedCacheConcurrent(t *testing.T) {
+	fs, main := prelexFS()
+	want := preprocessWith(t, fs, main, -1, nil)
+	cache := buildcache.New()
+
+	const runs = 8
+	errs := make(chan error, runs)
+	results := make([]*preprocessor.Result, runs)
+	for i := 0; i < runs; i++ {
+		go func(i int) {
+			p := preprocessor.New(fs, "sys")
+			p.PrelexJobs = 4
+			p.Cache = cache
+			res, err := p.Preprocess(main)
+			results[i] = res
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < runs; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("concurrent Preprocess: %v", err)
+		}
+	}
+	for i, res := range results {
+		if !reflect.DeepEqual(res.Tokens, want.Tokens) {
+			t.Fatalf("run %d: token stream diverged from sequential baseline", i)
+		}
+	}
+}
+
+// TestPrelexErrorShape pins that a lex error surfaces identically
+// whether the file was lexed in order or by a background worker.
+func TestPrelexErrorShape(t *testing.T) {
+	build := func() *vfs.FS {
+		fs := vfs.New()
+		fs.Write("main.cpp", "#include \"bad.hpp\"\n")
+		fs.Write("bad.hpp", "const char* s = \"unterminated;\n")
+		return fs
+	}
+	errOf := func(jobs int) string {
+		p := preprocessor.New(build(), ".")
+		p.PrelexJobs = jobs
+		_, err := p.Preprocess("main.cpp")
+		if err == nil {
+			return ""
+		}
+		return err.Error()
+	}
+	seq, par := errOf(-1), errOf(4)
+	if seq == "" || seq != par {
+		t.Fatalf("error shape diverged:\n  sequential: %q\n  prelexed:   %q", seq, par)
+	}
+}

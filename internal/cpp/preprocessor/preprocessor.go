@@ -103,6 +103,11 @@ type Preprocessor struct {
 	// Result.MacroDefs/MacroUses. Off by default: only the safety
 	// checker needs it, and token emission is unchanged either way.
 	TrackMacros bool
+	// PrelexJobs controls background per-file lexing (see prelex.go):
+	// 0 auto-sizes to GOMAXPROCS-1 workers, negative disables, positive
+	// forces that many. Purely a wall-clock optimization — the Result is
+	// byte-identical with any setting.
+	PrelexJobs int
 
 	macros     *macroTable
 	pragmaOnce map[string]bool
@@ -111,6 +116,7 @@ type Preprocessor struct {
 	errs      []error
 
 	res        *Result
+	prelex     *prelexer
 	seen       map[string]bool
 	absentSeen map[string]bool
 	// chunks accumulates expanded token runs during one Preprocess; they
@@ -123,6 +129,8 @@ type Preprocessor struct {
 	// the output stream (#if conditions, computed includes); macro uses
 	// there are not recorded.
 	suppressUses int
+	// hideScratch backs the macro-expansion hide set; see hideRoot.
+	hideScratch []token.Symbol
 	// Resolved-once metric instruments (nil when Obs is nil).
 	cFiles *obs.Counter
 }
@@ -155,7 +163,7 @@ func (pp *Preprocessor) Define(name, value string) {
 	for i := range body {
 		body[i].LeadingNewline = false
 	}
-	pp.macros.define(&Macro{Name: name, Body: body})
+	pp.macros.define(&Macro{Name: name, Sym: token.Intern(name), Body: body})
 }
 
 // Preprocess runs the preprocessor on the given main file.
@@ -184,6 +192,13 @@ func (pp *Preprocessor) Preprocess(mainFile string) (*Result, error) {
 	pp.absentSeen = map[string]bool{}
 	pp.chunks = nil
 	pp.ntoks = 0
+	if n := pp.prelexWorkers(); n > 0 {
+		pp.prelex = newPrelexer(pp.FS, pp.SearchPaths, pp.Cache, n)
+		defer func() {
+			pp.prelex.close()
+			pp.prelex = nil
+		}()
+	}
 
 	if err := pp.processFile(mainFile, true); err != nil {
 		return pp.res, err
@@ -254,22 +269,14 @@ func (pp *Preprocessor) processFile(file string, isMain bool) error {
 		return nil
 	}
 	pp.cFiles.Add(1)
-	src, err := pp.FS.Read(file)
+	toks, err := pp.fileTokens(file)
 	if err != nil {
 		return err
 	}
-	var toks []token.Token
-	if pp.Cache != nil {
-		toks, err = pp.Cache.Tokens(file, src, func() ([]token.Token, error) {
-			return lexer.Tokenize(file, src)
-		})
-	} else {
-		toks, err = lexer.Tokenize(file, src)
-	}
-	if err != nil {
-		return fmt.Errorf("%s: %v", file, err)
-	}
 	toks = toks[:len(toks)-1] // drop EOF; caller appends a single final one
+	if pp.prelex != nil {
+		pp.prelex.scan(file, toks)
+	}
 
 	if !isMain && !pp.seen[file] {
 		pp.seen[file] = true
@@ -295,8 +302,11 @@ func (pp *Preprocessor) processFile(file string, isMain bool) error {
 		return true
 	}
 
-	// activeLines counts distinct source lines that contributed tokens.
-	activeLines := map[int]bool{}
+	// Count distinct source lines that contributed tokens. Token lines
+	// are nondecreasing within a file, so counting line transitions is
+	// equivalent to collecting distinct lines in a set — without the set.
+	lastLine := int32(-1)
+	activeLineCount := 0
 
 	i := 0
 	for i < len(toks) {
@@ -320,21 +330,24 @@ func (pp *Preprocessor) processFile(file string, isMain bool) error {
 			j++
 		}
 		if active() {
-			out := pp.expand(toks[i:j], map[string]bool{})
+			out := pp.expand(toks[i:j], pp.hideRoot())
 			// out may alias the (shared, read-only) lexed stream when no
 			// macro fired; the final concatenation copies it either way.
 			pp.chunks = append(pp.chunks, out)
 			pp.ntoks += len(out)
-			for _, t := range toks[i:j] {
-				activeLines[t.Pos.Line] = true
+			for k := range toks[i:j] {
+				if line := toks[i+k].Pos.Line; line != lastLine {
+					lastLine = line
+					activeLineCount++
+				}
 			}
 		}
 		i = j
 	}
 	if len(conds) != 0 {
-		pp.errorf(token.Pos{File: file, Line: 1, Col: 1}, "unterminated conditional directive")
+		pp.errorf(token.Pos{File: token.InternFile(file), Line: 1, Col: 1}, "unterminated conditional directive")
 	}
-	pp.res.LOC += len(activeLines)
+	pp.res.LOC += activeLineCount
 	return nil
 }
 
@@ -344,11 +357,12 @@ func (pp *Preprocessor) handleDirective(file string, hash token.Token, line []to
 		return // null directive
 	}
 	name := line[0].Text
+	sym := symOf(line[0])
 	rest := line[1:]
 
 	// Conditionals are processed even in inactive regions (they nest).
-	switch name {
-	case "if", "ifdef", "ifndef":
+	switch sym {
+	case dirIf, dirIfdef, dirIfndef:
 		st := condState{parentOK: active()}
 		if !st.parentOK {
 			// Inside a skipped region: push an always-false frame.
@@ -358,13 +372,13 @@ func (pp *Preprocessor) handleDirective(file string, hash token.Token, line []to
 		}
 		var ok bool
 		var err error
-		switch name {
-		case "if":
+		switch sym {
+		case dirIf:
 			ok, err = pp.evalCondition(rest)
-		case "ifdef":
-			ok = len(rest) > 0 && pp.macros.isDefined(rest[0].Text)
-		case "ifndef":
-			ok = len(rest) > 0 && !pp.macros.isDefined(rest[0].Text)
+		case dirIfdef:
+			ok = len(rest) > 0 && pp.macros.isDefinedSym(symOf(rest[0]))
+		case dirIfndef:
+			ok = len(rest) > 0 && !pp.macros.isDefinedSym(symOf(rest[0]))
 		}
 		if err != nil {
 			pp.errorf(hash.Pos, "#%s: %v", name, err)
@@ -372,7 +386,7 @@ func (pp *Preprocessor) handleDirective(file string, hash token.Token, line []to
 		st.active, st.everTaken = ok, ok
 		*conds = append(*conds, st)
 		return
-	case "elif":
+	case dirElif:
 		if len(*conds) == 0 {
 			pp.errorf(hash.Pos, "#elif without #if")
 			return
@@ -392,7 +406,7 @@ func (pp *Preprocessor) handleDirective(file string, hash token.Token, line []to
 		}
 		st.active, st.everTaken = ok, ok
 		return
-	case "else":
+	case dirElse:
 		if len(*conds) == 0 {
 			pp.errorf(hash.Pos, "#else without #if")
 			return
@@ -406,7 +420,7 @@ func (pp *Preprocessor) handleDirective(file string, hash token.Token, line []to
 		st.active = st.parentOK && !st.everTaken
 		st.everTaken = true
 		return
-	case "endif":
+	case dirEndif:
 		if len(*conds) == 0 {
 			pp.errorf(hash.Pos, "#endif without #if")
 			return
@@ -419,38 +433,55 @@ func (pp *Preprocessor) handleDirective(file string, hash token.Token, line []to
 		return
 	}
 
-	switch name {
-	case "include":
+	switch sym {
+	case dirInclude:
 		pp.handleInclude(file, hash, rest)
-	case "define":
+	case dirDefine:
 		pp.handleDefine(hash, rest)
-	case "undef":
+	case dirUndef:
 		if len(rest) > 0 {
-			pp.macros.undef(rest[0].Text)
+			pp.macros.undefSym(symOf(rest[0]))
 		}
-	case "pragma":
+	case dirPragma:
 		if len(rest) > 0 && rest[0].Text == "once" {
 			pp.pragmaOnce[file] = true
 		}
-	case "error":
+	case dirError:
 		var parts []string
 		for _, t := range rest {
 			parts = append(parts, t.Text)
 		}
 		pp.errorf(hash.Pos, "#error %s", strings.Join(parts, " "))
-	case "warning", "line":
+	case dirWarning, dirLine:
 		// ignored
 	default:
 		pp.errorf(hash.Pos, "unknown directive #%s", name)
 	}
 }
 
+// Pre-interned directive names; dispatch compares symbols, not strings.
+var (
+	dirIf      = token.Intern("if")
+	dirIfdef   = token.Intern("ifdef")
+	dirIfndef  = token.Intern("ifndef")
+	dirElif    = token.Intern("elif")
+	dirElse    = token.Intern("else")
+	dirEndif   = token.Intern("endif")
+	dirInclude = token.Intern("include")
+	dirDefine  = token.Intern("define")
+	dirUndef   = token.Intern("undef")
+	dirPragma  = token.Intern("pragma")
+	dirError   = token.Intern("error")
+	dirWarning = token.Intern("warning")
+	dirLine    = token.Intern("line")
+)
+
 func (pp *Preprocessor) handleInclude(file string, hash token.Token, rest []token.Token) {
 	target, angled, ok := parseIncludeTarget(rest)
 	if !ok {
 		// Could be a computed include via macro; expand and retry.
 		pp.suppressUses++
-		expanded := pp.expand(rest, map[string]bool{})
+		expanded := pp.expand(rest, pp.hideRoot())
 		pp.suppressUses--
 		target, angled, ok = parseIncludeTarget(expanded)
 		if !ok {
@@ -494,7 +525,7 @@ func (pp *Preprocessor) handleDefine(hash token.Token, rest []token.Token) {
 		pp.errorf(hash.Pos, "#define requires a macro name")
 		return
 	}
-	m := &Macro{Name: rest[0].Text, Pos: rest[0].Pos}
+	m := &Macro{Name: rest[0].Text, Sym: symOf(rest[0]), Pos: rest[0].Pos}
 	body := rest[1:]
 	// Function-like only if '(' immediately follows the name (no space).
 	if len(body) > 0 && body[0].Kind == token.LParen &&
@@ -505,6 +536,7 @@ func (pp *Preprocessor) handleDefine(hash token.Token, rest []token.Token) {
 			switch body[i].Kind {
 			case token.Identifier:
 				m.Params = append(m.Params, body[i].Text)
+				m.ParamSyms = append(m.ParamSyms, symOf(body[i]))
 			case token.Ellipsis:
 				m.Variadic = true
 			case token.Comma:
@@ -519,7 +551,9 @@ func (pp *Preprocessor) handleDefine(hash token.Token, rest []token.Token) {
 		}
 		body = body[i+1:]
 	}
-	m.Body = append([]token.Token(nil), body...)
+	// Zero-copy: the body aliases the (shared, read-only) lexed stream;
+	// expansion never mutates it.
+	m.Body = body
 	if old := pp.macros.lookup(m.Name); old != nil && !old.SameDefinition(m) {
 		// Benign in practice; keep latest definition like most compilers.
 	}
@@ -527,7 +561,7 @@ func (pp *Preprocessor) handleDefine(hash token.Token, rest []token.Token) {
 	if pp.TrackMacros {
 		pp.res.MacroDefs[m.Name] = MacroDef{
 			Name:         m.Name,
-			File:         m.Pos.File,
+			File:         m.Pos.File.Name(),
 			FunctionLike: m.FunctionLike,
 			Body:         renderMacroBody(m.Body),
 			Pos:          m.Pos,
@@ -554,7 +588,7 @@ func (pp *Preprocessor) noteUse(tk token.Token, m *Macro) {
 		return
 	}
 	pp.res.MacroUses = append(pp.res.MacroUses, MacroUse{
-		Name: m.Name, DefFile: m.Pos.File, Pos: tk.Pos,
+		Name: m.Name, DefFile: m.Pos.File.Name(), Pos: tk.Pos,
 	})
 }
 

@@ -201,13 +201,13 @@ func (t *Table) addDecl(scope *Symbol, d ast.Decl) {
 		if x.Name == "" {
 			ns = scope // anonymous / extern "C": transparent
 		} else {
-			ns = scope.findOrAddScope(x.Name, NamespaceSym, x, x.Pos().File)
+			ns = scope.findOrAddScope(x.Name, NamespaceSym, x, x.Pos().FileName())
 		}
 		for _, child := range x.Decls {
 			t.addDecl(ns, child)
 		}
 	case *ast.ClassDecl:
-		cs := scope.findOrAddScope(x.Name, ClassSym, x, x.Pos().File)
+		cs := scope.findOrAddScope(x.Name, ClassSym, x, x.Pos().FileName())
 		for _, m := range x.Members {
 			t.addDecl(cs, m)
 		}
@@ -216,16 +216,16 @@ func (t *Table) addDecl(scope *Symbol, d ast.Decl) {
 			// Out-of-line method definition: attach to the class scope if
 			// it resolves; otherwise record at this scope.
 			if target := t.resolveScope(scope, x.QualifierName); target != nil {
-				target.findOrAddScope(x.Name, FunctionSym, x, x.Pos().File)
+				target.findOrAddScope(x.Name, FunctionSym, x, x.Pos().FileName())
 				return
 			}
 		}
-		scope.findOrAddScope(x.Name, FunctionSym, x, x.Pos().File)
+		scope.findOrAddScope(x.Name, FunctionSym, x, x.Pos().FileName())
 	case *ast.AliasDecl:
-		s := &Symbol{Name: x.Name, Kind: AliasSym, Decl: x, Decls: []ast.Decl{x}, DeclFile: x.Pos().File}
+		s := &Symbol{Name: x.Name, Kind: AliasSym, Decl: x, Decls: []ast.Decl{x}, DeclFile: x.Pos().FileName()}
 		scope.addChild(s)
 	case *ast.UsingDecl:
-		file := x.Pos().File
+		file := x.Pos().FileName()
 		if x.IsNamespace {
 			t.UsingNamespaces[file] = append(t.UsingNamespaces[file], x.Name.Plain())
 		} else {
@@ -235,7 +235,7 @@ func (t *Table) addDecl(scope *Symbol, d ast.Decl) {
 			t.UsingDecls[file][x.Name.Last().Name] = x.Name
 		}
 	case *ast.EnumDecl:
-		s := &Symbol{Name: x.Name, Kind: EnumSym, Decl: x, Decls: []ast.Decl{x}, DeclFile: x.Pos().File}
+		s := &Symbol{Name: x.Name, Kind: EnumSym, Decl: x, Decls: []ast.Decl{x}, DeclFile: x.Pos().FileName()}
 		scope.addChild(s)
 		// Enumerators of unscoped enums are visible in the enclosing
 		// scope; scoped (enum class) enumerators live under the enum.
@@ -249,15 +249,15 @@ func (t *Table) addDecl(scope *Symbol, d ast.Decl) {
 				next = v
 			}
 			es := &Symbol{Name: item.Name, Kind: EnumeratorSym, Decl: x,
-				Decls: []ast.Decl{x}, DeclFile: x.Pos().File, EnumValue: next}
+				Decls: []ast.Decl{x}, DeclFile: x.Pos().FileName(), EnumValue: next}
 			owner.addChild(es)
 			next++
 		}
 	case *ast.VarDecl:
-		s := &Symbol{Name: x.Name, Kind: VarSym, Decl: x, Decls: []ast.Decl{x}, DeclFile: x.Pos().File}
+		s := &Symbol{Name: x.Name, Kind: VarSym, Decl: x, Decls: []ast.Decl{x}, DeclFile: x.Pos().FileName()}
 		scope.addChild(s)
 	case *ast.FieldDecl:
-		s := &Symbol{Name: x.Name, Kind: FieldSym, Decl: x, Decls: []ast.Decl{x}, DeclFile: x.Pos().File}
+		s := &Symbol{Name: x.Name, Kind: FieldSym, Decl: x, Decls: []ast.Decl{x}, DeclFile: x.Pos().FileName()}
 		scope.addChild(s)
 	case *ast.StaticAssertDecl, *ast.ExplicitInstantiation:
 		// not named entities

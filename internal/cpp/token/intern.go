@@ -1,0 +1,234 @@
+package token
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The interner gives every distinct identifier/keyword spelling (and every
+// source file name) a small dense integer. Tokens carry these integers so
+// the hot paths of the frontend — keyword classification in the lexer,
+// macro-table lookups in the preprocessor, word dispatch in the parser —
+// compare and hash machine words instead of strings. All C++ keywords are
+// interned first, at init, so "is this identifier a keyword" folds into
+// the same single lookup that produces the symbol.
+//
+// The table is open-addressing with linear probing over atomically
+// published slots: reads are lock-free and hash the string exactly once
+// (the same FNV-1a value drives the probe sequence); misses take a single
+// mutex. Interned strings are cloned so the table never pins a caller's
+// backing buffer (e.g. a whole source file) in memory.
+
+// Symbol is an interned identifier/keyword spelling. The zero Symbol is
+// reserved and names the empty string; every real spelling interns to a
+// Symbol >= 1. Keywords occupy the dense range [1, len(KeywordList)] in
+// declaration order.
+type Symbol uint32
+
+// NoSym is the zero Symbol: "not interned / not an identifier".
+const NoSym Symbol = 0
+
+// symTable is one published generation of the probe table. Slots hold
+// Symbol values (0 = empty) and are written at most once per table, after
+// the symbol's name is visible in symNames — so a reader that observes a
+// non-zero slot can always resolve it. Slots never move within a table;
+// growth builds and publishes a fresh table.
+type symTable struct {
+	mask  uint32
+	slots []atomic.Uint32
+}
+
+func newSymTable(capacity int) *symTable {
+	n := 16
+	for n < capacity {
+		n <<= 1
+	}
+	return &symTable{mask: uint32(n - 1), slots: make([]atomic.Uint32, n)}
+}
+
+var (
+	symMu    sync.Mutex   // serializes inserts and growth
+	symCount int          // interned spellings, excluding the reserved zero
+	symTab   atomic.Value // *symTable
+	symNames atomic.Value // []string indexed by Symbol, append-only
+)
+
+// fnv1a is the probe hash; identifiers are short and this beats an
+// allocation-prone hash.Hash round trip.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// nameOf resolves a slot value against the current name table. The load
+// is repeated per call on purpose: a slot published after the caller's
+// last load may index past an older snapshot.
+func nameOf(v uint32) string {
+	return symNames.Load().([]string)[v]
+}
+
+// Intern returns the Symbol for s, assigning one on first use.
+// Safe for concurrent use; the hit path is lock-free and hashes s once.
+func Intern(s string) Symbol {
+	if s == "" {
+		return NoSym
+	}
+	h := fnv1a(s)
+	t := symTab.Load().(*symTable)
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		v := t.slots[i].Load()
+		if v == 0 {
+			return internSlow(s, h)
+		}
+		if nameOf(v) == s {
+			return Symbol(v)
+		}
+	}
+}
+
+func internSlow(s string, h uint32) Symbol {
+	symMu.Lock()
+	defer symMu.Unlock()
+	t := symTab.Load().(*symTable)
+	i := h & t.mask
+	for {
+		v := t.slots[i].Load()
+		if v == 0 {
+			break
+		}
+		if nameOf(v) == s {
+			return Symbol(v)
+		}
+		i = (i + 1) & t.mask
+	}
+	// Clone so the table never retains a slice of some larger buffer.
+	s = strings.Clone(s)
+	names := symNames.Load().([]string)
+	sym := Symbol(len(names))
+	// Republish the longer name slice before the slot becomes visible:
+	// readers resolve any non-zero slot value through symNames.
+	symNames.Store(append(names, s))
+	t.slots[i].Store(uint32(sym))
+	symCount++
+	if uint32(symCount) > (t.mask+1)/4*3 {
+		grow(t)
+	}
+	return sym
+}
+
+// grow rehashes every symbol into a table twice the size and publishes
+// it. Callers hold symMu; readers still probing the old table miss new
+// entries at worst and fall into internSlow, which uses the new one.
+func grow(old *symTable) {
+	names := symNames.Load().([]string)
+	next := newSymTable(int(old.mask+1) * 2)
+	for v := 1; v < len(names); v++ {
+		i := fnv1a(names[v]) & next.mask
+		for next.slots[i].Load() != 0 {
+			i = (i + 1) & next.mask
+		}
+		next.slots[i].Store(uint32(v))
+	}
+	symTab.Store(next)
+}
+
+// LookupSym returns the Symbol for s if it has been interned.
+func LookupSym(s string) (Symbol, bool) {
+	if s == "" {
+		return NoSym, true
+	}
+	h := fnv1a(s)
+	t := symTab.Load().(*symTable)
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		v := t.slots[i].Load()
+		if v == 0 {
+			return NoSym, false
+		}
+		if nameOf(v) == s {
+			return Symbol(v), true
+		}
+	}
+}
+
+// Name returns the spelling the symbol was interned from.
+func (s Symbol) Name() string {
+	names := symNames.Load().([]string)
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return ""
+}
+
+// String makes Symbol debuggable; it is the spelling itself.
+func (s Symbol) String() string { return s.Name() }
+
+// IsKeyword reports whether the symbol is one of the pre-interned C++
+// keywords — the lexer's keyword classification is this range check.
+func (s Symbol) IsKeyword() bool { return s >= 1 && s <= maxKeywordSym }
+
+// NumSymbols returns the number of interned symbols (including the
+// reserved zero entry), for introspection and growth tests.
+func NumSymbols() int { return len(symNames.Load().([]string)) }
+
+var maxKeywordSym Symbol
+
+// ------------------------------------------------------------- file names
+
+// FileID is an interned source-file name carried by every Pos. Interning
+// the name makes Pos pointer-free (4 machine words, nothing for the GC to
+// scan), which matters because the frontend materializes one Pos per
+// token. The zero FileID names the empty string.
+type FileID uint32
+
+var (
+	fileAppendMu sync.Mutex
+	fileNames    atomic.Value // []string indexed by FileID
+	fileByName   sync.Map     // string -> FileID
+)
+
+// InternFile returns the FileID for the given file name.
+func InternFile(name string) FileID {
+	if name == "" {
+		return 0
+	}
+	if id, ok := fileByName.Load(name); ok {
+		return id.(FileID)
+	}
+	name = strings.Clone(name)
+	fileAppendMu.Lock()
+	defer fileAppendMu.Unlock()
+	if id, ok := fileByName.Load(name); ok {
+		return id.(FileID)
+	}
+	names := fileNames.Load().([]string)
+	id := FileID(len(names))
+	fileNames.Store(append(names, name))
+	fileByName.Store(name, id)
+	return id
+}
+
+// Name returns the file name the ID was interned from.
+func (f FileID) Name() string {
+	names := fileNames.Load().([]string)
+	if int(f) < len(names) {
+		return names[f]
+	}
+	return ""
+}
+
+// String makes FileID debuggable; it is the file name itself.
+func (f FileID) String() string { return f.Name() }
+
+func init() {
+	symTab.Store(newSymTable(1 << 10))
+	symNames.Store([]string{""}) // Symbol 0 reserved
+	fileNames.Store([]string{""})
+	for _, kw := range KeywordList {
+		Intern(kw)
+	}
+	maxKeywordSym = Symbol(len(KeywordList))
+}

@@ -1,0 +1,181 @@
+package token_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cpp/lexer"
+	"repro/internal/cpp/token"
+	"repro/internal/fuzzgen"
+)
+
+// TestInternRoundTrip pins the basic contract: interning is idempotent,
+// distinct spellings get distinct symbols, and Name round-trips.
+func TestInternRoundTrip(t *testing.T) {
+	if token.Intern("") != token.NoSym {
+		t.Fatal("empty string must intern to NoSym")
+	}
+	if token.NoSym.Name() != "" {
+		t.Fatalf("NoSym.Name() = %q, want empty", token.NoSym.Name())
+	}
+	a := token.Intern("intern_round_trip_a")
+	b := token.Intern("intern_round_trip_b")
+	if a == b || a == token.NoSym || b == token.NoSym {
+		t.Fatalf("distinct spellings must get distinct non-zero symbols: %d %d", a, b)
+	}
+	if token.Intern("intern_round_trip_a") != a {
+		t.Fatal("interning the same spelling twice must return the same symbol")
+	}
+	if got := a.String(); got != "intern_round_trip_a" {
+		t.Fatalf("round trip: %q", got)
+	}
+	if sym, ok := token.LookupSym("intern_round_trip_b"); !ok || sym != b {
+		t.Fatalf("LookupSym = %d,%v want %d,true", sym, ok, b)
+	}
+	if _, ok := token.LookupSym("never_interned_spelling_xyzzy"); ok {
+		t.Fatal("LookupSym must miss on a spelling that was never interned")
+	}
+}
+
+// TestInternKeywords pins the keyword range: every keyword is
+// pre-interned into the dense range the lexer's classification relies
+// on, and no plain identifier lands in it.
+func TestInternKeywords(t *testing.T) {
+	for _, kw := range token.KeywordList {
+		sym := token.Intern(kw)
+		if !sym.IsKeyword() {
+			t.Errorf("keyword %q interned outside the keyword range (sym %d)", kw, sym)
+		}
+		if sym.Name() != kw {
+			t.Errorf("keyword %q round-tripped to %q", kw, sym.Name())
+		}
+	}
+	if token.Intern("definitely_not_a_keyword").IsKeyword() {
+		t.Error("non-keyword classified as keyword")
+	}
+	if token.NoSym.IsKeyword() {
+		t.Error("NoSym classified as keyword")
+	}
+}
+
+// TestInternGrowth inserts far more spellings than the interner's
+// initial table holds, forcing several growth rehashes (and, with the
+// FNV probe, plenty of collisions), then verifies every symbol still
+// resolves both ways.
+func TestInternGrowth(t *testing.T) {
+	const n = 20000
+	before := token.NumSymbols()
+	syms := make(map[token.Symbol]string, n)
+	for i := 0; i < n; i++ {
+		s := fmt.Sprintf("growth_spelling_%d", i)
+		sym := token.Intern(s)
+		if prev, dup := syms[sym]; dup {
+			t.Fatalf("symbol %d assigned to both %q and %q", sym, prev, s)
+		}
+		syms[sym] = s
+	}
+	if got := token.NumSymbols(); got < before+n {
+		t.Fatalf("NumSymbols = %d, want >= %d", got, before+n)
+	}
+	for sym, s := range syms {
+		if sym.Name() != s {
+			t.Fatalf("after growth, symbol %d resolves to %q, want %q", sym, sym.Name(), s)
+		}
+		if got, ok := token.LookupSym(s); !ok || got != sym {
+			t.Fatalf("after growth, LookupSym(%q) = %d,%v want %d,true", s, got, ok, sym)
+		}
+	}
+}
+
+// TestInternConcurrent hammers the interner from many goroutines with
+// overlapping spelling sets — the data-race check for the lock-free read
+// path, and an agreement check that every goroutine observes the same
+// symbol for the same spelling.
+func TestInternConcurrent(t *testing.T) {
+	const (
+		workers   = 8
+		spellings = 2000
+	)
+	results := make([][]token.Symbol, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]token.Symbol, spellings)
+			for i := 0; i < spellings; i++ {
+				// Overlapping sets: every goroutine interns every
+				// spelling, half via Intern, half via LookupSym first.
+				s := fmt.Sprintf("concurrent_spelling_%d", i)
+				if i%2 == w%2 {
+					if sym, ok := token.LookupSym(s); ok {
+						out[i] = sym
+						continue
+					}
+				}
+				out[i] = token.Intern(s)
+			}
+			results[w] = out
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < spellings; i++ {
+		want := results[0][i]
+		if want == token.NoSym {
+			t.Fatalf("spelling %d interned to NoSym", i)
+		}
+		for w := 1; w < workers; w++ {
+			if results[w][i] != want {
+				t.Fatalf("goroutines disagree on spelling %d: %d vs %d", i, results[w][i], want)
+			}
+		}
+	}
+}
+
+// TestInternFileRoundTrip covers the file-name interner used by Pos.
+func TestInternFileRoundTrip(t *testing.T) {
+	id := token.InternFile("some/dir/file.hpp")
+	if id == 0 {
+		t.Fatal("non-empty file name interned to the reserved zero FileID")
+	}
+	if token.InternFile("some/dir/file.hpp") != id {
+		t.Fatal("same file name must intern to the same FileID")
+	}
+	if id.Name() != "some/dir/file.hpp" {
+		t.Fatalf("round trip: %q", id.Name())
+	}
+	if token.InternFile("") != 0 {
+		t.Fatal("empty file name must intern to FileID 0")
+	}
+}
+
+// TestInternFuzzgenCorpusRoundTrip is the round-trip property over the
+// fuzz generator's corpus: every identifier and keyword token of every
+// generated file satisfies Intern(s).String() == s and carries the same
+// symbol the lexer assigned.
+func TestInternFuzzgenCorpusRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		prog := fuzzgen.Generate(fuzzgen.Config{Seed: seed, Unsafe: seed%5 == 0})
+		for name, src := range prog.Files {
+			toks, err := lexer.Tokenize(name, src)
+			if err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, name, err)
+			}
+			for _, tk := range toks {
+				if tk.Kind != token.Identifier && tk.Kind != token.Keyword {
+					continue
+				}
+				sym := token.Intern(tk.Text)
+				if sym.String() != tk.Text {
+					t.Fatalf("seed %d: %s: Intern(%q).String() = %q", seed, name, tk.Text, sym.String())
+				}
+				if tk.Sym != sym {
+					t.Fatalf("seed %d: %s: lexer symbol %d != interned %d for %q",
+						seed, name, tk.Sym, sym, tk.Text)
+				}
+			}
+		}
+	}
+}

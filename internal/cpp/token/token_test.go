@@ -17,13 +17,13 @@ func TestKindString(t *testing.T) {
 			t.Errorf("%d.String() = %q, want %q", k, got, want)
 		}
 	}
-	if got := Kind(9999).String(); got != "Kind(9999)" {
+	if got := Kind(255).String(); got != "Kind(255)" {
 		t.Errorf("unknown kind = %q", got)
 	}
 }
 
 func TestPos(t *testing.T) {
-	p := Pos{File: "a.cpp", Offset: 10, Line: 2, Col: 3}
+	p := MakePos("a.cpp", 10, 2, 3)
 	if !p.IsValid() {
 		t.Fatal("valid pos reported invalid")
 	}

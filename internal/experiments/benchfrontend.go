@@ -1,0 +1,99 @@
+// Frontend microbenchmarks: the per-stage throughput and allocation
+// record behind results/bench_frontend.json. Where BenchHarness times
+// the full matrix, these isolate the lexer, preprocessor, and parser on
+// real corpus inputs so a frontend regression is attributable to a
+// stage before it shows up in wall clock.
+
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/cpp/lexer"
+	"repro/internal/cpp/parser"
+	"repro/internal/cpp/preprocessor"
+	"repro/internal/cpp/token"
+)
+
+// FrontendMicro is one frontend microbenchmark result, the JSON
+// rendering of a testing.BenchmarkResult with -benchmem semantics.
+type FrontendMicro struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func micro(name string, nbytes int64, fn func(b *testing.B)) FrontendMicro {
+	res := testing.Benchmark(fn)
+	m := FrontendMicro{
+		Name:        name,
+		Iters:       res.N,
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	if res.NsPerOp() > 0 {
+		m.MBPerS = float64(nbytes) / float64(res.NsPerOp()) * 1e9 / 1e6
+	}
+	return m
+}
+
+// BenchFrontend runs the frontend stage microbenchmarks on the first
+// corpus subject: lexing its heaviest header, preprocessing its main
+// translation unit, and parsing the preprocessed stream.
+func BenchFrontend() ([]FrontendMicro, error) {
+	s := corpus.All()[0]
+
+	const lexFile = "kokkos/Kokkos_Core.hpp"
+	src, err := s.FS.Read(lexFile)
+	if err != nil {
+		return nil, err
+	}
+	pp := preprocessor.New(s.FS, s.SearchPaths...)
+	res, err := pp.Preprocess(s.MainFile)
+	if err != nil {
+		return nil, err
+	}
+	ppBytes := int64(0)
+	for _, f := range append([]string{s.MainFile}, res.Includes...) {
+		if c, err := s.FS.Read(f); err == nil {
+			ppBytes += int64(len(c))
+		}
+	}
+
+	out := []FrontendMicro{
+		micro("lex/"+lexFile, int64(len(src)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lexer.Tokenize(lexFile, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		micro("preprocess/"+s.MainFile, ppBytes, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := preprocessor.New(s.FS, s.SearchPaths...)
+				if _, err := p.Preprocess(s.MainFile); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		micro("parse/"+s.MainFile, ppBytes, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Parse may splice '>>' tokens in place (copy-on-write),
+				// so hand it a fresh copy each iteration.
+				cp := append([]token.Token(nil), res.Tokens...)
+				if _, err := parser.New(cp).Parse(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	}
+	return out, nil
+}

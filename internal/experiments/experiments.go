@@ -713,13 +713,24 @@ type BenchCacheStats struct {
 // subject matrix measured cold-sequential (-j 1, empty cache) and then
 // warm-parallel (same cache, -j jobs).
 type BenchReport struct {
-	Jobs             int             `json:"jobs"`
-	Subjects         int             `json:"subjects"`
-	SequentialColdNs int64           `json:"sequential_cold_ns"`
-	ParallelWarmNs   int64           `json:"parallel_warm_ns"`
-	Speedup          float64         `json:"speedup"`
-	Cache            BenchCacheStats `json:"cache"`
-	Rows             []BenchRow      `json:"rows"`
+	Jobs             int   `json:"jobs"`
+	Subjects         int   `json:"subjects"`
+	SequentialColdNs int64 `json:"sequential_cold_ns"`
+	// ParallelColdNs times the matrix at -j jobs with the cache off —
+	// the frontend-bound configuration the speed-pass acceptance gates
+	// on (compare BaselineColdNs).
+	ParallelColdNs int64   `json:"parallel_cold_ns"`
+	ParallelWarmNs int64   `json:"parallel_warm_ns"`
+	Speedup        float64 `json:"speedup"`
+	// BaselineColdNs is the pre-pass frontend's parallel-cold wall time
+	// measured the same way (cache off, same -j), passed in by the
+	// caller; zero when no baseline was supplied.
+	BaselineColdNs    int64           `json:"baseline_cold_ns,omitempty"`
+	SpeedupVsBaseline float64         `json:"speedup_vs_baseline,omitempty"`
+	Cache             BenchCacheStats `json:"cache"`
+	// Frontend is the per-stage microbenchmark record (allocs/op, MB/s).
+	Frontend []FrontendMicro `json:"frontend"`
+	Rows     []BenchRow      `json:"rows"`
 }
 
 // BenchHarness measures the harness itself: one truly cold sequential
@@ -745,6 +756,13 @@ func BenchHarness(jobs int) (*BenchReport, error) {
 	coldNs := time.Since(t0).Nanoseconds()
 
 	ResetCache()
+	tp := time.Now()
+	if _, err := RunAllWith(RunConfig{Jobs: jobs}); err != nil {
+		return nil, fmt.Errorf("parallel cold run: %v", err)
+	}
+	parallelColdNs := time.Since(tp).Nanoseconds()
+
+	ResetCache()
 	if _, err := RunAllWith(RunConfig{Jobs: jobs, Cache: bc}); err != nil {
 		return nil, fmt.Errorf("priming run: %v", err)
 	}
@@ -763,6 +781,7 @@ func BenchHarness(jobs int) (*BenchReport, error) {
 		Jobs:             jobs,
 		Subjects:         len(subjects),
 		SequentialColdNs: coldNs,
+		ParallelColdNs:   parallelColdNs,
 		ParallelWarmNs:   warmNs,
 		Cache: BenchCacheStats{
 			TokenHits: st.TokenHits, TokenMisses: st.TokenMisses,
@@ -773,6 +792,9 @@ func BenchHarness(jobs int) (*BenchReport, error) {
 	}
 	if warmNs > 0 {
 		rep.Speedup = float64(coldNs) / float64(warmNs)
+	}
+	if rep.Frontend, err = BenchFrontend(); err != nil {
+		return nil, fmt.Errorf("frontend microbenchmarks: %v", err)
 	}
 	for i, s := range subjects {
 		for _, mode := range Modes {

@@ -133,7 +133,7 @@ func Analyze(opts Options) (*Result, error) {
 		}
 	}
 	ast.Inspect(tu, func(n ast.Node) {
-		if n.Pos().File != srcClean {
+		if n.Pos().FileName() != srcClean {
 			return
 		}
 		switch x := n.(type) {

@@ -180,7 +180,7 @@ func Deserialize(blob []byte) ([]token.Token, error) {
 		}
 		toks = append(toks, token.Token{
 			Kind: token.Kind(kind),
-			Pos:  token.Pos{Offset: int(off)},
+			Pos:  token.Pos{Offset: int32(off)},
 			Text: string(b[:tlen]),
 		})
 		b = b[tlen:]

@@ -84,7 +84,7 @@ func TestPropertySerializeRoundTrips(t *testing.T) {
 	f := func(texts []string) bool {
 		var toks []token.Token
 		for i, s := range texts {
-			toks = append(toks, token.Token{Kind: token.Identifier, Text: s, Pos: token.Pos{Offset: i}})
+			toks = append(toks, token.Token{Kind: token.Identifier, Text: s, Pos: token.Pos{Offset: int32(i)}})
 		}
 		got, err := Deserialize(Serialize(toks))
 		if err != nil || len(got) != len(toks) {
