@@ -27,6 +27,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -63,13 +64,23 @@ func main() {
 	)
 	flag.Parse()
 
+	// Progress and error prints are structured: every line carries the
+	// run ID, and per-subject lines carry subject/mode fields, so an
+	// archived or piped log is machine-filterable. Paper outputs (the
+	// tables and figures on stdout) are untouched.
+	log := obs.StderrLogger(*verbose).With("run", obs.NewRunID())
+	fail := func(msg string, err error) {
+		log.Error(msg, "err", err)
+		os.Exit(1)
+	}
+
 	if *pprofAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: pprof: %v\n", err)
+				log.Error("pprof", "err", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+		log.Info("pprof listening", "url", "http://"+*pprofAddr+"/debug/pprof/")
 	}
 
 	// The observability handle: a tracer only when a trace is requested,
@@ -84,7 +95,7 @@ func main() {
 	if *metricsOut != "" || *verbose {
 		reg = obs.NewRegistry()
 	}
-	o := obs.New(tracer, reg)
+	o := obs.New(tracer, reg).WithLogger(log)
 
 	var bc *buildcache.Cache
 	if *useCache {
@@ -95,8 +106,7 @@ func main() {
 	if *benchjson != "" {
 		rep, err := experiments.BenchHarness(*jobs)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: benchjson: %v\n", err)
-			os.Exit(1)
+			fail("benchjson", err)
 		}
 		if *benchbase > 0 {
 			rep.BaselineColdNs = benchbase.Nanoseconds()
@@ -106,28 +116,29 @@ func main() {
 		}
 		blob, err := rep.JSON()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: benchjson: %v\n", err)
-			os.Exit(1)
+			fail("benchjson", err)
 		}
 		if err := os.MkdirAll(filepath.Dir(*benchjson), 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: benchjson: %v\n", err)
-			os.Exit(1)
+			fail("benchjson", err)
 		}
 		if err := os.WriteFile(*benchjson, append(blob, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: benchjson: %v\n", err)
-			os.Exit(1)
+			fail("benchjson", err)
 		}
-		fmt.Fprintf(os.Stderr, "harness: cold sequential %.1fs, cold -j %d %.1fs, warm -j %d %.1fs (%.1fx), report in %s\n",
-			float64(rep.SequentialColdNs)/1e9, rep.Jobs, float64(rep.ParallelColdNs)/1e9,
-			rep.Jobs, float64(rep.ParallelWarmNs)/1e9, rep.Speedup, *benchjson)
+		log.Info("harness bench done", "phase", "benchjson",
+			"cold_sequential_s", fmt.Sprintf("%.1f", float64(rep.SequentialColdNs)/1e9),
+			"cold_parallel_s", fmt.Sprintf("%.1f", float64(rep.ParallelColdNs)/1e9),
+			"warm_parallel_s", fmt.Sprintf("%.1f", float64(rep.ParallelWarmNs)/1e9),
+			"jobs", rep.Jobs, "speedup", fmt.Sprintf("%.1f", rep.Speedup), "report", *benchjson)
 		if rep.BaselineColdNs > 0 {
-			fmt.Fprintf(os.Stderr, "frontend speed pass: cold -j %d %.1fs vs pre-pass %.1fs (%.2fx)\n",
-				rep.Jobs, float64(rep.ParallelColdNs)/1e9, float64(rep.BaselineColdNs)/1e9,
-				rep.SpeedupVsBaseline)
+			log.Info("frontend speed pass", "phase", "benchjson",
+				"cold_parallel_s", fmt.Sprintf("%.1f", float64(rep.ParallelColdNs)/1e9),
+				"baseline_s", fmt.Sprintf("%.1f", float64(rep.BaselineColdNs)/1e9),
+				"speedup_vs_baseline", fmt.Sprintf("%.2f", rep.SpeedupVsBaseline))
 		}
 		for _, m := range rep.Frontend {
-			fmt.Fprintf(os.Stderr, "frontend bench: %-40s %12d ns/op %8.1f MB/s %6d allocs/op\n",
-				m.Name, m.NsPerOp, m.MBPerS, m.AllocsPerOp)
+			log.Info("frontend bench", "phase", "benchjson", "name", m.Name,
+				"ns_per_op", m.NsPerOp, "mb_per_s", fmt.Sprintf("%.1f", m.MBPerS),
+				"allocs_per_op", m.AllocsPerOp)
 		}
 		return
 	}
@@ -137,16 +148,14 @@ func main() {
 	if *gcc {
 		out, err := experiments.GCCSummaryWith(bc)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			fail("gcc summary", err)
 		}
 		fmt.Println(out)
 	}
 	if *ext {
 		out, err := experiments.Extensions("02", "drawing")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			fail("extensions", err)
 		}
 		fmt.Println(out)
 	}
@@ -158,7 +167,7 @@ func main() {
 	needRuns := all || *table2 || *table3 || *fig7 || *fig8 || *fig10 ||
 		*results != "" || *traceFile != "" || *attribution != ""
 	if !needRuns {
-		flushObservability(tracer, reg, *traceFile, *metricsOut, *verbose)
+		flushObservability(log, tracer, reg, *traceFile, *metricsOut, *verbose)
 		return
 	}
 
@@ -166,7 +175,7 @@ func main() {
 	if *subject != "" {
 		s := corpus.ByName(*subject)
 		if s == nil {
-			fmt.Fprintf(os.Stderr, "experiments: unknown subject %q\n", *subject)
+			log.Error("unknown subject", "subject", *subject)
 			os.Exit(1)
 		}
 		subjects = []*corpus.Subject{s}
@@ -175,7 +184,7 @@ func main() {
 	cfg := experiments.RunConfig{Jobs: *jobs, Subjects: subjects, Cache: bc, Obs: o}
 	if *verbose {
 		cfg.Progress = func(s *corpus.Subject) {
-			fmt.Fprintf(os.Stderr, "running %s (%s)...\n", s.Name, s.Library)
+			log.Info("running subject", "subject", s.Name, "library", s.Library)
 		}
 	}
 	res, err := experiments.RunAllWith(cfg)
@@ -188,9 +197,8 @@ func main() {
 				done++
 			}
 		}
-		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-		fmt.Fprintf(os.Stderr, "experiments: completed %d of %d subjects before the failure\n", done, total)
-		flushObservability(tracer, reg, *traceFile, *metricsOut, *verbose)
+		log.Error("run failed", "err", err, "completed", done, "total", total)
+		flushObservability(log, tracer, reg, *traceFile, *metricsOut, *verbose)
 		os.Exit(1)
 	}
 	experiments.SortByTableOrder(res)
@@ -216,49 +224,45 @@ func main() {
 	}
 	if *results != "" {
 		if err := writeResults(*results, res); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			fail("write results", err)
 		}
-		fmt.Fprintf(os.Stderr, "results written to %s\n", *results)
+		log.Info("results written", "dir", *results)
 	}
 	if *attribution != "" {
 		rep := experiments.Attribution(res, bc)
 		blob, err := rep.JSON()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: attribution: %v\n", err)
-			os.Exit(1)
+			fail("attribution", err)
 		}
 		if dir := filepath.Dir(*attribution); dir != "." {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: attribution: %v\n", err)
-				os.Exit(1)
+				fail("attribution", err)
 			}
 		}
 		if err := os.WriteFile(*attribution, append(blob, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: attribution: %v\n", err)
-			os.Exit(1)
+			fail("attribution", err)
 		}
-		fmt.Fprintf(os.Stderr, "attribution report written to %s\n", *attribution)
+		log.Info("attribution report written", "path", *attribution)
 	}
-	flushObservability(tracer, reg, *traceFile, *metricsOut, *verbose)
+	flushObservability(log, tracer, reg, *traceFile, *metricsOut, *verbose)
 }
 
 // flushObservability writes the trace file and metrics snapshot (if
 // requested) once the run — complete or partial — is over.
-func flushObservability(tracer *obs.Tracer, reg *obs.Registry, traceFile, metricsOut string, verbose bool) {
+func flushObservability(log *slog.Logger, tracer *obs.Tracer, reg *obs.Registry, traceFile, metricsOut string, verbose bool) {
 	if tracer != nil && traceFile != "" {
 		f, err := os.Create(traceFile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", err)
+			log.Error("trace", "err", err)
 			return
 		}
 		if err := tracer.Export(f); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", err)
+			log.Error("trace", "err", err)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", err)
+			log.Error("trace", "err", err)
 		}
-		fmt.Fprintf(os.Stderr, "trace written to %s (open in chrome://tracing)\n", traceFile)
+		log.Info("trace written", "path", traceFile, "viewer", "chrome://tracing")
 	}
 	if reg == nil {
 		return
@@ -269,14 +273,14 @@ func flushObservability(tracer *obs.Tracer, reg *obs.Registry, traceFile, metric
 	} else if metricsOut != "" {
 		blob, err := snap.JSON()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: metrics: %v\n", err)
+			log.Error("metrics", "err", err)
 			return
 		}
 		if err := os.WriteFile(metricsOut, append(blob, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: metrics: %v\n", err)
+			log.Error("metrics", "err", err)
 			return
 		}
-		fmt.Fprintf(os.Stderr, "metrics written to %s\n", metricsOut)
+		log.Info("metrics written", "path", metricsOut)
 	}
 	if verbose && metricsOut != "-" {
 		os.Stderr.WriteString(snap.String())

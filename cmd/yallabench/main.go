@@ -1,0 +1,216 @@
+// Command yallabench is the regression observatory: one command that
+// runs the repository's benchmark suite — the edit-stream replay, the
+// daemon load generator, and the frontend micro-benchmarks — and folds
+// every result into a versioned trajectory file. Successive runs build a
+// performance history; -compare diffs the current run against a
+// committed baseline benchstat-style and exits nonzero when a gated
+// metric (p95 latencies by default) regresses beyond the tolerance,
+// which is how CI catches performance regressions before merge.
+//
+// Usage:
+//
+//	yallabench [-subjects a,b,...] [-iters N] [-clients N]
+//	           [-replay-out results/bench_replay.json]
+//	           [-trajectory results/bench_trajectory.json]
+//	           [-label text] [-skip-loadgen] [-skip-frontend]
+//	           [-compare results/bench_baseline.json]
+//	           [-tolerance 0.10] [-gate p95]
+//	           [-save-baseline path]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/daemon"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/replay"
+)
+
+func main() {
+	var (
+		subjects  = flag.String("subjects", "", "comma-separated subjects (default: whole corpus)")
+		iters     = flag.Int("iters", 5, "replay edits per class per subject")
+		clients   = flag.Int("clients", 4, "loadgen concurrent clients")
+		lgIters   = flag.Int("loadgen-iters", 10, "loadgen iterations per client")
+		replayOut = flag.String("replay-out", "results/bench_replay.json", "replay report path")
+		trajPath  = flag.String("trajectory", "results/bench_trajectory.json", "trajectory file to append to")
+		label     = flag.String("label", "", "label for this trajectory entry")
+		skipLG    = flag.Bool("skip-loadgen", false, "skip the daemon load generator")
+		skipFE    = flag.Bool("skip-frontend", false, "skip the frontend micro-benchmarks")
+		comparePt = flag.String("compare", "", "baseline to compare against (entry or trajectory file); exit 1 on regression")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed relative growth on gated metrics")
+		gate      = flag.String("gate", "p95", "substring selecting gated metrics")
+		saveBase  = flag.String("save-baseline", "", "also write this run as a standalone baseline file")
+		verbose   = flag.Bool("v", false, "debug-level progress logs")
+	)
+	flag.Parse()
+	log := obs.StderrLogger(*verbose).With("run", obs.NewRunID())
+
+	var subjectList []string
+	if *subjects != "" {
+		subjectList = strings.Split(*subjects, ",")
+	}
+	entry, err := measure(measureConfig{
+		Subjects:     subjectList,
+		ReplayIters:  *iters,
+		Clients:      *clients,
+		LoadgenIters: *lgIters,
+		SkipLoadgen:  *skipLG,
+		SkipFrontend: *skipFE,
+		ReplayOut:    *replayOut,
+		Log:          log,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	entry.Time = time.Now().UTC().Format(time.RFC3339)
+	entry.Label = *label
+
+	tr, err := bench.Load(*trajPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := tr.Append(*trajPath, *entry); err != nil {
+		fail("append trajectory: %v", err)
+	}
+	log.Info("trajectory appended", "path", *trajPath, "seq", len(tr.Entries), "metrics", len(entry.Metrics))
+	if *saveBase != "" {
+		if err := bench.SaveEntry(*saveBase, *entry); err != nil {
+			fail("save baseline: %v", err)
+		}
+		log.Info("baseline written", "path", *saveBase)
+	}
+
+	if *comparePt == "" {
+		return
+	}
+	base, err := bench.LoadBaseline(*comparePt)
+	if err != nil {
+		fail("load baseline: %v", err)
+	}
+	res := bench.Compare(base, *entry, bench.Opts{Tolerance: *tolerance, Gate: *gate})
+	fmt.Print(res.Table())
+	if !res.OK() {
+		fail("regression on %s (tolerance +%.0f%%)",
+			strings.Join(res.Regressions(), ", "), *tolerance*100)
+	}
+	fmt.Printf("no regressions: %d gated metrics within +%.0f%% of %s\n",
+		gatedCount(res), *tolerance*100, *comparePt)
+}
+
+func gatedCount(res *bench.Result) int {
+	n := 0
+	for _, d := range res.Deltas {
+		if d.Gated {
+			n++
+		}
+	}
+	return n
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "yallabench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// measureConfig parameterizes one observatory run; tests shrink it and
+// inject the synthetic delay.
+type measureConfig struct {
+	Subjects     []string
+	ReplayIters  int
+	Clients      int
+	LoadgenIters int
+	SkipLoadgen  bool
+	SkipFrontend bool
+	ReplayOut    string
+	// InjectDelay is threaded to the replay harness (test-only).
+	InjectDelay time.Duration
+	Log         interface {
+		Info(msg string, args ...any)
+	}
+}
+
+// measure runs the suite and flattens everything into one bench.Entry.
+func measure(cfg measureConfig) (*bench.Entry, error) {
+	entry := &bench.Entry{Metrics: map[string]float64{}, Info: map[string]float64{}}
+
+	rep, err := replay.Run(replay.Config{
+		Subjects:    cfg.Subjects,
+		Iters:       cfg.ReplayIters,
+		InjectDelay: cfg.InjectDelay,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("replay: %v", err)
+	}
+	if cfg.ReplayOut != "" {
+		blob, err := rep.JSON()
+		if err != nil {
+			return nil, err
+		}
+		if err := os.MkdirAll(filepath.Dir(cfg.ReplayOut), 0o755); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(cfg.ReplayOut, append(blob, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	for _, cs := range rep.Classes {
+		prefix := "replay/" + cs.Class + "/"
+		entry.Metrics[prefix+"p50_ns"] = float64(cs.Latency.P50Ns)
+		entry.Metrics[prefix+"p95_ns"] = float64(cs.Latency.P95Ns)
+		entry.Metrics[prefix+"p99_ns"] = float64(cs.Latency.P99Ns)
+		entry.Metrics[prefix+"mean_ns"] = float64(cs.Latency.MeanNs)
+		// Virtual-clock costs are byte-identical across machines; CI
+		// gates on these (-gate virtual_p95) so a baseline committed
+		// from one machine is exact on another.
+		entry.Metrics[prefix+"virtual_p95_ms"] = cs.VirtualP95Ms
+		entry.Metrics[prefix+"virtual_mean_ms"] = cs.VirtualMeanMs
+	}
+	entry.Info["replay/over_invalidation_x"] = rep.OverInvalidationX
+	if cfg.Log != nil {
+		cfg.Log.Info("replay done", "subjects", rep.Subjects,
+			"over_invalidation_x", fmt.Sprintf("%.1f", rep.OverInvalidationX))
+	}
+
+	if !cfg.SkipLoadgen {
+		lr, err := daemon.Loadgen(daemon.LoadgenConfig{
+			Clients:  cfg.Clients,
+			Iters:    cfg.LoadgenIters,
+			Subjects: cfg.Subjects,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: %v", err)
+		}
+		entry.Metrics["daemon/warm_iter/p50_ns"] = float64(lr.WarmIter.P50Ns)
+		entry.Metrics["daemon/warm_iter/p95_ns"] = float64(lr.WarmIter.P95Ns)
+		entry.Metrics["daemon/warm_iter/mean_ns"] = float64(lr.WarmIter.MeanNs)
+		entry.Metrics["daemon/first_iter/p95_ns"] = float64(lr.FirstIter.P95Ns)
+		entry.Info["daemon/warm_speedup"] = lr.WarmSpeedup
+		entry.Info["daemon/throughput_rps"] = lr.ThroughputRPS
+		if cfg.Log != nil {
+			cfg.Log.Info("loadgen done", "warm_speedup", fmt.Sprintf("%.1f", lr.WarmSpeedup))
+		}
+	}
+
+	if !cfg.SkipFrontend {
+		micros, err := experiments.BenchFrontend()
+		if err != nil {
+			return nil, fmt.Errorf("frontend bench: %v", err)
+		}
+		for _, m := range micros {
+			entry.Metrics["frontend/"+m.Name+"/ns_per_op"] = float64(m.NsPerOp)
+			entry.Info["frontend/"+m.Name+"/mb_per_s"] = m.MBPerS
+		}
+		if cfg.Log != nil {
+			cfg.Log.Info("frontend micros done", "count", len(micros))
+		}
+	}
+	return entry, nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// smallCfg is a fast observatory run: one subject, two edits per class,
+// no loadgen or frontend micros. The injected base delay dominates the
+// timed windows so real scheduling noise cannot trip the gate.
+func smallCfg(out string, delay time.Duration) measureConfig {
+	return measureConfig{
+		Subjects:     []string{"archiver"},
+		ReplayIters:  2,
+		SkipLoadgen:  true,
+		SkipFrontend: true,
+		ReplayOut:    out,
+		InjectDelay:  delay,
+	}
+}
+
+// TestCompareGateDetectsSlowdown is the observatory's acceptance test:
+// an unmodified re-run passes the 10% p95 gate, a synthetic 2× slowdown
+// (injected sleep inside every timed window) fails it.
+func TestCompareGateDetectsSlowdown(t *testing.T) {
+	const baseDelay = 40 * time.Millisecond
+
+	baseline, err := measure(smallCfg("", baseDelay))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := measure(smallCfg("", baseDelay))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := bench.Compare(*baseline, *same, bench.Opts{}); !res.OK() {
+		t.Errorf("unmodified run flagged as regression:\n%s", res.Table())
+	}
+
+	slow, err := measure(smallCfg("", 2*baseDelay))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := bench.Compare(*baseline, *slow, bench.Opts{})
+	if res.OK() {
+		t.Fatalf("2x slowdown passed the gate:\n%s", res.Table())
+	}
+	// The comment and body windows are dominated by the injected delay,
+	// so their p95 metrics must be flagged. (The interface class also
+	// pays a real re-Prepare per edit, which can swamp the synthetic
+	// delta — its flagging depends on machine speed, so it isn't
+	// asserted.)
+	regs := strings.Join(res.Regressions(), " ")
+	for _, class := range []string{"comment", "body"} {
+		if !strings.Contains(regs, "replay/"+class+"/p95_ns") {
+			t.Errorf("class %s not flagged; regressions: %s", class, regs)
+		}
+	}
+	if !strings.Contains(res.Table(), "REGRESSION") {
+		t.Errorf("table missing REGRESSION verdict:\n%s", res.Table())
+	}
+}
+
+// TestMeasureWritesReplayReport checks the bench_replay.json side
+// artifact and the entry's metric names.
+func TestMeasureWritesReplayReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "results", "bench_replay.json")
+	entry, err := measure(smallCfg(out, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("replay report not written: %v", err)
+	}
+	for _, want := range []string{`"class": "comment"`, `"class": "body"`, `"class": "interface"`, `"over_invalidation_x"`} {
+		if !strings.Contains(string(blob), want) {
+			t.Errorf("replay report missing %s", want)
+		}
+	}
+	for _, name := range []string{
+		"replay/comment/p95_ns", "replay/body/p95_ns", "replay/interface/p95_ns",
+	} {
+		if entry.Metrics[name] <= 0 {
+			t.Errorf("entry metric %s = %v, want > 0", name, entry.Metrics[name])
+		}
+	}
+	if entry.Info["replay/over_invalidation_x"] <= 0 {
+		t.Errorf("over-invalidation ratio missing from entry info")
+	}
+}

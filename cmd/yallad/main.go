@@ -10,9 +10,12 @@
 //	yallad [-addr 127.0.0.1:7777] [-workers N] [-max-cached-tus N]
 //
 // The daemon serves the JSON API documented on daemon.Handler, plus
-// GET /metrics (RED metrics and pipeline counters) and GET /trace
-// (Chrome trace of completed requests). SIGINT/SIGTERM drain
-// gracefully: in-flight requests finish before the process exits.
+// GET /metrics (RED metrics and pipeline counters with estimated
+// p50/p95/p99), GET /trace (Chrome trace of completed requests),
+// GET /debug/dash (a live HTML dashboard), and GET /debug/flight
+// (the flight recorder's ring of recently sealed request lanes).
+// SIGINT/SIGTERM drain gracefully: /healthz turns 503 and in-flight
+// requests finish before the process exits.
 //
 // Load-generator mode benchmarks the daemon against the cold one-shot
 // path and writes a JSON report:
@@ -45,6 +48,7 @@ func main() {
 		maxTUs  = flag.Int("max-cached-tus", 4096, "LRU cap on cached translation units (0 = unbounded)")
 		reqTO   = flag.Duration("request-timeout", 60*time.Second, "per-request deadline")
 		drainTO = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound")
+		verbose = flag.Bool("v", false, "debug-level request logs on stderr")
 
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		clients  = flag.Int("clients", 8, "loadgen: concurrent clients")
@@ -61,6 +65,7 @@ func main() {
 		return
 	}
 
+	log := obs.StderrLogger(*verbose).With("run", obs.NewRunID())
 	srv := daemon.New(daemon.Config{
 		Addr:           *addr,
 		Workers:        *workers,
@@ -69,14 +74,14 @@ func main() {
 		DrainTimeout:   *drainTO,
 		Tracer:         obs.NewTracer(nil),
 		Registry:       obs.NewRegistry(),
+		Logger:         log,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "yallad listening on %s (%d workers)\n", *addr, *workers)
+	log.Info("dashboard", "url", "http://"+*addr+"/debug/dash")
 	if err := srv.Run(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail("%v", err)
 	}
-	fmt.Fprintln(os.Stderr, "yallad drained and stopped")
 }
 
 func runLoadgen(clients, iters int, subjects, mode string, cold, workers int, out string) {

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func entry(metrics map[string]float64) Entry {
+	return Entry{Time: "2026-01-01T00:00:00Z", Metrics: metrics}
+}
+
+// TestCompareGate checks the gate semantics: only metrics matching the
+// gate substring can regress, and only beyond the tolerance.
+func TestCompareGate(t *testing.T) {
+	base := entry(map[string]float64{
+		"replay/comment/p95_ns":  1000,
+		"replay/comment/p50_ns":  900,
+		"frontend/lex/ns_per_op": 50,
+	})
+	cur := entry(map[string]float64{
+		"replay/comment/p95_ns":  1250, // +25%: gated, beyond 10%
+		"replay/comment/p50_ns":  5000, // +456%: not gated (p50)
+		"frontend/lex/ns_per_op": 60,   // not gated
+		"replay/body/p95_ns":     77,   // new metric: skipped
+	})
+	res := Compare(base, cur, Opts{})
+	if res.OK() {
+		t.Fatal("25% p95 growth passed a 10% gate")
+	}
+	if regs := res.Regressions(); len(regs) != 1 || regs[0] != "replay/comment/p95_ns" {
+		t.Errorf("regressions = %v, want only the gated p95", regs)
+	}
+	if len(res.Deltas) != 3 {
+		t.Errorf("deltas = %d, want 3 (the new metric is skipped)", len(res.Deltas))
+	}
+
+	// Within tolerance: passes.
+	cur.Metrics["replay/comment/p95_ns"] = 1050
+	if res := Compare(base, cur, Opts{}); !res.OK() {
+		t.Errorf("5%% growth failed a 10%% gate: %v", res.Regressions())
+	}
+	// Tighter tolerance: fails.
+	if res := Compare(base, cur, Opts{Tolerance: 0.01}); res.OK() {
+		t.Error("5% growth passed a 1% gate")
+	}
+	// Improvement: never a regression.
+	cur.Metrics["replay/comment/p95_ns"] = 100
+	if res := Compare(base, cur, Opts{}); !res.OK() {
+		t.Error("a 10x speedup failed the gate")
+	}
+}
+
+// TestTable checks the rendered comparison.
+func TestTable(t *testing.T) {
+	base := entry(map[string]float64{"replay/comment/p95_ns": 1_000_000})
+	cur := entry(map[string]float64{"replay/comment/p95_ns": 2_000_000})
+	res := Compare(base, cur, Opts{})
+	out := res.Table()
+	for _, want := range []string{"replay/comment/p95_ns", "1.00ms", "2.00ms", "+100.0%", "REGRESSION"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTrajectoryRoundTrip checks append/load/baseline selection.
+func TestTrajectoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traj.json")
+	tr, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Entries) != 0 {
+		t.Fatalf("missing file loaded %d entries", len(tr.Entries))
+	}
+	if err := tr.Append(path, entry(map[string]float64{"a/p95_ns": 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Append(path, entry(map[string]float64{"a/p95_ns": 2})); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != 2 || back.Entries[0].Seq != 1 || back.Entries[1].Seq != 2 {
+		t.Fatalf("round trip: %+v", back.Entries)
+	}
+	last, ok := back.Last()
+	if !ok || last.Metrics["a/p95_ns"] != 2 {
+		t.Errorf("last entry = %+v", last)
+	}
+
+	// A trajectory file works as a baseline (last entry wins)...
+	e, err := LoadBaseline(path)
+	if err != nil || e.Metrics["a/p95_ns"] != 2 {
+		t.Errorf("baseline from trajectory = %+v, %v", e, err)
+	}
+	// ...and so does a standalone entry file.
+	single := filepath.Join(t.TempDir(), "base.json")
+	if err := SaveEntry(single, entry(map[string]float64{"b/p95_ns": 7})); err != nil {
+		t.Fatal(err)
+	}
+	e, err = LoadBaseline(single)
+	if err != nil || e.Metrics["b/p95_ns"] != 7 {
+		t.Errorf("baseline from entry = %+v, %v", e, err)
+	}
+}

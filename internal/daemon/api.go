@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
@@ -17,9 +19,11 @@ const maxBodyBytes = 8 << 20
 
 // Handler returns the daemon's HTTP API:
 //
-//	GET    /healthz                      liveness + uptime
+//	GET    /healthz                      liveness + uptime (503 while draining)
 //	GET    /metrics                      metrics snapshot (?format=text)
 //	GET    /trace                        Chrome trace of completed requests
+//	GET    /debug/dash                   live HTML dashboard (auto-refresh)
+//	GET    /debug/flight                 flight recorder (?last=N lanes)
 //	POST   /v1/sessions                  create session {name,subject,mode}
 //	GET    /v1/sessions                  list sessions
 //	GET    /v1/sessions/{name}           session info
@@ -34,6 +38,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /trace", s.handleTrace)
+	mux.HandleFunc("GET /debug/dash", s.handleDash)
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	mux.HandleFunc("POST /v1/sessions", s.instrument("session.create", s.handleSessionCreate))
 	mux.HandleFunc("GET /v1/sessions", s.instrument("session.list", s.handleSessionList))
 	mux.HandleFunc("GET /v1/sessions/{name}", s.instrument("session.get", s.handleSessionGet))
@@ -84,12 +90,14 @@ func (s *Server) instrument(route string, h handlerFunc) http.HandlerFunc {
 		gauge.Set(s.inflight.Add(1))
 		start := time.Now()
 
+		w.Header().Set("X-Request-ID", fmt.Sprintf("%d", id))
 		ro := s.o.Lane(fmt.Sprintf("req %d", id))
 		sp := ro.Start("request")
 		sp.SetStr("route", route)
 		sp.SetStr("method", r.Method)
-		if name := r.PathValue("name"); name != "" {
-			sp.SetStr("session", name)
+		session := r.PathValue("name")
+		if session != "" {
+			sp.SetStr("session", session)
 		}
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -97,15 +105,39 @@ func (s *Server) instrument(route string, h handlerFunc) http.HandlerFunc {
 		cancel()
 
 		sp.SetInt("status", int64(status))
+		d := time.Since(start)
+		// The request span is the histogram exemplar: a slow bucket in
+		// /metrics names the span whose lane /debug/flight can export.
+		s.o.ObserveMsEx("daemon.request_ms", d, sp)
+		s.o.ObserveMsEx("daemon.request_ms."+route, d, sp)
 		sp.End()
 		ro.SealLane()
 		gauge.Set(s.inflight.Add(-1))
-		d := time.Since(start)
-		s.o.ObserveMs("daemon.request_ms", d)
-		s.o.ObserveMs("daemon.request_ms."+route, d)
+		s.recent.add(sample{route: route, dur: d, status: status})
 		if status >= 400 {
 			errCount.Add(1)
 		}
+		logRequest(s.log, id, route, session, status, d)
+	}
+}
+
+// logRequest emits the structured per-request line: Info for success,
+// Warn for client errors, Error for server errors.
+func logRequest(log *slog.Logger, id uint64, route, session string, status int, d time.Duration) {
+	attrs := []any{
+		"req_id", id, "route", route, "status", status,
+		"dur_ms", float64(d.Microseconds()) / 1000,
+	}
+	if session != "" {
+		attrs = append(attrs, "session", session)
+	}
+	switch {
+	case status >= 500:
+		log.Error("request", attrs...)
+	case status >= 400:
+		log.Warn("request", attrs...)
+	default:
+		log.Info("request", attrs...)
 	}
 }
 
@@ -162,6 +194,7 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 
 type healthResponse struct {
 	Status    string `json:"status"`
+	Draining  bool   `json:"draining"`
 	UptimeSec int64  `json:"uptime_sec"`
 	Sessions  int    `json:"sessions"`
 	Workers   int    `json:"workers"`
@@ -171,12 +204,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	n := len(s.sessions)
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, healthResponse{
+	resp := healthResponse{
 		Status:    "ok",
+		Draining:  s.draining.Load(),
 		UptimeSec: int64(time.Since(s.started).Seconds()),
 		Sessions:  n,
 		Workers:   s.cfg.Workers,
-	})
+	}
+	status := http.StatusOK
+	if resp.Draining {
+		// 503 tells load balancers to stop routing here; the body still
+		// reports the drain so clients can distinguish it from overload.
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -207,6 +249,30 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.tracer.ExportSealed(w); err != nil {
 		// Headers are gone; nothing more to do than drop the conn.
+		return
+	}
+}
+
+// handleFlight dumps the flight recorder — the bounded ring of recently
+// sealed request lanes — as a Chrome trace. ?last=N restricts to the N
+// most recently sealed lanes ("what just happened?" without downloading
+// the whole retention window).
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled")
+		return
+	}
+	last := 0
+	if v := r.URL.Query().Get("last"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "last must be a non-negative integer, got %q", v)
+			return
+		}
+		last = n
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.tracer.ExportSealedLast(w, last); err != nil {
 		return
 	}
 }

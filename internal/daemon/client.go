@@ -128,9 +128,26 @@ func (c *Client) ReadFile(session, path string) (string, error) {
 	return res.Content, err
 }
 
-// Health fetches /healthz.
+// SessionInfo fetches one session's info.
+func (c *Client) SessionInfo(session string) (Info, error) {
+	var info Info
+	err := c.do("GET", "/v1/sessions/"+url.PathEscape(session), nil, &info)
+	return info, err
+}
+
+// Health fetches /healthz. Unlike the other calls it decodes the body
+// regardless of HTTP status: a draining daemon answers 503 with
+// {"status":"draining","draining":true}, which is a valid health report,
+// not an error. Transport failures still error.
 func (c *Client) Health() (map[string]any, error) {
+	resp, err := c.hc.Get(c.base + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
 	var out map[string]any
-	err := c.do("GET", "/healthz", nil, &out)
-	return out, err
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("GET /healthz: %d: %v", resp.StatusCode, err)
+	}
+	return out, nil
 }

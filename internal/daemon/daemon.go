@@ -21,6 +21,7 @@ package daemon
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
@@ -61,6 +62,10 @@ type Config struct {
 	// Registry, when set, collects the daemon's RED metrics and the
 	// whole pipeline's counters, served at /metrics.
 	Registry *obs.Registry
+	// Logger, when set, receives structured per-request logs (request
+	// ID, route, session, status, duration) and lifecycle events; nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 func (c *Config) fill() {
@@ -89,6 +94,7 @@ type Server struct {
 	tracer *obs.Tracer
 	reg    *obs.Registry
 	cache  *buildcache.Cache
+	log    *slog.Logger
 
 	mu       sync.RWMutex
 	sessions map[string]*Session
@@ -105,6 +111,14 @@ type Server struct {
 	reqIDs   atomic.Uint64
 	inflight atomic.Int64
 	started  time.Time
+
+	// draining flips when graceful shutdown begins: /healthz turns 503
+	// so load balancers stop routing to this node while in-flight
+	// requests finish.
+	draining atomic.Bool
+
+	// recent is the dashboard's sample ring of completed requests.
+	recent latRing
 }
 
 type substFlight struct {
@@ -126,8 +140,13 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Tracer != nil {
 		cfg.Tracer.SetSealedRetention(cfg.TraceRetention)
+		cfg.Tracer.AttachMetrics(cfg.Registry)
 	}
-	o := obs.New(cfg.Tracer, cfg.Registry)
+	log := cfg.Logger
+	if log == nil {
+		log = obs.Discard()
+	}
+	o := obs.New(cfg.Tracer, cfg.Registry).WithLogger(log)
 	cache.AttachMetrics(o)
 	return &Server{
 		cfg:          cfg,
@@ -135,6 +154,7 @@ func New(cfg Config) *Server {
 		tracer:       cfg.Tracer,
 		reg:          cfg.Registry,
 		cache:        cache,
+		log:          log,
 		sessions:     map[string]*Session{},
 		slots:        make(chan struct{}, cfg.Workers),
 		substFlights: map[string]*substFlight{},
@@ -167,14 +187,29 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+	s.log.Info("daemon serving", "addr", ln.Addr().String(), "workers", s.cfg.Workers)
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		// Flip /healthz to 503 before closing the listener so load
+		// balancers stop routing here while in-flight work drains.
+		s.draining.Store(true)
+		s.log.Info("daemon draining", "timeout", s.cfg.DrainTimeout.String(),
+			"inflight", s.inflight.Load())
 		dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 		defer cancel()
-		return hs.Shutdown(dctx)
+		err := hs.Shutdown(dctx)
+		s.log.Info("daemon stopped", "err", errStr(err))
+		return err
 	}
+}
+
+func errStr(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // Cache exposes the server's build cache (the load generator reports

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"reflect"
 	"strings"
 	"sync"
@@ -442,6 +443,9 @@ func TestGracefulDrain(t *testing.T) {
 	base := "http://" + ln.Addr().String()
 
 	c := NewClient(base)
+	if h, err := c.Health(); err != nil || h["draining"] != false || h["status"] != "ok" {
+		t.Errorf("pre-drain health = %v, %v; want status ok, draining false", h, err)
+	}
 	if _, err := c.CreateSession("s", "02", ""); err != nil {
 		t.Fatal(err)
 	}
@@ -456,6 +460,18 @@ func TestGracefulDrain(t *testing.T) {
 	time.Sleep(100 * time.Millisecond) // let the request reach the queue
 	cancel()                           // begin graceful shutdown
 	time.Sleep(50 * time.Millisecond)
+	// Mid-drain the health endpoint must answer 503 with the drain
+	// flagged in the body. The listener is already closed, so exercise
+	// the handler directly.
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("mid-drain healthz status = %d, want 503", rec.Code)
+	}
+	var h healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil || !h.Draining || h.Status != "draining" {
+		t.Errorf("mid-drain health body = %s (%v), want draining", rec.Body.String(), err)
+	}
 	<-srv.slots // free the worker; the queued request must now complete
 
 	if err := <-cycleErr; err != nil {

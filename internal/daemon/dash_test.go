@@ -1,0 +1,120 @@
+package daemon
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestDashboard drives /debug/dash against a live daemon: the page must
+// render with only stdlib parts, reflect served traffic (route rows,
+// session table, sparkline), and the sibling /debug/flight endpoint
+// must export a bounded Chrome trace.
+func TestDashboard(t *testing.T) {
+	base, _, shutdown := startServer(t, Config{
+		Tracer:   obs.NewTracer(nil),
+		Registry: obs.NewRegistry(),
+	})
+	defer shutdown()
+	c := NewClient(base)
+
+	if _, err := c.CreateSession("dash", "02", "yalla"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cycle("dash", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(base + "/debug/dash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dash status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("dash content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(body)
+	for _, want := range []string{
+		"<svg",            // latency sparkline
+		">cycle<",         // per-route row for the cycle we ran
+		">dash<",          // the session table lists our session
+		"Build cache",     // cache hit-rate section
+		"Flight recorder", // flight-recorder stats
+		`http-equiv="refresh"`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("dashboard page missing %q", want)
+		}
+	}
+	if strings.Contains(page, "draining") && !strings.Contains(page, `class="pill ok"`) {
+		t.Errorf("live dashboard should show the serving pill")
+	}
+
+	// The flight recorder endpoint: a bounded, valid Chrome trace.
+	resp, err = http.Get(base + "/debug/flight?last=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		t.Fatalf("flight decode: %v", err)
+	}
+	resp.Body.Close()
+	if len(trace.TraceEvents) == 0 {
+		t.Error("flight export empty")
+	}
+
+	// Bad ?last is rejected.
+	resp, err = http.Get(base + "/debug/flight?last=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus last: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRequestIDHeader checks that instrumented routes stamp the response
+// with the request ID used in logs and trace lane names.
+func TestRequestIDHeader(t *testing.T) {
+	base, _, shutdown := startServer(t, Config{})
+	defer shutdown()
+	resp, err := http.Get(base + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("instrumented route missing X-Request-ID header")
+	}
+}
+
+// TestLatRing checks the dashboard sample ring's overwrite semantics.
+func TestLatRing(t *testing.T) {
+	var r latRing
+	for i := 0; i < latRingSize+5; i++ {
+		r.add(sample{status: i})
+	}
+	got := r.snapshot()
+	if len(got) != latRingSize {
+		t.Fatalf("ring holds %d samples, want %d", len(got), latRingSize)
+	}
+	if got[0].status != 5 || got[len(got)-1].status != latRingSize+4 {
+		t.Errorf("ring window = [%d, %d], want [5, %d]",
+			got[0].status, got[len(got)-1].status, latRingSize+4)
+	}
+}

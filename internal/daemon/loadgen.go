@@ -50,6 +50,11 @@ type LatencyStats struct {
 	MaxNs  int64 `json:"max_ns"`
 }
 
+// Summarize computes the latency percentiles of a raw sample set; the
+// replay benchmark reuses it so every report quotes quantiles the same
+// way.
+func Summarize(samples []time.Duration) LatencyStats { return summarize(samples) }
+
 func summarize(samples []time.Duration) LatencyStats {
 	if len(samples) == 0 {
 		return LatencyStats{}

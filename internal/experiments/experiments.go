@@ -107,6 +107,10 @@ func runSubject(s *corpus.Subject, bc *buildcache.Cache, o *obs.Obs) (*SubjectRe
 		start := time.Now()
 		msp := so.Start("mode")
 		msp.SetStr("mode", mode.String())
+		// Debug lines carry the span ID, so a slow mode in the log links
+		// straight to its lane in the trace export.
+		mlog := msp.Obs().Logger()
+		mlog.Debug("mode start", "subject", s.Name, "mode", mode.String(), "phase", "prepare")
 		st, err := devcycle.PrepareWith(s, mode, devcycle.Config{Cache: bc, Obs: msp.Obs()})
 		if err != nil {
 			msp.End()
@@ -118,6 +122,8 @@ func runSubject(s *corpus.Subject, bc *buildcache.Cache, o *obs.Obs) (*SubjectRe
 			msp.End()
 			return nil, fmt.Errorf("%s/%v: %v", s.Name, mode, err)
 		}
+		mlog.Debug("mode done", "subject", s.Name, "mode", mode.String(), "phase", "cycle",
+			"wall_ms", time.Since(start).Milliseconds())
 		msp.End()
 		ph := st.Phases()
 		stats := st.Stats()

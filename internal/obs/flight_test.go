@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFlightRecorderEviction checks the ring bound: sealing past the cap
+// drops the oldest sealed lane (seal order, not creation order) and
+// increments both the tracer's eviction count and the attached registry
+// counter.
+func TestFlightRecorderEviction(t *testing.T) {
+	tr := NewTracer(NewVirtualClock(time.Millisecond))
+	tr.SetSealedRetention(2)
+	reg := NewRegistry()
+	tr.AttachMetrics(reg)
+	o := New(tr, reg)
+
+	// Create lanes in one order, seal them in another: eviction must
+	// follow seal order.
+	a := o.Lane("req a")
+	b := o.Lane("req b")
+	c := o.Lane("req c")
+	for _, l := range []*Obs{a, b, c} {
+		sp := l.Start("request")
+		sp.End()
+	}
+	b.SealLane() // sealed first → evicted first
+	a.SealLane()
+	c.SealLane() // pushes past cap 2: b drops
+
+	st := tr.FlightStats()
+	if st.Sealed != 2 || st.Cap != 2 || st.Evicted != 1 {
+		t.Errorf("flight stats = %+v, want sealed=2 cap=2 evicted=1", st)
+	}
+	if got := reg.Counter("obs.flight.evicted").Value(); got != 1 {
+		t.Errorf("registry eviction counter = %d, want 1", got)
+	}
+
+	var buf strings.Builder
+	if err := tr.ExportSealed(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, `"req b"`) {
+		t.Errorf("evicted lane still exported:\n%s", out)
+	}
+	for _, name := range []string{`"req a"`, `"req c"`} {
+		if !strings.Contains(out, name) {
+			t.Errorf("retained lane %s missing:\n%s", name, out)
+		}
+	}
+
+	// Double-seal is a no-op: no double entry, no spurious eviction.
+	c.SealLane()
+	if st := tr.FlightStats(); st.Sealed != 2 || st.Evicted != 1 {
+		t.Errorf("double seal changed stats: %+v", st)
+	}
+}
+
+// TestExportSealedLast checks the ?last=N window of the flight recorder.
+func TestExportSealedLast(t *testing.T) {
+	tr := NewTracer(NewVirtualClock(time.Millisecond))
+	o := New(tr, nil)
+	for i := 0; i < 5; i++ {
+		l := o.Lane(fmt.Sprintf("req %d", i))
+		sp := l.Start("request")
+		sp.End()
+		l.SealLane()
+	}
+	var buf strings.Builder
+	if err := tr.ExportSealedLast(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for i := 0; i < 3; i++ {
+		if strings.Contains(out, fmt.Sprintf(`"req %d"`, i)) {
+			t.Errorf("lane req %d outside the last-2 window exported", i)
+		}
+	}
+	for i := 3; i < 5; i++ {
+		if !strings.Contains(out, fmt.Sprintf(`"req %d"`, i)) {
+			t.Errorf("lane req %d inside the last-2 window missing", i)
+		}
+	}
+}
+
+// TestFlightRecorderConcurrent hammers Seal, ExportSealed, and the
+// retention trim from concurrent goroutines; run under -race this is
+// the flight recorder's data-race proof. Invariants: exports always
+// succeed, and the retained count never exceeds the cap.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	const workers, lanesPer, cap = 4, 100, 16
+	tr := NewTracer(nil)
+	tr.SetSealedRetention(cap)
+	reg := NewRegistry()
+	tr.AttachMetrics(reg)
+	o := New(tr, reg)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < lanesPer; i++ {
+				lane := o.Lane(fmt.Sprintf("w%d-%d", w, i))
+				sp := lane.Start("request")
+				sp.SetInt("i", int64(i))
+				sp.End()
+				lane.SealLane()
+			}
+		}(w)
+	}
+	exportDone := make(chan struct{})
+	go func() {
+		defer close(exportDone)
+		for i := 0; i < 50; i++ {
+			if err := tr.ExportSealed(io.Discard); err != nil {
+				t.Errorf("ExportSealed: %v", err)
+				return
+			}
+			_ = tr.FlightStats()
+		}
+	}()
+	wg.Wait()
+	<-exportDone
+
+	st := tr.FlightStats()
+	if st.Sealed != cap {
+		t.Errorf("retained %d sealed lanes, want cap %d", st.Sealed, cap)
+	}
+	if want := uint64(workers*lanesPer - cap); st.Evicted != want {
+		t.Errorf("evicted = %d, want %d", st.Evicted, want)
+	}
+	if got := reg.Counter("obs.flight.evicted").Value(); got != st.Evicted {
+		t.Errorf("registry eviction counter = %d, want %d", got, st.Evicted)
+	}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// Structured logging: the repository logs through log/slog so every
+// line carries machine-readable fields (run ID, request ID, subject,
+// mode, phase, span ID) instead of ad-hoc fmt.Fprintf prose. Loggers
+// ride the *Obs handle (WithLogger/Logger), which annotates lines with
+// the current span ID so logs correlate with traces; the injectable
+// Clock makes log output byte-stable in golden tests.
+
+// discardHandler drops every record. Implemented locally (rather than
+// relying on newer stdlib helpers) so the disabled path stays a plain
+// value with no setup.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+var discardLogger = slog.New(discardHandler{})
+
+// Discard returns the shared no-op logger: Enabled is always false, so
+// disabled-mode log calls skip attribute evaluation.
+func Discard() *slog.Logger { return discardLogger }
+
+// NewLogger returns a text-format slog logger writing to w at the given
+// level. A non-nil clock replaces each record's timestamp with the
+// clock's reading — a VirtualClock makes log output byte-stable for
+// golden tests; nil keeps real timestamps. Timestamps render as UTC
+// RFC3339 with millisecond precision.
+func NewLogger(w io.Writer, level slog.Leveler, clock Clock) *slog.Logger {
+	opts := &slog.HandlerOptions{
+		Level: level,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) == 0 && a.Key == slog.TimeKey {
+				t := a.Value.Time()
+				if clock != nil {
+					t = clock.Now()
+				}
+				a.Value = slog.StringValue(t.UTC().Format("2006-01-02T15:04:05.000Z"))
+			}
+			return a
+		},
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// runIDs makes NewRunID unique within a process even when two IDs are
+// minted in the same nanosecond.
+var runIDs atomic.Uint32
+
+// NewRunID mints a short hex run identifier. Every top-level run (an
+// experiments invocation, a daemon process, a bench run) stamps its log
+// lines with one so interleaved or archived logs can be pulled apart.
+func NewRunID() string {
+	return fmt.Sprintf("%08x", uint32(time.Now().UnixNano())^runIDs.Add(1)<<24)
+}
+
+// StderrLogger is the conventional CLI logger: text on stderr, Info
+// level (Debug when verbose), real timestamps.
+func StderrLogger(verbose bool) *slog.Logger {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	return NewLogger(os.Stderr, level, nil)
+}

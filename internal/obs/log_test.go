@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoggerGolden pins the text log format under a virtual clock: every
+// line is byte-stable given a deterministic call sequence.
+func TestLoggerGolden(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelDebug, NewVirtualClock(time.Second))
+	log.Info("request", "route", "cycle", "status", 200)
+	log.Debug("prepare", "subject", "02", "mode", "Yalla")
+	checkGolden(t, "log.txt.golden", buf.Bytes())
+}
+
+// TestLoggerLevel checks that lines below the handler level are dropped.
+func TestLoggerLevel(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelInfo, NewVirtualClock(time.Second))
+	log.Debug("hidden")
+	log.Info("visible")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("debug line leaked through info level:\n%s", out)
+	}
+	if !strings.Contains(out, "visible") {
+		t.Errorf("info line missing:\n%s", out)
+	}
+}
+
+// TestObsLoggerSpanCorrelation checks that a handle under a recorded
+// span annotates log lines with the span ID, and that the logger is
+// inherited by child handles and lanes.
+func TestObsLoggerSpanCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelInfo, NewVirtualClock(time.Second))
+	tr := NewTracer(NewVirtualClock(time.Millisecond))
+	o := New(tr, nil).WithLogger(log)
+
+	o.Logger().Info("root") // no span yet: no span attr
+	sp := o.Start("request")
+	sp.Obs().Logger().Info("inside")
+	sp.End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	if strings.Contains(lines[0], "span=") {
+		t.Errorf("root line carries a span attr: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "span=1") {
+		t.Errorf("nested line missing span=1: %s", lines[1])
+	}
+
+	// Lane inherits the logger.
+	if got := o.Lane("worker").Logger(); got == Discard() {
+		t.Error("lane handle lost the logger")
+	}
+}
+
+// TestNilObsLogger checks the disabled path: a nil handle logs to the
+// discard logger without panicking, and Discard's Enabled is false so
+// attribute evaluation is skipped.
+func TestNilObsLogger(t *testing.T) {
+	var o *Obs
+	o.Logger().Info("dropped", "k", "v")
+	if o.Logger() != Discard() {
+		t.Error("nil handle did not return the discard logger")
+	}
+	if Discard().Enabled(nil, slog.LevelError) {
+		t.Error("discard logger claims to be enabled")
+	}
+	// Logging-only handle: spans stay no-ops, logger works.
+	lo := o.WithLogger(StderrLogger(false))
+	if lo == nil {
+		t.Fatal("WithLogger on nil handle returned nil")
+	}
+	sp := lo.Start("x")
+	if sp.ID() != 0 {
+		t.Errorf("logging-only handle recorded a span: id %d", sp.ID())
+	}
+	sp.End()
+}
+
+// TestNewRunID checks that run IDs are non-empty and distinct.
+func TestNewRunID(t *testing.T) {
+	a, b := NewRunID(), NewRunID()
+	if a == "" || a == b {
+		t.Errorf("run IDs not distinct: %q %q", a, b)
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -66,10 +67,22 @@ type Histogram struct {
 	min     float64
 	max     float64
 	buckets []uint64 // len(histBounds)+1; last is the overflow bucket
+	// exemplars holds one span ID per bucket (the most recent observation
+	// recorded with ObserveEx), linking the metric back to a trace lane.
+	// Lazily allocated: plain Observe traffic pays nothing for it.
+	exemplars []int64
 }
 
 // Observe records one value. Safe on a nil receiver.
 func (h *Histogram) Observe(v float64) {
+	h.ObserveEx(v, 0)
+}
+
+// ObserveEx records one value together with an exemplar span ID (0 for
+// none): the bucket the value lands in remembers the ID, so a metrics
+// snapshot can point at a concrete trace span that exhibited that
+// latency. Safe on a nil receiver.
+func (h *Histogram) ObserveEx(v float64, exemplar int64) {
 	if h == nil {
 		return
 	}
@@ -84,12 +97,73 @@ func (h *Histogram) Observe(v float64) {
 	h.sum += v
 	i := sort.SearchFloat64s(histBounds, v)
 	h.buckets[i]++
+	if exemplar != 0 {
+		if h.exemplars == nil {
+			h.exemplars = make([]int64, len(histBounds)+1)
+		}
+		h.exemplars[i] = exemplar
+	}
 	h.mu.Unlock()
 }
 
 // ObserveDuration records a duration in milliseconds. Safe on nil.
 func (h *Histogram) ObserveDuration(d time.Duration) {
 	h.Observe(float64(d) / 1e6)
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) from the histogram's
+// exponential buckets. Safe on a nil receiver (returns 0).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return quantileFromBuckets(q, h.count, h.buckets, h.min, h.max)
+}
+
+// quantileFromBuckets estimates a quantile by locating the bucket that
+// contains the target rank and interpolating linearly inside it, clamped
+// to the observed [min, max]. It is a pure function of the bucket
+// counts, so snapshot output stays deterministic given deterministic
+// observations. Results are rounded to 3 decimals (the histograms hold
+// milliseconds; finer than a microsecond is estimation noise).
+func quantileFromBuckets(q float64, count uint64, buckets []uint64, min, max float64) float64 {
+	if count == 0 {
+		return 0
+	}
+	rank := q * float64(count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(n)
+		if cum+1e-9 < rank {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = histBounds[i-1]
+		}
+		if lo < min {
+			lo = min
+		}
+		hi := max // the observed max caps the overflow (and last) bucket
+		if i < len(histBounds) && histBounds[i] < hi {
+			hi = histBounds[i]
+		}
+		if hi < lo {
+			hi = lo
+		}
+		v := lo + (hi-lo)*(rank-prev)/float64(n)
+		return math.Round(v*1000) / 1000
+	}
+	return math.Round(max*1000) / 1000
 }
 
 // Registry is a process- or run-scoped set of named instruments, safe for
@@ -157,21 +231,31 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// HistSnapshot is one histogram's state at snapshot time. Buckets lists
-// only the non-empty buckets; LE is the bucket's inclusive upper bound
-// and +Inf is rendered as the JSON string "inf".
+// HistSnapshot is one histogram's state at snapshot time. P50/P95/P99
+// are estimated from the exponential buckets (see Quantile), so the
+// /metrics JSON, the dashboard, and the benchmark reports all read the
+// same numbers. Buckets lists only the non-empty buckets; LE is the
+// bucket's inclusive upper bound and +Inf is rendered as the JSON
+// string "inf".
 type HistSnapshot struct {
 	Count   uint64       `json:"count"`
 	Sum     float64      `json:"sum"`
 	Min     float64      `json:"min"`
 	Max     float64      `json:"max"`
+	P50     float64      `json:"p50"`
+	P95     float64      `json:"p95"`
+	P99     float64      `json:"p99"`
 	Buckets []BucketSnap `json:"buckets,omitempty"`
 }
 
-// BucketSnap is one non-empty histogram bucket.
+// BucketSnap is one non-empty histogram bucket. Exemplar, when nonzero,
+// is the span ID of the most recent observation that landed in this
+// bucket (recorded via ObserveEx) — the link from a metric back to its
+// trace.
 type BucketSnap struct {
-	LE string `json:"le"`
-	N  uint64 `json:"n"`
+	LE       string `json:"le"`
+	N        uint64 `json:"n"`
+	Exemplar int64  `json:"exemplar,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of every instrument in a registry.
@@ -213,7 +297,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for k, h := range hists {
 		h.mu.Lock()
-		hs := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		hs := HistSnapshot{
+			Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+			P50: quantileFromBuckets(0.50, h.count, h.buckets, h.min, h.max),
+			P95: quantileFromBuckets(0.95, h.count, h.buckets, h.min, h.max),
+			P99: quantileFromBuckets(0.99, h.count, h.buckets, h.min, h.max),
+		}
 		for i, n := range h.buckets {
 			if n == 0 {
 				continue
@@ -222,7 +311,11 @@ func (r *Registry) Snapshot() Snapshot {
 			if i < len(histBounds) {
 				le = trimFloat(histBounds[i])
 			}
-			hs.Buckets = append(hs.Buckets, BucketSnap{LE: le, N: n})
+			b := BucketSnap{LE: le, N: n}
+			if h.exemplars != nil {
+				b.Exemplar = h.exemplars[i]
+			}
+			hs.Buckets = append(hs.Buckets, b)
 		}
 		h.mu.Unlock()
 		s.Histograms[k] = hs
@@ -262,8 +355,9 @@ func (s Snapshot) String() string {
 	sort.Strings(names)
 	for _, k := range names {
 		h := s.Histograms[k]
-		fmt.Fprintf(&b, "%-40s n=%d sum=%s min=%s max=%s\n",
-			k, h.Count, trimFloat(h.Sum), trimFloat(h.Min), trimFloat(h.Max))
+		fmt.Fprintf(&b, "%-40s n=%d sum=%s min=%s max=%s p50=%s p95=%s p99=%s\n",
+			k, h.Count, trimFloat(h.Sum), trimFloat(h.Min), trimFloat(h.Max),
+			trimFloat(h.P50), trimFloat(h.P95), trimFloat(h.P99))
 	}
 	return b.String()
 }

@@ -87,6 +87,97 @@ func TestNilInstruments(t *testing.T) {
 	}
 }
 
+// TestQuantileEstimation checks the bucket-interpolated quantiles
+// against known distributions.
+func TestQuantileEstimation(t *testing.T) {
+	r := NewRegistry()
+
+	// 100 uniform observations in (0, 100]: quantiles should land within
+	// one bucket width of the exact values.
+	u := r.Histogram("uniform")
+	for i := 1; i <= 100; i++ {
+		u.Observe(float64(i))
+	}
+	if p50 := u.Quantile(0.50); p50 < 25 || p50 > 75 {
+		t.Errorf("uniform p50 = %v, want ~50 (within bucket resolution)", p50)
+	}
+	if p99 := u.Quantile(0.99); p99 < 95 || p99 > 100 {
+		t.Errorf("uniform p99 = %v, want ~99", p99)
+	}
+
+	// A single observation: every quantile is that value.
+	s := r.Histogram("single")
+	s.Observe(42)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got := s.Quantile(q); got != 42 {
+			t.Errorf("single-sample q%.0f = %v, want 42", q*100, got)
+		}
+	}
+
+	// Values beyond the last bound land in the overflow bucket, whose
+	// upper edge is the observed max — quantiles stay finite.
+	ov := r.Histogram("overflow")
+	ov.Observe(20000)
+	ov.Observe(30000)
+	if p99 := ov.Quantile(0.99); p99 < 20000 || p99 > 30000 {
+		t.Errorf("overflow p99 = %v, want within [20000, 30000]", p99)
+	}
+
+	// Empty and nil histograms report 0.
+	if got := r.Histogram("empty").Quantile(0.95); got != 0 {
+		t.Errorf("empty histogram p95 = %v, want 0", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.95); got != 0 {
+		t.Errorf("nil histogram p95 = %v, want 0", got)
+	}
+
+	// Snapshot quantiles agree with direct estimation.
+	snap := r.Snapshot()
+	if got, want := snap.Histograms["uniform"].P95, u.Quantile(0.95); got != want {
+		t.Errorf("snapshot p95 = %v, direct estimate %v", got, want)
+	}
+}
+
+// TestHistogramExemplars checks that ObserveEx pins the most recent span
+// ID per bucket and that it surfaces in snapshots.
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.ObserveEx(3, 101)  // bucket (2.5, 5]
+	h.ObserveEx(4, 102)  // same bucket: replaces 101
+	h.ObserveEx(40, 103) // bucket (25, 50]
+	h.Observe(41)        // no exemplar: must not clobber 103
+
+	snap := r.Snapshot().Histograms["lat"]
+	byLE := map[string]BucketSnap{}
+	for _, b := range snap.Buckets {
+		byLE[b.LE] = b
+	}
+	if got := byLE["5"].Exemplar; got != 102 {
+		t.Errorf("bucket le=5 exemplar = %d, want 102 (most recent)", got)
+	}
+	if got := byLE["50"].Exemplar; got != 103 {
+		t.Errorf("bucket le=50 exemplar = %d, want 103", got)
+	}
+	if got := byLE["50"].N; got != 2 {
+		t.Errorf("bucket le=50 n = %d, want 2", got)
+	}
+
+	// The Obs-level helper: span ID travels as the exemplar.
+	tr := NewTracer(NewVirtualClock(time.Millisecond))
+	o := New(tr, r)
+	sp := o.Start("request")
+	o.ObserveMsEx("req_ms", 30*time.Millisecond, sp)
+	sp.End()
+	rs := r.Snapshot().Histograms["req_ms"]
+	if len(rs.Buckets) != 1 || rs.Buckets[0].Exemplar != sp.ID() {
+		t.Errorf("ObserveMsEx exemplar = %+v, want span %d", rs.Buckets, sp.ID())
+	}
+	// Nil span: records the value with no exemplar, no panic.
+	o.ObserveMsEx("req_ms", 31*time.Millisecond, nil)
+}
+
 // TestVirtualClock checks the deterministic tick sequence.
 func TestVirtualClock(t *testing.T) {
 	c := NewVirtualClock(time.Millisecond)

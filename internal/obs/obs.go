@@ -18,17 +18,20 @@ package obs
 
 import (
 	"context"
+	"log/slog"
 	"time"
 )
 
 // Obs is the observability handle threaded through the pipeline: where
-// new spans attach (lane + parent), and where metrics register. The nil
-// *Obs disables everything at zero cost.
+// new spans attach (lane + parent), where metrics register, and which
+// structured logger nested work inherits. The nil *Obs disables
+// everything at zero cost.
 type Obs struct {
 	tracer *Tracer
 	reg    *Registry
 	lane   *Lane
 	parent int64
+	log    *slog.Logger
 }
 
 // New returns a root handle over the given tracer and/or registry.
@@ -52,7 +55,39 @@ func (o *Obs) Lane(name string) *Obs {
 	if o == nil || o.tracer == nil {
 		return o
 	}
-	return &Obs{tracer: o.tracer, reg: o.reg, lane: o.tracer.newLane(PidWall, name)}
+	return &Obs{tracer: o.tracer, reg: o.reg, lane: o.tracer.newLane(PidWall, name), log: o.log}
+}
+
+// WithLogger returns a handle carrying l: Logger() hands it back with
+// span correlation, and child handles (via Span.Obs and Lane) inherit
+// it. A nil l returns the handle unchanged; attaching a logger to the
+// nil (disabled) handle yields a logging-only handle — spans and
+// metrics on it stay no-ops.
+func (o *Obs) WithLogger(l *slog.Logger) *Obs {
+	if l == nil {
+		return o
+	}
+	if o == nil {
+		return &Obs{log: l}
+	}
+	cp := *o
+	cp.log = l
+	return &cp
+}
+
+// Logger returns the handle's structured logger, annotated with the
+// current span ID ("span" attribute) when the handle sits under a
+// recorded span — log lines correlate back to the trace. Safe on a nil
+// receiver: disabled handles return the discard logger, so callers can
+// log unconditionally.
+func (o *Obs) Logger() *slog.Logger {
+	if o == nil || o.log == nil {
+		return Discard()
+	}
+	if o.parent != 0 {
+		return o.log.With(slog.Int64("span", o.parent))
+	}
+	return o.log
 }
 
 // SealLane seals the handle's trace lane (see Lane.Seal): the caller
@@ -117,6 +152,16 @@ func (o *Obs) ObserveMs(name string, d time.Duration) {
 	o.reg.Histogram(name).ObserveDuration(d)
 }
 
+// ObserveMsEx records a duration into the named histogram with sp's
+// span ID as the bucket exemplar, linking the metric back to the trace
+// span that exhibited the latency. Safe on nil (either receiver).
+func (o *Obs) ObserveMsEx(name string, d time.Duration, sp *Span) {
+	if o == nil {
+		return
+	}
+	o.reg.Histogram(name).ObserveEx(float64(d)/1e6, sp.ID())
+}
+
 // Span is one in-progress span. The nil *Span is a no-op. A span is
 // recorded onto its lane when End is called; all methods must be called
 // from the lane's owning goroutine.
@@ -150,7 +195,7 @@ func (o *Obs) Start(name string) *Span {
 		// inherited parent so a later tracer sees a consistent chain.
 		childParent = o.parent
 	}
-	sp.o = &Obs{tracer: o.tracer, reg: o.reg, lane: o.lane, parent: childParent}
+	sp.o = &Obs{tracer: o.tracer, reg: o.reg, lane: o.lane, parent: childParent, log: o.log}
 	return sp
 }
 
@@ -161,6 +206,16 @@ func (sp *Span) Obs() *Obs {
 		return nil
 	}
 	return sp.o
+}
+
+// ID returns the span's trace-unique ID, or 0 when the span is nil or
+// not recorded (no tracer). Metric exemplars and request logs use it to
+// point back into the trace. Safe on a nil receiver.
+func (sp *Span) ID() int64 {
+	if sp == nil {
+		return 0
+	}
+	return sp.id
 }
 
 // SetStr attaches a string attribute. Safe on a nil receiver.

@@ -29,11 +29,20 @@ type Tracer struct {
 	epoch time.Time
 	ids   atomic.Int64
 
-	mu        sync.Mutex
-	lanes     []*Lane
-	nextWall  int
-	nextVirt  int
-	sealedCap int
+	mu       sync.Mutex
+	lanes    []*Lane
+	nextWall int
+	nextVirt int
+
+	// The flight recorder: sealed lanes in seal order, bounded by
+	// flightCap (0 = unbounded). When a Seal pushes the ring past the
+	// cap the oldest sealed lane is dropped and evicted incremented —
+	// a long-lived daemon keeps the last N requests' traces for
+	// post-hoc "what just happened" debugging without growing forever.
+	sealedOrder []*Lane
+	flightCap   int
+	evicted     uint64
+	evictions   *Counter // registry mirror, set by AttachMetrics
 }
 
 // NewTracer returns a tracer reading time from clock (RealClock for
@@ -106,46 +115,72 @@ func (l *Lane) Emit(name string, ts, dur time.Duration) {
 // Seal marks the lane complete: its owner promises not to record into
 // it again, which makes it safe to export while other lanes are still
 // recording. Call it from the owning goroutine after the last End/Emit.
-// Sealing also enforces the tracer's sealed-lane retention cap (see
-// SetSealedRetention). Safe on a nil receiver.
+// Sealing enters the lane into the flight-recorder ring and enforces its
+// retention cap (see SetSealedRetention): at capacity, the oldest sealed
+// lane is dropped and the eviction counter incremented. Sealing an
+// already-sealed lane is a no-op. Safe on a nil receiver.
 func (l *Lane) Seal() {
 	if l == nil {
 		return
 	}
 	t := l.t
+	var evictions *Counter
 	t.mu.Lock()
-	l.sealed = true
-	if t.sealedCap > 0 {
-		sealed := 0
-		for _, ln := range t.lanes {
-			if ln.sealed {
-				sealed++
-			}
-		}
-		if sealed > t.sealedCap {
-			drop := sealed - t.sealedCap
-			kept := t.lanes[:0]
-			for _, ln := range t.lanes {
-				if drop > 0 && ln.sealed {
-					drop--
-					continue
+	if !l.sealed {
+		l.sealed = true
+		t.sealedOrder = append(t.sealedOrder, l)
+		if t.flightCap > 0 && len(t.sealedOrder) > t.flightCap {
+			victim := t.sealedOrder[0]
+			t.sealedOrder = t.sealedOrder[1:]
+			t.evicted++
+			evictions = t.evictions
+			for i, ln := range t.lanes {
+				if ln == victim {
+					t.lanes = append(t.lanes[:i], t.lanes[i+1:]...)
+					break
 				}
-				kept = append(kept, ln)
 			}
-			t.lanes = kept
 		}
 	}
 	t.mu.Unlock()
+	// Incremented outside the tracer lock; Counter.Add is atomic.
+	evictions.Add(1)
 }
 
-// SetSealedRetention caps how many sealed lanes the tracer retains; when
-// a Seal pushes the count past n, the oldest sealed lanes are dropped.
-// Long-lived servers that open one lane per request use this to bound
-// trace memory. n <= 0 (the default) retains everything.
+// SetSealedRetention caps the flight recorder: how many sealed lanes the
+// tracer retains. When a Seal pushes the ring past n, the oldest sealed
+// lane is dropped (seal order, not creation order). Long-lived servers
+// that open one lane per request use this to bound trace memory. n <= 0
+// (the default) retains everything.
 func (t *Tracer) SetSealedRetention(n int) {
 	t.mu.Lock()
-	t.sealedCap = n
+	t.flightCap = n
 	t.mu.Unlock()
+}
+
+// AttachMetrics mirrors flight-recorder evictions into the registry's
+// "obs.flight.evicted" counter so a /metrics snapshot shows how much
+// trace history has been dropped. Safe with a nil registry.
+func (t *Tracer) AttachMetrics(r *Registry) {
+	t.mu.Lock()
+	t.evictions = r.Counter("obs.flight.evicted")
+	t.mu.Unlock()
+}
+
+// FlightStats is the flight recorder's state: how many sealed lanes are
+// retained, the retention cap (0 = unbounded), and how many sealed lanes
+// have been evicted since the tracer was created.
+type FlightStats struct {
+	Sealed  int    `json:"sealed"`
+	Cap     int    `json:"cap"`
+	Evicted uint64 `json:"evicted"`
+}
+
+// FlightStats snapshots the flight recorder's state.
+func (t *Tracer) FlightStats() FlightStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return FlightStats{Sealed: len(t.sealedOrder), Cap: t.flightCap, Evicted: t.evicted}
 }
 
 // Export writes the trace as Chrome trace_event JSON, loadable in
@@ -164,19 +199,24 @@ func (t *Tracer) Export(w io.Writer) error {
 	return t.exportLanes(w, lanes)
 }
 
-// ExportSealed writes only the sealed lanes as Chrome trace_event JSON.
-// Sealed lanes no longer record, so this is safe to call at any time —
-// concurrently with goroutines still recording into unsealed lanes —
-// which is what lets a long-lived daemon serve its trace over HTTP
-// mid-run.
+// ExportSealed writes the flight recorder — all retained sealed lanes —
+// as Chrome trace_event JSON. Sealed lanes no longer record, so this is
+// safe to call at any time — concurrently with goroutines still
+// recording into unsealed lanes — which is what lets a long-lived
+// daemon serve its trace over HTTP mid-run.
 func (t *Tracer) ExportSealed(w io.Writer) error {
+	return t.ExportSealedLast(w, 0)
+}
+
+// ExportSealedLast writes the most recent n sealed lanes (by seal
+// order); n <= 0 exports the whole flight recorder.
+func (t *Tracer) ExportSealedLast(w io.Writer, n int) error {
 	t.mu.Lock()
-	var lanes []*Lane
-	for _, l := range t.lanes {
-		if l.sealed {
-			lanes = append(lanes, l)
-		}
+	sealed := t.sealedOrder
+	if n > 0 && len(sealed) > n {
+		sealed = sealed[len(sealed)-n:]
 	}
+	lanes := append([]*Lane(nil), sealed...)
 	t.mu.Unlock()
 	return t.exportLanes(w, lanes)
 }

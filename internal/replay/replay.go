@@ -1,0 +1,334 @@
+// Package replay benchmarks the daemon under a deterministic edit
+// stream. The paper's claim is about the *repeated* edit–compile–run
+// cycle, and not all edits cost the same: a comment-only save rebuilds
+// one translation unit from cache-validated manifests, a function-body
+// change recompiles that TU, and an interface (header) change
+// invalidates the whole prepared setup — tool rerun, wrappers, PCH. The
+// replay harness scripts those three edit classes against live sessions
+// and reports per-class latency percentiles, quantifying both the warm
+// path the daemon exists for and the over-invalidation cost of
+// structural edits that the roadmap's early-cutoff work wants to shave.
+package replay
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"sort"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/daemon"
+	"repro/internal/obs"
+)
+
+// Class names, in report order.
+const (
+	ClassComment   = "comment"   // comment-only edit: hash changes, semantics don't
+	ClassBody      = "body"      // new global definition: the TU recompiles
+	ClassInterface = "interface" // header edit: structural, full re-Prepare
+)
+
+// Classes lists the edit classes every replay run drives.
+func Classes() []string { return []string{ClassComment, ClassBody, ClassInterface} }
+
+// Config configures a replay run.
+type Config struct {
+	// Subjects to replay; nil means the whole corpus.
+	Subjects []string
+	// Mode is the build configuration (empty = yalla).
+	Mode string
+	// Iters is the number of edits per class per subject; <= 0 means 5.
+	Iters int
+	// Addr, when set, drives an already-running daemon; empty starts an
+	// in-process one on a loopback listener.
+	Addr string
+	// Workers sizes the in-process daemon's pool; <= 0 means 4.
+	Workers int
+	// Log, when set, receives per-subject progress lines.
+	Log *slog.Logger
+	// InjectDelay, when > 0, sleeps inside every timed edit→rebuild
+	// window. Test-only: it synthesizes a uniform slowdown so the
+	// regression gate's detection path can be exercised without slowing
+	// anything real down.
+	InjectDelay time.Duration
+}
+
+// ClassStats is one edit class's aggregate across a run.
+type ClassStats struct {
+	Class string `json:"class"`
+	// Edits is how many timed edit→rebuild windows the class ran.
+	Edits   int                 `json:"edits"`
+	Latency daemon.LatencyStats `json:"latency"`
+	// Invalidations and Prepares sum the per-session counters: the
+	// interface class should account for (almost) all of both.
+	Invalidations uint64 `json:"invalidations"`
+	Prepares      uint64 `json:"prepares"`
+	// VirtualMeanMs and VirtualP95Ms summarize the simulated
+	// compile-cost of each timed window on the deterministic virtual
+	// clock (cycle total plus any re-prepare setup). Unlike the wall
+	// latencies they are byte-identical across machines, which is what
+	// makes a committed cross-machine regression baseline meaningful.
+	VirtualMeanMs float64 `json:"virtual_mean_ms"`
+	VirtualP95Ms  float64 `json:"virtual_p95_ms"`
+}
+
+// SubjectReport is one subject's per-class breakdown.
+type SubjectReport struct {
+	Subject string       `json:"subject"`
+	Library string       `json:"library"`
+	Classes []ClassStats `json:"classes"`
+}
+
+// Report is the results/bench_replay.json payload.
+type Report struct {
+	Mode     string `json:"mode"`
+	Iters    int    `json:"iters"`
+	Subjects int    `json:"subjects"`
+	WallNs   int64  `json:"wall_ns"`
+
+	// Classes aggregates each edit class across all subjects.
+	Classes []ClassStats `json:"classes"`
+	// OverInvalidationX is mean(interface) / mean(body): how much more a
+	// header edit costs than a semantically comparable source edit,
+	// i.e. the price of invalidating the whole prepared setup.
+	OverInvalidationX float64 `json:"over_invalidation_x"`
+
+	PerSubject []SubjectReport `json:"per_subject"`
+}
+
+// JSON renders the report indented.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// Class returns the aggregate stats for a class name, or a zero value.
+func (r *Report) Class(name string) ClassStats {
+	for _, c := range r.Classes {
+		if c.Class == name {
+			return c
+		}
+	}
+	return ClassStats{}
+}
+
+// editScript generates the iter-th content for one class. Scripts are
+// pure functions of (original content, iter), so a replay run is fully
+// deterministic: same corpus, same edits, same cache traffic.
+func editScript(class string, orig string, iter int) string {
+	switch class {
+	case ClassComment:
+		return fmt.Sprintf("%s\n// replay comment %d\n", orig, iter)
+	case ClassBody:
+		return fmt.Sprintf("%s\nint yalla_replay_%d = %d;\n", orig, iter, iter)
+	case ClassInterface:
+		return fmt.Sprintf("%s\n#define YALLA_REPLAY_%d %d\n", orig, iter, iter)
+	}
+	return orig
+}
+
+// resolveHeader finds the subject's target header inside the session's
+// working tree by probing the subject's search paths, the same
+// resolution order the pipeline uses.
+func resolveHeader(c *daemon.Client, session string, subj *corpus.Subject) (path, content string, err error) {
+	for _, sp := range subj.SearchPaths {
+		cand := sp + "/" + subj.Header
+		if sp == "." {
+			cand = subj.Header
+		}
+		content, err := c.ReadFile(session, cand)
+		if err == nil {
+			return cand, content, nil
+		}
+	}
+	return "", "", fmt.Errorf("replay: cannot resolve header %s for %s", subj.Header, subj.Name)
+}
+
+// Run replays the edit stream and aggregates per-class latencies.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 5
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	log := cfg.Log
+	if log == nil {
+		log = obs.Discard()
+	}
+	subjects := cfg.Subjects
+	if subjects == nil {
+		for _, s := range corpus.All() {
+			subjects = append(subjects, s.Name)
+		}
+	}
+	for _, name := range subjects {
+		if corpus.ByName(name) == nil {
+			return nil, fmt.Errorf("replay: unknown subject %q", name)
+		}
+	}
+
+	base := cfg.Addr
+	if base == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("replay: listen: %v", err)
+		}
+		// Like the load generator, a benchmark must not shed load — the
+		// interface class deliberately triggers slow re-Prepares.
+		srv := daemon.New(daemon.Config{
+			Workers:        cfg.Workers,
+			QueueTimeout:   10 * time.Minute,
+			RequestTimeout: 10 * time.Minute,
+		})
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ctx, ln) }()
+		defer func() {
+			cancel()
+			<-done
+		}()
+		base = "http://" + ln.Addr().String()
+	}
+	c := daemon.NewClient(base)
+
+	rep := &Report{Mode: cfg.Mode, Iters: cfg.Iters, Subjects: len(subjects)}
+	if rep.Mode == "" {
+		rep.Mode = "yalla"
+	}
+	agg := map[string]*classAgg{}
+	for _, class := range Classes() {
+		agg[class] = &classAgg{}
+	}
+
+	t0 := time.Now()
+	for _, name := range subjects {
+		sr, err := replaySubject(c, name, cfg, agg)
+		if err != nil {
+			return nil, err
+		}
+		rep.PerSubject = append(rep.PerSubject, *sr)
+		log.Info("replay subject done", "subject", name, "classes", len(sr.Classes))
+	}
+	rep.WallNs = time.Since(t0).Nanoseconds()
+
+	for _, class := range Classes() {
+		a := agg[class]
+		cs := ClassStats{
+			Class:         class,
+			Edits:         len(a.samples),
+			Latency:       daemon.Summarize(a.samples),
+			Invalidations: a.invalidations,
+			Prepares:      a.prepares,
+		}
+		cs.VirtualMeanMs, cs.VirtualP95Ms = virtualStats(a.virtual)
+		rep.Classes = append(rep.Classes, cs)
+	}
+	ifaceMean := rep.Class(ClassInterface).Latency.MeanNs
+	bodyMean := rep.Class(ClassBody).Latency.MeanNs
+	if bodyMean > 0 {
+		rep.OverInvalidationX = float64(ifaceMean) / float64(bodyMean)
+	}
+	return rep, nil
+}
+
+type classAgg struct {
+	samples       []time.Duration
+	virtual       []float64
+	invalidations uint64
+	prepares      uint64
+}
+
+func virtualStats(ms []float64) (mean, p95 float64) {
+	if len(ms) == 0 {
+		return 0, 0
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return sum / float64(len(sorted)), sorted[int(0.95*float64(len(sorted)-1))]
+}
+
+// replaySubject drives all edit classes for one subject. Each class gets
+// its own session so one class's invalidations never pollute another's
+// warm state; the first (untimed) cycle pays the prepare.
+func replaySubject(c *daemon.Client, name string, cfg Config, agg map[string]*classAgg) (*SubjectReport, error) {
+	subj := corpus.ByName(name)
+	sr := &SubjectReport{Subject: subj.Name, Library: subj.Library}
+	for _, class := range Classes() {
+		sess := fmt.Sprintf("replay-%s-%s", name, class)
+		if _, err := c.CreateSession(sess, name, cfg.Mode); err != nil {
+			return nil, fmt.Errorf("replay %s/%s: %v", name, class, err)
+		}
+		// Warm the session: the prepare and first compile are measured by
+		// the loadgen benchmark, not here — replay isolates the
+		// steady-state cost of each edit class.
+		if _, err := c.Cycle(sess, ""); err != nil {
+			return nil, fmt.Errorf("replay %s/%s warmup: %v", name, class, err)
+		}
+
+		editPath := subj.MainFile
+		orig, err := c.ReadFile(sess, editPath)
+		if err != nil {
+			return nil, fmt.Errorf("replay %s/%s: %v", name, class, err)
+		}
+		if class == ClassInterface {
+			editPath, orig, err = resolveHeader(c, sess, subj)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		var (
+			samples []time.Duration
+			virtual []float64
+		)
+		for iter := 0; iter < cfg.Iters; iter++ {
+			content := editScript(class, orig, iter)
+			// The timed window is save→rebuilt: the edit request, the
+			// (possible) re-prepare, and the compile-link-run cycle —
+			// what a developer actually waits for after hitting save.
+			start := time.Now()
+			if cfg.InjectDelay > 0 {
+				time.Sleep(cfg.InjectDelay)
+			}
+			if _, err := c.Edit(sess, editPath, content); err != nil {
+				return nil, fmt.Errorf("replay %s/%s iter %d: %v", name, class, iter, err)
+			}
+			cy, err := c.Cycle(sess, "")
+			if err != nil {
+				return nil, fmt.Errorf("replay %s/%s iter %d: %v", name, class, iter, err)
+			}
+			samples = append(samples, time.Since(start))
+			virtual = append(virtual, cy.TotalMs+cy.SetupMs)
+		}
+
+		info, err := c.SessionInfo(sess)
+		if err != nil {
+			return nil, fmt.Errorf("replay %s/%s: %v", name, class, err)
+		}
+		// The warmup prepare is not an edit cost; report only re-Prepares
+		// caused by the replayed edits.
+		cs := ClassStats{
+			Class:         class,
+			Edits:         len(samples),
+			Latency:       daemon.Summarize(samples),
+			Invalidations: info.Invalidations,
+			Prepares:      info.Prepares - 1,
+		}
+		cs.VirtualMeanMs, cs.VirtualP95Ms = virtualStats(virtual)
+		sr.Classes = append(sr.Classes, cs)
+		a := agg[class]
+		a.samples = append(a.samples, samples...)
+		a.virtual = append(a.virtual, virtual...)
+		a.invalidations += cs.Invalidations
+		a.prepares += cs.Prepares
+		if err := c.CloseSession(sess); err != nil {
+			return nil, fmt.Errorf("replay %s/%s: %v", name, class, err)
+		}
+	}
+	return sr, nil
+}

@@ -1,0 +1,106 @@
+package replay
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestReplaySmoke replays all three edit classes on two subjects against
+// an in-process daemon and checks the report's shape and semantics:
+// every class measured, interface edits (and only interface edits)
+// re-prepare, and the JSON payload round-trips.
+func TestReplaySmoke(t *testing.T) {
+	rep, err := Run(Config{
+		Subjects: []string{"02", "archiver"},
+		Iters:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Classes) != 3 {
+		t.Fatalf("got %d classes, want 3", len(rep.Classes))
+	}
+	for _, class := range Classes() {
+		cs := rep.Class(class)
+		if cs.Edits != 2*2 {
+			t.Errorf("%s: %d edits, want 4 (2 subjects x 2 iters)", class, cs.Edits)
+		}
+		if cs.Latency.Count != cs.Edits || cs.Latency.P95Ns <= 0 {
+			t.Errorf("%s: bad latency stats %+v", class, cs.Latency)
+		}
+	}
+
+	// Interface edits invalidate the prepared setup every time; comment
+	// and body edits never do — that asymmetry is the thing replay
+	// exists to measure.
+	iface := rep.Class(ClassInterface)
+	if iface.Invalidations != 4 || iface.Prepares != 4 {
+		t.Errorf("interface: invalidations=%d prepares=%d, want 4/4", iface.Invalidations, iface.Prepares)
+	}
+	for _, class := range []string{ClassComment, ClassBody} {
+		if cs := rep.Class(class); cs.Invalidations != 0 || cs.Prepares != 0 {
+			t.Errorf("%s: invalidations=%d prepares=%d, want 0/0", class, cs.Invalidations, cs.Prepares)
+		}
+	}
+	if rep.OverInvalidationX <= 0 {
+		t.Errorf("over-invalidation ratio = %v, want > 0", rep.OverInvalidationX)
+	}
+
+	// Virtual-clock costs: present for every class, and the interface
+	// class (which re-prepares) must cost more virtual time than a
+	// comment edit (which only rebuilds one TU).
+	for _, class := range Classes() {
+		if cs := rep.Class(class); cs.VirtualP95Ms <= 0 || cs.VirtualMeanMs <= 0 {
+			t.Errorf("%s: virtual stats missing: %+v", class, cs)
+		}
+	}
+	if i, c := rep.Class(ClassInterface).VirtualMeanMs, rep.Class(ClassComment).VirtualMeanMs; i <= c {
+		t.Errorf("interface virtual cost %.2fms not above comment %.2fms", i, c)
+	}
+	if len(rep.PerSubject) != 2 {
+		t.Errorf("per-subject reports: %d, want 2", len(rep.PerSubject))
+	}
+
+	blob, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+}
+
+// TestInjectDelay checks the synthetic-slowdown hook the regression
+// gate's tests rely on: the injected sleep must land inside the timed
+// window.
+func TestInjectDelay(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	rep, err := Run(Config{
+		Subjects:    []string{"archiver"},
+		Iters:       1,
+		InjectDelay: delay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cs := range rep.Classes {
+		if cs.Latency.P50Ns < delay.Nanoseconds() {
+			t.Errorf("%s: p50 %dns below injected delay %v", cs.Class, cs.Latency.P50Ns, delay)
+		}
+	}
+}
+
+// TestEditScripts pins the determinism of the generated edits.
+func TestEditScripts(t *testing.T) {
+	if a, b := editScript(ClassBody, "x", 3), editScript(ClassBody, "x", 3); a != b {
+		t.Errorf("edit script not deterministic: %q vs %q", a, b)
+	}
+	if a, b := editScript(ClassBody, "x", 1), editScript(ClassBody, "x", 2); a == b {
+		t.Errorf("consecutive edits identical: %q", a)
+	}
+	if got := editScript(ClassComment, "orig", 0); got[:4] != "orig" {
+		t.Errorf("edit script dropped the original content: %q", got)
+	}
+}
