@@ -1,7 +1,8 @@
 // Command yallabench is the regression observatory: one command that
 // runs the repository's benchmark suite — the edit-stream replay, the
-// daemon load generator, and the frontend micro-benchmarks — and folds
-// every result into a versioned trajectory file. Successive runs build a
+// daemon load generator, the multi-node farm load generator, and the
+// frontend micro-benchmarks — and folds every result into a versioned
+// trajectory file. Successive runs build a
 // performance history; -compare diffs the current run against a
 // committed baseline benchstat-style and exits nonzero when a gated
 // metric (p95 latencies by default) regresses beyond the tolerance,
@@ -12,7 +13,8 @@
 //	yallabench [-subjects a,b,...] [-iters N] [-clients N]
 //	           [-replay-out results/bench_replay.json]
 //	           [-trajectory results/bench_trajectory.json]
-//	           [-label text] [-skip-loadgen] [-skip-frontend]
+//	           [-label text] [-skip-loadgen] [-skip-frontend] [-skip-farm]
+//	           [-farm-nodes 3] [-farm-clients 24]
 //	           [-compare results/bench_baseline.json]
 //	           [-tolerance 0.10] [-gate p95]
 //	           [-save-baseline path]
@@ -29,6 +31,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/daemon"
 	"repro/internal/experiments"
+	"repro/internal/farm"
 	"repro/internal/obs"
 	"repro/internal/replay"
 )
@@ -44,6 +47,9 @@ func main() {
 		label     = flag.String("label", "", "label for this trajectory entry")
 		skipLG    = flag.Bool("skip-loadgen", false, "skip the daemon load generator")
 		skipFE    = flag.Bool("skip-frontend", false, "skip the frontend micro-benchmarks")
+		skipFarm  = flag.Bool("skip-farm", false, "skip the multi-node farm load generator")
+		farmNodes = flag.Int("farm-nodes", 3, "farm loadgen fleet size")
+		farmCl    = flag.Int("farm-clients", 24, "farm loadgen concurrent clients")
 		comparePt = flag.String("compare", "", "baseline to compare against (entry or trajectory file); exit 1 on regression")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed relative growth on gated metrics")
 		gate      = flag.String("gate", "p95", "substring selecting gated metrics")
@@ -64,6 +70,9 @@ func main() {
 		LoadgenIters: *lgIters,
 		SkipLoadgen:  *skipLG,
 		SkipFrontend: *skipFE,
+		SkipFarm:     *skipFarm,
+		FarmNodes:    *farmNodes,
+		FarmClients:  *farmCl,
 		ReplayOut:    *replayOut,
 		Log:          log,
 	})
@@ -129,6 +138,9 @@ type measureConfig struct {
 	LoadgenIters int
 	SkipLoadgen  bool
 	SkipFrontend bool
+	SkipFarm     bool
+	FarmNodes    int
+	FarmClients  int
 	ReplayOut    string
 	// InjectDelay is threaded to the replay harness (test-only).
 	InjectDelay time.Duration
@@ -196,6 +208,37 @@ func measure(cfg measureConfig) (*bench.Entry, error) {
 		entry.Info["daemon/throughput_rps"] = lr.ThroughputRPS
 		if cfg.Log != nil {
 			cfg.Log.Info("loadgen done", "warm_speedup", fmt.Sprintf("%.1f", lr.WarmSpeedup))
+		}
+	}
+
+	if !cfg.SkipFarm {
+		fr, err := farm.Loadgen(farm.LoadgenConfig{
+			Nodes:    cfg.FarmNodes,
+			Clients:  cfg.FarmClients,
+			Iters:    2,
+			Subjects: cfg.Subjects,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("farm loadgen: %v", err)
+		}
+		entry.Metrics["farm/warm_iter/p50_ns"] = float64(fr.WarmIter.P50Ns)
+		entry.Metrics["farm/warm_iter/p95_ns"] = float64(fr.WarmIter.P95Ns)
+		entry.Metrics["farm/cold_fan_in/p95_ns"] = float64(fr.ColdFanIn.P95Ns)
+		// Correctness invariants travel as info (not gated by tolerance):
+		// exactly-once dedup and byte-identity must simply hold.
+		entry.Info["farm/fleet_compiles"] = float64(fr.FleetCompiles)
+		entry.Info["farm/baseline_compiles"] = float64(fr.BaselineCompiles)
+		entry.Info["farm/l2_speedup"] = fr.L2Speedup
+		if !fr.ExactlyOnce {
+			return nil, fmt.Errorf("farm loadgen: fleet compiled %d TUs, solo baseline %d — dedup broken",
+				fr.FleetCompiles, fr.BaselineCompiles)
+		}
+		if !fr.Identical {
+			return nil, fmt.Errorf("farm loadgen: farm output diverged from the one-shot path")
+		}
+		if cfg.Log != nil {
+			cfg.Log.Info("farm loadgen done", "nodes", fr.Nodes, "clients", fr.Clients,
+				"fleet_compiles", fr.FleetCompiles, "l2_speedup", fmt.Sprintf("%.1f", fr.L2Speedup))
 		}
 	}
 

@@ -19,6 +19,7 @@ func smallCfg(out string, delay time.Duration) measureConfig {
 		ReplayIters:  2,
 		SkipLoadgen:  true,
 		SkipFrontend: true,
+		SkipFarm:     true,
 		ReplayOut:    out,
 		InjectDelay:  delay,
 	}

@@ -8,6 +8,12 @@
 // Usage:
 //
 //	yallad [-addr 127.0.0.1:7777] [-workers N] [-max-cached-tus N]
+//	       [-node-id ID] [-remote-cache http://host:port]
+//
+// With -remote-cache the daemon joins a yallafarm fleet: the farm's
+// shared cache server becomes the build cache's L2 tier (local cache
+// stays L1) and /healthz reports the node's identity and remote-cache
+// reachability.
 //
 // The daemon serves the JSON API documented on daemon.Handler, plus
 // GET /metrics (RED metrics and pipeline counters with estimated
@@ -38,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/daemon"
+	"repro/internal/farm"
 	"repro/internal/obs"
 )
 
@@ -49,6 +56,9 @@ func main() {
 		reqTO   = flag.Duration("request-timeout", 60*time.Second, "per-request deadline")
 		drainTO = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound")
 		verbose = flag.Bool("v", false, "debug-level request logs on stderr")
+
+		nodeID    = flag.String("node-id", "", "farm node identity reported on /healthz and the dashboard")
+		remoteURL = flag.String("remote-cache", "", "farm cache server URL to attach as the build cache's L2 tier")
 
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		clients  = flag.Int("clients", 8, "loadgen: concurrent clients")
@@ -66,16 +76,24 @@ func main() {
 	}
 
 	log := obs.StderrLogger(*verbose).With("run", obs.NewRunID())
-	srv := daemon.New(daemon.Config{
+	cfg := daemon.Config{
 		Addr:           *addr,
 		Workers:        *workers,
 		MaxCachedTUs:   *maxTUs,
 		RequestTimeout: *reqTO,
 		DrainTimeout:   *drainTO,
+		NodeID:         *nodeID,
 		Tracer:         obs.NewTracer(nil),
 		Registry:       obs.NewRegistry(),
 		Logger:         log,
-	})
+	}
+	if *remoteURL != "" {
+		remote := farm.NewRemote(*remoteURL)
+		cfg.Remote = remote
+		cfg.RemoteProbe = remote.Probe
+		log.Info("remote cache attached", "url", *remoteURL)
+	}
+	srv := daemon.New(cfg)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	log.Info("dashboard", "url", "http://"+*addr+"/debug/dash")

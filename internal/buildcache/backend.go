@@ -1,0 +1,67 @@
+package buildcache
+
+// Backend is a remote content-addressed cache tier (L2) behind the
+// in-process cache (L1). Implementations (internal/farm.Remote speaks
+// the farm's HTTP protocol) must be safe for concurrent use and should
+// degrade gracefully: a broken backend returns errors, and the cache
+// treats every error as a miss — the local tier keeps working alone.
+//
+// Keys are content hashes (hex SHA-256 strings produced by FileKey and
+// ConfigKey); ns separates the entry kinds so a token-stream payload can
+// never be decoded as a translation unit. Payloads are opaque bytes
+// produced by EncodeTokens/EncodeTU, which embed their own integrity
+// hash — a fetched payload that fails its hash check is discarded as
+// corrupt, so a malfunctioning backend cannot poison the local tier.
+type Backend interface {
+	// Get fetches a payload; ok is false on a clean miss.
+	Get(ns, key string) (payload []byte, ok bool, err error)
+	// Put stores a payload and releases any lease held on (ns, key),
+	// waking lease waiters so they can re-Get.
+	Put(ns, key string, payload []byte) error
+	// Lease coordinates cross-node singleflight for a missing entry.
+	// LeaseGranted makes the caller the builder: it must either Put the
+	// built payload or Unlease on failure. LeaseReleased means another
+	// node finished building while we waited — re-Get. Implementations
+	// block (bounded) while another holder is building.
+	Lease(ns, key string) (LeaseState, error)
+	// Unlease releases a granted lease without publishing a payload
+	// (the build failed or produced an unserializable entry).
+	Unlease(ns, key string) error
+}
+
+// LeaseState is the outcome of a Lease call.
+type LeaseState int
+
+const (
+	// LeaseGranted: the caller owns the build for this key.
+	LeaseGranted LeaseState = iota
+	// LeaseReleased: another holder finished (published or gave up)
+	// while we waited; the caller should re-Get and fall back to a
+	// local build if the entry is still missing or invalid.
+	LeaseReleased
+	// LeaseUnavailable: the backend could not arbitrate in time (down,
+	// or the wait budget expired while a holder was still building).
+	// The caller builds locally without exclusivity.
+	LeaseUnavailable
+)
+
+// String renders the state for logs and tests.
+func (s LeaseState) String() string {
+	switch s {
+	case LeaseGranted:
+		return "granted"
+	case LeaseReleased:
+		return "released"
+	case LeaseUnavailable:
+		return "unavailable"
+	}
+	return "unknown"
+}
+
+// Namespaces of the remote protocol. NSTokens holds EncodeTokens
+// payloads keyed by FileKey; NSTU holds EncodeTU payloads keyed by the
+// compilation ConfigKey.
+const (
+	NSTokens = "tok"
+	NSTU     = "tu"
+)

@@ -29,6 +29,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/cpp/ast"
 	"repro/internal/cpp/preprocessor"
@@ -40,6 +41,13 @@ import (
 // Stats counts cache traffic. BytesSaved is source bytes that were not
 // re-lexed thanks to token-stream hits; TokensSaved is TU tokens that
 // were not re-preprocessed/re-parsed thanks to translation-unit hits.
+//
+// With a remote Backend attached the cache is tiered: TUMisses counts
+// only entries this process built itself, and RemoteTUHits counts
+// entries adopted from the remote tier — the two are disjoint, and
+// their sum is the process's cold-path traffic. Summing TUMisses
+// across a fleet therefore gives the fleet-wide compile count, which
+// is how the farm loadgen proves a cold miss compiled exactly once.
 type Stats struct {
 	TokenHits   uint64
 	TokenMisses uint64
@@ -48,13 +56,35 @@ type Stats struct {
 	Evictions   uint64
 	BytesSaved  uint64
 	TokensSaved uint64
+	// EvictedBytes is the estimated size of TU entries evicted by the
+	// MaxBytes cap.
+	EvictedBytes uint64
+
+	// Remote (L2) tier traffic; all zero when no Backend is attached.
+	RemoteTokenHits uint64
+	RemoteTUHits    uint64
+	RemoteMisses    uint64
+	RemotePuts      uint64
+	RemoteErrors    uint64
+	// LeaseGrants counts cross-node singleflight leases this process
+	// won (it built and published); LeaseWaits counts leases it lost —
+	// another node was building, and this process waited instead of
+	// duplicating the compile.
+	LeaseGrants uint64
+	LeaseWaits  uint64
 }
 
 // String renders the stats for -v style diagnostics.
 func (s Stats) String() string {
-	return fmt.Sprintf("buildcache: tokens %d hit / %d miss, TUs %d hit / %d miss, %d evicted, %.1f MB source re-lex avoided, %d tokens re-parse avoided",
+	str := fmt.Sprintf("buildcache: tokens %d hit / %d miss, TUs %d hit / %d miss, %d evicted, %.1f MB source re-lex avoided, %d tokens re-parse avoided",
 		s.TokenHits, s.TokenMisses, s.TUHits, s.TUMisses, s.Evictions,
 		float64(s.BytesSaved)/1e6, s.TokensSaved)
+	if s.RemoteTokenHits+s.RemoteTUHits+s.RemoteMisses+s.RemotePuts+s.RemoteErrors > 0 {
+		str += fmt.Sprintf("; remote: %d token hits, %d TU hits, %d misses, %d puts, %d errors, leases %d won / %d waited",
+			s.RemoteTokenHits, s.RemoteTUHits, s.RemoteMisses, s.RemotePuts, s.RemoteErrors,
+			s.LeaseGrants, s.LeaseWaits)
+	}
+	return str
 }
 
 // TU is one cached translation-unit frontend result: everything about a
@@ -64,11 +94,23 @@ type TU struct {
 	// Result is the full preprocessor output (token stream, include list,
 	// LOC). Shared; read-only.
 	Result *preprocessor.Result
-	// AST is the parsed translation unit. Shared; read-only.
+	// AST is the parsed translation unit as built by a local frontend
+	// run. Shared; read-only. Entries adopted from the remote tier leave
+	// it nil — the wire format does not carry ASTs — and consumers that
+	// genuinely need the tree call Unit(), which re-parses on demand.
 	AST *ast.TranslationUnit
 	// Aux carries caller-supplied derived data (e.g. compilesim's
 	// declaration/instantiation counts) so it is not recomputed on hits.
+	// Aux travels through the remote tier when its type has a registered
+	// AuxCodec, which is what lets an adopted entry skip the re-parse
+	// entirely: the statistics arrive with the tokens.
 	Aux any
+
+	// lazyOnce/lazyAST back Unit()'s on-demand re-parse for adopted
+	// entries; AST itself is never written after construction, so plain
+	// reads of it stay race-free.
+	lazyOnce sync.Once
+	lazyAST  *ast.TranslationUnit
 }
 
 // Dep is one entry of a TU's dependency manifest. Hash is the content
@@ -99,9 +141,40 @@ type tuEntry struct {
 	key  string
 	deps []Dep
 	val  *TU
+	// bytes is the entry's estimated in-memory size, charged against
+	// MaxBytes when that cap is set.
+	bytes int
 	// elem is the entry's node in the cache's LRU list (front = most
 	// recently used); nil once evicted.
 	elem *list.Element
+}
+
+// tuSizeEstimate approximates an entry's resident size: the token
+// stream dominates (struct overhead plus spelling bytes), with the
+// include/dependency strings and a fixed slop for the AST on top. An
+// estimate is enough — MaxBytes is an ops guardrail, not an allocator.
+func tuSizeEstimate(val *TU, deps []Dep) int {
+	// 40-byte Token struct plus the arena'd AST node it typically
+	// expands into.
+	const perToken = 96
+	n := 512
+	if val != nil && val.Result != nil {
+		res := val.Result
+		n += len(res.Tokens) * perToken
+		for i := range res.Tokens {
+			n += len(res.Tokens[i].Text)
+		}
+		for _, s := range res.Includes {
+			n += len(s) + 16
+		}
+		for _, s := range res.AbsentDeps {
+			n += len(s) + 16
+		}
+	}
+	for _, d := range deps {
+		n += len(d.Path) + len(d.Hash) + 32
+	}
+	return n
 }
 
 type flight struct {
@@ -118,9 +191,26 @@ type instruments struct {
 	tuHits       *obs.Counter
 	tuMisses     *obs.Counter
 	evictions    *obs.Counter
+	evictedBytes *obs.Counter
 	bytesSaved   *obs.Counter
 	tokensSaved  *obs.Counter
 	singleflight *obs.Counter
+
+	remoteTokenHits *obs.Counter
+	remoteTUHits    *obs.Counter
+	remoteMisses    *obs.Counter
+	remotePuts      *obs.Counter
+	remoteErrors    *obs.Counter
+	leaseGrants     *obs.Counter
+	leaseWaits      *obs.Counter
+
+	// Per-tier latency histograms (wall-clock ms): how long a TU
+	// frontend took to come from the local tier, the remote tier, or a
+	// compile. Recorded only when a remote Backend is attached, so the
+	// metric goldens of remote-less runs stay byte-stable.
+	tierL1      *obs.Histogram
+	tierL2      *obs.Histogram
+	tierCompile *obs.Histogram
 }
 
 // Cache is a process-wide build cache, safe for concurrent use. The zero
@@ -144,6 +234,22 @@ type Cache struct {
 	// unbounded behavior — fine for one-shot harness runs, a real leak
 	// for a long-lived daemon, which sets this. Set before first use.
 	MaxTUEntries int
+	// MaxBytes, when > 0, caps the estimated resident size of cached
+	// translation units (see tuSizeEstimate) with the same LRU policy,
+	// composing with MaxTUEntries: whichever bound trips first evicts.
+	// Evicted bytes are counted in Stats.EvictedBytes and the
+	// buildcache.evicted_bytes registry counter. Set before first use.
+	MaxBytes int
+	// Remote, when set, is the shared L2 tier: local misses consult it
+	// before building, local builds publish to it, and whole-TU misses
+	// coordinate through its lease so a fleet-wide cold miss compiles
+	// exactly once. Set before first use. Every Backend error degrades
+	// to a local-only build; the cache never fails a request because
+	// the remote tier is down.
+	Remote Backend
+
+	// tuBytes is the estimated resident size of all cached TU entries.
+	tuBytes int
 }
 
 // New returns an empty cache with default eviction bounds.
@@ -187,9 +293,25 @@ func (c *Cache) AttachMetrics(o *obs.Obs) {
 		tuHits:       o.Counter("buildcache.tu.hits"),
 		tuMisses:     o.Counter("buildcache.tu.misses"),
 		evictions:    o.Counter("buildcache.evictions"),
+		evictedBytes: o.Counter("buildcache.evicted_bytes"),
 		bytesSaved:   o.Counter("buildcache.bytes_saved"),
 		tokensSaved:  o.Counter("buildcache.tokens_saved"),
 		singleflight: o.Counter("buildcache.singleflight.dedup"),
+	}
+	if c.Remote != nil {
+		// Remote-tier instruments exist only on tiered caches, so the
+		// metric snapshots of remote-less runs are unchanged by the
+		// farm's existence.
+		c.ins.remoteTokenHits = o.Counter("buildcache.remote.token_hits")
+		c.ins.remoteTUHits = o.Counter("buildcache.remote.tu_hits")
+		c.ins.remoteMisses = o.Counter("buildcache.remote.misses")
+		c.ins.remotePuts = o.Counter("buildcache.remote.puts")
+		c.ins.remoteErrors = o.Counter("buildcache.remote.errors")
+		c.ins.leaseGrants = o.Counter("buildcache.lease.grants")
+		c.ins.leaseWaits = o.Counter("buildcache.lease.waits")
+		c.ins.tierL1 = o.Metrics().Histogram("buildcache.tier.l1_ms")
+		c.ins.tierL2 = o.Metrics().Histogram("buildcache.tier.l2_ms")
+		c.ins.tierCompile = o.Metrics().Histogram("buildcache.tier.compile_ms")
 	}
 }
 
@@ -253,7 +375,7 @@ func (c *Cache) Tokens(path, content string, lex func() ([]token.Token, error)) 
 	c.ins.tokenMisses.Add(1)
 	c.mu.Unlock()
 
-	e.toks, e.err = lex()
+	e.toks, e.err = c.lexOrRemote(key, lex)
 	close(e.done)
 	if e.err != nil {
 		// Do not cache failures; a corpus fix under the same key must
@@ -263,6 +385,72 @@ func (c *Cache) Tokens(path, content string, lex func() ([]token.Token, error)) 
 		c.mu.Unlock()
 	}
 	return e.toks, e.err
+}
+
+// The count helpers keep the internal Stats field and its mirrored
+// registry counter in lockstep, exactly like the inline sites for the
+// local-tier counters.
+
+func (c *Cache) countRemoteError() {
+	c.mu.Lock()
+	c.stats.RemoteErrors++
+	ctr := c.ins.remoteErrors
+	c.mu.Unlock()
+	ctr.Add(1)
+}
+
+func (c *Cache) countRemoteMiss() {
+	c.mu.Lock()
+	c.stats.RemoteMisses++
+	ctr := c.ins.remoteMisses
+	c.mu.Unlock()
+	ctr.Add(1)
+}
+
+func (c *Cache) countRemotePut() {
+	c.mu.Lock()
+	c.stats.RemotePuts++
+	ctr := c.ins.remotePuts
+	c.mu.Unlock()
+	ctr.Add(1)
+}
+
+// lexOrRemote is the token-stream builder path: consult the remote tier
+// before lexing, publish to it after. The key is content-addressed
+// (path + content hash), so a remote payload that decodes cleanly is
+// valid by construction — no manifest to check.
+func (c *Cache) lexOrRemote(key string, lex func() ([]token.Token, error)) ([]token.Token, error) {
+	if c.Remote == nil {
+		return lex()
+	}
+	payload, ok, err := c.Remote.Get(NSTokens, key)
+	switch {
+	case err != nil:
+		c.countRemoteError()
+	case ok:
+		toks, derr := DecodeTokens(payload)
+		if derr == nil {
+			c.mu.Lock()
+			c.stats.RemoteTokenHits++
+			ctr := c.ins.remoteTokenHits
+			c.mu.Unlock()
+			ctr.Add(1)
+			return toks, nil
+		}
+		// Corrupt payload: count and fall through to a local lex.
+		c.countRemoteError()
+	default:
+		c.countRemoteMiss()
+	}
+	toks, lerr := lex()
+	if lerr == nil {
+		if perr := c.Remote.Put(NSTokens, key, EncodeTokens(toks)); perr != nil {
+			c.countRemoteError()
+		} else {
+			c.countRemotePut()
+		}
+	}
+	return toks, lerr
 }
 
 // evictTokensLocked flushes completed token entries once the map exceeds
@@ -296,6 +484,7 @@ func (c *Cache) evictTokensLocked() {
 // the others wait and re-validate (their filesystems may differ, in
 // which case they build their own variant).
 func (c *Cache) TranslationUnit(key string, valid func(Dep) bool, build func() (*TU, []Dep, error)) (*TU, bool, error) {
+	start := time.Now()
 	for {
 		c.mu.Lock()
 		entries := append([]*tuEntry(nil), c.tus[key]...)
@@ -320,6 +509,7 @@ func (c *Cache) TranslationUnit(key string, valid func(Dep) bool, build func() (
 				if e.val.Result != nil {
 					ins.tokensSaved.Add(uint64(len(e.val.Result.Tokens)))
 				}
+				ins.tierL1.ObserveDuration(time.Since(start))
 				return e.val, true, nil
 			}
 		}
@@ -342,31 +532,173 @@ func (c *Cache) TranslationUnit(key string, valid func(Dep) bool, build func() (
 		c.tuFlights[key] = mine
 		c.mu.Unlock()
 
-		val, deps, err := build()
+		// This goroutine owns the node-local build for the key; with a
+		// remote tier attached it first tries L2, and coordinates the
+		// actual build through the fleet-wide lease.
+		val, deps, fromRemote, err := c.buildOrRemoteTU(key, valid, build)
 		c.mu.Lock()
 		delete(c.tuFlights, key)
 		if err == nil {
-			c.stats.TUMisses++
-			c.ins.tuMisses.Add(1)
-			e := &tuEntry{key: key, deps: deps, val: val}
+			if fromRemote {
+				c.stats.RemoteTUHits++
+				c.ins.remoteTUHits.Add(1)
+			} else {
+				c.stats.TUMisses++
+				c.ins.tuMisses.Add(1)
+			}
+			e := &tuEntry{key: key, deps: deps, val: val, bytes: tuSizeEstimate(val, deps)}
 			e.elem = c.tuLRU.PushFront(e)
 			c.tus[key] = append(c.tus[key], e)
+			c.tuBytes += e.bytes
 			maxVar := c.MaxTUVariants
 			if maxVar <= 0 {
 				maxVar = DefaultMaxTUVariants
 			}
 			// Per-key variant bound (oldest variant first), then the
-			// optional global LRU bound.
+			// optional global bounds: entry count and estimated bytes.
+			// The byte loop keeps at least the entry just inserted — a
+			// single TU larger than MaxBytes caches alone rather than
+			// thrashing.
 			for len(c.tus[key]) > maxVar {
 				c.evictTULocked(c.tus[key][0])
 			}
 			for c.MaxTUEntries > 0 && c.tuLRU.Len() > c.MaxTUEntries {
 				c.evictTULocked(c.tuLRU.Back().Value.(*tuEntry))
 			}
+			for c.MaxBytes > 0 && c.tuBytes > c.MaxBytes && c.tuLRU.Len() > 1 {
+				c.evictTULocked(c.tuLRU.Back().Value.(*tuEntry))
+			}
 		}
 		c.mu.Unlock()
 		close(mine.done)
-		return val, false, err
+		return val, fromRemote, err
+	}
+}
+
+// remoteFetchTU tries to satisfy a TU miss from the remote tier: fetch,
+// integrity-check, decode (which re-parses the AST), then validate the
+// embedded dependency manifest against the local filesystem. Any
+// failure — transport, corruption, stale manifest — is a miss.
+func (c *Cache) remoteFetchTU(key string, valid func(Dep) bool) (*TU, []Dep, bool) {
+	start := time.Now()
+	payload, ok, err := c.Remote.Get(NSTU, key)
+	if err != nil {
+		c.countRemoteError()
+		return nil, nil, false
+	}
+	if !ok {
+		c.countRemoteMiss()
+		return nil, nil, false
+	}
+	tu, deps, err := DecodeTU(payload)
+	if err != nil {
+		c.countRemoteError()
+		return nil, nil, false
+	}
+	if !depsValid(deps, valid) {
+		// The fleet's entry was built against different file contents
+		// (another session's overlay); for us it is a miss.
+		c.countRemoteMiss()
+		return nil, nil, false
+	}
+	c.mu.Lock()
+	ins := c.ins
+	c.mu.Unlock()
+	ins.tierL2.ObserveDuration(time.Since(start))
+	return tu, deps, true
+}
+
+// publishTU encodes and publishes a locally built entry. Publishing
+// also releases the fleet lease on the key (Put implies release); if
+// the entry cannot travel or the put fails, the lease is released
+// explicitly so waiting nodes unblock and build their own.
+func (c *Cache) publishTU(key string, val *TU, deps []Dep) {
+	payload, err := EncodeTU(val, deps)
+	if err == nil {
+		if perr := c.Remote.Put(NSTU, key, payload); perr == nil {
+			c.countRemotePut()
+			return
+		}
+		c.countRemoteError()
+	}
+	if uerr := c.Remote.Unlease(NSTU, key); uerr != nil {
+		c.countRemoteError()
+	}
+}
+
+// buildOrRemoteTU resolves a node-local TU miss against the remote
+// tier: L2 fetch first, then the fleet-wide lease — the winner builds
+// and publishes, losers wait for the release and re-fetch, and every
+// backend failure degrades to a plain local build.
+func (c *Cache) buildOrRemoteTU(key string, valid func(Dep) bool, build func() (*TU, []Dep, error)) (*TU, []Dep, bool, error) {
+	if c.Remote == nil {
+		val, deps, err := build()
+		return val, deps, false, err
+	}
+	if tu, deps, ok := c.remoteFetchTU(key, valid); ok {
+		return tu, deps, true, nil
+	}
+
+	timedBuild := func() (*TU, []Dep, error) {
+		start := time.Now()
+		val, deps, err := build()
+		if err == nil {
+			c.mu.Lock()
+			ins := c.ins
+			c.mu.Unlock()
+			ins.tierCompile.ObserveDuration(time.Since(start))
+		}
+		return val, deps, err
+	}
+
+	st, err := c.Remote.Lease(NSTU, key)
+	if err != nil {
+		c.countRemoteError()
+		st = LeaseUnavailable
+	}
+	switch st {
+	case LeaseGranted:
+		c.mu.Lock()
+		c.stats.LeaseGrants++
+		ctr := c.ins.leaseGrants
+		c.mu.Unlock()
+		ctr.Add(1)
+		val, deps, err := timedBuild()
+		if err != nil {
+			if uerr := c.Remote.Unlease(NSTU, key); uerr != nil {
+				c.countRemoteError()
+			}
+			return nil, nil, false, err
+		}
+		c.publishTU(key, val, deps)
+		return val, deps, false, nil
+
+	case LeaseReleased:
+		// Another node built while we waited: its compile, not ours.
+		c.mu.Lock()
+		c.stats.LeaseWaits++
+		ctr := c.ins.leaseWaits
+		c.mu.Unlock()
+		ctr.Add(1)
+		if tu, deps, ok := c.remoteFetchTU(key, valid); ok {
+			return tu, deps, true, nil
+		}
+		// The published variant does not validate against our tree
+		// (different overlay contents): build our own and publish it.
+		val, deps, err := timedBuild()
+		if err != nil {
+			return nil, nil, false, err
+		}
+		c.publishTU(key, val, deps)
+		return val, deps, false, nil
+
+	default: // LeaseUnavailable
+		val, deps, err := timedBuild()
+		if err != nil {
+			return nil, nil, false, err
+		}
+		c.publishTU(key, val, deps)
+		return val, deps, false, nil
 	}
 }
 
@@ -387,8 +719,11 @@ func (c *Cache) evictTULocked(e *tuEntry) {
 	if len(c.tus[e.key]) == 0 {
 		delete(c.tus, e.key)
 	}
+	c.tuBytes -= e.bytes
 	c.stats.Evictions++
+	c.stats.EvictedBytes += uint64(e.bytes)
 	c.ins.evictions.Add(1)
+	c.ins.evictedBytes.Add(uint64(e.bytes))
 }
 
 func depsValid(deps []Dep, valid func(Dep) bool) bool {

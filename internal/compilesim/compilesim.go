@@ -125,7 +125,10 @@ type Stats struct {
 	PCHBlobBytes int
 }
 
-// Object is the result of compiling one translation unit.
+// Object is the result of compiling one translation unit. TU is nil
+// when the frontend result was adopted from the remote cache tier (the
+// wire format carries tokens and statistics, not trees); everything
+// downstream of Compile consumes Phases and Stats only.
 type Object struct {
 	Name   string
 	Phases Phases
@@ -180,14 +183,15 @@ func (c *Compiler) Compile(main string) (*Object, error) {
 		obj.Stats = st
 	} else {
 		// The entry was built by a non-compilesim frontend run (e.g. a
-		// PCH build sharing the same configuration key): derive the unit
-		// statistics from the cached stream and AST. Cheap relative to
-		// the preprocess+parse the hit avoided, and deterministic.
+		// PCH build sharing the same configuration key) or arrived from a
+		// node without the Stats codec: derive the unit statistics from
+		// the cached stream and AST (Unit re-parses if the entry was
+		// adopted from the remote tier). Deterministic either way.
 		obj.Stats.LOC = res.LOC
 		obj.Stats.Headers = len(res.Includes)
 		obj.Stats.MissingIncl = len(res.MissingIncludes)
 		obj.Stats.Tokens = len(res.Tokens)
-		countUnit(unit.AST, vfs.Clean(main), &obj.Stats)
+		countUnit(unit.Unit(), vfs.Clean(main), &obj.Stats)
 	}
 	obj.TU = unit.AST
 

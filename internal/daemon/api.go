@@ -198,6 +198,13 @@ type healthResponse struct {
 	UptimeSec int64  `json:"uptime_sec"`
 	Sessions  int    `json:"sessions"`
 	Workers   int    `json:"workers"`
+	// Node is the daemon's farm identity; empty outside a farm.
+	Node string `json:"node,omitempty"`
+	// RemoteCache is "ok" or "unreachable: <err>" when the node has a
+	// remote cache tier (Config.RemoteProbe); absent otherwise. The
+	// router and dashboard read it for fleet health; an unreachable L2
+	// does not fail the node — builds degrade to local-only.
+	RemoteCache string `json:"remote_cache,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -210,6 +217,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeSec: int64(time.Since(s.started).Seconds()),
 		Sessions:  n,
 		Workers:   s.cfg.Workers,
+		Node:      s.cfg.NodeID,
+	}
+	if s.cfg.RemoteProbe != nil {
+		if err := s.cfg.RemoteProbe(); err != nil {
+			resp.RemoteCache = "unreachable: " + err.Error()
+		} else {
+			resp.RemoteCache = "ok"
+		}
 	}
 	status := http.StatusOK
 	if resp.Draining {

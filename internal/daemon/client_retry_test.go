@@ -1,0 +1,193 @@
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyServer fails the first fail requests in the given way, then
+// answers every request with a valid Info body.
+func flakyServer(t *testing.T, fail int, mode string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		if n <= int64(fail) {
+			switch mode {
+			case "503":
+				writeError(w, http.StatusServiceUnavailable, "worker pool saturated")
+			case "drop":
+				hj, ok := w.(http.Hijacker)
+				if !ok {
+					t.Fatal("recorder cannot hijack")
+				}
+				conn, _, err := hj.Hijack()
+				if err != nil {
+					t.Fatal(err)
+				}
+				conn.Close() // mid-request connection drop
+			case "slow":
+				time.Sleep(500 * time.Millisecond)
+				json.NewEncoder(w).Encode(Info{Name: "s"})
+			}
+			return
+		}
+		json.NewEncoder(w).Encode(Info{Name: "s"})
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func TestClientRetriesIdempotentOn503(t *testing.T) {
+	srv, hits := flakyServer(t, 2, "503")
+	c := NewClientWith(srv.URL, ClientOptions{Retries: 3, Backoff: time.Millisecond})
+	info, err := c.SessionInfo("s")
+	if err != nil {
+		t.Fatalf("GET did not survive two 503s: %v", err)
+	}
+	if info.Name != "s" {
+		t.Fatalf("info = %+v", info)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("server saw %d attempts, want 3", n)
+	}
+}
+
+func TestClientRetriesIdempotentOnConnectionDrop(t *testing.T) {
+	srv, hits := flakyServer(t, 2, "drop")
+	c := NewClientWith(srv.URL, ClientOptions{Retries: 3, Backoff: time.Millisecond})
+	if _, err := c.SessionInfo("s"); err != nil {
+		t.Fatalf("GET did not survive dropped connections: %v", err)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("server saw %d attempts, want 3", n)
+	}
+}
+
+func TestClientRetriesExhausted(t *testing.T) {
+	srv, hits := flakyServer(t, 100, "503")
+	c := NewClientWith(srv.URL, ClientOptions{Retries: 2, Backoff: time.Millisecond})
+	_, err := c.SessionInfo("s")
+	if err == nil {
+		t.Fatal("want an error once retries are exhausted")
+	}
+	if !strings.Contains(err.Error(), "503") {
+		t.Fatalf("err = %v, want the last 503", err)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (1 + 2 retries)", n)
+	}
+}
+
+func TestClientNeverRetriesNonIdempotent(t *testing.T) {
+	srv, hits := flakyServer(t, 1, "503")
+	c := NewClientWith(srv.URL, ClientOptions{Retries: 5, Backoff: time.Millisecond})
+	if _, err := c.CreateSession("s", "02", "yalla"); err == nil {
+		t.Fatal("want the 503 surfaced")
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server saw %d attempts for a POST, want 1 (a timed-out POST may have executed)", n)
+	}
+}
+
+func TestClientNoRetryOnClientError(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		writeError(w, http.StatusNotFound, "no such session")
+	}))
+	defer srv.Close()
+	c := NewClientWith(srv.URL, ClientOptions{Retries: 5, Backoff: time.Millisecond})
+	if _, err := c.SessionInfo("s"); err == nil {
+		t.Fatal("want the 404 surfaced")
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (a 404 is not transient)", n)
+	}
+}
+
+func TestClientTimeoutThenRetrySucceeds(t *testing.T) {
+	srv, hits := flakyServer(t, 1, "slow")
+	c := NewClientWith(srv.URL, ClientOptions{Timeout: 100 * time.Millisecond, Retries: 2, Backoff: time.Millisecond})
+	if _, err := c.SessionInfo("s"); err != nil {
+		t.Fatalf("GET did not survive one slow response: %v", err)
+	}
+	if n := hits.Load(); n < 2 {
+		t.Fatalf("server saw %d attempts, want >= 2", n)
+	}
+}
+
+func TestClientTimeoutSurfacesWithoutRetries(t *testing.T) {
+	srv, _ := flakyServer(t, 100, "slow")
+	c := NewClientWith(srv.URL, ClientOptions{Timeout: 50 * time.Millisecond})
+	start := time.Now()
+	_, err := c.SessionInfo("s")
+	if err == nil {
+		t.Fatal("want a timeout error")
+	}
+	if d := time.Since(start); d > 400*time.Millisecond {
+		t.Fatalf("single attempt took %v, timeout did not bound it", d)
+	}
+}
+
+func TestHealthzReportsNodeAndRemote(t *testing.T) {
+	probeErr := atomic.Bool{}
+	s := New(Config{
+		NodeID: "node-2",
+		RemoteProbe: func() error {
+			if probeErr.Load() {
+				return errors.New("connection refused")
+			}
+			return nil
+		},
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h["node"] != "node-2" {
+		t.Fatalf("node = %v, want node-2", h["node"])
+	}
+	if h["remote_cache"] != "ok" {
+		t.Fatalf("remote_cache = %v, want ok", h["remote_cache"])
+	}
+
+	probeErr.Store(true)
+	h, err = c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, _ := h["remote_cache"].(string)
+	if !strings.HasPrefix(rc, "unreachable") {
+		t.Fatalf("remote_cache = %q, want unreachable", rc)
+	}
+	if h["status"] != "ok" {
+		t.Fatalf("status = %v; a dead L2 must not fail the node", h["status"])
+	}
+}
+
+func TestHealthzOmitsFarmFieldsOutsideFarm(t *testing.T) {
+	s := New(Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	h, err := NewClient(srv.URL).Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h["node"]; ok {
+		t.Fatal("node reported outside a farm")
+	}
+	if _, ok := h["remote_cache"]; ok {
+		t.Fatal("remote_cache reported without a probe")
+	}
+}

@@ -50,6 +50,18 @@ type Config struct {
 	DrainTimeout time.Duration
 	// Cache is the shared build cache; nil creates a fresh one.
 	Cache *buildcache.Cache
+	// Remote, when set, is attached to the build cache as its L2 tier
+	// (unless the supplied Cache already has one); a farm node passes
+	// the shared remote cache here.
+	Remote buildcache.Backend
+	// NodeID names this daemon in a farm; /healthz reports it and the
+	// router uses it to label per-node dashboard rows. Empty outside a
+	// farm.
+	NodeID string
+	// RemoteProbe, when set, checks remote-cache reachability for
+	// /healthz (a cheap HEAD against the cache server). It must be safe
+	// for concurrent use and fast; a nil probe reports no remote tier.
+	RemoteProbe func() error
 	// MaxCachedTUs, when > 0, applies a size-capped LRU eviction policy
 	// to the build cache — a long-lived daemon must not grow without
 	// bound.
@@ -137,6 +149,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxCachedTUs > 0 {
 		cache.MaxTUEntries = cfg.MaxCachedTUs
+	}
+	if cfg.Remote != nil && cache.Remote == nil {
+		cache.Remote = cfg.Remote
 	}
 	if cfg.Tracer != nil {
 		cfg.Tracer.SetSealedRetention(cfg.TraceRetention)

@@ -82,10 +82,23 @@ type dashCache struct {
 	TURate      string
 	Evictions   uint64
 	BytesSaved  float64 // MB
+
+	// Remote (L2) tier; HasRemote gates the dashboard section so a
+	// remote-less daemon renders exactly as before.
+	HasRemote       bool
+	RemoteTokenHits uint64
+	RemoteTUHits    uint64
+	RemoteMisses    uint64
+	RemoteRate      string
+	RemotePuts      uint64
+	RemoteErrors    uint64
+	LeaseGrants     uint64
+	LeaseWaits      uint64
 }
 
 type dashData struct {
 	Now       string
+	Node      string
 	Uptime    string
 	Draining  bool
 	Workers   int
@@ -115,6 +128,7 @@ func (s *Server) dashData() dashData {
 	snap := s.reg.Snapshot()
 	d := dashData{
 		Now:       time.Now().Format("15:04:05"),
+		Node:      s.cfg.NodeID,
 		Uptime:    time.Since(s.started).Round(time.Second).String(),
 		Draining:  s.draining.Load(),
 		Workers:   s.cfg.Workers,
@@ -135,6 +149,18 @@ func (s *Server) dashData() dashData {
 		TUHits:    st.TUHits, TUMisses: st.TUMisses,
 		TURate:    hitRate(st.TUHits, st.TUMisses),
 		Evictions: st.Evictions, BytesSaved: float64(st.BytesSaved) / 1e6,
+	}
+	if s.cache.Remote != nil {
+		remoteHits := st.RemoteTokenHits + st.RemoteTUHits
+		d.Cache.HasRemote = true
+		d.Cache.RemoteTokenHits = st.RemoteTokenHits
+		d.Cache.RemoteTUHits = st.RemoteTUHits
+		d.Cache.RemoteMisses = st.RemoteMisses
+		d.Cache.RemoteRate = hitRate(remoteHits, st.RemoteMisses)
+		d.Cache.RemotePuts = st.RemotePuts
+		d.Cache.RemoteErrors = st.RemoteErrors
+		d.Cache.LeaseGrants = st.LeaseGrants
+		d.Cache.LeaseWaits = st.LeaseWaits
 	}
 
 	const routePrefix = "daemon.request_ms."
@@ -217,7 +243,7 @@ td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
 </style>
 </head>
 <body>
-<h1>yallad
+<h1>yallad{{if .Node}} <span class="muted">[{{.Node}}]</span>{{end}}
 {{if .Draining}}<span class="pill drain">draining</span>{{else}}<span class="pill ok">serving</span>{{end}}
 <span class="muted" style="font-size:0.6em">up {{.Uptime}} · {{.Now}} · auto-refresh 2s</span></h1>
 
@@ -243,8 +269,10 @@ td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
 <tr><th></th><th class="num">hits</th><th class="num">misses</th><th class="num">hit rate</th></tr>
 <tr><td>tokens</td><td class="num">{{.Cache.TokenHits}}</td><td class="num">{{.Cache.TokenMisses}}</td><td class="num">{{.Cache.TokenRate}}</td></tr>
 <tr><td>TUs</td><td class="num">{{.Cache.TUHits}}</td><td class="num">{{.Cache.TUMisses}}</td><td class="num">{{.Cache.TURate}}</td></tr>
+{{if .Cache.HasRemote}}<tr><td>remote (L2) tokens</td><td class="num">{{.Cache.RemoteTokenHits}}</td><td class="num" rowspan="2">{{.Cache.RemoteMisses}}</td><td class="num" rowspan="2">{{.Cache.RemoteRate}}</td></tr>
+<tr><td>remote (L2) TUs</td><td class="num">{{.Cache.RemoteTUHits}}</td></tr>{{end}}
 </table>
-<p class="muted">{{.Cache.Evictions}} evictions · {{printf "%.1f" .Cache.BytesSaved}} MB re-lex avoided</p>
+<p class="muted">{{.Cache.Evictions}} evictions · {{printf "%.1f" .Cache.BytesSaved}} MB re-lex avoided{{if .Cache.HasRemote}} · remote: {{.Cache.RemotePuts}} puts, {{.Cache.RemoteErrors}} errors, leases {{.Cache.LeaseGrants}} won / {{.Cache.LeaseWaits}} waited{{end}}</p>
 
 <h2>Pipeline phases (ms)</h2>
 {{if .Phases}}<table>

@@ -1,0 +1,226 @@
+package farm
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/buildcache"
+	"repro/internal/obs"
+)
+
+func testCacheServer(t *testing.T, cfg CacheServerConfig) (*CacheServer, *Remote) {
+	t.Helper()
+	s := NewCacheServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, NewRemoteWith(ts.URL, RemoteOptions{LeaseTimeout: 2 * time.Minute})
+}
+
+func TestCachePutGetRoundTrip(t *testing.T) {
+	s, r := testCacheServer(t, CacheServerConfig{})
+	payload := []byte("hello, farm")
+
+	if _, ok, err := r.Get(buildcache.NSTU, "k1"); err != nil || ok {
+		t.Fatalf("Get before Put = ok=%v err=%v", ok, err)
+	}
+	if err := r.Put(buildcache.NSTU, "k1", payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok, err := r.Get(buildcache.NSTU, "k1")
+	if err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q ok=%v err=%v", got, ok, err)
+	}
+
+	// Namespaces are distinct keyspaces.
+	if _, ok, _ := r.Get(buildcache.NSTokens, "k1"); ok {
+		t.Fatal("key leaked across namespaces")
+	}
+	if st := s.Stats(); st.Entries != 1 || st.Bytes != len(payload) {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestCacheProbeAndHead(t *testing.T) {
+	s, r := testCacheServer(t, CacheServerConfig{})
+	if err := r.Probe(); err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	if err := r.Put(buildcache.NSTokens, "k", []byte("abc")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Head(ts.URL + "/v1/cache/tok/k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.ContentLength != 3 {
+		t.Fatalf("HEAD = %d len %d", resp.StatusCode, resp.ContentLength)
+	}
+}
+
+func TestLeaseSingleflight(t *testing.T) {
+	s, r := testCacheServer(t, CacheServerConfig{})
+
+	st, err := r.Lease(buildcache.NSTU, "k")
+	if err != nil || st != buildcache.LeaseGranted {
+		t.Fatalf("first Lease = %v err=%v", st, err)
+	}
+
+	// A second caller long-polls until the holder publishes, then is
+	// told the payload exists.
+	const waiters = 8
+	var released atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := r.Lease(buildcache.NSTU, "k")
+			if err == nil && st == buildcache.LeaseReleased {
+				released.Add(1)
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // let the waiters reach the long-poll
+	if err := r.Put(buildcache.NSTU, "k", []byte("built")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	wg.Wait()
+	if released.Load() != waiters {
+		t.Fatalf("released waiters = %d, want %d", released.Load(), waiters)
+	}
+
+	// After publication, new Lease calls short-circuit to released.
+	if st, _ := r.Lease(buildcache.NSTU, "k"); st != buildcache.LeaseReleased {
+		t.Fatalf("post-publish Lease = %v", st)
+	}
+	if got := s.Stats().Leases; got != 0 {
+		t.Fatalf("leases outstanding = %d", got)
+	}
+}
+
+func TestLeaseUnleaseHandsOff(t *testing.T) {
+	_, r := testCacheServer(t, CacheServerConfig{})
+	if st, _ := r.Lease(buildcache.NSTU, "k"); st != buildcache.LeaseGranted {
+		t.Fatalf("first Lease = %v", st)
+	}
+
+	// The holder's build fails; Unlease wakes the waiter, who loops and
+	// becomes the new builder (no payload appeared).
+	got := make(chan buildcache.LeaseState, 1)
+	go func() {
+		st, _ := r.Lease(buildcache.NSTU, "k")
+		got <- st
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := r.Unlease(buildcache.NSTU, "k"); err != nil {
+		t.Fatalf("Unlease: %v", err)
+	}
+	select {
+	case st := <-got:
+		if st != buildcache.LeaseGranted {
+			t.Fatalf("waiter after Unlease = %v, want granted (takeover)", st)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still blocked after Unlease")
+	}
+}
+
+func TestLeaseTTLExpiryAllowsTakeover(t *testing.T) {
+	_, r := testCacheServer(t, CacheServerConfig{LeaseTTL: 100 * time.Millisecond})
+	if st, _ := r.Lease(buildcache.NSTU, "k"); st != buildcache.LeaseGranted {
+		t.Fatal("first Lease not granted")
+	}
+	// The holder crashes (never Puts, never Unleases). A waiter must not
+	// block past the TTL: it reaps the stale lease and takes over.
+	start := time.Now()
+	st, err := r.Lease(buildcache.NSTU, "k")
+	if err != nil || st != buildcache.LeaseGranted {
+		t.Fatalf("post-expiry Lease = %v err=%v", st, err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("takeover took %v", d)
+	}
+}
+
+func TestLeaseWaitBudgetUnavailable(t *testing.T) {
+	_, r := testCacheServer(t, CacheServerConfig{LeaseWait: 100 * time.Millisecond})
+	if st, _ := r.Lease(buildcache.NSTU, "k"); st != buildcache.LeaseGranted {
+		t.Fatal("first Lease not granted")
+	}
+	st, err := r.Lease(buildcache.NSTU, "k")
+	if err != nil || st != buildcache.LeaseUnavailable {
+		t.Fatalf("budget-expired Lease = %v err=%v, want unavailable", st, err)
+	}
+}
+
+func TestCacheServerLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, r := testCacheServer(t, CacheServerConfig{MaxBytes: 250, Registry: reg})
+	blob := bytes.Repeat([]byte("x"), 100)
+	for i := 0; i < 3; i++ {
+		if err := r.Put(buildcache.NSTU, fmt.Sprintf("k%d", i), blob); err != nil {
+			t.Fatalf("Put k%d: %v", i, err)
+		}
+	}
+	// 300 bytes > 250 cap: the oldest entry (k0) is evicted.
+	if _, ok, _ := r.Get(buildcache.NSTU, "k0"); ok {
+		t.Fatal("k0 survived eviction")
+	}
+	for _, k := range []string{"k1", "k2"} {
+		if _, ok, _ := r.Get(buildcache.NSTU, k); !ok {
+			t.Fatalf("%s evicted, want kept", k)
+		}
+	}
+	if st := s.Stats(); st.Entries != 2 || st.Bytes != 200 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["farmcache.evictions"] != 1 || snap.Counters["farmcache.evicted_bytes"] != 100 {
+		t.Fatalf("eviction counters = %v", snap.Counters)
+	}
+
+	// Recency matters: touching k1 makes k2 the eviction victim.
+	r.Get(buildcache.NSTU, "k1")
+	if err := r.Put(buildcache.NSTU, "k3", blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := r.Get(buildcache.NSTU, "k2"); ok {
+		t.Fatal("k2 survived, want LRU victim")
+	}
+	if _, ok, _ := r.Get(buildcache.NSTU, "k1"); !ok {
+		t.Fatal("recently-used k1 evicted")
+	}
+}
+
+func TestCacheServerHealthzAndMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewCacheServer(CacheServerConfig{Registry: reg})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/metrics?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,114 @@
+package farm
+
+import (
+	"testing"
+
+	"repro/internal/daemon"
+)
+
+// TestFarmSmoke is the end-to-end fleet test (CI runs it under -race):
+// a 3-node farm takes a concurrent cold fan-in plus warm edit cycles,
+// a fleet-wide cold miss compiles exactly once, and every node's
+// substitution output is byte-identical to the one-shot path.
+func TestFarmSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("farm smoke is a multi-node load test")
+	}
+	clients := 24
+	rep, err := Loadgen(LoadgenConfig{
+		Nodes:    3,
+		Clients:  clients,
+		Iters:    2,
+		Workers:  4,
+		Subjects: []string{"02", "team_policy"},
+		Progress: func(phase string) { t.Log(phase) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !rep.ExactlyOnce {
+		t.Errorf("fleet compiled %d TUs for a workload a solo node compiles in %d — duplicate work leaked past the lease",
+			rep.FleetCompiles, rep.BaselineCompiles)
+	}
+	if !rep.Identical {
+		t.Error("farm output diverged from the one-shot path")
+	}
+	if rep.RemoteTUHits == 0 {
+		t.Error("no node ever adopted a remote TU; the shared cache did nothing")
+	}
+	// The cold phase's lease counters are the exactly-once proof: the
+	// fleet arbitrated at most one grant per unique TU, and no more
+	// grants than compiles happened.
+	if rep.ColdLeaseGrants == 0 || rep.ColdLeaseGrants > rep.FleetCompiles {
+		t.Errorf("cold lease grants = %d, want in [1, %d]", rep.ColdLeaseGrants, rep.FleetCompiles)
+	}
+	if rep.ColdFanIn.Count != clients {
+		t.Errorf("cold fan-in samples = %d, want %d", rep.ColdFanIn.Count, clients)
+	}
+	if rep.WarmIter.Count == 0 || rep.WarmIter.P95Ns <= 0 {
+		t.Errorf("warm SLO sample empty: %+v", rep.WarmIter)
+	}
+	if len(rep.PerNode) != 3 {
+		t.Fatalf("per-node rows = %d", len(rep.PerNode))
+	}
+	// PerNode totals span the whole run (warm edits compile new TUs), so
+	// the cold-phase compile count is a lower bound on the sum.
+	var fleetMisses uint64
+	for _, n := range rep.PerNode {
+		fleetMisses += n.TUMisses
+		if n.RemoteErrors != 0 {
+			t.Errorf("node %s hit %d remote errors", n.ID, n.RemoteErrors)
+		}
+	}
+	if fleetMisses < rep.FleetCompiles {
+		t.Errorf("per-node misses sum %d < cold-phase fleet compiles %d", fleetMisses, rep.FleetCompiles)
+	}
+	if rep.CacheServer.Entries == 0 {
+		t.Error("cache server holds no entries after the run")
+	}
+	if rep.TierCompile.Count == 0 {
+		t.Error("no compile-tier latency samples recorded")
+	}
+	blob, err := rep.JSON()
+	if err != nil || len(blob) == 0 {
+		t.Fatalf("report JSON: %v", err)
+	}
+}
+
+// TestFarmSessionRoutingAndHealth checks the fleet wiring without load:
+// sessions land on their ring owner, /healthz aggregates node identity
+// and remote-cache reachability, and Stop drains cleanly.
+func TestFarmSessionRoutingAndHealth(t *testing.T) {
+	f, err := StartLocal(LocalConfig{Nodes: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+
+	c := daemon.NewClient(f.RouterURL)
+	if _, err := c.CreateSession("routed", "02", "yalla"); err != nil {
+		t.Fatalf("create through router: %v", err)
+	}
+	owner := f.Node("routed")
+	if owner == nil {
+		t.Fatal("no owner for session")
+	}
+	// The session must live on its owner, reachable directly.
+	direct := daemon.NewClient(owner.URL)
+	if _, err := direct.Substitute("routed", false); err != nil {
+		t.Fatalf("session not on owning node %s: %v", owner.ID, err)
+	}
+
+	// Node healthz reports farm identity and L2 reachability.
+	h, err := direct.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h["node"] != owner.ID {
+		t.Errorf("healthz node = %v, want %s", h["node"], owner.ID)
+	}
+	if h["remote_cache"] != "ok" {
+		t.Errorf("healthz remote_cache = %v", h["remote_cache"])
+	}
+}

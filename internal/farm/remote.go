@@ -1,0 +1,166 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/buildcache"
+)
+
+// Remote speaks the cache protocol as a buildcache.Backend: it is the
+// client half of CacheServer, attached to each node's in-process cache
+// as the L2 tier. Every error is returned to the buildcache, which
+// treats it as a miss and builds locally — a dead or slow cache server
+// degrades the farm to independent nodes, never to failed requests.
+type Remote struct {
+	base string
+	hc   *http.Client
+	// leaseHC long-polls, so its timeout must exceed the server's
+	// LeaseWait budget.
+	leaseHC *http.Client
+}
+
+var _ buildcache.Backend = (*Remote)(nil)
+
+// RemoteOptions tunes the client; the zero value is production-ready.
+type RemoteOptions struct {
+	// Timeout bounds one GET/PUT/HEAD; <= 0 means 10s.
+	Timeout time.Duration
+	// LeaseTimeout bounds one lease long-poll; <= 0 means 45s (the
+	// server gives up at 30s, so the transport should not fire first).
+	LeaseTimeout time.Duration
+}
+
+// NewRemote returns a Backend for the cache server at base (e.g.
+// "http://127.0.0.1:7800").
+func NewRemote(base string) *Remote {
+	return NewRemoteWith(base, RemoteOptions{})
+}
+
+// NewRemoteWith returns a Backend with explicit timeouts.
+func NewRemoteWith(base string, opts RemoteOptions) *Remote {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	if opts.LeaseTimeout <= 0 {
+		opts.LeaseTimeout = 45 * time.Second
+	}
+	return &Remote{
+		base:    base,
+		hc:      &http.Client{Timeout: opts.Timeout},
+		leaseHC: &http.Client{Timeout: opts.LeaseTimeout},
+	}
+}
+
+func (r *Remote) cacheURL(ns, key string) string {
+	return r.base + "/v1/cache/" + url.PathEscape(ns) + "/" + url.PathEscape(key)
+}
+
+func (r *Remote) leaseURL(ns, key string) string {
+	return r.base + "/v1/lease/" + url.PathEscape(ns) + "/" + url.PathEscape(key)
+}
+
+// Get fetches a payload; a 404 is a clean miss.
+func (r *Remote) Get(ns, key string) ([]byte, bool, error) {
+	resp, err := r.hc.Get(r.cacheURL(ns, key))
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("farm: GET %s/%s: %d", ns, key, resp.StatusCode)
+	}
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxPayloadBytes+1))
+	if err != nil {
+		return nil, false, err
+	}
+	return blob, true, nil
+}
+
+// Put stores a payload (and releases any lease held on the key).
+func (r *Remote) Put(ns, key string, payload []byte) error {
+	req, err := http.NewRequest(http.MethodPut, r.cacheURL(ns, key), bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("farm: PUT %s/%s: %d", ns, key, resp.StatusCode)
+	}
+	return nil
+}
+
+// Lease acquires (or waits on) the fleet-wide build lease for a key.
+func (r *Remote) Lease(ns, key string) (buildcache.LeaseState, error) {
+	resp, err := r.leaseHC.Post(r.leaseURL(ns, key), "", nil)
+	if err != nil {
+		return buildcache.LeaseUnavailable, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return buildcache.LeaseUnavailable, fmt.Errorf("farm: lease %s/%s: %d", ns, key, resp.StatusCode)
+	}
+	var lr leaseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		return buildcache.LeaseUnavailable, err
+	}
+	switch lr.State {
+	case "granted":
+		return buildcache.LeaseGranted, nil
+	case "released":
+		return buildcache.LeaseReleased, nil
+	case "unavailable":
+		return buildcache.LeaseUnavailable, nil
+	}
+	return buildcache.LeaseUnavailable, fmt.Errorf("farm: lease %s/%s: unknown state %q", ns, key, lr.State)
+}
+
+// Unlease releases a granted lease without publishing.
+func (r *Remote) Unlease(ns, key string) error {
+	req, err := http.NewRequest(http.MethodDelete, r.leaseURL(ns, key), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("farm: unlease %s/%s: %d", ns, key, resp.StatusCode)
+	}
+	return nil
+}
+
+// Probe checks reachability (daemon /healthz wires this in so the
+// router and dashboard can show fleet health).
+func (r *Remote) Probe() error {
+	hc := &http.Client{Timeout: 2 * time.Second}
+	resp, err := hc.Get(r.base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("farm: cache healthz: %d", resp.StatusCode)
+	}
+	return nil
+}

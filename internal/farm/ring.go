@@ -1,0 +1,124 @@
+// Package farm is yallafarm: a multi-node build farm over the Header
+// Substitution daemon. One shared content-addressed cache server (the
+// L2 tier behind every node's in-process buildcache) makes a fleet-wide
+// cold miss compile exactly once — the cache protocol's lease endpoint
+// extends the buildcache's singleflight across processes — and a thin
+// router shards sessions across nodes by consistent hashing, so an
+// editor keeps hitting the node that holds its session state while
+// node join/leave moves only the keys it must.
+//
+// Everything speaks plain HTTP from the stdlib; the farm degrades
+// gracefully layer by layer (dead cache server → local-only builds,
+// dead node → router retries and reports), and farm outputs are
+// byte-identical to a single-node daemon and to the one-shot CLI.
+package farm
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// defaultReplicas is how many virtual nodes each real node projects
+// onto the ring. More replicas smooth the shard distribution; 128 keeps
+// the per-node spread within a few percent for small fleets.
+const defaultReplicas = 128
+
+type vnode struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring mapping session keys to node IDs.
+// Adding or removing a node moves only ~1/n of the keyspace — sessions
+// are sticky to their node, so bounded key movement is bounded session
+// re-preparation. Safe for concurrent use.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	vnodes   []vnode // sorted by hash
+	nodes    map[string]bool
+}
+
+// NewRing returns an empty ring; replicas <= 0 uses the default.
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	return &Ring{replicas: replicas, nodes: map[string]bool{}}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// fnv alone leaves sequential vnode labels ("node-1#0", "node-1#1",
+	// ...) correlated enough to skew the ring badly; a splitmix64-style
+	// finalizer scatters them.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a node; adding an existing node is a no-op.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		r.vnodes = append(r.vnodes, vnode{hash: ringHash(fmt.Sprintf("%s#%d", node, i)), node: node})
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool { return r.vnodes[i].hash < r.vnodes[j].hash })
+}
+
+// Remove deletes a node and its virtual nodes; unknown nodes are a
+// no-op.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.vnodes[:0]
+	for _, v := range r.vnodes {
+		if v.node != node {
+			kept = append(kept, v)
+		}
+	}
+	r.vnodes = kept
+}
+
+// Get maps a key to its owning node, or "" on an empty ring.
+func (r *Ring) Get(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.vnodes) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		i = 0 // wrap: the ring is circular
+	}
+	return r.vnodes[i].node
+}
+
+// Nodes lists the ring's members sorted by ID.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

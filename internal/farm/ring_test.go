@@ -1,0 +1,129 @@
+package farm
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("session-%d", i)
+	}
+	return keys
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Get("anything"); got != "" {
+		t.Fatalf("empty ring Get = %q, want \"\"", got)
+	}
+	if len(r.Nodes()) != 0 {
+		t.Fatalf("empty ring Nodes = %v", r.Nodes())
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a, b := NewRing(0), NewRing(0)
+	for _, n := range []string{"node-0", "node-1", "node-2"} {
+		a.Add(n)
+	}
+	// Insertion order must not matter.
+	for _, n := range []string{"node-2", "node-0", "node-1"} {
+		b.Add(n)
+	}
+	for _, k := range ringKeys(500) {
+		if a.Get(k) != b.Get(k) {
+			t.Fatalf("key %q: %q vs %q", k, a.Get(k), b.Get(k))
+		}
+	}
+}
+
+func TestRingSpread(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"node-0", "node-1", "node-2", "node-3"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	keys := ringKeys(4000)
+	for _, k := range keys {
+		counts[r.Get(k)]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / float64(len(keys))
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("node %s owns %.0f%% of keys (counts %v)", n, share*100, counts)
+		}
+	}
+}
+
+func TestRingAddMovesBoundedKeys(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("node-%d", i))
+	}
+	keys := ringKeys(4000)
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k] = r.Get(k)
+	}
+
+	r.Add("node-4")
+	moved, movedElsewhere := 0, 0
+	for _, k := range keys {
+		after := r.Get(k)
+		if after != before[k] {
+			moved++
+			if after != "node-4" {
+				movedElsewhere++
+			}
+		}
+	}
+	// Consistent hashing: only ~1/5 of keys move, and every moved key
+	// moves onto the new node — nothing reshuffles between old nodes.
+	if frac := float64(moved) / float64(len(keys)); frac > 0.35 {
+		t.Fatalf("join moved %.0f%% of keys, want ~20%%", frac*100)
+	}
+	if movedElsewhere != 0 {
+		t.Fatalf("%d keys moved between pre-existing nodes on join", movedElsewhere)
+	}
+}
+
+func TestRingRemoveMovesOnlyOrphans(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("node-%d", i))
+	}
+	keys := ringKeys(4000)
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k] = r.Get(k)
+	}
+
+	r.Remove("node-2")
+	for _, k := range keys {
+		after := r.Get(k)
+		if after == "node-2" {
+			t.Fatalf("key %q still maps to removed node", k)
+		}
+		if before[k] != "node-2" && after != before[k] {
+			t.Fatalf("key %q moved %q -> %q though its node stayed", k, before[k], after)
+		}
+	}
+}
+
+func TestRingAddIdempotent(t *testing.T) {
+	r := NewRing(8)
+	r.Add("node-0")
+	r.Add("node-0")
+	if got := len(r.Nodes()); got != 1 {
+		t.Fatalf("Nodes = %v", r.Nodes())
+	}
+	r.mu.RLock()
+	vn := len(r.vnodes)
+	r.mu.RUnlock()
+	if vn != 8 {
+		t.Fatalf("vnodes = %d, want 8", vn)
+	}
+}

@@ -1,0 +1,319 @@
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// echoNode is a fake daemon that records which paths it served and
+// answers with its own ID.
+func echoNode(t *testing.T, id string, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"status": "ok", "sessions": 2, "remote_cache": "ok"})
+	})
+	mux.HandleFunc("/v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			hits.Add(1)
+			json.NewEncoder(w).Encode(map[string]string{"node": id})
+			return
+		}
+		fmt.Fprintf(w, `{"sessions":[{"name":"on-%s"}]}`, id)
+	})
+	mux.HandleFunc("/v1/sessions/", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		json.NewEncoder(w).Encode(map[string]string{"node": id, "path": r.URL.Path})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func routedNode(t *testing.T, rt *Router, path string, body io.Reader) map[string]string {
+	t.Helper()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	method := http.MethodGet
+	if body != nil {
+		method = http.MethodPost
+	}
+	req, _ := http.NewRequest(method, front.URL+path, body)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s: decode: %v", path, err)
+	}
+	return out
+}
+
+func TestRouterSessionAffinity(t *testing.T) {
+	var hitsA, hitsB atomic.Int64
+	a, b := echoNode(t, "a", &hitsA), echoNode(t, "b", &hitsB)
+	rt := NewRouter(RouterConfig{})
+	rt.AddNode("a", a.URL)
+	rt.AddNode("b", b.URL)
+
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// Every request for one session lands on one node, repeatedly.
+	owners := map[string]string{}
+	for _, sess := range []string{"alpha", "beta", "gamma", "delta"} {
+		for i := 0; i < 3; i++ {
+			resp, err := http.Get(front.URL + "/v1/sessions/" + sess + "/files/main.cpp")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out map[string]string
+			json.NewDecoder(resp.Body).Decode(&out)
+			resp.Body.Close()
+			if got := resp.Header.Get("X-Farm-Node"); got != out["node"] {
+				t.Fatalf("X-Farm-Node %q but node answered %q", got, out["node"])
+			}
+			if prev, ok := owners[sess]; ok && prev != out["node"] {
+				t.Fatalf("session %q moved %q -> %q", sess, prev, out["node"])
+			}
+			owners[sess] = out["node"]
+			if want := rt.Owner(sess); want != out["node"] {
+				t.Fatalf("Owner(%q) = %q, served by %q", sess, want, out["node"])
+			}
+		}
+	}
+	if hitsA.Load() == 0 || hitsB.Load() == 0 {
+		t.Fatalf("hits a=%d b=%d: expected both nodes to own sessions", hitsA.Load(), hitsB.Load())
+	}
+}
+
+func TestRouterCreateRoutesByBodyName(t *testing.T) {
+	var hitsA, hitsB atomic.Int64
+	a, b := echoNode(t, "a", &hitsA), echoNode(t, "b", &hitsB)
+	rt := NewRouter(RouterConfig{})
+	rt.AddNode("a", a.URL)
+	rt.AddNode("b", b.URL)
+
+	out := routedNode(t, rt, "/v1/sessions", strings.NewReader(`{"name":"my-session","subject":"02"}`))
+	if out["node"] != rt.Owner("my-session") {
+		t.Fatalf("create landed on %q, owner is %q", out["node"], rt.Owner("my-session"))
+	}
+}
+
+func TestRouterListMergesNodes(t *testing.T) {
+	var hits atomic.Int64
+	a, b := echoNode(t, "a", &hits), echoNode(t, "b", &hits)
+	rt := NewRouter(RouterConfig{})
+	rt.AddNode("a", a.URL)
+	rt.AddNode("b", b.URL)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"on-a", "on-b"} {
+		if !strings.Contains(string(blob), want) {
+			t.Fatalf("merged list %s missing %s", blob, want)
+		}
+	}
+}
+
+func TestRouterNoNodes(t *testing.T) {
+	rt := NewRouter(RouterConfig{})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	resp, err := http.Get(front.URL + "/v1/sessions/any/files/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty fleet status = %d", resp.StatusCode)
+	}
+}
+
+// flakyListener refuses the first fail connections (closing them
+// immediately — a transport error for the router), then serves handler.
+func flakyListener(t *testing.T, fail int, handler http.Handler) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var dropped atomic.Int64
+	inner := &chanListener{ch: make(chan net.Conn), addr: ln.Addr()}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				close(inner.ch)
+				return
+			}
+			if int(dropped.Add(1)) <= fail {
+				c.Close()
+				continue
+			}
+			inner.ch <- c
+		}
+	}()
+	go http.Serve(inner, handler)
+	return "http://" + ln.Addr().String()
+}
+
+type chanListener struct {
+	ch   chan net.Conn
+	addr net.Addr
+}
+
+func (l *chanListener) Accept() (net.Conn, error) {
+	c, ok := <-l.ch
+	if !ok {
+		return nil, net.ErrClosed
+	}
+	return c, nil
+}
+func (l *chanListener) Close() error   { return nil }
+func (l *chanListener) Addr() net.Addr { return l.addr }
+
+func TestRouterRetriesIdempotentForwards(t *testing.T) {
+	reg := obs.NewRegistry()
+	url := flakyListener(t, 2, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"ok": "true"})
+	}))
+	rt := NewRouter(RouterConfig{Registry: reg, Retries: 3, Backoff: 10 * time.Millisecond})
+	rt.AddNode("flaky", url)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/v1/sessions/s/files/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET through flaky node = %d, want 200 after retries", resp.StatusCode)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["router.retries"] < 2 {
+		t.Fatalf("router.retries = %d, want >= 2", snap.Counters["router.retries"])
+	}
+}
+
+func TestRouterDoesNotRetryNonIdempotent(t *testing.T) {
+	reg := obs.NewRegistry()
+	url := flakyListener(t, 1, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	rt := NewRouter(RouterConfig{Registry: reg, Retries: 3, Backoff: 10 * time.Millisecond})
+	rt.AddNode("flaky", url)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, err := http.Post(front.URL+"/v1/sessions/s/cycle", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("POST through dropped conn = %d, want 502 (no retry)", resp.StatusCode)
+	}
+	if got := reg.Snapshot().Counters["router.retries"]; got != 0 {
+		t.Fatalf("router.retries = %d for non-idempotent request", got)
+	}
+}
+
+func TestRouterJoinLeaveMovesBoundedSessions(t *testing.T) {
+	var hits atomic.Int64
+	nodes := map[string]*httptest.Server{}
+	rt := NewRouter(RouterConfig{})
+	for _, id := range []string{"a", "b", "c"} {
+		nodes[id] = echoNode(t, id, &hits)
+		rt.AddNode(id, nodes[id].URL)
+	}
+	sessions := make([]string, 300)
+	before := map[string]string{}
+	for i := range sessions {
+		sessions[i] = fmt.Sprintf("sess-%d", i)
+		before[sessions[i]] = rt.Owner(sessions[i])
+	}
+
+	d := echoNode(t, "d", &hits)
+	rt.AddNode("d", d.URL)
+	moved := 0
+	for _, s := range sessions {
+		after := rt.Owner(s)
+		if after != before[s] {
+			moved++
+			if after != "d" {
+				t.Fatalf("session %q reshuffled %q -> %q on join", s, before[s], after)
+			}
+		}
+	}
+	if frac := float64(moved) / float64(len(sessions)); frac > 0.5 {
+		t.Fatalf("join moved %.0f%% of sessions", frac*100)
+	}
+
+	rt.RemoveNode("d")
+	for _, s := range sessions {
+		if got := rt.Owner(s); got != before[s] {
+			t.Fatalf("session %q at %q after leave, was %q", s, got, before[s])
+		}
+	}
+}
+
+func TestRouterHealthzAggregates(t *testing.T) {
+	var hits atomic.Int64
+	a := echoNode(t, "a", &hits)
+	rt := NewRouter(RouterConfig{})
+	rt.AddNode("a", a.URL)
+	rt.AddNode("dead", "http://127.0.0.1:1") // nothing listens there
+	rt.PollHealth()
+
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	resp, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Status string    `json:"status"`
+		Nodes  []nodeRow `json:"nodes"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" {
+		t.Fatalf("status = %q, want degraded (1 of 2 nodes down)", h.Status)
+	}
+	for _, row := range h.Nodes {
+		switch row.ID {
+		case "a":
+			if !row.Healthy || row.Sessions != 2 || row.RemoteCache != "ok" {
+				t.Fatalf("node a row = %+v", row)
+			}
+		case "dead":
+			if row.Healthy || row.LastErr == "" {
+				t.Fatalf("dead node row = %+v", row)
+			}
+		}
+	}
+}

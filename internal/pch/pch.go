@@ -99,7 +99,7 @@ func BuildObserved(fs *vfs.FS, header string, searchPaths []string, defines map[
 		Header: vfs.Clean(header),
 		Files:  map[string]bool{vfs.Clean(header): true},
 		Tokens: res.Tokens,
-		TU:     unit.AST,
+		TU:     unit.Unit(),
 		LOC:    res.LOC,
 	}
 	for _, inc := range res.Includes {
