@@ -180,15 +180,22 @@ func measure(cfg measureConfig) (*bench.Entry, error) {
 		entry.Metrics[prefix+"p99_ns"] = float64(cs.Latency.P99Ns)
 		entry.Metrics[prefix+"mean_ns"] = float64(cs.Latency.MeanNs)
 		// Virtual-clock costs are byte-identical across machines; CI
-		// gates on these (-gate virtual_p95) so a baseline committed
-		// from one machine is exact on another.
+		// gates on these (-gate virtual) so a baseline committed from
+		// one machine is exact on another.
 		entry.Metrics[prefix+"virtual_p95_ms"] = cs.VirtualP95Ms
 		entry.Metrics[prefix+"virtual_mean_ms"] = cs.VirtualMeanMs
 	}
+	// The virtual over-invalidation ratio is gated too: if it grows, a
+	// header edit got more expensive relative to a body edit — early
+	// cutoff regressed. (The mixed class's gated virtual costs catch the
+	// complementary failure, a benign header edit that stops being free.)
+	entry.Metrics["replay/over_invalidation_virtual_x"] = rep.OverInvalidationVirtualX
 	entry.Info["replay/over_invalidation_x"] = rep.OverInvalidationX
+	entry.Info["replay/early_cutoff_virtual_x"] = rep.EarlyCutoffVirtualX
 	if cfg.Log != nil {
 		cfg.Log.Info("replay done", "subjects", rep.Subjects,
-			"over_invalidation_x", fmt.Sprintf("%.1f", rep.OverInvalidationX))
+			"over_invalidation_x", fmt.Sprintf("%.1f", rep.OverInvalidationX),
+			"early_cutoff_virtual_x", fmt.Sprintf("%.1f", rep.EarlyCutoffVirtualX))
 	}
 
 	if !cfg.SkipLoadgen {

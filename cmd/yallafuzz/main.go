@@ -1,7 +1,7 @@
 // Command yallafuzz drives the differential fuzzing harness: it
 // generates random C++-subset programs, pushes each one through the
-// full substitution pipeline, and checks the five equivalence oracles
-// (safety, exec, idempotent, paths, perf). Failures are delta-debugged
+// full substitution pipeline, and checks the six equivalence oracles
+// (safety, exec, idempotent, paths, incremental, perf). Failures are delta-debugged
 // down to minimal reproducers and saved under -repros; saved
 // reproducers re-run with -rerun. With -unsafe, every program is
 // generated around a known-unsafe construct and the safety oracle runs
@@ -33,7 +33,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "first generator seed")
 		n          = flag.Int("n", 100, "number of generated programs")
 		size       = flag.Int("size", 0, "statement chunks per program (0 = generator default)")
-		oracleList = flag.String("oracle", "", "comma-separated oracle subset (safety,exec,idempotent,paths,perf); empty runs all")
+		oracleList = flag.String("oracle", "", "comma-separated oracle subset (safety,exec,idempotent,paths,incremental,perf); empty runs all")
 		minimize   = flag.Bool("minimize", true, "delta-debug failures to minimal reproducers")
 		reproDir   = flag.String("repros", "results/repros", "directory for saved reproducers")
 		rerun      = flag.Bool("rerun", false, "re-run saved reproducers instead of fuzzing")
@@ -105,6 +105,9 @@ func fuzz(seed int64, n, size int, unsafe bool, opt difftest.Options, minimize b
 	for i := 0; i < n; i++ {
 		s := seed + int64(i)
 		p := fuzzgen.Generate(fuzzgen.Config{Seed: s, Size: size, Unsafe: unsafe})
+		// A distinct (deterministic) header-edit stream per program, so
+		// `-n 500 -oracle incremental` sweeps 500 different streams.
+		opt.IncrementalSeed = s
 		r := difftest.Check(difftest.SubjectFor(p), opt)
 		if verbose || !r.OK() {
 			status := "ok"

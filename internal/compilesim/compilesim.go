@@ -134,6 +134,13 @@ type Object struct {
 	Phases Phases
 	Stats  Stats
 	TU     *ast.TranslationUnit
+	// Includes lists every file the frontend read (main file included)
+	// and AbsentDeps every include probe that missed — the compile's
+	// dependency manifest, re-exposed from the build cache's view so
+	// the daemon's invalidation graph can record which files this
+	// object's validity depends on.
+	Includes   []string
+	AbsentDeps []string
 }
 
 // Compiler is a simulated C++ compiler instance.
@@ -194,6 +201,8 @@ func (c *Compiler) Compile(main string) (*Object, error) {
 		countUnit(unit.Unit(), vfs.Clean(main), &obj.Stats)
 	}
 	obj.TU = unit.AST
+	obj.Includes = append([]string{vfs.Clean(main)}, res.Includes...)
+	obj.AbsentDeps = res.AbsentDeps
 
 	// Attribute tokens to PCH-covered files vs user files. This depends
 	// on the PCH configuration, so it is recomputed per compile even on a

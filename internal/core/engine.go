@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"path"
+	"sort"
 	"strings"
 
 	"repro/internal/cpp/parser"
@@ -91,7 +92,15 @@ type Result struct {
 	// HeaderOwned lists every file the substituted header pulls in
 	// (including itself).
 	HeaderOwned []string
-	Report      Report
+	// Includes is the union of every file any source's preprocessor run
+	// resolved (sources included), sorted; AbsentDeps is the union of
+	// the include probes that missed. Together they are the tool run's
+	// dependency manifest: the output is reproducible while all of
+	// Includes hash the same and all of AbsentDeps stay absent. The
+	// daemon's incremental-invalidation graph is built from them.
+	Includes   []string
+	AbsentDeps []string
+	Report     Report
 }
 
 // Report carries the statistics the evaluation tables summarize.
@@ -124,6 +133,11 @@ type Engine struct {
 
 	an  *analysis
 	rep Report
+
+	// includes/absentDeps accumulate the union dependency manifest over
+	// every source's preprocessor run (see Result.Includes).
+	includes   map[string]bool
+	absentDeps map[string]bool
 
 	// edits per original file; lambda-internal edits are partitioned out
 	// during emission.
@@ -164,6 +178,8 @@ func newEngine(opts Options) (*Engine, error) {
 		headerOwned: map[string]bool{},
 		sourceSet:   map[string]bool{},
 		ppRes:       map[string]*preprocessor.Result{},
+		includes:    map[string]bool{},
+		absentDeps:  map[string]bool{},
 		rewrites:    rewrite.NewSet(),
 	}, nil
 }
@@ -231,6 +247,8 @@ func (e *Engine) run() (*Result, error) {
 	}); err != nil {
 		return nil, err
 	}
+	res.Includes = sortedKeys(e.includes)
+	res.AbsentDeps = sortedKeys(e.absentDeps)
 	e.opts.Obs.Counter("substitute.runs").Add(1)
 	e.opts.Obs.Counter("substitute.wrappers").Add(uint64(res.Report.FunctionWrappers + res.Report.MethodWrappers))
 	root.SetInt("forward_decls", int64(res.Report.ForwardDeclaredClasses))
@@ -263,6 +281,13 @@ func (e *Engine) frontend(o *obs.Obs) error {
 		if pp.TrackMacros {
 			e.ppRes[vfs.Clean(src)] = res
 		}
+		e.includes[vfs.Clean(src)] = true
+		for _, inc := range res.Includes {
+			e.includes[inc] = true
+		}
+		for _, p := range res.AbsentDeps {
+			e.absentDeps[p] = true
+		}
 		// Resolve every substituted header among this TU's includes and
 		// mark their transitive closures as header-owned.
 		for _, target := range e.headerTargets() {
@@ -289,6 +314,16 @@ func (e *Engine) frontend(o *obs.Obs) error {
 		return fmt.Errorf("core: header %q is not included by any source", e.opts.Header)
 	}
 	return nil
+}
+
+// sortedKeys flattens a string set for Result fields.
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // headerTargets lists every include target being substituted.

@@ -367,6 +367,17 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request, o *obs.Obs) 
 	if res.Invalidated {
 		s.o.Counter("daemon.invalidations").Add(1)
 	}
+	if res.EarlyCutoff {
+		s.o.Counter("inval.early_cutoff_hits").Add(1)
+	}
+	if res.Action == "recompile-wrappers" {
+		s.o.Counter("inval.wrapper_recompiles_scheduled").Add(1)
+	}
+	if res.Structural && res.Action != "" {
+		s.o.Counter("inval.decls_diffed").Add(uint64(res.DeclsDiffed))
+		s.o.Observe("inval.decls_diffed_per_edit", float64(res.DeclsDiffed))
+		s.o.Observe("inval.diff_ms", res.DiffMs)
+	}
 	writeJSON(w, http.StatusOK, res)
 	return http.StatusOK
 }

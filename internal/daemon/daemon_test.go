@@ -261,7 +261,8 @@ func TestStructuralEditForcesReprepare(t *testing.T) {
 		t.Fatalf("cycle after source edit: res=%+v err=%v", res, err)
 	}
 
-	// Header edit: structural, invalidates the prepared setup.
+	// Comment-only header edit: structural, but the decl-level diff
+	// proves it benign — the setup stays live (early cutoff).
 	header := sess.subject.Header
 	hContent, err := c.ReadFile("s", header)
 	if err != nil {
@@ -271,14 +272,27 @@ func TestStructuralEditForcesReprepare(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !ed.Structural || ed.Invalidated || !ed.EarlyCutoff {
+		t.Fatalf("comment header edit: want structural early-cutoff, got %+v", ed)
+	}
+	if res, err := c.Cycle("s", ""); err != nil || res.Prepared {
+		t.Fatalf("cycle after benign header edit: res=%+v err=%v", res, err)
+	}
+
+	// Macro header edit: interface-level, invalidates the prepared setup.
+	hContent, _ = c.ReadFile("s", header)
+	ed, err = c.Edit("s", header, hContent+"\n#define DAEMON_TEST_IFACE 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ed.Structural || !ed.Invalidated {
-		t.Fatalf("header edit: want structural+invalidated, got %+v", ed)
+		t.Fatalf("macro header edit: want structural+invalidated, got %+v", ed)
 	}
 	if res, err := c.Cycle("s", ""); err != nil || !res.Prepared {
 		t.Fatalf("cycle after header edit: res=%+v err=%v", res, err)
 	}
-	if info := sess.Info(); info.Invalidations != 1 || info.Prepares != 2 {
-		t.Errorf("info: %+v, want 1 invalidation, 2 prepares", info)
+	if info := sess.Info(); info.Invalidations != 1 || info.Prepares != 2 || info.EarlyCutoffHits != 1 {
+		t.Errorf("info: %+v, want 1 invalidation, 2 prepares, 1 early cutoff", info)
 	}
 }
 

@@ -96,6 +96,15 @@ type dashCache struct {
 	LeaseWaits      uint64
 }
 
+// dashInval summarizes the decl-level invalidation planner: how many
+// structural edits early cutoff proved benign (setup kept), how many
+// needed only a wrapper TU recompile, and how much diff work that took.
+type dashInval struct {
+	Hits        uint64
+	Wrappers    uint64
+	DeclsDiffed uint64
+}
+
 type dashData struct {
 	Now       string
 	Node      string
@@ -109,6 +118,7 @@ type dashData struct {
 	Routes    []dashRow
 	Phases    []dashRow
 	Cache     dashCache
+	Inval     dashInval
 	Sessions  []Info
 	Flight    obs.FlightStats
 	HasTracer bool
@@ -138,6 +148,11 @@ func (s *Server) dashData() dashData {
 		Dedup:     snap.Counters["daemon.singleflight.dedup"],
 		Sessions:  s.Sessions(),
 		HasTracer: s.tracer != nil,
+		Inval: dashInval{
+			Hits:        snap.Counters["inval.early_cutoff_hits"],
+			Wrappers:    snap.Counters["inval.wrapper_recompiles_scheduled"],
+			DeclsDiffed: snap.Counters["inval.decls_diffed"],
+		},
 	}
 	if s.tracer != nil {
 		d.Flight = s.tracer.FlightStats()
@@ -280,10 +295,17 @@ td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
 {{range .Phases}}<tr><td>{{.Name}}</td><td class="num">{{.Count}}</td><td class="num">{{printf "%.2f" .P50}}</td><td class="num">{{printf "%.2f" .P95}}</td><td class="num">{{printf "%.2f" .P99}}</td><td class="num">{{printf "%.2f" .Max}}</td></tr>
 {{end}}</table>{{else}}<p class="muted">no phase histograms yet</p>{{end}}
 
+<h2>Early cutoff</h2>
+<div class="cards">
+<div class="card"><b>{{.Inval.Hits}}</b>benign header edits kept the setup</div>
+<div class="card"><b>{{.Inval.Wrappers}}</b>wrapper-only recompiles</div>
+<div class="card"><b>{{.Inval.DeclsDiffed}}</b>decl interfaces diffed</div>
+</div>
+
 <h2>Sessions ({{len .Sessions}})</h2>
 {{if .Sessions}}<table>
-<tr><th>name</th><th>subject</th><th>mode</th><th class="num">edits</th><th class="num">cycles</th><th class="num">invalidations</th><th>state</th></tr>
-{{range .Sessions}}<tr><td>{{.Name}}</td><td>{{.Subject}}</td><td>{{.Mode}}</td><td class="num">{{.Edits}}</td><td class="num">{{.Cycles}}</td><td class="num">{{.Invalidations}}</td><td>{{if .Stale}}stale{{else if .Prepared}}prepared{{else}}new{{end}}</td></tr>
+<tr><th>name</th><th>subject</th><th>mode</th><th class="num">edits</th><th class="num">cycles</th><th class="num">invalidations</th><th class="num">early cutoffs</th><th>state</th></tr>
+{{range .Sessions}}<tr><td>{{.Name}}</td><td>{{.Subject}}</td><td>{{.Mode}}</td><td class="num">{{.Edits}}</td><td class="num">{{.Cycles}}</td><td class="num">{{.Invalidations}}</td><td class="num">{{.EarlyCutoffHits}}</td><td>{{if .Stale}}stale{{else if .Prepared}}prepared{{else}}new{{end}}</td></tr>
 {{end}}</table>{{else}}<p class="muted">no sessions</p>{{end}}
 
 <h2>Flight recorder</h2>

@@ -50,6 +50,7 @@ func TestDashboard(t *testing.T) {
 		">cycle<",         // per-route row for the cycle we ran
 		">dash<",          // the session table lists our session
 		"Build cache",     // cache hit-rate section
+		"Early cutoff",    // decl-level invalidation card
 		"Flight recorder", // flight-recorder stats
 		`http-equiv="refresh"`,
 	} {

@@ -124,15 +124,31 @@ func TestHeaderEditInvalidatesPreparedSetup(t *testing.T) {
 		t.Fatalf("no-op save classified %+v, want unchanged", er)
 	}
 
-	// Structural: editing the substituted header invalidates the setup.
+	// Structural but benign: a comment-only header edit is proven
+	// interface-neutral by the decl-level diff (early cutoff) and keeps
+	// the prepared setup live.
 	hdrPath := headerPathOf(sess)
 	hc, err := sess.ReadFile(hdrPath)
 	if err != nil {
 		t.Fatalf("ReadFile(%s): %v", hdrPath, err)
 	}
-	er = sess.Edit(hdrPath, hc+"\n// structural\n")
+	er = sess.Edit(hdrPath, hc+"\n// structural comment\n")
+	if !er.Changed || !er.Structural || er.Invalidated || !er.EarlyCutoff {
+		t.Fatalf("comment header edit classified %+v, want structural early-cutoff", er)
+	}
+	if sess.Info().Stale {
+		t.Fatal("session stale after a benign header edit")
+	}
+	if cr, err = sess.Cycle(ctx, nil, ""); err != nil || cr.Prepared {
+		t.Fatalf("cycle after benign header edit: prepared=%v err=%v (want no re-prepare)", cr.Prepared, err)
+	}
+
+	// Structural and interface-changing: a macro definition lands in
+	// the conservative bucket and invalidates the setup.
+	hc, _ = sess.ReadFile(hdrPath)
+	er = sess.Edit(hdrPath, hc+"\n#define DAEMON_TEST_STRUCTURAL 1\n")
 	if !er.Changed || !er.Structural || !er.Invalidated {
-		t.Fatalf("header edit classified %+v, want structural+invalidated", er)
+		t.Fatalf("macro header edit classified %+v, want structural+invalidated", er)
 	}
 	if !sess.Info().Stale {
 		t.Fatal("session not stale after structural edit")

@@ -1,0 +1,213 @@
+package daemon
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// These tests pin the concurrency and no-op contracts of the decl-level
+// invalidation (early cutoff) machinery: a byte-identical header save
+// is free, concurrent edits and rebuilds never corrupt the shared decl
+// graph or leave stale artifacts behind, and a result computed for an
+// older edit state is never adopted over a newer one.
+
+// TestTouchOnlyHeaderSaveRebuildsNothing: saving a header with
+// byte-identical content must not diff a single declaration, must not
+// invalidate, and the next cycle must neither re-prepare nor recompile
+// wrappers — the warm no-op the editor's save-on-focus-loss habit
+// depends on.
+func TestTouchOnlyHeaderSaveRebuildsNothing(t *testing.T) {
+	srv := New(Config{})
+	sess, err := srv.CreateSessionFor("touch", corpus.All()[0], "yalla")
+	if err != nil {
+		t.Fatalf("CreateSessionFor: %v", err)
+	}
+	ctx := context.Background()
+	if cr, err := sess.Cycle(ctx, nil, ""); err != nil || !cr.Prepared {
+		t.Fatalf("first cycle: prepared=%v err=%v", cr != nil && cr.Prepared, err)
+	}
+
+	hdr := headerPathOf(sess)
+	hc, err := sess.ReadFile(hdr)
+	if err != nil {
+		t.Fatalf("ReadFile(%s): %v", hdr, err)
+	}
+	er := sess.Edit(hdr, hc)
+	if er.Changed || er.Structural || er.Invalidated || er.EarlyCutoff || er.DeclsDiffed != 0 {
+		t.Fatalf("touch-only header save classified %+v, want all-zero", er)
+	}
+	info := sess.Info()
+	if info.Edits != 0 || info.Invalidations != 0 || info.EarlyCutoffHits != 0 || info.DeclsDiffed != 0 {
+		t.Fatalf("touch-only save moved counters: %+v", info)
+	}
+	cr, err := sess.Cycle(ctx, nil, "")
+	if err != nil || cr.Prepared || cr.WrappersMs != 0 {
+		t.Fatalf("cycle after touch-only save: %+v err=%v (want warm no-op)", cr, err)
+	}
+	if info := sess.Info(); info.Prepares != 1 || info.WrapperRecompiles != 0 {
+		t.Fatalf("touch-only save rebuilt something: %+v", info)
+	}
+}
+
+// TestConcurrentEditsAndCyclesRace hammers one session's shared decl
+// graph from many goroutines — benign comment edits, interface (macro)
+// edits, full cycles, info/state readers — under the race detector,
+// including edits landing mid-rebuild. Afterwards the session settles
+// on a final tree and its surviving generated artifacts must be
+// byte-identical to a cold one-shot build of that tree: whatever
+// interleaving happened, nothing stale may have been kept.
+func TestConcurrentEditsAndCyclesRace(t *testing.T) {
+	srv := New(Config{Workers: 4})
+	subj := corpus.All()[0]
+	sess, err := srv.CreateSessionFor("race", subj, "yalla")
+	if err != nil {
+		t.Fatalf("CreateSessionFor: %v", err)
+	}
+	ctx := context.Background()
+	if _, err := sess.Cycle(ctx, nil, ""); err != nil {
+		t.Fatalf("first cycle: %v", err)
+	}
+	hdr := headerPathOf(sess)
+	base, err := sess.ReadFile(hdr)
+	if err != nil {
+		t.Fatalf("ReadFile(%s): %v", hdr, err)
+	}
+
+	const iters = 6
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { // benign header edits, racing the rebuilds below
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			sess.Edit(hdr, fmt.Sprintf("%s\n// race comment %d\n", base, i))
+		}
+	}()
+	go func() { // interface edits followed by the re-prepare they force
+		defer wg.Done()
+		for i := 0; i < 3; i++ { // each forces a full re-prepare; keep it cheap
+			sess.Edit(hdr, fmt.Sprintf("%s\n#define YALLA_RACE_%d 1\n", base, i))
+			if _, err := sess.Cycle(ctx, nil, ""); err != nil {
+				t.Errorf("macro cycle %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() { // plain rebuilds, so edits land mid-cycle
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if _, err := sess.Cycle(ctx, nil, ""); err != nil {
+				t.Errorf("cycle %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() { // readers of the same shared state
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			sess.Info()
+			sess.StateKey()
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Settle on a known final tree (a benign edit over the pristine
+	// header) and run one more cycle; early cutoff may keep artifacts
+	// from any of the interleaved prepares above.
+	final := base + "\n// race final\n"
+	sess.Edit(hdr, final)
+	if _, err := sess.Cycle(ctx, nil, ""); err != nil {
+		t.Fatalf("final cycle: %v", err)
+	}
+
+	// Cold one-shot build of the same final tree, via the exact options
+	// the session path uses.
+	fs := subj.FS.Overlay()
+	fs.Write(hdr, final)
+	sub, err := core.Substitute(core.Options{
+		FS:          fs,
+		SearchPaths: subj.SearchPaths,
+		Sources:     subj.Sources,
+		Header:      subj.Header,
+		OutDir:      subj.OutDir(),
+	})
+	if err != nil {
+		t.Fatalf("cold substitute: %v", err)
+	}
+	paths := []string{sub.LightweightPath, sub.WrappersPath}
+	for _, p := range sub.ModifiedSources {
+		paths = append(paths, p)
+	}
+	for _, p := range paths {
+		want, err := fs.Read(p)
+		if err != nil {
+			t.Fatalf("cold build missing %q: %v", p, err)
+		}
+		got, err := sess.ReadFile(p)
+		if err != nil {
+			t.Fatalf("session missing generated %q: %v", p, err)
+		}
+		if got != want {
+			t.Errorf("generated %q diverged from the cold one-shot build after concurrent edits", p)
+		}
+	}
+}
+
+// TestStaleAdoptionRejected: a substitution result computed under an
+// older edit state must never be adopted after a newer edit raced in —
+// the singleflight waiter's key recheck is what keeps an edit
+// mid-rebuild from installing stale generated files.
+func TestStaleAdoptionRejected(t *testing.T) {
+	srv := New(Config{})
+	sess, err := srv.CreateSessionFor("adopt", corpus.All()[0], "yalla")
+	if err != nil {
+		t.Fatalf("CreateSessionFor: %v", err)
+	}
+	ctx := context.Background()
+	res1, key1, err := sess.Substitute(ctx, nil)
+	if err != nil {
+		t.Fatalf("Substitute: %v", err)
+	}
+
+	// The racing edit: the session's state key moves past key1.
+	hdr := headerPathOf(sess)
+	hc, _ := sess.ReadFile(hdr)
+	if er := sess.Edit(hdr, hc+"\n#define YALLA_ADOPT_RACE 1\n"); !er.Changed {
+		t.Fatal("racing edit was a no-op")
+	}
+	if sess.StateKey() == key1 {
+		t.Fatal("edit did not move the state key")
+	}
+
+	// A late waiter trying to install the pre-edit result must be
+	// rejected by the key recheck...
+	sess.adoptSubstitute(key1, res1)
+	// ...so the next request recomputes instead of serving a stale memo.
+	res2, key2, err := sess.Substitute(ctx, nil)
+	if err != nil {
+		t.Fatalf("Substitute after edit: %v", err)
+	}
+	if res2.Memoized {
+		t.Fatal("stale adoption installed: post-edit substitute served the pre-edit memo")
+	}
+	if key2 == key1 {
+		t.Fatalf("state key did not change across the edit")
+	}
+	// Adoption with the *current* key is the legitimate path and must
+	// still work.
+	sess.adoptSubstitute(key2, res2)
+	res3, _, err := sess.Substitute(ctx, nil)
+	if err != nil {
+		t.Fatalf("Substitute after adoption: %v", err)
+	}
+	if !res3.Memoized {
+		t.Error("legitimate adoption did not refresh the memo")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/devcycle"
+	"repro/internal/inval"
 	"repro/internal/obs"
 	"repro/internal/vfs"
 )
@@ -62,7 +63,16 @@ type Session struct {
 	// the setup compiles against the live overlay, and the build cache
 	// re-validates dependency manifests per compile, so only the
 	// translation units whose content hashes changed are rebuilt.
+	// Structural edits consult the setup's decl-level invalidation
+	// graph first (early cutoff): an edit that changes no consumed
+	// declaration interface — comments, function bodies — keeps the
+	// setup live and sets nothing.
 	stale bool
+	// wrappersDirty schedules a wrappers-only recompile on the next
+	// cycle: the edit changed the wrappers TU without touching any
+	// consumed interface (e.g. its function-definition count moved,
+	// which the link model sums).
+	wrappersDirty bool
 	// srcSet marks the subject's source files (incremental-edit targets).
 	srcSet map[string]bool
 	// edits records the session's current edit state (path → content
@@ -75,11 +85,14 @@ type Session struct {
 	substMemo    *SubstituteResult
 	substMemoKey string
 
-	createdAt     time.Time
-	cycles        uint64
-	editCount     uint64
-	invalidations uint64
-	prepares      uint64
+	createdAt         time.Time
+	cycles            uint64
+	editCount         uint64
+	invalidations     uint64
+	prepares          uint64
+	earlyCutoffHits   uint64
+	wrapperRecompiles uint64
+	declsDiffed       uint64
 }
 
 func newSession(name string, s *corpus.Subject, mode devcycle.Mode, cache *buildcache.Cache) *Session {
@@ -105,30 +118,71 @@ type EditResult struct {
 	// (a no-op save); nothing is invalidated then.
 	Changed bool `json:"changed"`
 	// Structural is true when the edited path is not one of the
-	// subject's source files — a header changed, so the whole prepared
-	// setup (tool run, wrappers, PCH) is invalid and the next compute
-	// request re-prepares.
+	// subject's source files — a header changed, and the decl-level
+	// invalidation graph decides what (if anything) must rebuild.
 	Structural bool `json:"structural"`
-	// Invalidated is true when the edit marked the prepared setup stale.
+	// Invalidated is true when the edit marked the prepared setup stale
+	// (a full re-Prepare runs on the next compute request).
 	Invalidated bool `json:"invalidated"`
+	// EarlyCutoff is true when a structural edit was proven not to
+	// change any consumed declaration interface, so the prepared setup
+	// stays live (at most the wrappers object recompiles).
+	EarlyCutoff bool `json:"early_cutoff,omitempty"`
+	// Action is the invalidation planner's verdict for structural edits
+	// against a prepared setup: "keep", "recompile-wrappers", or
+	// "reprepare".
+	Action string `json:"action,omitempty"`
+	// Reason is the planner's one-line justification.
+	Reason string `json:"reason,omitempty"`
+	// DeclsDiffed counts the declaration interfaces compared.
+	DeclsDiffed int `json:"decls_diffed,omitempty"`
+	// DiffMs is the wall-clock cost of the re-lex + re-parse + diff.
+	DiffMs float64 `json:"diff_ms,omitempty"`
 }
 
 // Edit writes one file into the session overlay and classifies the
-// invalidation it causes.
+// invalidation it causes. Structural edits against a live setup are
+// diffed at declaration granularity: only an edit that (possibly)
+// changes an interface some consumer depends on marks the session
+// stale; comment-only and body-only edits keep everything.
 func (s *Session) Edit(path, content string) EditResult {
 	path = vfs.Clean(path)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	oldHash, existed := s.fs.ContentHash(path)
+	structural := !s.srcSet[path]
+	// The pre-edit bytes are only needed when the planner will diff.
+	var oldContent string
+	if structural && existed && s.setup != nil && !s.stale {
+		oldContent, _ = s.fs.Read(path)
+	}
 	s.fs.Write(path, content)
 	newHash, _ := s.fs.ContentHash(path)
 	if existed && oldHash == newHash {
-		return EditResult{}
+		return EditResult{} // touch-only save: nothing rebuilds
 	}
 	s.editCount++
 	s.edits[path] = newHash
-	res := EditResult{Changed: true, Structural: !s.srcSet[path]}
-	if res.Structural && s.setup != nil && !s.stale {
+	res := EditResult{Changed: true, Structural: structural}
+	if !structural || s.setup == nil || s.stale {
+		return res
+	}
+	start := time.Now()
+	d := s.setup.PlanEdit(path, oldContent, existed, content)
+	res.DiffMs = ms(time.Since(start))
+	res.Action = d.Action.String()
+	res.Reason = d.Reason
+	res.DeclsDiffed = d.DeclsDiffed
+	s.declsDiffed += uint64(d.DeclsDiffed)
+	switch d.Action {
+	case inval.Keep:
+		res.EarlyCutoff = true
+		s.earlyCutoffHits++
+	case inval.RecompileWrappers:
+		res.EarlyCutoff = true
+		s.earlyCutoffHits++
+		s.wrappersDirty = true
+	case inval.Reprepare:
 		s.stale = true
 		s.invalidations++
 		res.Invalidated = true
@@ -200,6 +254,10 @@ type CycleResult struct {
 	// SetupMs is the one-time preparation cost paid by this request
 	// (zero on warm requests).
 	SetupMs float64 `json:"setup_ms,omitempty"`
+	// WrappersMs is the cost of a partial rebuild: the wrappers object
+	// recompiled (scheduled by an early-cutoff edit that changed its
+	// translation unit) while the rest of the setup stayed live.
+	WrappersMs float64 `json:"wrappers_ms,omitempty"`
 }
 
 // Cycle runs one development-cycle iteration: re-prepare if a structural
@@ -220,6 +278,18 @@ func (s *Session) Cycle(ctx context.Context, o *obs.Obs, newSymbol string) (*Cyc
 		return nil, err
 	}
 	s.setup.SetObs(o)
+	var wrappersMs float64
+	if prepared {
+		s.wrappersDirty = false // the fresh prepare subsumes it
+	} else if s.wrappersDirty {
+		d, err := s.setup.RecompileWrappers()
+		if err != nil {
+			return nil, err
+		}
+		s.wrappersDirty = false
+		s.wrapperRecompiles++
+		wrappersMs = ms(d)
+	}
 	var (
 		times devcycle.Times
 		rerun bool
@@ -234,12 +304,13 @@ func (s *Session) Cycle(ctx context.Context, o *obs.Obs, newSymbol string) (*Cyc
 	}
 	s.cycles++
 	res := &CycleResult{
-		Prepared:  prepared,
-		Rerun:     rerun,
-		CompileMs: ms(times.Compile),
-		LinkMs:    ms(times.Link),
-		RunMs:     ms(times.Run),
-		TotalMs:   ms(times.Total()),
+		Prepared:   prepared,
+		Rerun:      rerun,
+		CompileMs:  ms(times.Compile),
+		LinkMs:     ms(times.Link),
+		RunMs:      ms(times.Run),
+		TotalMs:    ms(times.Total()),
+		WrappersMs: wrappersMs,
 	}
 	if prepared {
 		res.SetupMs = ms(s.setup.Setup.Total())
@@ -391,7 +462,13 @@ type Info struct {
 	Cycles        uint64 `json:"cycles"`
 	Invalidations uint64 `json:"invalidations"`
 	Prepares      uint64 `json:"prepares"`
-	UptimeSec     int64  `json:"uptime_sec"`
+	// EarlyCutoffHits counts structural edits the decl-level diff
+	// proved benign; WrapperRecompiles counts the partial rebuilds it
+	// scheduled; DeclsDiffed totals the interfaces compared.
+	EarlyCutoffHits   uint64 `json:"early_cutoff_hits"`
+	WrapperRecompiles uint64 `json:"wrapper_recompiles"`
+	DeclsDiffed       uint64 `json:"decls_diffed"`
+	UptimeSec         int64  `json:"uptime_sec"`
 }
 
 // Info snapshots the session state.
@@ -399,17 +476,20 @@ func (s *Session) Info() Info {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Info{
-		Name:          s.Name,
-		Subject:       s.subject.Name,
-		Library:       s.subject.Library,
-		Mode:          s.mode.String(),
-		Prepared:      s.setup != nil,
-		Stale:         s.stale,
-		Edits:         s.editCount,
-		Cycles:        s.cycles,
-		Invalidations: s.invalidations,
-		Prepares:      s.prepares,
-		UptimeSec:     int64(time.Since(s.createdAt).Seconds()),
+		Name:              s.Name,
+		Subject:           s.subject.Name,
+		Library:           s.subject.Library,
+		Mode:              s.mode.String(),
+		Prepared:          s.setup != nil,
+		Stale:             s.stale,
+		Edits:             s.editCount,
+		Cycles:            s.cycles,
+		Invalidations:     s.invalidations,
+		Prepares:          s.prepares,
+		EarlyCutoffHits:   s.earlyCutoffHits,
+		WrapperRecompiles: s.wrapperRecompiles,
+		DeclsDiffed:       s.declsDiffed,
+		UptimeSec:         int64(time.Since(s.createdAt).Seconds()),
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/compilesim"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/inval"
 	"repro/internal/obs"
 	"repro/internal/pch"
 	"repro/internal/vfs"
@@ -90,13 +91,18 @@ type Setup struct {
 	FS      *vfs.FS
 	Setup   SetupTimes
 
-	compiler    *compilesim.Compiler
-	mainFile    string
-	wrapperObj  *compilesim.Object
-	phases      compilesim.Phases // last compile's phases
-	stats       compilesim.Stats
-	preDeclared map[string]bool
-	obs         *obs.Obs
+	compiler     *compilesim.Compiler
+	mainFile     string
+	wrapperObj   *compilesim.Object
+	wrappersPath string
+	phases       compilesim.Phases // last compile's phases
+	stats        compilesim.Stats
+	preDeclared  map[string]bool
+	obs          *obs.Obs
+	// graph is the decl-level invalidation graph recorded during
+	// Prepare: the file closure of every prepared artifact plus the
+	// identifiers its consumers reference. Never nil after PrepareWith.
+	graph *inval.Graph
 }
 
 // runModel captures per-library execution characteristics with the small
@@ -181,6 +187,7 @@ func PrepareWith(s *corpus.Subject, mode Mode, cfg Config) (*Setup, error) {
 		return cc
 	}
 
+	var coreRes *core.Result
 	switch mode {
 	case Default:
 		st.compiler = newCompiler(s.SearchPaths...)
@@ -220,9 +227,11 @@ func PrepareWith(s *corpus.Subject, mode Mode, cfg Config) (*Setup, error) {
 		if err != nil {
 			return nil, err
 		}
+		coreRes = res
 		paths := append([]string{s.OutDir()}, s.SearchPaths...)
 		st.compiler = newCompiler(paths...)
 		st.mainFile = res.ModifiedSources[s.MainFile]
+		st.wrappersPath = res.WrappersPath
 		// Tool time: the analysis parses the whole translation unit and
 		// runs matching + rewriting over it — modeled as 2.3× the default
 		// frontend (≈1.5 s for the 02 subject, Fig. 10).
@@ -270,7 +279,94 @@ func PrepareWith(s *corpus.Subject, mode Mode, cfg Config) (*Setup, error) {
 	st.Setup.FirstCompile = obj.Phases.Total()
 	st.phases = obj.Phases
 	st.stats = obj.Stats
+	st.buildGraph(coreRes, obj)
 	return st, nil
+}
+
+// buildGraph records the decl-level invalidation graph for this setup:
+// which files the prepared artifacts read (the edit-relevance closure)
+// and which identifiers the consumers — sources and generated files —
+// actually reference. The daemon consults it per edit via PlanEdit.
+func (st *Setup) buildGraph(coreRes *core.Result, mainObj *compilesim.Object) {
+	g := inval.NewGraph()
+	st.graph = g
+	switch {
+	case st.Mode == Default:
+		// No Prepare-time artifact depends on header content: every edit
+		// keeps the setup, and the build cache's dependency manifests
+		// rebuild exactly the affected translation unit on the next cycle.
+	case st.Mode == PCH:
+		// The PCH blob bakes in its covered files; anything else only
+		// affects the main TU, which the manifest check rebuilds.
+		g.PCHFiles = st.compiler.PCH.Files
+	default: // Yalla modes
+		g.AddFiles(mainObj.Includes...)
+		g.AddAbsent(mainObj.AbsentDeps...)
+		if coreRes != nil {
+			g.AddFiles(coreRes.Includes...)
+			g.AddAbsent(coreRes.AbsentDeps...)
+		}
+		if st.wrapperObj != nil {
+			g.AddWrapperFiles(st.wrapperObj.Includes...)
+			g.AddAbsent(st.wrapperObj.AbsentDeps...)
+		}
+		// Consumers: every identifier the sources or the generated
+		// artifacts spell. A header decl whose name appears nowhere here
+		// cannot change the tool's output.
+		lexPaths := append([]string{st.Subject.MainFile}, st.Subject.Sources...)
+		if coreRes != nil {
+			lexPaths = append(lexPaths, coreRes.LightweightPath, coreRes.WrappersPath)
+			for _, p := range coreRes.ModifiedSources {
+				lexPaths = append(lexPaths, p)
+			}
+		}
+		seen := map[string]bool{}
+		for _, p := range lexPaths {
+			p = vfs.Clean(p)
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			if content, err := st.FS.Read(p); err == nil {
+				g.AddUsedIdents(p, content)
+			}
+		}
+		if st.Mode == YallaPCH && st.compiler.PCH != nil {
+			g.PCHFiles = st.compiler.PCH.Files
+		}
+	}
+}
+
+// Graph exposes the invalidation graph recorded at Prepare time.
+func (st *Setup) Graph() *inval.Graph { return st.graph }
+
+// PlanEdit classifies one structural edit against the recorded graph:
+// the cheapest sound rebuild action plus the diff statistics.
+func (st *Setup) PlanEdit(path, oldContent string, existed bool, newContent string) inval.Decision {
+	return st.graph.Classify(path, oldContent, existed, newContent)
+}
+
+// RecompileWrappers refreshes the wrappers object in place after an
+// edit that changed its translation unit without touching any consumed
+// interface (e.g. an inline body rewrite that shifted the unit's
+// function-definition count). Much cheaper than a full re-Prepare: the
+// tool run, PCH, and first compile all survive. Returns the virtual
+// compile cost paid.
+func (st *Setup) RecompileWrappers() (time.Duration, error) {
+	if st.wrapperObj == nil || st.wrappersPath == "" {
+		return 0, nil
+	}
+	wobj, err := st.compiler.Compile(st.wrappersPath)
+	if err != nil {
+		return 0, fmt.Errorf("devcycle: wrappers recompile: %v", err)
+	}
+	st.wrapperObj = wobj
+	st.Setup.WrapperCompile = wobj.Phases.Total()
+	st.graph.AddWrapperFiles(wobj.Includes...)
+	st.graph.AddAbsent(wobj.AbsentDeps...)
+	st.obs.Counter("devcycle.wrapper_recompiles").Add(1)
+	st.obs.ObserveMs("wrappers.recompile_ms", wobj.Phases.Total())
+	return wobj.Phases.Total(), nil
 }
 
 // resolveHeader finds the substituted header's path on the search paths.

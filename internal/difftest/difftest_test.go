@@ -9,20 +9,28 @@ import (
 )
 
 // TestCorpusOracles runs the differential harness over every corpus
-// subject: the whole hand-written corpus must pass the exec and
-// idempotence oracles with no violations and no skipped checks. The
-// expensive path/perf matrix runs on one representative subject here
-// (and on every generated program in TestFuzzSmoke); the full
-// corpus x oracle product is the yallafuzz CLI's job.
+// subject: the whole hand-written corpus must pass the exec,
+// idempotence, and incremental (early-cutoff) oracles with no
+// violations and no skipped checks. The expensive path/perf matrix runs
+// on one representative subject here (and on every generated program in
+// TestFuzzSmoke); the full corpus x oracle product is the yallafuzz
+// CLI's job.
 func TestCorpusOracles(t *testing.T) {
-	for _, s := range corpus.All() {
-		s := s
+	for i, s := range corpus.All() {
+		i, s := i, s
 		t.Run(s.Name, func(t *testing.T) {
-			oracles := []string{"safety", "exec", "idempotent"}
+			oracles := []string{"safety", "exec", "idempotent", "incremental"}
 			if s.Name == "02" {
-				oracles = nil // the paper's main subject gets all five
+				oracles = nil // the paper's main subject gets all six
 			}
-			r := Check(s, Options{Oracles: oracles})
+			r := Check(s, Options{
+				Oracles: oracles,
+				// A different (still deterministic) edit stream per
+				// subject, kept short: corpus subjects are big and every
+				// stream step pays a cold one-shot build.
+				IncrementalSeed:  int64(i + 1),
+				IncrementalEdits: 5,
+			})
 			for _, v := range r.Violations {
 				t.Errorf("%s: %s", s.Name, v)
 			}
@@ -89,6 +97,29 @@ func TestSafetyCleanSweep(t *testing.T) {
 	for seed := int64(1); seed <= n; seed++ {
 		p := fuzzgen.Generate(fuzzgen.Config{Seed: seed})
 		r := Check(SubjectFor(p), Options{Oracles: []string{"safety"}})
+		for _, v := range r.Violations {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+	}
+}
+
+// TestIncrementalSweep is a deterministic slice of the acceptance
+// criterion's 500-program early-cutoff sweep: for every generated
+// program, a live session driven through a seeded header-edit stream
+// must stay byte-identical to the cold one-shot path after every edit,
+// with benign edits scoring early cutoffs and macro edits invalidating.
+// The full sweep runs via `yallafuzz -n 500 -oracle incremental`.
+func TestIncrementalSweep(t *testing.T) {
+	n := int64(40)
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		p := fuzzgen.Generate(fuzzgen.Config{Seed: seed})
+		r := Check(SubjectFor(p), Options{
+			Oracles:         []string{"incremental"},
+			IncrementalSeed: seed, // a different edit stream per program
+		})
 		for _, v := range r.Violations {
 			t.Errorf("seed %d: %s", seed, v)
 		}

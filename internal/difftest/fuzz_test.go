@@ -28,6 +28,33 @@ func FuzzSubstitute(f *testing.F) {
 	})
 }
 
+// FuzzIncrementalEdit fuzzes early cutoff end to end: the input picks a
+// generated program AND a header-edit stream, and the incremental
+// oracle demands that after every edit the live session's kept
+// artifacts are byte-identical to a cold one-shot build of the same
+// overlay, with benign edits scoring early cutoffs and macro edits
+// invalidating. Coverage-guided mutation explores (program, stream)
+// pairs the deterministic sweeps never enumerate.
+func FuzzIncrementalEdit(f *testing.F) {
+	for seed := int64(1); seed <= 6; seed++ {
+		f.Add(seed, seed*37, int64(8))
+	}
+	f.Fuzz(func(t *testing.T, seed, stream, edits int64) {
+		if edits < 1 || edits > 16 {
+			edits = 8
+		}
+		p := fuzzgen.Generate(fuzzgen.Config{Seed: seed})
+		r := Check(SubjectFor(p), Options{
+			Oracles:          []string{"incremental"},
+			IncrementalSeed:  stream,
+			IncrementalEdits: int(edits),
+		})
+		for _, v := range r.Violations {
+			t.Errorf("seed %d stream %d edits %d: %s", seed, stream, edits, v)
+		}
+	})
+}
+
 // FuzzCheck fuzzes the safety oracle from both sides: clean programs
 // (unsafe=false) must produce zero check-pass errors, and programs
 // generated around a known-unsafe construct (unsafe=true) must produce

@@ -18,6 +18,11 @@
 //	paths       cache-on/cache-off, -j1/-jN, and daemon-session vs.
 //	            one-shot execution paths produce byte-identical
 //	            generated files
+//	incremental after every header edit in a seeded stream, a live
+//	            session's generated artifacts — kept across benign
+//	            edits by the decl-level early cutoff — are
+//	            byte-identical to a cold one-shot build of the same
+//	            overlay (incremental.go)
 //	perf        the substituted rebuild cost is no worse than the
 //	            baseline rebuild cost (the paper's headline property)
 //
@@ -48,7 +53,7 @@ import (
 )
 
 // OracleNames lists every oracle in canonical run order.
-var OracleNames = []string{"safety", "exec", "idempotent", "paths", "perf"}
+var OracleNames = []string{"safety", "exec", "idempotent", "paths", "incremental", "perf"}
 
 // mutateGenerated is a test-only fault-injection hook: when set, every
 // generated file (lightweight header, wrappers, modified sources) is
@@ -96,6 +101,11 @@ type Options struct {
 	// generated with a known-unsafe construct, so zero error diagnostics
 	// is the violation (a false negative).
 	MustFlag bool
+	// IncrementalSeed selects the incremental oracle's edit stream;
+	// 0 means stream 1. IncrementalEdits is the stream length; <= 0
+	// means 8.
+	IncrementalSeed  int64
+	IncrementalEdits int
 	// Obs, when set, records one span per oracle plus check counters.
 	Obs *obs.Obs
 }
@@ -193,6 +203,11 @@ func Check(s *corpus.Subject, opt Options) *Result {
 		psp := o.Start("oracle.paths")
 		pathsOracle(res, s, base)
 		psp.End()
+	}
+	if opt.want("incremental") {
+		nsp := o.Start("oracle.incremental")
+		incrementalOracle(res, s, opt)
+		nsp.End()
 	}
 	if opt.want("perf") {
 		fsp := o.Start("oracle.perf")

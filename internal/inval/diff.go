@@ -1,0 +1,56 @@
+package inval
+
+import "sort"
+
+// Delta is the interface-level difference between two snapshots of the
+// same file.
+type Delta struct {
+	// DeclsDiffed is how many distinct decl keys were compared (the
+	// union of both snapshots' key sets).
+	DeclsDiffed int
+	// Changed lists decl keys whose interface hash changed, appeared,
+	// or disappeared, in sorted order.
+	Changed []string
+	// ChangedNames is the set of base names behind Changed.
+	ChangedNames map[string]bool
+	// MiscChanged is true when the conservative bucket (directives,
+	// inactive regions, unclaimed tokens) differs.
+	MiscChanged bool
+	// FuncDefsDelta is new.FuncDefs - old.FuncDefs.
+	FuncDefsDelta int
+}
+
+// Interface reports whether any declaration interface (or the
+// conservative misc bucket) changed.
+func (d *Delta) Interface() bool { return d.MiscChanged || len(d.Changed) > 0 }
+
+// Diff compares two snapshots of one file. Both must be OK; callers
+// handle the conservative not-OK case before diffing.
+func Diff(old, new *FileSnapshot) *Delta {
+	d := &Delta{ChangedNames: map[string]bool{}, MiscChanged: old.Misc != new.Misc}
+	d.FuncDefsDelta = new.FuncDefs - old.FuncDefs
+	keys := map[string]bool{}
+	for k := range old.Decls {
+		keys[k] = true
+	}
+	for k := range new.Decls {
+		keys[k] = true
+	}
+	d.DeclsDiffed = len(keys)
+	for k := range keys {
+		o, inOld := old.Decls[k]
+		n, inNew := new.Decls[k]
+		if inOld && inNew && o.Hash == n.Hash {
+			continue
+		}
+		d.Changed = append(d.Changed, k)
+		if inOld && o.Name != "" {
+			d.ChangedNames[o.Name] = true
+		}
+		if inNew && n.Name != "" {
+			d.ChangedNames[n.Name] = true
+		}
+	}
+	sort.Strings(d.Changed)
+	return d
+}

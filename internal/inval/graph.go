@@ -1,0 +1,242 @@
+package inval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cpp/lexer"
+	"repro/internal/cpp/token"
+	"repro/internal/vfs"
+)
+
+// Action is the cheapest sound rebuild response to one edit.
+type Action int
+
+const (
+	// Keep means the prepared setup is still exactly valid: nothing is
+	// rebuilt (the early-cutoff hit). Translation units whose content
+	// hashes changed still rebuild through the build cache's manifest
+	// validation on the next cycle — Keep only means the Prepare-time
+	// artifacts (tool outputs, wrappers object, PCH) stay live.
+	Keep Action = iota
+	// RecompileWrappers means the tool outputs are still valid but the
+	// wrappers object's unit statistics went stale (a function body
+	// count changed in its closure, which the link model sums), so only
+	// wrappers.cpp recompiles.
+	RecompileWrappers
+	// Reprepare means the edit (possibly) changed an interface some
+	// consumer depends on: the whole setup re-prepares, exactly like the
+	// pre-early-cutoff behavior.
+	Reprepare
+)
+
+// String names the action for logs and wire payloads.
+func (a Action) String() string {
+	switch a {
+	case Keep:
+		return "keep"
+	case RecompileWrappers:
+		return "recompile-wrappers"
+	default:
+		return "reprepare"
+	}
+}
+
+// Decision is the planner's verdict on one edit.
+type Decision struct {
+	Action Action
+	// Reason is a short human-readable justification.
+	Reason string
+	// DeclsDiffed is how many decl interfaces were compared (0 when the
+	// decision short-circuited before diffing).
+	DeclsDiffed int
+	// ChangedDecls lists the decl keys whose interface changed.
+	ChangedDecls []string
+}
+
+// Graph is the decl-level dependency graph recorded at Prepare time: the
+// file closure each prepared artifact read, and the declaration names
+// its consumers (sources, generated wrappers, lightweight header)
+// reference. It is shared across the goroutines of one session and safe
+// for concurrent Classify calls.
+type Graph struct {
+	mu sync.Mutex
+	// files is the union closure of every prepared translation unit.
+	files map[string]bool
+	// wrapperFiles is the wrappers TU's own closure (RecompileWrappers
+	// is only worth scheduling for files it actually read).
+	wrapperFiles map[string]bool
+	// absent records negative include probes: paths whose absence the
+	// prepared result depends on. Creating one invalidates everything.
+	absent map[string]bool
+	// used is the set of base identifiers the consumers mention: all
+	// identifier tokens of the subject sources and of every generated
+	// artifact. A header decl whose name never appears here cannot
+	// change the tool's output.
+	used map[string]bool
+	// snaps caches the latest accepted snapshot per file so consecutive
+	// edits diff against the session's current state, not re-read disk.
+	snaps map[string]*FileSnapshot
+
+	// PCHFiles, when non-nil, lists files covered by a prepared PCH
+	// blob; any edit to them re-prepares (the blob must rebuild).
+	PCHFiles map[string]bool
+}
+
+// NewGraph returns an empty graph; callers populate it with AddFiles /
+// AddWrapperFiles / AddAbsent / AddUsedIdents.
+func NewGraph() *Graph {
+	return &Graph{
+		files:        map[string]bool{},
+		wrapperFiles: map[string]bool{},
+		absent:       map[string]bool{},
+		used:         map[string]bool{},
+		snaps:        map[string]*FileSnapshot{},
+	}
+}
+
+// AddFiles records paths in the prepared closure.
+func (g *Graph) AddFiles(paths ...string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, p := range paths {
+		g.files[vfs.Clean(p)] = true
+	}
+}
+
+// AddWrapperFiles records paths in the wrappers TU's closure (they are
+// added to the overall closure too).
+func (g *Graph) AddWrapperFiles(paths ...string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, p := range paths {
+		p = vfs.Clean(p)
+		g.files[p] = true
+		g.wrapperFiles[p] = true
+	}
+}
+
+// AddAbsent records negative include probes.
+func (g *Graph) AddAbsent(paths ...string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, p := range paths {
+		g.absent[vfs.Clean(p)] = true
+	}
+}
+
+// AddUsedIdents lexes content and records every identifier and keyword
+// spelling as a used name. Lexing is tolerant: files that do not lex
+// contribute whatever tokens were produced before the error.
+func (g *Graph) AddUsedIdents(path, content string) {
+	lx := lexer.New(vfs.Clean(path), content)
+	var names []string
+	for {
+		t := lx.Next()
+		if t.Kind == token.EOF {
+			break
+		}
+		if t.Kind == token.Identifier {
+			names = append(names, t.Text)
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, n := range names {
+		g.used[n] = true
+	}
+}
+
+// Stats summarizes the graph for dashboards.
+type Stats struct {
+	Files        int `json:"files"`
+	WrapperFiles int `json:"wrapper_files"`
+	Absent       int `json:"absent"`
+	UsedNames    int `json:"used_names"`
+}
+
+// Stats snapshots the graph's sizes.
+func (g *Graph) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Stats{
+		Files:        len(g.files),
+		WrapperFiles: len(g.wrapperFiles),
+		Absent:       len(g.absent),
+		UsedNames:    len(g.used),
+	}
+}
+
+// Classify decides the rebuild action for one structural edit. existed
+// and oldContent describe the file before the write; newContent is the
+// bytes just written. The accepted new snapshot is cached so the next
+// edit to the same file diffs against the session's current state.
+func (g *Graph) Classify(path string, oldContent string, existed bool, newContent string) Decision {
+	path = vfs.Clean(path)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	if !existed {
+		if g.absent[path] {
+			// The prepared result depends on this path NOT existing
+			// (a negative include probe would now resolve differently).
+			return Decision{Action: Reprepare, Reason: "new file satisfies a recorded include probe"}
+		}
+		if !g.files[path] {
+			return Decision{Action: Keep, Reason: "new file outside the dependency closure"}
+		}
+		// In the closure yet previously unreadable: be conservative.
+		return Decision{Action: Reprepare, Reason: "file in closure appeared"}
+	}
+	if g.PCHFiles != nil && g.PCHFiles[path] {
+		return Decision{Action: Reprepare, Reason: "file is covered by the prepared PCH"}
+	}
+	if !g.files[path] {
+		return Decision{Action: Keep, Reason: "file outside the dependency closure"}
+	}
+
+	old := g.snaps[path]
+	if old == nil || old.Path != path {
+		old = Snapshot(path, oldContent)
+	}
+	new := Snapshot(path, newContent)
+	g.snaps[path] = new
+	if !old.OK || !new.OK {
+		return Decision{Action: Reprepare, Reason: "file does not parse in isolation"}
+	}
+
+	d := Diff(old, new)
+	dec := Decision{DeclsDiffed: d.DeclsDiffed, ChangedDecls: d.Changed}
+	if d.MiscChanged {
+		dec.Action = Reprepare
+		dec.Reason = "directive or non-declaration change"
+		return dec
+	}
+	var usedChanged []string
+	for name := range d.ChangedNames {
+		if g.used[name] {
+			usedChanged = append(usedChanged, name)
+		}
+	}
+	if len(usedChanged) > 0 {
+		sort.Strings(usedChanged)
+		dec.Action = Reprepare
+		dec.Reason = fmt.Sprintf("used decl interface changed: %s", strings.Join(usedChanged, ", "))
+		return dec
+	}
+	if len(d.Changed) > 0 || d.FuncDefsDelta != 0 {
+		if g.wrapperFiles[path] {
+			dec.Action = RecompileWrappers
+			dec.Reason = "unused decls changed in the wrappers closure"
+			return dec
+		}
+		dec.Action = Keep
+		dec.Reason = "unused decls changed outside the wrappers closure"
+		return dec
+	}
+	dec.Action = Keep
+	dec.Reason = "no declaration interface changed"
+	return dec
+}

@@ -1,0 +1,221 @@
+package inval
+
+import (
+	"strings"
+	"testing"
+)
+
+const baseHeader = `#pragma once
+#include <vector>
+
+namespace lib {
+
+// A widget.
+class Widget {
+public:
+    Widget(int id) : id_(id) {}
+    int id() const { return id_; }
+    template <typename T>
+    T scaled(T f) const { return f * static_cast<T>(id_); }
+private:
+    int id_;
+};
+
+using WidgetRef = Widget;
+
+enum class Mode { Fast, Safe };
+
+inline int helper(int v) { return v + 1; }
+
+int free_fn(const Widget& w);
+
+} // namespace lib
+`
+
+func TestSnapshotParses(t *testing.T) {
+	s := Snapshot("lib/widget.hpp", baseHeader)
+	if !s.OK {
+		t.Fatalf("snapshot not OK")
+	}
+	for _, key := range []string{"class lib::Widget", "alias lib::WidgetRef", "enum lib::Mode", "func lib::helper", "func lib::free_fn"} {
+		if _, ok := s.Decls[key]; !ok {
+			t.Errorf("missing decl key %q (have %v)", key, keys(s))
+		}
+	}
+	// helper's body plus Widget's two method bodies.
+	if s.FuncDefs < 3 {
+		t.Errorf("FuncDefs = %d, want >= 3", s.FuncDefs)
+	}
+}
+
+func keys(s *FileSnapshot) []string {
+	var out []string
+	for k := range s.Decls {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestCommentEditIsInvisible(t *testing.T) {
+	old := Snapshot("h.hpp", baseHeader)
+	edited := strings.Replace(baseHeader, "// A widget.", "// A widget, now lovingly documented.\n// Across two lines.", 1)
+	cur := Snapshot("h.hpp", edited+"\n// trailing note\n")
+	d := Diff(old, cur)
+	if d.Interface() {
+		t.Fatalf("comment edit changed interface: misc=%v changed=%v", d.MiscChanged, d.Changed)
+	}
+	if d.FuncDefsDelta != 0 {
+		t.Fatalf("comment edit changed FuncDefs by %d", d.FuncDefsDelta)
+	}
+}
+
+func TestBodyEditIsInvisible(t *testing.T) {
+	old := Snapshot("h.hpp", baseHeader)
+	edited := strings.Replace(baseHeader, "return v + 1;", "int tmp = v; return tmp + 2;", 1)
+	edited = strings.Replace(edited, "return f * static_cast<T>(id_);", "return f + f * static_cast<T>(id_) - f;", 1)
+	d := Diff(old, Snapshot("h.hpp", edited))
+	if d.Interface() {
+		t.Fatalf("body edit changed interface: misc=%v changed=%v", d.MiscChanged, d.Changed)
+	}
+	if d.FuncDefsDelta != 0 {
+		t.Fatalf("body edit changed FuncDefs by %d", d.FuncDefsDelta)
+	}
+}
+
+func TestSignatureEditChangesOnlyThatDecl(t *testing.T) {
+	old := Snapshot("h.hpp", baseHeader)
+	edited := strings.Replace(baseHeader, "inline int helper(int v)", "inline long helper(long v)", 1)
+	d := Diff(old, Snapshot("h.hpp", edited))
+	if d.MiscChanged {
+		t.Fatalf("signature edit leaked into misc")
+	}
+	if len(d.Changed) != 1 || d.Changed[0] != "func lib::helper" {
+		t.Fatalf("changed = %v, want [func lib::helper]", d.Changed)
+	}
+	if !d.ChangedNames["helper"] {
+		t.Fatalf("changed names = %v, want helper", d.ChangedNames)
+	}
+}
+
+func TestFieldLayoutEditChangesClass(t *testing.T) {
+	old := Snapshot("h.hpp", baseHeader)
+	edited := strings.Replace(baseHeader, "int id_;", "long id_;", 1)
+	d := Diff(old, Snapshot("h.hpp", edited))
+	if len(d.Changed) != 1 || d.Changed[0] != "class lib::Widget" {
+		t.Fatalf("changed = %v, want [class lib::Widget]", d.Changed)
+	}
+}
+
+func TestMethodBodyEditKeepsClassHash(t *testing.T) {
+	old := Snapshot("h.hpp", baseHeader)
+	edited := strings.Replace(baseHeader, "return id_;", "auto v = id_; return v;", 1)
+	d := Diff(old, Snapshot("h.hpp", edited))
+	if d.Interface() {
+		t.Fatalf("method body edit changed interface: %v", d.Changed)
+	}
+}
+
+func TestMacroEditHitsMisc(t *testing.T) {
+	old := Snapshot("h.hpp", baseHeader)
+	d := Diff(old, Snapshot("h.hpp", baseHeader+"#define LIB_EXTRA 1\n"))
+	if !d.MiscChanged {
+		t.Fatalf("macro edit did not change misc")
+	}
+}
+
+func TestIncludeEditHitsMisc(t *testing.T) {
+	old := Snapshot("h.hpp", baseHeader)
+	edited := strings.Replace(baseHeader, "#include <vector>", "#include <vector>\n#include <map>", 1)
+	d := Diff(old, Snapshot("h.hpp", edited))
+	if !d.MiscChanged {
+		t.Fatalf("include edit did not change misc")
+	}
+}
+
+func TestAddedFunctionDef(t *testing.T) {
+	old := Snapshot("h.hpp", baseHeader)
+	edited := baseHeader + "namespace lib { inline int probe(int v) { return v; } }\n"
+	d := Diff(old, Snapshot("h.hpp", edited))
+	if d.MiscChanged {
+		t.Fatalf("added function leaked into misc")
+	}
+	// The new decl changes its own key plus the namespace scaffolding.
+	if len(d.ChangedNames) != 1 || !d.ChangedNames["probe"] {
+		t.Fatalf("changed names = %v, want {probe}", d.ChangedNames)
+	}
+	if d.FuncDefsDelta != 1 {
+		t.Fatalf("FuncDefsDelta = %d, want 1", d.FuncDefsDelta)
+	}
+}
+
+func TestUnparseableIsNotOK(t *testing.T) {
+	s := Snapshot("h.hpp", "class { int ; } ( ] garbage !!")
+	if s.OK {
+		t.Fatalf("garbage snapshot reported OK")
+	}
+}
+
+func TestGraphClassify(t *testing.T) {
+	g := NewGraph()
+	g.AddFiles("lib/widget.hpp", "other/detail.hpp")
+	g.AddWrapperFiles("lib/widget.hpp")
+	g.AddAbsent("lib/widget_ext.hpp")
+	g.AddUsedIdents("main.cpp", "int main() { lib::Widget w(3); return w.id(); }")
+
+	// Comment edit: keep.
+	edited := strings.Replace(baseHeader, "// A widget.", "// A fine widget.", 1)
+	if d := g.Classify("lib/widget.hpp", baseHeader, true, edited); d.Action != Keep {
+		t.Fatalf("comment edit: action=%v reason=%q", d.Action, d.Reason)
+	}
+	// Consecutive edit diffs against the cached snapshot, not the original.
+	edited2 := strings.Replace(edited, "return v + 1;", "return v + 2;", 1)
+	if d := g.Classify("lib/widget.hpp", "SHOULD NOT BE READ", true, edited2); d.Action != Keep {
+		t.Fatalf("body edit after comment edit: action=%v reason=%q", d.Action, d.Reason)
+	}
+	// Used interface change: reprepare.
+	edited3 := strings.Replace(edited2, "int id() const", "long id() const", 1)
+	if d := g.Classify("lib/widget.hpp", "", true, edited3); d.Action != Reprepare {
+		t.Fatalf("used interface edit: action=%v reason=%q", d.Action, d.Reason)
+	}
+	// Unused decl added in the wrappers closure: recompile wrappers.
+	edited4 := edited3 + "namespace lib { inline int unused_probe(int v) { return v; } }\n"
+	if d := g.Classify("lib/widget.hpp", "", true, edited4); d.Action != RecompileWrappers {
+		t.Fatalf("unused add: action=%v reason=%q", d.Action, d.Reason)
+	}
+	// File outside the closure: keep, no snapshot needed.
+	if d := g.Classify("unrelated/x.hpp", "anything", true, "anything else"); d.Action != Keep {
+		t.Fatalf("outside closure: action=%v reason=%q", d.Action, d.Reason)
+	}
+	// Creating a file that satisfies a negative probe: reprepare.
+	if d := g.Classify("lib/widget_ext.hpp", "", false, "int x;"); d.Action != Reprepare {
+		t.Fatalf("absent probe: action=%v reason=%q", d.Action, d.Reason)
+	}
+	// Creating an unrelated file: keep.
+	if d := g.Classify("novel/file.hpp", "", false, "int y;"); d.Action != Keep {
+		t.Fatalf("novel file: action=%v reason=%q", d.Action, d.Reason)
+	}
+	// Macro edit: reprepare even though no used decl changed.
+	edited5 := edited4 + "#define WIDGET_PATCH 2\n"
+	if d := g.Classify("lib/widget.hpp", "", true, edited5); d.Action != Reprepare {
+		t.Fatalf("macro edit: action=%v reason=%q", d.Action, d.Reason)
+	}
+	// PCH coverage: reprepare.
+	g2 := NewGraph()
+	g2.AddFiles("lib/widget.hpp")
+	g2.PCHFiles = map[string]bool{"lib/widget.hpp": true}
+	if d := g2.Classify("lib/widget.hpp", baseHeader, true, edited); d.Action != Reprepare {
+		t.Fatalf("pch-covered edit: action=%v reason=%q", d.Action, d.Reason)
+	}
+}
+
+func TestGraphStats(t *testing.T) {
+	g := NewGraph()
+	g.AddFiles("a.hpp")
+	g.AddWrapperFiles("b.hpp")
+	g.AddAbsent("c.hpp")
+	g.AddUsedIdents("m.cpp", "int main() { return f(); }")
+	st := g.Stats()
+	if st.Files != 2 || st.WrapperFiles != 1 || st.Absent != 1 || st.UsedNames == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

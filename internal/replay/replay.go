@@ -2,12 +2,14 @@
 // stream. The paper's claim is about the *repeated* edit–compile–run
 // cycle, and not all edits cost the same: a comment-only save rebuilds
 // one translation unit from cache-validated manifests, a function-body
-// change recompiles that TU, and an interface (header) change
-// invalidates the whole prepared setup — tool rerun, wrappers, PCH. The
-// replay harness scripts those three edit classes against live sessions
-// and reports per-class latency percentiles, quantifying both the warm
-// path the daemon exists for and the over-invalidation cost of
-// structural edits that the roadmap's early-cutoff work wants to shave.
+// change recompiles that TU, an interface (header) change invalidates
+// the whole prepared setup — tool rerun, wrappers, PCH — and a mixed
+// benign header edit (comment or inline-body change inside the header)
+// is proven interface-neutral by the decl-level diff and rebuilds
+// nothing. The replay harness scripts those four edit classes against
+// live sessions and reports per-class latency percentiles, quantifying
+// the warm path the daemon exists for, the over-invalidation cost of
+// structural edits, and the early-cutoff win that shaves it.
 package replay
 
 import (
@@ -17,6 +19,7 @@ import (
 	"log/slog"
 	"net"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/corpus"
@@ -29,10 +32,11 @@ const (
 	ClassComment   = "comment"   // comment-only edit: hash changes, semantics don't
 	ClassBody      = "body"      // new global definition: the TU recompiles
 	ClassInterface = "interface" // header edit: structural, full re-Prepare
+	ClassMixed     = "mixed"     // benign header edit: early cutoff keeps the setup
 )
 
 // Classes lists the edit classes every replay run drives.
-func Classes() []string { return []string{ClassComment, ClassBody, ClassInterface} }
+func Classes() []string { return []string{ClassComment, ClassBody, ClassInterface, ClassMixed} }
 
 // Config configures a replay run.
 type Config struct {
@@ -66,6 +70,14 @@ type ClassStats struct {
 	// interface class should account for (almost) all of both.
 	Invalidations uint64 `json:"invalidations"`
 	Prepares      uint64 `json:"prepares"`
+	// EarlyCutoffHits counts structural (header) edits the decl-level
+	// diff proved interface-neutral, keeping the prepared setup live;
+	// WrapperRecompiles is the subset that still needed the wrapper TU
+	// rebuilt; DeclsDiffed is the total interface hashes compared. The
+	// mixed class should score a hit on every edit, the others zero.
+	EarlyCutoffHits   uint64 `json:"early_cutoff_hits,omitempty"`
+	WrapperRecompiles uint64 `json:"wrapper_recompiles,omitempty"`
+	DeclsDiffed       uint64 `json:"decls_diffed,omitempty"`
 	// VirtualMeanMs and VirtualP95Ms summarize the simulated
 	// compile-cost of each timed window on the deterministic virtual
 	// clock (cycle total plus any re-prepare setup). Unlike the wall
@@ -95,6 +107,15 @@ type Report struct {
 	// header edit costs than a semantically comparable source edit,
 	// i.e. the price of invalidating the whole prepared setup.
 	OverInvalidationX float64 `json:"over_invalidation_x"`
+	// OverInvalidationVirtualX is the same ratio on the deterministic
+	// virtual clock — byte-identical across machines, so the regression
+	// gate can hold it exactly.
+	OverInvalidationVirtualX float64 `json:"over_invalidation_virtual_x"`
+	// EarlyCutoffVirtualX is virtual mean(interface) / virtual
+	// mean(mixed): how much a worst-case header edit costs relative to a
+	// benign one the decl diff proves interface-neutral — the measured
+	// early-cutoff win.
+	EarlyCutoffVirtualX float64 `json:"early_cutoff_virtual_x"`
 
 	PerSubject []SubjectReport `json:"per_subject"`
 }
@@ -112,9 +133,16 @@ func (r *Report) Class(name string) ClassStats {
 	return ClassStats{}
 }
 
+// mixedProbe is the inline definition the mixed class appends to its
+// header during an untimed warmup edit: an unused function whose body
+// the odd iterations rewrite, so both edit kinds (comment append,
+// body-only change) are provably interface-neutral.
+const mixedProbe = "inline int yalla_replay_mixed_probe() { return 0; }\n"
+
 // editScript generates the iter-th content for one class. Scripts are
 // pure functions of (original content, iter), so a replay run is fully
-// deterministic: same corpus, same edits, same cache traffic.
+// deterministic: same corpus, same edits, same cache traffic. For the
+// mixed class, orig already contains mixedProbe (see replaySubject).
 func editScript(class string, orig string, iter int) string {
 	switch class {
 	case ClassComment:
@@ -123,6 +151,12 @@ func editScript(class string, orig string, iter int) string {
 		return fmt.Sprintf("%s\nint yalla_replay_%d = %d;\n", orig, iter, iter)
 	case ClassInterface:
 		return fmt.Sprintf("%s\n#define YALLA_REPLAY_%d %d\n", orig, iter, iter)
+	case ClassMixed:
+		if iter%2 == 0 {
+			return fmt.Sprintf("%s// replay mixed comment %d\n", orig, iter)
+		}
+		return strings.Replace(orig, "yalla_replay_mixed_probe() { return 0; }",
+			fmt.Sprintf("yalla_replay_mixed_probe() { return %d; }", iter), 1)
 	}
 	return orig
 }
@@ -215,11 +249,14 @@ func Run(cfg Config) (*Report, error) {
 	for _, class := range Classes() {
 		a := agg[class]
 		cs := ClassStats{
-			Class:         class,
-			Edits:         len(a.samples),
-			Latency:       daemon.Summarize(a.samples),
-			Invalidations: a.invalidations,
-			Prepares:      a.prepares,
+			Class:             class,
+			Edits:             len(a.samples),
+			Latency:           daemon.Summarize(a.samples),
+			Invalidations:     a.invalidations,
+			Prepares:          a.prepares,
+			EarlyCutoffHits:   a.earlyCutoffHits,
+			WrapperRecompiles: a.wrapperRecompiles,
+			DeclsDiffed:       a.declsDiffed,
 		}
 		cs.VirtualMeanMs, cs.VirtualP95Ms = virtualStats(a.virtual)
 		rep.Classes = append(rep.Classes, cs)
@@ -229,14 +266,24 @@ func Run(cfg Config) (*Report, error) {
 	if bodyMean > 0 {
 		rep.OverInvalidationX = float64(ifaceMean) / float64(bodyMean)
 	}
+	ifaceVirtual := rep.Class(ClassInterface).VirtualMeanMs
+	if v := rep.Class(ClassBody).VirtualMeanMs; v > 0 {
+		rep.OverInvalidationVirtualX = ifaceVirtual / v
+	}
+	if v := rep.Class(ClassMixed).VirtualMeanMs; v > 0 {
+		rep.EarlyCutoffVirtualX = ifaceVirtual / v
+	}
 	return rep, nil
 }
 
 type classAgg struct {
-	samples       []time.Duration
-	virtual       []float64
-	invalidations uint64
-	prepares      uint64
+	samples           []time.Duration
+	virtual           []float64
+	invalidations     uint64
+	prepares          uint64
+	earlyCutoffHits   uint64
+	wrapperRecompiles uint64
+	declsDiffed       uint64
 }
 
 func virtualStats(ms []float64) (mean, p95 float64) {
@@ -275,11 +322,30 @@ func replaySubject(c *daemon.Client, name string, cfg Config, agg map[string]*cl
 		if err != nil {
 			return nil, fmt.Errorf("replay %s/%s: %v", name, class, err)
 		}
-		if class == ClassInterface {
+		if class == ClassInterface || class == ClassMixed {
 			editPath, orig, err = resolveHeader(c, sess, subj)
 			if err != nil {
 				return nil, err
 			}
+		}
+		if class == ClassMixed {
+			// Untimed warmup edit: append the probe whose body the odd
+			// iterations rewrite, and settle the session, so every timed
+			// window is a pure benign-header edit against warm state.
+			orig = orig + "\n" + mixedProbe
+			if _, err := c.Edit(sess, editPath, orig); err != nil {
+				return nil, fmt.Errorf("replay %s/%s probe: %v", name, class, err)
+			}
+			if _, err := c.Cycle(sess, ""); err != nil {
+				return nil, fmt.Errorf("replay %s/%s probe cycle: %v", name, class, err)
+			}
+		}
+		// Counters accumulated before the timed loop (the warmup prepare,
+		// the mixed probe edit) are not edit costs; stats below report
+		// deltas against this baseline.
+		before, err := c.SessionInfo(sess)
+		if err != nil {
+			return nil, fmt.Errorf("replay %s/%s: %v", name, class, err)
 		}
 
 		var (
@@ -303,21 +369,22 @@ func replaySubject(c *daemon.Client, name string, cfg Config, agg map[string]*cl
 				return nil, fmt.Errorf("replay %s/%s iter %d: %v", name, class, iter, err)
 			}
 			samples = append(samples, time.Since(start))
-			virtual = append(virtual, cy.TotalMs+cy.SetupMs)
+			virtual = append(virtual, cy.TotalMs+cy.SetupMs+cy.WrappersMs)
 		}
 
 		info, err := c.SessionInfo(sess)
 		if err != nil {
 			return nil, fmt.Errorf("replay %s/%s: %v", name, class, err)
 		}
-		// The warmup prepare is not an edit cost; report only re-Prepares
-		// caused by the replayed edits.
 		cs := ClassStats{
-			Class:         class,
-			Edits:         len(samples),
-			Latency:       daemon.Summarize(samples),
-			Invalidations: info.Invalidations,
-			Prepares:      info.Prepares - 1,
+			Class:             class,
+			Edits:             len(samples),
+			Latency:           daemon.Summarize(samples),
+			Invalidations:     info.Invalidations - before.Invalidations,
+			Prepares:          info.Prepares - before.Prepares,
+			EarlyCutoffHits:   info.EarlyCutoffHits - before.EarlyCutoffHits,
+			WrapperRecompiles: info.WrapperRecompiles - before.WrapperRecompiles,
+			DeclsDiffed:       info.DeclsDiffed - before.DeclsDiffed,
 		}
 		cs.VirtualMeanMs, cs.VirtualP95Ms = virtualStats(virtual)
 		sr.Classes = append(sr.Classes, cs)
@@ -326,6 +393,9 @@ func replaySubject(c *daemon.Client, name string, cfg Config, agg map[string]*cl
 		a.virtual = append(a.virtual, virtual...)
 		a.invalidations += cs.Invalidations
 		a.prepares += cs.Prepares
+		a.earlyCutoffHits += cs.EarlyCutoffHits
+		a.wrapperRecompiles += cs.WrapperRecompiles
+		a.declsDiffed += cs.DeclsDiffed
 		if err := c.CloseSession(sess); err != nil {
 			return nil, fmt.Errorf("replay %s/%s: %v", name, class, err)
 		}

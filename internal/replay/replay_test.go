@@ -2,6 +2,7 @@ package replay
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 	"time"
 )
@@ -18,8 +19,8 @@ func TestReplaySmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Classes) != 3 {
-		t.Fatalf("got %d classes, want 3", len(rep.Classes))
+	if len(rep.Classes) != 4 {
+		t.Fatalf("got %d classes, want 4", len(rep.Classes))
 	}
 	for _, class := range Classes() {
 		cs := rep.Class(class)
@@ -31,20 +32,43 @@ func TestReplaySmoke(t *testing.T) {
 		}
 	}
 
-	// Interface edits invalidate the prepared setup every time; comment
-	// and body edits never do — that asymmetry is the thing replay
-	// exists to measure.
+	// Interface edits invalidate the prepared setup every time; comment,
+	// body, and mixed edits never do — that asymmetry is the thing
+	// replay exists to measure.
 	iface := rep.Class(ClassInterface)
 	if iface.Invalidations != 4 || iface.Prepares != 4 {
 		t.Errorf("interface: invalidations=%d prepares=%d, want 4/4", iface.Invalidations, iface.Prepares)
 	}
-	for _, class := range []string{ClassComment, ClassBody} {
+	for _, class := range []string{ClassComment, ClassBody, ClassMixed} {
 		if cs := rep.Class(class); cs.Invalidations != 0 || cs.Prepares != 0 {
 			t.Errorf("%s: invalidations=%d prepares=%d, want 0/0", class, cs.Invalidations, cs.Prepares)
 		}
 	}
+	// Every mixed edit is a structural header edit the decl diff proves
+	// benign: all of them must land as early-cutoff hits, with real diff
+	// work behind them, and none may fall through to the other classes.
+	mixed := rep.Class(ClassMixed)
+	if mixed.EarlyCutoffHits != 4 {
+		t.Errorf("mixed: early_cutoff_hits=%d, want 4", mixed.EarlyCutoffHits)
+	}
+	if mixed.DeclsDiffed == 0 {
+		t.Errorf("mixed: decls_diffed=0, want > 0")
+	}
+	for _, class := range []string{ClassComment, ClassBody, ClassInterface} {
+		if cs := rep.Class(class); cs.EarlyCutoffHits != 0 {
+			t.Errorf("%s: early_cutoff_hits=%d, want 0", class, cs.EarlyCutoffHits)
+		}
+	}
 	if rep.OverInvalidationX <= 0 {
 		t.Errorf("over-invalidation ratio = %v, want > 0", rep.OverInvalidationX)
+	}
+	if rep.OverInvalidationVirtualX <= 1 {
+		t.Errorf("virtual over-invalidation ratio = %v, want > 1", rep.OverInvalidationVirtualX)
+	}
+	// The early-cutoff win: a worst-case header edit must cost strictly
+	// more virtual time than a benign one that keeps the setup.
+	if rep.EarlyCutoffVirtualX <= 1 {
+		t.Errorf("early-cutoff ratio = %v, want > 1", rep.EarlyCutoffVirtualX)
 	}
 
 	// Virtual-clock costs: present for every class, and the interface
@@ -102,5 +126,13 @@ func TestEditScripts(t *testing.T) {
 	}
 	if got := editScript(ClassComment, "orig", 0); got[:4] != "orig" {
 		t.Errorf("edit script dropped the original content: %q", got)
+	}
+	// Mixed odd iterations rewrite exactly the probe's body.
+	got := editScript(ClassMixed, "x\n"+mixedProbe, 3)
+	if !strings.Contains(got, "yalla_replay_mixed_probe() { return 3; }") {
+		t.Errorf("mixed body rewrite failed: %q", got)
+	}
+	if !strings.HasPrefix(got, "x\n") {
+		t.Errorf("mixed rewrite dropped the original content: %q", got)
 	}
 }
