@@ -1,17 +1,21 @@
 // Command yallafuzz drives the differential fuzzing harness: it
 // generates random C++-subset programs, pushes each one through the
-// full substitution pipeline, and checks the six equivalence oracles
-// (safety, exec, idempotent, paths, incremental, perf). Failures are delta-debugged
-// down to minimal reproducers and saved under -repros; saved
-// reproducers re-run with -rerun. With -unsafe, every program is
-// generated around a known-unsafe construct and the safety oracle runs
-// inverted: a program the check passes do NOT flag is the failure.
+// full substitution pipeline, and checks the seven equivalence oracles
+// (safety, exec, idempotent, paths, incremental, perf, split). Failures
+// are delta-debugged down to minimal reproducers and saved under
+// -repros; saved reproducers re-run with -rerun. With -unsafe, every
+// program is generated around a known-unsafe construct and the safety
+// oracle runs inverted: a program the check passes do NOT flag is the
+// failure. With -god K, every program's library header carries K
+// weakly-coupled declaration clusters — the god-header shape the split
+// oracle decomposes (`yallafuzz -n 500 -oracle split -god 3` is the
+// decomposition sweep).
 //
 // Usage:
 //
 //	yallafuzz [-seed N] [-n N] [-size N] [-oracle LIST] [-minimize]
-//	          [-repros DIR] [-rerun] [-corpus] [-unsafe] [-budget N]
-//	          [-metrics FILE|-] [-v]
+//	          [-repros DIR] [-rerun] [-corpus] [-unsafe] [-god K]
+//	          [-budget N] [-metrics FILE|-] [-v]
 //
 // Exit status is 1 when any oracle reports a violation.
 package main
@@ -33,12 +37,13 @@ func main() {
 		seed       = flag.Int64("seed", 1, "first generator seed")
 		n          = flag.Int("n", 100, "number of generated programs")
 		size       = flag.Int("size", 0, "statement chunks per program (0 = generator default)")
-		oracleList = flag.String("oracle", "", "comma-separated oracle subset (safety,exec,idempotent,paths,incremental,perf); empty runs all")
+		oracleList = flag.String("oracle", "", "comma-separated oracle subset (safety,exec,idempotent,paths,incremental,perf,split); empty runs all")
 		minimize   = flag.Bool("minimize", true, "delta-debug failures to minimal reproducers")
 		reproDir   = flag.String("repros", "results/repros", "directory for saved reproducers")
 		rerun      = flag.Bool("rerun", false, "re-run saved reproducers instead of fuzzing")
 		corpusRun  = flag.Bool("corpus", false, "also check every corpus subject")
 		unsafeGen  = flag.Bool("unsafe", false, "generate known-unsafe programs; the safety oracle must flag each one")
+		godGen     = flag.Int("god", 0, "weakly-coupled decl clusters per generated header (the split oracle's god-header shape)")
 		budget     = flag.Int("budget", 0, "interpreter step budget per program (0 = default)")
 		metricsOut = flag.String("metrics", "", "write the metrics snapshot to this file, or - for stdout")
 		verbose    = flag.Bool("v", false, "log every checked program")
@@ -66,7 +71,7 @@ func main() {
 		if *corpusRun {
 			violations += checkCorpus(opt, *verbose)
 		}
-		violations += fuzz(*seed, *n, *size, *unsafeGen, opt, *minimize, *reproDir, *verbose)
+		violations += fuzz(*seed, *n, *size, *unsafeGen, *godGen, opt, *minimize, *reproDir, *verbose)
 	}
 
 	if *metricsOut != "" {
@@ -93,7 +98,7 @@ func validOracle(name string) bool {
 // programs. In unsafe mode only the safety oracle is meaningful (the
 // programs diverge by design), so it runs alone with the inverted
 // expectation and failures are reported by seed instead of minimized.
-func fuzz(seed int64, n, size int, unsafe bool, opt difftest.Options, minimize bool, reproDir string, verbose bool) int {
+func fuzz(seed int64, n, size int, unsafe bool, god int, opt difftest.Options, minimize bool, reproDir string, verbose bool) int {
 	if unsafe {
 		opt.MustFlag = true
 		if len(opt.Oracles) == 0 {
@@ -104,7 +109,7 @@ func fuzz(seed int64, n, size int, unsafe bool, opt difftest.Options, minimize b
 	bad := 0
 	for i := 0; i < n; i++ {
 		s := seed + int64(i)
-		p := fuzzgen.Generate(fuzzgen.Config{Seed: s, Size: size, Unsafe: unsafe})
+		p := fuzzgen.Generate(fuzzgen.Config{Seed: s, Size: size, Unsafe: unsafe, GodHeader: god})
 		// A distinct (deterministic) header-edit stream per program, so
 		// `-n 500 -oracle incremental` sweeps 500 different streams.
 		opt.IncrementalSeed = s

@@ -244,6 +244,20 @@ func IsExpansionInFile(file string) Matcher {
 	}
 }
 
+// IsExpansionOutsideFiles narrows to nodes positioned in none of the
+// given files — the complement of IsExpansionInFile over a file set,
+// which the header splitter uses to separate consumer-side usages from
+// declarations inside the god header's own include closure.
+func IsExpansionOutsideFiles(files ...string) Matcher {
+	ids := make(map[token.FileID]bool, len(files))
+	for _, f := range files {
+		ids[token.InternFile(f)] = true
+	}
+	return func(n ast.Node, b Bindings) bool {
+		return !ids[n.Pos().File]
+	}
+}
+
 // Callee applies a matcher to a call's callee expression.
 func Callee(m Matcher) Matcher {
 	return func(n ast.Node, b Bindings) bool {

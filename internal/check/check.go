@@ -211,42 +211,42 @@ func ClassifyVerdict(ds []Diagnostic) Verdict {
 }
 
 // ApplyFixIts applies every fix-it in ds to the files in fs, returning
-// the modified file paths in sorted order. Identical fix-its (the same
-// edit reported by several passes or TUs) collapse to one; genuinely
-// overlapping edits are an error from the rewrite layer.
+// the modified file paths in sorted order. Fix-it file names are
+// normalized first, so aliased spellings of one file edit a single
+// buffer; identical fix-its (the same edit reported by several passes or
+// TUs) collapse to one. The batch is atomic: overlapping edits anywhere
+// in it — including across files rewritten in one pass — fail the whole
+// application before any file is written.
 func ApplyFixIts(fs *vfs.FS, ds []Diagnostic) ([]string, error) {
-	byFile := map[string][]FixIt{}
+	set := rewrite.NewSet()
 	seen := map[FixIt]bool{}
 	for _, d := range ds {
 		for _, f := range d.FixIts {
+			f.File = vfs.Clean(f.File)
 			if seen[f] {
 				continue
 			}
 			seen[f] = true
-			byFile[f.File] = append(byFile[f.File], f)
-		}
-	}
-	files := make([]string, 0, len(byFile))
-	for f := range byFile {
-		files = append(files, f)
-	}
-	sort.Strings(files)
-	for _, file := range files {
-		src, err := fs.Read(file)
-		if err != nil {
-			return nil, fmt.Errorf("check: fix-it target %s: %v", file, err)
-		}
-		buf := rewrite.NewBuffer(file, src)
-		for _, fx := range byFile[file] {
-			if err := buf.Replace(fx.Start, fx.End, fx.Text); err != nil {
-				return nil, fmt.Errorf("check: fix-it in %s: %v", file, err)
+			buf := set.Get(f.File)
+			if buf == nil {
+				src, err := fs.Read(f.File)
+				if err != nil {
+					return nil, fmt.Errorf("check: fix-it target %s: %v", f.File, err)
+				}
+				buf = set.Add(f.File, src)
+			}
+			if err := buf.Replace(f.Start, f.End, f.Text); err != nil {
+				return nil, fmt.Errorf("check: fix-it in %s: %v", f.File, err)
 			}
 		}
-		fixed, err := buf.Apply()
-		if err != nil {
-			return nil, fmt.Errorf("check: applying fix-its to %s: %v", file, err)
-		}
-		fs.Write(file, fixed)
+	}
+	fixed, err := set.ApplyAll()
+	if err != nil {
+		return nil, fmt.Errorf("check: applying fix-its: %v", err)
+	}
+	files := set.Files()
+	for _, file := range files {
+		fs.Write(file, fixed[file])
 	}
 	return files, nil
 }

@@ -520,3 +520,65 @@ func TestSeverityJSONRoundTrip(t *testing.T) {
 		t.Fatal("bogus severity should not unmarshal")
 	}
 }
+
+// Fix-its spanning two headers in one apply batch: both files' edits
+// land, aliased spellings of one file collapse to a single buffer, and
+// an overlap anywhere in the batch leaves every file untouched.
+func TestApplyFixItsTwoHeadersOnePass(t *testing.T) {
+	fs := vfs.New()
+	fs.Write("lib/first.hpp", "#pragma once\nclass First;\n")
+	fs.Write("lib/second.hpp", "#pragma once\nclass Second;\n")
+	ds := []Diagnostic{
+		{File: "lib/first.hpp", Pass: "t", FixIts: []FixIt{
+			{File: "lib/first.hpp", Start: 13, End: 13, Text: "// edited\n"},
+		}},
+		// The same file spelled with a leading "./": previously this
+		// opened a second buffer whose write clobbered the first edit.
+		{File: "lib/first.hpp", Pass: "t", FixIts: []FixIt{
+			{File: "./lib/first.hpp", Start: 19, End: 24, Text: "Primary"},
+		}},
+		{File: "lib/second.hpp", Pass: "t", FixIts: []FixIt{
+			{File: "lib/second.hpp", Start: 19, End: 25, Text: "Secondary"},
+		}},
+	}
+	files, err := ApplyFixIts(fs, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(files, []string{"lib/first.hpp", "lib/second.hpp"}) {
+		t.Fatalf("files = %v", files)
+	}
+	got1, _ := fs.Read("lib/first.hpp")
+	if got1 != "#pragma once\n// edited\nclass Primary;\n" {
+		t.Fatalf("first.hpp = %q", got1)
+	}
+	got2, _ := fs.Read("lib/second.hpp")
+	if got2 != "#pragma once\nclass Secondary;\n" {
+		t.Fatalf("second.hpp = %q", got2)
+	}
+}
+
+func TestApplyFixItsAtomicAcrossFiles(t *testing.T) {
+	fs := vfs.New()
+	fs.Write("a.hpp", "class A;\n")
+	fs.Write("b.hpp", "class B;\n")
+	ds := []Diagnostic{
+		{File: "a.hpp", Pass: "t", FixIts: []FixIt{
+			{File: "a.hpp", Start: 6, End: 7, Text: "X"},
+		}},
+		{File: "b.hpp", Pass: "t", FixIts: []FixIt{
+			{File: "b.hpp", Start: 0, End: 5, Text: "struct"},
+			{File: "b.hpp", Start: 3, End: 7, Text: "oops"}, // overlaps
+		}},
+	}
+	if _, err := ApplyFixIts(fs, ds); err == nil {
+		t.Fatal("want overlap error")
+	}
+	// Neither file may have been written: the batch is atomic.
+	if got, _ := fs.Read("a.hpp"); got != "class A;\n" {
+		t.Fatalf("a.hpp modified despite batch failure: %q", got)
+	}
+	if got, _ := fs.Read("b.hpp"); got != "class B;\n" {
+		t.Fatalf("b.hpp modified despite batch failure: %q", got)
+	}
+}

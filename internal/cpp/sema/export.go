@@ -1,0 +1,29 @@
+package sema
+
+// EachSymbol walks every symbol in the table depth-first in declaration
+// order, visiting each symbol before its children. The walk order is
+// deterministic for a fixed sequence of AddUnit calls, which makes it
+// safe to drive analyses whose output must be byte-identical across
+// runs (the header splitter's decl export uses it for exactly that).
+func (t *Table) EachSymbol(f func(*Symbol)) {
+	var walk func(s *Symbol)
+	walk = func(s *Symbol) {
+		f(s)
+		s.EachChild(walk)
+	}
+	t.Global.EachChild(walk)
+}
+
+// DeclaredSymbols returns, in declaration order, every symbol whose
+// primary declaration lives in file (the same cleaned path spelling the
+// analyzed translation units used). Scope symbols (namespaces, classes)
+// appear before their members.
+func (t *Table) DeclaredSymbols(file string) []*Symbol {
+	var out []*Symbol
+	t.EachSymbol(func(s *Symbol) {
+		if s.DeclFile == file {
+			out = append(out, s)
+		}
+	})
+	return out
+}

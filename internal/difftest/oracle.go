@@ -25,6 +25,10 @@
 //	            overlay (incremental.go)
 //	perf        the substituted rebuild cost is no worse than the
 //	            baseline rebuild cost (the paper's headline property)
+//	split       decomposing the subject's god header (internal/split)
+//	            preserves observable behavior (exec equivalence of
+//	            original vs. decomposed) and is path-independent: the
+//	            rewritten file set is byte-identical at -j 1 and -j 4
 //
 // A failed oracle yields a Violation with a deterministic detail string;
 // the minimizer (minimize.go) shrinks a failing generated program to a
@@ -33,6 +37,7 @@ package difftest
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -49,11 +54,12 @@ import (
 	"repro/internal/devcycle"
 	"repro/internal/fuzzgen"
 	"repro/internal/obs"
+	"repro/internal/split"
 	"repro/internal/vfs"
 )
 
 // OracleNames lists every oracle in canonical run order.
-var OracleNames = []string{"safety", "exec", "idempotent", "paths", "incremental", "perf"}
+var OracleNames = []string{"safety", "exec", "idempotent", "paths", "incremental", "perf", "split"}
 
 // mutateGenerated is a test-only fault-injection hook: when set, every
 // generated file (lightweight header, wrappers, modified sources) is
@@ -213,6 +219,11 @@ func Check(s *corpus.Subject, opt Options) *Result {
 		fsp := o.Start("oracle.perf")
 		perfOracle(res, s)
 		fsp.End()
+	}
+	if opt.want("split") {
+		ssp := o.Start("oracle.split")
+		splitOracle(res, s, opt.Budget)
+		ssp.End()
 	}
 	o.Counter("difftest.checks").Add(1)
 	o.Counter("difftest.violations").Add(uint64(len(res.Violations)))
@@ -569,5 +580,78 @@ func perfOracle(res *Result, s *corpus.Subject) {
 	}
 	if tY.Compile > tD.Compile {
 		res.addf("perf", "substituted rebuild compile %v exceeds baseline %v", tY.Compile, tD.Compile)
+	}
+}
+
+// ----------------------------------------------------------------- split
+
+// splitOracle decomposes the subject's god header on a private overlay
+// and demands (a) exec equivalence — the decomposed program's observable
+// trace matches the original's — and (b) path independence — the
+// partition digest and every rewritten byte are identical at -j 1 and
+// -j 4. A header the analysis refuses (ErrNotDecomposable) is a skip:
+// refusal leaves the tree untouched, so there is nothing to diverge.
+func splitOracle(res *Result, s *corpus.Subject, budget int) {
+	decompose := func(jobs int) (fs *vfs.FS, r *split.Result, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				fs, r, err = nil, nil, fmt.Errorf("panic: %v", p)
+			}
+		}()
+		fs = s.FS.Overlay()
+		r, err = split.Decompose(split.Options{
+			FS: fs, SearchPaths: s.SearchPaths, Sources: s.Sources,
+			Header: s.Header, MaxParts: 4, Jobs: jobs,
+		})
+		return fs, r, err
+	}
+	fsDec, dec, err := decompose(1)
+	if err != nil {
+		if errors.Is(err, split.ErrNotDecomposable) {
+			res.skipf("split", "header not decomposable: %v", err)
+			return
+		}
+		res.addf("split", "decompose failed: %v", err)
+		return
+	}
+
+	// Exec equivalence of original vs. decomposed, same abstention rule
+	// as the exec oracle: both variants outside the interpreted subset
+	// is a skip, a one-sided failure is a violation.
+	orig, origErr := Interpret(s.FS.Overlay(), s.SearchPaths, s.Sources, budget)
+	got, gotErr := Interpret(fsDec, s.SearchPaths, s.Sources, budget)
+	switch {
+	case origErr != nil && gotErr != nil:
+		res.skipf("split", "both variants uninterpretable: original: %v; decomposed: %v", origErr, gotErr)
+	case origErr != nil:
+		res.addf("split", "original uninterpretable but decomposed ran: %v", origErr)
+	case gotErr != nil:
+		res.addf("split", "decomposed program failed: %v (original ran fine)", gotErr)
+	default:
+		if d := diffTraces(orig, got); d != "" {
+			res.addf("split", "output diverged: %s", d)
+		}
+	}
+
+	// Path independence: a -j 4 rerun must produce the same partition
+	// and write byte-identical files.
+	_, dec4, err := decompose(4)
+	if err != nil {
+		res.addf("split", "-j4 decompose failed after -j1 succeeded: %v", err)
+		return
+	}
+	if dec4.Digest != dec.Digest {
+		res.addf("split", "partition digest differs across -j: %s vs %s", dec.Digest, dec4.Digest)
+		return
+	}
+	if len(dec4.Files) != len(dec.Files) {
+		res.addf("split", "written file count differs across -j: %d vs %d", len(dec.Files), len(dec4.Files))
+		return
+	}
+	for p, want := range dec.Files {
+		if dec4.Files[p] != want {
+			res.addf("split", "-j4 wrote different bytes for %q", p)
+			return
+		}
 	}
 }

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/buildcache"
+	"repro/internal/corpus"
+	"repro/internal/devcycle"
+)
+
+// TestRunSplitSubject measures one subject through the full three-way
+// comparison and checks the shape and direction of the numbers.
+func TestRunSplitSubject(t *testing.T) {
+	s := corpus.ByName("02")
+	r, err := RunSplitSubject(s, SplitRunConfig{Jobs: 4, MaxParts: 4, Cache: buildcache.New()})
+	if err != nil {
+		t.Fatalf("RunSplitSubject: %v", err)
+	}
+	if r.Parts < 2 || r.Decls == 0 || r.Digest == "" || r.Composed == "" {
+		t.Fatalf("degenerate partition: %+v", r)
+	}
+	for _, mode := range SplitModes {
+		if _, ok := r.Original[mode.String()]; !ok {
+			t.Errorf("original missing mode %v", mode)
+		}
+		if _, ok := r.Decomposed[mode.String()]; !ok {
+			t.Errorf("decomposed missing mode %v", mode)
+		}
+	}
+	// Decomposition must make the Default compile cheaper (the consumer
+	// now includes one part instead of the full god header), and the
+	// composed configuration must not regress vs substitute-only.
+	def := r.Original[devcycle.Default.String()].CompileMs
+	dec := r.Decomposed[devcycle.Default.String()].CompileMs
+	if dec >= def {
+		t.Errorf("decompose-only did not reduce compile cost: %0.1f -> %0.1f ms", def, dec)
+	}
+	if r.DecomposePct <= 0 || r.SubstitutePct <= 0 || r.ComposedPct <= 0 {
+		t.Errorf("non-positive reductions: decomp %.1f%% subst %.1f%% comp %.1f%%",
+			r.DecomposePct, r.SubstitutePct, r.ComposedPct)
+	}
+}
+
+// TestRunSplitAllDeterministic runs the report twice over a subject
+// subset at different -j and demands byte-identical JSON — the property
+// the CI diff against results/split_baseline.json depends on.
+func TestRunSplitAllDeterministic(t *testing.T) {
+	subjects := []*corpus.Subject{corpus.ByName("condense"), corpus.ByName("02")}
+	run := func(jobs int) []byte {
+		rep, err := RunSplitAll(SplitRunConfig{
+			Jobs: jobs, MaxParts: 4, Subjects: subjects, Cache: buildcache.New(),
+		})
+		if err != nil {
+			t.Fatalf("RunSplitAll -j%d: %v", jobs, err)
+		}
+		if rep.Subjects[0].Name != "condense" || rep.Subjects[1].Name != "02" {
+			t.Fatalf("rows out of order: %s, %s", rep.Subjects[0].Name, rep.Subjects[1].Name)
+		}
+		b, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(1), run(2)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("report differs across -j:\n-j1:\n%s\n-j2:\n%s", a, b)
+	}
+}

@@ -39,6 +39,12 @@ type Config struct {
 	// Unsafe=true so the harness can invert the safety oracle's
 	// expectation.
 	Unsafe bool
+	// GodHeader, when K > 0, appends K weakly-coupled declaration
+	// clusters to the library header — each a class plus a free
+	// function plus a main() chunk exercising both, with no references
+	// between clusters — turning the header into a decomposable god
+	// header for the difftest split oracle.
+	GodHeader int
 }
 
 func (c *Config) fill() {
@@ -513,12 +519,48 @@ func (g *gen) build() {
 		}
 	}
 
-	// Unsafe constructs go last so the random stream (and therefore
-	// every chunk above) is identical to the Unsafe=false rendering of
-	// the same seed.
+	// God-header clusters and unsafe constructs go last so the random
+	// stream (and therefore every chunk above) is identical to the
+	// GodHeader=0 / Unsafe=false rendering of the same seed.
+	for k := 0; k < g.cfg.GodHeader; k++ {
+		g.genGodCluster()
+	}
 	if g.cfg.Unsafe {
 		g.genUnsafeChunk()
 	}
+}
+
+// genGodCluster appends one weakly-coupled declaration cluster: a class,
+// a free function building it, and a main() chunk exercising both.
+// Clusters never reference each other (or the rest of the header), so a
+// god-header decomposition can pull each into its own part.
+func (g *gen) genGodCluster() {
+	r := g.rng
+	id := g.nextID
+	name := fmt.Sprintf("G%dC", id)
+	getter := fmt.Sprintf("gget%d", id)
+	k1, k2 := 1+r.Intn(4), r.Intn(7)
+	cid := g.add(Chunk{Where: HeaderChunk, Kind: "god-class", Lines: []string{
+		"",
+		fmt.Sprintf("class %s {", name),
+		"public:",
+		fmt.Sprintf("  %s(int a) { gf_ = a * %d + %d; }", name, k1, k2),
+		fmt.Sprintf("  int %s() const { return gf_; }", getter),
+		"private:",
+		"  int gf_;",
+		"};",
+	}})
+	fn := fmt.Sprintf("gfn%d", g.nextID)
+	k3 := 1 + r.Intn(5)
+	fid := g.add(Chunk{Where: HeaderChunk, Kind: "god-free", Needs: []int{cid}, Lines: []string{
+		fmt.Sprintf("inline int %s(int v) { %s t(v); return t.%s() + %d; }", fn, name, getter, k3),
+	}})
+	v := fmt.Sprintf("g%d", g.nextID)
+	g.add(Chunk{Where: MainChunk, Kind: "god-use", Needs: []int{cid, fid}, Lines: []string{
+		fmt.Sprintf("fz::%s %s(%d);", name, v, 1+r.Intn(6)),
+		emitLine(v + "." + getter + "()"),
+		emitLine(fmt.Sprintf("fz::%s(%d)", fn, r.Intn(9))),
+	}})
 }
 
 // genUnsafeChunk appends one construct from the paper's §6 hazard list —

@@ -1,0 +1,80 @@
+package inval
+
+import (
+	"repro/internal/cpp/lexer"
+	"repro/internal/cpp/parser"
+	"repro/internal/cpp/preprocessor"
+	"repro/internal/cpp/token"
+	"repro/internal/vfs"
+)
+
+// DeclExtent is one top-level declaration's byte range inside a header,
+// keyed by the same per-decl interface key the early-cutoff snapshots
+// use ("kind scope::name"). Overload sets and redeclarations produce
+// multiple extents sharing one Key; consumers that treat the key as the
+// unit of work (the header splitter does) must keep them together.
+type DeclExtent struct {
+	// Key is inval's per-decl interface key: "kind scope::name".
+	Key string
+	// Name is the unqualified base name consumers spell at use sites.
+	Name string
+	// Scope is the enclosing namespace path, "" at file scope or
+	// "A::B::" style otherwise.
+	Scope string
+	// Start is the byte offset of the declaration's first token.
+	Start int
+	// End is the exclusive byte offset one past the declaration's last
+	// token (the trailing ";" or "}"), so content[Start:End] is the
+	// full declaration text.
+	End int
+}
+
+// Extents parses one file in isolation (the Snapshot pattern: includes
+// resolve to nothing and are recorded as missing) and returns its
+// top-level declaration extents in source order. ok is false when the
+// file does not lex or parse cleanly on its own, in which case callers
+// must treat the file as opaque.
+func Extents(path, content string) (extents []DeclExtent, ok bool) {
+	path = vfs.Clean(path)
+
+	lx := lexer.New(path, content)
+	// lenAt maps a raw token's start offset to its byte length, so an
+	// inclusive AST end position (which points AT the last token) can be
+	// extended to an exclusive byte offset.
+	lenAt := map[int32]int{}
+	for {
+		t := lx.Next()
+		if t.Kind == token.EOF {
+			break
+		}
+		lenAt[t.Pos.Offset] = len(t.Text)
+	}
+	if len(lx.Errors()) > 0 {
+		return nil, false
+	}
+
+	sfs := vfs.New()
+	sfs.Write(path, content)
+	res, err := preprocessor.New(sfs).Preprocess(path)
+	if err != nil {
+		return nil, false
+	}
+	pr := parser.New(res.Tokens)
+	tu, err := pr.Parse()
+	if err != nil || len(pr.Errors()) > 0 {
+		return nil, false
+	}
+
+	decls, _, _ := collectExtents(tu)
+	extents = make([]DeclExtent, 0, len(decls))
+	for _, d := range decls {
+		extents = append(extents, DeclExtent{
+			Key:   d.key,
+			Name:  d.name,
+			Scope: d.scope,
+			Start: int(d.start),
+			End:   int(d.end) + lenAt[d.end],
+		})
+	}
+	return extents, true
+}

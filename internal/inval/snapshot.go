@@ -70,6 +70,7 @@ type declExtent struct {
 	start, end int32
 	key        string
 	name       string
+	scope      string
 	funcDefs   int
 }
 
@@ -252,6 +253,7 @@ func collectExtents(tu *ast.TranslationUnit) ([]declExtent, []span, []span) {
 			end:   d.End().Offset,
 			key:   kind + " " + scope + name,
 			name:  name,
+			scope: scope,
 		}
 		// Excise every function body nested in the extent (free
 		// functions, methods, lambdas in default arguments...).

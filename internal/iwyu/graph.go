@@ -1,0 +1,222 @@
+package iwyu
+
+import "sort"
+
+// HeaderMetrics describes one file's position in a TU's include graph.
+// The splitter consumes these to rank god headers (high fan-in, deep
+// closures) and to refuse cyclic manifests it cannot soundly rewrite.
+type HeaderMetrics struct {
+	File string `json:"file"`
+	// FanIn counts files whose include closure (transitively) contains
+	// this file.
+	FanIn int `json:"fan_in"`
+	// FanOut counts files in this file's transitive include closure,
+	// excluding itself.
+	FanOut int `json:"fan_out"`
+	// MaxIncludeDepth is the longest acyclic include chain starting at
+	// this file (0 for a leaf). Edges inside an include cycle do not
+	// extend the chain.
+	MaxIncludeDepth int `json:"max_include_depth"`
+	// InCycle reports membership in an include cycle (including a file
+	// that includes itself).
+	InCycle bool `json:"in_cycle"`
+}
+
+// GraphMetrics computes per-file metrics from a direct-dependency
+// manifest (the preprocessor's DirectDeps shape: file -> direct resolved
+// includes). Output is sorted by file and deterministic for any map
+// iteration order. Cycles are tolerated: fan-in/fan-out use reachability
+// over the cyclic graph, depth is measured over the condensation (the
+// DAG of strongly connected components).
+func GraphMetrics(deps map[string][]string) []HeaderMetrics {
+	// Canonical node list: every key plus every target.
+	nodeSet := map[string]bool{}
+	for f, ds := range deps {
+		nodeSet[f] = true
+		for _, d := range ds {
+			nodeSet[d] = true
+		}
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	id := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		id[n] = i
+	}
+	out := make([][]int, len(nodes))
+	in := make([][]int, len(nodes))
+	selfEdge := make([]bool, len(nodes))
+	for f, ds := range deps {
+		fi := id[f]
+		for _, d := range ds {
+			di := id[d]
+			out[fi] = append(out[fi], di)
+			in[di] = append(in[di], fi)
+			if fi == di {
+				selfEdge[fi] = true
+			}
+		}
+	}
+
+	scc := tarjanSCC(out)
+	sccSize := map[int]int{}
+	for _, c := range scc {
+		sccSize[c]++
+	}
+
+	// Condensation: unique SCC -> set of successor SCCs.
+	nscc := 0
+	for _, c := range scc {
+		if c >= nscc {
+			nscc = c + 1
+		}
+	}
+	succ := make([]map[int]bool, nscc)
+	members := make([][]int, nscc)
+	for v := range out {
+		members[scc[v]] = append(members[scc[v]], v)
+		for _, w := range out[v] {
+			if scc[v] != scc[w] {
+				if succ[scc[v]] == nil {
+					succ[scc[v]] = map[int]bool{}
+				}
+				succ[scc[v]][scc[w]] = true
+			}
+		}
+	}
+
+	// Depth and transitive reach over the condensation, memoized.
+	// Tarjan emits SCCs in reverse topological order (successors first),
+	// so a single increasing pass over SCC ids sees dependencies first.
+	depth := make([]int, nscc)
+	reach := make([]map[int]bool, nscc) // SCC -> reachable node ids (incl. own members)
+	for c := 0; c < nscc; c++ {
+		r := map[int]bool{}
+		for _, v := range members[c] {
+			r[v] = true
+		}
+		d := 0
+		for s := range succ[c] {
+			if depth[s]+1 > d {
+				d = depth[s] + 1
+			}
+			for v := range reach[s] {
+				r[v] = true
+			}
+		}
+		depth[c] = d
+		reach[c] = r
+	}
+
+	// Reverse reachability for fan-in, same trick on the reversed graph.
+	rsucc := make([]map[int]bool, nscc)
+	for v := range in {
+		for _, w := range in[v] {
+			if scc[v] != scc[w] {
+				if rsucc[scc[v]] == nil {
+					rsucc[scc[v]] = map[int]bool{}
+				}
+				rsucc[scc[v]][scc[w]] = true
+			}
+		}
+	}
+	// The reversed condensation's topological order is the reverse of the
+	// forward one: process SCC ids decreasing.
+	rreach := make([]map[int]bool, nscc)
+	for c := nscc - 1; c >= 0; c-- {
+		r := map[int]bool{}
+		for _, v := range members[c] {
+			r[v] = true
+		}
+		for s := range rsucc[c] {
+			for v := range rreach[s] {
+				r[v] = true
+			}
+		}
+		rreach[c] = r
+	}
+
+	ms := make([]HeaderMetrics, len(nodes))
+	for i, n := range nodes {
+		c := scc[i]
+		ms[i] = HeaderMetrics{
+			File:            n,
+			FanOut:          len(reach[c]) - 1,
+			FanIn:           len(rreach[c]) - 1,
+			MaxIncludeDepth: depth[c],
+			InCycle:         sccSize[c] > 1 || selfEdge[i],
+		}
+	}
+	return ms
+}
+
+// tarjanSCC assigns each vertex a strongly-connected-component id.
+// Components are numbered in reverse topological order: every edge
+// between distinct components goes from a higher id to a lower one.
+func tarjanSCC(adj [][]int) []int {
+	n := len(adj)
+	comp := make([]int, n)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+		comp[i] = -1
+	}
+	var stack []int
+	next, ncomp := 0, 0
+
+	// Iterative Tarjan: frame = (vertex, next-edge index).
+	type frame struct{ v, ei int }
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		frames := []frame{{start, 0}}
+		index[start], low[start] = next, next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp
+}

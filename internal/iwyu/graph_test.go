@@ -1,0 +1,113 @@
+package iwyu
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGraphMetrics(t *testing.T) {
+	cases := []struct {
+		name string
+		deps map[string][]string
+		want []HeaderMetrics
+	}{
+		{
+			name: "chain",
+			deps: map[string][]string{
+				"a.hpp": {"b.hpp"},
+				"b.hpp": {"c.hpp"},
+			},
+			want: []HeaderMetrics{
+				{File: "a.hpp", FanIn: 0, FanOut: 2, MaxIncludeDepth: 2},
+				{File: "b.hpp", FanIn: 1, FanOut: 1, MaxIncludeDepth: 1},
+				{File: "c.hpp", FanIn: 2, FanOut: 0, MaxIncludeDepth: 0},
+			},
+		},
+		{
+			name: "diamond",
+			deps: map[string][]string{
+				"top.hpp":   {"left.hpp", "right.hpp"},
+				"left.hpp":  {"base.hpp"},
+				"right.hpp": {"base.hpp"},
+			},
+			want: []HeaderMetrics{
+				{File: "base.hpp", FanIn: 3, FanOut: 0, MaxIncludeDepth: 0},
+				{File: "left.hpp", FanIn: 1, FanOut: 1, MaxIncludeDepth: 1},
+				{File: "right.hpp", FanIn: 1, FanOut: 1, MaxIncludeDepth: 1},
+				// base is reached twice but counted once.
+				{File: "top.hpp", FanIn: 0, FanOut: 3, MaxIncludeDepth: 2},
+			},
+		},
+		{
+			name: "cycle",
+			deps: map[string][]string{
+				"a.hpp": {"b.hpp"},
+				"b.hpp": {"a.hpp", "leaf.hpp"},
+			},
+			want: []HeaderMetrics{
+				// a and b reach each other and leaf; the cycle edge does
+				// not extend the depth chain.
+				{File: "a.hpp", FanIn: 1, FanOut: 2, MaxIncludeDepth: 1, InCycle: true},
+				{File: "b.hpp", FanIn: 1, FanOut: 2, MaxIncludeDepth: 1, InCycle: true},
+				{File: "leaf.hpp", FanIn: 2, FanOut: 0, MaxIncludeDepth: 0},
+			},
+		},
+		{
+			name: "self include",
+			deps: map[string][]string{
+				"loop.hpp": {"loop.hpp", "dep.hpp"},
+			},
+			want: []HeaderMetrics{
+				{File: "dep.hpp", FanIn: 1, FanOut: 0, MaxIncludeDepth: 0},
+				{File: "loop.hpp", FanIn: 0, FanOut: 1, MaxIncludeDepth: 1, InCycle: true},
+			},
+		},
+		{
+			name: "disconnected pair",
+			deps: map[string][]string{
+				"x.hpp": {"y.hpp"},
+				"m.hpp": nil,
+			},
+			want: []HeaderMetrics{
+				{File: "m.hpp"},
+				{File: "x.hpp", FanIn: 0, FanOut: 1, MaxIncludeDepth: 1},
+				{File: "y.hpp", FanIn: 1, FanOut: 0, MaxIncludeDepth: 0},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := GraphMetrics(tc.deps)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("GraphMetrics:\n got %+v\nwant %+v", got, tc.want)
+			}
+			// Deterministic across repeated calls over the same map.
+			if again := GraphMetrics(tc.deps); !reflect.DeepEqual(again, got) {
+				t.Errorf("GraphMetrics not deterministic:\n first %+v\n again %+v", got, again)
+			}
+		})
+	}
+}
+
+func TestAnalyzeReportsGraph(t *testing.T) {
+	fs := demoFS()
+	res, err := Analyze(Options{FS: fs, SearchPaths: []string{"lib", "."}, Source: "main.cpp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Graph) != 4 { // main.cpp + three headers
+		t.Fatalf("graph = %+v", res.Graph)
+	}
+	var main HeaderMetrics
+	for _, m := range res.Graph {
+		if m.File == "main.cpp" {
+			main = m
+		}
+		if m.InCycle {
+			t.Errorf("unexpected cycle at %s", m.File)
+		}
+	}
+	if main.FanOut != 3 || main.MaxIncludeDepth != 1 || main.FanIn != 0 {
+		t.Errorf("main.cpp metrics = %+v", main)
+	}
+}

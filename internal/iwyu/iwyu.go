@@ -59,6 +59,10 @@ type Result struct {
 	// findings and yallacheck findings render and machine-apply the same
 	// way.
 	Diagnostics []check.Diagnostic `json:"diagnostics,omitempty"`
+	// Graph holds per-file include-graph metrics over the TU's
+	// dependency manifest (transitive fan-in/fan-out, longest include
+	// chain, cycle membership), sorted by file.
+	Graph []HeaderMetrics `json:"graph,omitempty"`
 }
 
 // Analyze audits the source's direct includes and writes a cleaned copy
@@ -159,7 +163,7 @@ func Analyze(opts Options) (*Result, error) {
 	})
 
 	// Assemble the per-include report and the cleaned source.
-	res := &Result{}
+	res := &Result{Graph: GraphMetrics(ppRes.DirectDeps)}
 	buf := rewrite.NewBuffer(opts.Source, src)
 	line := 0
 	off := 0
@@ -167,8 +171,8 @@ func Analyze(opts Options) (*Result, error) {
 		line++
 		trimmed := strings.TrimSpace(raw)
 		if strings.HasPrefix(trimmed, "#include") {
-			target := includeSpelling(trimmed)
-			resolved := resolveDirect(directs, target)
+			target := IncludeSpelling(trimmed)
+			resolved := ResolveDirect(directs, target)
 			use := IncludeUse{Target: target, Resolved: resolved, Line: line}
 			if syms := usedBy[resolved]; len(syms) > 0 {
 				use.Used = true
@@ -231,8 +235,9 @@ func noteType(note func(ast.QualifiedName, string), ty *ast.Type, from string) {
 	}
 }
 
-// includeSpelling extracts the include target from a directive line.
-func includeSpelling(line string) string {
+// IncludeSpelling extracts the include target from a directive line
+// ("#include <a/b.hpp>" -> "a/b.hpp").
+func IncludeSpelling(line string) string {
 	rest := strings.TrimSpace(strings.TrimPrefix(line, "#include"))
 	if len(rest) < 2 {
 		return rest
@@ -250,9 +255,9 @@ func includeSpelling(line string) string {
 	return rest
 }
 
-// resolveDirect matches a spelled target against the resolved direct
-// dependency list.
-func resolveDirect(directs []string, target string) string {
+// ResolveDirect matches a spelled target against a resolved dependency
+// list, returning the entry it names ("" when none matches).
+func ResolveDirect(directs []string, target string) string {
 	for _, d := range directs {
 		if d == target || strings.HasSuffix(d, "/"+target) || strings.HasSuffix(d, target) {
 			return d

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/vfs"
 )
 
 // Edit is one pending change: replace [Start,End) with Text. Insertions
@@ -129,29 +131,63 @@ func (b *Buffer) Apply() (string, error) {
 	return out.String(), nil
 }
 
-// Set manages buffers for multiple files.
+// Set manages buffers for multiple files in one apply batch. File names
+// are normalized with vfs.Clean, so aliased spellings of the same file
+// ("./a.hpp" vs "a.hpp") share one buffer instead of silently racing.
 type Set struct {
-	buffers map[string]*Buffer
+	buffers   map[string]*Buffer
+	conflicts []string
 }
 
 // NewSet returns an empty buffer set.
 func NewSet() *Set { return &Set{buffers: map[string]*Buffer{}} }
 
-// Add registers a file's contents; replaces any prior buffer.
+// Add registers a file's contents under its cleaned name. Re-adding the
+// same file with identical source returns the existing buffer, so edits
+// recorded against either spelling accumulate in one place. Re-adding
+// with different source records a conflict that fails ApplyAll: the
+// previous behavior (replace the buffer) dropped the first buffer's
+// edits without a trace.
 func (s *Set) Add(name, src string) *Buffer {
+	name = vfs.Clean(name)
+	if b, ok := s.buffers[name]; ok {
+		if b.src != src {
+			s.conflicts = append(s.conflicts,
+				fmt.Sprintf("%s re-added with different source (%d bytes vs %d)", name, len(b.src), len(src)))
+		}
+		return b
+	}
 	b := NewBuffer(name, src)
 	s.buffers[name] = b
 	return b
 }
 
-// Get returns the buffer for name, or nil.
-func (s *Set) Get(name string) *Buffer { return s.buffers[name] }
+// Get returns the buffer for name under any spelling, or nil.
+func (s *Set) Get(name string) *Buffer { return s.buffers[vfs.Clean(name)] }
 
-// ApplyAll produces rewritten text for every buffer with edits.
+// Files returns the registered cleaned file names in sorted order.
+func (s *Set) Files() []string {
+	names := make([]string, 0, len(s.buffers))
+	for name := range s.buffers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ApplyAll produces rewritten text for every buffer, keyed by cleaned
+// name. The batch is atomic: a conflicting Add or an overlapping edit in
+// any buffer fails the whole call with no partial output, and buffers
+// validate in sorted name order so the reported error is deterministic.
 func (s *Set) ApplyAll() (map[string]string, error) {
+	if len(s.conflicts) > 0 {
+		msgs := append([]string(nil), s.conflicts...)
+		sort.Strings(msgs)
+		return nil, fmt.Errorf("rewrite: conflicting buffers in one batch: %s", strings.Join(msgs, "; "))
+	}
 	out := map[string]string{}
-	for name, b := range s.buffers {
-		text, err := b.Apply()
+	for _, name := range s.Files() {
+		text, err := s.buffers[name].Apply()
 		if err != nil {
 			return nil, err
 		}

@@ -123,6 +123,82 @@ func TestSet(t *testing.T) {
 	}
 }
 
+// Two headers edited in one pass: edits recorded under aliased
+// spellings of the same file must land in one buffer, and the batch
+// keeps both files' edits (the old Set.Add replaced the prior buffer,
+// silently dropping its edits).
+func TestSetTwoHeadersOnePass(t *testing.T) {
+	s := NewSet()
+	a := s.Add("lib/a.hpp", "class A;\n")
+	b := s.Add("lib/b.hpp", "class B;\n")
+	_ = a.Replace(6, 7, "AA")
+	_ = b.Replace(6, 7, "BB")
+	// Re-adding a.hpp under an aliased spelling with identical source
+	// must return the same buffer, not a fresh one.
+	a2 := s.Add("./lib/a.hpp", "class A;\n")
+	if a2 != a {
+		t.Fatal("aliased Add returned a different buffer")
+	}
+	_ = a2.Insert(0, "// generated\n")
+	out, err := s.ApplyAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["lib/a.hpp"] != "// generated\nclass AA;\n" {
+		t.Fatalf("a.hpp = %q", out["lib/a.hpp"])
+	}
+	if out["lib/b.hpp"] != "class BB;\n" {
+		t.Fatalf("b.hpp = %q", out["lib/b.hpp"])
+	}
+}
+
+func TestSetConflictingAddRejected(t *testing.T) {
+	s := NewSet()
+	a := s.Add("h.hpp", "one\n")
+	_ = a.Replace(0, 3, "ONE")
+	// Same file re-added with different source: the batch must fail
+	// rather than apply edits against ambiguous contents.
+	s.Add("./h.hpp", "two\n")
+	if _, err := s.ApplyAll(); err == nil {
+		t.Fatal("want conflict error from ApplyAll")
+	} else if !strings.Contains(err.Error(), "h.hpp") {
+		t.Fatalf("error does not name the file: %v", err)
+	}
+}
+
+func TestSetAtomicOnOverlap(t *testing.T) {
+	s := NewSet()
+	good := s.Add("good.hpp", "int x;\n")
+	bad := s.Add("bad.hpp", "int y;\n")
+	_ = good.Replace(4, 5, "z")
+	_ = bad.Replace(0, 4, "long")
+	_ = bad.Replace(2, 5, "oops") // overlaps the first edit
+	out, err := s.ApplyAll()
+	if err == nil {
+		t.Fatal("want overlap error")
+	}
+	if out != nil {
+		t.Fatalf("partial output on error: %v", out)
+	}
+}
+
+func TestSetFilesSorted(t *testing.T) {
+	s := NewSet()
+	s.Add("z.cpp", "")
+	s.Add("a.cpp", "")
+	s.Add("m/n.cpp", "")
+	got := s.Files()
+	want := []string{"a.cpp", "m/n.cpp", "z.cpp"}
+	if len(got) != len(want) {
+		t.Fatalf("Files() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Files() = %v, want %v", got, want)
+		}
+	}
+}
+
 func TestNoEditsIdentity(t *testing.T) {
 	f := func(src string) bool {
 		b := NewBuffer("t", src)

@@ -1,0 +1,330 @@
+package split
+
+import "sort"
+
+// cluster partitions the units: seeded label propagation over the
+// multi-view affinity, an agglomerative merge down to maxParts, a
+// cycle merge so the part-include graph is a DAG, and a rest merge
+// folding every fully-unused cluster into one remainder part. The
+// returned clusters are ordered by canonical name (smallest member
+// key) and each cluster's units are listed in key order.
+//
+// Every step iterates units in key order and breaks ties on keys, so
+// the partition is a pure function of the graph: byte-identical at any
+// -j, across processes, and under decl reorderings preserving the
+// graph.
+func cluster(g *graph, maxParts int) [][]int {
+	labels := propagate(g)
+
+	// Group by label, clusters keyed by their canonical name.
+	byLabel := map[string][]int{}
+	for _, i := range g.canon {
+		byLabel[labels[i]] = append(byLabel[labels[i]], i)
+	}
+	var clusters [][]int
+	for _, i := range g.canon {
+		if members, ok := byLabel[labels[i]]; ok {
+			clusters = append(clusters, members)
+			delete(byLabel, labels[i])
+		}
+	}
+
+	clusters = mergeToMax(g, clusters, maxParts)
+	clusters = mergeCycles(g, clusters)
+	clusters = mergeRest(g, clusters)
+
+	sort.Slice(clusters, func(a, b int) bool {
+		return g.units[clusters[a][0]].key < g.units[clusters[b][0]].key
+	})
+	return clusters
+}
+
+// propagate runs seeded asynchronous label propagation: labels start as
+// unit keys, and each round every unit (in key order) adopts the label
+// with the highest total neighbor affinity. Ties go to the
+// lexicographically smallest label; a unit keeps its label unless a
+// strictly better (or tie-smaller) one appears. Converges in a handful
+// of rounds on these graphs; 16 bounds pathological oscillation.
+func propagate(g *graph) []string {
+	labels := make([]string, len(g.units))
+	for i, u := range g.units {
+		labels[i] = u.key
+	}
+	// Symmetric adjacency from the affinity map.
+	adj := make([]map[int]int, len(g.units))
+	for pair, w := range g.weights {
+		a, b := pair[0], pair[1]
+		if adj[a] == nil {
+			adj[a] = map[int]int{}
+		}
+		if adj[b] == nil {
+			adj[b] = map[int]int{}
+		}
+		adj[a][b] += w
+		adj[b][a] += w
+	}
+	for round := 0; round < 16; round++ {
+		changed := false
+		for _, i := range g.canon {
+			if len(adj[i]) == 0 {
+				continue
+			}
+			score := map[string]int{}
+			for n, w := range adj[i] {
+				score[labels[n]] += w
+			}
+			cur := labels[i]
+			best, bestW := cur, score[cur]
+			for l, w := range score {
+				if w > bestW || (w == bestW && l < best) {
+					best, bestW = l, w
+				}
+			}
+			if best != cur {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return labels
+}
+
+// canonName is a cluster's identity: its smallest member key.
+func canonName(g *graph, cl []int) string {
+	name := g.units[cl[0]].key
+	for _, i := range cl[1:] {
+		if g.units[i].key < name {
+			name = g.units[i].key
+		}
+	}
+	return name
+}
+
+// interWeight sums the affinity between two clusters.
+func interWeight(g *graph, a, b []int) int {
+	w := 0
+	for _, i := range a {
+		for _, j := range b {
+			x, y := i, j
+			if x > y {
+				x, y = y, x
+			}
+			w += g.weights[[2]int{x, y}]
+		}
+	}
+	return w
+}
+
+// mergeTwo joins clusters p and q (q into p), keeping key order.
+func mergeTwo(g *graph, clusters [][]int, p, q int) [][]int {
+	merged := append(append([]int{}, clusters[p]...), clusters[q]...)
+	sort.Slice(merged, func(a, b int) bool { return g.units[merged[a]].key < g.units[merged[b]].key })
+	out := make([][]int, 0, len(clusters)-1)
+	for i, cl := range clusters {
+		if i == q {
+			continue
+		}
+		if i == p {
+			out = append(out, merged)
+			continue
+		}
+		out = append(out, cl)
+	}
+	return out
+}
+
+// mergeToMax agglomeratively merges the most-affine cluster pair until
+// the count fits maxParts. Ties (including the zero-affinity case)
+// break on the lexicographically smallest canonical-name pair.
+func mergeToMax(g *graph, clusters [][]int, maxParts int) [][]int {
+	if maxParts <= 0 {
+		return clusters
+	}
+	for len(clusters) > maxParts {
+		bestP, bestQ, bestW := -1, -1, -1
+		for p := 0; p < len(clusters); p++ {
+			for q := p + 1; q < len(clusters); q++ {
+				w := interWeight(g, clusters[p], clusters[q])
+				if w > bestW {
+					bestP, bestQ, bestW = p, q, w
+					continue
+				}
+				if w == bestW && better(g, clusters, p, q, bestP, bestQ) {
+					bestP, bestQ = p, q
+				}
+			}
+		}
+		clusters = mergeTwo(g, clusters, bestP, bestQ)
+	}
+	return clusters
+}
+
+// better orders candidate merge pairs by canonical names.
+func better(g *graph, clusters [][]int, p, q, bp, bq int) bool {
+	pn, qn := canonName(g, clusters[p]), canonName(g, clusters[q])
+	bpn, bqn := canonName(g, clusters[bp]), canonName(g, clusters[bq])
+	if pn != bpn {
+		return pn < bpn
+	}
+	return qn < bqn
+}
+
+// mergeCycles collapses dependency cycles between clusters so the
+// emitted part-include graph is acyclic. Clusters are merged greedily:
+// while some cluster can reach itself through inter-cluster dependency
+// edges, merge the whole cycle.
+func mergeCycles(g *graph, clusters [][]int) [][]int {
+	for {
+		cyc := findCycle(g, clusters)
+		if cyc == nil {
+			return clusters
+		}
+		// Merge every cluster on the cycle into the one with the
+		// smallest canonical name.
+		sort.Slice(cyc, func(a, b int) bool {
+			return canonName(g, clusters[cyc[a]]) < canonName(g, clusters[cyc[b]])
+		})
+		for len(cyc) > 1 {
+			p, q := cyc[0], cyc[len(cyc)-1]
+			if p > q {
+				p, q = q, p
+			}
+			clusters = mergeTwo(g, clusters, p, q)
+			cyc = findCycle(g, clusters)
+			if cyc == nil {
+				return clusters
+			}
+			sort.Slice(cyc, func(a, b int) bool {
+				return canonName(g, clusters[cyc[a]]) < canonName(g, clusters[cyc[b]])
+			})
+		}
+	}
+}
+
+// clusterDeps builds the inter-cluster dependency adjacency.
+func clusterDeps(g *graph, clusters [][]int) [][]int {
+	clusterOf := map[int]int{}
+	for c, cl := range clusters {
+		for _, u := range cl {
+			clusterOf[u] = c
+		}
+	}
+	adj := make([][]int, len(clusters))
+	for c, cl := range clusters {
+		seen := map[int]bool{}
+		for _, u := range cl {
+			deps := make([]int, 0, len(g.units[u].deps))
+			for d := range g.units[u].deps {
+				deps = append(deps, d)
+			}
+			sort.Ints(deps)
+			for _, d := range deps {
+				if dc := clusterOf[d]; dc != c && !seen[dc] {
+					seen[dc] = true
+					adj[c] = append(adj[c], dc)
+				}
+			}
+		}
+	}
+	return adj
+}
+
+// findCycle returns the clusters on some dependency cycle (smallest
+// entry point first), or nil when the graph is a DAG.
+func findCycle(g *graph, clusters [][]int) []int {
+	adj := clusterDeps(g, clusters)
+	state := make([]int, len(clusters)) // 0 unvisited, 1 on stack, 2 done
+	var stack []int
+	var cyc []int
+	var dfs func(c int) bool
+	dfs = func(c int) bool {
+		state[c] = 1
+		stack = append(stack, c)
+		for _, d := range adj[c] {
+			switch state[d] {
+			case 0:
+				if dfs(d) {
+					return true
+				}
+			case 1:
+				// Cycle: everything on the stack from d onward.
+				for i := len(stack) - 1; i >= 0; i-- {
+					cyc = append(cyc, stack[i])
+					if stack[i] == d {
+						return true
+					}
+				}
+				return true
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[c] = 2
+		return false
+	}
+	for c := range clusters {
+		if state[c] == 0 && dfs(c) {
+			return cyc
+		}
+	}
+	return nil
+}
+
+// usedClosure marks every unit referenced by a TU plus everything those
+// units depend on transitively: the set that must remain reachable
+// through part includes.
+func usedClosure(g *graph) map[int]bool {
+	closed := map[int]bool{}
+	var visit func(u int)
+	visit = func(u int) {
+		if closed[u] {
+			return
+		}
+		closed[u] = true
+		deps := make([]int, 0, len(g.units[u].deps))
+		for d := range g.units[u].deps {
+			deps = append(deps, d)
+		}
+		sort.Ints(deps)
+		for _, d := range deps {
+			visit(d)
+		}
+	}
+	for _, i := range g.canon {
+		if len(g.units[i].usedBy) > 0 {
+			visit(i)
+		}
+	}
+	return closed
+}
+
+// mergeRest folds every cluster with no unit in the used closure into a
+// single remainder cluster: consumers never include it, so splitting
+// the unused surface further buys nothing and inflates the part list.
+func mergeRest(g *graph, clusters [][]int) [][]int {
+	used := usedClosure(g)
+	isUsed := func(cl []int) bool {
+		for _, u := range cl {
+			if used[u] {
+				return true
+			}
+		}
+		return false
+	}
+	var rest []int
+	var out [][]int
+	for _, cl := range clusters {
+		if isUsed(cl) {
+			out = append(out, cl)
+		} else {
+			rest = append(rest, cl...)
+		}
+	}
+	if len(rest) > 0 {
+		sort.Slice(rest, func(a, b int) bool { return g.units[rest[a]].key < g.units[rest[b]].key })
+		out = append(out, rest)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package split_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/split"
+)
+
+var update = flag.Bool("update", false, "rewrite golden partition files")
+
+// goldenSubjects are the corpus subjects with committed golden
+// partitions, one per library shape (Kokkos, RapidJSON, OpenCV).
+var goldenSubjects = []string{"02", "archiver", "drawing"}
+
+func decomposeSubject(t *testing.T, name string, jobs int) *split.Result {
+	t.Helper()
+	s := corpus.ByName(name)
+	if s == nil {
+		t.Fatalf("unknown subject %q", name)
+	}
+	res, err := split.Decompose(split.Options{
+		FS: s.FS.Clone(), SearchPaths: s.SearchPaths, Sources: s.Sources,
+		Header: s.Header, MaxParts: 4, Jobs: jobs,
+	})
+	if err != nil {
+		t.Fatalf("Decompose %s -j%d: %v", name, jobs, err)
+	}
+	return res
+}
+
+// sameFiles demands byte-identical written-file sets.
+func sameFiles(t *testing.T, label string, a, b map[string]string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d files written", label, len(a), len(b))
+	}
+	for name, want := range a {
+		got, ok := b[name]
+		if !ok {
+			t.Fatalf("%s: file %q missing", label, name)
+		}
+		if got != want {
+			t.Fatalf("%s: file %q differs", label, name)
+		}
+	}
+}
+
+// TestDecomposeDeterministic checks the partition AND every written
+// byte are identical at -j 1/4/8 and across two runs at the same -j.
+func TestDecomposeDeterministic(t *testing.T) {
+	for _, name := range goldenSubjects {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			base := decomposeSubject(t, name, 1)
+			for _, jobs := range []int{1, 4, 8} {
+				again := decomposeSubject(t, name, jobs)
+				if again.Digest != base.Digest {
+					t.Fatalf("-j%d digest %s != -j1 digest %s", jobs, again.Digest, base.Digest)
+				}
+				if again.PartitionJSON != base.PartitionJSON {
+					t.Fatalf("-j%d partition JSON differs from -j1", jobs)
+				}
+				sameFiles(t, name, base.Files, again.Files)
+				if again.ComposedTarget != base.ComposedTarget {
+					t.Fatalf("-j%d composed target %q != %q", jobs, again.ComposedTarget, base.ComposedTarget)
+				}
+			}
+		})
+	}
+}
+
+// TestDecomposeGolden pins each golden subject's canonical partition.
+// Run with -update to regenerate after an intentional change.
+func TestDecomposeGolden(t *testing.T) {
+	for _, name := range goldenSubjects {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res := decomposeSubject(t, name, 4)
+			path := filepath.Join("testdata", name+".partition.json")
+			if *update {
+				if err := os.WriteFile(path, []byte(res.PartitionJSON), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if string(want) != res.PartitionJSON {
+				t.Errorf("partition drifted from golden %s:\ngot:\n%s\nwant:\n%s", path, res.PartitionJSON, want)
+			}
+		})
+	}
+}
+
+// TestDecomposeReorderStable permutes the god header's declaration
+// blocks (a graph-preserving edit: no reference crosses the swapped
+// blocks) and demands the same canonical partition.
+func TestDecomposeReorderStable(t *testing.T) {
+	run := func(header string) *split.Result {
+		t.Helper()
+		fs := synthTree()
+		fs.Write("lib/god.hpp", header)
+		res, err := split.Decompose(synthOptions(fs))
+		if err != nil {
+			t.Fatalf("Decompose: %v", err)
+		}
+		return res
+	}
+	orig := run(`#ifndef GOD_HPP
+#define GOD_HPP
+#include "suba.hpp"
+#include "subb.hpp"
+#include "filler1.hpp"
+#include "filler2.hpp"
+namespace gx {
+struct Alpha { AlphaBase base; };
+inline int alpha_fn(int v) { return v + 1; }
+struct Beta { BetaBase base; };
+inline int beta_fn(int v) { return v + 2; }
+}
+#endif
+`)
+	permuted := run(`#ifndef GOD_HPP
+#define GOD_HPP
+#include "subb.hpp"
+#include "suba.hpp"
+#include "filler2.hpp"
+#include "filler1.hpp"
+namespace gx {
+inline int beta_fn(int v) { return v + 2; }
+struct Beta { BetaBase base; };
+inline int alpha_fn(int v) { return v + 1; }
+struct Alpha { AlphaBase base; };
+}
+#endif
+`)
+	if orig.Digest != permuted.Digest {
+		t.Fatalf("decl reorder changed the partition:\noriginal:\n%s\npermuted:\n%s",
+			orig.PartitionJSON, permuted.PartitionJSON)
+	}
+}
